@@ -1,0 +1,34 @@
+//! # sais-apic — the interrupt-delivery substrate
+//!
+//! Models the x86 APIC machinery the paper modifies: a single I/O APIC
+//! receiving device interrupts and routing them, as MSI-style messages, to
+//! per-core Local APICs. The *destination* of each message is decided by a
+//! pluggable [`policy::Policy`] — this is exactly the hook SAIs' IMComposer
+//! patches in the real kernel.
+//!
+//! Implemented policies (paper §II-B and §III list four; we add two
+//! baselines/extensions):
+//!
+//! | Policy | Models | Source-aware? |
+//! |---|---|---|
+//! | `RoundRobin` | Linux default on Intel (Fig. 1a) | no |
+//! | `Dedicated` | Linux lowest-priority default on AMD — all IRQs on one core (Fig. 1b) | no |
+//! | `LowestLoaded` | irqbalance: steer to the lightest core | no |
+//! | `FlowHash` | RSS/RFS-style static flow hashing (related-work baseline) | no |
+//! | `SourceAware` | SAIs: deliver to the `aff_core_id` hint (Fig. 1c) | yes |
+//! | `Hybrid` | the paper's future-work integration: hint unless the hinted core is overloaded | partially |
+//!
+//! The MSI address/data register layout follows the Intel SDM vol. 3A
+//! §10.11 so that message composition is byte-faithful, not just symbolic.
+
+pub mod ioapic;
+pub mod lapic;
+pub mod msg;
+pub mod policy;
+pub mod redirection;
+
+pub use ioapic::IoApic;
+pub use lapic::LocalApic;
+pub use msg::{DeliveryMode, MsiMessage};
+pub use policy::{Policy, PolicyKind, SteerCtx};
+pub use redirection::{RedirectionEntry, RedirectionTable};

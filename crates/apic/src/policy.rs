@@ -1,0 +1,402 @@
+//! Interrupt-steering policies.
+//!
+//! The policy decides, per interrupt, which core the I/O APIC names as the
+//! MSI destination. §III of the paper enumerates four choices —
+//! (i) requesting core, (ii) current core of the requesting process,
+//! (iii) least-loaded core, (iv) dedicated core — of which (iii) and (iv)
+//! are the conventional source-unaware baselines. `SourceAware` implements
+//! (i)/(ii) (they coincide whenever the process has not migrated while
+//! blocked, which SAIs enforces by bundling), `LowestLoaded` implements
+//! (iii) as irqbalance does, and `Dedicated` implements (iv).
+
+use sais_cpu::{CoreId, CpuCore, LoadTracker};
+use sais_sim::{SimDuration, SimTime};
+
+/// Per-interrupt context handed to the policy.
+pub struct SteerCtx<'a> {
+    /// Current simulation time.
+    pub now: SimTime,
+    /// The I/O APIC pin (IRQ line) this interrupt arrived on. Policies that
+    /// manage per-line assignments (the irqbalance daemon) key on it.
+    pub pin: usize,
+    /// The `aff_core_id` parsed from the packet, if the stack carried one
+    /// and it parsed cleanly.
+    pub hint: Option<CoreId>,
+    /// A stable flow identifier (hash of the connection 4-tuple) for
+    /// RSS-style policies.
+    pub flow: u64,
+    /// The client cores, for load inspection.
+    pub cores: &'a [CpuCore],
+    /// The irqbalance-style load statistics.
+    pub loads: &'a LoadTracker,
+}
+
+/// Which family a policy belongs to (for labelling tables).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PolicyKind {
+    /// Strict rotation.
+    RoundRobin,
+    /// All interrupts on one fixed core.
+    Dedicated,
+    /// irqbalance: lightest core at each decision.
+    LowestLoaded,
+    /// irqbalance as the real daemon behaves: the IRQ line is re-homed to
+    /// the lightest core only at rebalance intervals.
+    BalancedDaemon,
+    /// Static hash of the flow id.
+    FlowHash,
+    /// SAIs: follow the source hint.
+    SourceAware,
+    /// Hint unless the hinted core is overloaded.
+    Hybrid,
+}
+
+impl PolicyKind {
+    /// Human-readable name used in figure tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            PolicyKind::RoundRobin => "RoundRobin",
+            PolicyKind::Dedicated => "Dedicated",
+            PolicyKind::LowestLoaded => "Irqbalance",
+            PolicyKind::BalancedDaemon => "IrqbalanceD",
+            PolicyKind::FlowHash => "FlowHash",
+            PolicyKind::SourceAware => "SAIs",
+            PolicyKind::Hybrid => "Hybrid",
+        }
+    }
+}
+
+/// A steering policy with its mutable state.
+///
+/// ```
+/// use sais_apic::{Policy, SteerCtx};
+/// use sais_cpu::{CpuCore, LoadTracker};
+/// use sais_sim::{SimDuration, SimTime};
+///
+/// let cores: Vec<CpuCore> = (0..8).map(CpuCore::new).collect();
+/// let loads = LoadTracker::new(8, SimDuration::from_millis(10));
+/// let ctx = SteerCtx {
+///     now: SimTime::from_micros(1),
+///     pin: 0,
+///     hint: Some(5), // parsed from the packet's aff_core_id option
+///     flow: 42,
+///     cores: &cores,
+///     loads: &loads,
+/// };
+/// assert_eq!(Policy::sais().select(&ctx), 5);
+/// assert_eq!(Policy::round_robin().select(&ctx), 0, "baselines ignore the hint");
+/// ```
+#[derive(Debug, Clone)]
+pub enum Policy {
+    /// Rotate over all cores.
+    RoundRobin {
+        /// Next core to use.
+        next: CoreId,
+    },
+    /// Always the same core.
+    Dedicated {
+        /// The designated I/O core.
+        core: CoreId,
+    },
+    /// The irqbalance model: steer to the currently lightest core.
+    LowestLoaded,
+    /// The real irqbalance daemon granularity: the whole IRQ line sits on
+    /// one core and is re-homed to the lightest core once per interval
+    /// (the daemon's default is 10 s). Between rebalances this behaves
+    /// like `Dedicated` — which is why the paper lumps the stock schemes
+    /// together: none of them track the *data*.
+    BalancedDaemon {
+        /// Rebalance interval.
+        interval: SimDuration,
+        /// Per-pin `(current core, next rebalance)` assignments, grown on
+        /// demand — each IRQ line is re-homed independently, as the real
+        /// daemon does.
+        lines: Vec<(CoreId, SimTime)>,
+        /// Rebalances performed (diagnostic).
+        rebalances: u64,
+    },
+    /// Hash the flow id onto a core (RSS); a flow's interrupts stay
+    /// together but ignore where the consumer runs.
+    FlowHash,
+    /// SAIs. When the hint is missing/corrupt, falls back to the inner
+    /// policy (the stock kernel path).
+    SourceAware {
+        /// Fallback for hint-less packets.
+        fallback: Box<Policy>,
+    },
+    /// Future-work integration of policies (ii) and (iii): follow the hint
+    /// unless the hinted core's backlog exceeds the threshold, then steer
+    /// like irqbalance.
+    Hybrid {
+        /// Backlog above which the hint is abandoned.
+        overload_threshold: SimDuration,
+        /// Hints honoured (diagnostic).
+        honoured: u64,
+        /// Hints overridden due to overload (diagnostic).
+        overridden: u64,
+    },
+}
+
+impl Policy {
+    /// SAIs with the conventional irqbalance fallback — the configuration
+    /// the paper's prototype uses.
+    pub fn sais() -> Policy {
+        Policy::SourceAware {
+            fallback: Box::new(Policy::LowestLoaded),
+        }
+    }
+
+    /// A fresh round-robin policy.
+    pub fn round_robin() -> Policy {
+        Policy::RoundRobin { next: 0 }
+    }
+
+    /// An irqbalance-daemon policy with the given rebalance interval.
+    pub fn balanced_daemon(interval: SimDuration) -> Policy {
+        Policy::BalancedDaemon {
+            interval,
+            lines: Vec::new(),
+            rebalances: 0,
+        }
+    }
+
+    /// A hybrid policy with the given overload threshold.
+    pub fn hybrid(overload_threshold: SimDuration) -> Policy {
+        Policy::Hybrid {
+            overload_threshold,
+            honoured: 0,
+            overridden: 0,
+        }
+    }
+
+    /// The policy's family.
+    pub fn kind(&self) -> PolicyKind {
+        match self {
+            Policy::RoundRobin { .. } => PolicyKind::RoundRobin,
+            Policy::Dedicated { .. } => PolicyKind::Dedicated,
+            Policy::LowestLoaded => PolicyKind::LowestLoaded,
+            Policy::BalancedDaemon { .. } => PolicyKind::BalancedDaemon,
+            Policy::FlowHash => PolicyKind::FlowHash,
+            Policy::SourceAware { .. } => PolicyKind::SourceAware,
+            Policy::Hybrid { .. } => PolicyKind::Hybrid,
+        }
+    }
+
+    /// Whether this policy consumes the source hint.
+    pub fn uses_hint(&self) -> bool {
+        matches!(self, Policy::SourceAware { .. } | Policy::Hybrid { .. })
+    }
+
+    /// Choose the destination core for one interrupt.
+    pub fn select(&mut self, ctx: &SteerCtx<'_>) -> CoreId {
+        let n = ctx.cores.len();
+        debug_assert!(n > 0);
+        match self {
+            Policy::RoundRobin { next } => {
+                let core = *next % n;
+                *next = (core + 1) % n;
+                core
+            }
+            Policy::Dedicated { core } => (*core).min(n - 1),
+            Policy::LowestLoaded => ctx.loads.lightest_core(ctx.now, ctx.cores),
+            Policy::BalancedDaemon {
+                interval,
+                lines,
+                rebalances,
+            } => {
+                if lines.len() <= ctx.pin {
+                    lines.resize(ctx.pin + 1, (0, SimTime::ZERO));
+                }
+                let (current, next_rebalance) = &mut lines[ctx.pin];
+                if ctx.now >= *next_rebalance {
+                    *current = ctx.loads.lightest_core(ctx.now, ctx.cores);
+                    *next_rebalance = ctx.now + *interval;
+                    *rebalances += 1;
+                }
+                (*current).min(n - 1)
+            }
+            Policy::FlowHash => {
+                // Same multiplicative mix RSS indirection tables effect.
+                (ctx.flow.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize % n
+            }
+            Policy::SourceAware { fallback } => match ctx.hint {
+                Some(core) if core < n => core,
+                _ => fallback.select(ctx),
+            },
+            Policy::Hybrid {
+                overload_threshold,
+                honoured,
+                overridden,
+            } => match ctx.hint {
+                Some(core) if core < n => {
+                    if ctx.cores[core].backlog_at(ctx.now) <= *overload_threshold {
+                        *honoured += 1;
+                        core
+                    } else {
+                        *overridden += 1;
+                        ctx.loads.lightest_core(ctx.now, ctx.cores)
+                    }
+                }
+                _ => ctx.loads.lightest_core(ctx.now, ctx.cores),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sais_cpu::WorkClass;
+
+    fn make_cores(n: usize) -> Vec<CpuCore> {
+        (0..n).map(CpuCore::new).collect()
+    }
+
+    fn ctx<'a>(
+        cores: &'a [CpuCore],
+        loads: &'a LoadTracker,
+        hint: Option<CoreId>,
+        flow: u64,
+    ) -> SteerCtx<'a> {
+        SteerCtx {
+            now: SimTime::from_micros(1),
+            pin: 0,
+            hint,
+            flow,
+            cores,
+            loads,
+        }
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let cores = make_cores(4);
+        let loads = LoadTracker::new(4, SimDuration::from_millis(10));
+        let mut p = Policy::round_robin();
+        let picks: Vec<CoreId> = (0..8)
+            .map(|i| p.select(&ctx(&cores, &loads, None, i)))
+            .collect();
+        assert_eq!(picks, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn dedicated_sticks() {
+        let cores = make_cores(8);
+        let loads = LoadTracker::new(8, SimDuration::from_millis(10));
+        let mut p = Policy::Dedicated { core: 7 };
+        for i in 0..10 {
+            assert_eq!(p.select(&ctx(&cores, &loads, Some(2), i)), 7);
+        }
+    }
+
+    #[test]
+    fn lowest_loaded_avoids_backlogged_core() {
+        let mut cores = make_cores(3);
+        let loads = LoadTracker::new(3, SimDuration::from_millis(10));
+        cores[0].run(SimTime::from_micros(1), SimDuration::from_micros(100), WorkClass::SoftIrq);
+        cores[1].run(SimTime::from_micros(1), SimDuration::from_micros(50), WorkClass::SoftIrq);
+        let mut p = Policy::LowestLoaded;
+        assert_eq!(p.select(&ctx(&cores, &loads, None, 0)), 2);
+    }
+
+    #[test]
+    fn flow_hash_is_stable_per_flow() {
+        let cores = make_cores(8);
+        let loads = LoadTracker::new(8, SimDuration::from_millis(10));
+        let mut p = Policy::FlowHash;
+        let a1 = p.select(&ctx(&cores, &loads, None, 1234));
+        let a2 = p.select(&ctx(&cores, &loads, None, 1234));
+        assert_eq!(a1, a2);
+        // Different flows spread over cores.
+        let mut seen = std::collections::HashSet::new();
+        for f in 0..64 {
+            seen.insert(p.select(&ctx(&cores, &loads, None, f)));
+        }
+        assert!(seen.len() >= 4, "hash should spread flows: {seen:?}");
+    }
+
+    #[test]
+    fn balanced_daemon_sticks_between_rebalances() {
+        let mut cores = make_cores(4);
+        let loads = LoadTracker::new(4, SimDuration::from_millis(10));
+        let mut p = Policy::balanced_daemon(SimDuration::from_millis(1));
+        // First decision rebalances to the lightest (core 0, all idle).
+        let t0 = SimTime::from_micros(1);
+        let mk = |now| SteerCtx { now, pin: 0, hint: None, flow: 0, cores: &cores, loads: &loads };
+        let first = p.select(&mk(t0));
+        // Load up that core: within the interval the choice must not move.
+        cores[first].run(t0, SimDuration::from_millis(5), sais_cpu::WorkClass::SoftIrq);
+        let cores2 = cores.clone();
+        let mk2 = |now| SteerCtx { now, pin: 0, hint: None, flow: 0, cores: &cores2, loads: &loads };
+        assert_eq!(p.select(&mk2(SimTime::from_micros(500))), first);
+        // After the interval it re-homes away from the now-busy core.
+        let moved = p.select(&mk2(SimTime::from_millis(2)));
+        assert_ne!(moved, first);
+        if let Policy::BalancedDaemon { rebalances, .. } = p {
+            assert_eq!(rebalances, 2);
+        } else {
+            unreachable!()
+        }
+    }
+
+    #[test]
+    fn source_aware_follows_hint() {
+        let cores = make_cores(8);
+        let loads = LoadTracker::new(8, SimDuration::from_millis(10));
+        let mut p = Policy::sais();
+        assert_eq!(p.select(&ctx(&cores, &loads, Some(5), 0)), 5);
+        assert_eq!(p.kind(), PolicyKind::SourceAware);
+        assert!(p.uses_hint());
+    }
+
+    #[test]
+    fn source_aware_falls_back_on_missing_or_invalid_hint() {
+        let mut cores = make_cores(2);
+        let loads = LoadTracker::new(2, SimDuration::from_millis(10));
+        cores[0].run(SimTime::from_micros(1), SimDuration::from_micros(100), WorkClass::SoftIrq);
+        let mut p = Policy::sais();
+        // No hint → irqbalance fallback picks idle core 1.
+        assert_eq!(p.select(&ctx(&cores, &loads, None, 0)), 1);
+        // Out-of-range hint (corrupt option) → fallback too.
+        assert_eq!(p.select(&ctx(&cores, &loads, Some(9), 0)), 1);
+    }
+
+    #[test]
+    fn hybrid_honours_until_overloaded() {
+        let mut cores = make_cores(2);
+        let loads = LoadTracker::new(2, SimDuration::from_millis(10));
+        let mut p = Policy::hybrid(SimDuration::from_micros(10));
+        // Hinted core idle → honoured.
+        assert_eq!(p.select(&ctx(&cores, &loads, Some(0), 0)), 0);
+        // Pile work on core 0 beyond the threshold → overridden to core 1.
+        cores[0].run(SimTime::from_micros(1), SimDuration::from_micros(500), WorkClass::SoftIrq);
+        assert_eq!(p.select(&ctx(&cores, &loads, Some(0), 0)), 1);
+        if let Policy::Hybrid { honoured, overridden, .. } = p {
+            assert_eq!(honoured, 1);
+            assert_eq!(overridden, 1);
+        } else {
+            unreachable!()
+        }
+    }
+
+    #[test]
+    fn all_policies_return_valid_cores() {
+        let cores = make_cores(5);
+        let loads = LoadTracker::new(5, SimDuration::from_millis(10));
+        let mut policies = vec![
+            Policy::round_robin(),
+            Policy::Dedicated { core: 99 }, // deliberately out of range
+            Policy::LowestLoaded,
+            Policy::FlowHash,
+            Policy::sais(),
+            Policy::hybrid(SimDuration::from_micros(1)),
+        ];
+        for p in &mut policies {
+            for f in 0..20 {
+                let hint = if f % 2 == 0 { Some((f % 7) as usize) } else { None };
+                let c = p.select(&ctx(&cores, &loads, hint, f));
+                assert!(c < 5, "{:?} returned invalid core {c}", p.kind());
+            }
+        }
+    }
+}

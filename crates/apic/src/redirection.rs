@@ -1,0 +1,141 @@
+//! The I/O APIC redirection table.
+//!
+//! Each external interrupt pin (IRQ line) has a redirection entry naming
+//! the vector, the delivery mode and the set of candidate destination
+//! cores. "The I/O APIC extracts the available cores information from the
+//! table and puts it into the interrupt message as the destination address"
+//! (paper §II-A). The steering policy then narrows the candidate set to a
+//! single core per interrupt.
+
+/// One redirection-table entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RedirectionEntry {
+    /// Vector delivered for this pin.
+    pub vector: u8,
+    /// Bitmask of cores allowed to receive this pin's interrupts
+    /// (bit *i* = core *i*; supports up to 64 cores).
+    pub dest_mask: u64,
+    /// Whether the pin is masked (delivery suppressed).
+    pub masked: bool,
+}
+
+impl RedirectionEntry {
+    /// An unmasked entry targeting any of `cores` cores.
+    pub fn any_of(vector: u8, cores: usize) -> Self {
+        assert!((1..=64).contains(&cores));
+        let dest_mask = if cores == 64 { u64::MAX } else { (1u64 << cores) - 1 };
+        RedirectionEntry {
+            vector,
+            dest_mask,
+            masked: false,
+        }
+    }
+
+    /// Whether `core` is a permitted destination.
+    pub fn allows(&self, core: usize) -> bool {
+        core < 64 && self.dest_mask & (1 << core) != 0
+    }
+
+    /// The permitted cores, ascending.
+    pub fn allowed_cores(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..64).filter(|&c| self.allows(c))
+    }
+
+    /// Clamp a desired destination into the permitted set: if `want` is
+    /// allowed it is returned; otherwise the lowest allowed core. This is
+    /// what keeps a (possibly corrupt) `aff_core_id` hint from escaping the
+    /// configured affinity mask.
+    pub fn clamp(&self, want: usize) -> usize {
+        if self.allows(want) {
+            want
+        } else {
+            self.allowed_cores()
+                .next()
+                .expect("redirection entry with empty destination set")
+        }
+    }
+}
+
+/// The table: one entry per IRQ pin.
+#[derive(Debug, Clone)]
+pub struct RedirectionTable {
+    entries: Vec<RedirectionEntry>,
+}
+
+impl RedirectionTable {
+    /// A table of `pins` entries, all unmasked and targeting all of
+    /// `cores` cores, with vectors allocated sequentially from 0x20.
+    pub fn new(pins: usize, cores: usize) -> Self {
+        let entries = (0..pins)
+            .map(|p| RedirectionEntry::any_of(0x20 + p as u8, cores))
+            .collect();
+        RedirectionTable { entries }
+    }
+
+    /// Look up the entry for a pin.
+    pub fn entry(&self, pin: usize) -> &RedirectionEntry {
+        &self.entries[pin]
+    }
+
+    /// Reprogram a pin (what `/proc/irq/N/smp_affinity` writes do).
+    pub fn set_entry(&mut self, pin: usize, entry: RedirectionEntry) {
+        self.entries[pin] = entry;
+    }
+
+    /// Number of pins.
+    pub fn pins(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn any_of_mask_shape() {
+        let e = RedirectionEntry::any_of(0x21, 8);
+        assert_eq!(e.dest_mask, 0xFF);
+        assert!(e.allows(0));
+        assert!(e.allows(7));
+        assert!(!e.allows(8));
+        assert_eq!(e.allowed_cores().count(), 8);
+    }
+
+    #[test]
+    fn clamp_respects_mask() {
+        let e = RedirectionEntry {
+            vector: 0x30,
+            dest_mask: 0b0110, // cores 1 and 2 only
+            masked: false,
+        };
+        assert_eq!(e.clamp(2), 2);
+        assert_eq!(e.clamp(0), 1, "disallowed hint falls to lowest allowed");
+        assert_eq!(e.clamp(63), 1);
+    }
+
+    #[test]
+    fn table_allocation_and_update() {
+        let mut t = RedirectionTable::new(4, 8);
+        assert_eq!(t.pins(), 4);
+        assert_eq!(t.entry(0).vector, 0x20);
+        assert_eq!(t.entry(3).vector, 0x23);
+        t.set_entry(
+            2,
+            RedirectionEntry {
+                vector: 0x55,
+                dest_mask: 0b1,
+                masked: true,
+            },
+        );
+        assert!(t.entry(2).masked);
+        assert_eq!(t.entry(2).vector, 0x55);
+    }
+
+    #[test]
+    fn full_width_mask() {
+        let e = RedirectionEntry::any_of(0x20, 64);
+        assert_eq!(e.dest_mask, u64::MAX);
+        assert!(e.allows(63));
+    }
+}

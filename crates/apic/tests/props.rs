@@ -1,0 +1,91 @@
+//! Property tests for interrupt routing: whatever the policy and context,
+//! delivery stays inside the machine and SAIs honours valid hints.
+
+use proptest::prelude::*;
+use sais_apic::{IoApic, MsiMessage, Policy, SteerCtx};
+use sais_cpu::{CpuCore, LoadTracker, WorkClass};
+use sais_sim::{SimDuration, SimTime};
+
+fn all_policies() -> Vec<Policy> {
+    vec![
+        Policy::round_robin(),
+        Policy::Dedicated { core: 3 },
+        Policy::LowestLoaded,
+        Policy::balanced_daemon(SimDuration::from_millis(1)),
+        Policy::FlowHash,
+        Policy::sais(),
+        Policy::hybrid(SimDuration::from_micros(50)),
+    ]
+}
+
+proptest! {
+    /// Every policy delivers every interrupt to a valid core, and the
+    /// distribution accounts for every routed interrupt.
+    #[test]
+    fn routing_is_total_and_valid(
+        ncores in 1usize..16,
+        events in proptest::collection::vec(
+            (any::<u64>(), proptest::option::of(0usize..32), 0u64..50_000u64, 0u64..200u64),
+            1..200,
+        ),
+    ) {
+        for mut policy in all_policies() {
+            let mut cores: Vec<CpuCore> = (0..ncores).map(CpuCore::new).collect();
+            let loads = LoadTracker::new(ncores, SimDuration::from_millis(10));
+            let mut io = IoApic::new(1, ncores);
+            for &(flow, hint, t_us, work_us) in &events {
+                let now = SimTime::from_micros(t_us);
+                // Random background work to vary the load picture.
+                if work_us > 0 {
+                    cores[(flow % ncores as u64) as usize].run(
+                        now,
+                        SimDuration::from_micros(work_us),
+                        WorkClass::SoftIrq,
+                    );
+                }
+                let ctx = SteerCtx { now, pin: 0, hint, flow, cores: &cores, loads: &loads };
+                let dest = io.route(0, &mut policy, &ctx);
+                prop_assert!(dest < ncores, "{:?} -> {dest}", policy.kind());
+            }
+            let total: u64 = io.distribution().iter().sum();
+            prop_assert_eq!(total, events.len() as u64);
+        }
+    }
+
+    /// SAIs delivers to the hinted core whenever the hint names a real
+    /// core, regardless of every other input.
+    #[test]
+    fn sais_always_honours_valid_hints(
+        ncores in 1usize..16,
+        flow in any::<u64>(),
+        hint in 0usize..16,
+        t_us in 0u64..1_000_000,
+    ) {
+        let cores: Vec<CpuCore> = (0..ncores).map(CpuCore::new).collect();
+        let loads = LoadTracker::new(ncores, SimDuration::from_millis(10));
+        let mut io = IoApic::new(1, ncores);
+        let mut p = Policy::sais();
+        let ctx = SteerCtx {
+            now: SimTime::from_micros(t_us),
+            pin: 0,
+            hint: Some(hint),
+            flow,
+            cores: &cores,
+            loads: &loads,
+        };
+        let dest = io.route(0, &mut p, &ctx);
+        if hint < ncores {
+            prop_assert_eq!(dest, hint);
+        } else {
+            prop_assert!(dest < ncores, "fallback stays in range");
+        }
+    }
+
+    /// MSI register encode/decode round-trips for all vectors/destinations.
+    #[test]
+    fn msi_roundtrip(vector in any::<u8>(), dest in any::<u8>()) {
+        let m = MsiMessage::fixed(vector, dest);
+        let back = MsiMessage::from_registers(m.address(), m.data()).unwrap();
+        prop_assert_eq!(back, m);
+    }
+}

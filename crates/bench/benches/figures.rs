@@ -1,0 +1,11 @@
+//! `cargo bench -p sais-bench --bench figures` — regenerates every table
+//! and figure of the paper at quick scale, printing paper-style rows and
+//! writing CSVs under `target/experiments/`.
+//!
+//! This is a custom (non-Criterion) bench target: the quantity of interest
+//! is the simulated metric, not host wall time.
+
+fn main() {
+    // `cargo bench` passes flags like `--bench`; ignore them and run quick.
+    sais_bench::figures::run_all(sais_bench::Scale::Quick);
+}

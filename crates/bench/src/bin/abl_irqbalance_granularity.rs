@@ -1,0 +1,4 @@
+//! Regenerate one experiment: `cargo run --release -p sais-bench --bin abl_irqbalance_granularity [--quick|--full]`.
+fn main() {
+    sais_bench::figures::abl_irqbalance_granularity(sais_bench::Scale::from_args());
+}

@@ -1,0 +1,4 @@
+//! Regenerate one experiment: `cargo run --release -p sais-bench --bin abl_memsim_readahead [--quick|--full]`.
+fn main() {
+    sais_bench::figures::abl_memsim_readahead(sais_bench::Scale::from_args());
+}

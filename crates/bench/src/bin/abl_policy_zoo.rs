@@ -1,0 +1,4 @@
+//! Regenerate one experiment: `cargo run --release -p sais-bench --bin abl_policy_zoo [--quick|--full]`.
+fn main() {
+    sais_bench::figures::abl_policy_zoo(sais_bench::Scale::from_args());
+}

@@ -1,0 +1,4 @@
+//! Regenerate one experiment: `cargo run --release -p sais-bench --bin abl_proc_migration [--quick|--full]`.
+fn main() {
+    sais_bench::figures::abl_proc_migration(sais_bench::Scale::from_args());
+}

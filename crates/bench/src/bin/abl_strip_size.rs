@@ -1,0 +1,4 @@
+//! Regenerate one experiment: `cargo run --release -p sais-bench --bin abl_strip_size [--quick|--full]`.
+fn main() {
+    sais_bench::figures::abl_strip_size(sais_bench::Scale::from_args());
+}

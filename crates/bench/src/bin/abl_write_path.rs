@@ -1,0 +1,4 @@
+//! Regenerate one experiment: `cargo run --release -p sais-bench --bin abl_write_path [--quick|--full]`.
+fn main() {
+    sais_bench::figures::abl_write_path(sais_bench::Scale::from_args());
+}

@@ -1,0 +1,4 @@
+//! Regenerate every table and figure: `cargo run --release -p sais-bench --bin all_figures [--quick|--full]`.
+fn main() {
+    sais_bench::figures::run_all(sais_bench::Scale::from_args());
+}

@@ -1,0 +1,4 @@
+//! Regenerate one experiment: `cargo run --release -p sais-bench --bin fig06_missrate_1gig [--quick|--full]`.
+fn main() {
+    sais_bench::figures::fig06_missrate_1gig(sais_bench::Scale::from_args());
+}

@@ -1,0 +1,4 @@
+//! Regenerate one experiment: `cargo run --release -p sais-bench --bin fig07_missrate_3gig [--quick|--full]`.
+fn main() {
+    sais_bench::figures::fig07_missrate_3gig(sais_bench::Scale::from_args());
+}

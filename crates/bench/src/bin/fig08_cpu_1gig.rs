@@ -1,0 +1,4 @@
+//! Regenerate one experiment: `cargo run --release -p sais-bench --bin fig08_cpu_1gig [--quick|--full]`.
+fn main() {
+    sais_bench::figures::fig08_cpu_1gig(sais_bench::Scale::from_args());
+}

@@ -1,0 +1,4 @@
+//! Regenerate one experiment: `cargo run --release -p sais-bench --bin fig11_unhalted_3gig [--quick|--full]`.
+fn main() {
+    sais_bench::figures::fig11_unhalted_3gig(sais_bench::Scale::from_args());
+}

@@ -1,0 +1,4 @@
+//! Regenerate one experiment: `cargo run --release -p sais-bench --bin fig12_multiclient [--quick|--full]`.
+fn main() {
+    sais_bench::figures::fig12_multiclient(sais_bench::Scale::from_args());
+}

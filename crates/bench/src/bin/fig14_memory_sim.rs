@@ -1,0 +1,4 @@
+//! Regenerate one experiment: `cargo run --release -p sais-bench --bin fig14_memory_sim [--quick|--full]`.
+fn main() {
+    sais_bench::figures::fig14_memory_sim(sais_bench::Scale::from_args());
+}

@@ -1,0 +1,4 @@
+//! Regenerate one experiment: `cargo run --release -p sais-bench --bin tab_latency [--quick|--full]`.
+fn main() {
+    sais_bench::figures::tab_latency(sais_bench::Scale::from_args());
+}

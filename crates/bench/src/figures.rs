@@ -1,0 +1,562 @@
+//! One function per paper table/figure, plus the ablation studies from
+//! DESIGN.md. Each prints paper-style rows and writes CSV.
+
+use crate::harness::{emit, Scale, Sweep};
+use sais_core::analysis;
+use sais_core::memsim::{MemSimConfig, MemSimMode};
+use sais_core::scenario::{PolicyChoice, ScenarioConfig};
+use sais_metrics::format::{bytes_human, pct_signed};
+use sais_metrics::{BarChart, Table};
+use sais_workload::multiclient_config;
+
+/// The paper's transfer-size sweep.
+pub const TRANSFER_SIZES: [u64; 4] = [128 << 10, 512 << 10, 1 << 20, 2 << 20];
+/// The paper's server-count sweep.
+pub const SERVER_COUNTS: [usize; 4] = [8, 16, 32, 48];
+/// The paper's client-count sweep (Fig. 12).
+pub const CLIENT_COUNTS: [usize; 7] = [4, 8, 16, 24, 32, 48, 56];
+
+fn testbed(ports: usize, servers: usize, transfer: u64) -> ScenarioConfig {
+    if ports == 1 {
+        ScenarioConfig::testbed_1gig(servers, transfer)
+    } else {
+        ScenarioConfig::testbed_3gig(servers, transfer)
+    }
+}
+
+/// Generic transfer×servers sweep, reporting one derived metric.
+fn sweep_grid(
+    name: &str,
+    title: &str,
+    ports: usize,
+    scale: Scale,
+    value: impl Fn(&crate::harness::CellStats) -> f64,
+    unit: &str,
+    improvement_is_reduction: bool,
+) {
+    let sweep = Sweep::paper(scale);
+    let (bl, cl) = sweep.labels();
+    let mut table = Table::new(
+        title,
+        &[
+            "transfer",
+            "servers",
+            &format!("{bl} ({unit})"),
+            &format!("{cl} ({unit})"),
+            "improvement",
+        ],
+    );
+    let mut cells = Vec::new();
+    for &ts in &TRANSFER_SIZES {
+        for &srv in &SERVER_COUNTS {
+            cells.push((ts, srv, testbed(ports, srv, ts)));
+        }
+    }
+    let cfgs = cells.iter().map(|(_, _, c)| c.clone()).collect();
+    let results = sweep.run_cells(cfgs);
+    let mut chart = BarChart::new(format!("{title} (chart)"), &[bl, cl]);
+    for ((ts, srv, _), (base, cand)) in cells.iter().zip(results) {
+        let (b, c) = (value(&base), value(&cand));
+        let imp = if improvement_is_reduction {
+            sais_metrics::counters::reduction(b, c)
+        } else {
+            sais_metrics::counters::speedup(b, c)
+        };
+        table.row(&[
+            bytes_human(*ts),
+            srv.to_string(),
+            format!("{b:.2}"),
+            format!("{c:.2}"),
+            pct_signed(imp),
+        ]);
+        chart.group(format!("{}/{srv}srv", bytes_human(*ts)), &[b, c]);
+    }
+    emit(name, &table);
+    println!("{}", chart.render());
+}
+
+/// Fig. 5: I/O bandwidth, 3-Gigabit NIC (paper: SAIs wins everywhere,
+/// max +23.57 % at 48 servers).
+pub fn fig05_bandwidth_3gig(scale: Scale) {
+    sweep_grid(
+        "fig05_bandwidth_3gig",
+        "Fig. 5 — IOR read bandwidth, 3-Gigabit NIC (paper max speed-up: +23.57% @48 servers)",
+        3,
+        scale,
+        |s| s.bw.mean() / 1e6,
+        "MB/s",
+        false,
+    );
+}
+
+/// §V-C: bandwidth with the single 1-Gigabit NIC (paper peak +6.05 %,
+/// NIC-bound).
+pub fn fig05x_bandwidth_1gig(scale: Scale) {
+    sweep_grid(
+        "fig05x_bandwidth_1gig",
+        "§V-C — IOR read bandwidth, 1-Gigabit NIC (paper peak speed-up: +6.05%)",
+        1,
+        scale,
+        |s| s.bw.mean() / 1e6,
+        "MB/s",
+        false,
+    );
+}
+
+/// Fig. 6: L2 cache miss rate, 1-Gigabit NIC.
+pub fn fig06_missrate_1gig(scale: Scale) {
+    sweep_grid(
+        "fig06_missrate_1gig",
+        "Fig. 6 — L2 miss rate %, 1-Gigabit NIC (improvement = reduction)",
+        1,
+        scale,
+        |s| s.miss.mean() * 100.0,
+        "%",
+        true,
+    );
+}
+
+/// Fig. 7: L2 cache miss rate, 3-Gigabit NIC (paper: ≈40 % reduction).
+pub fn fig07_missrate_3gig(scale: Scale) {
+    sweep_grid(
+        "fig07_missrate_3gig",
+        "Fig. 7 — L2 miss rate %, 3-Gigabit NIC (paper: ~40% reduction)",
+        3,
+        scale,
+        |s| s.miss.mean() * 100.0,
+        "%",
+        true,
+    );
+}
+
+/// Fig. 8: CPU utilization, 1-Gigabit NIC (paper max 15.13 % — NIC-bound).
+pub fn fig08_cpu_1gig(scale: Scale) {
+    sweep_grid(
+        "fig08_cpu_1gig",
+        "Fig. 8 — CPU utilization %, 1-Gigabit NIC (paper max 15.13%; irqbalance burns more)",
+        1,
+        scale,
+        |s| s.util.mean() * 100.0,
+        "%",
+        true,
+    );
+}
+
+/// Fig. 9: CPU utilization, 3-Gigabit NIC.
+pub fn fig09_cpu_3gig(scale: Scale) {
+    sweep_grid(
+        "fig09_cpu_3gig",
+        "Fig. 9 — CPU utilization %, 3-Gigabit NIC (irqbalance burns more on data movement)",
+        3,
+        scale,
+        |s| s.util.mean() * 100.0,
+        "%",
+        true,
+    );
+}
+
+/// Fig. 10: CPU_CLK_UNHALTED, 1-Gigabit NIC (paper: SAIs up to 27.14 %
+/// fewer unhalted cycles).
+pub fn fig10_unhalted_1gig(scale: Scale) {
+    sweep_grid(
+        "fig10_unhalted_1gig",
+        "Fig. 10 — CPU_CLK_UNHALTED (1e9 cycles), 1-Gigabit NIC (paper: up to 27.14% improvement)",
+        1,
+        scale,
+        |s| s.unhalted.mean() / 1e9,
+        "1e9cyc",
+        true,
+    );
+}
+
+/// Fig. 11: CPU_CLK_UNHALTED, 3-Gigabit NIC (paper: up to 48.57 %).
+pub fn fig11_unhalted_3gig(scale: Scale) {
+    sweep_grid(
+        "fig11_unhalted_3gig",
+        "Fig. 11 — CPU_CLK_UNHALTED (1e9 cycles), 3-Gigabit NIC (paper: up to 48.57% improvement)",
+        3,
+        scale,
+        |s| s.unhalted.mean() / 1e9,
+        "1e9cyc",
+        true,
+    );
+}
+
+/// Fig. 12: multi-client aggregate bandwidth (8 servers, 1 MB transfers;
+/// paper peak +20.46 % at 8 clients, declining beyond).
+pub fn fig12_multiclient(scale: Scale) {
+    let bytes_per_client = match scale {
+        Scale::Quick => 8 << 20,
+        Scale::Default => 32 << 20,
+        Scale::Full => 128 << 20,
+    };
+    let mut table = Table::new(
+        "Fig. 12 — multi-client aggregate bandwidth, 8 servers, 1M transfers \
+         (paper peak +20.46% @8 clients)",
+        &["clients", "Irqbalance (MB/s)", "SAIs (MB/s)", "speed-up"],
+    );
+    for &clients in &CLIENT_COUNTS {
+        let irqb = multiclient_config(clients, bytes_per_client)
+            .with_policy(PolicyChoice::LowestLoaded)
+            .run();
+        let sais = multiclient_config(clients, bytes_per_client)
+            .with_policy(PolicyChoice::SourceAware)
+            .run();
+        let (b, s) = (
+            irqb.bandwidth_bytes_per_sec(),
+            sais.bandwidth_bytes_per_sec(),
+        );
+        table.row(&[
+            clients.to_string(),
+            format!("{:.2}", b / 1e6),
+            format!("{:.2}", s / 1e6),
+            pct_signed(sais_metrics::counters::speedup(b, s)),
+        ]);
+    }
+    emit("fig12_multiclient", &table);
+}
+
+/// Fig. 14: the §VI in-memory simulation (paper: peak 3576.58 MB/s,
+/// +53.23 %, miss rate −51.37 %; ~2500 MB/s for both once CPUs saturate).
+pub fn fig14_memory_sim(scale: Scale) {
+    let bytes_per_app = match scale {
+        Scale::Quick => 16 << 20,
+        Scale::Default => 64 << 20,
+        Scale::Full => 256 << 20,
+    };
+    let mut table = Table::new(
+        "Fig. 14 — in-memory parallel I/O (NIC removed; paper: peak +53.23%, \
+         convergence ~2500 MB/s at CPU saturation)",
+        &[
+            "apps",
+            "Si-Irqbalance (MB/s)",
+            "Si-SAIs (MB/s)",
+            "speed-up",
+            "util SAIs",
+            "util Irqb",
+            "miss reduction",
+        ],
+    );
+    for apps in [1usize, 2, 3, 4, 6, 8] {
+        let mut s_cfg = MemSimConfig::testbed(MemSimMode::SiSais, apps);
+        s_cfg.bytes_per_app = bytes_per_app;
+        let mut b_cfg = MemSimConfig::testbed(MemSimMode::SiIrqbalance, apps);
+        b_cfg.bytes_per_app = bytes_per_app;
+        let s = s_cfg.run();
+        let b = b_cfg.run();
+        table.row(&[
+            apps.to_string(),
+            format!("{:.2}", b.bandwidth / 1e6),
+            format!("{:.2}", s.bandwidth / 1e6),
+            pct_signed(sais_metrics::counters::speedup(b.bandwidth, s.bandwidth)),
+            format!("{:.1}%", s.cpu_utilization * 100.0),
+            format!("{:.1}%", b.cpu_utilization * 100.0),
+            pct_signed(sais_metrics::counters::reduction(
+                b.l2_miss_rate,
+                s.l2_miss_rate,
+            )),
+        ]);
+    }
+    emit("fig14_memory_sim", &table);
+}
+
+/// §III table: the analytic model's bounds next to simulator measurements.
+pub fn tab_analysis_model(scale: Scale) {
+    let mut table = Table::new(
+        "§III — analytic bounds (eqs. 3–6) vs simulation",
+        &[
+            "servers",
+            "model T_bal/T_sais (lower-bound ratio)",
+            "sim speed-up (128K, 3-Gig)",
+        ],
+    );
+    let sweep = Sweep::paper(scale);
+    for &srv in &[8usize, 16, 32, 48] {
+        let model = analysis::calibrated(8, srv as u64, 1, 1.0e-3);
+        let predicted = model.predicted_speedup();
+        let (base, cand) = sweep.run_cell(testbed(3, srv, 128 << 10));
+        let measured = cand.bw.mean() / base.bw.mean() - 1.0;
+        table.row(&[
+            srv.to_string(),
+            pct_signed(predicted),
+            pct_signed(measured),
+        ]);
+    }
+    emit("tab_analysis_model", &table);
+}
+
+/// Ablation: sweep the migration cost `M` (the c2c line latency) to find
+/// where SAIs stops paying off — the paper's `M ≫ P` premise quantified.
+pub fn abl_mp_ratio(scale: Scale) {
+    let mut table = Table::new(
+        "Ablation — M/P ratio: how expensive must migration be for SAIs to win?",
+        &["c2c ns/line", "M/P", "Irqbalance MB/s", "SAIs MB/s", "speed-up"],
+    );
+    for c2c_ns in [10u64, 30, 60, 120, 240, 480] {
+        let mut cfg = testbed(3, 16, 128 << 10);
+        cfg.mem.c2c_line = sais_sim::SimDuration::from_nanos(c2c_ns);
+        cfg.file_size = scale.file_size();
+        let ratio = sais_core::calib::m_over_p(&cfg);
+        let b = cfg.clone().with_policy(PolicyChoice::LowestLoaded).run();
+        let s = cfg.with_policy(PolicyChoice::SourceAware).run();
+        table.row(&[
+            c2c_ns.to_string(),
+            format!("{ratio:.2}"),
+            format!("{:.2}", b.bandwidth_mbs()),
+            format!("{:.2}", s.bandwidth_mbs()),
+            pct_signed(s.bandwidth_mbs() / b.bandwidth_mbs() - 1.0),
+        ]);
+    }
+    emit("abl_mp_ratio", &table);
+}
+
+/// Ablation: interrupt coalescing depth (frames per hardirq).
+pub fn abl_coalescing(scale: Scale) {
+    let mut table = Table::new(
+        "Ablation — NIC interrupt coalescing (frames/interrupt)",
+        &["frames", "Irqbalance MB/s", "SAIs MB/s", "speed-up", "irqs (SAIs)"],
+    );
+    for frames in [1u64, 4, 8, 16, 32] {
+        let mut cfg = testbed(3, 16, 512 << 10);
+        cfg.coalesce_frames = frames;
+        cfg.file_size = scale.file_size();
+        let b = cfg.clone().with_policy(PolicyChoice::LowestLoaded).run();
+        let s = cfg.with_policy(PolicyChoice::SourceAware).run();
+        table.row(&[
+            frames.to_string(),
+            format!("{:.2}", b.bandwidth_mbs()),
+            format!("{:.2}", s.bandwidth_mbs()),
+            pct_signed(s.bandwidth_mbs() / b.bandwidth_mbs() - 1.0),
+            s.interrupts.to_string(),
+        ]);
+    }
+    emit("abl_coalescing", &table);
+}
+
+/// Ablation: PVFS strip size.
+pub fn abl_strip_size(scale: Scale) {
+    let mut table = Table::new(
+        "Ablation — PVFS strip size (paper fixes 64K)",
+        &["strip", "Irqbalance MB/s", "SAIs MB/s", "speed-up"],
+    );
+    for strip in [16u64 << 10, 32 << 10, 64 << 10, 128 << 10, 256 << 10] {
+        let mut cfg = testbed(3, 16, 1 << 20);
+        cfg.strip_size = strip;
+        cfg.file_size = scale.file_size();
+        let b = cfg.clone().with_policy(PolicyChoice::LowestLoaded).run();
+        let s = cfg.with_policy(PolicyChoice::SourceAware).run();
+        table.row(&[
+            bytes_human(strip),
+            format!("{:.2}", b.bandwidth_mbs()),
+            format!("{:.2}", s.bandwidth_mbs()),
+            pct_signed(s.bandwidth_mbs() / b.bandwidth_mbs() - 1.0),
+        ]);
+    }
+    emit("abl_strip_size", &table);
+}
+
+/// Ablation: the full policy zoo, including the paper's four §III policies
+/// and the related-work baselines.
+pub fn abl_policy_zoo(scale: Scale) {
+    let mut table = Table::new(
+        "Ablation — steering policy zoo (128K transfers, 16 servers, 3-Gig NIC)",
+        &["policy", "MB/s", "L2 miss", "migrated strips", "hinted irqs"],
+    );
+    for policy in [
+        PolicyChoice::RoundRobin,
+        PolicyChoice::Dedicated,
+        PolicyChoice::LowestLoaded,
+        PolicyChoice::IrqbalanceDaemon,
+        PolicyChoice::FlowHash,
+        PolicyChoice::Hybrid,
+        PolicyChoice::SourceAware,
+    ] {
+        let mut cfg = testbed(3, 16, 128 << 10);
+        cfg.file_size = scale.file_size();
+        let m = cfg.with_policy(policy).run();
+        table.row(&[
+            policy.label().to_string(),
+            format!("{:.2}", m.bandwidth_mbs()),
+            format!("{:.2}%", m.l2_miss_rate * 100.0),
+            m.strip_migrations.to_string(),
+            m.hinted_interrupts.to_string(),
+        ]);
+    }
+    emit("abl_policy_zoo", &table);
+}
+
+/// Ablation: process migration while blocked (§III policies (i) vs (ii)).
+pub fn abl_proc_migration(scale: Scale) {
+    let mut table = Table::new(
+        "Ablation — process migrated while blocked in I/O (policy (i) without bundling)",
+        &["P(migrate)", "SAIs MB/s", "migrated strips", "proc migrations"],
+    );
+    for prob in [0.0f64, 0.05, 0.2, 0.5, 1.0] {
+        let mut cfg = testbed(3, 16, 512 << 10);
+        cfg.pin_processes = false;
+        cfg.cpu.block_migration_prob = prob;
+        cfg.file_size = scale.file_size();
+        let m = cfg.with_policy(PolicyChoice::SourceAware).run();
+        table.row(&[
+            format!("{prob:.2}"),
+            format!("{:.2}", m.bandwidth_mbs()),
+            m.strip_migrations.to_string(),
+            m.process_migrations.to_string(),
+        ]);
+    }
+    emit("abl_proc_migration", &table);
+}
+
+/// Ablation: irqbalance decision granularity — per-interrupt steering
+/// (this paper's and most simulators' idealization) vs the real daemon's
+/// per-line rebalance interval. Neither tracks the data; SAIs beats both.
+pub fn abl_irqbalance_granularity(scale: Scale) {
+    let mut table = Table::new(
+        "Ablation — irqbalance granularity (per-interrupt vs per-interval line re-homing)",
+        &["baseline", "MB/s", "L2 miss", "migrated strips", "SAIs speed-up vs it"],
+    );
+    let sais_bw = {
+        let mut cfg = testbed(3, 16, 128 << 10);
+        cfg.file_size = scale.file_size();
+        cfg.procs_per_client = 2; // same shape as the baselines below
+        cfg.with_policy(PolicyChoice::SourceAware).run().bandwidth_mbs()
+    };
+    for (label, policy) in [
+        ("per-interrupt (LowestLoaded)", PolicyChoice::LowestLoaded),
+        ("daemon, 100ms lines", PolicyChoice::IrqbalanceDaemon),
+        ("static (Dedicated)", PolicyChoice::Dedicated),
+    ] {
+        let mut cfg = testbed(3, 16, 128 << 10);
+        cfg.file_size = scale.file_size();
+        // Two processes so the dedicated/daemon core is not accidentally
+        // the (single) consumer.
+        cfg.procs_per_client = 2;
+        let m = cfg.with_policy(policy).run();
+        table.row(&[
+            label.to_string(),
+            format!("{:.2}", m.bandwidth_mbs()),
+            format!("{:.2}%", m.l2_miss_rate * 100.0),
+            m.strip_migrations.to_string(),
+            pct_signed(sais_bw / m.bandwidth_mbs() - 1.0),
+        ]);
+    }
+    emit("abl_irqbalance_granularity", &table);
+}
+
+/// Ablation: the write path — the paper's scoping claim ("there is not a
+/// data locality issue associated with interrupt scheduling in parallel
+/// I/O write operations") demonstrated rather than assumed.
+pub fn abl_write_path(scale: Scale) {
+    use sais_core::scenario::IoDirection;
+    let mut table = Table::new(
+        "Ablation — reads vs writes: interrupt placement only matters when data flows inbound",
+        &["direction", "transfer", "Irqbalance MB/s", "SAIs MB/s", "speed-up"],
+    );
+    for direction in [IoDirection::Read, IoDirection::Write] {
+        for ts in [128u64 << 10, 1 << 20] {
+            let mut cfg = testbed(3, 16, ts).with_direction(direction);
+            cfg.file_size = scale.file_size();
+            let b = cfg.clone().with_policy(PolicyChoice::LowestLoaded).run();
+            let s = cfg.with_policy(PolicyChoice::SourceAware).run();
+            table.row(&[
+                format!("{direction:?}"),
+                bytes_human(ts),
+                format!("{:.2}", b.bandwidth_mbs()),
+                format!("{:.2}", s.bandwidth_mbs()),
+                pct_signed(s.bandwidth_mbs() / b.bandwidth_mbs() - 1.0),
+            ]);
+        }
+    }
+    emit("abl_write_path", &table);
+}
+
+/// Ablation: the Si-Irqbalance reader's read-ahead depth. Deeper queues
+/// let strips be *evicted* from the reader's cache before the combiner
+/// gets to them, converting expensive cache-to-cache migration into a
+/// cheaper DRAM refetch — queueing can accidentally hide the locality
+/// problem, which is why the paper's thread-pair framing matters.
+pub fn abl_memsim_readahead(scale: Scale) {
+    let bytes_per_app = match scale {
+        Scale::Quick => 16 << 20,
+        Scale::Default => 64 << 20,
+        Scale::Full => 256 << 20,
+    };
+    let mut table = Table::new(
+        "Ablation — Si-Irqbalance read-ahead depth (2 apps)",
+        &["read-ahead (strips)", "MB/s", "c2c lines", "L2 miss", "vs Si-SAIs"],
+    );
+    let sais = {
+        let mut c = MemSimConfig::testbed(MemSimMode::SiSais, 2);
+        c.bytes_per_app = bytes_per_app;
+        c.run()
+    };
+    for ra in [2usize, 4, 8, 16, 32] {
+        let mut c = MemSimConfig::testbed(MemSimMode::SiIrqbalance, 2);
+        c.bytes_per_app = bytes_per_app;
+        c.read_ahead = ra;
+        let m = c.run();
+        table.row(&[
+            ra.to_string(),
+            format!("{:.1}", m.bandwidth / 1e6),
+            m.c2c_lines.to_string(),
+            format!("{:.2}%", m.l2_miss_rate * 100.0),
+            pct_signed(m.bandwidth / sais.bandwidth - 1.0),
+        ]);
+    }
+    emit("abl_memsim_readahead", &table);
+}
+
+/// Extension table: request-latency distribution per policy — the paper
+/// reports throughput; blocking reads make latency the underlying quantity,
+/// and the tail is where scattered interrupts hurt interactive users.
+pub fn tab_latency(scale: Scale) {
+    let mut table = Table::new(
+        "Extension — request latency by policy (128K transfers, 16 servers, 3-Gig NIC)",
+        &["policy", "p50 (ms)", "p99 (ms)", "mean (ms)", "MB/s"],
+    );
+    for policy in [
+        PolicyChoice::RoundRobin,
+        PolicyChoice::Dedicated,
+        PolicyChoice::LowestLoaded,
+        PolicyChoice::IrqbalanceDaemon,
+        PolicyChoice::FlowHash,
+        PolicyChoice::Hybrid,
+        PolicyChoice::SourceAware,
+    ] {
+        let mut cfg = testbed(3, 16, 128 << 10);
+        cfg.file_size = scale.file_size();
+        let m = cfg.with_policy(policy).run();
+        table.row(&[
+            policy.label().to_string(),
+            format!("{:.3}", m.latency_p50_ms()),
+            format!("{:.3}", m.latency_p99_ms()),
+            format!("{:.3}", m.request_latency.mean() / 1e6),
+            format!("{:.2}", m.bandwidth_mbs()),
+        ]);
+    }
+    emit("tab_latency", &table);
+}
+
+/// Run every figure and ablation at the given scale.
+pub fn run_all(scale: Scale) {
+    fig05_bandwidth_3gig(scale);
+    fig05x_bandwidth_1gig(scale);
+    fig06_missrate_1gig(scale);
+    fig07_missrate_3gig(scale);
+    fig08_cpu_1gig(scale);
+    fig09_cpu_3gig(scale);
+    fig10_unhalted_1gig(scale);
+    fig11_unhalted_3gig(scale);
+    fig12_multiclient(scale);
+    fig14_memory_sim(scale);
+    tab_analysis_model(scale);
+    abl_mp_ratio(scale);
+    abl_coalescing(scale);
+    abl_strip_size(scale);
+    abl_policy_zoo(scale);
+    abl_proc_migration(scale);
+    abl_write_path(scale);
+    abl_irqbalance_granularity(scale);
+    abl_memsim_readahead(scale);
+    tab_latency(scale);
+}

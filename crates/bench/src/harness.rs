@@ -1,0 +1,214 @@
+//! Sweep execution, multi-seed averaging and result output.
+
+use sais_core::scenario::{PolicyChoice, RunMetrics, ScenarioConfig};
+use sais_metrics::{Table, Welford};
+use std::fs;
+use std::path::PathBuf;
+
+/// How big to run the experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// 64 MB files, one seed: seconds per figure. Used by `cargo bench`.
+    Quick,
+    /// 128 MB files, three seeds (the paper averages ≥3 runs).
+    Default,
+    /// 1 GB files, three seeds: minutes per figure.
+    Full,
+}
+
+impl Scale {
+    /// Parse from CLI args (`--quick`, `--full`; default [`Scale::Default`]).
+    pub fn from_args() -> Scale {
+        let args: Vec<String> = std::env::args().collect();
+        if args.iter().any(|a| a == "--full") {
+            Scale::Full
+        } else if args.iter().any(|a| a == "--quick") {
+            Scale::Quick
+        } else {
+            Scale::Default
+        }
+    }
+
+    /// Per-client file size at this scale.
+    pub fn file_size(self) -> u64 {
+        match self {
+            Scale::Quick => 64 << 20,
+            Scale::Default => 128 << 20,
+            Scale::Full => 1 << 30,
+        }
+    }
+
+    /// Seeds (runs to average) at this scale.
+    pub fn seeds(self) -> u64 {
+        match self {
+            Scale::Quick => 1,
+            Scale::Default | Scale::Full => 3,
+        }
+    }
+}
+
+/// Averaged metrics of one (config, policy) cell.
+#[derive(Debug, Clone, Default)]
+pub struct CellStats {
+    /// Bandwidth in bytes/s across seeds.
+    pub bw: Welford,
+    /// L2 miss rate across seeds.
+    pub miss: Welford,
+    /// CPU utilization across seeds.
+    pub util: Welford,
+    /// Unhalted cycles across seeds.
+    pub unhalted: Welford,
+    /// Strip migrations across seeds.
+    pub migrations: Welford,
+}
+
+impl CellStats {
+    fn push(&mut self, m: &RunMetrics) {
+        self.bw.push(m.bandwidth_bytes_per_sec());
+        self.miss.push(m.l2_miss_rate);
+        self.util.push(m.cpu_utilization);
+        self.unhalted.push(m.unhalted_cycles as f64);
+        self.migrations.push(m.strip_migrations as f64);
+    }
+}
+
+/// A sweep runner comparing two policies cell by cell.
+pub struct Sweep {
+    scale: Scale,
+    baseline: PolicyChoice,
+    candidate: PolicyChoice,
+}
+
+impl Sweep {
+    /// The paper's comparison: irqbalance baseline vs SAIs.
+    pub fn paper(scale: Scale) -> Self {
+        Sweep {
+            scale,
+            baseline: PolicyChoice::LowestLoaded,
+            candidate: PolicyChoice::SourceAware,
+        }
+    }
+
+    /// Compare arbitrary policies.
+    pub fn of(scale: Scale, baseline: PolicyChoice, candidate: PolicyChoice) -> Self {
+        Sweep {
+            scale,
+            baseline,
+            candidate,
+        }
+    }
+
+    /// The scale in use.
+    pub fn scale(&self) -> Scale {
+        self.scale
+    }
+
+    /// Run one cell under both policies, averaging over seeds. The config's
+    /// `file_size` is overridden by the scale.
+    pub fn run_cell(&self, mut cfg: ScenarioConfig) -> (CellStats, CellStats) {
+        cfg.file_size = self.scale.file_size().max(cfg.transfer_size);
+        sais_core::calib::assert_regimes(&cfg);
+        let mut base = CellStats::default();
+        let mut cand = CellStats::default();
+        for seed in 0..self.scale.seeds() {
+            let mut c = cfg.clone();
+            c.seed = cfg.seed.wrapping_add(seed.wrapping_mul(0x9E37_79B9));
+            let b = c.clone().with_policy(self.baseline).run();
+            let s = c.with_policy(self.candidate).run();
+            base.push(&b);
+            cand.push(&s);
+        }
+        (base, cand)
+    }
+
+    /// Run many cells, fanned out over the host's cores. Each cell is an
+    /// independent deterministic simulation, so parallel execution changes
+    /// wall time only, never results. Output order matches input order.
+    pub fn run_cells(&self, cfgs: Vec<ScenarioConfig>) -> Vec<(CellStats, CellStats)> {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(cfgs.len().max(1));
+        let jobs: Vec<(usize, ScenarioConfig)> = cfgs.into_iter().enumerate().collect();
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let mut results: Vec<Option<(CellStats, CellStats)>> = Vec::new();
+        results.resize_with(jobs.len(), || None);
+        let slots = std::sync::Mutex::new(&mut results);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= jobs.len() {
+                        break;
+                    }
+                    let out = self.run_cell(jobs[i].1.clone());
+                    slots.lock().expect("no poisoning")[jobs[i].0] = Some(out);
+                });
+            }
+        });
+        results
+            .into_iter()
+            .map(|r| r.expect("every cell computed"))
+            .collect()
+    }
+
+    /// Labels of the two policies.
+    pub fn labels(&self) -> (&'static str, &'static str) {
+        (self.baseline.label(), self.candidate.label())
+    }
+}
+
+/// Where experiment CSVs land.
+pub fn experiments_dir() -> PathBuf {
+    let dir = PathBuf::from(
+        std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".into()),
+    )
+    .join("experiments");
+    let _ = fs::create_dir_all(&dir);
+    dir
+}
+
+/// Print a table to stdout and persist it as CSV.
+pub fn emit(name: &str, table: &Table) {
+    println!("{}", table.render());
+    let path = experiments_dir().join(format!("{name}.csv"));
+    if let Err(e) = fs::write(&path, table.to_csv()) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    } else {
+        println!("[csv] {}", path.display());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_parameters() {
+        assert_eq!(Scale::Quick.seeds(), 1);
+        assert_eq!(Scale::Default.seeds(), 3);
+        assert!(Scale::Full.file_size() > Scale::Default.file_size());
+    }
+
+    #[test]
+    fn sweep_cell_runs_and_candidate_wins() {
+        let sweep = Sweep::paper(Scale::Quick);
+        let mut cfg = sais_core::scenario::ScenarioConfig::testbed_3gig(8, 256 * 1024);
+        cfg.file_size = 8 << 20; // overridden by scale anyway
+        let (base, cand) = sweep.run_cell(cfg);
+        assert_eq!(base.bw.count(), 1);
+        assert!(cand.bw.mean() > base.bw.mean());
+        assert_eq!(cand.migrations.mean(), 0.0);
+        assert!(base.migrations.mean() > 0.0);
+    }
+
+    #[test]
+    fn emit_writes_csv() {
+        let mut t = Table::new("test", &["a", "b"]);
+        t.row(&["1".into(), "2".into()]);
+        emit("harness_selftest", &t);
+        let p = experiments_dir().join("harness_selftest.csv");
+        let content = std::fs::read_to_string(p).unwrap();
+        assert!(content.contains("1,2"));
+    }
+}

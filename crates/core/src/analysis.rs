@@ -1,0 +1,221 @@
+//! The paper's §III quantitative analysis (equations 1–9), in executable
+//! form.
+//!
+//! Notation (paper → here): `N_C` client cores, `N_S` I/O servers
+//! (`N_S = α·N_C`), `N_R` requests, `N_P` programs, `P` per-strip
+//! processing time, `M` per-strip migration time, `T_R` the
+//! network/server residue that no interrupt schedule can change.
+//!
+//! The equations are *bounds*, and the code keeps them as bounds: balanced
+//! scheduling gets a lower bound on its completion time (eq. 3/6), SAIs an
+//! exact variable part (eq. 4/5). The integration test
+//! `tests/model_vs_sim.rs` checks the discrete-event simulator respects the
+//! same ordering.
+
+/// Inputs to the analytic model. Times in seconds (any consistent unit
+/// works — only ratios matter).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnalyticModel {
+    /// Client cores `N_C`.
+    pub n_c: u64,
+    /// I/O servers `N_S` (a multiple of `n_c` in the paper's analysis).
+    pub n_s: u64,
+    /// Requests `N_R`.
+    pub n_r: u64,
+    /// Concurrent programs `N_P`.
+    pub n_p: u64,
+    /// Per-strip processing time `P`.
+    pub p: f64,
+    /// Per-strip migration time `M` (the paper assumes `M ≫ P`).
+    pub m: f64,
+    /// Residual time `T_R` (network + server), identical across policies.
+    pub t_r: f64,
+}
+
+impl AnalyticModel {
+    /// The paper's `α = N_S / N_C` (requires divisibility, as assumed in
+    /// §III-A "for simplicity").
+    pub fn alpha(&self) -> u64 {
+        assert!(
+            self.n_s.is_multiple_of(self.n_c),
+            "the paper's analysis assumes N_C divides N_S"
+        );
+        self.n_s / self.n_c
+    }
+
+    /// Eq. (3): lower bound on a *single* request under balanced
+    /// scheduling: `T ≥ T_R + M·α·(N_C − 1)`.
+    pub fn t_balance_single(&self) -> f64 {
+        self.t_r + self.m * self.alpha() as f64 * (self.n_c - 1) as f64
+    }
+
+    /// Eq. (4): single request under source-aware scheduling:
+    /// `T = T_R + P·N_S`.
+    pub fn t_source_aware_single(&self) -> f64 {
+        self.t_r + self.p * self.n_s as f64
+    }
+
+    /// Eq. (6): lower bound under balanced scheduling with `N_R` requests:
+    /// `T ≥ T_R + M·α·(N_C − 1)·N_R`.
+    pub fn t_balance_multi(&self) -> f64 {
+        self.t_r + self.m * self.alpha() as f64 * ((self.n_c - 1) * self.n_r) as f64
+    }
+
+    /// Eq. (5): source-aware with `N_R` requests:
+    /// `T = T_R + P·N_S·N_R`.
+    pub fn t_source_aware_multi(&self) -> f64 {
+        self.t_r + self.p * (self.n_s * self.n_r) as f64
+    }
+
+    /// Eq. (8): with `N_P ≤ N_C` programs, source-aware handling spreads
+    /// over `N_P` cores; returns `(lower, upper)` bounds:
+    /// `T_R + P·N_S·N_R/N_P ≤ T ≤ T_R + P·N_S·N_R`.
+    pub fn t_source_aware_programs(&self) -> (f64, f64) {
+        let upper = self.t_source_aware_multi();
+        let lower = self.t_r + self.p * (self.n_s * self.n_r) as f64 / self.n_p as f64;
+        (lower, upper)
+    }
+
+    /// Eq. (9): with `N_P > N_C`, the guaranteed gap between the policies:
+    /// `T_balance − T_source-aware ≥ (N_C − 1)·N_R·α·(M − P)`.
+    pub fn guaranteed_gap_saturated(&self) -> f64 {
+        ((self.n_c - 1) * self.n_r) as f64 * self.alpha() as f64 * (self.m - self.p)
+    }
+
+    /// Eq. (7): the bandwidth coupling — `N_R·N_S·size_req ≤ BW` means the
+    /// request rate the client can sustain is bounded by its NIC. Returns
+    /// the largest `N_R` admissible for a given per-strip request size and
+    /// client bandwidth over a 1-second window.
+    pub fn max_requests_for_bandwidth(&self, size_req: f64, bandwidth: f64) -> u64 {
+        assert!(size_req > 0.0 && bandwidth > 0.0);
+        (bandwidth / (self.n_s as f64 * size_req)).floor() as u64
+    }
+
+    /// Predicted speed-up of source-aware over balanced for the
+    /// multi-request case, using the balanced *lower bound* (hence this is
+    /// a conservative prediction): `T_balance/T_sais − 1`.
+    pub fn predicted_speedup(&self) -> f64 {
+        self.t_balance_multi() / self.t_source_aware_multi() - 1.0
+    }
+}
+
+/// A parameterization matching the simulator's default calibration, for
+/// model-vs-simulation comparisons: P and M measured per strip.
+pub fn calibrated(n_c: u64, n_s: u64, n_r: u64, t_r: f64) -> AnalyticModel {
+    AnalyticModel {
+        n_c,
+        n_s,
+        n_r,
+        n_p: 1,
+        // Per-strip softirq processing: 46 packets ≈ 37 µs + 12 µs fill.
+        p: 49e-6,
+        // Per-strip migration: 1024 lines × 120 ns.
+        m: 123e-6,
+        t_r,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> AnalyticModel {
+        AnalyticModel {
+            n_c: 8,
+            n_s: 48,
+            n_r: 100,
+            n_p: 1,
+            p: 49e-6,
+            m: 123e-6,
+            t_r: 0.5,
+        }
+    }
+
+    #[test]
+    fn alpha_and_divisibility() {
+        assert_eq!(base().alpha(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "divides")]
+    fn non_divisible_panics() {
+        let m = AnalyticModel { n_s: 49, ..base() };
+        m.alpha();
+    }
+
+    #[test]
+    fn source_aware_wins_when_m_much_greater_than_p() {
+        let m = base();
+        // The §III-B conclusion: T_balanced − T_R ≫ T_source-aware − T_R.
+        assert!(m.t_balance_single() > m.t_source_aware_single());
+        assert!(m.t_balance_multi() > m.t_source_aware_multi());
+        assert!(m.predicted_speedup() > 0.0);
+    }
+
+    #[test]
+    fn balanced_wins_if_migration_were_free() {
+        // Sanity inversion: with M = 0 (free migration) the bound flips and
+        // balanced scheduling looks better. This is exactly why the paper
+        // must establish M ≫ P empirically.
+        let m = AnalyticModel { m: 0.0, ..base() };
+        assert!(m.t_balance_multi() < m.t_source_aware_multi());
+    }
+
+    #[test]
+    fn gap_grows_with_servers_and_requests() {
+        let m = base();
+        let more_servers = AnalyticModel { n_s: 96, ..m };
+        let more_requests = AnalyticModel { n_r: 200, ..m };
+        let gap = |x: &AnalyticModel| x.t_balance_multi() - x.t_source_aware_multi();
+        assert!(gap(&more_servers) > gap(&m));
+        assert!(gap(&more_requests) > gap(&m));
+    }
+
+    #[test]
+    fn program_bounds_bracket_and_tighten() {
+        let m = AnalyticModel { n_p: 4, ..base() };
+        let (lo, hi) = m.t_source_aware_programs();
+        assert!(lo <= hi);
+        assert_eq!(hi, m.t_source_aware_multi());
+        // More programs → lower bound improves (more handling parallelism).
+        let m8 = AnalyticModel { n_p: 8, ..base() };
+        assert!(m8.t_source_aware_programs().0 < lo);
+    }
+
+    #[test]
+    fn saturated_gap_formula() {
+        let m = base();
+        // (N_C−1)·N_R·α·(M−P) = 7·100·6·(74 µs).
+        let expect = 7.0 * 100.0 * 6.0 * (123e-6 - 49e-6);
+        assert!((m.guaranteed_gap_saturated() - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bandwidth_coupling_limits_requests() {
+        let m = base();
+        // 48 servers × 64 KB strips over a 3 Gb/s (375 MB/s) client NIC:
+        // at most 119 full-fan-out requests per second.
+        let n = m.max_requests_for_bandwidth(65536.0, 375e6);
+        assert_eq!(n, 119);
+        // Doubling the servers halves the admissible request rate — the
+        // implicit N_S/N_R trade-off the paper points out under eq. (7).
+        let m2 = AnalyticModel { n_s: 96, ..m };
+        assert_eq!(m2.max_requests_for_bandwidth(65536.0, 375e6), 59);
+    }
+
+    #[test]
+    fn residue_dilutes_speedup() {
+        // §III-D: "If network peak bandwidth is a limitation, more
+        // efficient interrupt scheduling will not make much difference."
+        let tight = AnalyticModel { t_r: 0.1, ..base() };
+        let loose = AnalyticModel { t_r: 10.0, ..base() };
+        assert!(tight.predicted_speedup() > loose.predicted_speedup());
+    }
+
+    #[test]
+    fn calibrated_matches_defaults() {
+        let m = calibrated(8, 48, 10, 0.2);
+        assert_eq!(m.n_c, 8);
+        assert!(m.m / m.p > 2.0, "calibration preserves M >> P");
+    }
+}

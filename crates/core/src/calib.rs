@@ -1,0 +1,111 @@
+//! Calibration presets and their invariants.
+//!
+//! Absolute numbers from a 2009 testbed cannot be recovered exactly; what
+//! the reproduction must preserve is the *regime structure* the paper's
+//! argument depends on. This module states those requirements as code so
+//! that any retuning of parameters keeps the physics honest:
+//!
+//! 1. **M ≫ P** — migrating a strip between private caches costs much more
+//!    than the softirq processing that placed it (§III-A: "data migration
+//!    is much more expensive than interrupt handling").
+//! 2. **1-GbE starves the CPU** — a single GigE port cannot saturate even
+//!    one core, so the NIC is the bottleneck and SAIs' benefit is small
+//!    (§V-E: max 15.13 % utilization).
+//! 3. **DRAM ≫ NIC** — removing the NIC (the §VI RAM-disk setup) exposes
+//!    the CPU/cache behaviour, where SAIs' benefit peaks.
+
+use crate::scenario::ScenarioConfig;
+use sais_mem::MemParams;
+use sais_net::SegmentPlan;
+use sais_sim::SimDuration;
+
+/// Per-strip processing cost `P` under the given configuration: softirq
+/// per-packet work plus the cache fill.
+pub fn strip_processing_cost(cfg: &ScenarioConfig) -> SimDuration {
+    let plan = SegmentPlan::with_sais_option(cfg.strip_size, cfg.mtu);
+    let lines = cfg.strip_size / cfg.mem.line_size;
+    cfg.cpu.softirq_per_packet * plan.packets + cfg.mem.dram_time(lines)
+}
+
+/// Per-strip migration cost `M` under the given configuration: moving
+/// every line of a strip between two private caches.
+pub fn strip_migration_cost(cfg: &ScenarioConfig) -> SimDuration {
+    let lines = cfg.strip_size / cfg.mem.line_size;
+    cfg.mem.c2c_time(lines)
+}
+
+/// The measured `M / P` ratio for a configuration.
+pub fn m_over_p(cfg: &ScenarioConfig) -> f64 {
+    strip_migration_cost(cfg).as_secs_f64() / strip_processing_cost(cfg).as_secs_f64()
+}
+
+/// Panics if a configuration violates the regime structure above.
+/// Called by the figure harness before every sweep.
+pub fn assert_regimes(cfg: &ScenarioConfig) {
+    // (1) M ≫ P — we require at least 2×; the default preset gives ~2.5×
+    // per strip (and ~20× per line against an L2 hit).
+    let ratio = m_over_p(cfg);
+    assert!(
+        ratio > 2.0,
+        "calibration violates M >> P: M/P = {ratio:.2}"
+    );
+    // (2) One GigE port delivers fewer strip-processing seconds per second
+    // than one core has: the NIC regime is starved.
+    let strip_rate_1gig = (1e9 / 8.0) / cfg.strip_size as f64; // strips/s
+    let p = strip_processing_cost(cfg).as_secs_f64();
+    assert!(
+        strip_rate_1gig * p < 0.5,
+        "a single core must absorb 1-GbE softirq load with slack"
+    );
+    // (3) DRAM outruns even the bonded NIC by a wide margin.
+    assert!(cfg.mem.dram_bw > 4.0 * (3e9 / 8.0));
+}
+
+/// The §VI DRAM preset (DDR2-667, JEDEC PC2-5300: 5333 MB/s).
+pub fn ddr2_667() -> MemParams {
+    MemParams::sunfire_x4240()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_presets_satisfy_regimes() {
+        for cfg in [
+            ScenarioConfig::testbed_1gig(8, 1024 * 1024),
+            ScenarioConfig::testbed_3gig(48, 2 * 1024 * 1024),
+        ] {
+            assert_regimes(&cfg);
+        }
+    }
+
+    #[test]
+    fn m_over_p_is_meaningfully_large() {
+        let cfg = ScenarioConfig::testbed_3gig(8, 1024 * 1024);
+        let r = m_over_p(&cfg);
+        assert!(r > 2.0 && r < 20.0, "M/P = {r:.2}");
+    }
+
+    #[test]
+    fn costs_scale_with_strip_size() {
+        let small = ScenarioConfig::testbed_3gig(8, 1024 * 1024);
+        let mut big = small.clone();
+        big.strip_size = 256 * 1024;
+        assert!(strip_migration_cost(&big) > strip_migration_cost(&small) * 3);
+        assert!(strip_processing_cost(&big) > strip_processing_cost(&small) * 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "M >> P")]
+    fn broken_calibration_is_caught() {
+        let mut cfg = ScenarioConfig::testbed_3gig(8, 1024 * 1024);
+        cfg.mem.c2c_line = SimDuration::from_nanos(1); // free migration
+        assert_regimes(&cfg);
+    }
+
+    #[test]
+    fn ddr2_preset() {
+        assert_eq!(ddr2_667().dram_bw, 5333e6);
+    }
+}

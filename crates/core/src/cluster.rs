@@ -1,0 +1,1000 @@
+//! The full-system discrete-event model: client node(s) + PVFS deployment.
+//!
+//! One event per meaningful hardware/software step, mirroring Fig. 3 of the
+//! paper:
+//!
+//! ```text
+//! Issue ──request+hint──▶ I/O servers ──strips──▶ StripAtNic
+//!   StripAtNic ──coalesced batches──▶ HardIrq (SrcParser + IMComposer
+//!     pick the core) ──softirq fill on handler core──▶ BatchReady
+//!   BatchReady(last) ──copy to user on consumer core──▶ StripCopied
+//!   StripCopied(last of read) ──compute phase──▶ ComputeDone ──▶ Issue…
+//! ```
+//!
+//! Every cache touch goes through the [`sais_mem::MemorySystem`], so
+//! cache-to-cache strip migration is *observed*, not assumed; every unit of
+//! CPU work runs on a [`sais_cpu::CpuCore`], so utilization and
+//! `CPU_CLK_UNHALTED` fall out of the same bookkeeping.
+
+use crate::components::{HintCapsuler, HintMessager, IMComposer, SrcParser};
+use crate::scenario::{IoDirection, RunMetrics, ScenarioConfig};
+use sais_apic::IoApic;
+use sais_cpu::{CpuCore, CpuReport, LoadTracker, Process, WakePlacement, WorkClass};
+use sais_mem::fxmap::FxHashMap;
+use sais_mem::{AddrAlloc, AddrRange, MemorySystem};
+use sais_net::{CoalesceParams, EthernetFrame, FlowId, Ipv4Header, MacAddr, NicBond, SegmentPlan};
+use sais_pvfs::{HintList, IoServer, MetadataServer, ReadTracker, StripeLayout};
+use sais_sim::{Model, RateResource, Scheduler, SimDuration, SimRng, SimTime, TraceRing};
+
+/// The event alphabet of the cluster model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Ev {
+    /// Kick-off: open files and start every process.
+    Start,
+    /// Process `proc` on client `client` issues its next read.
+    Issue {
+        /// Client node index.
+        client: u32,
+        /// Process index within the client.
+        proc: u32,
+    },
+    /// A strip's response stream reaches the client NIC.
+    StripAtNic {
+        /// Strip instance id.
+        strip: u64,
+    },
+    /// The NIC raises a coalesced interrupt for part of a strip.
+    HardIrq {
+        /// Strip instance id.
+        strip: u64,
+        /// Frames covered by this interrupt.
+        frames: u64,
+        /// Payload bytes covered.
+        bytes: u64,
+    },
+    /// Softirq processing of one batch finished on the handler core.
+    BatchReady {
+        /// Strip instance id.
+        strip: u64,
+    },
+    /// The strip has been copied into the application buffer.
+    StripCopied {
+        /// Strip instance id.
+        strip: u64,
+    },
+    /// A write acknowledgement for one strip reached the client.
+    WriteAck {
+        /// Strip instance id.
+        strip: u64,
+    },
+    /// The application's compute phase over one read finished.
+    ComputeDone {
+        /// Client node index.
+        client: u32,
+        /// Process index within the client.
+        proc: u32,
+    },
+}
+
+/// Per-process runtime state.
+struct ProcRt {
+    proc: Process,
+    user_buf: AddrRange,
+    next_offset: u64,
+    end_offset: u64,
+}
+
+/// Per-read bookkeeping.
+struct ReadState {
+    proc: u32,
+    bytes: u64,
+    issued: SimTime,
+}
+
+/// Per-strip bookkeeping.
+struct StripState {
+    client: u32,
+    read: u64,
+    strip_no: u64,
+    bytes: u64,
+    kbuf: AddrRange,
+    user_range: AddrRange,
+    header: Vec<u8>,
+    flow: FlowId,
+    batches_total: u64,
+    batches_done: u64,
+    chunk_off: u64,
+}
+
+/// One client node: cores, caches, NIC, APIC, SAIs components, processes.
+pub struct ClientNode {
+    /// The node's cores.
+    pub cores: Vec<CpuCore>,
+    loads: LoadTracker,
+    /// The node's cache hierarchy.
+    pub mem: MemorySystem,
+    alloc: AddrAlloc,
+    nic: NicBond,
+    nic_tx: RateResource,
+    /// The node's I/O APIC (with per-core LAPIC stats).
+    pub ioapic: IoApic,
+    composer: IMComposer,
+    /// The NIC driver's source parser.
+    pub parser: SrcParser,
+    messager: HintMessager,
+    procs: Vec<ProcRt>,
+    tracker: ReadTracker,
+    place: WakePlacement,
+    active_procs: usize,
+    bytes_done: u64,
+    strips_done: u64,
+    migrated_strips: u64,
+    fcs_drops: u64,
+    /// Debug/causality trace (disabled unless `trace_capacity > 0`).
+    pub trace: TraceRing,
+    latency: sais_metrics::Histogram,
+    t_done: SimTime,
+    ip: u32,
+}
+
+/// The whole simulated deployment.
+pub struct Cluster {
+    cfg: ScenarioConfig,
+    /// Client nodes.
+    pub clients: Vec<ClientNode>,
+    servers: Vec<IoServer>,
+    meta: MetadataServer,
+    capsuler: HintCapsuler,
+    layout: StripeLayout,
+    rng: SimRng,
+    reads: FxHashMap<u64, ReadState>,
+    strips: FxHashMap<u64, StripState>,
+    next_read: u64,
+    next_strip: u64,
+    retransmits: u64,
+    requests_completed: u64,
+    clients_done: usize,
+    t_last_done: SimTime,
+}
+
+impl Cluster {
+    /// Build the deployment described by `cfg`.
+    pub fn new(cfg: ScenarioConfig) -> Self {
+        assert!(cfg.clients >= 1 && cfg.procs_per_client >= 1 && cfg.servers >= 1);
+        assert!(cfg.transfer_size > 0 && cfg.file_size >= cfg.transfer_size);
+        let mut rng = SimRng::new(cfg.seed);
+        let layout = StripeLayout::new(cfg.strip_size, cfg.servers);
+        let mut servers: Vec<IoServer> = (0..cfg.servers)
+            .map(|i| IoServer::new(i, cfg.server.clone(), rng.split(i as u64 + 1)))
+            .collect();
+        if let Some((idx, factor)) = cfg.straggler {
+            servers[idx].set_slowdown(factor);
+        }
+        let mut meta = MetadataServer::new(layout);
+        meta.create("/ior.dat", cfg.file_size);
+        let clients = (0..cfg.clients)
+            .map(|c| ClientNode::new(&cfg, c as u32))
+            .collect();
+        Cluster {
+            cfg,
+            clients,
+            servers,
+            meta,
+            capsuler: HintCapsuler::new(),
+            layout,
+            rng,
+            reads: FxHashMap::default(),
+            strips: FxHashMap::default(),
+            next_read: 0,
+            next_strip: 0,
+            retransmits: 0,
+            requests_completed: 0,
+            clients_done: 0,
+            t_last_done: SimTime::ZERO,
+        }
+    }
+
+    /// Whether the configured policy carries the SAIs hint end-to-end.
+    fn carries_hint(&self, client: usize) -> bool {
+        self.clients[client].composer.policy().uses_hint()
+    }
+
+    fn segment_plan(&self, bytes: u64, hinted: bool) -> SegmentPlan {
+        // Strips ride long-lived TCP streams, so per-packet overhead
+        // amortizes fractionally (the SAIs option costs ~0.27 % wire bytes,
+        // never a whole extra packet).
+        SegmentPlan::streaming(bytes, self.cfg.mtu, if hinted { 4 } else { 0 })
+    }
+
+    /// First-packet cut-through delay from a server into the client NIC.
+    fn cut_through(&self, plan: SegmentPlan) -> SimDuration {
+        let first_pkt = plan
+            .wire_bytes
+            .min(self.cfg.mtu + sais_net::ETH_OVERHEAD);
+        SimDuration::for_bytes(first_pkt, self.cfg.server.uplink_bps / 8.0)
+            + self.cfg.server.propagation
+    }
+
+    fn handle_start(&mut self, sched: &mut Scheduler<'_, Ev>) {
+        for c in 0..self.clients.len() {
+            let (_, _, _, ready) = self
+                .meta
+                .open(sched.now(), "/ior.dat")
+                .expect("benchmark file exists");
+            for p in 0..self.cfg.procs_per_client {
+                // Tiny stagger breaks pathological lockstep between
+                // processes, like real exec skew does.
+                let stagger = SimDuration::from_micros(p as u64);
+                sched.at(
+                    ready + stagger,
+                    Ev::Issue {
+                        client: c as u32,
+                        proc: p as u32,
+                    },
+                );
+            }
+        }
+    }
+
+    fn handle_issue(&mut self, client: u32, proc: u32, sched: &mut Scheduler<'_, Ev>) {
+        if self.cfg.direction == IoDirection::Write {
+            return self.handle_issue_write(client, proc, sched);
+        }
+        let now = sched.now();
+        let carries = self.carries_hint(client as usize);
+        let cl = &mut self.clients[client as usize];
+        let pr = &mut cl.procs[proc as usize];
+        let core = pr.proc.core;
+        let t_req = cl.cores[core].run(now, self.cfg.issue_cost, WorkClass::Sched);
+        let hints = if carries {
+            cl.messager.tag_request(core)
+        } else {
+            HintList::new()
+        };
+        let transfer = self
+            .cfg
+            .transfer_size
+            .min(pr.end_offset - pr.next_offset);
+        let strip_reqs = self.layout.split(pr.next_offset, transfer);
+        let read_id = self.next_read;
+        self.next_read += 1;
+        cl.tracker
+            .start(read_id, strip_reqs.len() as u64, transfer);
+        self.reads.insert(
+            read_id,
+            ReadState {
+                proc,
+                bytes: transfer,
+                issued: t_req,
+            },
+        );
+        pr.proc.block(t_req);
+        // The paper's policy (i)-vs-(ii) distinction: the process may be
+        // migrated by the OS *while blocked*, after the request (and its
+        // hint) already left. SAIs normally prevents this by bundling
+        // (`pin_processes`); the ablation turns it on.
+        if !pr.proc.pinned
+            && self.cfg.cpu.block_migration_prob > 0.0
+            && self.rng.chance(self.cfg.cpu.block_migration_prob)
+        {
+            let n = self.cfg.cpu.cores as u64;
+            let mut target = self.rng.next_below(n) as usize;
+            if target == pr.proc.core {
+                target = (target + 1) % n as usize;
+            }
+            pr.proc.core = target;
+            pr.proc.migrations += 1;
+        }
+        let client_ip = cl.ip;
+        let user_base = pr.user_buf.start;
+        let mut user_off = 0u64;
+        for (i, sr) in strip_reqs.iter().enumerate() {
+            let plan = self.segment_plan(sr.bytes, carries);
+            let t_at_server = t_req + self.cfg.request_net_delay;
+            // Loss injection: the original transmission is dropped in the
+            // fabric; the server retransmits after the timeout.
+            let t_serve = if self.cfg.strip_loss_prob > 0.0
+                && self.rng.chance(self.cfg.strip_loss_prob)
+            {
+                self.retransmits += 1;
+                t_at_server + self.cfg.retransmit_timeout
+            } else {
+                t_at_server
+            };
+            let tx = self.servers[sr.server].serve_strip(t_serve, sr.bytes, plan.wire_bytes);
+            let server_ip = 0x0A01_0000 + sr.server as u32;
+            let hdr = Ipv4Header::tcp(
+                server_ip,
+                client_ip,
+                (self.next_strip & 0xFFFF) as u16,
+                sr.bytes.min(plan.mss) as u16,
+            );
+            let hdr = self.capsuler.capsule(&hints, hdr);
+            // The response's first wire frame, byte-faithful: Ethernet II
+            // with FCS around the (possibly option-carrying) IP header.
+            let frame = EthernetFrame::ipv4(
+                MacAddr::for_node(client_ip),
+                MacAddr::for_node(server_ip),
+                hdr.encode(),
+            )
+            .encode();
+            // One TCP connection per (client, server) pair, as PVFS does;
+            // the flow id is the NIC's actual RSS (Toeplitz) hash of it.
+            let flow = FlowId::rss(server_ip, client_ip, 3334, 50_000);
+            let strip_id = self.next_strip;
+            self.next_strip += 1;
+            self.strips.insert(
+                strip_id,
+                StripState {
+                    client,
+                    read: read_id,
+                    strip_no: i as u64,
+                    bytes: sr.bytes,
+                    kbuf: AddrRange::EMPTY,
+                    user_range: AddrRange::new(user_base + user_off, sr.bytes),
+                    header: frame,
+                    flow,
+                    batches_total: 0,
+                    batches_done: 0,
+                    chunk_off: 0,
+                },
+            );
+            user_off += sr.bytes;
+            let arrive = tx.start + self.cut_through(plan);
+            sched.at(arrive, Ev::StripAtNic { strip: strip_id });
+        }
+    }
+
+    fn handle_strip_at_nic(&mut self, strip: u64, sched: &mut Scheduler<'_, Ev>) {
+        let now = sched.now();
+        let carries = {
+            let s = &self.strips[&strip];
+            self.carries_hint(s.client as usize)
+        };
+        let s = self.strips.get_mut(&strip).expect("strip state");
+        let cl = &mut self.clients[s.client as usize];
+        s.kbuf = cl.alloc.alloc(s.bytes);
+        let plan = SegmentPlan::streaming(s.bytes, self.cfg.mtu, if carries { 4 } else { 0 });
+        let batches = cl.nic.receive_strip(
+            now,
+            s.flow,
+            plan,
+            CoalesceParams {
+                max_frames: self.cfg.coalesce_frames,
+            },
+        );
+        s.batches_total = batches.len() as u64;
+        for b in &batches {
+            sched.at(
+                b.time,
+                Ev::HardIrq {
+                    strip,
+                    frames: b.frames,
+                    bytes: b.bytes,
+                },
+            );
+        }
+    }
+
+    fn handle_hard_irq(
+        &mut self,
+        strip: u64,
+        frames: u64,
+        bytes: u64,
+        sched: &mut Scheduler<'_, Ev>,
+    ) {
+        let now = sched.now();
+        let s = self.strips.get_mut(&strip).expect("strip state");
+        let cl = &mut self.clients[s.client as usize];
+        cl.loads.maybe_sample(now, &cl.cores);
+        // The receive path is byte-faithful per interrupt batch: the NIC
+        // verifies the Ethernet FCS, and only then does SrcParser see the
+        // IP header. Injected corruption flips a random bit of the wire
+        // frame; most flips die at the FCS, the rest at the IP checksum.
+        let hint = if self.cfg.hint_corruption_prob > 0.0
+            && self.rng.chance(self.cfg.hint_corruption_prob)
+        {
+            if self.rng.chance(0.5) {
+                // Wire corruption: a bit flips in flight. CRC-32 catches
+                // every single-bit error, so the NIC drops the frame.
+                let mut corrupted = s.header.clone();
+                let idx = (self.rng.next_below(corrupted.len() as u64)) as usize;
+                corrupted[idx] ^= 1 << self.rng.next_below(8);
+                match EthernetFrame::decode(&corrupted) {
+                    Ok(frame) => cl.parser.parse(&frame.payload),
+                    Err(_) => {
+                        cl.fcs_drops += 1;
+                        None
+                    }
+                }
+            } else {
+                // Post-FCS corruption (DMA/buffer damage): the frame check
+                // passed, so SrcParser's own IP-checksum validation is the
+                // last line of defence.
+                let frame = EthernetFrame::decode(&s.header).expect("stored frame valid");
+                let mut payload = frame.payload;
+                let idx = (self.rng.next_below(payload.len() as u64)) as usize;
+                payload[idx] ^= 1 << self.rng.next_below(8);
+                cl.parser.parse(&payload)
+            }
+        } else {
+            match EthernetFrame::decode(&s.header) {
+                Ok(frame) => cl.parser.parse(&frame.payload),
+                Err(_) => {
+                    cl.fcs_drops += 1;
+                    None
+                }
+            }
+        };
+        // The interrupt arrives on the IRQ line of the bond port the flow
+        // hashes to.
+        let pin = (s.flow.value() % self.cfg.nic_ports.max(1) as u64) as usize;
+        let dest = cl.composer.compose(
+            &mut cl.ioapic,
+            pin,
+            now,
+            hint,
+            s.flow.value(),
+            &cl.cores,
+            &cl.loads,
+        );
+        // Hardirq entry, then softirq: per-packet protocol work plus the
+        // payload fill into the handler core's cache.
+        let chunk = AddrRange::new(s.kbuf.start + s.chunk_off, bytes);
+        s.chunk_off += bytes;
+        let counts = cl.mem.touch(dest, chunk);
+        cl.mem
+            .note_background(dest, counts.lines * self.cfg.background_accesses_per_line);
+        cl.trace.emit(now, "irq", strip, dest as u64);
+        cl.cores[dest].run(now, self.cfg.cpu.hardirq, WorkClass::HardIrq);
+        let soft = self.cfg.cpu.softirq_per_packet * frames + counts.cost(cl.mem.params());
+        let done = cl.cores[dest].run(now, soft, WorkClass::SoftIrq);
+        sched.at(done, Ev::BatchReady { strip });
+    }
+
+    fn handle_batch_ready(&mut self, strip: u64, sched: &mut Scheduler<'_, Ev>) {
+        let now = sched.now();
+        let s = self.strips.get_mut(&strip).expect("strip state");
+        s.batches_done += 1;
+        if s.batches_done < s.batches_total {
+            return;
+        }
+        // Strip complete in kernel memory: the blocked process is made
+        // runnable and copies it to the user buffer on its own core.
+        let read = self.reads.get(&s.read).expect("read state");
+        let cl = &mut self.clients[s.client as usize];
+        let consumer = cl.procs[read.proc as usize].proc.core;
+        let src = cl.mem.touch(consumer, s.kbuf);
+        let dst = cl.mem.touch(consumer, s.user_range);
+        cl.mem.note_background(
+            consumer,
+            (src.lines + dst.lines) * self.cfg.background_accesses_per_line,
+        );
+        if src.c2c > 0 {
+            cl.migrated_strips += 1;
+        }
+        let p = cl.mem.params();
+        let dur = self.cfg.cpu.wake_ipi
+            + self.cfg.cpu.context_switch
+            + src.cost(p)
+            + dst.cost(p);
+        cl.trace.emit(now, "copy", strip, consumer as u64);
+        let done = cl.cores[consumer].run(now, dur, WorkClass::Copy);
+        sched.at(done, Ev::StripCopied { strip });
+    }
+
+    fn handle_strip_copied(&mut self, strip: u64, sched: &mut Scheduler<'_, Ev>) {
+        let now = sched.now();
+        let s = self.strips.remove(&strip).expect("strip state");
+        let cl = &mut self.clients[s.client as usize];
+        cl.strips_done += 1;
+        let complete = cl.tracker.strip_arrived(s.read, s.strip_no, s.bytes);
+        if !complete {
+            return;
+        }
+        let read = self.reads.remove(&s.read).expect("read state");
+        cl.latency.record(now.since(read.issued).as_nanos());
+        let pr = &mut cl.procs[read.proc as usize];
+        // read() returns: wake (possibly migrating, for the ablation), then
+        // run the compute phase over the freshly-read buffer.
+        let core = cl.place.wake(&mut pr.proc, now, &mut self.rng);
+        let buf = AddrRange::new(pr.user_buf.start, read.bytes);
+        let counts = cl.mem.touch(core, buf);
+        cl.mem
+            .note_background(core, counts.lines * self.cfg.background_accesses_per_line);
+        let cycles = (self.cfg.compute_cycles_per_byte * read.bytes as f64) as u64;
+        let dur = self.cfg.cpu.cycles(cycles) + counts.cost(cl.mem.params());
+        let done = cl.cores[core].run(now, dur, WorkClass::App);
+        sched.at(
+            done,
+            Ev::ComputeDone {
+                client: s.client,
+                proc: read.proc,
+            },
+        );
+    }
+
+    fn handle_compute_done(&mut self, client: u32, proc: u32, sched: &mut Scheduler<'_, Ev>) {
+        let now = sched.now();
+        self.requests_completed += 1;
+        let cl = &mut self.clients[client as usize];
+        let pr = &mut cl.procs[proc as usize];
+        let transfer = self
+            .cfg
+            .transfer_size
+            .min(pr.end_offset - pr.next_offset);
+        pr.next_offset += transfer;
+        pr.proc.requests_done += 1;
+        pr.proc.bytes_read += transfer;
+        cl.bytes_done += transfer;
+        if pr.next_offset < pr.end_offset {
+            sched.now_event(Ev::Issue { client, proc });
+        } else {
+            cl.active_procs -= 1;
+            if cl.active_procs == 0 {
+                cl.t_done = now;
+                self.clients_done += 1;
+                if now > self.t_last_done {
+                    self.t_last_done = now;
+                }
+            }
+        }
+    }
+
+    /// Issue one IOR *write*: generate+encrypt the buffer, copy it to
+    /// kernel memory, stream the strips to the servers, then wait for the
+    /// per-strip acknowledgements. No bulk data ever flows client-bound,
+    /// so interrupt placement has (almost) nothing to steer.
+    fn handle_issue_write(&mut self, client: u32, proc: u32, sched: &mut Scheduler<'_, Ev>) {
+        let now = sched.now();
+        let mtu = self.cfg.mtu;
+        let cl = &mut self.clients[client as usize];
+        let pr = &mut cl.procs[proc as usize];
+        let core = pr.proc.core;
+        let transfer = self
+            .cfg
+            .transfer_size
+            .min(pr.end_offset - pr.next_offset);
+        // Generate + encrypt the outgoing buffer (the compute phase runs
+        // before a write, not after).
+        let buf = AddrRange::new(pr.user_buf.start, transfer);
+        let counts = cl.mem.touch(core, buf);
+        cl.mem
+            .note_background(core, counts.lines * self.cfg.background_accesses_per_line);
+        let cycles = (self.cfg.compute_cycles_per_byte * transfer as f64) as u64;
+        let gen = self.cfg.issue_cost + self.cfg.cpu.cycles(cycles) + counts.cost(cl.mem.params());
+        let t0 = cl.cores[core].run(now, gen, WorkClass::App);
+        let strip_reqs = self.layout.split(pr.next_offset, transfer);
+        let read_id = self.next_read;
+        self.next_read += 1;
+        cl.tracker.start(read_id, strip_reqs.len() as u64, transfer);
+        self.reads.insert(
+            read_id,
+            ReadState {
+                proc,
+                bytes: transfer,
+                issued: t0,
+            },
+        );
+        pr.proc.block(t0);
+        let client_ip = cl.ip;
+        let user_base = pr.user_buf.start;
+        let mut user_off = 0u64;
+        for (i, sr) in strip_reqs.iter().enumerate() {
+            // Copy user → kernel and run the transmit-side protocol work on
+            // the issuing core (writes have no placement decision to make).
+            let kbuf = cl.alloc.alloc(sr.bytes);
+            let cu = cl
+                .mem
+                .touch(core, AddrRange::new(user_base + user_off, sr.bytes));
+            let ck = cl.mem.touch(core, kbuf);
+            cl.mem.note_background(
+                core,
+                (cu.lines + ck.lines) * self.cfg.background_accesses_per_line,
+            );
+            user_off += sr.bytes;
+            let plan = SegmentPlan::streaming(sr.bytes, mtu, 0);
+            let p = cl.mem.params();
+            let tx_work =
+                self.cfg.cpu.softirq_per_packet * plan.packets + cu.cost(p) + ck.cost(p);
+            let t1 = cl.cores[core].run(t0, tx_work, WorkClass::Copy);
+            // Serialize onto the client's transmit bond, then cross to the
+            // server, which commits the strip to storage and acks.
+            let (_, tx_end) = cl.nic_tx.transfer(t1, plan.wire_bytes);
+            let t_srv = tx_end + self.cfg.request_net_delay;
+            const ACK_WIRE_BYTES: u64 = 90; // TCP ack + PVFS write response
+            let tx = self.servers[sr.server].serve_strip(t_srv, sr.bytes, ACK_WIRE_BYTES);
+            let server_ip = 0x0A01_0000 + sr.server as u32;
+            let flow = FlowId::rss(server_ip, client_ip, 3334, 50_000);
+            let strip_id = self.next_strip;
+            self.next_strip += 1;
+            self.strips.insert(
+                strip_id,
+                StripState {
+                    client,
+                    read: read_id,
+                    strip_no: i as u64,
+                    bytes: sr.bytes,
+                    kbuf,
+                    user_range: AddrRange::EMPTY,
+                    header: Vec::new(),
+                    flow,
+                    batches_total: 0,
+                    batches_done: 0,
+                    chunk_off: 0,
+                },
+            );
+            sched.at(
+                tx.end + self.cfg.server.propagation,
+                Ev::WriteAck { strip: strip_id },
+            );
+        }
+    }
+
+    /// A write acknowledgement arrives: one tiny interrupt, no payload.
+    fn handle_write_ack(&mut self, strip: u64, sched: &mut Scheduler<'_, Ev>) {
+        let now = sched.now();
+        let s = self.strips.remove(&strip).expect("strip state");
+        let cl = &mut self.clients[s.client as usize];
+        cl.loads.maybe_sample(now, &cl.cores);
+        // Acks carry no SAIs option (there is no consumer to steer toward);
+        // the policy routes them like any other interrupt.
+        let pin = (s.flow.value() % self.cfg.nic_ports.max(1) as u64) as usize;
+        let dest = cl.composer.compose(
+            &mut cl.ioapic,
+            pin,
+            now,
+            None,
+            s.flow.value(),
+            &cl.cores,
+            &cl.loads,
+        );
+        cl.cores[dest].run(now, self.cfg.cpu.hardirq, WorkClass::HardIrq);
+        let done = cl.cores[dest].run(now, self.cfg.cpu.softirq_per_packet, WorkClass::SoftIrq);
+        cl.strips_done += 1;
+        let complete = cl.tracker.strip_arrived(s.read, s.strip_no, s.bytes);
+        if complete {
+            let read = self.reads.remove(&s.read).expect("read state");
+            cl.latency.record(now.since(read.issued).as_nanos());
+            let pr = &mut cl.procs[read.proc as usize];
+            cl.place.wake(&mut pr.proc, now, &mut self.rng);
+            sched.at(
+                done,
+                Ev::ComputeDone {
+                    client: s.client,
+                    proc: read.proc,
+                },
+            );
+        }
+    }
+
+    /// Assemble the run metrics at time `now` (normally quiescence).
+    pub fn collect_metrics(&self, now: SimTime) -> RunMetrics {
+        assert_eq!(
+            self.clients_done,
+            self.clients.len(),
+            "collect_metrics before the run completed"
+        );
+        let wall = self.t_last_done.max_of(SimTime::from_nanos(1));
+        let _ = now;
+        let mut l2_accesses = 0;
+        let mut l2_misses = 0;
+        let mut c2c_lines = 0;
+        let mut strip_migrations = 0;
+        let mut interrupts = 0;
+        let mut hinted = 0;
+        let mut clamped = 0;
+        let mut parse_errors = 0;
+        let mut fcs_drops = 0;
+        let mut bytes = 0;
+        let mut strips = 0;
+        let mut unhalted = 0;
+        let mut util_sum = 0.0;
+        let mut util_n = 0usize;
+        let mut per_client_bw = Vec::with_capacity(self.clients.len());
+        let mut process_migrations = 0;
+        let mut latency = sais_metrics::Histogram::new();
+        for cl in &self.clients {
+            l2_accesses += cl.mem.total_accesses();
+            l2_misses += cl.mem.total_misses();
+            c2c_lines += cl.mem.c2c_transfers();
+            strip_migrations += cl.migrated_strips;
+            interrupts += cl.ioapic.routed.get();
+            hinted += cl.composer.hinted.get();
+            clamped += cl.ioapic.clamped.get();
+            parse_errors += cl.parser.parse_errors.get();
+            fcs_drops += cl.fcs_drops;
+            bytes += cl.bytes_done;
+            strips += cl.strips_done;
+            let report = CpuReport::collect(&cl.cores, &self.cfg.cpu, wall);
+            unhalted += report.unhalted_cycles;
+            util_sum += report.utilization * cl.cores.len() as f64;
+            util_n += cl.cores.len();
+            let t = cl.t_done.max_of(SimTime::from_nanos(1));
+            per_client_bw.push(cl.bytes_done as f64 / t.as_secs_f64());
+            process_migrations += cl.procs.iter().map(|p| p.proc.migrations).sum::<u64>();
+            latency.merge(&cl.latency);
+        }
+        RunMetrics {
+            policy: self.clients[0].composer.policy().kind(),
+            wall_time: wall,
+            bytes_delivered: bytes,
+            requests_completed: self.requests_completed,
+            strips_delivered: strips,
+            strip_migrations,
+            c2c_lines,
+            l2_miss_rate: if l2_accesses == 0 {
+                0.0
+            } else {
+                l2_misses as f64 / l2_accesses as f64
+            },
+            l2_accesses,
+            l2_misses,
+            cpu_utilization: if util_n == 0 { 0.0 } else { util_sum / util_n as f64 },
+            unhalted_cycles: unhalted,
+            interrupts,
+            irq_distribution: self.clients[0].ioapic.distribution().to_vec(),
+            retransmits: self.retransmits,
+            parse_errors,
+            fcs_drops,
+            hinted_interrupts: hinted,
+            clamped_interrupts: clamped,
+            per_client_bw,
+            process_migrations,
+            request_latency: latency,
+        }
+    }
+}
+
+impl ClientNode {
+    fn new(cfg: &ScenarioConfig, id: u32) -> Self {
+        let ncores = cfg.cpu.cores;
+        let mut alloc = AddrAlloc::new(cfg.mem.line_size);
+        let bytes_per_proc = cfg.bytes_per_proc();
+        let procs = (0..cfg.procs_per_client)
+            .map(|p| {
+                let core = p % ncores;
+                let user_buf = alloc.alloc(cfg.transfer_size);
+                ProcRt {
+                    proc: Process::new(p, core, cfg.pin_processes),
+                    user_buf,
+                    next_offset: p as u64 * bytes_per_proc,
+                    end_offset: (p as u64 + 1) * bytes_per_proc,
+                }
+            })
+            .collect();
+        ClientNode {
+            cores: (0..ncores).map(CpuCore::new).collect(),
+            loads: LoadTracker::new(ncores, SimDuration::from_millis(10)),
+            mem: MemorySystem::new(ncores, cfg.mem.clone()),
+            alloc,
+            nic: NicBond::new(
+                cfg.nic_ports,
+                cfg.nic_port_bps,
+                SimDuration::from_micros(20),
+            ),
+            nic_tx: RateResource::from_bits_per_sec(cfg.nic_ports as f64 * cfg.nic_port_bps),
+            ioapic: {
+                let mut io = IoApic::new(cfg.nic_ports.max(1), ncores);
+                if let Some(mask) = cfg.irq_affinity_mask {
+                    for pin in 0..cfg.nic_ports.max(1) {
+                        let mut entry = *io.table_mut().entry(pin);
+                        entry.dest_mask = mask;
+                        assert!(
+                            entry.allowed_cores().next().is_some(),
+                            "irq_affinity_mask permits no core"
+                        );
+                        io.table_mut().set_entry(pin, entry);
+                    }
+                }
+                io
+            },
+            composer: IMComposer::new(cfg.policy.build()),
+            parser: SrcParser::new(),
+            messager: HintMessager::new(),
+            procs,
+            tracker: ReadTracker::new(),
+            // Block-time migration is injected in `handle_issue` (where the
+            // hint/consumer mismatch actually arises); the wake itself only
+            // does blocked-time accounting.
+            place: WakePlacement::new(&sais_cpu::CpuParams {
+                block_migration_prob: 0.0,
+                ..cfg.cpu.clone()
+            }),
+            active_procs: cfg.procs_per_client,
+            bytes_done: 0,
+            strips_done: 0,
+            migrated_strips: 0,
+            fcs_drops: 0,
+            trace: TraceRing::new(cfg.trace_capacity),
+            latency: sais_metrics::Histogram::new(),
+            t_done: SimTime::ZERO,
+            ip: 0x0A00_0001 + id,
+        }
+    }
+}
+
+impl Model for Cluster {
+    type Event = Ev;
+
+    fn handle(&mut self, event: Ev, sched: &mut Scheduler<'_, Ev>) {
+        match event {
+            Ev::Start => self.handle_start(sched),
+            Ev::Issue { client, proc } => self.handle_issue(client, proc, sched),
+            Ev::StripAtNic { strip } => self.handle_strip_at_nic(strip, sched),
+            Ev::HardIrq {
+                strip,
+                frames,
+                bytes,
+            } => self.handle_hard_irq(strip, frames, bytes, sched),
+            Ev::BatchReady { strip } => self.handle_batch_ready(strip, sched),
+            Ev::StripCopied { strip } => self.handle_strip_copied(strip, sched),
+            Ev::WriteAck { strip } => self.handle_write_ack(strip, sched),
+            Ev::ComputeDone { client, proc } => self.handle_compute_done(client, proc, sched),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{PolicyChoice, ScenarioConfig};
+
+    fn small(policy: PolicyChoice) -> ScenarioConfig {
+        let mut cfg = ScenarioConfig::testbed_3gig(8, 512 * 1024);
+        cfg.file_size = 8 * 1024 * 1024;
+        cfg.policy = policy;
+        cfg
+    }
+
+    #[test]
+    fn conservation_of_bytes() {
+        let m = small(PolicyChoice::SourceAware).run();
+        assert_eq!(m.bytes_delivered, 8 * 1024 * 1024);
+        assert_eq!(m.requests_completed, 16);
+        assert_eq!(m.strips_delivered, 128);
+        assert!(m.wall_time > SimTime::ZERO);
+    }
+
+    #[test]
+    fn sais_has_zero_strip_migrations() {
+        let m = small(PolicyChoice::SourceAware).run();
+        assert_eq!(m.strip_migrations, 0);
+        assert_eq!(m.c2c_lines, 0);
+        assert_eq!(m.hinted_interrupts, m.interrupts);
+        assert_eq!(m.parse_errors, 0);
+    }
+
+    #[test]
+    fn irqbalance_migrates_strips() {
+        let m = small(PolicyChoice::LowestLoaded).run();
+        assert!(
+            m.strip_migrations > 100,
+            "most strips should migrate, got {}",
+            m.strip_migrations
+        );
+        assert_eq!(m.hinted_interrupts, 0);
+    }
+
+    #[test]
+    fn sais_beats_irqbalance_on_bandwidth_and_misses() {
+        let s = small(PolicyChoice::SourceAware).run();
+        let b = small(PolicyChoice::LowestLoaded).run();
+        assert!(
+            s.bandwidth_bytes_per_sec() > b.bandwidth_bytes_per_sec(),
+            "SAIs {} MB/s vs irqbalance {} MB/s",
+            s.bandwidth_mbs(),
+            b.bandwidth_mbs()
+        );
+        assert!(s.l2_miss_rate < b.l2_miss_rate);
+        assert!(s.unhalted_cycles < b.unhalted_cycles);
+    }
+
+    #[test]
+    fn determinism_bitwise() {
+        let a = small(PolicyChoice::SourceAware).run();
+        let b = small(PolicyChoice::SourceAware).run();
+        assert_eq!(a.wall_time, b.wall_time);
+        assert_eq!(a.l2_accesses, b.l2_accesses);
+        assert_eq!(a.unhalted_cycles, b.unhalted_cycles);
+        assert_eq!(a.irq_distribution, b.irq_distribution);
+    }
+
+    #[test]
+    fn dedicated_core_concentrates_interrupts() {
+        let m = small(PolicyChoice::Dedicated).run();
+        let dist = &m.irq_distribution;
+        let total: u64 = dist.iter().sum();
+        assert_eq!(dist[0], total, "all interrupts on the dedicated core");
+    }
+
+    #[test]
+    fn round_robin_spreads_interrupts() {
+        let m = small(PolicyChoice::RoundRobin).run();
+        let dist = &m.irq_distribution;
+        assert!(dist.iter().all(|&d| d > 0), "{dist:?}");
+    }
+
+    #[test]
+    fn loss_injection_retransmits_and_still_completes() {
+        let mut cfg = small(PolicyChoice::SourceAware);
+        cfg.strip_loss_prob = 0.05;
+        let m = cfg.run();
+        assert!(m.retransmits > 0);
+        assert_eq!(m.bytes_delivered, 8 * 1024 * 1024);
+    }
+
+    #[test]
+    fn corruption_falls_back_without_panicking() {
+        let mut cfg = small(PolicyChoice::SourceAware);
+        cfg.hint_corruption_prob = 0.2;
+        let m = cfg.run();
+        assert!(m.parse_errors > 0);
+        assert!(m.hinted_interrupts < m.interrupts);
+        assert_eq!(m.bytes_delivered, 8 * 1024 * 1024);
+    }
+
+    #[test]
+    fn straggler_slows_but_completes() {
+        let mut slow = small(PolicyChoice::SourceAware);
+        // Slow enough that the straggler's strips gate every request that
+        // touches server 0 (its service time exceeds the rest of the
+        // request pipeline).
+        slow.straggler = Some((0, 50.0));
+        let fast = small(PolicyChoice::SourceAware).run();
+        let slowed = slow.run();
+        assert!(slowed.wall_time > fast.wall_time);
+        assert_eq!(slowed.bytes_delivered, fast.bytes_delivered);
+    }
+
+    #[test]
+    fn multi_client_aggregate() {
+        let mut cfg = small(PolicyChoice::SourceAware);
+        cfg.clients = 3;
+        let m = cfg.run();
+        assert_eq!(m.bytes_delivered, 3 * 8 * 1024 * 1024);
+        assert_eq!(m.per_client_bw.len(), 3);
+        assert!(m.per_client_bw.iter().all(|&b| b > 0.0));
+    }
+
+    #[test]
+    fn write_path_conserves_bytes() {
+        use crate::scenario::IoDirection;
+        let m = small(PolicyChoice::SourceAware)
+            .with_direction(IoDirection::Write)
+            .run();
+        assert_eq!(m.bytes_delivered, 8 * 1024 * 1024);
+        assert_eq!(m.requests_completed, 16);
+        assert_eq!(m.strips_delivered, 128);
+        // Writes raise one ack interrupt per strip.
+        assert_eq!(m.interrupts, 128);
+    }
+
+    #[test]
+    fn write_path_shows_no_policy_effect() {
+        use crate::scenario::IoDirection;
+        // The paper's scoping claim: no data returns on writes, so there is
+        // no locality for interrupt placement to exploit.
+        let s = small(PolicyChoice::SourceAware)
+            .with_direction(IoDirection::Write)
+            .run();
+        let b = small(PolicyChoice::LowestLoaded)
+            .with_direction(IoDirection::Write)
+            .run();
+        let gap = (s.bandwidth_bytes_per_sec() / b.bandwidth_bytes_per_sec() - 1.0).abs();
+        assert!(gap < 0.01, "write-path policy gap should vanish: {gap:.4}");
+        assert_eq!(s.strip_migrations, 0);
+        assert_eq!(b.strip_migrations, 0);
+    }
+
+    #[test]
+    fn unpinned_migration_ablation() {
+        let mut cfg = small(PolicyChoice::SourceAware);
+        cfg.pin_processes = false;
+        cfg.cpu.block_migration_prob = 0.5;
+        let m = cfg.run();
+        assert!(m.process_migrations > 0);
+        // Migrated consumers break source-affinity: some strips migrate.
+        assert!(m.strip_migrations > 0);
+    }
+}

@@ -1,0 +1,270 @@
+//! The SAIs components of the paper's Fig. 3.
+//!
+//! Client side: `HintMessager` (step 1–2: put `aff_core_id` into the
+//! request), `SrcParser` (step 4: pull it out of the incoming IP header in
+//! the NIC driver), `IMComposer` (step 5: compose the interrupt message
+//! with that destination). Server side: `HintCapsuler` (step 3: copy the
+//! hint from the PVFS request into every response packet's IP options).
+
+use sais_apic::{IoApic, Policy, SteerCtx};
+use sais_cpu::{CoreId, CpuCore, LoadTracker};
+use sais_metrics::Counter;
+use sais_net::{Ipv4Header, ParseError};
+use sais_pvfs::HintList;
+use sais_sim::SimTime;
+
+/// Client-side: attaches the requesting core's id to outgoing PVFS
+/// requests as a `PVFS_hint`.
+#[derive(Debug, Clone, Default)]
+pub struct HintMessager {
+    /// Requests tagged.
+    pub tagged: Counter,
+    /// Requests that could not be tagged (core id beyond the 5-bit
+    /// option space).
+    pub untaggable: Counter,
+}
+
+impl HintMessager {
+    /// A fresh messager.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build the hint list for a request issued from `core`. Returns a
+    /// hint-less list when the core id cannot be expressed (> 31) — the
+    /// request still works, it just falls back to conventional steering.
+    pub fn tag_request(&mut self, core: CoreId) -> HintList {
+        if core < 32 {
+            self.tagged.inc();
+            HintList::new().with_aff_core_id(core as u32)
+        } else {
+            self.untaggable.inc();
+            HintList::new()
+        }
+    }
+}
+
+/// Server-side: copies the request's `aff_core_id` hint into the IP
+/// options of a response packet header.
+#[derive(Debug, Clone, Default)]
+pub struct HintCapsuler {
+    /// Response headers stamped with the option.
+    pub stamped: Counter,
+    /// Responses sent without an option (request carried no usable hint).
+    pub unstamped: Counter,
+}
+
+impl HintCapsuler {
+    /// A fresh capsuler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stamp `header` with the affinity from `hints`, if present and in
+    /// range.
+    pub fn capsule(&mut self, hints: &HintList, header: Ipv4Header) -> Ipv4Header {
+        match hints.aff_core_id() {
+            Some(core) if core < 32 => {
+                self.stamped.inc();
+                header.with_affinity(core as u8)
+            }
+            _ => {
+                self.unstamped.inc();
+                header
+            }
+        }
+    }
+}
+
+/// Client-side NIC-driver component: parses incoming IP headers and
+/// extracts the affinity hint. Must never panic on hostile bytes — a
+/// malformed or corrupted packet simply yields no hint and the interrupt
+/// follows the fallback policy.
+#[derive(Debug, Clone, Default)]
+pub struct SrcParser {
+    /// Headers parsed successfully with a hint present.
+    pub with_hint: Counter,
+    /// Headers parsed successfully but carrying no hint.
+    pub without_hint: Counter,
+    /// Headers that failed to parse (checksum, truncation, bad options).
+    pub parse_errors: Counter,
+}
+
+impl SrcParser {
+    /// A fresh parser.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Parse the header bytes of an incoming packet and return the hinted
+    /// core, if any.
+    pub fn parse(&mut self, header_bytes: &[u8]) -> Option<CoreId> {
+        match Ipv4Header::decode(header_bytes) {
+            Ok(h) => match h.affinity_hint() {
+                Some(core) => {
+                    self.with_hint.inc();
+                    Some(core as CoreId)
+                }
+                None => {
+                    self.without_hint.inc();
+                    None
+                }
+            },
+            Err(_e @ ParseError::BadChecksum { .. })
+            | Err(_e @ ParseError::Truncated)
+            | Err(_e @ ParseError::BadVersion(_))
+            | Err(_e @ ParseError::BadIhl(_))
+            | Err(_e @ ParseError::BadOption) => {
+                self.parse_errors.inc();
+                None
+            }
+        }
+    }
+}
+
+/// Client-side: composes the interrupt message — i.e. runs the steering
+/// policy with the parsed hint and routes through the I/O APIC.
+#[derive(Debug)]
+pub struct IMComposer {
+    policy: Policy,
+    /// Interrupts composed.
+    pub composed: Counter,
+    /// Interrupts that followed a source hint.
+    pub hinted: Counter,
+}
+
+impl IMComposer {
+    /// A composer driving the given policy.
+    pub fn new(policy: Policy) -> Self {
+        IMComposer {
+            policy,
+            composed: Counter::new(),
+            hinted: Counter::new(),
+        }
+    }
+
+    /// The active policy (e.g. for kind labels).
+    pub fn policy(&self) -> &Policy {
+        &self.policy
+    }
+
+    /// Compose and deliver one interrupt through `ioapic` pin `pin`.
+    /// Returns the core the interrupt was delivered to.
+    #[allow(clippy::too_many_arguments)]
+    pub fn compose(
+        &mut self,
+        ioapic: &mut IoApic,
+        pin: usize,
+        now: SimTime,
+        hint: Option<CoreId>,
+        flow: u64,
+        cores: &[CpuCore],
+        loads: &LoadTracker,
+    ) -> CoreId {
+        let effective_hint = if self.policy.uses_hint() { hint } else { None };
+        if effective_hint.is_some() {
+            self.hinted.inc();
+        }
+        self.composed.inc();
+        let ctx = SteerCtx {
+            now,
+            pin,
+            hint: effective_hint,
+            flow,
+            cores,
+            loads,
+        };
+        ioapic.route(pin, &mut self.policy, &ctx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sais_sim::SimDuration;
+
+    #[test]
+    fn hint_messager_end_to_end_with_capsuler() {
+        let mut hm = HintMessager::new();
+        let mut hc = HintCapsuler::new();
+        let hints = hm.tag_request(6);
+        assert_eq!(hints.aff_core_id(), Some(6));
+        let hdr = Ipv4Header::tcp(1, 2, 0, 1456);
+        let stamped = hc.capsule(&hints, hdr);
+        assert_eq!(stamped.affinity_hint(), Some(6));
+        assert_eq!(hm.tagged.get(), 1);
+        assert_eq!(hc.stamped.get(), 1);
+    }
+
+    #[test]
+    fn oversized_core_id_degrades_gracefully() {
+        let mut hm = HintMessager::new();
+        let mut hc = HintCapsuler::new();
+        let hints = hm.tag_request(40); // beyond the 5-bit space
+        assert_eq!(hints.aff_core_id(), None);
+        let hdr = hc.capsule(&hints, Ipv4Header::tcp(1, 2, 0, 100));
+        assert_eq!(hdr.affinity_hint(), None);
+        assert_eq!(hm.untaggable.get(), 1);
+        assert_eq!(hc.unstamped.get(), 1);
+    }
+
+    #[test]
+    fn src_parser_full_path() {
+        let mut hm = HintMessager::new();
+        let mut hc = HintCapsuler::new();
+        let mut sp = SrcParser::new();
+        let hdr = hc.capsule(&hm.tag_request(3), Ipv4Header::tcp(1, 2, 0, 100));
+        let bytes = hdr.encode();
+        assert_eq!(sp.parse(&bytes), Some(3));
+        assert_eq!(sp.with_hint.get(), 1);
+    }
+
+    #[test]
+    fn src_parser_survives_corruption() {
+        let mut sp = SrcParser::new();
+        let hdr = Ipv4Header::tcp(1, 2, 0, 100).with_affinity(9);
+        let mut bytes = hdr.encode();
+        bytes[20] ^= 0xFF; // destroy the option byte
+        assert_eq!(sp.parse(&bytes), None);
+        assert_eq!(sp.parse_errors.get(), 1);
+        // Random garbage too.
+        assert_eq!(sp.parse(&[0u8; 7]), None);
+        assert_eq!(sp.parse(&[0xFFu8; 64]), None);
+        assert_eq!(sp.parse_errors.get(), 3);
+    }
+
+    #[test]
+    fn src_parser_counts_plain_headers() {
+        let mut sp = SrcParser::new();
+        let bytes = Ipv4Header::tcp(1, 2, 0, 100).encode();
+        assert_eq!(sp.parse(&bytes), None);
+        assert_eq!(sp.without_hint.get(), 1);
+        assert_eq!(sp.parse_errors.get(), 0);
+    }
+
+    #[test]
+    fn composer_delivers_hint_under_sais_and_ignores_it_under_baseline() {
+        let cores: Vec<CpuCore> = (0..8).map(CpuCore::new).collect();
+        let loads = LoadTracker::new(8, SimDuration::from_millis(10));
+        let mut ioapic = IoApic::new(1, 8);
+
+        let mut sais = IMComposer::new(Policy::sais());
+        let dest = sais.compose(
+            &mut ioapic,
+            0,
+            SimTime::from_micros(1),
+            Some(5),
+            0,
+            &cores,
+            &loads,
+        );
+        assert_eq!(dest, 5);
+        assert_eq!(sais.hinted.get(), 1);
+
+        let mut rr = IMComposer::new(Policy::round_robin());
+        let d0 = rr.compose(&mut ioapic, 0, SimTime::from_micros(1), Some(5), 0, &cores, &loads);
+        let d1 = rr.compose(&mut ioapic, 0, SimTime::from_micros(1), Some(5), 0, &cores, &loads);
+        assert_eq!((d0, d1), (0, 1), "round robin ignores the hint");
+        assert_eq!(rr.hinted.get(), 0);
+    }
+}

@@ -1,0 +1,53 @@
+//! # sais-core — Source-Aware Interrupt Scheduling (SAIs)
+//!
+//! Library reproduction of *"A Source-aware Interrupt Scheduling for Modern
+//! Parallel I/O Systems"* (Zou, Sun, Ma, Duan — IIT, 2012).
+//!
+//! SAIs ties interrupt handling to data consumption: every parallel-I/O
+//! read request carries the requesting core's id (`aff_core_id`); the PVFS
+//! servers echo it inside the IP options field of each response packet; and
+//! the client steers all the *peer interrupts* of a request to that core,
+//! eliminating the cache-to-cache strip migrations that conventional
+//! utilization-balancing interrupt scheduling (irqbalance, round-robin,
+//! dedicated-core) provokes.
+//!
+//! The crate provides:
+//!
+//! * [`components`] — the three client-side SAIs components from the paper's
+//!   Fig. 3 (`HintMessager`, `SrcParser`, `IMComposer`) plus the server-side
+//!   `HintCapsuler`, each unit-testable in isolation;
+//! * [`cluster`] — a full discrete-event model of the testbed (client
+//!   node(s) with per-core caches, bonded NIC, APIC; PVFS metadata + I/O
+//!   servers; switch fabric) on which any [`sais_apic::Policy`] can be run;
+//! * [`scenario`] — experiment configuration and the `RunMetrics` the
+//!   figure harness consumes;
+//! * [`analysis`] — the closed-form cost model of paper §III (eqs. 1–9);
+//! * [`memsim`] — the paper §VI in-memory simulation that removes the NIC
+//!   bottleneck (Fig. 14);
+//! * [`calib`] — the parameter presets tying the model to the Sun-Fire
+//!   testbed.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use sais_core::scenario::{ScenarioConfig, PolicyChoice};
+//!
+//! // A small 3-Gigabit configuration: 8 servers, 512 KB transfers.
+//! let mut cfg = ScenarioConfig::testbed_3gig(8, 512 * 1024);
+//! cfg.file_size = 16 * 1024 * 1024; // scaled down for the doctest
+//! let sais = cfg.clone().with_policy(PolicyChoice::SourceAware).run();
+//! let irqb = cfg.with_policy(PolicyChoice::LowestLoaded).run();
+//! assert!(sais.bandwidth_bytes_per_sec() > irqb.bandwidth_bytes_per_sec());
+//! assert_eq!(sais.strip_migrations, 0);
+//! ```
+
+pub mod analysis;
+pub mod calib;
+pub mod cluster;
+pub mod components;
+pub mod memsim;
+pub mod report;
+pub mod scenario;
+
+pub use components::{HintCapsuler, HintMessager, IMComposer, SrcParser};
+pub use scenario::{PolicyChoice, RunMetrics, ScenarioConfig};

@@ -1,0 +1,177 @@
+//! Human-readable run reports.
+//!
+//! Renders a [`RunMetrics`] — or a baseline/candidate pair — into the
+//! complete block of paper metrics (bandwidth, L2 miss rate, utilization,
+//! `CPU_CLK_UNHALTED`, migrations, latency percentiles, interrupt
+//! distribution). Examples and ad-hoc tools use this instead of
+//! hand-formatting.
+
+use crate::scenario::RunMetrics;
+use sais_metrics::counters::{reduction, speedup};
+use std::fmt::Write as _;
+
+/// Render a single run.
+pub fn render_run(title: &str, m: &RunMetrics) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== {title} ({}) ==", m.policy.label());
+    let _ = writeln!(out, "  bandwidth        {:>10.2} MB/s", m.bandwidth_mbs());
+    let _ = writeln!(
+        out,
+        "  data delivered   {:>10.2} MB in {}",
+        m.bytes_delivered as f64 / 1e6,
+        m.wall_time
+    );
+    let _ = writeln!(
+        out,
+        "  requests         {:>10}  (p50 {:.3} ms, p99 {:.3} ms)",
+        m.requests_completed,
+        m.latency_p50_ms(),
+        m.latency_p99_ms()
+    );
+    let _ = writeln!(out, "  L2 miss rate     {:>10.2} %", m.l2_miss_rate * 100.0);
+    let _ = writeln!(out, "  CPU utilization  {:>10.2} %", m.cpu_utilization * 100.0);
+    let _ = writeln!(
+        out,
+        "  CPU_CLK_UNHALTED {:>10.2} e9 cycles",
+        m.unhalted_cycles as f64 / 1e9
+    );
+    let _ = writeln!(
+        out,
+        "  interrupts       {:>10}  ({} hinted, {} clamped)",
+        m.interrupts, m.hinted_interrupts, m.clamped_interrupts
+    );
+    let _ = writeln!(
+        out,
+        "  strip migrations {:>10}  ({} cache lines moved)",
+        m.strip_migrations, m.c2c_lines
+    );
+    if m.retransmits > 0 || m.parse_errors > 0 || m.fcs_drops > 0 {
+        let _ = writeln!(
+            out,
+            "  failures         {:>10} retransmits, {} parse errors, {} FCS drops",
+            m.retransmits, m.parse_errors, m.fcs_drops
+        );
+    }
+    let _ = writeln!(out, "  irq distribution {:?}", m.irq_distribution);
+    out
+}
+
+/// Render a baseline-vs-candidate comparison with the paper's improvement
+/// directions.
+pub fn render_comparison(baseline: &RunMetrics, candidate: &RunMetrics) -> String {
+    let mut out = String::new();
+    let b_label = baseline.policy.label();
+    let c_label = candidate.policy.label();
+    let _ = writeln!(out, "== {b_label} vs {c_label} ==");
+    let mut row = |name: &str, b: f64, c: f64, unit: &str, improvement: f64, tag: &str| {
+        let _ = writeln!(
+            out,
+            "  {name:<18} {b:>12.2}{unit} {c:>12.2}{unit}   {tag} {:+.2}%",
+            improvement * 100.0
+        );
+    };
+    row(
+        "bandwidth",
+        baseline.bandwidth_mbs(),
+        candidate.bandwidth_mbs(),
+        " MB/s",
+        speedup(baseline.bandwidth_mbs(), candidate.bandwidth_mbs()),
+        "speed-up",
+    );
+    row(
+        "L2 miss rate",
+        baseline.l2_miss_rate * 100.0,
+        candidate.l2_miss_rate * 100.0,
+        " %",
+        reduction(baseline.l2_miss_rate, candidate.l2_miss_rate),
+        "reduction",
+    );
+    row(
+        "CPU utilization",
+        baseline.cpu_utilization * 100.0,
+        candidate.cpu_utilization * 100.0,
+        " %",
+        reduction(baseline.cpu_utilization, candidate.cpu_utilization),
+        "reduction",
+    );
+    row(
+        "CPU_CLK_UNHALTED",
+        baseline.unhalted_cycles as f64 / 1e9,
+        candidate.unhalted_cycles as f64 / 1e9,
+        " e9c",
+        reduction(
+            baseline.unhalted_cycles as f64,
+            candidate.unhalted_cycles as f64,
+        ),
+        "reduction",
+    );
+    row(
+        "p99 latency",
+        baseline.latency_p99_ms(),
+        candidate.latency_p99_ms(),
+        " ms",
+        reduction(baseline.latency_p99_ms(), candidate.latency_p99_ms()),
+        "reduction",
+    );
+    let _ = writeln!(
+        out,
+        "  strip migrations   {:>12} {:>12}",
+        baseline.strip_migrations, candidate.strip_migrations
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{PolicyChoice, ScenarioConfig};
+
+    fn metrics(policy: PolicyChoice) -> RunMetrics {
+        let mut cfg = ScenarioConfig::testbed_3gig(8, 256 * 1024);
+        cfg.file_size = 4 << 20;
+        cfg.policy = policy;
+        cfg.run()
+    }
+
+    #[test]
+    fn single_run_report_contains_all_paper_metrics() {
+        let m = metrics(PolicyChoice::SourceAware);
+        let r = render_run("test run", &m);
+        for needle in [
+            "bandwidth",
+            "L2 miss rate",
+            "CPU utilization",
+            "CPU_CLK_UNHALTED",
+            "strip migrations",
+            "irq distribution",
+            "SAIs",
+            "p99",
+        ] {
+            assert!(r.contains(needle), "missing {needle} in:\n{r}");
+        }
+        // Healthy run: no failure line.
+        assert!(!r.contains("failures"));
+    }
+
+    #[test]
+    fn failure_line_appears_when_relevant() {
+        let mut cfg = ScenarioConfig::testbed_3gig(8, 256 * 1024);
+        cfg.file_size = 4 << 20;
+        cfg.policy = PolicyChoice::SourceAware;
+        cfg.strip_loss_prob = 0.1;
+        let m = cfg.run();
+        let r = render_run("lossy", &m);
+        assert!(r.contains("failures"));
+        assert!(r.contains("retransmits"));
+    }
+
+    #[test]
+    fn comparison_shows_directions() {
+        let b = metrics(PolicyChoice::LowestLoaded);
+        let c = metrics(PolicyChoice::SourceAware);
+        let r = render_comparison(&b, &c);
+        assert!(r.contains("Irqbalance vs SAIs"));
+        assert!(r.contains("speed-up +"), "SAIs must win bandwidth:\n{r}");
+        assert!(r.contains("reduction"));
+    }
+}

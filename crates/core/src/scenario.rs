@@ -1,0 +1,543 @@
+//! Experiment configuration and run-level metrics.
+//!
+//! A [`ScenarioConfig`] describes one cell of a paper figure (policy ×
+//! transfer size × server count × NIC), and `run()` executes it on the
+//! cluster model, returning the [`RunMetrics`] from which every figure's
+//! rows are derived.
+
+use crate::cluster::Cluster;
+use sais_apic::{Policy, PolicyKind};
+use sais_cpu::CpuParams;
+use sais_mem::MemParams;
+use sais_pvfs::ServerParams;
+use sais_sim::{Engine, SimDuration, SimTime};
+
+/// Which steering policy to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyChoice {
+    /// Strict rotation over cores (Linux/Intel default mode).
+    RoundRobin,
+    /// Everything on one core (Linux/AMD lowest-priority default).
+    Dedicated,
+    /// irqbalance: lightest core per interrupt. The paper's baseline.
+    LowestLoaded,
+    /// The irqbalance daemon at its real granularity: the IRQ line re-homes
+    /// to the lightest core once per interval (default 10 s scaled to the
+    /// simulated run lengths: 100 ms here).
+    IrqbalanceDaemon,
+    /// RSS-style static flow hashing.
+    FlowHash,
+    /// SAIs.
+    SourceAware,
+    /// Future-work hybrid: hint unless the hinted core is overloaded.
+    Hybrid,
+}
+
+impl PolicyChoice {
+    /// Instantiate the policy state.
+    pub fn build(self) -> Policy {
+        match self {
+            PolicyChoice::RoundRobin => Policy::round_robin(),
+            PolicyChoice::Dedicated => Policy::Dedicated { core: 0 },
+            PolicyChoice::LowestLoaded => Policy::LowestLoaded,
+            PolicyChoice::IrqbalanceDaemon => {
+                Policy::balanced_daemon(SimDuration::from_millis(100))
+            }
+            PolicyChoice::FlowHash => Policy::FlowHash,
+            PolicyChoice::SourceAware => Policy::sais(),
+            PolicyChoice::Hybrid => Policy::hybrid(SimDuration::from_micros(200)),
+        }
+    }
+
+    /// Table label.
+    pub fn label(self) -> &'static str {
+        self.kind().label()
+    }
+
+    /// Corresponding kind.
+    pub fn kind(self) -> PolicyKind {
+        match self {
+            PolicyChoice::RoundRobin => PolicyKind::RoundRobin,
+            PolicyChoice::Dedicated => PolicyKind::Dedicated,
+            PolicyChoice::LowestLoaded => PolicyKind::LowestLoaded,
+            PolicyChoice::IrqbalanceDaemon => PolicyKind::BalancedDaemon,
+            PolicyChoice::FlowHash => PolicyKind::FlowHash,
+            PolicyChoice::SourceAware => PolicyKind::SourceAware,
+            PolicyChoice::Hybrid => PolicyKind::Hybrid,
+        }
+    }
+}
+
+/// Direction of the benchmark I/O.
+///
+/// The paper scopes itself to reads: "Because there is not a data locality
+/// issue associated with interrupt scheduling in parallel I/O write
+/// operations, our study focuses on parallel I/O read." The write path is
+/// implemented so that claim can be *demonstrated* (`abl_write_path`): on
+/// writes the client only receives tiny acknowledgements, so interrupt
+/// placement has nothing to win.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoDirection {
+    /// IOR read (the paper's experiments).
+    Read,
+    /// IOR write.
+    Write,
+}
+
+/// A configuration error, with enough context to fix it.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// A structural count (clients, processes, servers) is zero.
+    ZeroCount(&'static str),
+    /// `transfer_size` is zero or exceeds `file_size`.
+    BadTransferSize {
+        /// Configured transfer size.
+        transfer: u64,
+        /// Configured file size.
+        file: u64,
+    },
+    /// Strip size is zero.
+    ZeroStripSize,
+    /// MTU cannot hold the protocol headers.
+    MtuTooSmall(u64),
+    /// A probability is outside `[0, 1]`.
+    BadProbability(&'static str, f64),
+    /// The straggler index exceeds the server count.
+    StragglerOutOfRange {
+        /// Configured straggler server index.
+        index: usize,
+        /// Configured server count.
+        servers: usize,
+    },
+    /// The IRQ affinity mask permits no core of the machine.
+    EmptyAffinityMask,
+    /// More processes are pinned than there are cores to consume on —
+    /// legal for the OS, but the hint space only names 32 cores.
+    TooManyCoresForHint(usize),
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::ZeroCount(what) => write!(f, "{what} must be at least 1"),
+            ConfigError::BadTransferSize { transfer, file } => write!(
+                f,
+                "transfer_size ({transfer}) must be nonzero and at most file_size ({file})"
+            ),
+            ConfigError::ZeroStripSize => write!(f, "strip_size must be nonzero"),
+            ConfigError::MtuTooSmall(mtu) => {
+                write!(f, "mtu ({mtu}) cannot hold IP+TCP headers")
+            }
+            ConfigError::BadProbability(what, v) => {
+                write!(f, "{what} ({v}) must be within [0, 1]")
+            }
+            ConfigError::StragglerOutOfRange { index, servers } => {
+                write!(f, "straggler index {index} exceeds server count {servers}")
+            }
+            ConfigError::EmptyAffinityMask => {
+                write!(f, "irq_affinity_mask permits no core of this machine")
+            }
+            ConfigError::TooManyCoresForHint(cores) => write!(
+                f,
+                "{cores} cores exceed the 5-bit aff_core_id space (max 32)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Full description of one simulated experiment.
+#[derive(Debug, Clone)]
+pub struct ScenarioConfig {
+    /// Steering policy under test.
+    pub policy: PolicyChoice,
+    /// Read or write benchmark.
+    pub direction: IoDirection,
+    /// Number of client nodes (Fig. 12 scales this; everything else uses 1).
+    pub clients: usize,
+    /// IOR processes per client (the paper runs one per core for bandwidth
+    /// tests).
+    pub procs_per_client: usize,
+    /// Number of PVFS I/O servers.
+    pub servers: usize,
+    /// Strip size in bytes (testbed: 64 KB).
+    pub strip_size: u64,
+    /// IOR transfer size in bytes (one blocking read).
+    pub transfer_size: u64,
+    /// Bytes each client reads in total (split evenly over its processes).
+    /// The paper reads 10 GB; figure harnesses scale this down and note the
+    /// factor in EXPERIMENTS.md — steady-state bandwidth is size-invariant.
+    pub file_size: u64,
+    /// Bonded NIC ports on each client.
+    pub nic_ports: usize,
+    /// Per-port rate in bits/second.
+    pub nic_port_bps: f64,
+    /// Ethernet MTU.
+    pub mtu: u64,
+    /// NIC interrupt coalescing: frames per hardirq.
+    pub coalesce_frames: u64,
+    /// Application compute per byte delivered (the IOR "encryption" task),
+    /// in CPU cycles.
+    pub compute_cycles_per_byte: f64,
+    /// Cache-resident accesses accompanying each payload line touched
+    /// (instruction/metadata traffic); see
+    /// [`sais_mem::MemorySystem::note_background`].
+    pub background_accesses_per_line: u64,
+    /// One-way client→server request latency.
+    pub request_net_delay: SimDuration,
+    /// Fixed cost of issuing one read (syscall + request build).
+    pub issue_cost: SimDuration,
+    /// Whether IOR processes are pinned to their core (SAIs bundles them;
+    /// kept on for baselines too so the comparison isolates interrupt
+    /// placement).
+    pub pin_processes: bool,
+    /// RNG seed.
+    pub seed: u64,
+    /// Memory-hierarchy parameters.
+    pub mem: MemParams,
+    /// CPU parameters.
+    pub cpu: CpuParams,
+    /// I/O-server parameters.
+    pub server: ServerParams,
+    /// Probability a strip's response is lost and must be retransmitted.
+    pub strip_loss_prob: f64,
+    /// Retransmission timeout for lost strips.
+    pub retransmit_timeout: SimDuration,
+    /// Probability an incoming header is corrupted before SrcParser sees it.
+    pub hint_corruption_prob: f64,
+    /// Optional straggler: `(server index, service-time multiplier)`.
+    pub straggler: Option<(usize, f64)>,
+    /// Capacity of the per-client event-trace ring (0 disables tracing).
+    /// Tracing is for debugging and causality tests; metrics never depend
+    /// on it.
+    pub trace_capacity: usize,
+    /// Optional IRQ affinity mask applied to every NIC IRQ line (what
+    /// `/proc/irq/N/smp_affinity` writes do). Bit *i* permits core *i*.
+    /// A policy choice outside the mask is clamped by the I/O APIC — so a
+    /// mask that excludes the consuming core silently defeats SAIs, which
+    /// the `irq_affinity_mask_defeats_sais` test demonstrates.
+    pub irq_affinity_mask: Option<u64>,
+}
+
+impl ScenarioConfig {
+    /// The testbed with a single 1-GbE client NIC (§V.C's 1-Gigabit runs).
+    pub fn testbed_1gig(servers: usize, transfer_size: u64) -> Self {
+        let cpu = CpuParams::sunfire_head_node();
+        ScenarioConfig {
+            policy: PolicyChoice::LowestLoaded,
+            direction: IoDirection::Read,
+            clients: 1,
+            // §V: "the client side executes an IOR process to read a 10GB
+            // size file" — the single-client figures run one process.
+            procs_per_client: 1,
+            servers,
+            strip_size: 64 * 1024,
+            transfer_size,
+            file_size: 256 * 1024 * 1024,
+            nic_ports: 1,
+            nic_port_bps: 1e9,
+            mtu: 1500,
+            coalesce_frames: 8,
+            compute_cycles_per_byte: 2.0,
+            background_accesses_per_line: 8,
+            request_net_delay: SimDuration::from_micros(250),
+            issue_cost: SimDuration::from_micros(15),
+            pin_processes: true,
+            seed: 0x5A15,
+            mem: MemParams::sunfire_x4240(),
+            cpu,
+            server: ServerParams::default(),
+            strip_loss_prob: 0.0,
+            retransmit_timeout: SimDuration::from_millis(5),
+            hint_corruption_prob: 0.0,
+            straggler: None,
+            trace_capacity: 0,
+            irq_affinity_mask: None,
+        }
+    }
+
+    /// The testbed with the bonded 3×1-GbE client NIC (Fig. 5's runs).
+    pub fn testbed_3gig(servers: usize, transfer_size: u64) -> Self {
+        ScenarioConfig {
+            nic_ports: 3,
+            ..ScenarioConfig::testbed_1gig(servers, transfer_size)
+        }
+    }
+
+    /// Set the policy, builder-style.
+    pub fn with_policy(mut self, policy: PolicyChoice) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Set the I/O direction, builder-style.
+    pub fn with_direction(mut self, direction: IoDirection) -> Self {
+        self.direction = direction;
+        self
+    }
+
+    /// Bytes each process reads.
+    pub fn bytes_per_proc(&self) -> u64 {
+        self.file_size / self.procs_per_client as u64
+    }
+
+    /// Total payload bytes the whole scenario delivers.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes_per_proc() * self.procs_per_client as u64 * self.clients as u64
+    }
+
+    /// Check the configuration for inconsistencies without running it.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        for (what, n) in [
+            ("clients", self.clients),
+            ("procs_per_client", self.procs_per_client),
+            ("servers", self.servers),
+            ("nic_ports", self.nic_ports),
+        ] {
+            if n == 0 {
+                return Err(ConfigError::ZeroCount(what));
+            }
+        }
+        if self.cpu.cores == 0 {
+            return Err(ConfigError::ZeroCount("cpu.cores"));
+        }
+        if self.coalesce_frames == 0 {
+            return Err(ConfigError::ZeroCount("coalesce_frames"));
+        }
+        if self.transfer_size == 0 || self.transfer_size > self.file_size {
+            return Err(ConfigError::BadTransferSize {
+                transfer: self.transfer_size,
+                file: self.file_size,
+            });
+        }
+        if self.strip_size == 0 {
+            return Err(ConfigError::ZeroStripSize);
+        }
+        if self.mtu <= sais_net::IPV4_BASE_HEADER + sais_net::TCP_HEADER + 4 {
+            return Err(ConfigError::MtuTooSmall(self.mtu));
+        }
+        for (what, p) in [
+            ("strip_loss_prob", self.strip_loss_prob),
+            ("hint_corruption_prob", self.hint_corruption_prob),
+            ("cpu.block_migration_prob", self.cpu.block_migration_prob),
+        ] {
+            if !(0.0..=1.0).contains(&p) || p.is_nan() {
+                return Err(ConfigError::BadProbability(what, p));
+            }
+        }
+        if let Some((idx, _)) = self.straggler {
+            if idx >= self.servers {
+                return Err(ConfigError::StragglerOutOfRange {
+                    index: idx,
+                    servers: self.servers,
+                });
+            }
+        }
+        if let Some(mask) = self.irq_affinity_mask {
+            let machine = if self.cpu.cores >= 64 {
+                u64::MAX
+            } else {
+                (1u64 << self.cpu.cores) - 1
+            };
+            if mask & machine == 0 {
+                return Err(ConfigError::EmptyAffinityMask);
+            }
+        }
+        if self.cpu.cores > 32 {
+            return Err(ConfigError::TooManyCoresForHint(self.cpu.cores));
+        }
+        Ok(())
+    }
+
+    /// Execute the scenario to completion and collect metrics.
+    ///
+    /// # Panics
+    /// On an invalid configuration; call [`ScenarioConfig::validate`] first
+    /// to get a typed error instead.
+    pub fn run(self) -> RunMetrics {
+        self.run_full().0
+    }
+
+    /// Execute and additionally return the finished [`Cluster`], for
+    /// inspection of traces and component statistics.
+    pub fn run_full(self) -> (RunMetrics, Cluster) {
+        if let Err(e) = self.validate() {
+            panic!("invalid scenario: {e}");
+        }
+        let max_events = self.event_budget();
+        let mut engine = Engine::new(Cluster::new(self));
+        engine.prime(SimTime::ZERO, crate::cluster::Ev::Start);
+        engine.run_to_quiescence(max_events);
+        let now = engine.now();
+        let cluster = engine.into_model();
+        (cluster.collect_metrics(now), cluster)
+    }
+
+    /// A generous runaway-loop backstop for the engine.
+    fn event_budget(&self) -> u64 {
+        let strips = self.total_bytes() / self.strip_size.min(self.transfer_size) + 16;
+        let batches_per_strip = 64; // upper bound incl. retransmits
+        strips.saturating_mul(batches_per_strip).saturating_mul(4) + 1_000_000
+    }
+}
+
+/// Everything measured in one run — the union of the quantities the
+/// paper's figures report.
+#[derive(Debug, Clone)]
+pub struct RunMetrics {
+    /// Which policy ran.
+    pub policy: PolicyKind,
+    /// Wall-clock (simulated) time from start to the last request
+    /// completion.
+    pub wall_time: SimTime,
+    /// Payload bytes delivered to applications.
+    pub bytes_delivered: u64,
+    /// Application read requests completed.
+    pub requests_completed: u64,
+    /// Strips delivered.
+    pub strips_delivered: u64,
+    /// Strips whose consumption required cache-to-cache migration.
+    pub strip_migrations: u64,
+    /// Total cache lines moved between cores.
+    pub c2c_lines: u64,
+    /// Aggregate L2 miss rate (misses / accesses, all cores, all clients).
+    pub l2_miss_rate: f64,
+    /// Total L2 accesses.
+    pub l2_accesses: u64,
+    /// Total L2 misses.
+    pub l2_misses: u64,
+    /// Mean CPU utilization across cores and clients (the `sar` number).
+    pub cpu_utilization: f64,
+    /// Total `CPU_CLK_UNHALTED` cycles.
+    pub unhalted_cycles: u64,
+    /// Hardirqs delivered.
+    pub interrupts: u64,
+    /// Hardirqs per client-core (first client), for distribution checks.
+    pub irq_distribution: Vec<u64>,
+    /// Strip retransmissions (loss injection).
+    pub retransmits: u64,
+    /// Headers SrcParser failed to parse (corruption injection).
+    pub parse_errors: u64,
+    /// Frames the NIC dropped for a bad Ethernet FCS (corruption injection;
+    /// these never reach SrcParser).
+    pub fcs_drops: u64,
+    /// Interrupts steered by a source hint.
+    pub hinted_interrupts: u64,
+    /// Interrupts whose policy choice was clamped by the IRQ affinity mask.
+    pub clamped_interrupts: u64,
+    /// Per-client achieved bandwidth, bytes/second.
+    pub per_client_bw: Vec<f64>,
+    /// Process wake-time migrations observed (unpinned ablation).
+    pub process_migrations: u64,
+    /// Per-request completion latency (issue → data ready), nanoseconds.
+    pub request_latency: sais_metrics::Histogram,
+}
+
+impl RunMetrics {
+    /// Aggregate delivered bandwidth in bytes/second.
+    pub fn bandwidth_bytes_per_sec(&self) -> f64 {
+        if self.wall_time == SimTime::ZERO {
+            return 0.0;
+        }
+        self.bytes_delivered as f64 / self.wall_time.as_secs_f64()
+    }
+
+    /// Aggregate bandwidth in the paper's MB/s (decimal).
+    pub fn bandwidth_mbs(&self) -> f64 {
+        self.bandwidth_bytes_per_sec() / 1e6
+    }
+
+    /// Median request latency in milliseconds.
+    pub fn latency_p50_ms(&self) -> f64 {
+        self.request_latency.quantile(0.5) as f64 / 1e6
+    }
+
+    /// 99th-percentile request latency in milliseconds.
+    pub fn latency_p99_ms(&self) -> f64 {
+        self.request_latency.quantile(0.99) as f64 / 1e6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_arithmetic() {
+        let mut cfg = ScenarioConfig::testbed_3gig(8, 1024 * 1024);
+        cfg.file_size = 64 * 1024 * 1024;
+        assert_eq!(cfg.procs_per_client, 1);
+        assert_eq!(cfg.bytes_per_proc(), 64 * 1024 * 1024);
+        assert_eq!(cfg.total_bytes(), 64 * 1024 * 1024);
+        assert_eq!(cfg.nic_ports, 3);
+        assert_eq!(ScenarioConfig::testbed_1gig(8, 1024).nic_ports, 1);
+    }
+
+    #[test]
+    fn validation_catches_each_error_class() {
+        let ok = ScenarioConfig::testbed_3gig(8, 1024 * 1024);
+        assert_eq!(ok.validate(), Ok(()));
+
+        let mut c = ok.clone();
+        c.servers = 0;
+        assert_eq!(c.validate(), Err(ConfigError::ZeroCount("servers")));
+
+        let mut c = ok.clone();
+        c.transfer_size = c.file_size + 1;
+        assert!(matches!(c.validate(), Err(ConfigError::BadTransferSize { .. })));
+
+        let mut c = ok.clone();
+        c.strip_size = 0;
+        assert_eq!(c.validate(), Err(ConfigError::ZeroStripSize));
+
+        let mut c = ok.clone();
+        c.mtu = 40;
+        assert_eq!(c.validate(), Err(ConfigError::MtuTooSmall(40)));
+
+        let mut c = ok.clone();
+        c.strip_loss_prob = 1.5;
+        assert!(matches!(c.validate(), Err(ConfigError::BadProbability("strip_loss_prob", _))));
+
+        let mut c = ok.clone();
+        c.straggler = Some((8, 2.0));
+        assert!(matches!(c.validate(), Err(ConfigError::StragglerOutOfRange { .. })));
+
+        let mut c = ok.clone();
+        c.irq_affinity_mask = Some(0);
+        assert_eq!(c.validate(), Err(ConfigError::EmptyAffinityMask));
+
+        let mut c = ok.clone();
+        c.cpu.cores = 33;
+        assert_eq!(c.validate(), Err(ConfigError::TooManyCoresForHint(33)));
+
+        // Errors render as readable text.
+        let msg = format!("{}", ConfigError::MtuTooSmall(40));
+        assert!(msg.contains("mtu"));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid scenario")]
+    fn run_panics_on_invalid_config() {
+        let mut c = ScenarioConfig::testbed_3gig(8, 1024 * 1024);
+        c.servers = 0;
+        let _ = c.run();
+    }
+
+    #[test]
+    fn policy_choices_build() {
+        for c in [
+            PolicyChoice::RoundRobin,
+            PolicyChoice::Dedicated,
+            PolicyChoice::LowestLoaded,
+            PolicyChoice::IrqbalanceDaemon,
+            PolicyChoice::FlowHash,
+            PolicyChoice::SourceAware,
+            PolicyChoice::Hybrid,
+        ] {
+            let p = c.build();
+            assert_eq!(p.kind(), c.kind());
+            assert!(!c.label().is_empty());
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! Whole-node CPU reporting: the `sar`/Oprofile view of the simulated run.
+
+use crate::core::{CpuCore, WorkClass, WORK_CLASSES};
+use crate::params::CpuParams;
+use sais_sim::{SimDuration, SimTime};
+
+/// Aggregated CPU metrics over a run, in the units the paper reports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CpuReport {
+    /// Average utilization across cores over the run (`sar` %).
+    pub utilization: f64,
+    /// Total unhalted cycles summed over cores (Oprofile
+    /// `CPU_CLK_UNHALTED`, mask 0x00).
+    pub unhalted_cycles: u64,
+    /// Busy time per work class, summed over cores.
+    pub busy_by_class: Vec<(WorkClass, SimDuration)>,
+    /// Per-core utilization, for imbalance inspection.
+    pub per_core_utilization: Vec<f64>,
+}
+
+impl CpuReport {
+    /// Collect a report over `[0, horizon]`.
+    pub fn collect(cores: &[CpuCore], params: &CpuParams, horizon: SimTime) -> Self {
+        let per_core_utilization: Vec<f64> =
+            cores.iter().map(|c| c.utilization(horizon)).collect();
+        let utilization = if per_core_utilization.is_empty() {
+            0.0
+        } else {
+            per_core_utilization.iter().sum::<f64>() / per_core_utilization.len() as f64
+        };
+        let unhalted_cycles = cores
+            .iter()
+            .map(|c| c.unhalted_cycles(params.freq_hz))
+            .sum();
+        let busy_by_class = WORK_CLASSES
+            .iter()
+            .map(|&cl| {
+                let total = cores
+                    .iter()
+                    .map(|c| c.busy_in(cl))
+                    .fold(SimDuration::ZERO, |a, b| a + b);
+                (cl, total)
+            })
+            .collect();
+        CpuReport {
+            utilization,
+            unhalted_cycles,
+            busy_by_class,
+            per_core_utilization,
+        }
+    }
+
+    /// Busy time of a single class.
+    pub fn class_time(&self, class: WorkClass) -> SimDuration {
+        self.busy_by_class
+            .iter()
+            .find(|(c, _)| *c == class)
+            .map(|(_, d)| *d)
+            .unwrap_or(SimDuration::ZERO)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sais_sim::SimTime;
+
+    #[test]
+    fn report_aggregates_cores() {
+        let p = CpuParams::default();
+        let mut cores: Vec<CpuCore> = (0..4).map(CpuCore::new).collect();
+        cores[0].run(SimTime::ZERO, SimDuration::from_millis(2), WorkClass::SoftIrq);
+        cores[1].run(SimTime::ZERO, SimDuration::from_millis(1), WorkClass::Copy);
+        cores[1].run(SimTime::from_millis(1), SimDuration::from_millis(1), WorkClass::App);
+        let horizon = SimTime::from_millis(4);
+        let r = CpuReport::collect(&cores, &p, horizon);
+        // Core0: 50 %, core1: 50 %, cores 2-3 idle → average 25 %.
+        assert!((r.utilization - 0.25).abs() < 1e-12);
+        assert_eq!(r.per_core_utilization.len(), 4);
+        // 4 ms busy total at 2.7 GHz.
+        assert_eq!(r.unhalted_cycles, 4 * 2_700_000);
+        assert_eq!(r.class_time(WorkClass::SoftIrq), SimDuration::from_millis(2));
+        assert_eq!(r.class_time(WorkClass::Copy), SimDuration::from_millis(1));
+        assert_eq!(r.class_time(WorkClass::HardIrq), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn empty_core_list() {
+        let p = CpuParams::default();
+        let r = CpuReport::collect(&[], &p, SimTime::from_secs(1));
+        assert_eq!(r.utilization, 0.0);
+        assert_eq!(r.unhalted_cycles, 0);
+    }
+}

@@ -1,0 +1,174 @@
+//! One CPU core: a serial execution resource with classified time
+//! accounting.
+
+use sais_sim::{SerialResource, SimDuration, SimTime};
+
+/// Index of a core on the client node.
+pub type CoreId = usize;
+
+/// What a slice of core time was spent on. The classification feeds the
+/// paper's CPU-utilization and `CPU_CLK_UNHALTED` breakdowns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WorkClass {
+    /// Hard interrupt entry/dispatch.
+    HardIrq,
+    /// Softirq protocol processing and packet handling.
+    SoftIrq,
+    /// Copying strip data into the application buffer (includes any
+    /// cache-to-cache migration stall — the cost SAIs removes).
+    Copy,
+    /// Application compute (the IOR "encryption" phase).
+    App,
+    /// Scheduler overhead: wakeups, context switches.
+    Sched,
+}
+
+/// The set of classes, for iteration in reports.
+pub const WORK_CLASSES: [WorkClass; 5] = [
+    WorkClass::HardIrq,
+    WorkClass::SoftIrq,
+    WorkClass::Copy,
+    WorkClass::App,
+    WorkClass::Sched,
+];
+
+impl WorkClass {
+    fn index(self) -> usize {
+        match self {
+            WorkClass::HardIrq => 0,
+            WorkClass::SoftIrq => 1,
+            WorkClass::Copy => 2,
+            WorkClass::App => 3,
+            WorkClass::Sched => 4,
+        }
+    }
+
+    /// Short label for tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            WorkClass::HardIrq => "hardirq",
+            WorkClass::SoftIrq => "softirq",
+            WorkClass::Copy => "copy",
+            WorkClass::App => "app",
+            WorkClass::Sched => "sched",
+        }
+    }
+}
+
+/// A core: serial resource + per-class busy accounting.
+#[derive(Debug, Clone)]
+pub struct CpuCore {
+    id: CoreId,
+    exec: SerialResource,
+    by_class: [SimDuration; 5],
+    jobs_by_class: [u64; 5],
+}
+
+impl CpuCore {
+    /// A fresh idle core.
+    pub fn new(id: CoreId) -> Self {
+        CpuCore {
+            id,
+            exec: SerialResource::new(),
+            by_class: [SimDuration::ZERO; 5],
+            jobs_by_class: [0; 5],
+        }
+    }
+
+    /// This core's id.
+    pub fn id(&self) -> CoreId {
+        self.id
+    }
+
+    /// Execute `work` of class `class` arriving at `now`; returns the
+    /// completion time (FIFO behind whatever the core is already doing).
+    pub fn run(&mut self, now: SimTime, work: SimDuration, class: WorkClass) -> SimTime {
+        let (_, end) = self.exec.acquire(now, work);
+        self.by_class[class.index()] += work;
+        self.jobs_by_class[class.index()] += 1;
+        end
+    }
+
+    /// When this core next becomes idle.
+    pub fn busy_until(&self) -> SimTime {
+        self.exec.busy_until()
+    }
+
+    /// Backlog a job arriving at `now` would see.
+    pub fn backlog_at(&self, now: SimTime) -> SimDuration {
+        self.exec.backlog_at(now)
+    }
+
+    /// Total busy time (all classes).
+    pub fn busy_time(&self) -> SimDuration {
+        self.exec.busy_time()
+    }
+
+    /// Busy time in one class.
+    pub fn busy_in(&self, class: WorkClass) -> SimDuration {
+        self.by_class[class.index()]
+    }
+
+    /// Jobs run in one class.
+    pub fn jobs_in(&self, class: WorkClass) -> u64 {
+        self.jobs_by_class[class.index()]
+    }
+
+    /// Fraction of `[0, horizon]` spent busy.
+    pub fn utilization(&self, horizon: SimTime) -> f64 {
+        self.exec.utilization(horizon)
+    }
+
+    /// Unhalted cycles over the run: busy time × clock. Matches the
+    /// Oprofile `CPU_CLK_UNHALTED` event the paper collects — a core in the
+    /// idle loop executes `hlt` and does not count.
+    pub fn unhalted_cycles(&self, freq_hz: f64) -> u64 {
+        self.busy_time().to_cycles(freq_hz)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_serializes_and_classifies() {
+        let mut c = CpuCore::new(0);
+        let t0 = SimTime::ZERO;
+        let e1 = c.run(t0, SimDuration::from_micros(10), WorkClass::SoftIrq);
+        assert_eq!(e1, SimTime::from_micros(10));
+        // Arrives while busy → queues.
+        let e2 = c.run(SimTime::from_micros(2), SimDuration::from_micros(5), WorkClass::App);
+        assert_eq!(e2, SimTime::from_micros(15));
+        assert_eq!(c.busy_in(WorkClass::SoftIrq), SimDuration::from_micros(10));
+        assert_eq!(c.busy_in(WorkClass::App), SimDuration::from_micros(5));
+        assert_eq!(c.busy_time(), SimDuration::from_micros(15));
+        assert_eq!(c.jobs_in(WorkClass::App), 1);
+    }
+
+    #[test]
+    fn utilization_and_unhalted() {
+        let mut c = CpuCore::new(3);
+        c.run(SimTime::ZERO, SimDuration::from_millis(1), WorkClass::Copy);
+        let horizon = SimTime::from_millis(4);
+        assert!((c.utilization(horizon) - 0.25).abs() < 1e-12);
+        // 1 ms at 2.7 GHz = 2.7 M unhalted cycles.
+        assert_eq!(c.unhalted_cycles(2.7e9), 2_700_000);
+    }
+
+    #[test]
+    fn class_labels_unique() {
+        let mut labels: Vec<&str> = WORK_CLASSES.iter().map(|c| c.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), WORK_CLASSES.len());
+    }
+
+    #[test]
+    fn idle_core_reports_zero() {
+        let c = CpuCore::new(1);
+        assert_eq!(c.utilization(SimTime::from_secs(1)), 0.0);
+        assert_eq!(c.unhalted_cycles(2.7e9), 0);
+        assert_eq!(c.backlog_at(SimTime::ZERO), SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,31 @@
+//! # sais-cpu — cores, processes and the client-side OS model
+//!
+//! Models the compute side of the paper's I/O client: a node with two
+//! quad-core AMD Opteron processors on which application processes issue
+//! blocking parallel reads while softirq work — placed by the interrupt
+//! scheduling policy under test — competes for the same cores.
+//!
+//! What this crate deliberately models:
+//!
+//! * **Serialized execution per core** with work classified as hardirq,
+//!   softirq, application compute, data-copy or migration stall — the
+//!   classes whose totals become the paper's CPU-utilization and
+//!   `CPU_CLK_UNHALTED` figures.
+//! * **Blocking I/O** process states (running → blocked on read → woken by
+//!   IPI), with the paper's observation that a process is rarely migrated
+//!   while blocked — exposed as a migration probability so the claim can be
+//!   tested rather than assumed (`abl_proc_migration`).
+//! * **Per-core load statistics**, the input `irqbalance` uses to pick the
+//!   "lightest" core.
+
+pub mod accounting;
+pub mod core;
+pub mod load;
+pub mod params;
+pub mod process;
+
+pub use crate::core::{CoreId, CpuCore, WorkClass};
+pub use accounting::CpuReport;
+pub use load::LoadTracker;
+pub use params::CpuParams;
+pub use process::{ProcId, ProcState, Process, WakePlacement};

@@ -1,0 +1,120 @@
+//! Per-core load statistics — the signal `irqbalance` steers by.
+//!
+//! The real irqbalance daemon samples `/proc/interrupts` and `/proc/stat`
+//! every interval and classifies cores by load. Our model keeps, per core,
+//! an exponentially-weighted moving average of busy time per sampling
+//! interval, refreshed lazily from the cores' cumulative busy counters.
+
+use crate::core::{CoreId, CpuCore};
+use sais_sim::{SimDuration, SimTime};
+
+/// EWMA load tracker over a set of cores.
+#[derive(Debug, Clone)]
+pub struct LoadTracker {
+    interval: SimDuration,
+    alpha: f64,
+    last_sample: SimTime,
+    last_busy: Vec<SimDuration>,
+    ema: Vec<f64>,
+}
+
+impl LoadTracker {
+    /// Track `cores` cores, sampling every `interval` (irqbalance default
+    /// is 10 s; interrupt-rate experiments use much shorter intervals).
+    pub fn new(cores: usize, interval: SimDuration) -> Self {
+        LoadTracker {
+            interval,
+            alpha: 0.5,
+            last_sample: SimTime::ZERO,
+            last_busy: vec![SimDuration::ZERO; cores],
+            ema: vec![0.0; cores],
+        }
+    }
+
+    /// Refresh the EMA if at least one interval has elapsed since the last
+    /// sample. Call opportunistically (e.g. on every steering decision).
+    pub fn maybe_sample(&mut self, now: SimTime, cores: &[CpuCore]) {
+        while now.since(self.last_sample) >= self.interval {
+            self.last_sample += self.interval;
+            for (i, core) in cores.iter().enumerate() {
+                let busy = core.busy_time();
+                let delta = busy.saturating_sub(self.last_busy[i]);
+                self.last_busy[i] = busy;
+                let frac = delta.as_secs_f64() / self.interval.as_secs_f64();
+                self.ema[i] = self.alpha * frac + (1.0 - self.alpha) * self.ema[i];
+            }
+        }
+    }
+
+    /// Smoothed load of one core (fraction of the interval spent busy).
+    pub fn load(&self, core: CoreId) -> f64 {
+        self.ema[core]
+    }
+
+    /// The core with the lowest combined load: EMA plus instantaneous
+    /// backlog (irqbalance looks at history; the backlog term resolves ties
+    /// deterministically toward genuinely idle cores).
+    pub fn lightest_core(&self, now: SimTime, cores: &[CpuCore]) -> CoreId {
+        let mut best = 0;
+        let mut best_key = f64::INFINITY;
+        for (i, core) in cores.iter().enumerate() {
+            let backlog = core.backlog_at(now).as_secs_f64();
+            let key = self.ema[i] + backlog * 1e3; // backlog dominates ties
+            if key < best_key {
+                best_key = key;
+                best = i;
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::core::WorkClass;
+
+    #[test]
+    fn ema_follows_busy_core() {
+        let mut cores = vec![CpuCore::new(0), CpuCore::new(1)];
+        let mut lt = LoadTracker::new(2, SimDuration::from_millis(1));
+        // Core 0 busy the whole first interval.
+        cores[0].run(SimTime::ZERO, SimDuration::from_millis(1), WorkClass::SoftIrq);
+        lt.maybe_sample(SimTime::from_millis(1), &cores);
+        assert!(lt.load(0) > lt.load(1));
+        assert!((lt.load(0) - 0.5).abs() < 1e-9, "alpha=0.5 of a fully busy interval");
+        assert_eq!(lt.load(1), 0.0);
+    }
+
+    #[test]
+    fn sampling_is_idempotent_within_interval() {
+        let cores = vec![CpuCore::new(0)];
+        let mut lt = LoadTracker::new(1, SimDuration::from_millis(10));
+        lt.maybe_sample(SimTime::from_millis(3), &cores);
+        let before = lt.load(0);
+        lt.maybe_sample(SimTime::from_millis(6), &cores);
+        assert_eq!(lt.load(0), before);
+    }
+
+    #[test]
+    fn multiple_missed_intervals_catch_up() {
+        let mut cores = vec![CpuCore::new(0)];
+        let mut lt = LoadTracker::new(1, SimDuration::from_millis(1));
+        cores[0].run(SimTime::ZERO, SimDuration::from_millis(1), WorkClass::App);
+        // Jump 4 intervals: the busy interval decays through the idle ones.
+        lt.maybe_sample(SimTime::from_millis(4), &cores);
+        assert!(lt.load(0) > 0.0);
+        assert!(lt.load(0) < 0.5, "idle intervals decay the EMA");
+    }
+
+    #[test]
+    fn lightest_core_prefers_idle_backlog() {
+        let mut cores = vec![CpuCore::new(0), CpuCore::new(1), CpuCore::new(2)];
+        let lt = LoadTracker::new(3, SimDuration::from_millis(10));
+        // No EMA history; core 0 and 1 have backlog now.
+        let now = SimTime::from_micros(1);
+        cores[0].run(now, SimDuration::from_micros(50), WorkClass::SoftIrq);
+        cores[1].run(now, SimDuration::from_micros(20), WorkClass::SoftIrq);
+        assert_eq!(lt.lightest_core(now, &cores), 2);
+    }
+}

@@ -1,0 +1,97 @@
+//! CPU model parameters.
+
+use sais_sim::SimDuration;
+
+/// Parameters of the simulated client CPU complex.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CpuParams {
+    /// Number of cores (testbed head node: 2 × quad-core = 8).
+    pub cores: usize,
+    /// Core clock frequency in Hz (Opteron 2384: 2.7 GHz).
+    pub freq_hz: f64,
+    /// Hard-IRQ entry/exit cost (vector dispatch, EOI): per interrupt.
+    pub hardirq: SimDuration,
+    /// Fixed softirq cost per processed packet (protocol work that does not
+    /// scale with payload: header parsing, socket bookkeeping).
+    pub softirq_per_packet: SimDuration,
+    /// Cost of sending an inter-processor wake-up interrupt and making the
+    /// target runnable.
+    pub wake_ipi: SimDuration,
+    /// Context-switch cost charged when a core switches between processes.
+    pub context_switch: SimDuration,
+    /// Probability that a process is migrated to a different core while
+    /// blocked in I/O. The paper argues this is rare ("it is rare to see
+    /// such a migration happen during the I/O blocking"); default 0.
+    pub block_migration_prob: f64,
+}
+
+impl Default for CpuParams {
+    fn default() -> Self {
+        CpuParams::sunfire_head_node()
+    }
+}
+
+impl CpuParams {
+    /// The testbed client: 8 × 2.7 GHz Opteron 2384 cores.
+    pub fn sunfire_head_node() -> Self {
+        CpuParams {
+            cores: 8,
+            freq_hz: 2.7e9,
+            // ~2700 cycles of IRQ entry/dispatch/EOI at 2.7 GHz.
+            hardirq: SimDuration::from_nanos(1_000),
+            // ~2160 cycles of per-packet fast-path protocol processing
+            // (header parse, socket demux, skb bookkeeping).
+            softirq_per_packet: SimDuration::from_nanos(800),
+            // Reschedule IPI + wakeup path.
+            wake_ipi: SimDuration::from_nanos(2_000),
+            // Typical Linux context switch on that generation of hardware.
+            context_switch: SimDuration::from_nanos(3_000),
+            block_migration_prob: 0.0,
+        }
+    }
+
+    /// A 2.3 GHz compute-node variant (Opteron 2376, the PVFS servers).
+    pub fn sunfire_compute_node() -> Self {
+        CpuParams {
+            freq_hz: 2.3e9,
+            ..CpuParams::sunfire_head_node()
+        }
+    }
+
+    /// Convert a cycle count on this CPU to wall time.
+    pub fn cycles(&self, n: u64) -> SimDuration {
+        SimDuration::for_cycles(n, self.freq_hz)
+    }
+
+    /// Convert wall time on this CPU to cycles.
+    pub fn to_cycles(&self, d: SimDuration) -> u64 {
+        d.to_cycles(self.freq_hz)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn testbed_shape() {
+        let p = CpuParams::default();
+        assert_eq!(p.cores, 8);
+        assert_eq!(p.freq_hz, 2.7e9);
+        assert_eq!(p.block_migration_prob, 0.0);
+    }
+
+    #[test]
+    fn cycle_conversions() {
+        let p = CpuParams::default();
+        assert_eq!(p.cycles(2_700_000), SimDuration::from_millis(1));
+        assert_eq!(p.to_cycles(SimDuration::from_millis(1)), 2_700_000);
+    }
+
+    #[test]
+    fn server_variant_differs_only_in_clock() {
+        let s = CpuParams::sunfire_compute_node();
+        assert_eq!(s.freq_hz, 2.3e9);
+        assert_eq!(s.cores, CpuParams::default().cores);
+    }
+}

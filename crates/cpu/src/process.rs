@@ -1,0 +1,186 @@
+//! Application processes and wake placement.
+
+use crate::core::CoreId;
+use crate::params::CpuParams;
+use sais_sim::{SimRng, SimTime};
+
+/// Process identifier.
+pub type ProcId = usize;
+
+/// Scheduler-visible process state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProcState {
+    /// Runnable or running.
+    Running,
+    /// Blocked in a read, waiting for data (records since-when).
+    Blocked(SimTime),
+}
+
+/// An application process (one IOR rank).
+#[derive(Debug, Clone)]
+pub struct Process {
+    /// Identifier.
+    pub id: ProcId,
+    /// The core the process is currently associated with (where it last ran
+    /// and where its request carried `aff_core_id` from).
+    pub core: CoreId,
+    /// Whether the process is pinned to `core`. SAIs "enforces that the
+    /// application process should be bundled on the core which requested
+    /// data before data return".
+    pub pinned: bool,
+    /// Current state.
+    pub state: ProcState,
+    /// Requests completed.
+    pub requests_done: u64,
+    /// Bytes delivered to this process.
+    pub bytes_read: u64,
+    /// Cumulative time spent blocked.
+    pub blocked_time: sais_sim::SimDuration,
+    /// Times the process was migrated at wakeup.
+    pub migrations: u64,
+}
+
+impl Process {
+    /// A runnable process homed on `core`.
+    pub fn new(id: ProcId, core: CoreId, pinned: bool) -> Self {
+        Process {
+            id,
+            core,
+            pinned,
+            state: ProcState::Running,
+            requests_done: 0,
+            bytes_read: 0,
+            blocked_time: sais_sim::SimDuration::ZERO,
+            migrations: 0,
+        }
+    }
+
+    /// Enter the blocked state at `now`.
+    pub fn block(&mut self, now: SimTime) {
+        debug_assert_eq!(self.state, ProcState::Running, "double block");
+        self.state = ProcState::Blocked(now);
+    }
+
+    /// Whether the process is blocked.
+    pub fn is_blocked(&self) -> bool {
+        matches!(self.state, ProcState::Blocked(_))
+    }
+}
+
+/// Decides which core a process wakes on. This is where the paper's
+/// "process rarely migrates while blocked in I/O" assumption lives: with
+/// `block_migration_prob = 0` (the default, and what SAIs enforces by
+/// bundling) the process always wakes where it slept.
+#[derive(Debug, Clone)]
+pub struct WakePlacement {
+    migration_prob: f64,
+    cores: usize,
+}
+
+impl WakePlacement {
+    /// Placement policy from the CPU parameters.
+    pub fn new(params: &CpuParams) -> Self {
+        WakePlacement {
+            migration_prob: params.block_migration_prob,
+            cores: params.cores,
+        }
+    }
+
+    /// Wake `proc` at `now`: transitions it to `Running`, accounts blocked
+    /// time, and possibly migrates it (never when pinned). Returns the core
+    /// it wakes on.
+    pub fn wake(&self, proc: &mut Process, now: SimTime, rng: &mut SimRng) -> CoreId {
+        if let ProcState::Blocked(since) = proc.state {
+            proc.blocked_time += now.since(since);
+        } else {
+            debug_assert!(false, "waking a non-blocked process");
+        }
+        proc.state = ProcState::Running;
+        if !proc.pinned && self.migration_prob > 0.0 && rng.chance(self.migration_prob) {
+            let mut target = rng.next_below(self.cores as u64) as usize;
+            if target == proc.core {
+                target = (target + 1) % self.cores;
+            }
+            proc.core = target;
+            proc.migrations += 1;
+        }
+        proc.core
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sais_sim::SimDuration;
+
+    fn params_with_prob(p: f64) -> CpuParams {
+        CpuParams {
+            block_migration_prob: p,
+            ..CpuParams::default()
+        }
+    }
+
+    #[test]
+    fn block_wake_accounts_time() {
+        let mut pr = Process::new(0, 3, true);
+        let place = WakePlacement::new(&params_with_prob(0.0));
+        let mut rng = SimRng::new(1);
+        pr.block(SimTime::from_micros(10));
+        assert!(pr.is_blocked());
+        let core = place.wake(&mut pr, SimTime::from_micros(35), &mut rng);
+        assert_eq!(core, 3);
+        assert_eq!(pr.blocked_time, SimDuration::from_micros(25));
+        assert!(!pr.is_blocked());
+    }
+
+    #[test]
+    fn pinned_process_never_migrates() {
+        let place = WakePlacement::new(&params_with_prob(1.0));
+        let mut rng = SimRng::new(2);
+        let mut pr = Process::new(0, 5, true);
+        for _ in 0..100 {
+            pr.block(SimTime::ZERO);
+            let core = place.wake(&mut pr, SimTime::from_nanos(1), &mut rng);
+            assert_eq!(core, 5);
+        }
+        assert_eq!(pr.migrations, 0);
+    }
+
+    #[test]
+    fn unpinned_process_migrates_with_probability_one() {
+        let place = WakePlacement::new(&params_with_prob(1.0));
+        let mut rng = SimRng::new(3);
+        let mut pr = Process::new(0, 5, false);
+        pr.block(SimTime::ZERO);
+        let core = place.wake(&mut pr, SimTime::from_nanos(1), &mut rng);
+        assert_ne!(core, 5, "migration target differs from origin");
+        assert_eq!(pr.migrations, 1);
+        assert_eq!(pr.core, core);
+    }
+
+    #[test]
+    fn zero_probability_is_stable_even_unpinned() {
+        let place = WakePlacement::new(&params_with_prob(0.0));
+        let mut rng = SimRng::new(4);
+        let mut pr = Process::new(0, 2, false);
+        for _ in 0..50 {
+            pr.block(SimTime::ZERO);
+            assert_eq!(place.wake(&mut pr, SimTime::from_nanos(1), &mut rng), 2);
+        }
+        assert_eq!(pr.migrations, 0);
+    }
+
+    #[test]
+    fn migration_rate_tracks_probability() {
+        let place = WakePlacement::new(&params_with_prob(0.3));
+        let mut rng = SimRng::new(5);
+        let mut pr = Process::new(0, 0, false);
+        let n = 10_000;
+        for _ in 0..n {
+            pr.block(SimTime::ZERO);
+            place.wake(&mut pr, SimTime::from_nanos(1), &mut rng);
+        }
+        let rate = pr.migrations as f64 / n as f64;
+        assert!((rate - 0.3).abs() < 0.02, "rate {rate} should be ≈0.3");
+    }
+}

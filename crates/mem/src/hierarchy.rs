@@ -1,0 +1,371 @@
+//! The multi-core memory system: private caches + a line directory.
+//!
+//! Lines are **exclusively owned**: at most one core's cache holds any line
+//! (migratory sharing, the producer→consumer pattern of interrupt handling).
+//! A read of a line resident in another core's cache is a *cache-to-cache
+//! transfer* — the paper's "data migration" — which invalidates the remote
+//! copy and moves the line to the reader.
+
+use crate::addr::{AddrRange, LineAddr};
+use crate::cache::SetAssocCache;
+use crate::fxmap::FxHashMap;
+use crate::params::MemParams;
+use sais_sim::SimDuration;
+
+/// Classification of the lines touched by one bulk access.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AccessCounts {
+    /// Total lines touched.
+    pub lines: u64,
+    /// Lines found in the local cache.
+    pub hits: u64,
+    /// Lines migrated from another core's cache.
+    pub c2c: u64,
+    /// Lines fetched from DRAM.
+    pub dram: u64,
+}
+
+impl AccessCounts {
+    /// Time the access takes under the given parameters.
+    pub fn cost(&self, p: &MemParams) -> SimDuration {
+        p.hit_time(self.hits) + p.c2c_time(self.c2c) + p.dram_time(self.dram)
+    }
+
+    /// Fold another access into this one.
+    pub fn merge(&mut self, other: AccessCounts) {
+        self.lines += other.lines;
+        self.hits += other.hits;
+        self.c2c += other.c2c;
+        self.dram += other.dram;
+    }
+}
+
+/// Per-core private caches plus the exclusive-ownership directory.
+///
+/// ```
+/// use sais_mem::{AddrAlloc, MemParams, MemorySystem};
+///
+/// let params = MemParams::sunfire_x4240();
+/// let mut alloc = AddrAlloc::new(params.line_size);
+/// let mut mem = MemorySystem::new(8, params);
+/// let strip = alloc.alloc(64 * 1024);
+///
+/// // Softirq fills the strip on core 3; the app consumes it on core 0:
+/// // every line migrates between the private caches.
+/// mem.touch(3, strip);
+/// let counts = mem.touch(0, strip);
+/// assert_eq!(counts.c2c, 1024);
+///
+/// // Had the interrupt been steered to core 0 (the SAIs case), the
+/// // consumption would have hit locally instead.
+/// let counts = mem.touch(0, strip);
+/// assert_eq!(counts.hits, 1024);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MemorySystem {
+    params: MemParams,
+    caches: Vec<SetAssocCache>,
+    /// line → owning core, for every line resident anywhere.
+    directory: FxHashMap<u64, u32>,
+    /// Total cache-to-cache line transfers (the migration count).
+    c2c_transfers: u64,
+    /// Total DRAM line fetches.
+    dram_fetches: u64,
+}
+
+impl MemorySystem {
+    /// A system with `cores` private caches shaped by `params`.
+    pub fn new(cores: usize, params: MemParams) -> Self {
+        assert!(cores > 0);
+        let sets = params.l2_sets();
+        let caches = (0..cores)
+            .map(|_| SetAssocCache::new(sets, params.l2_ways))
+            .collect();
+        MemorySystem {
+            params,
+            caches,
+            directory: FxHashMap::default(),
+            c2c_transfers: 0,
+            dram_fetches: 0,
+        }
+    }
+
+    /// Number of cores.
+    pub fn cores(&self) -> usize {
+        self.caches.len()
+    }
+
+    /// The hierarchy parameters.
+    pub fn params(&self) -> &MemParams {
+        &self.params
+    }
+
+    /// Which core's cache currently owns `line`, if any. (Test/diagnostic.)
+    pub fn owner_of(&self, line: LineAddr) -> Option<u32> {
+        self.directory.get(&line.0).copied()
+    }
+
+    /// Touch every line of `range` from `core`, classifying each line and
+    /// migrating ownership to `core`. Models both reads and write-allocate
+    /// writes — in either case the line ends up exclusively in `core`'s
+    /// cache.
+    pub fn touch(&mut self, core: usize, range: AddrRange) -> AccessCounts {
+        let mut counts = AccessCounts::default();
+        let line_size = self.params.line_size;
+        for line in range.lines(line_size) {
+            counts.lines += 1;
+            if self.caches[core].access(line) {
+                counts.hits += 1;
+                continue;
+            }
+            // Miss in the local cache: find the line elsewhere or in DRAM.
+            match self.directory.get(&line.0).copied() {
+                Some(owner) if owner as usize != core => {
+                    // Cache-to-cache migration: invalidate remote, fill local.
+                    let removed = self.caches[owner as usize].invalidate(line);
+                    debug_assert!(removed, "directory said core {owner} owned {line:?}");
+                    counts.c2c += 1;
+                    self.c2c_transfers += 1;
+                }
+                Some(_) => {
+                    // Directory says we own it but the lookup missed —
+                    // impossible by construction.
+                    unreachable!("directory/core cache disagreement");
+                }
+                None => {
+                    counts.dram += 1;
+                    self.dram_fetches += 1;
+                }
+            }
+            self.fill(core, line);
+        }
+        counts
+    }
+
+    /// Insert `line` into `core`'s cache, maintaining the directory.
+    fn fill(&mut self, core: usize, line: LineAddr) {
+        if let Some(evicted) = self.caches[core].insert(line) {
+            let prev = self.directory.remove(&evicted.0);
+            debug_assert_eq!(prev, Some(core as u32), "evicted line had wrong owner");
+        }
+        self.directory.insert(line.0, core as u32);
+    }
+
+    /// Pre-load `range` into `core`'s cache without counting accesses —
+    /// used to model DMA-filled buffers whose first CPU touch should still
+    /// be classified by `touch`. (Diagnostic/test helper.)
+    pub fn preload(&mut self, core: usize, range: AddrRange) {
+        let line_size = self.params.line_size;
+        let lines: Vec<LineAddr> = range.lines(line_size).collect();
+        for line in lines {
+            if let Some(owner) = self.directory.get(&line.0).copied() {
+                if owner as usize != core {
+                    self.caches[owner as usize].invalidate(line);
+                } else {
+                    continue;
+                }
+            }
+            self.fill(core, line);
+        }
+    }
+
+    /// Record background (always-hitting) accesses on `core`; see
+    /// [`SetAssocCache::note_background_hits`].
+    pub fn note_background(&mut self, core: usize, n: u64) {
+        self.caches[core].note_background_hits(n);
+    }
+
+    /// Aggregate L2 miss rate across all cores (the paper's Fig. 6/7
+    /// metric: `# cache misses / # accesses`).
+    pub fn miss_rate(&self) -> f64 {
+        let (mut acc, mut miss) = (0u64, 0u64);
+        for c in &self.caches {
+            acc += c.stats.accesses.get();
+            miss += c.stats.misses.get();
+        }
+        if acc == 0 {
+            0.0
+        } else {
+            miss as f64 / acc as f64
+        }
+    }
+
+    /// Total cache-to-cache transfers (strip-migration traffic, in lines).
+    pub fn c2c_transfers(&self) -> u64 {
+        self.c2c_transfers
+    }
+
+    /// Total DRAM line fetches.
+    pub fn dram_fetches(&self) -> u64 {
+        self.dram_fetches
+    }
+
+    /// Total accesses across cores.
+    pub fn total_accesses(&self) -> u64 {
+        self.caches.iter().map(|c| c.stats.accesses.get()).sum()
+    }
+
+    /// Total misses across cores.
+    pub fn total_misses(&self) -> u64 {
+        self.caches.iter().map(|c| c.stats.misses.get()).sum()
+    }
+
+    /// Per-core cache, for fine-grained inspection.
+    pub fn cache(&self, core: usize) -> &SetAssocCache {
+        &self.caches[core]
+    }
+
+    /// Check the exclusive-ownership invariant: every directory entry is
+    /// resident in exactly the recorded cache and nowhere else, and every
+    /// resident line has a directory entry. O(directory × cores); tests only.
+    pub fn check_invariants(&self) {
+        let mut resident_total = 0u64;
+        for (line, &owner) in &self.directory {
+            for (i, c) in self.caches.iter().enumerate() {
+                let has = c.contains(LineAddr(*line));
+                assert_eq!(
+                    has,
+                    i == owner as usize,
+                    "line {line} residency mismatch at core {i} (owner {owner})"
+                );
+            }
+            resident_total += 1;
+        }
+        let cache_resident: u64 = self.caches.iter().map(|c| c.resident()).sum();
+        assert_eq!(resident_total, cache_resident, "directory size != residency");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::AddrAlloc;
+
+    fn small_system(cores: usize) -> (MemorySystem, AddrAlloc) {
+        let p = MemParams::tiny_test(); // 8 lines per core cache
+        let alloc = AddrAlloc::new(p.line_size);
+        (MemorySystem::new(cores, p), alloc)
+    }
+
+    #[test]
+    fn cold_read_comes_from_dram() {
+        let (mut m, mut a) = small_system(2);
+        let buf = a.alloc(4 * 64);
+        let c = m.touch(0, buf);
+        assert_eq!(c.lines, 4);
+        assert_eq!(c.dram, 4);
+        assert_eq!(c.c2c, 0);
+        assert_eq!(c.hits, 0);
+        m.check_invariants();
+    }
+
+    #[test]
+    fn reread_hits_locally() {
+        let (mut m, mut a) = small_system(2);
+        let buf = a.alloc(4 * 64);
+        m.touch(0, buf);
+        let c = m.touch(0, buf);
+        assert_eq!(c.hits, 4);
+        assert_eq!(c.c2c + c.dram, 0);
+    }
+
+    #[test]
+    fn cross_core_read_is_migration() {
+        let (mut m, mut a) = small_system(2);
+        let buf = a.alloc(4 * 64);
+        m.touch(0, buf); // core 0 fills (the "handling core")
+        let c = m.touch(1, buf); // core 1 consumes
+        assert_eq!(c.c2c, 4, "all four lines migrate");
+        assert_eq!(m.c2c_transfers(), 4);
+        // Ownership moved: reading again from core 1 hits.
+        let c2 = m.touch(1, buf);
+        assert_eq!(c2.hits, 4);
+        // And core 0 no longer has them.
+        let c3 = m.touch(0, buf);
+        assert_eq!(c3.c2c, 4);
+        m.check_invariants();
+    }
+
+    #[test]
+    fn same_core_handling_avoids_migration() {
+        // The SAIs scenario in miniature: handler == consumer ⇒ no c2c.
+        let (mut m, mut a) = small_system(4);
+        let strip = a.alloc(8 * 64);
+        m.touch(2, strip); // softirq fill on core 2
+        let c = m.touch(2, strip); // app consume on core 2
+        assert_eq!(c.c2c, 0);
+        assert_eq!(c.hits, 8);
+        assert_eq!(m.c2c_transfers(), 0);
+    }
+
+    #[test]
+    fn capacity_eviction_forces_dram_refetch() {
+        let (mut m, mut a) = small_system(1);
+        // Cache holds 8 lines; stream 32 lines through, then re-read the
+        // first buffer: it must come from DRAM again.
+        let first = a.alloc(8 * 64);
+        m.touch(0, first);
+        let big = a.alloc(24 * 64);
+        m.touch(0, big);
+        let c = m.touch(0, first);
+        assert_eq!(c.dram, 8, "evicted lines refetched from DRAM");
+        m.check_invariants();
+    }
+
+    #[test]
+    fn eviction_keeps_directory_consistent() {
+        let (mut m, mut a) = small_system(2);
+        // Overflow core 0's cache repeatedly, interleaved with migrations.
+        for _ in 0..10 {
+            let b = a.alloc(6 * 64);
+            m.touch(0, b);
+            m.touch(1, b);
+        }
+        m.check_invariants();
+    }
+
+    #[test]
+    fn cost_reflects_classification() {
+        let p = MemParams::tiny_test();
+        let counts = AccessCounts { lines: 10, hits: 5, c2c: 3, dram: 2 };
+        let cost = counts.cost(&p);
+        // 5×1ns (hits) + 3×100ns (c2c) + 10ns lead + 128 B at 6.4 GB/s
+        // (= 20ns) for the DRAM part = 335ns.
+        assert_eq!(cost, SimDuration::from_nanos(335));
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = AccessCounts { lines: 1, hits: 1, c2c: 0, dram: 0 };
+        a.merge(AccessCounts { lines: 2, hits: 0, c2c: 1, dram: 1 });
+        assert_eq!(a, AccessCounts { lines: 3, hits: 1, c2c: 1, dram: 1 });
+    }
+
+    #[test]
+    fn miss_rate_aggregates_cores() {
+        let (mut m, mut a) = small_system(2);
+        let b0 = a.alloc(4 * 64);
+        let b1 = a.alloc(4 * 64);
+        m.touch(0, b0); // 4 misses
+        m.touch(0, b0); // 4 hits
+        m.touch(1, b1); // 4 misses
+        // 8 misses / 12 accesses.
+        assert!((m.miss_rate() - 8.0 / 12.0).abs() < 1e-12);
+        assert_eq!(m.total_accesses(), 12);
+        assert_eq!(m.total_misses(), 8);
+    }
+
+    #[test]
+    fn preload_places_without_counting() {
+        let (mut m, mut a) = small_system(2);
+        let b = a.alloc(4 * 64);
+        m.preload(0, b);
+        assert_eq!(m.total_accesses(), 0);
+        let c = m.touch(0, b);
+        assert_eq!(c.hits, 4);
+        // Preloading to another core migrates ownership silently.
+        m.preload(1, b);
+        assert_eq!(m.owner_of(b.lines(64).next().unwrap()), Some(1));
+        m.check_invariants();
+    }
+}

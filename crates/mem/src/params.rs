@@ -1,0 +1,160 @@
+//! Memory-hierarchy parameters.
+//!
+//! Defaults model the testbed client: a Sun-Fire X4240 head node with two
+//! quad-core 2.7 GHz AMD Opteron 2384 ("Shanghai") processors, a dedicated
+//! 512 KB L2 per core, and 4×2 GB DDR2-667 (JEDEC peak 5333 MB/s).
+//! Latencies are taken from published Shanghai measurements (L2 ≈ 15 cycles,
+//! DRAM ≈ 110 ns loaded, cross-die cache-to-cache ≈ 200+ ns via the
+//! coherent HyperTransport probe round trip).
+
+use sais_sim::SimDuration;
+
+/// Parameters of the simulated memory hierarchy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemParams {
+    /// Cache line size in bytes (Opteron: 64).
+    pub line_size: u64,
+    /// Per-core private L2 capacity in bytes (Opteron 2384: 512 KB).
+    pub l2_bytes: u64,
+    /// L2 associativity (Opteron 2384: 16-way).
+    pub l2_ways: usize,
+    /// Latency of an L2 hit, per line.
+    pub l2_hit: SimDuration,
+    /// Latency of moving a line between two cores' private caches
+    /// (coherence probe + transfer). This is the per-line component of the
+    /// paper's migration cost `M`.
+    pub c2c_line: SimDuration,
+    /// Latency of fetching a line from DRAM on a miss.
+    pub dram_line: SimDuration,
+    /// DRAM channel peak bandwidth in bytes/second (DDR2-667: 5333 MB/s).
+    pub dram_bw: f64,
+}
+
+impl Default for MemParams {
+    fn default() -> Self {
+        MemParams::sunfire_x4240()
+    }
+}
+
+impl MemParams {
+    /// The paper's client node (head node of the Sun-Fire cluster).
+    pub fn sunfire_x4240() -> Self {
+        MemParams {
+            line_size: 64,
+            l2_bytes: 512 * 1024,
+            l2_ways: 16,
+            // 15 cycles @ 2.7 GHz ≈ 5.6 ns.
+            l2_hit: SimDuration::from_nanos(6),
+            // Cross-core probe + transfer of a dirty line over coherent
+            // HyperTransport. Migratory sharing pipelines poorly (a probe
+            // round trip per line, limited MLP): ~120 ns/line ≈ 0.5 GB/s
+            // producer-consumer bandwidth on Shanghai-era Opterons.
+            c2c_line: SimDuration::from_nanos(120),
+            // Leading DRAM latency for a bulk stream (prefetched).
+            dram_line: SimDuration::from_nanos(60),
+            dram_bw: 5333e6,
+        }
+    }
+
+    /// A tiny hierarchy for fast unit tests: 4-line-set cache, easy to
+    /// reason about eviction exactly.
+    pub fn tiny_test() -> Self {
+        MemParams {
+            line_size: 64,
+            l2_bytes: 64 * 8, // 8 lines total
+            l2_ways: 2,       // 4 sets × 2 ways
+            l2_hit: SimDuration::from_nanos(1),
+            c2c_line: SimDuration::from_nanos(100),
+            // 10 ns per 64 B line = 6.4 GB/s: latency- and bandwidth-bound
+            // estimates coincide, which keeps tiny-test arithmetic exact.
+            dram_line: SimDuration::from_nanos(10),
+            dram_bw: 6.4e9,
+        }
+    }
+
+    /// Number of sets in the L2.
+    pub fn l2_sets(&self) -> usize {
+        let lines = (self.l2_bytes / self.line_size) as usize;
+        assert!(
+            lines.is_multiple_of(self.l2_ways),
+            "cache lines ({lines}) must divide evenly into ways ({})",
+            self.l2_ways
+        );
+        let sets = lines / self.l2_ways;
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        sets
+    }
+
+    /// Time to read `lines` lines that all hit in the local L2.
+    pub fn hit_time(&self, lines: u64) -> SimDuration {
+        self.l2_hit * lines
+    }
+
+    /// Time to migrate `lines` lines from another core's cache.
+    pub fn c2c_time(&self, lines: u64) -> SimDuration {
+        self.c2c_line * lines
+    }
+
+    /// Time to fetch `lines` lines from DRAM as one bulk access: a single
+    /// leading latency, then the stream proceeds at channel bandwidth
+    /// (hardware prefetchers give bulk fills full memory-level parallelism,
+    /// unlike the poorly-pipelined cache-to-cache case).
+    pub fn dram_time(&self, lines: u64) -> SimDuration {
+        if lines == 0 {
+            return SimDuration::ZERO;
+        }
+        let bw = SimDuration::for_bytes(lines * self.line_size, self.dram_bw);
+        self.dram_line + bw
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_testbed() {
+        let p = MemParams::default();
+        assert_eq!(p.line_size, 64);
+        assert_eq!(p.l2_bytes, 512 * 1024);
+        assert_eq!(p.l2_sets(), 512); // 8192 lines / 16 ways
+    }
+
+    #[test]
+    fn tiny_geometry() {
+        let p = MemParams::tiny_test();
+        assert_eq!(p.l2_sets(), 4);
+    }
+
+    #[test]
+    fn c2c_dwarfs_hits() {
+        // The M ≫ P premise at line granularity.
+        let p = MemParams::default();
+        assert!(p.c2c_time(1) > p.hit_time(1) * 10);
+        assert!(p.c2c_time(1) > p.dram_time(1));
+    }
+
+    #[test]
+    fn dram_time_is_latency_plus_bandwidth() {
+        let p = MemParams::default();
+        assert_eq!(p.dram_time(0), SimDuration::ZERO);
+        // One 64 KB strip: 60 ns lead + 65536 B at 5333 MB/s ≈ 12.3 us.
+        let t = p.dram_time(1024);
+        let bw = SimDuration::for_bytes(1024 * 64, p.dram_bw);
+        assert_eq!(t, p.dram_line + bw);
+        assert!(t > SimDuration::from_micros(12) && t < SimDuration::from_micros(13));
+        // Bulk fills beat per-line latency by a wide margin (MLP).
+        assert!(p.dram_time(1024) < p.dram_line * 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_geometry_panics() {
+        let p = MemParams {
+            l2_bytes: 64 * 24, // 24 lines
+            l2_ways: 2,        // 12 sets: not a power of two
+            ..MemParams::tiny_test()
+        };
+        let _ = p.l2_sets();
+    }
+}

@@ -1,0 +1,157 @@
+//! Terminal bar charts, for figure binaries to echo the paper's plots.
+//!
+//! Renders grouped horizontal bars with Unicode blocks, scaled to the
+//! largest value. Pure text — no terminal control sequences — so output
+//! stays pipe- and log-friendly.
+
+use std::fmt::Write as _;
+
+/// A grouped horizontal bar chart.
+#[derive(Debug, Clone)]
+pub struct BarChart {
+    title: String,
+    series: Vec<String>,
+    groups: Vec<(String, Vec<f64>)>,
+    width: usize,
+}
+
+impl BarChart {
+    /// A chart titled `title` with one bar per `series` entry in each
+    /// group.
+    pub fn new(title: impl Into<String>, series: &[&str]) -> Self {
+        assert!(!series.is_empty());
+        BarChart {
+            title: title.into(),
+            series: series.iter().map(|s| s.to_string()).collect(),
+            groups: Vec::new(),
+            width: 48,
+        }
+    }
+
+    /// Override the bar width in character cells.
+    pub fn with_width(mut self, width: usize) -> Self {
+        assert!(width >= 8);
+        self.width = width;
+        self
+    }
+
+    /// Append a group (e.g. one x-axis position) with one value per series.
+    pub fn group(&mut self, label: impl Into<String>, values: &[f64]) {
+        assert_eq!(
+            values.len(),
+            self.series.len(),
+            "one value per series required"
+        );
+        assert!(
+            values.iter().all(|v| v.is_finite() && *v >= 0.0),
+            "bar values must be finite and non-negative"
+        );
+        self.groups.push((label.into(), values.to_vec()));
+    }
+
+    /// Number of groups added so far.
+    pub fn len(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Whether the chart has no groups.
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+
+    /// Render to text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            let _ = writeln!(out, "-- {} --", self.title);
+        }
+        let max = self
+            .groups
+            .iter()
+            .flat_map(|(_, vs)| vs.iter().copied())
+            .fold(0.0f64, f64::max);
+        let label_w = self
+            .groups
+            .iter()
+            .map(|(l, _)| l.len())
+            .chain(self.series.iter().map(|s| s.len()))
+            .max()
+            .unwrap_or(0);
+        let glyphs = ['▏', '▎', '▍', '▌', '▋', '▊', '▉', '█'];
+        for (label, values) in &self.groups {
+            let _ = writeln!(out, "{label}");
+            for (name, &v) in self.series.iter().zip(values.iter()) {
+                let frac = if max > 0.0 { v / max } else { 0.0 };
+                let cells_8 = (frac * self.width as f64 * 8.0).round() as usize;
+                let full = cells_8 / 8;
+                let rem = cells_8 % 8;
+                let mut bar = "█".repeat(full);
+                if rem > 0 {
+                    bar.push(glyphs[rem - 1]);
+                }
+                let _ = writeln!(out, "  {name:<label_w$} {bar} {v:.2}");
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BarChart {
+        let mut c = BarChart::new("Fig. 5 @48 servers", &["Irqbalance", "SAIs"]).with_width(16);
+        c.group("128K", &[86.27, 99.94]);
+        c.group("2M", &[218.28, 220.49]);
+        c
+    }
+
+    #[test]
+    fn renders_all_groups_and_series() {
+        let s = sample().render();
+        for needle in ["Fig. 5", "128K", "2M", "Irqbalance", "SAIs", "99.94"] {
+            assert!(s.contains(needle), "missing {needle} in:\n{s}");
+        }
+    }
+
+    #[test]
+    fn bars_scale_to_max() {
+        let s = sample().render();
+        // The largest value (220.49) gets the full width.
+        let full_bar = "█".repeat(16);
+        assert!(s.contains(&full_bar));
+        // The smallest (86.27 ≈ 39 % of max) gets roughly 6 cells.
+        let line = s
+            .lines()
+            .find(|l| l.contains("86.27"))
+            .expect("small bar line");
+        let cells = line.chars().filter(|&c| c == '█').count();
+        assert!((5..=7).contains(&cells), "got {cells} cells: {line}");
+    }
+
+    #[test]
+    fn zero_and_empty_behave() {
+        let mut c = BarChart::new("", &["a"]);
+        assert!(c.is_empty());
+        c.group("g", &[0.0]);
+        assert_eq!(c.len(), 1);
+        let s = c.render();
+        assert!(s.contains("0.00"));
+        assert!(!s.contains('█'));
+    }
+
+    #[test]
+    #[should_panic(expected = "one value per series")]
+    fn wrong_arity_panics() {
+        let mut c = BarChart::new("t", &["a", "b"]);
+        c.group("g", &[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn nan_panics() {
+        let mut c = BarChart::new("t", &["a"]);
+        c.group("g", &[f64::NAN]);
+    }
+}

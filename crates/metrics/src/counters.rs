@@ -1,0 +1,178 @@
+//! Basic counter types incremented by simulated components.
+
+use std::fmt;
+
+/// A monotone event counter (cache accesses, interrupts delivered, …).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counter(pub u64);
+
+impl Counter {
+    /// Zero.
+    pub const fn new() -> Self {
+        Counter(0)
+    }
+    /// Add one.
+    #[inline]
+    pub fn inc(&mut self) {
+        self.0 += 1;
+    }
+    /// Add `n`.
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0
+    }
+    /// Fold another counter into this one (for cross-core aggregation).
+    pub fn merge(&mut self, other: &Counter) {
+        self.0 += other.0;
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A hit/total ratio (e.g. cache misses over accesses).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Ratio {
+    /// Numerator events.
+    pub num: u64,
+    /// Denominator events.
+    pub den: u64,
+}
+
+impl Ratio {
+    /// Zero over zero.
+    pub const fn new() -> Self {
+        Ratio { num: 0, den: 0 }
+    }
+    /// Record one denominator event that was (`hit`) or was not a numerator
+    /// event.
+    #[inline]
+    pub fn observe(&mut self, hit: bool) {
+        self.den += 1;
+        if hit {
+            self.num += 1;
+        }
+    }
+    /// Record `n` numerator and `d` denominator events in bulk.
+    #[inline]
+    pub fn add(&mut self, n: u64, d: u64) {
+        self.num += n;
+        self.den += d;
+    }
+    /// The ratio, or 0 if nothing was observed.
+    pub fn value(&self) -> f64 {
+        if self.den == 0 {
+            0.0
+        } else {
+            self.num as f64 / self.den as f64
+        }
+    }
+    /// Fold another ratio into this one.
+    pub fn merge(&mut self, other: &Ratio) {
+        self.num += other.num;
+        self.den += other.den;
+    }
+}
+
+impl fmt::Display for Ratio {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2}% ({}/{})", 100.0 * self.value(), self.num, self.den)
+    }
+}
+
+/// A labelled scalar produced by one experiment run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Metric name (e.g. `"bandwidth_mbs"`).
+    pub name: &'static str,
+    /// Metric value.
+    pub value: f64,
+}
+
+impl Sample {
+    /// Construct a sample.
+    pub fn new(name: &'static str, value: f64) -> Self {
+        Sample { name, value }
+    }
+}
+
+/// Relative improvement of `new` over `old`, as the paper reports speed-ups:
+/// `(new − old) / old`. Positive means `new` is better for
+/// higher-is-better metrics.
+pub fn speedup(old: f64, new: f64) -> f64 {
+    if old == 0.0 {
+        return 0.0;
+    }
+    (new - old) / old
+}
+
+/// Relative reduction of `new` vs `old`: `(old − new) / old`. The paper uses
+/// this for miss-rate and unhalted-cycle improvements.
+pub fn reduction(old: f64, new: f64) -> f64 {
+    if old == 0.0 {
+        return 0.0;
+    }
+    (old - new) / old
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_ops() {
+        let mut c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let mut d = Counter::new();
+        d.add(10);
+        d.merge(&c);
+        assert_eq!(d.get(), 15);
+    }
+
+    #[test]
+    fn ratio_observe_and_value() {
+        let mut r = Ratio::new();
+        assert_eq!(r.value(), 0.0, "empty ratio is zero, not NaN");
+        r.observe(true);
+        r.observe(false);
+        r.observe(false);
+        r.observe(true);
+        assert_eq!(r.value(), 0.5);
+        r.add(2, 4);
+        assert_eq!(r.num, 4);
+        assert_eq!(r.den, 8);
+    }
+
+    #[test]
+    fn ratio_merge() {
+        let mut a = Ratio { num: 1, den: 4 };
+        let b = Ratio { num: 3, den: 4 };
+        a.merge(&b);
+        assert_eq!(a.value(), 0.5);
+    }
+
+    #[test]
+    fn speedup_and_reduction() {
+        assert!((speedup(100.0, 123.57) - 0.2357).abs() < 1e-12);
+        assert!((reduction(100.0, 60.0) - 0.40).abs() < 1e-12);
+        assert_eq!(speedup(0.0, 5.0), 0.0, "guarded division");
+        assert_eq!(reduction(0.0, 5.0), 0.0);
+    }
+
+    #[test]
+    fn display_forms() {
+        let mut r = Ratio::new();
+        r.add(1, 4);
+        assert_eq!(format!("{r}"), "25.00% (1/4)");
+        assert_eq!(format!("{}", Counter(7)), "7");
+    }
+}

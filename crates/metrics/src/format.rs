@@ -1,0 +1,92 @@
+//! Number formatting helpers shared by tables and figure binaries.
+
+/// Format a fraction as a percentage with two decimals: `0.2357` → `23.57%`.
+pub fn pct(frac: f64) -> String {
+    format!("{:.2}%", frac * 100.0)
+}
+
+/// Format a signed fraction as a percentage: `-0.013` → `-1.30%`.
+pub fn pct_signed(frac: f64) -> String {
+    format!("{:+.2}%", frac * 100.0)
+}
+
+/// Format bytes/second as the paper's MB/s (decimal megabytes).
+pub fn mbs(bytes_per_sec: f64) -> String {
+    format!("{:.2}", bytes_per_sec / 1e6)
+}
+
+/// Format a byte count with a binary-unit suffix: `65536` → `64K`.
+pub fn bytes_human(bytes: u64) -> String {
+    const K: u64 = 1024;
+    if bytes >= K * K * K && bytes.is_multiple_of(K * K * K) {
+        format!("{}G", bytes / (K * K * K))
+    } else if bytes >= K * K && bytes.is_multiple_of(K * K) {
+        format!("{}M", bytes / (K * K))
+    } else if bytes >= K && bytes.is_multiple_of(K) {
+        format!("{}K", bytes / K)
+    } else {
+        format!("{bytes}")
+    }
+}
+
+/// Parse a human byte size: `"64K"`, `"1M"`, `"2M"`, `"10G"`, `"512"`.
+pub fn parse_bytes(s: &str) -> Option<u64> {
+    let s = s.trim();
+    if s.is_empty() {
+        return None;
+    }
+    let (digits, mult) = match s.as_bytes()[s.len() - 1].to_ascii_uppercase() {
+        b'K' => (&s[..s.len() - 1], 1024u64),
+        b'M' => (&s[..s.len() - 1], 1024 * 1024),
+        b'G' => (&s[..s.len() - 1], 1024 * 1024 * 1024),
+        _ => (s, 1),
+    };
+    digits.trim().parse::<u64>().ok()?.checked_mul(mult)
+}
+
+/// Format cycles in the paper's Fig. 10/11 unit (`1e4 cycles`).
+pub fn cycles_1e4(cycles: u64) -> String {
+    format!("{:.0}", cycles as f64 / 1e4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percent_formatting() {
+        assert_eq!(pct(0.2357), "23.57%");
+        assert_eq!(pct_signed(-0.0130), "-1.30%");
+        assert_eq!(pct_signed(0.0605), "+6.05%");
+    }
+
+    #[test]
+    fn bandwidth_formatting() {
+        assert_eq!(mbs(3_576_580_000.0), "3576.58");
+        assert_eq!(mbs(125e6), "125.00");
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        for s in ["128K", "512K", "1M", "2M", "64K", "10G", "777"] {
+            let b = parse_bytes(s).unwrap();
+            assert_eq!(bytes_human(b), s.to_uppercase());
+        }
+        assert_eq!(parse_bytes("64k"), Some(65536));
+        assert_eq!(parse_bytes(" 2M "), Some(2 * 1024 * 1024));
+        assert_eq!(parse_bytes(""), None);
+        assert_eq!(parse_bytes("xK"), None);
+    }
+
+    #[test]
+    fn non_round_bytes_fall_back_to_digits() {
+        assert_eq!(bytes_human(1500), "1500");
+        assert_eq!(bytes_human(1024), "1K");
+        assert_eq!(bytes_human(3 * 1024 * 1024), "3M");
+    }
+
+    #[test]
+    fn cycle_unit() {
+        assert_eq!(cycles_1e4(25_000_000), "2500");
+    }
+}

@@ -1,0 +1,234 @@
+//! Log-linear latency histogram (HDR-histogram style).
+//!
+//! Each power-of-two octave is split into 8 linear sub-buckets, bounding
+//! quantile error at 12.5 % across the full u64 range in O(1) memory —
+//! the usual shape for latency telemetry. Used by the cluster model to
+//! record per-request completion latencies.
+
+/// A fixed-layout log-linear histogram of nanosecond values.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    /// 8 linear sub-buckets per power-of-two octave.
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+const SUB: u64 = 8; // sub-buckets per octave (12.5 % resolution)
+/// Indices 0..SUB hold the exact small values; octaves ≥ 3 follow
+/// contiguously (octaves 0–2 are covered by the exact range).
+const OFFSET: u64 = 2 * SUB;
+const BUCKETS: usize = 64 * SUB as usize; // covers the full u64 range
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: vec![0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    fn bucket_of(value: u64) -> usize {
+        if value < SUB {
+            // Values below the first full octave are exact.
+            return value as usize;
+        }
+        let log2 = 63 - value.leading_zeros() as u64;
+        let base = 1u64 << log2;
+        // Linear position within the octave, in eighths.
+        let sub = ((value - base) as u128 * SUB as u128 / base as u128) as u64;
+        let idx = log2 * SUB + sub - OFFSET;
+        (idx as usize).min(BUCKETS - 1)
+    }
+
+    /// Lower bound of a bucket (inverse of `bucket_of`).
+    fn bucket_floor(idx: usize) -> u64 {
+        let idx = idx as u64;
+        if idx < SUB {
+            return idx;
+        }
+        let j = idx + OFFSET;
+        let log2 = j / SUB;
+        let sub = j % SUB;
+        let base = 1u64 << log2;
+        base + base / SUB * sub
+    }
+
+    /// Record one value.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Self::bucket_of(value)] += 1;
+        self.count += 1;
+        self.sum += value as u128;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Smallest recorded value (0 if empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded value.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Approximate quantile `q ∈ [0, 1]`: the lower bound of the bucket
+    /// containing the q-th value (exact min/max at the extremes).
+    pub fn quantile(&self, q: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&q));
+        if self.count == 0 {
+            return 0;
+        }
+        if q <= 0.0 {
+            return self.min();
+        }
+        if q >= 1.0 {
+            return self.max;
+        }
+        let rank = (q * self.count as f64).ceil() as u64;
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Self::bucket_floor(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile(0.5), 0);
+    }
+
+    #[test]
+    fn exact_extremes() {
+        let mut h = Histogram::new();
+        for v in [10u64, 100, 1000, 10_000] {
+            h.record(v);
+        }
+        assert_eq!(h.min(), 10);
+        assert_eq!(h.max(), 10_000);
+        assert_eq!(h.quantile(0.0), 10);
+        assert_eq!(h.quantile(1.0), 10_000);
+        assert_eq!(h.count(), 4);
+        assert!((h.mean() - 2777.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantiles_within_bucket_error() {
+        let mut h = Histogram::new();
+        for v in 1..=100_000u64 {
+            h.record(v);
+        }
+        // p50 of 1..=100000 is 50000; the bucket lower bound is at most
+        // 12.5 % below the true quantile.
+        let p50 = h.quantile(0.5) as f64;
+        assert!((43_000.0..=50_001.0).contains(&p50), "p50 = {p50}");
+        let p99 = h.quantile(0.99) as f64;
+        assert!((86_000.0..=99_001.0).contains(&p99), "p99 = {p99}");
+    }
+
+    #[test]
+    fn bucket_of_is_monotone() {
+        let mut last = 0;
+        for v in [0u64, 1, 2, 3, 5, 8, 100, 1000, 1 << 20, 1 << 40, u64::MAX] {
+            let b = Histogram::bucket_of(v);
+            assert!(b >= last, "bucket regressed at {v}");
+            last = b;
+        }
+    }
+
+    #[test]
+    fn merge_equals_combined() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut all = Histogram::new();
+        for v in 0..1000u64 {
+            let x = v * v % 7919;
+            if v % 2 == 0 { a.record(x) } else { b.record(x) }
+            all.record(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert_eq!(a.min(), all.min());
+        assert_eq!(a.max(), all.max());
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            assert_eq!(a.quantile(q), all.quantile(q));
+        }
+    }
+
+    #[test]
+    fn small_values_have_exact_buckets() {
+        let mut h = Histogram::new();
+        h.record(0);
+        h.record(1);
+        assert_eq!(h.quantile(0.25), 0);
+        assert_eq!(h.quantile(1.0), 1);
+    }
+
+    #[test]
+    fn floor_inverts_bucket_of() {
+        for v in [0u64, 1, 7, 8, 9, 100, 1000, 65_536, 1_000_000, 1 << 40] {
+            let idx = Histogram::bucket_of(v);
+            let floor = Histogram::bucket_floor(idx);
+            assert!(floor <= v, "floor {floor} > value {v}");
+            // The next bucket's floor is above the value.
+            if idx + 1 < BUCKETS {
+                assert!(Histogram::bucket_floor(idx + 1) > v, "value {v} spills over");
+            }
+            // Resolution bound: floor within 12.5 % of the value.
+            assert!(v as f64 - floor as f64 <= (v as f64) / 8.0 + 1.0);
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! # sais-metrics — measurement and reporting
+//!
+//! The paper evaluates four metrics, collected with Oprofile and `sar`:
+//! **bandwidth**, **L2 cache miss rate**, **CPU utilization** and
+//! **CPU_CLK_UNHALTED**. This crate provides the counter types the
+//! simulated components increment, streaming statistics for multi-run
+//! averaging (the paper averages ≥3 runs per point), and the table/CSV
+//! renderers the figure-regeneration binaries use to print paper-style rows.
+
+pub mod chart;
+pub mod counters;
+pub mod format;
+pub mod histogram;
+pub mod stats;
+pub mod table;
+
+pub use chart::BarChart;
+pub use counters::{Counter, Ratio, Sample};
+pub use histogram::Histogram;
+pub use stats::Welford;
+pub use table::{Align, Table};

@@ -1,0 +1,178 @@
+//! Ethernet II framing with a real frame check sequence.
+//!
+//! The simulated NIC receive path is byte-faithful for the first frame of
+//! every strip: the server's `HintCapsuler` output rides inside an actual
+//! Ethernet frame, the client NIC checks the FCS, and only then does
+//! `SrcParser` see the IP header — so every integrity layer a corrupted
+//! hint could hide behind is really there.
+
+use crate::crc32::crc32;
+
+/// A 48-bit MAC address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MacAddr(pub [u8; 6]);
+
+impl MacAddr {
+    /// A locally-administered address derived from a node id — handy for
+    /// giving every simulated node a distinct, stable MAC.
+    pub fn for_node(id: u32) -> Self {
+        let b = id.to_be_bytes();
+        // 0x02 = locally administered, unicast.
+        MacAddr([0x02, 0x5A, b[0], b[1], b[2], b[3]])
+    }
+}
+
+impl std::fmt::Display for MacAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let m = self.0;
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            m[0], m[1], m[2], m[3], m[4], m[5]
+        )
+    }
+}
+
+/// EtherType for IPv4.
+pub const ETHERTYPE_IPV4: u16 = 0x0800;
+/// Minimum Ethernet payload (frames are padded up to this).
+pub const MIN_PAYLOAD: usize = 46;
+
+/// A decoded Ethernet II frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EthernetFrame {
+    /// Destination MAC.
+    pub dst: MacAddr,
+    /// Source MAC.
+    pub src: MacAddr,
+    /// EtherType.
+    pub ethertype: u16,
+    /// Payload (padding stripped only if the caller knows the inner
+    /// length; kept verbatim here).
+    pub payload: Vec<u8>,
+}
+
+/// Frame decode errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameError {
+    /// Shorter than header + FCS.
+    Runt,
+    /// FCS mismatch — the NIC drops the frame silently in hardware.
+    BadFcs {
+        /// FCS found on the wire.
+        found: u32,
+        /// FCS computed over the frame.
+        computed: u32,
+    },
+}
+
+impl EthernetFrame {
+    /// Build an IPv4 frame.
+    pub fn ipv4(dst: MacAddr, src: MacAddr, payload: Vec<u8>) -> Self {
+        EthernetFrame {
+            dst,
+            src,
+            ethertype: ETHERTYPE_IPV4,
+            payload,
+        }
+    }
+
+    /// Serialize with padding and FCS.
+    pub fn encode(&self) -> Vec<u8> {
+        let payload_len = self.payload.len().max(MIN_PAYLOAD);
+        let mut out = Vec::with_capacity(14 + payload_len + 4);
+        out.extend_from_slice(&self.dst.0);
+        out.extend_from_slice(&self.src.0);
+        out.extend_from_slice(&self.ethertype.to_be_bytes());
+        out.extend_from_slice(&self.payload);
+        out.resize(14 + payload_len, 0); // pad runts
+        let fcs = crc32(&out);
+        out.extend_from_slice(&fcs.to_le_bytes());
+        out
+    }
+
+    /// Parse and verify a wire frame.
+    pub fn decode(bytes: &[u8]) -> Result<EthernetFrame, FrameError> {
+        if bytes.len() < 14 + MIN_PAYLOAD + 4 {
+            return Err(FrameError::Runt);
+        }
+        let (body, fcs_bytes) = bytes.split_at(bytes.len() - 4);
+        let found = u32::from_le_bytes(fcs_bytes.try_into().expect("4 bytes"));
+        let computed = crc32(body);
+        if found != computed {
+            return Err(FrameError::BadFcs { found, computed });
+        }
+        let mut dst = [0u8; 6];
+        let mut src = [0u8; 6];
+        dst.copy_from_slice(&body[0..6]);
+        src.copy_from_slice(&body[6..12]);
+        let ethertype = u16::from_be_bytes([body[12], body[13]]);
+        Ok(EthernetFrame {
+            dst: MacAddr(dst),
+            src: MacAddr(src),
+            ethertype,
+            payload: body[14..].to_vec(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame() -> EthernetFrame {
+        EthernetFrame::ipv4(
+            MacAddr::for_node(1),
+            MacAddr::for_node(2),
+            vec![0xAB; 100],
+        )
+    }
+
+    #[test]
+    fn roundtrip() {
+        let f = frame();
+        let wire = f.encode();
+        let back = EthernetFrame::decode(&wire).unwrap();
+        assert_eq!(back.dst, f.dst);
+        assert_eq!(back.src, f.src);
+        assert_eq!(back.ethertype, ETHERTYPE_IPV4);
+        assert_eq!(&back.payload[..100], &f.payload[..]);
+    }
+
+    #[test]
+    fn runt_padding_roundtrips() {
+        let f = EthernetFrame::ipv4(MacAddr::for_node(1), MacAddr::for_node(2), vec![1, 2, 3]);
+        let wire = f.encode();
+        assert_eq!(wire.len(), 14 + MIN_PAYLOAD + 4);
+        let back = EthernetFrame::decode(&wire).unwrap();
+        assert_eq!(&back.payload[..3], &[1, 2, 3]);
+        assert!(back.payload[3..].iter().all(|&b| b == 0), "zero padding");
+    }
+
+    #[test]
+    fn corruption_is_caught_anywhere() {
+        let wire = frame().encode();
+        for i in 0..wire.len() {
+            let mut bad = wire.clone();
+            bad[i] ^= 0x10;
+            assert!(
+                matches!(EthernetFrame::decode(&bad), Err(FrameError::BadFcs { .. })),
+                "flip at byte {i} undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn runt_rejected() {
+        assert_eq!(EthernetFrame::decode(&[0u8; 20]), Err(FrameError::Runt));
+    }
+
+    #[test]
+    fn mac_display_and_derivation() {
+        let m = MacAddr::for_node(0x00C7);
+        assert_eq!(format!("{m}"), "02:5a:00:00:00:c7");
+        assert_ne!(MacAddr::for_node(1), MacAddr::for_node(2));
+        assert_eq!(m.0[0] & 0x01, 0, "unicast");
+        assert_eq!(m.0[0] & 0x02, 0x02, "locally administered");
+    }
+}

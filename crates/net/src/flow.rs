@@ -1,0 +1,79 @@
+//! Flow identification (the connection 4-tuple), for RSS-style policies
+//! and NIC-bond port selection.
+
+/// A TCP flow identifier derived from the 4-tuple.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FlowId(pub u64);
+
+impl FlowId {
+    /// The flow id a real RSS-capable NIC computes: the Toeplitz hash of
+    /// the receive tuple under the standard Microsoft key. This is what
+    /// the simulated NIC uses for queue/port selection and what the
+    /// `FlowHash` steering baseline spreads on.
+    pub fn rss(src_ip: u32, dst_ip: u32, src_port: u16, dst_port: u16) -> Self {
+        FlowId(crate::rss::hash_v4_tcp(
+            &crate::rss::MICROSOFT_KEY,
+            src_ip,
+            dst_ip,
+            src_port,
+            dst_port,
+        ) as u64)
+    }
+
+    /// Hash the 4-tuple into a stable flow id. Symmetric hashing is *not*
+    /// used — direction matters (we steer on receive).
+    pub fn from_tuple(src_ip: u32, dst_ip: u32, src_port: u16, dst_port: u16) -> Self {
+        let a = ((src_ip as u64) << 32) | dst_ip as u64;
+        let b = ((src_port as u64) << 16) | dst_port as u64;
+        // Two rounds of SplitMix-style mixing.
+        let mut x = a ^ b.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        FlowId(x ^ (x >> 31))
+    }
+
+    /// Raw value.
+    pub fn value(self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_tuple_sensitive() {
+        let f = FlowId::from_tuple(0x0A000001, 0x0A000002, 40000, 3334);
+        assert_eq!(f, FlowId::from_tuple(0x0A000001, 0x0A000002, 40000, 3334));
+        assert_ne!(f, FlowId::from_tuple(0x0A000001, 0x0A000002, 40001, 3334));
+        assert_ne!(f, FlowId::from_tuple(0x0A000002, 0x0A000001, 40000, 3334));
+        assert_ne!(f, FlowId::from_tuple(0x0A000001, 0x0A000002, 3334, 40000), "directional");
+    }
+
+    #[test]
+    fn spreads_over_small_modulus() {
+        // 48 server flows should spread reasonably over 8 cores.
+        let mut buckets = [0u32; 8];
+        for s in 0..48u32 {
+            let f = FlowId::from_tuple(0x0A00_0100 + s, 0x0A000001, 50000, 3334);
+            buckets[(f.value() % 8) as usize] += 1;
+        }
+        assert!(buckets.iter().all(|&b| b >= 1), "no empty bucket: {buckets:?}");
+        assert!(buckets.iter().all(|&b| b <= 14), "no huge bucket: {buckets:?}");
+    }
+
+    #[test]
+    fn rss_flow_matches_toeplitz() {
+        let f = FlowId::rss(0x0A010003, 0x0A000001, 3334, 50_000);
+        let h = crate::rss::hash_v4_tcp(
+            &crate::rss::MICROSOFT_KEY,
+            0x0A010003,
+            0x0A000001,
+            3334,
+            50_000,
+        );
+        assert_eq!(f.value(), h as u64);
+        assert_ne!(f, FlowId::rss(0x0A010004, 0x0A000001, 3334, 50_000));
+    }
+}

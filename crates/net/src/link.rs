@@ -1,0 +1,92 @@
+//! Point-to-point links and switch ports.
+//!
+//! A link is serialization (bandwidth) plus propagation delay. The testbed
+//! fabric — GigE NICs into a Cisco Catalyst 4948 — is modelled as
+//! store-and-forward: a strip is fully serialized onto the sender's link,
+//! crosses the switch with a fixed forwarding latency, then queues for the
+//! receiver's (possibly slower or contended) port.
+
+use sais_sim::{RateResource, SimDuration, SimTime};
+
+/// A unidirectional link: FIFO serialization at a rate, then propagation.
+#[derive(Debug, Clone)]
+pub struct Link {
+    pipe: RateResource,
+    propagation: SimDuration,
+}
+
+impl Link {
+    /// A link of `bits_per_sec` with the given propagation delay.
+    pub fn new(bits_per_sec: f64, propagation: SimDuration) -> Self {
+        Link {
+            pipe: RateResource::from_bits_per_sec(bits_per_sec),
+            propagation,
+        }
+    }
+
+    /// Gigabit Ethernet through a LAN switch: 1 Gb/s, ~20 µs one-way
+    /// (cable + PHY + forwarding).
+    pub fn gige() -> Self {
+        Link::new(1e9, SimDuration::from_micros(20))
+    }
+
+    /// Send `bytes` starting no earlier than `now`; returns the time the
+    /// last byte arrives at the far end.
+    pub fn send(&mut self, now: SimTime, bytes: u64) -> SimTime {
+        let (_, serialized) = self.pipe.transfer(now, bytes);
+        serialized + self.propagation
+    }
+
+    /// When the sender-side pipe frees up.
+    pub fn busy_until(&self) -> SimTime {
+        self.pipe.busy_until()
+    }
+
+    /// Bytes moved so far.
+    pub fn bytes_moved(&self) -> u64 {
+        self.pipe.bytes_moved()
+    }
+
+    /// Pipe utilization over `[0, horizon]`.
+    pub fn utilization(&self, horizon: SimTime) -> f64 {
+        self.pipe.utilization(horizon)
+    }
+
+    /// Link capacity in bytes/second.
+    pub fn bytes_per_sec(&self) -> f64 {
+        self.pipe.bytes_per_sec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serialization_plus_propagation() {
+        let mut l = Link::new(1e9, SimDuration::from_micros(20));
+        // 125000 bytes at 125 MB/s = 1 ms serialization + 20 us.
+        let arrive = l.send(SimTime::ZERO, 125_000);
+        assert_eq!(arrive, SimTime::from_micros(1020));
+    }
+
+    #[test]
+    fn back_to_back_sends_pipeline() {
+        let mut l = Link::new(1e9, SimDuration::from_micros(20));
+        let a1 = l.send(SimTime::ZERO, 125_000);
+        let a2 = l.send(SimTime::ZERO, 125_000);
+        // Second message serializes after the first but the propagation
+        // overlaps: arrivals are 1 ms apart.
+        assert_eq!(a2 - a1, SimDuration::from_millis(1));
+        assert_eq!(l.bytes_moved(), 250_000);
+    }
+
+    #[test]
+    fn idle_gap_not_counted_busy() {
+        let mut l = Link::gige();
+        l.send(SimTime::ZERO, 125_000); // 1 ms busy
+        l.send(SimTime::from_millis(9), 125_000); // 1 ms busy
+        let u = l.utilization(SimTime::from_millis(10));
+        assert!((u - 0.2).abs() < 1e-9);
+    }
+}

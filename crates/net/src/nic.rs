@@ -1,0 +1,227 @@
+//! The client NIC: port bonding and interrupt coalescing.
+//!
+//! The testbed's "3-Gigabit NIC" is three 1-GbE BCM5715C ports bonded
+//! together; flows hash onto ports, so aggregate receive bandwidth reaches
+//! 3 Gb/s only when enough server flows are active. Received frames are
+//! **coalesced**: the NIC raises one hardirq per batch of up to
+//! `max_frames` completions rather than per frame (NAPI-era behaviour).
+//! Coalescing matters to the paper's problem: under irqbalance each *batch*
+//! is steered independently, so even a single strip's frames can land on
+//! several cores.
+
+use crate::flow::FlowId;
+use crate::segment::SegmentPlan;
+use sais_sim::{RateResource, SimDuration, SimTime};
+
+/// Interrupt-coalescing configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoalesceParams {
+    /// Maximum frame completions per interrupt.
+    pub max_frames: u64,
+}
+
+impl Default for CoalesceParams {
+    fn default() -> Self {
+        // BCM57xx-era rx-frames default neighbourhood.
+        CoalesceParams { max_frames: 8 }
+    }
+}
+
+impl CoalesceParams {
+    /// No coalescing: one interrupt per frame.
+    pub fn per_frame() -> Self {
+        CoalesceParams { max_frames: 1 }
+    }
+}
+
+/// One hardirq raised by the NIC, covering `frames` frame completions of a
+/// strip that finished arriving by `time`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InterruptBatch {
+    /// When the interrupt fires.
+    pub time: SimTime,
+    /// Frames covered.
+    pub frames: u64,
+    /// Payload bytes covered (approximate, proportional share).
+    pub bytes: u64,
+}
+
+/// A bonded set of receive ports.
+#[derive(Debug, Clone)]
+pub struct NicBond {
+    ports: Vec<RateResource>,
+    propagation: SimDuration,
+    frames_received: u64,
+    interrupts_raised: u64,
+}
+
+impl NicBond {
+    /// A bond of `ports` ports, each of `bits_per_sec`, with a fixed
+    /// receive-path latency (switch forwarding + PHY + DMA).
+    pub fn new(ports: usize, bits_per_sec: f64, propagation: SimDuration) -> Self {
+        assert!(ports > 0);
+        NicBond {
+            ports: (0..ports)
+                .map(|_| RateResource::from_bits_per_sec(bits_per_sec))
+                .collect(),
+            propagation,
+            frames_received: 0,
+            interrupts_raised: 0,
+        }
+    }
+
+    /// The testbed 1-Gigabit configuration.
+    pub fn gige_single() -> Self {
+        NicBond::new(1, 1e9, SimDuration::from_micros(20))
+    }
+
+    /// The testbed 3-Gigabit configuration (3 × 1 GbE bonded).
+    pub fn gige_bonded_3() -> Self {
+        NicBond::new(3, 1e9, SimDuration::from_micros(20))
+    }
+
+    /// Number of bonded ports.
+    pub fn ports(&self) -> usize {
+        self.ports.len()
+    }
+
+    /// Aggregate nominal capacity in bytes/second.
+    pub fn capacity_bytes_per_sec(&self) -> f64 {
+        self.ports.iter().map(|p| p.bytes_per_sec()).sum()
+    }
+
+    /// Receive one strip from the given flow, earliest at `now`:
+    /// serializes the strip's wire bytes on the flow's port and produces
+    /// the coalesced interrupt schedule. Returns the batches in firing
+    /// order; the last batch fires when the strip has fully arrived.
+    pub fn receive_strip(
+        &mut self,
+        now: SimTime,
+        flow: FlowId,
+        plan: SegmentPlan,
+        coalesce: CoalesceParams,
+    ) -> Vec<InterruptBatch> {
+        assert!(coalesce.max_frames >= 1);
+        let port = (flow.value() % self.ports.len() as u64) as usize;
+        let (start, end) = self.ports[port].transfer(now, plan.wire_bytes);
+        let window = end - start;
+        let batches = plan.packets.div_ceil(coalesce.max_frames);
+        let mut out = Vec::with_capacity(batches as usize);
+        let mut frames_done = 0u64;
+        let mut bytes_done = 0u64;
+        for b in 1..=batches {
+            let frames_cum = (plan.packets * b) / batches;
+            let frames = frames_cum - frames_done;
+            frames_done = frames_cum;
+            let bytes_cum = (plan.payload * frames_cum) / plan.packets;
+            let bytes = bytes_cum - bytes_done;
+            bytes_done = bytes_cum;
+            // The batch fires when its last frame has arrived (linear
+            // interpolation across the serialization window) plus the
+            // receive-path latency.
+            let t = start + SimDuration::from_nanos(window.as_nanos() * frames_cum / plan.packets)
+                + self.propagation;
+            out.push(InterruptBatch {
+                time: t,
+                frames,
+                bytes,
+            });
+        }
+        debug_assert_eq!(frames_done, plan.packets);
+        debug_assert_eq!(bytes_done, plan.payload);
+        self.frames_received += plan.packets;
+        self.interrupts_raised += batches;
+        out
+    }
+
+    /// Total frames received.
+    pub fn frames_received(&self) -> u64 {
+        self.frames_received
+    }
+
+    /// Total hardirqs raised.
+    pub fn interrupts_raised(&self) -> u64 {
+        self.interrupts_raised
+    }
+
+    /// Aggregate achieved receive rate over `[0, horizon]`.
+    pub fn achieved_rate(&self, horizon: SimTime) -> f64 {
+        self.ports.iter().map(|p| p.achieved_rate(horizon)).sum()
+    }
+
+    /// Per-port utilization over `[0, horizon]`.
+    pub fn port_utilization(&self, horizon: SimTime) -> Vec<f64> {
+        self.ports.iter().map(|p| p.utilization(horizon)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strip_plan() -> SegmentPlan {
+        SegmentPlan::with_sais_option(65536, 1500)
+    }
+
+    #[test]
+    fn batches_cover_all_frames_and_bytes() {
+        let mut nic = NicBond::gige_single();
+        let batches = nic.receive_strip(
+            SimTime::ZERO,
+            FlowId(0),
+            strip_plan(),
+            CoalesceParams { max_frames: 8 },
+        );
+        let plan = strip_plan();
+        assert_eq!(batches.len() as u64, plan.packets.div_ceil(8));
+        assert_eq!(batches.iter().map(|b| b.frames).sum::<u64>(), plan.packets);
+        assert_eq!(batches.iter().map(|b| b.bytes).sum::<u64>(), plan.payload);
+        // Monotone, and the last fires at full arrival + propagation.
+        for w in batches.windows(2) {
+            assert!(w[0].time <= w[1].time);
+        }
+        assert_eq!(nic.interrupts_raised(), batches.len() as u64);
+        assert_eq!(nic.frames_received(), plan.packets);
+    }
+
+    #[test]
+    fn no_coalescing_means_one_irq_per_frame() {
+        let mut nic = NicBond::gige_single();
+        let plan = strip_plan();
+        let batches =
+            nic.receive_strip(SimTime::ZERO, FlowId(0), plan, CoalesceParams::per_frame());
+        assert_eq!(batches.len() as u64, plan.packets);
+        assert!(batches.iter().all(|b| b.frames == 1));
+    }
+
+    #[test]
+    fn flows_spread_across_bond_ports() {
+        let mut nic = NicBond::gige_bonded_3();
+        // Three flows chosen to land on three distinct ports.
+        for f in [FlowId(0), FlowId(1), FlowId(2)] {
+            nic.receive_strip(SimTime::ZERO, f, strip_plan(), CoalesceParams::default());
+        }
+        let horizon = SimTime::from_millis(1);
+        let utils = nic.port_utilization(horizon);
+        assert!(utils.iter().all(|&u| u > 0.0), "each port carried a strip: {utils:?}");
+    }
+
+    #[test]
+    fn same_flow_serializes_on_one_port() {
+        let mut nic = NicBond::gige_bonded_3();
+        let b1 = nic.receive_strip(SimTime::ZERO, FlowId(5), strip_plan(), CoalesceParams::default());
+        let b2 = nic.receive_strip(SimTime::ZERO, FlowId(5), strip_plan(), CoalesceParams::default());
+        // Second strip's last batch is one serialization window later.
+        let w = strip_plan().wire_bytes;
+        let serialization = SimDuration::for_bytes(w, 125e6);
+        let delta = b2.last().unwrap().time - b1.last().unwrap().time;
+        assert_eq!(delta, serialization);
+    }
+
+    #[test]
+    fn aggregate_capacity() {
+        let nic = NicBond::gige_bonded_3();
+        assert_eq!(nic.ports(), 3);
+        assert!((nic.capacity_bytes_per_sec() - 375e6).abs() < 1.0);
+    }
+}

@@ -1,0 +1,181 @@
+//! MTU segmentation arithmetic.
+//!
+//! PVFS moves strips over TCP; each 64 KB strip becomes ~45 wire packets at
+//! the standard 1500-byte Ethernet MTU. The simulator works at strip
+//! granularity for speed, so this module centralizes the packet/byte math
+//! used to (a) time strip transmission on links (payload + header overhead)
+//! and (b) count the packets a strip contributes to interrupt coalescing.
+
+/// Ethernet framing overhead per packet: preamble 8 + MAC header 14 +
+/// FCS 4 + inter-frame gap 12.
+pub const ETH_OVERHEAD: u64 = 38;
+/// IPv4 base header.
+pub const IPV4_BASE_HEADER: u64 = 20;
+/// TCP header without options.
+pub const TCP_HEADER: u64 = 20;
+/// Standard Ethernet MTU (IP + TCP + payload must fit).
+pub const DEFAULT_MTU: u64 = 1500;
+
+/// A segmentation plan for a payload of a given size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SegmentPlan {
+    /// Number of wire packets.
+    pub packets: u64,
+    /// Payload bytes carried.
+    pub payload: u64,
+    /// Total bytes on the wire including all per-packet overhead.
+    pub wire_bytes: u64,
+    /// Maximum segment size used.
+    pub mss: u64,
+}
+
+impl SegmentPlan {
+    /// Plan segmentation of `payload` bytes at `mtu`, with `ip_options`
+    /// bytes of IP options per packet (the SAIs option costs 4 bytes of
+    /// IHL-padded option space on every response packet — the protocol
+    /// overhead the design accepts for locality).
+    pub fn new(payload: u64, mtu: u64, ip_options: u64) -> Self {
+        let ip_header = IPV4_BASE_HEADER + ip_options;
+        assert!(ip_header <= 60, "IPv4 header cannot exceed 60 bytes");
+        assert!(
+            mtu > ip_header + TCP_HEADER,
+            "MTU too small for headers"
+        );
+        let mss = mtu - ip_header - TCP_HEADER;
+        if payload == 0 {
+            // A zero-length message still costs one packet (pure ACK-like).
+            return SegmentPlan {
+                packets: 1,
+                payload: 0,
+                wire_bytes: ETH_OVERHEAD + ip_header + TCP_HEADER,
+                mss,
+            };
+        }
+        let packets = payload.div_ceil(mss);
+        let wire_bytes = payload + packets * (ETH_OVERHEAD + ip_header + TCP_HEADER);
+        SegmentPlan {
+            packets,
+            payload,
+            wire_bytes,
+            mss,
+        }
+    }
+
+    /// Plan with the SAIs option present (4 bytes of options per packet).
+    pub fn with_sais_option(payload: u64, mtu: u64) -> Self {
+        SegmentPlan::new(payload, mtu, 4)
+    }
+
+    /// Streaming plan: the payload rides a long-lived TCP stream, so
+    /// segments do not align to this payload's boundaries and the
+    /// per-packet overhead amortizes fractionally (no +1 packet
+    /// quantization per strip). Used by the strip-granular simulator;
+    /// `new` models a message-framed transport exactly.
+    pub fn streaming(payload: u64, mtu: u64, ip_options: u64) -> Self {
+        let ip_header = IPV4_BASE_HEADER + ip_options;
+        assert!(ip_header <= 60, "IPv4 header cannot exceed 60 bytes");
+        assert!(mtu > ip_header + TCP_HEADER, "MTU too small for headers");
+        let mss = mtu - ip_header - TCP_HEADER;
+        let per_pkt = ETH_OVERHEAD + ip_header + TCP_HEADER;
+        // Round to the nearest packet; charge overhead pro rata.
+        let packets = ((payload + mss / 2) / mss).max(1);
+        let wire_bytes = payload + (payload as f64 / mss as f64 * per_pkt as f64).round() as u64;
+        SegmentPlan {
+            packets,
+            payload,
+            wire_bytes: wire_bytes.max(per_pkt),
+            mss,
+        }
+    }
+
+    /// Plan without options (the Irqbalance baseline wire format).
+    pub fn plain(payload: u64, mtu: u64) -> Self {
+        SegmentPlan::new(payload, mtu, 0)
+    }
+
+    /// Effective goodput ratio: payload / wire bytes.
+    pub fn efficiency(&self) -> f64 {
+        if self.wire_bytes == 0 {
+            0.0
+        } else {
+            self.payload as f64 / self.wire_bytes as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strip_at_default_mtu() {
+        // 64 KB strip, no options: MSS = 1460 → 45 packets.
+        let p = SegmentPlan::plain(65536, DEFAULT_MTU);
+        assert_eq!(p.mss, 1460);
+        assert_eq!(p.packets, 45);
+        assert_eq!(p.wire_bytes, 65536 + 45 * 78);
+        assert!(p.efficiency() > 0.94);
+    }
+
+    #[test]
+    fn sais_option_shrinks_mss() {
+        let p = SegmentPlan::with_sais_option(65536, DEFAULT_MTU);
+        assert_eq!(p.mss, 1456);
+        assert_eq!(p.packets, 46, "one extra packet from the 4-byte option");
+        // The locality optimisation costs <0.5 % extra wire bytes.
+        let plain = SegmentPlan::plain(65536, DEFAULT_MTU);
+        let overhead = p.wire_bytes as f64 / plain.wire_bytes as f64 - 1.0;
+        assert!(overhead < 0.005, "option overhead {overhead}");
+    }
+
+    #[test]
+    fn tiny_and_zero_payloads() {
+        let p = SegmentPlan::plain(1, DEFAULT_MTU);
+        assert_eq!(p.packets, 1);
+        let z = SegmentPlan::plain(0, DEFAULT_MTU);
+        assert_eq!(z.packets, 1);
+        assert_eq!(z.payload, 0);
+        assert_eq!(z.efficiency(), 0.0);
+    }
+
+    #[test]
+    fn exact_multiple_of_mss() {
+        let p = SegmentPlan::plain(1460 * 10, DEFAULT_MTU);
+        assert_eq!(p.packets, 10);
+        let q = SegmentPlan::plain(1460 * 10 + 1, DEFAULT_MTU);
+        assert_eq!(q.packets, 11);
+    }
+
+    #[test]
+    fn jumbo_frames_reduce_packet_count() {
+        let std = SegmentPlan::plain(65536, 1500);
+        let jumbo = SegmentPlan::plain(65536, 9000);
+        assert!(jumbo.packets < std.packets / 5);
+        assert!(jumbo.efficiency() > std.efficiency());
+    }
+
+    #[test]
+    #[should_panic(expected = "MTU too small")]
+    fn degenerate_mtu_panics() {
+        let _ = SegmentPlan::plain(100, 40);
+    }
+
+    #[test]
+    fn streaming_amortizes_option_overhead() {
+        let plain = SegmentPlan::streaming(65536, DEFAULT_MTU, 0);
+        let sais = SegmentPlan::streaming(65536, DEFAULT_MTU, 4);
+        // 64 KB ≈ 45 segments either way; the option costs ~4 B/packet,
+        // about 0.27 % of wire bytes, with no +1-packet quantization.
+        assert_eq!(plain.packets, 45);
+        assert_eq!(sais.packets, 45);
+        let overhead = sais.wire_bytes as f64 / plain.wire_bytes as f64 - 1.0;
+        assert!(overhead > 0.0 && overhead < 0.004, "overhead {overhead}");
+    }
+
+    #[test]
+    fn streaming_tiny_payload_floors() {
+        let p = SegmentPlan::streaming(1, DEFAULT_MTU, 4);
+        assert_eq!(p.packets, 1);
+        assert!(p.wire_bytes >= ETH_OVERHEAD + 24 + TCP_HEADER);
+    }
+}

@@ -1,0 +1,204 @@
+//! A store-and-forward Ethernet switch with MAC learning.
+//!
+//! Models the testbed's Cisco Catalyst 4948: output-queued, one
+//! [`Link`]-modelled egress per port, a learning forwarding table, and
+//! flooding for unknown destinations. The cluster model abstracts the
+//! fabric into per-path pipes for speed; this component exists for
+//! frame-level experiments and validates that the fabric layer introduces
+//! no reordering within a flow.
+
+use crate::ethernet::MacAddr;
+use crate::link::Link;
+use sais_mem::fxmap::FxHashMap;
+use sais_sim::{SimDuration, SimTime};
+
+/// One forwarding decision.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Forward {
+    /// Deliver out of a single learned port: `(port, arrival time)`.
+    Unicast(usize, SimTime),
+    /// Unknown destination: flooded to all ports except ingress, with
+    /// per-port arrival times.
+    Flood(Vec<(usize, SimTime)>),
+}
+
+/// The switch.
+#[derive(Debug, Clone)]
+pub struct Switch {
+    ports: Vec<Link>,
+    table: FxHashMap<[u8; 6], usize>,
+    forwarding_latency: SimDuration,
+    /// Frames forwarded.
+    pub forwarded: u64,
+    /// Frames flooded (destination not yet learned).
+    pub floods: u64,
+}
+
+impl Switch {
+    /// A switch with `ports` GigE ports and a fixed forwarding latency.
+    pub fn gige(ports: usize) -> Self {
+        assert!(ports >= 2);
+        Switch {
+            ports: (0..ports).map(|_| Link::gige()).collect(),
+            table: FxHashMap::default(),
+            // Catalyst-class store-and-forward decision latency.
+            forwarding_latency: SimDuration::from_micros(5),
+            forwarded: 0,
+            floods: 0,
+        }
+    }
+
+    /// Number of ports.
+    pub fn ports(&self) -> usize {
+        self.ports.len()
+    }
+
+    /// Whether `mac` has been learned, and on which port.
+    pub fn learned_port(&self, mac: MacAddr) -> Option<usize> {
+        self.table.get(&mac.0).copied()
+    }
+
+    /// Switch a frame of `bytes` bytes entering on `ingress` at `now`,
+    /// from `src` to `dst`. Learns the source, then forwards or floods.
+    pub fn switch(
+        &mut self,
+        now: SimTime,
+        ingress: usize,
+        src: MacAddr,
+        dst: MacAddr,
+        bytes: u64,
+    ) -> Forward {
+        assert!(ingress < self.ports.len(), "no such port {ingress}");
+        // Learn (or migrate) the source address.
+        self.table.insert(src.0, ingress);
+        self.forwarded += 1;
+        let ready = now + self.forwarding_latency;
+        match self.table.get(&dst.0).copied() {
+            Some(port) if port != ingress => {
+                Forward::Unicast(port, self.ports[port].send(ready, bytes))
+            }
+            Some(port) => {
+                // Destination behind the same port: filter (deliver locally
+                // without crossing the fabric again).
+                Forward::Unicast(port, ready)
+            }
+            None => {
+                self.floods += 1;
+                let out = (0..self.ports.len())
+                    .filter(|&p| p != ingress)
+                    .map(|p| (p, self.ports[p].send(ready, bytes)))
+                    .collect();
+                Forward::Flood(out)
+            }
+        }
+    }
+
+    /// Egress utilization per port over `[0, horizon]`.
+    pub fn port_utilization(&self, horizon: SimTime) -> Vec<f64> {
+        self.ports.iter().map(|p| p.utilization(horizon)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn macs() -> (MacAddr, MacAddr, MacAddr) {
+        (
+            MacAddr::for_node(1),
+            MacAddr::for_node(2),
+            MacAddr::for_node(3),
+        )
+    }
+
+    #[test]
+    fn unknown_destination_floods_then_learns() {
+        let mut sw = Switch::gige(4);
+        let (a, b, _) = macs();
+        // First frame a→b: b unknown → flood to ports 1,2,3.
+        match sw.switch(SimTime::ZERO, 0, a, b, 1500) {
+            Forward::Flood(out) => {
+                let ports: Vec<usize> = out.iter().map(|&(p, _)| p).collect();
+                assert_eq!(ports, vec![1, 2, 3]);
+            }
+            other => panic!("expected flood, got {other:?}"),
+        }
+        assert_eq!(sw.floods, 1);
+        assert_eq!(sw.learned_port(a), Some(0));
+        // Reply b→a from port 2: a is known → unicast to port 0; b learned.
+        match sw.switch(SimTime::from_micros(100), 2, b, a, 1500) {
+            Forward::Unicast(0, _) => {}
+            other => panic!("expected unicast to 0, got {other:?}"),
+        }
+        assert_eq!(sw.learned_port(b), Some(2));
+        // Now a→b unicasts.
+        assert!(matches!(
+            sw.switch(SimTime::from_micros(200), 0, a, b, 1500),
+            Forward::Unicast(2, _)
+        ));
+        assert_eq!(sw.floods, 1, "no further flooding");
+    }
+
+    #[test]
+    fn station_migration_relearns() {
+        let mut sw = Switch::gige(3);
+        let (a, b, _) = macs();
+        sw.switch(SimTime::ZERO, 0, a, b, 100);
+        assert_eq!(sw.learned_port(a), Some(0));
+        // a moves to port 1 (e.g. bond failover).
+        sw.switch(SimTime::from_micros(1), 1, a, b, 100);
+        assert_eq!(sw.learned_port(a), Some(1));
+    }
+
+    #[test]
+    fn egress_serializes_per_port() {
+        let mut sw = Switch::gige(2);
+        let (a, b, _) = macs();
+        // Teach the table both stations.
+        sw.switch(SimTime::ZERO, 0, a, b, 64);
+        sw.switch(SimTime::ZERO, 1, b, a, 64);
+        // Two back-to-back 125 KB frames a→b: second arrives ~1 ms later.
+        let t1 = match sw.switch(SimTime::from_millis(1), 0, a, b, 125_000) {
+            Forward::Unicast(1, t) => t,
+            other => panic!("{other:?}"),
+        };
+        let t2 = match sw.switch(SimTime::from_millis(1), 0, a, b, 125_000) {
+            Forward::Unicast(1, t) => t,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!((t2 - t1).as_nanos(), 1_000_000);
+    }
+
+    #[test]
+    fn same_port_destination_is_filtered() {
+        let mut sw = Switch::gige(2);
+        let (a, b, _) = macs();
+        sw.switch(SimTime::ZERO, 0, b, a, 64); // learn b on port 0
+        // a→b entering port 0: no fabric crossing.
+        match sw.switch(SimTime::from_micros(1), 0, a, b, 1500) {
+            Forward::Unicast(0, t) => {
+                assert_eq!(t, SimTime::from_micros(6), "forwarding latency only");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn within_flow_order_is_preserved() {
+        // Frames of one flow leave the egress in arrival order.
+        let mut sw = Switch::gige(2);
+        let (a, b, _) = macs();
+        sw.switch(SimTime::ZERO, 1, b, a, 64);
+        let mut last = SimTime::ZERO;
+        for i in 0..50u64 {
+            let now = SimTime::from_micros(10 + i);
+            match sw.switch(now, 0, a, b, 1500) {
+                Forward::Unicast(1, t) => {
+                    assert!(t > last, "reordering at frame {i}");
+                    last = t;
+                }
+                other => panic!("{other:?}"),
+            }
+        }
+    }
+}

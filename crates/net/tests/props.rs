@@ -1,0 +1,142 @@
+//! Property tests for the wire formats.
+
+use proptest::prelude::*;
+use sais_net::{IpOption, Ipv4Header, ParseError, SegmentPlan, TcpReceiver, TcpSender};
+use sais_sim::{SimDuration, SimRng, SimTime};
+use std::collections::VecDeque;
+
+fn arb_options() -> impl Strategy<Value = Vec<IpOption>> {
+    proptest::collection::vec(
+        prop_oneof![
+            Just(IpOption::Nop),
+            (0u8..32).prop_map(IpOption::SaisAffinity),
+            // TLV options with type bytes outside the SAIs class pattern
+            // and outside EOL/NOP.
+            (2u8..=0x7F, proptest::collection::vec(any::<u8>(), 0..6))
+                .prop_map(|(t, d)| IpOption::Other(t, d)),
+        ],
+        0..4,
+    )
+}
+
+proptest! {
+    /// encode ∘ decode = id for arbitrary headers whose options fit.
+    #[test]
+    fn header_roundtrip(
+        src in any::<u32>(),
+        dst in any::<u32>(),
+        ident in any::<u16>(),
+        payload in 0u16..=9000,
+        ttl in 1u8..=255,
+        options in arb_options(),
+    ) {
+        let mut h = Ipv4Header::tcp(src, dst, ident, payload);
+        h.ttl = ttl;
+        h.options = options;
+        if h.header_len() > 60 {
+            // Oversized option sets are rejected at encode time; skip.
+            return Ok(());
+        }
+        let bytes = h.encode();
+        prop_assert_eq!(bytes.len(), h.header_len());
+        let back = Ipv4Header::decode(&bytes).unwrap();
+        prop_assert_eq!(back.src, h.src);
+        prop_assert_eq!(back.dst, h.dst);
+        prop_assert_eq!(back.ident, h.ident);
+        prop_assert_eq!(back.ttl, h.ttl);
+        prop_assert_eq!(back.payload_len, h.payload_len);
+        prop_assert_eq!(back.affinity_hint(), h.affinity_hint());
+        prop_assert_eq!(back.options, h.options);
+    }
+
+    /// Any single-bit corruption of an encoded header is either caught by
+    /// the checksum or still yields a parse — never a panic.
+    #[test]
+    fn corruption_never_panics(
+        core in 0u8..32,
+        bit in 0usize..(24 * 8),
+        payload in 0u16..2000,
+    ) {
+        let h = Ipv4Header::tcp(0x0A000001, 0x0A000002, 7, payload).with_affinity(core);
+        let mut bytes = h.encode();
+        let byte = bit / 8;
+        if byte < bytes.len() {
+            bytes[byte] ^= 1 << (bit % 8);
+        }
+        match Ipv4Header::decode(&bytes) {
+            Ok(_) => {} // corruption in a bit the checksum misses is possible only
+                        // if it cancelled — accept any clean parse
+            Err(ParseError::BadChecksum { .. })
+            | Err(ParseError::BadVersion(_))
+            | Err(ParseError::BadIhl(_))
+            | Err(ParseError::BadOption)
+            | Err(ParseError::Truncated) => {}
+        }
+    }
+
+    /// Segmentation conserves payload and never produces zero packets.
+    #[test]
+    fn segmentation_conserves(payload in 0u64..10_000_000, mtu in 576u64..9001, opts in 0u64..40) {
+        let plan = SegmentPlan::new(payload, mtu, opts);
+        prop_assert!(plan.packets >= 1);
+        prop_assert_eq!(plan.payload, payload);
+        prop_assert!(plan.wire_bytes >= payload);
+        // Packets × MSS covers the payload, with less than one MSS slack.
+        prop_assert!(plan.packets * plan.mss >= payload);
+        if payload > 0 {
+            prop_assert!((plan.packets - 1) * plan.mss < payload);
+        }
+    }
+}
+
+proptest! {
+    /// TCP-lite delivers every segment exactly once for any loss
+    /// probability and seed (capped so the test converges quickly).
+    #[test]
+    fn tcp_delivers_under_any_loss(total in 1u64..500, loss in 0.0f64..0.35, seed in any::<u64>()) {
+        let rtt = SimDuration::from_micros(200);
+        let mut snd = TcpSender::new(total, SimDuration::from_millis(2));
+        let mut rcv = TcpReceiver::new();
+        let mut rng = SimRng::new(seed);
+        let mut now = SimTime::ZERO;
+        let mut pipe: VecDeque<(SimTime, u64)> = VecDeque::new();
+        let push = |pipe: &mut VecDeque<(SimTime, u64)>, rng: &mut SimRng, now: SimTime, segs: Vec<sais_net::tcp::Segment>| {
+            for s in segs {
+                if !rng.chance(loss) {
+                    pipe.push_back((now + rtt, s.seq));
+                }
+            }
+        };
+        let first = snd.poll(now);
+        push(&mut pipe, &mut rng, now, first);
+        let mut guard = 0u64;
+        while !snd.done() {
+            guard += 1;
+            prop_assert!(guard < 500_000, "did not converge (loss {loss})");
+            match (pipe.front().copied(), snd.timer_deadline()) {
+                (Some((a, _)), Some(d)) if a <= d => {
+                    let (t, seq) = pipe.pop_front().unwrap();
+                    now = t;
+                    let ack = rcv.on_segment(seq);
+                    let segs = snd.on_ack(now, ack);
+                    push(&mut pipe, &mut rng, now, segs);
+                }
+                (_, Some(d)) => {
+                    now = d;
+                    let segs = snd.on_timeout(now);
+                    push(&mut pipe, &mut rng, now, segs);
+                }
+                (Some(_), None) => {
+                    let (t, seq) = pipe.pop_front().unwrap();
+                    now = t;
+                    let ack = rcv.on_segment(seq);
+                    let segs = snd.on_ack(now, ack);
+                    push(&mut pipe, &mut rng, now, segs);
+                }
+                (None, None) => prop_assert!(false, "deadlock"),
+            }
+        }
+        prop_assert_eq!(rcv.delivered, total);
+        prop_assert_eq!(rcv.ack(), total);
+    }
+}

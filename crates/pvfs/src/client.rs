@@ -1,0 +1,144 @@
+//! Client-side read reassembly bookkeeping.
+//!
+//! One application `read()` fans out to many strip requests; the client
+//! library must know when the last strip has landed so it can complete the
+//! read and wake the application. `ReadTracker` is that bookkeeping,
+//! including out-of-order strip arrival and duplicate-delivery defense
+//! (retransmissions).
+
+use std::collections::HashMap;
+
+/// Identifier of one outstanding application read.
+pub type ReadId = u64;
+
+#[derive(Debug, Clone)]
+struct Outstanding {
+    strips_remaining: u64,
+    bytes_remaining: u64,
+    strips_seen: Vec<bool>,
+}
+
+/// Tracks outstanding reads and their strip completion.
+#[derive(Debug, Clone, Default)]
+pub struct ReadTracker {
+    reads: HashMap<ReadId, Outstanding>,
+    completed: u64,
+}
+
+impl ReadTracker {
+    /// An empty tracker.
+    pub fn new() -> Self {
+        ReadTracker::default()
+    }
+
+    /// Register a read split into `strips` strips totalling `bytes`.
+    pub fn start(&mut self, id: ReadId, strips: u64, bytes: u64) {
+        assert!(strips > 0, "a read has at least one strip");
+        let prev = self.reads.insert(
+            id,
+            Outstanding {
+                strips_remaining: strips,
+                bytes_remaining: bytes,
+                strips_seen: vec![false; strips as usize],
+            },
+        );
+        assert!(prev.is_none(), "read id {id} reused while outstanding");
+    }
+
+    /// Record the arrival of strip `strip_no` (0-based within the read)
+    /// carrying `bytes`. Returns `true` exactly once: when the read is
+    /// complete. Duplicate strips (retransmissions) are ignored.
+    pub fn strip_arrived(&mut self, id: ReadId, strip_no: u64, bytes: u64) -> bool {
+        let o = self
+            .reads
+            .get_mut(&id)
+            .unwrap_or_else(|| panic!("strip for unknown read {id}"));
+        let seen = &mut o.strips_seen[strip_no as usize];
+        if *seen {
+            return false; // duplicate delivery
+        }
+        *seen = true;
+        o.strips_remaining -= 1;
+        o.bytes_remaining = o.bytes_remaining.saturating_sub(bytes);
+        if o.strips_remaining == 0 {
+            debug_assert_eq!(o.bytes_remaining, 0, "byte accounting drift");
+            self.reads.remove(&id);
+            self.completed += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Outstanding read count.
+    pub fn outstanding(&self) -> usize {
+        self.reads.len()
+    }
+
+    /// Completed read count.
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_order_completion() {
+        let mut t = ReadTracker::new();
+        t.start(1, 3, 300);
+        assert!(!t.strip_arrived(1, 0, 100));
+        assert!(!t.strip_arrived(1, 1, 100));
+        assert!(t.strip_arrived(1, 2, 100));
+        assert_eq!(t.outstanding(), 0);
+        assert_eq!(t.completed(), 1);
+    }
+
+    #[test]
+    fn out_of_order_completion() {
+        let mut t = ReadTracker::new();
+        t.start(9, 4, 400);
+        assert!(!t.strip_arrived(9, 3, 100));
+        assert!(!t.strip_arrived(9, 0, 100));
+        assert!(!t.strip_arrived(9, 2, 100));
+        assert!(t.strip_arrived(9, 1, 100));
+    }
+
+    #[test]
+    fn duplicates_do_not_double_complete() {
+        let mut t = ReadTracker::new();
+        t.start(2, 2, 200);
+        assert!(!t.strip_arrived(2, 0, 100));
+        assert!(!t.strip_arrived(2, 0, 100), "retransmit ignored");
+        assert!(t.strip_arrived(2, 1, 100));
+    }
+
+    #[test]
+    fn interleaved_reads() {
+        let mut t = ReadTracker::new();
+        t.start(1, 2, 128);
+        t.start(2, 2, 128);
+        assert!(!t.strip_arrived(1, 0, 64));
+        assert!(!t.strip_arrived(2, 0, 64));
+        assert!(t.strip_arrived(2, 1, 64));
+        assert!(t.strip_arrived(1, 1, 64));
+        assert_eq!(t.completed(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown read")]
+    fn unknown_read_panics() {
+        let mut t = ReadTracker::new();
+        t.strip_arrived(5, 0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "reused while outstanding")]
+    fn id_reuse_panics() {
+        let mut t = ReadTracker::new();
+        t.start(1, 1, 1);
+        t.start(1, 1, 1);
+    }
+}

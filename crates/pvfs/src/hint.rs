@@ -1,0 +1,158 @@
+//! PVFS hints: extensible key/value metadata attached to operations.
+//!
+//! Real PVFS carries hints as length-prefixed key/value pairs in the
+//! request envelope; `PVFS_hint_add` is public API. The paper's
+//! `HintMessager` adds an `aff_core_id` hint to each read request; the
+//! server-side `HintCapsuler` reads it back and stamps the IP option onto
+//! every response packet.
+
+use bytes::{Buf, BufMut};
+
+/// The hint key SAIs uses for the requesting core id.
+pub const AFF_CORE_ID_KEY: &str = "pvfs.hint.sais.aff_core_id";
+
+/// An ordered list of hints.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HintList {
+    hints: Vec<(String, Vec<u8>)>,
+}
+
+impl HintList {
+    /// An empty hint list.
+    pub fn new() -> Self {
+        HintList::default()
+    }
+
+    /// Append a hint (duplicate keys allowed; first match wins on read,
+    /// matching PVFS semantics).
+    pub fn add(&mut self, key: &str, value: &[u8]) {
+        self.hints.push((key.to_string(), value.to_vec()));
+    }
+
+    /// First value for `key`.
+    pub fn get(&self, key: &str) -> Option<&[u8]> {
+        self.hints
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_slice())
+    }
+
+    /// Convenience: attach the affinity core id.
+    pub fn with_aff_core_id(mut self, core: u32) -> Self {
+        self.add(AFF_CORE_ID_KEY, &core.to_be_bytes());
+        self
+    }
+
+    /// Convenience: read the affinity core id if present and well-formed.
+    pub fn aff_core_id(&self) -> Option<u32> {
+        let v = self.get(AFF_CORE_ID_KEY)?;
+        let bytes: [u8; 4] = v.try_into().ok()?;
+        Some(u32::from_be_bytes(bytes))
+    }
+
+    /// Number of hints.
+    pub fn len(&self) -> usize {
+        self.hints.len()
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.hints.is_empty()
+    }
+
+    /// Wire-encode: `u16 count`, then per hint `u16 key_len, key,
+    /// u16 val_len, val`.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        buf.put_u16(self.hints.len() as u16);
+        for (k, v) in &self.hints {
+            buf.put_u16(k.len() as u16);
+            buf.extend_from_slice(k.as_bytes());
+            buf.put_u16(v.len() as u16);
+            buf.extend_from_slice(v);
+        }
+        buf
+    }
+
+    /// Decode a wire-encoded list; `None` on any truncation or bad UTF-8.
+    pub fn decode(mut bytes: &[u8]) -> Option<HintList> {
+        if bytes.len() < 2 {
+            return None;
+        }
+        let count = bytes.get_u16();
+        let mut hints = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            if bytes.len() < 2 {
+                return None;
+            }
+            let klen = bytes.get_u16() as usize;
+            if bytes.len() < klen {
+                return None;
+            }
+            let key = std::str::from_utf8(&bytes[..klen]).ok()?.to_string();
+            bytes.advance(klen);
+            if bytes.len() < 2 {
+                return None;
+            }
+            let vlen = bytes.get_u16() as usize;
+            if bytes.len() < vlen {
+                return None;
+            }
+            let val = bytes[..vlen].to_vec();
+            bytes.advance(vlen);
+            hints.push((key, val));
+        }
+        Some(HintList { hints })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aff_core_id_roundtrip() {
+        let h = HintList::new().with_aff_core_id(6);
+        assert_eq!(h.aff_core_id(), Some(6));
+        let decoded = HintList::decode(&h.encode()).unwrap();
+        assert_eq!(decoded, h);
+        assert_eq!(decoded.aff_core_id(), Some(6));
+    }
+
+    #[test]
+    fn missing_and_malformed_hints() {
+        let h = HintList::new();
+        assert_eq!(h.aff_core_id(), None);
+        assert!(h.is_empty());
+        let mut bad = HintList::new();
+        bad.add(AFF_CORE_ID_KEY, &[1, 2]); // wrong width
+        assert_eq!(bad.aff_core_id(), None, "malformed value is ignored");
+    }
+
+    #[test]
+    fn multiple_hints_first_wins() {
+        let mut h = HintList::new();
+        h.add("a", b"1");
+        h.add(AFF_CORE_ID_KEY, &3u32.to_be_bytes());
+        h.add(AFF_CORE_ID_KEY, &9u32.to_be_bytes());
+        assert_eq!(h.aff_core_id(), Some(3));
+        assert_eq!(h.len(), 3);
+        assert_eq!(h.get("a"), Some(&b"1"[..]));
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        let h = HintList::new().with_aff_core_id(1);
+        let enc = h.encode();
+        for cut in 1..enc.len() {
+            assert_eq!(HintList::decode(&enc[..cut]), None, "cut at {cut}");
+        }
+        assert_eq!(HintList::decode(&[]), None);
+    }
+
+    #[test]
+    fn empty_list_roundtrip() {
+        let h = HintList::new();
+        assert_eq!(HintList::decode(&h.encode()), Some(h));
+    }
+}

@@ -1,0 +1,172 @@
+//! Round-robin file striping, the PVFS "simple stripe" distribution.
+
+/// Opaque file identifier handed out by the metadata server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FileHandle(pub u64);
+
+/// One strip-sized unit of a read, destined to a single I/O server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StripReq {
+    /// Which I/O server holds this strip.
+    pub server: usize,
+    /// Global strip index within the file (file offset / strip size).
+    pub strip_index: u64,
+    /// Byte offset within the strip where this piece starts.
+    pub offset_in_strip: u64,
+    /// Bytes requested from this strip (≤ strip size).
+    pub bytes: u64,
+}
+
+/// The simple-stripe distribution: strip `i` lives on server `i mod N`.
+///
+/// ```
+/// use sais_pvfs::StripeLayout;
+///
+/// // One 512 KB read over 8 servers with 64 KB strips: one strip each —
+/// // and, on the client, eight concurrent response streams.
+/// let layout = StripeLayout::testbed(8);
+/// let strips = layout.split(0, 512 * 1024);
+/// assert_eq!(strips.len(), 8);
+/// assert_eq!(strips.iter().map(|s| s.server).collect::<Vec<_>>(),
+///            (0..8).collect::<Vec<_>>());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StripeLayout {
+    /// Strip size in bytes (testbed: 64 KB).
+    pub strip_size: u64,
+    /// Number of I/O servers.
+    pub servers: usize,
+}
+
+impl StripeLayout {
+    /// A layout with the given strip size over `servers` servers.
+    pub fn new(strip_size: u64, servers: usize) -> Self {
+        assert!(strip_size > 0 && servers > 0);
+        StripeLayout {
+            strip_size,
+            servers,
+        }
+    }
+
+    /// The testbed configuration: 64 KB strips.
+    pub fn testbed(servers: usize) -> Self {
+        StripeLayout::new(64 * 1024, servers)
+    }
+
+    /// Which server holds the strip containing `offset`.
+    pub fn server_of(&self, offset: u64) -> usize {
+        ((offset / self.strip_size) % self.servers as u64) as usize
+    }
+
+    /// Decompose `read(offset, len)` into per-strip requests, in file
+    /// order.
+    pub fn split(&self, offset: u64, len: u64) -> Vec<StripReq> {
+        let mut out = Vec::new();
+        let mut pos = offset;
+        let end = offset + len;
+        while pos < end {
+            let strip_index = pos / self.strip_size;
+            let offset_in_strip = pos % self.strip_size;
+            let take = (self.strip_size - offset_in_strip).min(end - pos);
+            out.push(StripReq {
+                server: (strip_index % self.servers as u64) as usize,
+                strip_index,
+                offset_in_strip,
+                bytes: take,
+            });
+            pos += take;
+        }
+        out
+    }
+
+    /// Number of distinct servers a read touches.
+    pub fn servers_touched(&self, offset: u64, len: u64) -> usize {
+        let mut seen = vec![false; self.servers];
+        for s in self.split(offset, len) {
+            seen[s.server] = true;
+        }
+        seen.iter().filter(|&&b| b).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aligned_full_strips() {
+        let l = StripeLayout::testbed(8);
+        // 512 KB read = 8 strips, one per server.
+        let reqs = l.split(0, 512 * 1024);
+        assert_eq!(reqs.len(), 8);
+        for (i, r) in reqs.iter().enumerate() {
+            assert_eq!(r.server, i);
+            assert_eq!(r.strip_index, i as u64);
+            assert_eq!(r.offset_in_strip, 0);
+            assert_eq!(r.bytes, 64 * 1024);
+        }
+    }
+
+    #[test]
+    fn round_robin_wraps() {
+        let l = StripeLayout::testbed(4);
+        // 2 MB transfer = 32 strips over 4 servers: 8 each.
+        let reqs = l.split(0, 2 * 1024 * 1024);
+        assert_eq!(reqs.len(), 32);
+        for r in &reqs {
+            assert_eq!(r.server, (r.strip_index % 4) as usize);
+        }
+        let per_server = (0..4)
+            .map(|s| reqs.iter().filter(|r| r.server == s).count())
+            .collect::<Vec<_>>();
+        assert_eq!(per_server, vec![8, 8, 8, 8]);
+    }
+
+    #[test]
+    fn unaligned_read_clips_edges() {
+        let l = StripeLayout::new(100, 3);
+        // Read [150, 430): strips 1(50), 2(100), 3(100), 4(30).
+        let reqs = l.split(150, 280);
+        assert_eq!(reqs.len(), 4);
+        assert_eq!(
+            reqs[0],
+            StripReq { server: 1, strip_index: 1, offset_in_strip: 50, bytes: 50 }
+        );
+        assert_eq!(reqs[1].bytes, 100);
+        assert_eq!(reqs[3].bytes, 30);
+        let total: u64 = reqs.iter().map(|r| r.bytes).sum();
+        assert_eq!(total, 280);
+    }
+
+    #[test]
+    fn small_transfer_touches_few_servers() {
+        // The paper's 128 KB transfer on 48 servers touches only 2.
+        let l = StripeLayout::testbed(48);
+        assert_eq!(l.servers_touched(0, 128 * 1024), 2);
+        // Consecutive requests rotate across the server set.
+        assert_eq!(l.split(128 * 1024, 128 * 1024)[0].server, 2);
+        // A 2 MB transfer touches 32 of the 48.
+        assert_eq!(l.servers_touched(0, 2 * 1024 * 1024), 32);
+        // A 4 MB transfer wraps and touches all 48.
+        assert_eq!(l.servers_touched(0, 4 * 1024 * 1024), 48);
+    }
+
+    #[test]
+    fn server_of_matches_split() {
+        let l = StripeLayout::new(64 * 1024, 5);
+        for off in [0u64, 64 * 1024, 5 * 64 * 1024 + 17, 999_999] {
+            assert_eq!(l.server_of(off), l.split(off, 1)[0].server);
+        }
+    }
+
+    #[test]
+    fn split_conserves_bytes_and_order() {
+        let l = StripeLayout::new(4096, 7);
+        let reqs = l.split(12345, 1_000_000);
+        let total: u64 = reqs.iter().map(|r| r.bytes).sum();
+        assert_eq!(total, 1_000_000);
+        for w in reqs.windows(2) {
+            assert_eq!(w[0].strip_index + 1, w[1].strip_index);
+        }
+    }
+}

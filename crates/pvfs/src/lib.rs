@@ -1,0 +1,25 @@
+//! # sais-pvfs — the parallel file system substrate
+//!
+//! A model of PVFS 2.8.1 as deployed on the paper's testbed: one metadata
+//! server plus N I/O servers, files striped round-robin in 64 KB strips.
+//! One client `read(offset, len)` fans out into per-server strip requests;
+//! each server reads its strips from storage and streams them back over its
+//! own GigE uplink — which is precisely what multiplies the client-side
+//! interrupt load that SAIs reschedules.
+//!
+//! The crate also implements **PVFS hints** — the extensible key/value
+//! metadata PVFS attaches to operations — because that is the vehicle the
+//! paper uses to carry `aff_core_id` from the requesting client core to the
+//! servers (`HintMessager` → `PVFS_hint` → `HintCapsuler`).
+
+pub mod client;
+pub mod hint;
+pub mod layout;
+pub mod meta;
+pub mod server;
+
+pub use client::ReadTracker;
+pub use hint::{HintList, AFF_CORE_ID_KEY};
+pub use layout::{FileHandle, StripReq, StripeLayout};
+pub use meta::MetadataServer;
+pub use server::{IoServer, ServerParams};

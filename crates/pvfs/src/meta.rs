@@ -1,0 +1,103 @@
+//! The PVFS metadata server: file open/lookup and layout distribution.
+
+use crate::layout::{FileHandle, StripeLayout};
+use sais_sim::{SerialResource, SimDuration, SimTime};
+use std::collections::HashMap;
+
+/// The (single) metadata server of the deployment.
+#[derive(Debug, Clone)]
+pub struct MetadataServer {
+    layout: StripeLayout,
+    service: SerialResource,
+    op_cost: SimDuration,
+    rtt: SimDuration,
+    next_handle: u64,
+    files: HashMap<String, (FileHandle, u64)>,
+    lookups: u64,
+}
+
+impl MetadataServer {
+    /// A metadata server distributing `layout` for all files.
+    pub fn new(layout: StripeLayout) -> Self {
+        MetadataServer {
+            layout,
+            service: SerialResource::new(),
+            // getattr + layout fetch on 2009-era hardware.
+            op_cost: SimDuration::from_micros(200),
+            rtt: SimDuration::from_micros(100),
+            next_handle: 1,
+            files: HashMap::new(),
+            lookups: 0,
+        }
+    }
+
+    /// Create a file of `size` bytes; returns its handle.
+    pub fn create(&mut self, name: &str, size: u64) -> FileHandle {
+        let h = FileHandle(self.next_handle);
+        self.next_handle += 1;
+        self.files.insert(name.to_string(), (h, size));
+        h
+    }
+
+    /// Open a file at `now`: returns `(handle, size, layout, time at which
+    /// the client holds the layout)`, or `None` for a missing file.
+    pub fn open(
+        &mut self,
+        now: SimTime,
+        name: &str,
+    ) -> Option<(FileHandle, u64, StripeLayout, SimTime)> {
+        self.lookups += 1;
+        let &(handle, size) = self.files.get(name)?;
+        let (_, done) = self.service.acquire(now + self.rtt / 2, self.op_cost);
+        Some((handle, size, self.layout, done + self.rtt / 2))
+    }
+
+    /// Lookup operations performed.
+    pub fn lookups(&self) -> u64 {
+        self.lookups
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_open_roundtrip() {
+        let mut m = MetadataServer::new(StripeLayout::testbed(8));
+        let h = m.create("/ior.dat", 10 << 30);
+        let (h2, size, layout, ready) = m.open(SimTime::ZERO, "/ior.dat").unwrap();
+        assert_eq!(h, h2);
+        assert_eq!(size, 10 << 30);
+        assert_eq!(layout.servers, 8);
+        // One RTT plus the op cost.
+        assert_eq!(ready, SimTime::from_micros(300));
+        assert_eq!(m.lookups(), 1);
+    }
+
+    #[test]
+    fn missing_file_is_none() {
+        let mut m = MetadataServer::new(StripeLayout::testbed(4));
+        assert!(m.open(SimTime::ZERO, "/nope").is_none());
+        assert_eq!(m.lookups(), 1);
+    }
+
+    #[test]
+    fn concurrent_opens_queue() {
+        let mut m = MetadataServer::new(StripeLayout::testbed(4));
+        m.create("/a", 1);
+        m.create("/b", 1);
+        let (_, _, _, t1) = m.open(SimTime::ZERO, "/a").unwrap();
+        let (_, _, _, t2) = m.open(SimTime::ZERO, "/b").unwrap();
+        assert!(t2 > t1, "metadata ops serialize on the server");
+        assert_eq!(t2 - t1, SimDuration::from_micros(200));
+    }
+
+    #[test]
+    fn handles_are_unique() {
+        let mut m = MetadataServer::new(StripeLayout::testbed(4));
+        let a = m.create("/a", 1);
+        let b = m.create("/b", 1);
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,192 @@
+//! The I/O server model: storage service + GigE uplink.
+
+use sais_net::Link;
+use sais_sim::{SerialResource, SimDuration, SimRng, SimTime};
+
+/// I/O server cost parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerParams {
+    /// Effective streaming storage bandwidth in bytes/second. The testbed
+    /// compute nodes have one 7.2k SATA-II drive; sequential streaming with
+    /// read-ahead plus partial page-cache residency lands well above raw
+    /// random-seek rates.
+    pub storage_bw: f64,
+    /// Per-request fixed overhead (request decode, BMI/Trove dispatch).
+    pub per_request: SimDuration,
+    /// Bounded service-time jitter (fraction of the mean).
+    pub jitter: f64,
+    /// Uplink rate in bits/second (testbed: 1 GbE per server).
+    pub uplink_bps: f64,
+    /// One-way propagation to the switch.
+    pub propagation: SimDuration,
+    /// Service-time multiplier for straggler injection (1.0 = healthy).
+    pub slowdown: f64,
+}
+
+impl Default for ServerParams {
+    fn default() -> Self {
+        ServerParams {
+            storage_bw: 400e6,
+            per_request: SimDuration::from_micros(50),
+            jitter: 0.05,
+            uplink_bps: 1e9,
+            propagation: SimDuration::from_micros(20),
+            slowdown: 1.0,
+        }
+    }
+}
+
+/// The window during which a response occupies the server's uplink.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Transmission {
+    /// First byte leaves the server.
+    pub start: SimTime,
+    /// Last byte has left the server (arrival at the switch adds
+    /// propagation).
+    pub end: SimTime,
+}
+
+/// One PVFS I/O server.
+#[derive(Debug, Clone)]
+pub struct IoServer {
+    id: usize,
+    params: ServerParams,
+    storage: SerialResource,
+    uplink: Link,
+    rng: SimRng,
+    strips_served: u64,
+    bytes_served: u64,
+}
+
+impl IoServer {
+    /// Server `id` with the given parameters; `rng` should be a dedicated
+    /// split stream so servers are mutually independent.
+    pub fn new(id: usize, params: ServerParams, rng: SimRng) -> Self {
+        let uplink = Link::new(params.uplink_bps, params.propagation);
+        IoServer {
+            id,
+            params,
+            storage: SerialResource::new(),
+            uplink,
+            rng,
+            strips_served: 0,
+            bytes_served: 0,
+        }
+    }
+
+    /// Server id.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Serve a strip request arriving at `now`: queue on storage, then
+    /// transmit `wire_bytes` on the uplink. Returns the uplink window.
+    pub fn serve_strip(&mut self, now: SimTime, payload: u64, wire_bytes: u64) -> Transmission {
+        let mean = self.params.per_request.as_secs_f64()
+            + payload as f64 / self.params.storage_bw;
+        let secs = self.rng.jittered(mean, self.params.jitter) * self.params.slowdown;
+        let service = SimDuration::from_secs_f64(secs);
+        let (_, ready) = self.storage.acquire(now, service);
+        let tx_end = self.uplink.send(ready, wire_bytes);
+        let tx_start = tx_end
+            - SimDuration::for_bytes(wire_bytes, self.uplink.bytes_per_sec())
+            - self.params.propagation;
+        self.strips_served += 1;
+        self.bytes_served += payload;
+        Transmission {
+            start: tx_start,
+            end: tx_end,
+        }
+    }
+
+    /// Mark the server as a straggler (service times scaled by `factor`).
+    pub fn set_slowdown(&mut self, factor: f64) {
+        assert!(factor >= 1.0);
+        self.params.slowdown = factor;
+    }
+
+    /// Strips served so far.
+    pub fn strips_served(&self) -> u64 {
+        self.strips_served
+    }
+
+    /// Payload bytes served so far.
+    pub fn bytes_served(&self) -> u64 {
+        self.bytes_served
+    }
+
+    /// Uplink utilization over `[0, horizon]`.
+    pub fn uplink_utilization(&self, horizon: SimTime) -> f64 {
+        self.uplink.utilization(horizon)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn server() -> IoServer {
+        let params = ServerParams {
+            jitter: 0.0,
+            ..ServerParams::default()
+        };
+        IoServer::new(0, params, SimRng::new(7))
+    }
+
+    #[test]
+    fn single_strip_timing() {
+        let mut s = server();
+        let tx = s.serve_strip(SimTime::ZERO, 65536, 69_000);
+        // Storage: 50 us + 65536/400e6 ≈ 50 + 163.84 us = 213.84 us.
+        // Uplink: 69000 B at 125 MB/s = 552 us, then 20 us propagation.
+        let expect_ready = SimDuration::from_secs_f64(50e-6 + 65536.0 / 400e6);
+        assert_eq!(tx.start, SimTime::ZERO + expect_ready);
+        let ser = SimDuration::for_bytes(69_000, 125e6);
+        assert_eq!(tx.end, tx.start + ser + SimDuration::from_micros(20));
+        assert_eq!(s.strips_served(), 1);
+        assert_eq!(s.bytes_served(), 65536);
+    }
+
+    #[test]
+    fn storage_queues_requests() {
+        let mut s = server();
+        let t1 = s.serve_strip(SimTime::ZERO, 65536, 69_000);
+        let t2 = s.serve_strip(SimTime::ZERO, 65536, 69_000);
+        assert!(t2.start > t1.start, "second strip waits for storage");
+    }
+
+    #[test]
+    fn straggler_slows_service() {
+        let mut fast = server();
+        let mut slow = server();
+        slow.set_slowdown(4.0);
+        let tf = fast.serve_strip(SimTime::ZERO, 65536, 69_000);
+        let ts = slow.serve_strip(SimTime::ZERO, 65536, 69_000);
+        assert!(ts.start > tf.start);
+    }
+
+    #[test]
+    fn jitter_varies_but_bounded() {
+        let params = ServerParams {
+            jitter: 0.1,
+            // Fast uplink so transmissions never queue behind each other and
+            // tx.start equals the storage-ready instant.
+            uplink_bps: 1e10,
+            ..ServerParams::default()
+        };
+        let mut s = IoServer::new(0, params, SimRng::new(9));
+        let mean = 50e-6 + 65536.0 / 400e6;
+        for _ in 0..100 {
+            let now = s.storage.busy_until(); // serve back-to-back
+            let tx = s.serve_strip(now, 65536, 69_000);
+            let service = (tx.start - now).as_secs_f64();
+            assert!(service >= mean * 0.9 - 1e-9 && service <= mean * 1.1 + 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn slowdown_below_one_rejected() {
+        server().set_slowdown(0.5);
+    }
+}

@@ -1,0 +1,102 @@
+//! Property tests for striping arithmetic and hint encoding.
+
+use proptest::prelude::*;
+use sais_pvfs::{HintList, ReadTracker, StripeLayout};
+
+proptest! {
+    /// split() conserves bytes, emits contiguous strip indices, and maps
+    /// every piece to the round-robin server.
+    #[test]
+    fn split_conserves_and_maps(
+        strip_size in 1u64..1_000_000,
+        servers in 1usize..64,
+        offset in 0u64..10_000_000,
+        len in 1u64..10_000_000,
+    ) {
+        let l = StripeLayout::new(strip_size, servers);
+        let parts = l.split(offset, len);
+        let total: u64 = parts.iter().map(|p| p.bytes).sum();
+        prop_assert_eq!(total, len);
+        let mut pos = offset;
+        for p in &parts {
+            prop_assert_eq!(p.strip_index, pos / strip_size);
+            prop_assert_eq!(p.offset_in_strip, pos % strip_size);
+            prop_assert_eq!(p.server, (p.strip_index % servers as u64) as usize);
+            prop_assert!(p.bytes <= strip_size);
+            pos += p.bytes;
+        }
+        prop_assert_eq!(pos, offset + len);
+    }
+
+    /// Only the first and last pieces may be partial strips.
+    #[test]
+    fn only_edges_are_partial(
+        strip_size in 1u64..100_000,
+        servers in 1usize..16,
+        offset in 0u64..1_000_000,
+        len in 1u64..1_000_000,
+    ) {
+        let l = StripeLayout::new(strip_size, servers);
+        let parts = l.split(offset, len);
+        for (i, p) in parts.iter().enumerate() {
+            if i != 0 && i != parts.len() - 1 {
+                prop_assert_eq!(p.bytes, strip_size);
+                prop_assert_eq!(p.offset_in_strip, 0);
+            }
+        }
+    }
+
+    /// Hint lists round-trip through the wire encoding for arbitrary
+    /// printable keys and binary values.
+    #[test]
+    fn hints_roundtrip(
+        entries in proptest::collection::vec(
+            ("[a-z.]{1,24}", proptest::collection::vec(any::<u8>(), 0..32)),
+            0..8,
+        ),
+        core in proptest::option::of(0u32..1024),
+    ) {
+        let mut h = HintList::new();
+        for (k, v) in &entries {
+            h.add(k, v);
+        }
+        if let Some(c) = core {
+            h = h.with_aff_core_id(c);
+        }
+        let decoded = HintList::decode(&h.encode()).unwrap();
+        prop_assert_eq!(&decoded, &h);
+        prop_assert_eq!(decoded.aff_core_id(), core);
+    }
+
+    /// The tracker completes exactly once per read regardless of arrival
+    /// order and duplicate deliveries.
+    #[test]
+    fn tracker_completes_once(
+        strips in 1u64..64,
+        order_seed in any::<u64>(),
+        dup_mask in any::<u64>(),
+    ) {
+        let mut t = ReadTracker::new();
+        t.start(1, strips, strips * 10);
+        // Deterministic pseudo-shuffle of arrival order.
+        let mut arrivals: Vec<u64> = (0..strips).collect();
+        let n = arrivals.len();
+        for i in 0..n {
+            let j = ((order_seed >> (i % 60)) as usize) % n;
+            arrivals.swap(i, j);
+        }
+        let mut completions = 0;
+        for (i, &s) in arrivals.iter().enumerate() {
+            if t.strip_arrived(1, s, 10) {
+                completions += 1;
+            }
+            // Duplicate delivery of the same strip must be a no-op.
+            if dup_mask & (1 << (i % 60)) != 0 && t.outstanding() > 0 {
+                prop_assert!(!t.strip_arrived(1, s, 10));
+            }
+        }
+        prop_assert_eq!(completions, 1);
+        prop_assert_eq!(t.completed(), 1);
+        prop_assert_eq!(t.outstanding(), 0);
+    }
+}

@@ -1,0 +1,236 @@
+//! Contended-hardware primitives.
+//!
+//! A `SerialResource` models any device that serves one job at a time in
+//! FIFO order — a CPU core executing softirq work, a link transmitting
+//! frames, a DRAM channel streaming lines. Acquisition never blocks the
+//! simulator: it returns the *service window* `[start, end)` so the caller
+//! can schedule a completion event at `end`.
+
+use crate::time::{SimDuration, SimTime};
+
+/// A FIFO single-server resource with a busy horizon.
+#[derive(Debug, Clone)]
+pub struct SerialResource {
+    busy_until: SimTime,
+    /// Total time the resource has been serving jobs (for utilization).
+    busy_time: SimDuration,
+    /// Number of jobs served.
+    jobs: u64,
+    /// Total queueing delay experienced by jobs (start − arrival).
+    queued_time: SimDuration,
+}
+
+impl Default for SerialResource {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SerialResource {
+    /// A resource idle since the beginning of time.
+    pub fn new() -> Self {
+        SerialResource {
+            busy_until: SimTime::ZERO,
+            busy_time: SimDuration::ZERO,
+            jobs: 0,
+            queued_time: SimDuration::ZERO,
+        }
+    }
+
+    /// Enqueue a job arriving at `now` needing `service` time.
+    /// Returns `(start, end)` of its service window.
+    pub fn acquire(&mut self, now: SimTime, service: SimDuration) -> (SimTime, SimTime) {
+        let start = now.max_of(self.busy_until);
+        let end = start + service;
+        self.queued_time += start - now;
+        self.busy_until = end;
+        self.busy_time += service;
+        self.jobs += 1;
+        (start, end)
+    }
+
+    /// When the resource next becomes idle.
+    pub fn busy_until(&self) -> SimTime {
+        self.busy_until
+    }
+
+    /// Whether a job arriving at `now` would have to queue.
+    pub fn is_busy_at(&self, now: SimTime) -> bool {
+        self.busy_until > now
+    }
+
+    /// Backlog seen by a job arriving at `now`.
+    pub fn backlog_at(&self, now: SimTime) -> SimDuration {
+        self.busy_until.since(now)
+    }
+
+    /// Total service time delivered so far.
+    pub fn busy_time(&self) -> SimDuration {
+        self.busy_time
+    }
+
+    /// Number of jobs served so far.
+    pub fn jobs(&self) -> u64 {
+        self.jobs
+    }
+
+    /// Cumulative queueing delay across all jobs.
+    pub fn queued_time(&self) -> SimDuration {
+        self.queued_time
+    }
+
+    /// Fraction of `[0, horizon]` the resource spent serving.
+    pub fn utilization(&self, horizon: SimTime) -> f64 {
+        if horizon == SimTime::ZERO {
+            return 0.0;
+        }
+        self.busy_time.as_secs_f64() / horizon.as_secs_f64()
+    }
+}
+
+/// A bandwidth pipe: a [`SerialResource`] that converts bytes to service
+/// time at a fixed rate. Models links, NICs and DRAM channels.
+#[derive(Debug, Clone)]
+pub struct RateResource {
+    inner: SerialResource,
+    bytes_per_sec: f64,
+    bytes_moved: u64,
+}
+
+impl RateResource {
+    /// A pipe with the given capacity in bytes/second.
+    pub fn new(bytes_per_sec: f64) -> Self {
+        assert!(bytes_per_sec > 0.0, "rate must be positive");
+        RateResource {
+            inner: SerialResource::new(),
+            bytes_per_sec,
+            bytes_moved: 0,
+        }
+    }
+
+    /// Convenience constructor from a rate in bits/second (how NICs are
+    /// specified: "1 Gigabit NIC" = 1e9 bits/s).
+    pub fn from_bits_per_sec(bits_per_sec: f64) -> Self {
+        RateResource::new(bits_per_sec / 8.0)
+    }
+
+    /// Transfer `bytes` starting no earlier than `now`; returns the window.
+    pub fn transfer(&mut self, now: SimTime, bytes: u64) -> (SimTime, SimTime) {
+        self.bytes_moved += bytes;
+        let service = SimDuration::for_bytes(bytes, self.bytes_per_sec);
+        self.inner.acquire(now, service)
+    }
+
+    /// Capacity in bytes per second.
+    pub fn bytes_per_sec(&self) -> f64 {
+        self.bytes_per_sec
+    }
+
+    /// Total bytes moved through the pipe.
+    pub fn bytes_moved(&self) -> u64 {
+        self.bytes_moved
+    }
+
+    /// When the pipe next becomes idle.
+    pub fn busy_until(&self) -> SimTime {
+        self.inner.busy_until()
+    }
+
+    /// Backlog seen by a transfer arriving at `now`.
+    pub fn backlog_at(&self, now: SimTime) -> SimDuration {
+        self.inner.backlog_at(now)
+    }
+
+    /// Fraction of `[0, horizon]` the pipe spent transferring.
+    pub fn utilization(&self, horizon: SimTime) -> f64 {
+        self.inner.utilization(horizon)
+    }
+
+    /// Achieved throughput over `[0, horizon]`, in bytes/second.
+    pub fn achieved_rate(&self, horizon: SimTime) -> f64 {
+        if horizon == SimTime::ZERO {
+            return 0.0;
+        }
+        self.bytes_moved as f64 / horizon.as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_resource_serves_immediately() {
+        let mut r = SerialResource::new();
+        let now = SimTime::from_micros(5);
+        let (start, end) = r.acquire(now, SimDuration::from_micros(2));
+        assert_eq!(start, now);
+        assert_eq!(end, SimTime::from_micros(7));
+        assert_eq!(r.queued_time(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn busy_resource_queues_fifo() {
+        let mut r = SerialResource::new();
+        let t0 = SimTime::ZERO;
+        let (_, e1) = r.acquire(t0, SimDuration::from_micros(10));
+        // Second job arrives while the first is in service.
+        let (s2, e2) = r.acquire(SimTime::from_micros(3), SimDuration::from_micros(10));
+        assert_eq!(s2, e1, "second job starts when first completes");
+        assert_eq!(e2, SimTime::from_micros(20));
+        assert_eq!(r.queued_time(), SimDuration::from_micros(7));
+        assert_eq!(r.jobs(), 2);
+    }
+
+    #[test]
+    fn gap_leaves_idle_time() {
+        let mut r = SerialResource::new();
+        r.acquire(SimTime::ZERO, SimDuration::from_micros(1));
+        let (s, _) = r.acquire(SimTime::from_micros(100), SimDuration::from_micros(1));
+        assert_eq!(s, SimTime::from_micros(100));
+        // Utilization over 102 us horizon: 2 us busy.
+        let u = r.utilization(SimTime::from_micros(102));
+        assert!((u - 2.0 / 102.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rate_resource_serializes_bytes() {
+        // 1 Gb/s link: 125 MB/s.
+        let mut l = RateResource::from_bits_per_sec(1e9);
+        let (s1, e1) = l.transfer(SimTime::ZERO, 65536);
+        assert_eq!(s1, SimTime::ZERO);
+        assert_eq!(e1.as_nanos(), 524_288); // 64 KB at 125 MB/s
+        let (s2, e2) = l.transfer(SimTime::ZERO, 65536);
+        assert_eq!(s2, e1, "back-to-back transfers serialize");
+        assert_eq!(e2.as_nanos(), 2 * 524_288);
+        assert_eq!(l.bytes_moved(), 131072);
+    }
+
+    #[test]
+    fn achieved_rate_matches_when_saturated() {
+        let mut l = RateResource::new(1000.0); // 1000 B/s
+        let mut t = SimTime::ZERO;
+        for _ in 0..10 {
+            let (_, end) = l.transfer(t, 100);
+            t = end;
+        }
+        // 1000 bytes moved in exactly 1 s.
+        assert_eq!(t, SimTime::from_secs(1));
+        let rate = l.achieved_rate(t);
+        assert!((rate - 1000.0).abs() < 1e-9);
+        assert!((l.utilization(t) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn backlog_reporting() {
+        let mut r = SerialResource::new();
+        r.acquire(SimTime::ZERO, SimDuration::from_micros(10));
+        assert_eq!(
+            r.backlog_at(SimTime::from_micros(4)),
+            SimDuration::from_micros(6)
+        );
+        assert_eq!(r.backlog_at(SimTime::from_micros(50)), SimDuration::ZERO);
+        assert!(r.is_busy_at(SimTime::from_micros(4)));
+        assert!(!r.is_busy_at(SimTime::from_micros(50)));
+    }
+}

@@ -1,0 +1,243 @@
+//! Deterministic random number generation.
+//!
+//! The engine uses its own xoshiro256** implementation rather than `rand`'s
+//! `StdRng` so that streams are stable across `rand` version bumps and
+//! platforms — experiment reproducibility must not depend on a dependency's
+//! internal algorithm choice. (`rand` is still used in test code where
+//! stability does not matter.)
+
+/// A seedable, splittable PRNG (xoshiro256** seeded through SplitMix64).
+///
+/// Not cryptographically secure; statistically strong and extremely fast,
+/// which is what a simulator needs.
+#[derive(Clone, Debug)]
+pub struct SimRng {
+    s: [u64; 4],
+}
+
+impl SimRng {
+    /// Create a generator from a 64-bit seed. Two generators with the same
+    /// seed produce identical streams forever.
+    pub fn new(seed: u64) -> Self {
+        // SplitMix64 expansion of the seed into the xoshiro state, per
+        // Blackman & Vigna's reference initialization.
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let s = [next(), next(), next(), next()];
+        // An all-zero state would be a fixed point; SplitMix64 cannot
+        // produce four zeros from any seed, but guard anyway.
+        debug_assert!(s.iter().any(|&w| w != 0));
+        SimRng { s }
+    }
+
+    /// Derive an independent child generator. Used to give each component
+    /// (every server, every NIC) its own stream so adding randomness to one
+    /// component cannot perturb another's sequence.
+    pub fn split(&mut self, salt: u64) -> SimRng {
+        let mix = self.next_u64() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        SimRng::new(mix)
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1]
+            .wrapping_mul(5)
+            .rotate_left(7)
+            .wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 top bits → [0,1) with full double precision.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[0, bound)`. `bound` must be non-zero.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // Lemire's multiply-shift rejection method: unbiased and fast.
+        let mut x = self.next_u64();
+        let mut m = (x as u128) * (bound as u128);
+        let mut l = m as u64;
+        if l < bound {
+            let t = bound.wrapping_neg() % bound;
+            while l < t {
+                x = self.next_u64();
+                m = (x as u128) * (bound as u128);
+                l = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// Uniform integer in `[lo, hi]` inclusive.
+    pub fn range_inclusive(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(lo <= hi);
+        lo + self.next_below(hi - lo + 1)
+    }
+
+    /// Bernoulli draw with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        debug_assert!((0.0..=1.0).contains(&p));
+        self.next_f64() < p
+    }
+
+    /// Exponentially distributed value with the given mean.
+    ///
+    /// Used for service-time jitter (e.g. disk seek components of the PVFS
+    /// server model).
+    pub fn exp(&mut self, mean: f64) -> f64 {
+        debug_assert!(mean >= 0.0);
+        if mean == 0.0 {
+            return 0.0;
+        }
+        let u = 1.0 - self.next_f64(); // in (0, 1]
+        -mean * u.ln()
+    }
+
+    /// A value uniformly distributed in `[mean·(1−jitter), mean·(1+jitter)]`.
+    ///
+    /// The paper averages ≥3 runs per data point; bounded jitter models the
+    /// run-to-run variance without heavy tails.
+    pub fn jittered(&mut self, mean: f64, jitter: f64) -> f64 {
+        debug_assert!((0.0..=1.0).contains(&jitter));
+        let u = self.next_f64() * 2.0 - 1.0;
+        mean * (1.0 + jitter * u)
+    }
+
+    /// Fisher–Yates shuffle, deterministic under the generator's stream.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.next_below(i as u64 + 1) as usize;
+            items.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = SimRng::new(42);
+        let mut b = SimRng::new(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SimRng::new(1);
+        let mut b = SimRng::new(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn split_streams_are_independent_and_deterministic() {
+        let mut parent1 = SimRng::new(7);
+        let mut parent2 = SimRng::new(7);
+        let mut c1 = parent1.split(99);
+        let mut c2 = parent2.split(99);
+        for _ in 0..100 {
+            assert_eq!(c1.next_u64(), c2.next_u64());
+        }
+        // Child with a different salt must diverge.
+        let mut c3 = SimRng::new(7).split(100);
+        let mut c4 = SimRng::new(7).split(99);
+        assert_ne!(c3.next_u64(), c4.next_u64());
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = SimRng::new(3);
+        for _ in 0..10_000 {
+            let x = r.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn next_below_bounds_and_coverage() {
+        let mut r = SimRng::new(5);
+        let mut seen = [false; 7];
+        for _ in 0..10_000 {
+            let x = r.next_below(7) as usize;
+            assert!(x < 7);
+            seen[x] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues reachable");
+    }
+
+    #[test]
+    fn range_inclusive_hits_endpoints() {
+        let mut r = SimRng::new(11);
+        let mut lo_seen = false;
+        let mut hi_seen = false;
+        for _ in 0..10_000 {
+            match r.range_inclusive(10, 12) {
+                10 => lo_seen = true,
+                12 => hi_seen = true,
+                11 => {}
+                other => panic!("out of range: {other}"),
+            }
+        }
+        assert!(lo_seen && hi_seen);
+    }
+
+    #[test]
+    fn exp_mean_close() {
+        let mut r = SimRng::new(13);
+        let n = 200_000;
+        let mean = 5.0;
+        let sum: f64 = (0..n).map(|_| r.exp(mean)).sum();
+        let sample_mean = sum / n as f64;
+        assert!(
+            (sample_mean - mean).abs() < 0.05 * mean,
+            "sample mean {sample_mean} too far from {mean}"
+        );
+    }
+
+    #[test]
+    fn jitter_bounds() {
+        let mut r = SimRng::new(17);
+        for _ in 0..10_000 {
+            let v = r.jittered(100.0, 0.1);
+            assert!((90.0..=110.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = SimRng::new(19);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = SimRng::new(23);
+        let mut v: Vec<u32> = (0..100).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, (0..100).collect::<Vec<_>>(), "shuffle changed order");
+    }
+}

@@ -1,0 +1,285 @@
+//! Simulation clock types.
+//!
+//! The simulator counts **nanoseconds** in a `u64`. The longest experiment in
+//! the paper (a 10 GB read over a 1 Gb/s NIC, ≈ 86 s) fits with eleven
+//! orders of magnitude to spare; wrap-around is treated as a logic error.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// An absolute instant on the simulation clock, in nanoseconds since start.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+/// A span of simulated time, in nanoseconds.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(pub u64);
+
+impl SimTime {
+    /// The start of simulated time.
+    pub const ZERO: SimTime = SimTime(0);
+    /// A time later than any the engine will reach; used as "never".
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Construct from nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimTime(ns)
+    }
+    /// Construct from microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimTime(us * 1_000)
+    }
+    /// Construct from milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimTime(ms * 1_000_000)
+    }
+    /// Construct from seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s * 1_000_000_000)
+    }
+    /// Nanoseconds since simulation start.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+    /// Seconds since simulation start as a float (for reporting only).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+    /// Time elapsed since `earlier`, saturating at zero.
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+    /// The later of two instants.
+    pub fn max_of(self, other: SimTime) -> SimTime {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl SimDuration {
+    /// Zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Construct from nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimDuration(ns)
+    }
+    /// Construct from microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimDuration(us * 1_000)
+    }
+    /// Construct from milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms * 1_000_000)
+    }
+    /// Construct from seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration(s * 1_000_000_000)
+    }
+    /// Construct from a float number of seconds (rounded to the nearest ns).
+    pub fn from_secs_f64(s: f64) -> Self {
+        debug_assert!(s >= 0.0 && s.is_finite(), "negative or NaN duration");
+        SimDuration((s * 1e9).round() as u64)
+    }
+    /// Nanoseconds in this span.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+    /// Seconds as a float (for reporting only).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+    /// The time needed to move `bytes` at `bytes_per_sec`.
+    ///
+    /// This is the canonical bandwidth→latency conversion used by every
+    /// link/NIC/DRAM model in the workspace, kept in one place so rounding is
+    /// consistent everywhere.
+    pub fn for_bytes(bytes: u64, bytes_per_sec: f64) -> Self {
+        debug_assert!(bytes_per_sec > 0.0, "bandwidth must be positive");
+        SimDuration::from_secs_f64(bytes as f64 / bytes_per_sec)
+    }
+    /// The time taken by `cycles` CPU cycles at `hz` clock frequency.
+    pub fn for_cycles(cycles: u64, hz: f64) -> Self {
+        debug_assert!(hz > 0.0, "frequency must be positive");
+        SimDuration::from_secs_f64(cycles as f64 / hz)
+    }
+    /// Number of CPU cycles this span covers at `hz` clock frequency.
+    pub fn to_cycles(self, hz: f64) -> u64 {
+        (self.as_secs_f64() * hz).round() as u64
+    }
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(other.0))
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.checked_add(rhs.0).expect("SimTime overflow"))
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.checked_sub(rhs.0).expect("SimTime underflow"))
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(self.0.checked_sub(rhs.0).expect("SimTime underflow"))
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.checked_add(rhs.0).expect("SimDuration overflow"))
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.checked_sub(rhs.0).expect("SimDuration underflow"))
+    }
+}
+
+impl SubAssign for SimDuration {
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0.checked_mul(rhs).expect("SimDuration overflow"))
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={}", fmt_ns(self.0))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", fmt_ns(self.0))
+    }
+}
+
+impl fmt::Debug for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Δ{}", fmt_ns(self.0))
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", fmt_ns(self.0))
+    }
+}
+
+/// Render nanoseconds with a human-friendly unit.
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3}us", ns as f64 / 1e3)
+    } else {
+        format!("{}ns", ns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(SimTime::from_micros(3).as_nanos(), 3_000);
+        assert_eq!(SimTime::from_millis(3).as_nanos(), 3_000_000);
+        assert_eq!(SimTime::from_secs(3).as_nanos(), 3_000_000_000);
+        assert_eq!(SimDuration::from_secs(1), SimDuration::from_millis(1000));
+    }
+
+    #[test]
+    fn arithmetic_roundtrip() {
+        let t0 = SimTime::from_micros(10);
+        let d = SimDuration::from_nanos(250);
+        let t1 = t0 + d;
+        assert_eq!(t1 - t0, d);
+        assert_eq!(t1.since(t0), d);
+        assert_eq!(t0.since(t1), SimDuration::ZERO, "since saturates");
+    }
+
+    #[test]
+    fn bandwidth_conversion() {
+        // 1 Gb/s = 125 MB/s; 125 MB takes exactly one second.
+        let d = SimDuration::for_bytes(125_000_000, 125e6);
+        assert_eq!(d, SimDuration::from_secs(1));
+        // 64 KB strip at 125 MB/s ≈ 524.288 us.
+        let d = SimDuration::for_bytes(65536, 125e6);
+        assert_eq!(d.as_nanos(), 524_288);
+    }
+
+    #[test]
+    fn cycle_conversion_roundtrip() {
+        let hz = 2.7e9;
+        let d = SimDuration::for_cycles(2_700_000, hz); // 1 ms of work
+        assert_eq!(d, SimDuration::from_millis(1));
+        assert_eq!(d.to_cycles(hz), 2_700_000);
+    }
+
+    #[test]
+    fn ordering_and_max() {
+        let a = SimTime::from_nanos(5);
+        let b = SimTime::from_nanos(9);
+        assert!(a < b);
+        assert_eq!(a.max_of(b), b);
+        assert_eq!(b.max_of(a), b);
+    }
+
+    #[test]
+    fn display_units() {
+        assert_eq!(format!("{}", SimTime::from_nanos(17)), "17ns");
+        assert_eq!(format!("{}", SimTime::from_micros(2)), "2.000us");
+        assert_eq!(format!("{}", SimTime::from_millis(2)), "2.000ms");
+        assert_eq!(format!("{}", SimTime::from_secs(2)), "2.000s");
+    }
+
+    #[test]
+    #[should_panic(expected = "SimTime underflow")]
+    fn underflow_panics() {
+        let _ = SimTime::from_nanos(1) - SimTime::from_nanos(2);
+    }
+}

@@ -1,0 +1,140 @@
+//! Lightweight event tracing for debugging and test assertions.
+//!
+//! A fixed-capacity ring buffer of `(time, tag, a, b)` records. Components
+//! push records unconditionally; the ring overwrites the oldest entries, so
+//! tracing cost is O(1) and allocation-free after construction. Tests use
+//! the ring to assert on causal orderings ("the interrupt for strip X was
+//! delivered before the app consumed X").
+
+use crate::time::SimTime;
+
+/// One trace record. `tag` identifies the event kind; `a`/`b` are
+/// kind-specific payloads (core ids, strip ids, byte counts, …).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// When the event happened.
+    pub time: SimTime,
+    /// Kind discriminator, chosen by the emitting component.
+    pub tag: &'static str,
+    /// First payload word.
+    pub a: u64,
+    /// Second payload word.
+    pub b: u64,
+}
+
+/// Fixed-capacity ring of trace events.
+#[derive(Debug, Clone)]
+pub struct TraceRing {
+    buf: Vec<TraceEvent>,
+    cap: usize,
+    head: usize,
+    total: u64,
+    enabled: bool,
+}
+
+impl TraceRing {
+    /// A ring holding up to `cap` most-recent events. `cap == 0` disables
+    /// recording entirely.
+    pub fn new(cap: usize) -> Self {
+        TraceRing {
+            buf: Vec::with_capacity(cap),
+            cap,
+            head: 0,
+            total: 0,
+            enabled: cap > 0,
+        }
+    }
+
+    /// A disabled ring (records nothing, costs nothing).
+    pub fn disabled() -> Self {
+        TraceRing::new(0)
+    }
+
+    /// Record an event.
+    #[inline]
+    pub fn emit(&mut self, time: SimTime, tag: &'static str, a: u64, b: u64) {
+        self.total += 1;
+        if !self.enabled {
+            return;
+        }
+        let ev = TraceEvent { time, tag, a, b };
+        if self.buf.len() < self.cap {
+            self.buf.push(ev);
+        } else {
+            self.buf[self.head] = ev;
+            self.head = (self.head + 1) % self.cap;
+        }
+    }
+
+    /// Events in chronological order (oldest retained first).
+    pub fn iter(&self) -> impl Iterator<Item = &TraceEvent> {
+        let (late, early) = self.buf.split_at(self.head);
+        early.iter().chain(late.iter())
+    }
+
+    /// Retained events with the given tag, chronological.
+    pub fn with_tag<'a>(&'a self, tag: &'static str) -> impl Iterator<Item = &'a TraceEvent> {
+        self.iter().filter(move |e| e.tag == tag)
+    }
+
+    /// Total events ever emitted (including dropped ones).
+    pub fn total_emitted(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_in_order() {
+        let mut r = TraceRing::new(8);
+        for i in 0..5u64 {
+            r.emit(SimTime::from_nanos(i), "x", i, 0);
+        }
+        let seen: Vec<u64> = r.iter().map(|e| e.a).collect();
+        assert_eq!(seen, vec![0, 1, 2, 3, 4]);
+        assert_eq!(r.total_emitted(), 5);
+    }
+
+    #[test]
+    fn overwrites_oldest_when_full() {
+        let mut r = TraceRing::new(3);
+        for i in 0..7u64 {
+            r.emit(SimTime::from_nanos(i), "x", i, 0);
+        }
+        let seen: Vec<u64> = r.iter().map(|e| e.a).collect();
+        assert_eq!(seen, vec![4, 5, 6]);
+        assert_eq!(r.total_emitted(), 7);
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn tag_filtering() {
+        let mut r = TraceRing::new(8);
+        r.emit(SimTime::ZERO, "irq", 1, 0);
+        r.emit(SimTime::ZERO, "app", 2, 0);
+        r.emit(SimTime::ZERO, "irq", 3, 0);
+        let irqs: Vec<u64> = r.with_tag("irq").map(|e| e.a).collect();
+        assert_eq!(irqs, vec![1, 3]);
+    }
+
+    #[test]
+    fn disabled_ring_counts_but_stores_nothing() {
+        let mut r = TraceRing::disabled();
+        r.emit(SimTime::ZERO, "x", 1, 2);
+        assert!(r.is_empty());
+        assert_eq!(r.total_emitted(), 1);
+    }
+}

@@ -1,0 +1,134 @@
+//! Policy auto-tuning — the related-work idea (VTune, autopin) of
+//! searching configuration space for the best data-core mapping, realized
+//! against the simulator: enumerate candidate steering policies for a
+//! given deployment and pick the winner by measured bandwidth.
+//!
+//! The paper's criticism of those tools is that they "cannot detect the
+//! application core information and change the source-aware automatically
+//! while processes are running" — and indeed the search below rediscovers
+//! SAIs (or its Hybrid variant) as the winner wherever inbound data
+//! locality matters, without being told why.
+
+use sais_core::scenario::{PolicyChoice, RunMetrics, ScenarioConfig};
+
+/// All searchable policies.
+pub const CANDIDATES: [PolicyChoice; 7] = [
+    PolicyChoice::RoundRobin,
+    PolicyChoice::Dedicated,
+    PolicyChoice::LowestLoaded,
+    PolicyChoice::IrqbalanceDaemon,
+    PolicyChoice::FlowHash,
+    PolicyChoice::Hybrid,
+    PolicyChoice::SourceAware,
+];
+
+/// Result of evaluating one candidate.
+#[derive(Debug, Clone)]
+pub struct Evaluation {
+    /// The candidate.
+    pub policy: PolicyChoice,
+    /// Its full metrics.
+    pub metrics: RunMetrics,
+}
+
+/// Outcome of a search.
+#[derive(Debug, Clone)]
+pub struct TuneResult {
+    /// Every candidate, sorted best-first by bandwidth.
+    pub ranking: Vec<Evaluation>,
+}
+
+impl TuneResult {
+    /// The winning policy.
+    pub fn best(&self) -> PolicyChoice {
+        self.ranking[0].policy
+    }
+
+    /// Winner's margin over the runner-up, as a fraction.
+    pub fn margin(&self) -> f64 {
+        if self.ranking.len() < 2 {
+            return 0.0;
+        }
+        let a = self.ranking[0].metrics.bandwidth_bytes_per_sec();
+        let b = self.ranking[1].metrics.bandwidth_bytes_per_sec();
+        a / b - 1.0
+    }
+}
+
+/// Evaluate every candidate policy on `base` (its `policy` field is
+/// ignored), in parallel across host cores. Deterministic: each candidate
+/// runs the same seeded scenario.
+pub fn tune(base: &ScenarioConfig) -> TuneResult {
+    let mut evals: Vec<Option<Evaluation>> = Vec::new();
+    evals.resize_with(CANDIDATES.len(), || None);
+    let slots = std::sync::Mutex::new(&mut evals);
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(CANDIDATES.len());
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= CANDIDATES.len() {
+                    break;
+                }
+                let policy = CANDIDATES[i];
+                let metrics = base.clone().with_policy(policy).run();
+                slots.lock().expect("no poisoning")[i] = Some(Evaluation { policy, metrics });
+            });
+        }
+    });
+    let mut ranking: Vec<Evaluation> = evals.into_iter().map(|e| e.expect("evaluated")).collect();
+    ranking.sort_by(|a, b| {
+        b.metrics
+            .bandwidth_bytes_per_sec()
+            .total_cmp(&a.metrics.bandwidth_bytes_per_sec())
+    });
+    TuneResult { ranking }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sais_apic::PolicyKind;
+
+    #[test]
+    fn search_rediscovers_source_awareness_on_reads() {
+        let mut base = ScenarioConfig::testbed_3gig(16, 128 * 1024);
+        base.file_size = 8 << 20;
+        // Two processes so no fixed-core policy wins by accident.
+        base.procs_per_client = 2;
+        let result = tune(&base);
+        assert_eq!(result.ranking.len(), CANDIDATES.len());
+        let winner = result.best().kind();
+        assert!(
+            matches!(winner, PolicyKind::SourceAware | PolicyKind::Hybrid),
+            "expected a hint-following winner, got {winner:?}"
+        );
+        assert!(result.margin() >= 0.0);
+        // Ranking is genuinely sorted.
+        for w in result.ranking.windows(2) {
+            assert!(
+                w[0].metrics.bandwidth_bytes_per_sec()
+                    >= w[1].metrics.bandwidth_bytes_per_sec()
+            );
+        }
+    }
+
+    #[test]
+    fn search_finds_no_winner_on_writes() {
+        use sais_core::scenario::IoDirection;
+        let mut base = ScenarioConfig::testbed_3gig(16, 512 * 1024);
+        base.file_size = 8 << 20;
+        base.direction = IoDirection::Write;
+        let result = tune(&base);
+        // On writes everything ties (within measurement noise).
+        assert!(
+            result.margin() < 0.01,
+            "no policy should win writes, margin {:.4}",
+            result.margin()
+        );
+    }
+}

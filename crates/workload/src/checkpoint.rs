@@ -1,0 +1,184 @@
+//! Checkpoint/restart: the data-intensive HPC pattern the paper's
+//! introduction motivates (the I/O wall limiting "the sustained
+//! performance of parallel applications").
+//!
+//! An application alternates compute phases with checkpoint *writes*; on
+//! failure or requeue it performs a restart *read* of the latest
+//! checkpoint. Interrupt steering only matters for the inbound (restart)
+//! half — which is exactly what this scenario quantifies end-to-end: how
+//! much application-level wall time SAIs recovers as a function of how
+//! often the job restarts.
+
+use sais_core::scenario::{IoDirection, PolicyChoice, ScenarioConfig};
+use sais_sim::{SimDuration, SimTime};
+
+/// A checkpointed application run.
+#[derive(Debug, Clone)]
+pub struct CheckpointConfig {
+    /// Checkpoint image size per rank (bytes).
+    pub image_bytes: u64,
+    /// Ranks on the client node (one per core at most).
+    pub ranks: usize,
+    /// Compute time between checkpoints.
+    pub compute_phase: SimDuration,
+    /// Checkpoints taken over the run.
+    pub checkpoints: u64,
+    /// Restarts (reads of the latest image) over the run.
+    pub restarts: u64,
+    /// Transfer size used by the checkpoint library.
+    pub transfer_size: u64,
+    /// PVFS servers.
+    pub servers: usize,
+    /// Steering policy under test.
+    pub policy: PolicyChoice,
+}
+
+impl CheckpointConfig {
+    /// A medium job: 64 MB images, 4 ranks, 16 servers.
+    pub fn medium(policy: PolicyChoice) -> Self {
+        CheckpointConfig {
+            image_bytes: 64 << 20,
+            ranks: 4,
+            compute_phase: SimDuration::from_millis(500),
+            checkpoints: 4,
+            restarts: 1,
+            transfer_size: 512 << 10,
+            servers: 16,
+            policy,
+        }
+    }
+
+    fn io_scenario(&self, direction: IoDirection) -> ScenarioConfig {
+        let mut cfg = ScenarioConfig::testbed_3gig(self.servers, self.transfer_size);
+        // Checkpoints are written by every rank concurrently; the restart
+        // is driven by the checkpoint loader, a single process that reads
+        // all of the node's images back before handing them out.
+        cfg.procs_per_client = match direction {
+            IoDirection::Write => self.ranks,
+            IoDirection::Read => 1,
+        };
+        cfg.file_size = self.image_bytes * self.ranks as u64;
+        cfg.policy = self.policy;
+        cfg.direction = direction;
+        // The checkpoint library does no per-byte "encryption"; compute
+        // happens in the dedicated compute phases.
+        cfg.compute_cycles_per_byte = 0.5;
+        cfg
+    }
+
+    /// Execute the whole lifecycle and report phase timings.
+    pub fn run(&self) -> CheckpointReport {
+        assert!(self.checkpoints > 0 || self.restarts > 0);
+        let write_wall = if self.checkpoints > 0 {
+            self.io_scenario(IoDirection::Write).run().wall_time
+        } else {
+            SimTime::ZERO
+        };
+        let read_wall = if self.restarts > 0 {
+            self.io_scenario(IoDirection::Read).run().wall_time
+        } else {
+            SimTime::ZERO
+        };
+        let compute = SimDuration::from_nanos(
+            self.compute_phase.as_nanos() * self.checkpoints,
+        );
+        let write_total = SimDuration::from_nanos(write_wall.as_nanos() * self.checkpoints);
+        let read_total = SimDuration::from_nanos(read_wall.as_nanos() * self.restarts);
+        CheckpointReport {
+            compute,
+            checkpoint_io: write_total,
+            restart_io: read_total,
+        }
+    }
+}
+
+/// Phase breakdown of a checkpointed run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointReport {
+    /// Time in compute phases.
+    pub compute: SimDuration,
+    /// Time writing checkpoints.
+    pub checkpoint_io: SimDuration,
+    /// Time reading checkpoints back (restarts).
+    pub restart_io: SimDuration,
+}
+
+impl CheckpointReport {
+    /// Total wall time.
+    pub fn total(&self) -> SimDuration {
+        self.compute + self.checkpoint_io + self.restart_io
+    }
+
+    /// Fraction of the run spent computing (the figure of merit the
+    /// I/O-wall literature tracks).
+    pub fn compute_efficiency(&self) -> f64 {
+        self.compute.as_secs_f64() / self.total().as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small(policy: PolicyChoice) -> CheckpointConfig {
+        CheckpointConfig {
+            image_bytes: 4 << 20,
+            ranks: 2,
+            compute_phase: SimDuration::from_millis(100),
+            checkpoints: 2,
+            restarts: 1,
+            transfer_size: 512 << 10,
+            servers: 8,
+            policy,
+        }
+    }
+
+    #[test]
+    fn phases_add_up() {
+        let r = small(PolicyChoice::SourceAware).run();
+        assert!(r.compute > SimDuration::ZERO);
+        assert!(r.checkpoint_io > SimDuration::ZERO);
+        assert!(r.restart_io > SimDuration::ZERO);
+        assert_eq!(r.total(), r.compute + r.checkpoint_io + r.restart_io);
+        let eff = r.compute_efficiency();
+        assert!(eff > 0.0 && eff < 1.0);
+    }
+
+    #[test]
+    fn sais_speeds_up_restart_but_not_checkpoint() {
+        let s = small(PolicyChoice::SourceAware).run();
+        let b = small(PolicyChoice::LowestLoaded).run();
+        // Writes: no inbound data, no effect.
+        let w_gap = (s.checkpoint_io.as_secs_f64() / b.checkpoint_io.as_secs_f64() - 1.0).abs();
+        assert!(w_gap < 0.01, "checkpoint gap {w_gap:.4}");
+        // Reads: SAIs recovers restart time.
+        assert!(
+            s.restart_io < b.restart_io,
+            "restart: SAIs {:?} vs irqbalance {:?}",
+            s.restart_io,
+            b.restart_io
+        );
+        assert!(s.compute_efficiency() >= b.compute_efficiency());
+    }
+
+    #[test]
+    fn restart_heavy_jobs_benefit_more() {
+        let mut few = small(PolicyChoice::SourceAware);
+        few.restarts = 0;
+        few.checkpoints = 2;
+        let mut many = small(PolicyChoice::SourceAware);
+        many.restarts = 4;
+        let mut few_b = small(PolicyChoice::LowestLoaded);
+        few_b.restarts = 0;
+        few_b.checkpoints = 2;
+        let mut many_b = small(PolicyChoice::LowestLoaded);
+        many_b.restarts = 4;
+        let gain = |s: CheckpointReport, b: CheckpointReport| {
+            b.total().as_secs_f64() / s.total().as_secs_f64() - 1.0
+        };
+        let g_few = gain(few.run(), few_b.run());
+        let g_many = gain(many.run(), many_b.run());
+        assert!(g_many > g_few, "restart-heavy gain {g_many:.4} vs {g_few:.4}");
+        assert!(g_few.abs() < 0.01, "write-only jobs see no effect");
+    }
+}

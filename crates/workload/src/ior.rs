@@ -1,0 +1,120 @@
+//! IOR-style workload description.
+//!
+//! Mirrors the IOR parameters the paper reports: API (MPI-IO in the
+//! experiments), transfer size `-t`, block size per process `-b`, number
+//! of processes, read-only access, plus the added compute (encryption)
+//! task. `to_scenario` lowers the description onto the simulator.
+
+use sais_core::scenario::{PolicyChoice, ScenarioConfig};
+
+/// The I/O API IOR is driven through. The paper uses MPI-IO; POSIX and
+/// HDF5 differ only in per-request overhead at this modelling depth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IorApi {
+    /// MPI-IO (the paper's experiments).
+    MpiIo,
+    /// POSIX read().
+    Posix,
+    /// HDF5 (heavier metadata per request).
+    Hdf5,
+}
+
+impl IorApi {
+    /// Extra per-request issue overhead relative to POSIX, in microseconds.
+    fn issue_overhead_us(self) -> u64 {
+        match self {
+            IorApi::Posix => 10,
+            IorApi::MpiIo => 15,
+            IorApi::Hdf5 => 40,
+        }
+    }
+}
+
+/// An IOR run description.
+#[derive(Debug, Clone)]
+pub struct IorConfig {
+    /// I/O API.
+    pub api: IorApi,
+    /// `-t`: transfer size per read call.
+    pub transfer_size: u64,
+    /// Total bytes read per client node (the paper reads a 10 GB file).
+    pub block_size: u64,
+    /// Number of IOR processes per client.
+    pub nprocs: usize,
+    /// Compute task: encryption cycles per byte applied to each transfer.
+    pub encrypt_cycles_per_byte: f64,
+}
+
+impl IorConfig {
+    /// The paper's configuration: MPI-IO, one process, 10 GB file (callers
+    /// scale `block_size` down for quick runs).
+    pub fn paper_default(transfer_size: u64) -> Self {
+        IorConfig {
+            api: IorApi::MpiIo,
+            transfer_size,
+            block_size: 10 * 1024 * 1024 * 1024,
+            nprocs: 1,
+            encrypt_cycles_per_byte: 2.0,
+        }
+    }
+
+    /// Lower onto a simulator scenario against `servers` PVFS servers with
+    /// the given client NIC ports.
+    pub fn to_scenario(&self, servers: usize, nic_ports: usize) -> ScenarioConfig {
+        assert!(nic_ports >= 1);
+        let mut cfg = if nic_ports == 1 {
+            ScenarioConfig::testbed_1gig(servers, self.transfer_size)
+        } else {
+            let mut c = ScenarioConfig::testbed_3gig(servers, self.transfer_size);
+            c.nic_ports = nic_ports;
+            c
+        };
+        cfg.procs_per_client = self.nprocs;
+        cfg.file_size = self.block_size;
+        cfg.compute_cycles_per_byte = self.encrypt_cycles_per_byte;
+        cfg.issue_cost = sais_sim::SimDuration::from_micros(self.api.issue_overhead_us());
+        cfg.policy = PolicyChoice::LowestLoaded;
+        cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_shape() {
+        let ior = IorConfig::paper_default(1024 * 1024);
+        assert_eq!(ior.api, IorApi::MpiIo);
+        assert_eq!(ior.block_size, 10 << 30);
+        assert_eq!(ior.nprocs, 1);
+    }
+
+    #[test]
+    fn lowering_preserves_parameters() {
+        let mut ior = IorConfig::paper_default(512 * 1024);
+        ior.nprocs = 4;
+        ior.block_size = 64 * 1024 * 1024;
+        let cfg = ior.to_scenario(16, 3);
+        assert_eq!(cfg.servers, 16);
+        assert_eq!(cfg.nic_ports, 3);
+        assert_eq!(cfg.transfer_size, 512 * 1024);
+        assert_eq!(cfg.procs_per_client, 4);
+        assert_eq!(cfg.file_size, 64 * 1024 * 1024);
+        assert_eq!(cfg.strip_size, 64 * 1024, "PVFS strip size is fixed by the deployment");
+    }
+
+    #[test]
+    fn api_overheads_are_ordered() {
+        assert!(IorApi::Posix.issue_overhead_us() < IorApi::MpiIo.issue_overhead_us());
+        assert!(IorApi::MpiIo.issue_overhead_us() < IorApi::Hdf5.issue_overhead_us());
+    }
+
+    #[test]
+    fn scenario_runs_end_to_end() {
+        let mut ior = IorConfig::paper_default(256 * 1024);
+        ior.block_size = 4 * 1024 * 1024;
+        let m = ior.to_scenario(8, 3).run();
+        assert_eq!(m.bytes_delivered, 4 * 1024 * 1024);
+    }
+}

@@ -1,0 +1,28 @@
+//! # sais-workload — benchmark workloads for the SAIs reproduction
+//!
+//! The paper evaluates SAIs with **IOR** (the LLNL Interleaved-or-Random
+//! parallel file system benchmark) plus a per-request compute task, in
+//! three shapes:
+//!
+//! * single-client transfer-size × server-count sweeps (Figs. 5–11) —
+//!   [`ior`] maps IOR-style parameters onto the simulator's
+//!   `ScenarioConfig`;
+//! * the multi-client scalability test (Fig. 12) — [`multiclient`];
+//! * a checkpoint/restart lifecycle ([`checkpoint`]) — the data-intensive
+//!   application pattern the paper's introduction motivates;
+//! * the §VI in-memory experiment, for which this crate additionally
+//!   provides a **real multi-threaded implementation** ([`memexp`]) that
+//!   runs on the host machine with `crossbeam`, complementing the
+//!   deterministic DES version in `sais_core::memsim`.
+
+pub mod autotune;
+pub mod checkpoint;
+pub mod ior;
+pub mod memexp;
+pub mod multiclient;
+
+pub use autotune::{tune, TuneResult};
+pub use checkpoint::{CheckpointConfig, CheckpointReport};
+pub use ior::{IorApi, IorConfig};
+pub use memexp::{MemExpConfig, MemExpMode, MemExpResult};
+pub use multiclient::{multiclient_config, MultiClientPoint};

@@ -1,0 +1,50 @@
+//! Checkpoint/restart lifecycle: how much application time does interrupt
+//! steering recover for a data-intensive HPC job?
+//!
+//! ```text
+//! cargo run --release --example checkpoint_restart
+//! ```
+
+use sais::metrics::Table;
+use sais::prelude::*;
+use sais::workload::CheckpointConfig;
+
+fn main() {
+    println!(
+        "checkpoint/restart — 4 ranks, 64 MB images, 16 PVFS servers, 3-Gigabit NIC\n"
+    );
+    let mut table = Table::new(
+        "application wall-time breakdown by restart count",
+        &[
+            "restarts",
+            "policy",
+            "compute",
+            "checkpoint I/O",
+            "restart I/O",
+            "total",
+            "compute efficiency",
+        ],
+    );
+    for restarts in [0u64, 1, 4] {
+        for policy in [PolicyChoice::LowestLoaded, PolicyChoice::SourceAware] {
+            let mut cfg = CheckpointConfig::medium(policy);
+            cfg.restarts = restarts;
+            let r = cfg.run();
+            table.row(&[
+                restarts.to_string(),
+                policy.label().to_string(),
+                format!("{}", r.compute),
+                format!("{}", r.checkpoint_io),
+                format!("{}", r.restart_io),
+                format!("{}", r.total()),
+                format!("{:.1}%", r.compute_efficiency() * 100.0),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+    println!(
+        "Checkpoint writes are identical under both policies (no inbound data \
+         to steer);\nevery restart read is where SAIs buys wall time back, so \
+         requeue-heavy jobs gain the most."
+    );
+}

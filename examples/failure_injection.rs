@@ -1,0 +1,77 @@
+//! Robustness demo: SAIs under packet loss, header corruption and a
+//! straggling I/O server. The interesting property is *graceful
+//! degradation*: a corrupt or missing hint must never panic or misroute —
+//! the interrupt silently falls back to the conventional policy.
+//!
+//! ```text
+//! cargo run --release --example failure_injection
+//! ```
+
+use sais::metrics::Table;
+use sais::prelude::*;
+
+fn base() -> ScenarioConfig {
+    let mut cfg = ScenarioConfig::testbed_3gig(16, 512 * 1024);
+    cfg.file_size = 32 << 20;
+    cfg.policy = PolicyChoice::SourceAware;
+    cfg
+}
+
+fn main() {
+    println!("failure injection — SAIs, 16 servers, 3-Gigabit NIC, 32 MB read\n");
+    let mut table = Table::new(
+        "graceful degradation",
+        &[
+            "scenario",
+            "MB/s",
+            "retransmits",
+            "parse errors",
+            "hinted irqs",
+            "migrated strips",
+        ],
+    );
+
+    let healthy = base().run();
+    let mut row = |name: &str, m: &RunMetrics| {
+        table.row(&[
+            name.to_string(),
+            format!("{:.2}", m.bandwidth_mbs()),
+            m.retransmits.to_string(),
+            m.parse_errors.to_string(),
+            format!("{}/{}", m.hinted_interrupts, m.interrupts),
+            m.strip_migrations.to_string(),
+        ]);
+    };
+    row("healthy", &healthy);
+
+    let mut lossy = base();
+    lossy.strip_loss_prob = 0.02;
+    row("2% strip loss", &lossy.run());
+
+    let mut corrupt = base();
+    corrupt.hint_corruption_prob = 0.25;
+    let c = corrupt.run();
+    assert!(c.parse_errors > 0, "corruption must be observed");
+    row("25% header corruption", &c);
+
+    let mut straggler = base();
+    straggler.straggler = Some((3, 20.0));
+    row("server 3 is 20x slow", &straggler.run());
+
+    let mut everything = base();
+    everything.strip_loss_prob = 0.02;
+    everything.hint_corruption_prob = 0.25;
+    everything.straggler = Some((3, 20.0));
+    let e = everything.run();
+    assert_eq!(e.bytes_delivered, 32 << 20, "all bytes still delivered");
+    row("all of the above", &e);
+
+    println!("{}", table.render());
+    println!(
+        "Every scenario delivered all {} MB. Corrupted hints fail closed: \
+         SrcParser rejects the header\n(checksum/options validation) and the \
+         interrupt falls back to irqbalance steering — a few strips\nmigrate, \
+         nothing breaks.",
+        32
+    );
+}

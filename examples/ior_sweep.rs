@@ -1,0 +1,59 @@
+//! The workload the paper's introduction motivates: an I/O-intensive
+//! parallel application reading a large striped file through IOR, swept
+//! over transfer sizes and I/O APIs.
+//!
+//! ```text
+//! cargo run --release --example ior_sweep
+//! ```
+
+use sais::metrics::Table;
+use sais::prelude::*;
+use sais::workload::IorApi;
+
+fn main() {
+    let servers = 16;
+    let ports = 3;
+    println!("IOR read sweep — {servers} PVFS servers, 3-Gigabit client NIC\n");
+
+    let mut table = Table::new(
+        "bandwidth by transfer size and API",
+        &["API", "transfer", "Irqbalance MB/s", "SAIs MB/s", "speed-up"],
+    );
+    for api in [IorApi::Posix, IorApi::MpiIo, IorApi::Hdf5] {
+        for transfer in [128u64 << 10, 512 << 10, 2 << 20] {
+            let mut ior = IorConfig::paper_default(transfer);
+            ior.api = api;
+            ior.block_size = 64 << 20;
+            let base = ior.to_scenario(servers, ports);
+            let irqb = base.clone().with_policy(PolicyChoice::LowestLoaded).run();
+            let sais = base.with_policy(PolicyChoice::SourceAware).run();
+            table.row(&[
+                format!("{api:?}"),
+                format!("{}K", transfer >> 10),
+                format!("{:.2}", irqb.bandwidth_mbs()),
+                format!("{:.2}", sais.bandwidth_mbs()),
+                format!(
+                    "{:+.2}%",
+                    (sais.bandwidth_mbs() / irqb.bandwidth_mbs() - 1.0) * 100.0
+                ),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+
+    // The multi-program case of §III-D: one IOR rank per core.
+    println!("multi-program (8 ranks, one per core), 1M transfers:");
+    let mut ior = IorConfig::paper_default(1 << 20);
+    ior.nprocs = 8;
+    ior.block_size = 64 << 20;
+    let base = ior.to_scenario(servers, ports);
+    let irqb = base.clone().with_policy(PolicyChoice::LowestLoaded).run();
+    let sais = base.with_policy(PolicyChoice::SourceAware).run();
+    println!(
+        "  Irqbalance {:.2} MB/s ({} strip migrations) | SAIs {:.2} MB/s ({} migrations)",
+        irqb.bandwidth_mbs(),
+        irqb.strip_migrations,
+        sais.bandwidth_mbs(),
+        sais.strip_migrations
+    );
+}

@@ -1,0 +1,56 @@
+//! Auto-tuning demo: search the steering-policy space for a deployment
+//! and watch source-awareness win exactly where the paper says it should —
+//! and tie exactly where it says it can't help.
+//!
+//! ```text
+//! cargo run --release --example policy_tuner
+//! ```
+
+use sais::core::scenario::IoDirection;
+use sais::metrics::Table;
+use sais::prelude::*;
+use sais::workload::autotune;
+
+fn show(name: &str, base: &ScenarioConfig) {
+    let result = autotune::tune(base);
+    let mut table = Table::new(
+        format!("{name} — candidates ranked by measured bandwidth"),
+        &["rank", "policy", "MB/s", "p99 latency (ms)", "migrated strips"],
+    );
+    for (i, e) in result.ranking.iter().enumerate() {
+        table.row(&[
+            (i + 1).to_string(),
+            e.policy.label().to_string(),
+            format!("{:.2}", e.metrics.bandwidth_mbs()),
+            format!("{:.3}", e.metrics.latency_p99_ms()),
+            e.metrics.strip_migrations.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "winner: {} (margin over runner-up: {:+.2}%)\n",
+        result.best().label(),
+        result.margin() * 100.0
+    );
+}
+
+fn main() {
+    println!("searching 7 steering policies per deployment…\n");
+
+    let mut reads = ScenarioConfig::testbed_3gig(16, 128 * 1024);
+    reads.file_size = 32 << 20;
+    reads.procs_per_client = 2;
+    show("parallel READ, 16 servers, 3-Gigabit NIC", &reads);
+
+    let mut writes = reads.clone();
+    writes.direction = IoDirection::Write;
+    writes.transfer_size = 512 * 1024;
+    show("parallel WRITE, same deployment", &writes);
+
+    println!(
+        "Reads: the tuner rediscovers source-awareness without being told \
+         why — exactly the paper's\nclaim against static tools (VTune, \
+         autopin, manual 82575/82599 assignment). Writes: every\npolicy ties; \
+         there is nothing for interrupt placement to win."
+    );
+}

@@ -1,0 +1,43 @@
+//! # sais — Source-Aware Interrupt Scheduling for Parallel I/O
+//!
+//! A full-system Rust reproduction of *"A Source-aware Interrupt Scheduling
+//! for Modern Parallel I/O Systems"* (Zou, Sun, Ma & Duan, IIT, 2012),
+//! including every substrate the paper's prototype depends on: a
+//! deterministic discrete-event engine, a per-core cache hierarchy with
+//! migration costs, an x86 APIC model with pluggable steering policies, a
+//! TCP/IP layer with the paper's IP-option hint channel, a PVFS-like
+//! striped parallel file system, and IOR-like workloads.
+//!
+//! This facade crate re-exports the workspace members; see each crate's
+//! documentation for details, `DESIGN.md` for the system inventory, and
+//! `EXPERIMENTS.md` for the paper-vs-measured record.
+//!
+//! ```
+//! use sais::prelude::*;
+//!
+//! let mut cfg = ScenarioConfig::testbed_3gig(8, 256 * 1024);
+//! cfg.file_size = 8 * 1024 * 1024; // keep the doctest fast
+//! let sais = cfg.clone().with_policy(PolicyChoice::SourceAware).run();
+//! let irqb = cfg.with_policy(PolicyChoice::LowestLoaded).run();
+//! assert!(sais.bandwidth_bytes_per_sec() > irqb.bandwidth_bytes_per_sec());
+//! ```
+
+pub use sais_apic as apic;
+pub use sais_core as core;
+pub use sais_cpu as cpu;
+pub use sais_mem as mem;
+pub use sais_metrics as metrics;
+pub use sais_net as net;
+pub use sais_pvfs as pvfs;
+pub use sais_sim as sim;
+pub use sais_workload as workload;
+
+/// The types most programs need.
+pub mod prelude {
+    pub use sais_apic::{Policy, PolicyKind};
+    pub use sais_core::memsim::{MemSimConfig, MemSimMode};
+    pub use sais_core::scenario::{PolicyChoice, RunMetrics, ScenarioConfig};
+    pub use sais_core::{HintCapsuler, HintMessager, IMComposer, SrcParser};
+    pub use sais_sim::{SimDuration, SimTime};
+    pub use sais_workload::{IorConfig, MemExpConfig, MemExpMode, MultiClientPoint};
+}

@@ -1,0 +1,85 @@
+//! Trace-based causality: for every strip, the interrupt precedes the
+//! copy, and under SAIs both land on the consuming core.
+
+use sais::prelude::*;
+use std::collections::HashMap;
+
+fn traced(policy: PolicyChoice) -> (RunMetrics, sais::core::cluster::Cluster) {
+    let mut cfg = ScenarioConfig::testbed_3gig(8, 256 * 1024);
+    cfg.file_size = 4 << 20;
+    cfg.policy = policy;
+    cfg.trace_capacity = 1 << 16;
+    cfg.run_full()
+}
+
+#[test]
+fn interrupts_precede_copies_per_strip() {
+    let (_, cluster) = traced(PolicyChoice::LowestLoaded);
+    let trace = &cluster.clients[0].trace;
+    let mut first_irq: HashMap<u64, sais::sim::SimTime> = HashMap::new();
+    for ev in trace.with_tag("irq") {
+        first_irq.entry(ev.a).or_insert(ev.time);
+    }
+    let mut copies = 0;
+    for ev in trace.with_tag("copy") {
+        let irq_t = first_irq
+            .get(&ev.a)
+            .unwrap_or_else(|| panic!("copy of strip {} without an interrupt", ev.a));
+        assert!(*irq_t <= ev.time, "strip {}: copy before interrupt", ev.a);
+        copies += 1;
+    }
+    assert_eq!(copies, 64, "4 MB / 64 KB strips all copied");
+}
+
+#[test]
+fn sais_handles_and_copies_on_the_same_core() {
+    let (m, cluster) = traced(PolicyChoice::SourceAware);
+    assert_eq!(m.strip_migrations, 0);
+    let trace = &cluster.clients[0].trace;
+    let mut irq_core: HashMap<u64, u64> = HashMap::new();
+    for ev in trace.with_tag("irq") {
+        if let Some(prev) = irq_core.insert(ev.a, ev.b) {
+            assert_eq!(prev, ev.b, "strip {}: peer interrupts split cores", ev.a);
+        }
+    }
+    for ev in trace.with_tag("copy") {
+        assert_eq!(
+            irq_core[&ev.a], ev.b,
+            "strip {}: handled on {} but consumed on {}",
+            ev.a, irq_core[&ev.a], ev.b
+        );
+    }
+}
+
+#[test]
+fn irqbalance_splits_handler_and_consumer() {
+    let (m, cluster) = traced(PolicyChoice::LowestLoaded);
+    assert!(m.strip_migrations > 0);
+    let trace = &cluster.clients[0].trace;
+    let mut irq_core: HashMap<u64, u64> = HashMap::new();
+    for ev in trace.with_tag("irq") {
+        irq_core.insert(ev.a, ev.b);
+    }
+    let mismatched = trace
+        .with_tag("copy")
+        .filter(|ev| irq_core.get(&ev.a) != Some(&ev.b))
+        .count();
+    assert!(
+        mismatched > 32,
+        "most strips should be handled away from the consumer: {mismatched}"
+    );
+}
+
+#[test]
+fn tracing_does_not_change_results() {
+    let mut with = ScenarioConfig::testbed_3gig(8, 256 * 1024);
+    with.file_size = 4 << 20;
+    with.policy = PolicyChoice::SourceAware;
+    let mut without = with.clone();
+    with.trace_capacity = 4096;
+    without.trace_capacity = 0;
+    let a = with.run();
+    let b = without.run();
+    assert_eq!(a.wall_time, b.wall_time);
+    assert_eq!(a.unhalted_cycles, b.unhalted_cycles);
+}

@@ -1,0 +1,99 @@
+//! End-to-end conservation: every byte requested is served, delivered,
+//! and consumed exactly once, under every policy and failure mode.
+
+use sais::prelude::*;
+
+fn base(policy: PolicyChoice) -> ScenarioConfig {
+    let mut cfg = ScenarioConfig::testbed_3gig(8, 512 * 1024);
+    cfg.file_size = 8 << 20;
+    cfg.policy = policy;
+    cfg
+}
+
+#[test]
+fn bytes_conserved_under_every_policy() {
+    for policy in [
+        PolicyChoice::RoundRobin,
+        PolicyChoice::Dedicated,
+        PolicyChoice::LowestLoaded,
+        PolicyChoice::FlowHash,
+        PolicyChoice::SourceAware,
+        PolicyChoice::Hybrid,
+    ] {
+        let m = base(policy).run();
+        assert_eq!(m.bytes_delivered, 8 << 20, "{policy:?}");
+        assert_eq!(m.requests_completed, 16, "{policy:?}");
+        assert_eq!(m.strips_delivered, 128, "{policy:?}");
+    }
+}
+
+#[test]
+fn bytes_conserved_across_transfer_sizes_and_servers() {
+    for transfer in [64u64 << 10, 128 << 10, 1 << 20, 2 << 20] {
+        for servers in [1usize, 3, 8, 48] {
+            let mut cfg = base(PolicyChoice::SourceAware);
+            cfg.transfer_size = transfer;
+            cfg.servers = servers;
+            let m = cfg.run();
+            assert_eq!(
+                m.bytes_delivered,
+                8 << 20,
+                "transfer {transfer} servers {servers}"
+            );
+        }
+    }
+}
+
+#[test]
+fn unaligned_tail_request_is_not_lost() {
+    // file_size not a multiple of transfer_size: the last read is short.
+    let mut cfg = base(PolicyChoice::SourceAware);
+    cfg.file_size = 8 * 1024 * 1024 + 192 * 1024;
+    cfg.transfer_size = 512 * 1024;
+    let m = cfg.run();
+    assert_eq!(m.bytes_delivered, 8 * 1024 * 1024 + 192 * 1024);
+    assert_eq!(m.requests_completed, 17);
+}
+
+#[test]
+fn multi_process_conservation() {
+    let mut cfg = base(PolicyChoice::SourceAware);
+    cfg.procs_per_client = 8;
+    cfg.file_size = 16 << 20;
+    let m = cfg.run();
+    assert_eq!(m.bytes_delivered, 16 << 20);
+}
+
+#[test]
+fn multi_client_conservation() {
+    for policy in [PolicyChoice::SourceAware, PolicyChoice::LowestLoaded] {
+        let mut cfg = base(policy);
+        cfg.clients = 5;
+        let m = cfg.run();
+        assert_eq!(m.bytes_delivered, 5 * (8 << 20));
+        assert_eq!(m.per_client_bw.len(), 5);
+        assert!(m.per_client_bw.iter().all(|&b| b > 0.0));
+    }
+}
+
+#[test]
+fn conservation_survives_loss_corruption_and_stragglers() {
+    let mut cfg = base(PolicyChoice::SourceAware);
+    cfg.strip_loss_prob = 0.05;
+    cfg.hint_corruption_prob = 0.3;
+    cfg.straggler = Some((2, 25.0));
+    let m = cfg.run();
+    assert_eq!(m.bytes_delivered, 8 << 20);
+    assert!(m.retransmits > 0);
+    assert!(m.parse_errors > 0);
+}
+
+#[test]
+fn strips_match_layout_arithmetic() {
+    // 8 MB in 512 KB transfers over 64 KB strips = 128 strips; interrupts
+    // are at least one per strip and match the NIC's count.
+    let m = base(PolicyChoice::SourceAware).run();
+    assert!(m.interrupts >= m.strips_delivered);
+    let dist_sum: u64 = m.irq_distribution.iter().sum();
+    assert_eq!(dist_sum, m.interrupts);
+}

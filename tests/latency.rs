@@ -1,0 +1,66 @@
+//! Request-latency distribution contracts: SAIs improves not just the
+//! mean but the tail, and latency accounting is self-consistent.
+
+use sais::prelude::*;
+
+fn run(policy: PolicyChoice) -> RunMetrics {
+    let mut cfg = ScenarioConfig::testbed_3gig(16, 128 * 1024);
+    cfg.file_size = 16 << 20;
+    cfg.policy = policy;
+    cfg.run()
+}
+
+#[test]
+fn latency_counts_match_requests() {
+    let m = run(PolicyChoice::SourceAware);
+    assert_eq!(m.request_latency.count(), m.requests_completed);
+    assert!(m.request_latency.min() > 0);
+    assert!(m.latency_p50_ms() > 0.0);
+    assert!(m.latency_p99_ms() >= m.latency_p50_ms());
+}
+
+#[test]
+fn sais_improves_median_and_tail() {
+    let s = run(PolicyChoice::SourceAware);
+    let b = run(PolicyChoice::LowestLoaded);
+    assert!(
+        s.latency_p50_ms() < b.latency_p50_ms(),
+        "p50: SAIs {:.3} ms vs irqbalance {:.3} ms",
+        s.latency_p50_ms(),
+        b.latency_p50_ms()
+    );
+    assert!(
+        s.latency_p99_ms() <= b.latency_p99_ms(),
+        "p99: SAIs {:.3} ms vs irqbalance {:.3} ms",
+        s.latency_p99_ms(),
+        b.latency_p99_ms()
+    );
+}
+
+#[test]
+fn latency_and_bandwidth_are_consistent() {
+    // One blocking process: bandwidth ≈ transfer / mean request latency.
+    let m = run(PolicyChoice::SourceAware);
+    let mean_s = m.request_latency.mean() / 1e9;
+    let implied_bw = 128.0 * 1024.0 / mean_s;
+    let measured = m.bandwidth_bytes_per_sec();
+    let ratio = implied_bw / measured;
+    // The compute phase sits between requests, so the implied value is an
+    // upper bound but of the same magnitude.
+    assert!(
+        (1.0..1.5).contains(&ratio),
+        "implied {implied_bw:.0} vs measured {measured:.0} (ratio {ratio:.3})"
+    );
+}
+
+#[test]
+fn straggler_shows_up_in_the_tail() {
+    let mut cfg = ScenarioConfig::testbed_3gig(16, 1024 * 1024);
+    cfg.file_size = 16 << 20;
+    cfg.policy = PolicyChoice::SourceAware;
+    let healthy = cfg.clone().run();
+    cfg.straggler = Some((0, 100.0));
+    let slow = cfg.run();
+    let tail_blowup = slow.latency_p99_ms() / healthy.latency_p99_ms();
+    assert!(tail_blowup > 1.5, "p99 blow-up {tail_blowup:.2}");
+}

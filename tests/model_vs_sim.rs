@@ -1,0 +1,104 @@
+//! The §III analytic model against the discrete-event simulator: the
+//! model's qualitative orderings must hold in simulation.
+
+use sais::core::analysis::AnalyticModel;
+use sais::prelude::*;
+
+fn run_pair(mut cfg: ScenarioConfig) -> (f64, f64) {
+    cfg.file_size = 16 << 20;
+    let sais = cfg
+        .clone()
+        .with_policy(PolicyChoice::SourceAware)
+        .run()
+        .bandwidth_bytes_per_sec();
+    let irqb = cfg
+        .with_policy(PolicyChoice::LowestLoaded)
+        .run()
+        .bandwidth_bytes_per_sec();
+    (sais, irqb)
+}
+
+#[test]
+fn m_much_greater_than_p_makes_source_aware_win_in_both() {
+    // Model side (eqs. 5/6).
+    let model = sais::core::analysis::calibrated(8, 16, 100, 1e-3);
+    assert!(model.predicted_speedup() > 0.0);
+    // Simulator side at the same calibration.
+    let (sais, irqb) = run_pair(ScenarioConfig::testbed_3gig(16, 128 * 1024));
+    assert!(sais > irqb);
+}
+
+#[test]
+fn free_migration_flips_the_ordering_in_both() {
+    // Model: M = 0 makes balanced scheduling better (parallel handling).
+    let model = AnalyticModel {
+        m: 0.0,
+        ..sais::core::analysis::calibrated(8, 16, 100, 1e-3)
+    };
+    assert!(model.t_balance_multi() < model.t_source_aware_multi());
+    // Simulator: with near-free cache-to-cache transfers, SAIs loses its
+    // edge (and can dip slightly below due to serialized handling).
+    let mut cfg = ScenarioConfig::testbed_3gig(16, 128 * 1024);
+    cfg.mem.c2c_line = SimDuration::from_nanos(1);
+    let (sais, irqb) = run_pair(cfg);
+    let gain = sais / irqb - 1.0;
+    assert!(
+        gain < 0.02,
+        "with M ≈ 0 the SAIs advantage must vanish, got {gain:+.4}"
+    );
+}
+
+#[test]
+fn advantage_grows_with_migration_cost_in_both() {
+    // Model: gap is linear in (M − P).
+    let base = sais::core::analysis::calibrated(8, 16, 100, 1e-3);
+    let expensive = AnalyticModel { m: base.m * 4.0, ..base };
+    assert!(expensive.predicted_speedup() > base.predicted_speedup());
+    // Simulator: sweep c2c latency.
+    let gain_at = |ns: u64| {
+        let mut cfg = ScenarioConfig::testbed_3gig(16, 128 * 1024);
+        cfg.mem.c2c_line = SimDuration::from_nanos(ns);
+        let (s, b) = run_pair(cfg);
+        s / b - 1.0
+    };
+    let low = gain_at(30);
+    let high = gain_at(240);
+    assert!(high > low, "gain at 240ns {high:.4} vs 30ns {low:.4}");
+}
+
+#[test]
+fn residue_dilution_matches() {
+    // Model: a larger T_R (network/server share) dilutes the speedup.
+    let tight = sais::core::analysis::calibrated(8, 16, 100, 1e-4);
+    let loose = sais::core::analysis::calibrated(8, 16, 100, 1e-1);
+    assert!(tight.predicted_speedup() > loose.predicted_speedup());
+    // Simulator: slower servers = larger T_R = smaller gain.
+    let gain_with_storage = |bw: f64| {
+        let mut cfg = ScenarioConfig::testbed_3gig(16, 128 * 1024);
+        cfg.server.storage_bw = bw;
+        let (s, b) = run_pair(cfg);
+        s / b - 1.0
+    };
+    let fast_servers = gain_with_storage(400e6);
+    let slow_servers = gain_with_storage(40e6);
+    assert!(
+        fast_servers > slow_servers,
+        "fast {fast_servers:.4} vs slow {slow_servers:.4}"
+    );
+}
+
+#[test]
+fn eq7_bandwidth_coupling_shows_in_simulation() {
+    // Eq. (7): with the client NIC as the ceiling, raising N_S cannot raise
+    // delivered bandwidth once saturated. 1-Gig NIC, large transfers.
+    let bw_at = |servers: usize| {
+        let mut cfg = ScenarioConfig::testbed_1gig(servers, 2 * 1024 * 1024);
+        cfg.file_size = 16 << 20;
+        cfg.policy = PolicyChoice::SourceAware;
+        cfg.run().bandwidth_bytes_per_sec()
+    };
+    let b8 = bw_at(8);
+    let b48 = bw_at(48);
+    assert!(b48 < b8 * 1.15, "NIC-bound: {b8:.0} → {b48:.0}");
+    assert!(b48 < 125e6, "below the 1-GbE line rate");
+}

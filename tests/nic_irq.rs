@@ -1,0 +1,77 @@
+//! NIC/APIC plumbing contracts observed from whole-cluster runs.
+
+use sais::prelude::*;
+
+fn base() -> ScenarioConfig {
+    let mut cfg = ScenarioConfig::testbed_3gig(16, 512 * 1024);
+    cfg.file_size = 8 << 20;
+    cfg.policy = PolicyChoice::SourceAware;
+    cfg
+}
+
+#[test]
+fn coalescing_scales_interrupt_count_inversely() {
+    let irqs_at = |frames: u64| {
+        let mut cfg = base();
+        cfg.coalesce_frames = frames;
+        cfg.run().interrupts
+    };
+    let per_frame = irqs_at(1);
+    let coalesced8 = irqs_at(8);
+    let coalesced32 = irqs_at(32);
+    assert!(per_frame > coalesced8 * 6, "{per_frame} vs {coalesced8}");
+    assert!(coalesced8 > coalesced32 * 2, "{coalesced8} vs {coalesced32}");
+    // One 64 KB strip ≈ 45 frames: per-frame mode raises ≈ 45 per strip.
+    let strips = 128;
+    assert!(per_frame >= 44 * strips && per_frame <= 46 * strips);
+}
+
+#[test]
+fn lapic_counts_match_distribution() {
+    let (m, cluster) = {
+        let cfg = base();
+        cfg.run_full()
+    };
+    let client = &cluster.clients[0];
+    for (core, &expected) in m.irq_distribution.iter().enumerate() {
+        assert_eq!(
+            client.ioapic.lapic(core).accepted.get(),
+            expected,
+            "LAPIC {core} disagrees with the distribution"
+        );
+    }
+}
+
+#[test]
+fn every_bond_port_carries_interrupt_lines() {
+    // With 16 server flows Toeplitz-hashed over 3 ports, each port's IRQ
+    // line fires (pins are per port); under SAIs they all still land on
+    // the consumer core.
+    let (m, _cluster) = base().run_full();
+    assert_eq!(
+        m.irq_distribution.iter().filter(|&&c| c > 0).count(),
+        1,
+        "SAIs: one consuming core"
+    );
+    assert_eq!(m.hinted_interrupts, m.interrupts);
+}
+
+#[test]
+fn single_port_and_bonded_conserve_identically() {
+    for ports in [1usize, 2, 3] {
+        let mut cfg = base();
+        cfg.nic_ports = ports;
+        let m = cfg.run();
+        assert_eq!(m.bytes_delivered, 8 << 20, "ports={ports}");
+        // More ports strictly helps (or at worst ties) delivered bandwidth.
+        if ports > 1 {
+            let mut one = base();
+            one.nic_ports = 1;
+            let m1 = one.run();
+            assert!(
+                m.bandwidth_bytes_per_sec() >= m1.bandwidth_bytes_per_sec() * 0.99,
+                "bonding must not lose bandwidth"
+            );
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! Cross-crate behavioural contracts of the steering policies.
+
+use sais::prelude::*;
+
+fn base(policy: PolicyChoice) -> ScenarioConfig {
+    let mut cfg = ScenarioConfig::testbed_3gig(16, 512 * 1024);
+    cfg.file_size = 8 << 20;
+    cfg.policy = policy;
+    cfg
+}
+
+#[test]
+fn sais_eliminates_strip_migration_entirely() {
+    let m = base(PolicyChoice::SourceAware).run();
+    assert_eq!(m.strip_migrations, 0);
+    assert_eq!(m.c2c_lines, 0);
+    assert_eq!(m.hinted_interrupts, m.interrupts);
+}
+
+#[test]
+fn conventional_policies_migrate_nearly_every_strip() {
+    for (policy, threshold) in [
+        (PolicyChoice::RoundRobin, 0.8),
+        (PolicyChoice::LowestLoaded, 0.8),
+        // FlowHash keeps whole flows together, and the flows that happen to
+        // hash onto the consumer's core stay local — with 16 server flows
+        // over 8 cores a sizable minority can land there.
+        (PolicyChoice::FlowHash, 0.5),
+    ] {
+        let m = base(policy).run();
+        let frac = m.strip_migrations as f64 / m.strips_delivered as f64;
+        assert!(
+            frac > threshold,
+            "{policy:?}: only {frac:.2} of strips migrated"
+        );
+    }
+}
+
+#[test]
+fn dedicated_core_migrates_unless_consumer_is_the_dedicated_core() {
+    // The Linux-on-AMD default: all interrupts on core 0. The single IOR
+    // process also runs on core 0 here, so locality is accidental.
+    let m = base(PolicyChoice::Dedicated).run();
+    assert_eq!(m.strip_migrations, 0, "consumer happens to be core 0");
+    // Move the consumer off core 0 and the migrations appear.
+    let mut cfg = base(PolicyChoice::Dedicated);
+    cfg.procs_per_client = 2; // proc 1 lands on core 1
+    cfg.file_size = 8 << 20;
+    let m2 = cfg.run();
+    assert!(m2.strip_migrations > 0);
+}
+
+#[test]
+fn sais_wins_all_four_paper_metrics() {
+    let s = base(PolicyChoice::SourceAware).run();
+    let b = base(PolicyChoice::LowestLoaded).run();
+    assert!(s.bandwidth_bytes_per_sec() > b.bandwidth_bytes_per_sec());
+    assert!(s.l2_miss_rate < b.l2_miss_rate);
+    assert!(s.cpu_utilization < b.cpu_utilization);
+    assert!(s.unhalted_cycles < b.unhalted_cycles);
+}
+
+#[test]
+fn speedup_grows_with_server_count() {
+    // The paper's headline trend (Fig. 5): more servers, more benefit.
+    let speedup = |servers: usize| {
+        let mut cfg = ScenarioConfig::testbed_3gig(servers, 128 * 1024);
+        cfg.file_size = 16 << 20;
+        let s = cfg.clone().with_policy(PolicyChoice::SourceAware).run();
+        let b = cfg.with_policy(PolicyChoice::LowestLoaded).run();
+        s.bandwidth_bytes_per_sec() / b.bandwidth_bytes_per_sec() - 1.0
+    };
+    let s8 = speedup(8);
+    let s48 = speedup(48);
+    assert!(s8 > 0.0);
+    assert!(s48 > s8, "48 servers {s48:.4} vs 8 servers {s8:.4}");
+}
+
+#[test]
+fn one_gig_gain_smaller_than_three_gig() {
+    // §V-C: the NIC bottleneck caps what interrupt placement can win.
+    let run = |ports: usize| {
+        let mut cfg = if ports == 1 {
+            ScenarioConfig::testbed_1gig(16, 128 * 1024)
+        } else {
+            ScenarioConfig::testbed_3gig(16, 128 * 1024)
+        };
+        cfg.file_size = 16 << 20;
+        let s = cfg.clone().with_policy(PolicyChoice::SourceAware).run();
+        let b = cfg.with_policy(PolicyChoice::LowestLoaded).run();
+        s.bandwidth_bytes_per_sec() / b.bandwidth_bytes_per_sec() - 1.0
+    };
+    let g1 = run(1);
+    let g3 = run(3);
+    assert!(g1 > 0.0, "SAIs still wins at 1-Gig: {g1:.4}");
+    assert!(g3 > g1 * 1.5, "3-Gig {g3:.4} should dominate 1-Gig {g1:.4}");
+}
+
+#[test]
+fn hybrid_behaves_like_sais_when_uncontended() {
+    let h = base(PolicyChoice::Hybrid).run();
+    let s = base(PolicyChoice::SourceAware).run();
+    // With one process the hinted core is rarely overloaded.
+    let migration_rate = h.strip_migrations as f64 / h.strips_delivered as f64;
+    assert!(migration_rate < 0.2, "hybrid migrated {migration_rate:.2}");
+    let ratio = h.bandwidth_bytes_per_sec() / s.bandwidth_bytes_per_sec();
+    assert!(ratio > 0.9, "hybrid within 10% of SAIs: {ratio:.3}");
+}
+
+#[test]
+fn corrupted_hints_fall_back_to_baseline_steering() {
+    let mut cfg = base(PolicyChoice::SourceAware);
+    cfg.hint_corruption_prob = 1.0; // every header corrupted
+    let m = cfg.run();
+    // Most corruptions break the checksum → no hint → fallback; a small
+    // share of bit flips may still parse (or even hit the option byte and
+    // parse to a different core).
+    assert!(m.parse_errors > 0);
+    assert!(
+        m.hinted_interrupts < m.interrupts / 2,
+        "most interrupts must lose their hint"
+    );
+    assert_eq!(m.bytes_delivered, 8 << 20);
+}
+
+#[test]
+fn irq_affinity_mask_defeats_sais() {
+    // `/proc/irq/N/smp_affinity` interplay: if the administrator pins the
+    // NIC IRQs to cores 1–2 while the application runs on core 0, the
+    // I/O APIC clamps every SAIs choice and the migrations come back.
+    let mut cfg = base(PolicyChoice::SourceAware);
+    cfg.irq_affinity_mask = Some(0b0110);
+    let m = cfg.run();
+    assert_eq!(m.clamped_interrupts, m.interrupts, "every choice clamped");
+    assert!(m.strip_migrations > 0, "locality lost to the mask");
+    assert_eq!(m.bytes_delivered, 8 << 20, "but nothing breaks");
+    // A mask that *includes* the consumer changes nothing.
+    let mut ok = base(PolicyChoice::SourceAware);
+    ok.irq_affinity_mask = Some(0b0001);
+    let m2 = ok.run();
+    assert_eq!(m2.strip_migrations, 0);
+    assert_eq!(m2.clamped_interrupts, 0);
+}
+
+#[test]
+fn irq_distribution_shapes() {
+    let rr = base(PolicyChoice::RoundRobin).run();
+    let max = *rr.irq_distribution.iter().max().unwrap() as f64;
+    let min = *rr.irq_distribution.iter().min().unwrap() as f64;
+    assert!(min / max > 0.95, "round-robin is uniform: {:?}", rr.irq_distribution);
+
+    let ded = base(PolicyChoice::Dedicated).run();
+    assert_eq!(
+        ded.irq_distribution.iter().filter(|&&c| c > 0).count(),
+        1,
+        "dedicated uses exactly one core"
+    );
+
+    let sais = base(PolicyChoice::SourceAware).run();
+    assert_eq!(
+        sais.irq_distribution.iter().filter(|&&c| c > 0).count(),
+        1,
+        "single consumer process ⇒ all interrupts on its core"
+    );
+}

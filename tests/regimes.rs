@@ -1,0 +1,106 @@
+//! Physical-regime sanity: nothing in the stack may exceed the hardware
+//! ceilings it models, and the regime structure the paper's argument needs
+//! (NIC-bound at 1-Gig, cache-bound in memory) must hold.
+
+use sais::prelude::*;
+
+#[test]
+fn one_gig_never_exceeds_line_rate() {
+    for transfer in [128u64 << 10, 2 << 20] {
+        let mut cfg = ScenarioConfig::testbed_1gig(16, transfer);
+        cfg.file_size = 16 << 20;
+        cfg.policy = PolicyChoice::SourceAware;
+        let m = cfg.run();
+        assert!(
+            m.bandwidth_bytes_per_sec() < 125e6,
+            "{} MB/s exceeds 1-GbE",
+            m.bandwidth_mbs()
+        );
+    }
+}
+
+#[test]
+fn three_gig_never_exceeds_bond_rate() {
+    let mut cfg = ScenarioConfig::testbed_3gig(48, 2 << 20);
+    cfg.file_size = 32 << 20;
+    cfg.policy = PolicyChoice::SourceAware;
+    let m = cfg.run();
+    assert!(m.bandwidth_bytes_per_sec() < 375e6);
+}
+
+#[test]
+fn memsim_never_exceeds_dram_bandwidth() {
+    for apps in [1usize, 4, 8] {
+        let mut c = MemSimConfig::testbed(MemSimMode::SiSais, apps);
+        c.bytes_per_app = 8 << 20;
+        let m = c.run();
+        assert!(m.bandwidth < 5333e6, "apps={apps}: {} MB/s", m.bandwidth / 1e6);
+        assert!(m.cpu_utilization <= 1.0 + 1e-9);
+    }
+}
+
+#[test]
+fn memory_regime_dwarfs_nic_regime() {
+    // The paper's §VI premise: removing the NIC exposes an order of
+    // magnitude more bandwidth.
+    let mut net = ScenarioConfig::testbed_3gig(16, 1 << 20);
+    net.file_size = 16 << 20;
+    net.policy = PolicyChoice::SourceAware;
+    let net_bw = net.run().bandwidth_bytes_per_sec();
+
+    let mut mem = MemSimConfig::testbed(MemSimMode::SiSais, 4);
+    mem.bytes_per_app = 16 << 20;
+    let mem_bw = mem.run().bandwidth;
+    assert!(
+        mem_bw > 5.0 * net_bw,
+        "memory {:.0} MB/s vs network {:.0} MB/s",
+        mem_bw / 1e6,
+        net_bw / 1e6
+    );
+}
+
+#[test]
+fn utilization_is_low_when_nic_bound() {
+    // Fig. 8's point: a 1-GbE NIC starves eight 2.7 GHz cores.
+    let mut cfg = ScenarioConfig::testbed_1gig(16, 1 << 20);
+    cfg.file_size = 16 << 20;
+    cfg.policy = PolicyChoice::LowestLoaded;
+    let m = cfg.run();
+    assert!(
+        m.cpu_utilization < 0.20,
+        "1-Gig runs must be mostly idle: {:.2}%",
+        m.cpu_utilization * 100.0
+    );
+}
+
+#[test]
+fn miss_rate_rises_with_transfer_size() {
+    // Larger transfers stream more data through the fixed 512 KB L2.
+    let miss_at = |transfer: u64| {
+        let mut cfg = ScenarioConfig::testbed_3gig(16, transfer);
+        cfg.file_size = 16 << 20;
+        cfg.policy = PolicyChoice::SourceAware;
+        cfg.run().l2_miss_rate
+    };
+    let small = miss_at(128 << 10);
+    let large = miss_at(2 << 20);
+    assert!(large > small, "2M miss {large:.4} vs 128K {small:.4}");
+}
+
+#[test]
+fn wall_time_scales_linearly_with_file_size() {
+    // Steady-state throughput ⇒ doubling the file ≈ doubles the time.
+    let wall_at = |bytes: u64| {
+        let mut cfg = ScenarioConfig::testbed_3gig(16, 512 << 10);
+        cfg.file_size = bytes;
+        cfg.policy = PolicyChoice::SourceAware;
+        cfg.run().wall_time.as_secs_f64()
+    };
+    let w1 = wall_at(8 << 20);
+    let w2 = wall_at(16 << 20);
+    let ratio = w2 / w1;
+    assert!(
+        (1.8..2.2).contains(&ratio),
+        "expected ~2x wall time, got {ratio:.3}"
+    );
+}
