@@ -88,11 +88,7 @@ mod tests {
         )
     }
 
-    fn ctx<'a>(
-        cores: &'a [CpuCore],
-        loads: &'a LoadTracker,
-        hint: Option<usize>,
-    ) -> SteerCtx<'a> {
+    fn ctx<'a>(cores: &'a [CpuCore], loads: &'a LoadTracker, hint: Option<usize>) -> SteerCtx<'a> {
         SteerCtx {
             now: SimTime::from_micros(1),
             pin: 0,

@@ -293,8 +293,16 @@ mod tests {
     fn lowest_loaded_avoids_backlogged_core() {
         let mut cores = make_cores(3);
         let loads = LoadTracker::new(3, SimDuration::from_millis(10));
-        cores[0].run(SimTime::from_micros(1), SimDuration::from_micros(100), WorkClass::SoftIrq);
-        cores[1].run(SimTime::from_micros(1), SimDuration::from_micros(50), WorkClass::SoftIrq);
+        cores[0].run(
+            SimTime::from_micros(1),
+            SimDuration::from_micros(100),
+            WorkClass::SoftIrq,
+        );
+        cores[1].run(
+            SimTime::from_micros(1),
+            SimDuration::from_micros(50),
+            WorkClass::SoftIrq,
+        );
         let mut p = Policy::LowestLoaded;
         assert_eq!(p.select(&ctx(&cores, &loads, None, 0)), 2);
     }
@@ -322,12 +330,30 @@ mod tests {
         let mut p = Policy::balanced_daemon(SimDuration::from_millis(1));
         // First decision rebalances to the lightest (core 0, all idle).
         let t0 = SimTime::from_micros(1);
-        let mk = |now| SteerCtx { now, pin: 0, hint: None, flow: 0, cores: &cores, loads: &loads };
+        let mk = |now| SteerCtx {
+            now,
+            pin: 0,
+            hint: None,
+            flow: 0,
+            cores: &cores,
+            loads: &loads,
+        };
         let first = p.select(&mk(t0));
         // Load up that core: within the interval the choice must not move.
-        cores[first].run(t0, SimDuration::from_millis(5), sais_cpu::WorkClass::SoftIrq);
+        cores[first].run(
+            t0,
+            SimDuration::from_millis(5),
+            sais_cpu::WorkClass::SoftIrq,
+        );
         let cores2 = cores.clone();
-        let mk2 = |now| SteerCtx { now, pin: 0, hint: None, flow: 0, cores: &cores2, loads: &loads };
+        let mk2 = |now| SteerCtx {
+            now,
+            pin: 0,
+            hint: None,
+            flow: 0,
+            cores: &cores2,
+            loads: &loads,
+        };
         assert_eq!(p.select(&mk2(SimTime::from_micros(500))), first);
         // After the interval it re-homes away from the now-busy core.
         let moved = p.select(&mk2(SimTime::from_millis(2)));
@@ -353,7 +379,11 @@ mod tests {
     fn source_aware_falls_back_on_missing_or_invalid_hint() {
         let mut cores = make_cores(2);
         let loads = LoadTracker::new(2, SimDuration::from_millis(10));
-        cores[0].run(SimTime::from_micros(1), SimDuration::from_micros(100), WorkClass::SoftIrq);
+        cores[0].run(
+            SimTime::from_micros(1),
+            SimDuration::from_micros(100),
+            WorkClass::SoftIrq,
+        );
         let mut p = Policy::sais();
         // No hint → irqbalance fallback picks idle core 1.
         assert_eq!(p.select(&ctx(&cores, &loads, None, 0)), 1);
@@ -369,9 +399,18 @@ mod tests {
         // Hinted core idle → honoured.
         assert_eq!(p.select(&ctx(&cores, &loads, Some(0), 0)), 0);
         // Pile work on core 0 beyond the threshold → overridden to core 1.
-        cores[0].run(SimTime::from_micros(1), SimDuration::from_micros(500), WorkClass::SoftIrq);
+        cores[0].run(
+            SimTime::from_micros(1),
+            SimDuration::from_micros(500),
+            WorkClass::SoftIrq,
+        );
         assert_eq!(p.select(&ctx(&cores, &loads, Some(0), 0)), 1);
-        if let Policy::Hybrid { honoured, overridden, .. } = p {
+        if let Policy::Hybrid {
+            honoured,
+            overridden,
+            ..
+        } = p
+        {
             assert_eq!(honoured, 1);
             assert_eq!(overridden, 1);
         } else {
@@ -393,7 +432,11 @@ mod tests {
         ];
         for p in &mut policies {
             for f in 0..20 {
-                let hint = if f % 2 == 0 { Some((f % 7) as usize) } else { None };
+                let hint = if f % 2 == 0 {
+                    Some((f % 7) as usize)
+                } else {
+                    None
+                };
                 let c = p.select(&ctx(&cores, &loads, hint, f));
                 assert!(c < 5, "{:?} returned invalid core {c}", p.kind());
             }

@@ -23,7 +23,11 @@ impl RedirectionEntry {
     /// An unmasked entry targeting any of `cores` cores.
     pub fn any_of(vector: u8, cores: usize) -> Self {
         assert!((1..=64).contains(&cores));
-        let dest_mask = if cores == 64 { u64::MAX } else { (1u64 << cores) - 1 };
+        let dest_mask = if cores == 64 {
+            u64::MAX
+        } else {
+            (1u64 << cores) - 1
+        };
         RedirectionEntry {
             vector,
             dest_mask,

@@ -1,0 +1,52 @@
+//! Measure engine throughput on the canonical scenarios and refresh the
+//! committed baseline.
+//!
+//! ```text
+//! cargo run --release -p sais-bench --bin perf_baseline            # measure + rewrite BENCH_engine.json
+//! cargo run --release -p sais-bench --bin perf_baseline -- --check # measure + compare only
+//! ```
+
+use sais_bench::perf;
+
+fn main() {
+    let mut check_only = false;
+    // Strict parsing: the no-argument mode overwrites the committed
+    // baseline, so a typo'd flag must not silently fall through to it.
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--check" => check_only = true,
+            other => {
+                eprintln!("error: unknown argument `{other}`");
+                eprintln!("usage: perf_baseline [--check]");
+                std::process::exit(2);
+            }
+        }
+    }
+    if cfg!(debug_assertions) {
+        eprintln!("warning: debug build — timings will not reflect the optimized engine");
+    }
+    let results = perf::measure_all(3);
+    if let Some(baseline) = perf::read_baseline() {
+        println!(
+            "\nvs committed baseline ({}):",
+            perf::baseline_path().display()
+        );
+        for r in &results {
+            if let Some((_, _, eps)) = baseline.iter().find(|(n, _, _)| n == r.name) {
+                println!(
+                    "{:18} {:>+7.1}%  ({:.0} → {:.0} events/s)",
+                    r.name,
+                    (r.events_per_sec / eps - 1.0) * 100.0,
+                    eps,
+                    r.events_per_sec
+                );
+            }
+        }
+    }
+    if check_only {
+        return;
+    }
+    let path = perf::baseline_path();
+    std::fs::write(&path, perf::to_json(&results)).expect("write baseline");
+    println!("\n[baseline] {}", path.display());
+}

@@ -276,11 +276,7 @@ pub fn tab_analysis_model(scale: Scale) {
         let predicted = model.predicted_speedup();
         let (base, cand) = sweep.run_cell(testbed(3, srv, 128 << 10));
         let measured = cand.bw.mean() / base.bw.mean() - 1.0;
-        table.row(&[
-            srv.to_string(),
-            pct_signed(predicted),
-            pct_signed(measured),
-        ]);
+        table.row(&[srv.to_string(), pct_signed(predicted), pct_signed(measured)]);
     }
     emit("tab_analysis_model", &table);
 }
@@ -290,7 +286,13 @@ pub fn tab_analysis_model(scale: Scale) {
 pub fn abl_mp_ratio(scale: Scale) {
     let mut table = Table::new(
         "Ablation — M/P ratio: how expensive must migration be for SAIs to win?",
-        &["c2c ns/line", "M/P", "Irqbalance MB/s", "SAIs MB/s", "speed-up"],
+        &[
+            "c2c ns/line",
+            "M/P",
+            "Irqbalance MB/s",
+            "SAIs MB/s",
+            "speed-up",
+        ],
     );
     for c2c_ns in [10u64, 30, 60, 120, 240, 480] {
         let mut cfg = testbed(3, 16, 128 << 10);
@@ -314,7 +316,13 @@ pub fn abl_mp_ratio(scale: Scale) {
 pub fn abl_coalescing(scale: Scale) {
     let mut table = Table::new(
         "Ablation — NIC interrupt coalescing (frames/interrupt)",
-        &["frames", "Irqbalance MB/s", "SAIs MB/s", "speed-up", "irqs (SAIs)"],
+        &[
+            "frames",
+            "Irqbalance MB/s",
+            "SAIs MB/s",
+            "speed-up",
+            "irqs (SAIs)",
+        ],
     );
     for frames in [1u64, 4, 8, 16, 32] {
         let mut cfg = testbed(3, 16, 512 << 10);
@@ -360,7 +368,13 @@ pub fn abl_strip_size(scale: Scale) {
 pub fn abl_policy_zoo(scale: Scale) {
     let mut table = Table::new(
         "Ablation — steering policy zoo (128K transfers, 16 servers, 3-Gig NIC)",
-        &["policy", "MB/s", "L2 miss", "migrated strips", "hinted irqs"],
+        &[
+            "policy",
+            "MB/s",
+            "L2 miss",
+            "migrated strips",
+            "hinted irqs",
+        ],
     );
     for policy in [
         PolicyChoice::RoundRobin,
@@ -389,7 +403,12 @@ pub fn abl_policy_zoo(scale: Scale) {
 pub fn abl_proc_migration(scale: Scale) {
     let mut table = Table::new(
         "Ablation — process migrated while blocked in I/O (policy (i) without bundling)",
-        &["P(migrate)", "SAIs MB/s", "migrated strips", "proc migrations"],
+        &[
+            "P(migrate)",
+            "SAIs MB/s",
+            "migrated strips",
+            "proc migrations",
+        ],
     );
     for prob in [0.0f64, 0.05, 0.2, 0.5, 1.0] {
         let mut cfg = testbed(3, 16, 512 << 10);
@@ -413,13 +432,21 @@ pub fn abl_proc_migration(scale: Scale) {
 pub fn abl_irqbalance_granularity(scale: Scale) {
     let mut table = Table::new(
         "Ablation — irqbalance granularity (per-interrupt vs per-interval line re-homing)",
-        &["baseline", "MB/s", "L2 miss", "migrated strips", "SAIs speed-up vs it"],
+        &[
+            "baseline",
+            "MB/s",
+            "L2 miss",
+            "migrated strips",
+            "SAIs speed-up vs it",
+        ],
     );
     let sais_bw = {
         let mut cfg = testbed(3, 16, 128 << 10);
         cfg.file_size = scale.file_size();
         cfg.procs_per_client = 2; // same shape as the baselines below
-        cfg.with_policy(PolicyChoice::SourceAware).run().bandwidth_mbs()
+        cfg.with_policy(PolicyChoice::SourceAware)
+            .run()
+            .bandwidth_mbs()
     };
     for (label, policy) in [
         ("per-interrupt (LowestLoaded)", PolicyChoice::LowestLoaded),
@@ -450,7 +477,13 @@ pub fn abl_write_path(scale: Scale) {
     use sais_core::scenario::IoDirection;
     let mut table = Table::new(
         "Ablation — reads vs writes: interrupt placement only matters when data flows inbound",
-        &["direction", "transfer", "Irqbalance MB/s", "SAIs MB/s", "speed-up"],
+        &[
+            "direction",
+            "transfer",
+            "Irqbalance MB/s",
+            "SAIs MB/s",
+            "speed-up",
+        ],
     );
     for direction in [IoDirection::Read, IoDirection::Write] {
         for ts in [128u64 << 10, 1 << 20] {
@@ -483,7 +516,13 @@ pub fn abl_memsim_readahead(scale: Scale) {
     };
     let mut table = Table::new(
         "Ablation — Si-Irqbalance read-ahead depth (2 apps)",
-        &["read-ahead (strips)", "MB/s", "c2c lines", "L2 miss", "vs Si-SAIs"],
+        &[
+            "read-ahead (strips)",
+            "MB/s",
+            "c2c lines",
+            "L2 miss",
+            "vs Si-SAIs",
+        ],
     );
     let sais = {
         let mut c = MemSimConfig::testbed(MemSimMode::SiSais, 2);

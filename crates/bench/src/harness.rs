@@ -105,16 +105,33 @@ impl Sweep {
 
     /// Run one cell under both policies, averaging over seeds. The config's
     /// `file_size` is overridden by the scale.
+    ///
+    /// Seeds run on their own threads (each seed is an independent
+    /// deterministic simulation), but results are folded into the Welford
+    /// accumulators in seed order, so the averages are bit-identical to a
+    /// sequential loop — Welford means are sensitive to float summation
+    /// order.
     pub fn run_cell(&self, mut cfg: ScenarioConfig) -> (CellStats, CellStats) {
         cfg.file_size = self.scale.file_size().max(cfg.transfer_size);
         sais_core::calib::assert_regimes(&cfg);
+        let seeds = self.scale.seeds() as usize;
+        let mut runs: Vec<Option<(RunMetrics, RunMetrics)>> = Vec::new();
+        runs.resize_with(seeds, || None);
+        std::thread::scope(|scope| {
+            for (i, slot) in runs.iter_mut().enumerate() {
+                let mut c = cfg.clone();
+                scope.spawn(move || {
+                    c.seed = c.seed.wrapping_add((i as u64).wrapping_mul(0x9E37_79B9));
+                    let b = c.clone().with_policy(self.baseline).run();
+                    let s = c.with_policy(self.candidate).run();
+                    *slot = Some((b, s));
+                });
+            }
+        });
         let mut base = CellStats::default();
         let mut cand = CellStats::default();
-        for seed in 0..self.scale.seeds() {
-            let mut c = cfg.clone();
-            c.seed = cfg.seed.wrapping_add(seed.wrapping_mul(0x9E37_79B9));
-            let b = c.clone().with_policy(self.baseline).run();
-            let s = c.with_policy(self.candidate).run();
+        for r in runs {
+            let (b, s) = r.expect("every seed ran");
             base.push(&b);
             cand.push(&s);
         }
@@ -129,7 +146,12 @@ impl Sweep {
             .map(|n| n.get())
             .unwrap_or(1)
             .min(cfgs.len().max(1));
-        let jobs: Vec<(usize, ScenarioConfig)> = cfgs.into_iter().enumerate().collect();
+        // Each worker claims a job index through the atomic and takes the
+        // config out of its slot — configs are moved into cells, not cloned.
+        let jobs: Vec<std::sync::Mutex<Option<ScenarioConfig>>> = cfgs
+            .into_iter()
+            .map(|c| std::sync::Mutex::new(Some(c)))
+            .collect();
         let next = std::sync::atomic::AtomicUsize::new(0);
         let mut results: Vec<Option<(CellStats, CellStats)>> = Vec::new();
         results.resize_with(jobs.len(), || None);
@@ -141,8 +163,13 @@ impl Sweep {
                     if i >= jobs.len() {
                         break;
                     }
-                    let out = self.run_cell(jobs[i].1.clone());
-                    slots.lock().expect("no poisoning")[jobs[i].0] = Some(out);
+                    let cfg = jobs[i]
+                        .lock()
+                        .expect("no poisoning")
+                        .take()
+                        .expect("each job is claimed exactly once");
+                    let out = self.run_cell(cfg);
+                    slots.lock().expect("no poisoning")[i] = Some(out);
                 });
             }
         });
@@ -160,10 +187,8 @@ impl Sweep {
 
 /// Where experiment CSVs land.
 pub fn experiments_dir() -> PathBuf {
-    let dir = PathBuf::from(
-        std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".into()),
-    )
-    .join("experiments");
+    let dir = PathBuf::from(std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".into()))
+        .join("experiments");
     let _ = fs::create_dir_all(&dir);
     dir
 }

@@ -14,5 +14,6 @@
 
 pub mod figures;
 pub mod harness;
+pub mod perf;
 
 pub use harness::{Scale, Sweep};

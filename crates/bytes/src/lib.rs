@@ -1,0 +1,145 @@
+//! Minimal, vendored subset of the `bytes` crate's `Buf`/`BufMut` traits.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the handful of cursor methods it actually uses:
+//! big-endian integer reads over `&[u8]` and big-endian integer writes
+//! into `Vec<u8>`. Semantics (including panic-on-underflow) match the
+//! upstream crate for this subset.
+
+/// Read cursor over a byte source. Implemented for `&[u8]`, where each
+/// read consumes from the front of the slice.
+pub trait Buf {
+    /// Bytes remaining in the source.
+    fn remaining(&self) -> usize;
+
+    /// Discard the next `cnt` bytes. Panics if fewer remain.
+    fn advance(&mut self, cnt: usize);
+
+    /// Read one byte. Panics if empty.
+    fn get_u8(&mut self) -> u8;
+
+    /// Read a big-endian `u16`. Panics if fewer than 2 bytes remain.
+    fn get_u16(&mut self) -> u16;
+
+    /// Read a big-endian `u32`. Panics if fewer than 4 bytes remain.
+    fn get_u32(&mut self) -> u32;
+
+    /// Read a big-endian `u64`. Panics if fewer than 8 bytes remain.
+    fn get_u64(&mut self) -> u64;
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance past end of buffer");
+        *self = &self[cnt..];
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        let v = self[0];
+        *self = &self[1..];
+        v
+    }
+
+    fn get_u16(&mut self) -> u16 {
+        let v = u16::from_be_bytes(self[..2].try_into().unwrap());
+        *self = &self[2..];
+        v
+    }
+
+    fn get_u32(&mut self) -> u32 {
+        let v = u32::from_be_bytes(self[..4].try_into().unwrap());
+        *self = &self[4..];
+        v
+    }
+
+    fn get_u64(&mut self) -> u64 {
+        let v = u64::from_be_bytes(self[..8].try_into().unwrap());
+        *self = &self[8..];
+        v
+    }
+}
+
+/// Write cursor over a growable byte sink. Implemented for `Vec<u8>`.
+pub trait BufMut {
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8);
+
+    /// Append a big-endian `u16`.
+    fn put_u16(&mut self, v: u16);
+
+    /// Append a big-endian `u32`.
+    fn put_u32(&mut self, v: u32);
+
+    /// Append a big-endian `u64`.
+    fn put_u64(&mut self, v: u64);
+
+    /// Append a byte slice.
+    fn put_slice(&mut self, src: &[u8]);
+}
+
+impl BufMut for Vec<u8> {
+    fn put_u8(&mut self, v: u8) {
+        self.push(v);
+    }
+
+    fn put_u16(&mut self, v: u16) {
+        self.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn put_u32(&mut self, v: u32) {
+        self.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn put_u64(&mut self, v: u64) {
+        self.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_all_widths() {
+        let mut buf = Vec::new();
+        buf.put_u8(0xAB);
+        buf.put_u16(0x1234);
+        buf.put_u32(0xDEAD_BEEF);
+        buf.put_u64(0x0102_0304_0506_0708);
+        buf.put_slice(&[9, 9]);
+        assert_eq!(buf.len(), 1 + 2 + 4 + 8 + 2);
+
+        let mut view = &buf[..];
+        assert_eq!(view.remaining(), buf.len());
+        assert_eq!(view.get_u8(), 0xAB);
+        assert_eq!(view.get_u16(), 0x1234);
+        assert_eq!(view.get_u32(), 0xDEAD_BEEF);
+        assert_eq!(view.get_u64(), 0x0102_0304_0506_0708);
+        view.advance(2);
+        assert_eq!(view.remaining(), 0);
+    }
+
+    #[test]
+    fn reads_are_big_endian() {
+        let raw = [0x12u8, 0x34, 0x56, 0x78];
+        let mut view = &raw[..];
+        assert_eq!(view.get_u16(), 0x1234);
+        assert_eq!(view.get_u16(), 0x5678);
+    }
+
+    #[test]
+    #[should_panic]
+    fn advance_past_end_panics() {
+        let raw = [0u8; 3];
+        let mut view = &raw[..];
+        view.advance(4);
+    }
+}

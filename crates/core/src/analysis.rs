@@ -208,7 +208,10 @@ mod tests {
         // §III-D: "If network peak bandwidth is a limitation, more
         // efficient interrupt scheduling will not make much difference."
         let tight = AnalyticModel { t_r: 0.1, ..base() };
-        let loose = AnalyticModel { t_r: 10.0, ..base() };
+        let loose = AnalyticModel {
+            t_r: 10.0,
+            ..base()
+        };
         assert!(tight.predicted_speedup() > loose.predicted_speedup());
     }
 

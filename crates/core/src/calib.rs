@@ -45,10 +45,7 @@ pub fn assert_regimes(cfg: &ScenarioConfig) {
     // (1) M ≫ P — we require at least 2×; the default preset gives ~2.5×
     // per strip (and ~20× per line against an L2 hit).
     let ratio = m_over_p(cfg);
-    assert!(
-        ratio > 2.0,
-        "calibration violates M >> P: M/P = {ratio:.2}"
-    );
+    assert!(ratio > 2.0, "calibration violates M >> P: M/P = {ratio:.2}");
     // (2) One GigE port delivers fewer strip-processing seconds per second
     // than one core has: the NIC regime is starved.
     let strip_rate_1gig = (1e9 / 8.0) / cfg.strip_size as f64; // strips/s

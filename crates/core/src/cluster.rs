@@ -22,7 +22,7 @@ use sais_apic::IoApic;
 use sais_cpu::{CpuCore, CpuReport, LoadTracker, Process, WakePlacement, WorkClass};
 use sais_mem::fxmap::FxHashMap;
 use sais_mem::{AddrAlloc, AddrRange, MemorySystem};
-use sais_net::{CoalesceParams, EthernetFrame, FlowId, Ipv4Header, MacAddr, NicBond, SegmentPlan};
+use sais_net::{CoalesceParams, EthernetFrame, FlowId, NicBond, PodFrame, SegmentPlan};
 use sais_pvfs::{HintList, IoServer, MetadataServer, ReadTracker, StripeLayout};
 use sais_sim::{Model, RateResource, Scheduler, SimDuration, SimRng, SimTime, TraceRing};
 
@@ -99,7 +99,9 @@ struct StripState {
     bytes: u64,
     kbuf: AddrRange,
     user_range: AddrRange,
-    header: Vec<u8>,
+    /// The strip's first wire frame as plain old data; the exact bytes are
+    /// materialized on demand (fault injection, verification) only.
+    pod: PodFrame,
     flow: FlowId,
     batches_total: u64,
     batches_done: u64,
@@ -135,6 +137,10 @@ pub struct ClientNode {
     latency: sais_metrics::Histogram,
     t_done: SimTime,
     ip: u32,
+    /// Per-server RSS flow ids, precomputed once: the Toeplitz hash is a
+    /// pure function of (server_ip, client_ip, fixed ports), so there is
+    /// no reason to rehash per strip.
+    flows: Vec<FlowId>,
 }
 
 /// The whole simulated deployment.
@@ -149,6 +155,11 @@ pub struct Cluster {
     rng: SimRng,
     reads: FxHashMap<u64, ReadState>,
     strips: FxHashMap<u64, StripState>,
+    /// Memoized segmentation plans keyed by (strip bytes, hinted): strips
+    /// are near-uniform in size, so the float math in
+    /// `SegmentPlan::streaming` runs a handful of times per run instead of
+    /// twice per strip.
+    plan_cache: FxHashMap<(u64, bool), SegmentPlan>,
     next_read: u64,
     next_strip: u64,
     retransmits: u64,
@@ -185,6 +196,7 @@ impl Cluster {
             rng,
             reads: FxHashMap::default(),
             strips: FxHashMap::default(),
+            plan_cache: FxHashMap::default(),
             next_read: 0,
             next_strip: 0,
             retransmits: 0,
@@ -199,18 +211,20 @@ impl Cluster {
         self.clients[client].composer.policy().uses_hint()
     }
 
-    fn segment_plan(&self, bytes: u64, hinted: bool) -> SegmentPlan {
+    fn segment_plan(&mut self, bytes: u64, hinted: bool) -> SegmentPlan {
         // Strips ride long-lived TCP streams, so per-packet overhead
         // amortizes fractionally (the SAIs option costs ~0.27 % wire bytes,
         // never a whole extra packet).
-        SegmentPlan::streaming(bytes, self.cfg.mtu, if hinted { 4 } else { 0 })
+        let mtu = self.cfg.mtu;
+        *self
+            .plan_cache
+            .entry((bytes, hinted))
+            .or_insert_with(|| SegmentPlan::streaming(bytes, mtu, if hinted { 4 } else { 0 }))
     }
 
     /// First-packet cut-through delay from a server into the client NIC.
     fn cut_through(&self, plan: SegmentPlan) -> SimDuration {
-        let first_pkt = plan
-            .wire_bytes
-            .min(self.cfg.mtu + sais_net::ETH_OVERHEAD);
+        let first_pkt = plan.wire_bytes.min(self.cfg.mtu + sais_net::ETH_OVERHEAD);
         SimDuration::for_bytes(first_pkt, self.cfg.server.uplink_bps / 8.0)
             + self.cfg.server.propagation
     }
@@ -251,15 +265,11 @@ impl Cluster {
         } else {
             HintList::new()
         };
-        let transfer = self
-            .cfg
-            .transfer_size
-            .min(pr.end_offset - pr.next_offset);
+        let transfer = self.cfg.transfer_size.min(pr.end_offset - pr.next_offset);
         let strip_reqs = self.layout.split(pr.next_offset, transfer);
         let read_id = self.next_read;
         self.next_read += 1;
-        cl.tracker
-            .start(read_id, strip_reqs.len() as u64, transfer);
+        cl.tracker.start(read_id, strip_reqs.len() as u64, transfer);
         self.reads.insert(
             read_id,
             ReadState {
@@ -293,34 +303,31 @@ impl Cluster {
             let t_at_server = t_req + self.cfg.request_net_delay;
             // Loss injection: the original transmission is dropped in the
             // fabric; the server retransmits after the timeout.
-            let t_serve = if self.cfg.strip_loss_prob > 0.0
-                && self.rng.chance(self.cfg.strip_loss_prob)
-            {
-                self.retransmits += 1;
-                t_at_server + self.cfg.retransmit_timeout
-            } else {
-                t_at_server
-            };
+            let t_serve =
+                if self.cfg.strip_loss_prob > 0.0 && self.rng.chance(self.cfg.strip_loss_prob) {
+                    self.retransmits += 1;
+                    t_at_server + self.cfg.retransmit_timeout
+                } else {
+                    t_at_server
+                };
             let tx = self.servers[sr.server].serve_strip(t_serve, sr.bytes, plan.wire_bytes);
             let server_ip = 0x0A01_0000 + sr.server as u32;
-            let hdr = Ipv4Header::tcp(
-                server_ip,
-                client_ip,
-                (self.next_strip & 0xFFFF) as u16,
-                sr.bytes.min(plan.mss) as u16,
-            );
-            let hdr = self.capsuler.capsule(&hints, hdr);
-            // The response's first wire frame, byte-faithful: Ethernet II
-            // with FCS around the (possibly option-carrying) IP header.
-            let frame = EthernetFrame::ipv4(
-                MacAddr::for_node(client_ip),
-                MacAddr::for_node(server_ip),
-                hdr.encode(),
-            )
-            .encode();
+            // The response's first wire frame as plain old data. The byte
+            // path (Ethernet II + FCS around the possibly option-carrying
+            // IP header) is materialized only where bytes are inspected;
+            // `capsule_pod` keeps the server-side stamping counters exactly
+            // as the byte path would.
+            let pod = PodFrame {
+                src_ip: server_ip,
+                dst_ip: client_ip,
+                ident: (self.next_strip & 0xFFFF) as u16,
+                payload_len: sr.bytes.min(plan.mss) as u16,
+                aff_core: self.capsuler.capsule_pod(&hints),
+            };
             // One TCP connection per (client, server) pair, as PVFS does;
-            // the flow id is the NIC's actual RSS (Toeplitz) hash of it.
-            let flow = FlowId::rss(server_ip, client_ip, 3334, 50_000);
+            // the flow id is the NIC's actual RSS (Toeplitz) hash of it,
+            // precomputed per server in `ClientNode::new`.
+            let flow = self.clients[client as usize].flows[sr.server];
             let strip_id = self.next_strip;
             self.next_strip += 1;
             self.strips.insert(
@@ -332,7 +339,7 @@ impl Cluster {
                     bytes: sr.bytes,
                     kbuf: AddrRange::EMPTY,
                     user_range: AddrRange::new(user_base + user_off, sr.bytes),
-                    header: frame,
+                    pod,
                     flow,
                     batches_total: 0,
                     batches_done: 0,
@@ -347,14 +354,14 @@ impl Cluster {
 
     fn handle_strip_at_nic(&mut self, strip: u64, sched: &mut Scheduler<'_, Ev>) {
         let now = sched.now();
-        let carries = {
+        let (carries, strip_bytes) = {
             let s = &self.strips[&strip];
-            self.carries_hint(s.client as usize)
+            (self.carries_hint(s.client as usize), s.bytes)
         };
+        let plan = self.segment_plan(strip_bytes, carries);
         let s = self.strips.get_mut(&strip).expect("strip state");
         let cl = &mut self.clients[s.client as usize];
         s.kbuf = cl.alloc.alloc(s.bytes);
-        let plan = SegmentPlan::streaming(s.bytes, self.cfg.mtu, if carries { 4 } else { 0 });
         let batches = cl.nic.receive_strip(
             now,
             s.flow,
@@ -396,8 +403,12 @@ impl Cluster {
         {
             if self.rng.chance(0.5) {
                 // Wire corruption: a bit flips in flight. CRC-32 catches
-                // every single-bit error, so the NIC drops the frame.
-                let mut corrupted = s.header.clone();
+                // every single-bit error, so the NIC drops the frame. The
+                // wire bytes are materialized here because corruption
+                // genuinely edits them (byte-identical to the frame the
+                // slow path used to store, so the RNG draw below sees the
+                // same length).
+                let mut corrupted = s.pod.materialize();
                 let idx = (self.rng.next_below(corrupted.len() as u64)) as usize;
                 corrupted[idx] ^= 1 << self.rng.next_below(8);
                 match EthernetFrame::decode(&corrupted) {
@@ -411,20 +422,19 @@ impl Cluster {
                 // Post-FCS corruption (DMA/buffer damage): the frame check
                 // passed, so SrcParser's own IP-checksum validation is the
                 // last line of defence.
-                let frame = EthernetFrame::decode(&s.header).expect("stored frame valid");
+                let frame =
+                    EthernetFrame::decode(&s.pod.materialize()).expect("stored frame valid");
                 let mut payload = frame.payload;
                 let idx = (self.rng.next_below(payload.len() as u64)) as usize;
                 payload[idx] ^= 1 << self.rng.next_below(8);
                 cl.parser.parse(&payload)
             }
         } else {
-            match EthernetFrame::decode(&s.header) {
-                Ok(frame) => cl.parser.parse(&frame.payload),
-                Err(_) => {
-                    cl.fcs_drops += 1;
-                    None
-                }
-            }
+            // Zero-copy fast path: an uncorrupted frame the simulation
+            // built itself always passes the FCS and IP checksum, so
+            // `SrcParser` reads the hint straight from the POD. The POD ⇄
+            // byte equivalence is pinned by property tests in `sais-net`.
+            cl.parser.parse_pod(&s.pod)
         };
         // The interrupt arrives on the IRQ line of the bond port the flow
         // hashes to.
@@ -474,10 +484,7 @@ impl Cluster {
             cl.migrated_strips += 1;
         }
         let p = cl.mem.params();
-        let dur = self.cfg.cpu.wake_ipi
-            + self.cfg.cpu.context_switch
-            + src.cost(p)
-            + dst.cost(p);
+        let dur = self.cfg.cpu.wake_ipi + self.cfg.cpu.context_switch + src.cost(p) + dst.cost(p);
         cl.trace.emit(now, "copy", strip, consumer as u64);
         let done = cl.cores[consumer].run(now, dur, WorkClass::Copy);
         sched.at(done, Ev::StripCopied { strip });
@@ -519,10 +526,7 @@ impl Cluster {
         self.requests_completed += 1;
         let cl = &mut self.clients[client as usize];
         let pr = &mut cl.procs[proc as usize];
-        let transfer = self
-            .cfg
-            .transfer_size
-            .min(pr.end_offset - pr.next_offset);
+        let transfer = self.cfg.transfer_size.min(pr.end_offset - pr.next_offset);
         pr.next_offset += transfer;
         pr.proc.requests_done += 1;
         pr.proc.bytes_read += transfer;
@@ -551,10 +555,7 @@ impl Cluster {
         let cl = &mut self.clients[client as usize];
         let pr = &mut cl.procs[proc as usize];
         let core = pr.proc.core;
-        let transfer = self
-            .cfg
-            .transfer_size
-            .min(pr.end_offset - pr.next_offset);
+        let transfer = self.cfg.transfer_size.min(pr.end_offset - pr.next_offset);
         // Generate + encrypt the outgoing buffer (the compute phase runs
         // before a write, not after).
         let buf = AddrRange::new(pr.user_buf.start, transfer);
@@ -595,8 +596,7 @@ impl Cluster {
             user_off += sr.bytes;
             let plan = SegmentPlan::streaming(sr.bytes, mtu, 0);
             let p = cl.mem.params();
-            let tx_work =
-                self.cfg.cpu.softirq_per_packet * plan.packets + cu.cost(p) + ck.cost(p);
+            let tx_work = self.cfg.cpu.softirq_per_packet * plan.packets + cu.cost(p) + ck.cost(p);
             let t1 = cl.cores[core].run(t0, tx_work, WorkClass::Copy);
             // Serialize onto the client's transmit bond, then cross to the
             // server, which commits the strip to storage and acks.
@@ -605,7 +605,7 @@ impl Cluster {
             const ACK_WIRE_BYTES: u64 = 90; // TCP ack + PVFS write response
             let tx = self.servers[sr.server].serve_strip(t_srv, sr.bytes, ACK_WIRE_BYTES);
             let server_ip = 0x0A01_0000 + sr.server as u32;
-            let flow = FlowId::rss(server_ip, client_ip, 3334, 50_000);
+            let flow = cl.flows[sr.server];
             let strip_id = self.next_strip;
             self.next_strip += 1;
             self.strips.insert(
@@ -617,7 +617,15 @@ impl Cluster {
                     bytes: sr.bytes,
                     kbuf,
                     user_range: AddrRange::EMPTY,
-                    header: Vec::new(),
+                    // Acks carry no payload frame worth modelling; the POD
+                    // is never read on the write path.
+                    pod: PodFrame {
+                        src_ip: server_ip,
+                        dst_ip: client_ip,
+                        ident: 0,
+                        payload_len: 0,
+                        aff_core: None,
+                    },
                     flow,
                     batches_total: 0,
                     batches_done: 0,
@@ -730,7 +738,11 @@ impl Cluster {
             },
             l2_accesses,
             l2_misses,
-            cpu_utilization: if util_n == 0 { 0.0 } else { util_sum / util_n as f64 },
+            cpu_utilization: if util_n == 0 {
+                0.0
+            } else {
+                util_sum / util_n as f64
+            },
             unhalted_cycles: unhalted,
             interrupts,
             irq_distribution: self.clients[0].ioapic.distribution().to_vec(),
@@ -742,6 +754,7 @@ impl Cluster {
             per_client_bw,
             process_migrations,
             request_latency: latency,
+            events_dispatched: 0, // filled in by `ScenarioConfig::run_full`
         }
     }
 }
@@ -810,6 +823,9 @@ impl ClientNode {
             latency: sais_metrics::Histogram::new(),
             t_done: SimTime::ZERO,
             ip: 0x0A00_0001 + id,
+            flows: (0..cfg.servers)
+                .map(|s| FlowId::rss(0x0A01_0000 + s as u32, 0x0A00_0001 + id, 3334, 50_000))
+                .collect(),
         }
     }
 }

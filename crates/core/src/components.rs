@@ -9,7 +9,7 @@
 use sais_apic::{IoApic, Policy, SteerCtx};
 use sais_cpu::{CoreId, CpuCore, LoadTracker};
 use sais_metrics::Counter;
-use sais_net::{Ipv4Header, ParseError};
+use sais_net::{Ipv4Header, ParseError, PodFrame};
 use sais_pvfs::HintList;
 use sais_sim::SimTime;
 
@@ -74,6 +74,23 @@ impl HintCapsuler {
             }
         }
     }
+
+    /// Fast-path twin of [`HintCapsuler::capsule`]: decide the stamped
+    /// affinity without building a header. Counter behaviour is identical
+    /// (`stamped`/`unstamped` advance exactly as on the byte path), and the
+    /// returned value is exactly the option the byte path would encode.
+    pub fn capsule_pod(&mut self, hints: &HintList) -> Option<u8> {
+        match hints.aff_core_id() {
+            Some(core) if core < 32 => {
+                self.stamped.inc();
+                Some(core as u8)
+            }
+            _ => {
+                self.unstamped.inc();
+                None
+            }
+        }
+    }
 }
 
 /// Client-side NIC-driver component: parses incoming IP headers and
@@ -116,6 +133,25 @@ impl SrcParser {
             | Err(_e @ ParseError::BadIhl(_))
             | Err(_e @ ParseError::BadOption) => {
                 self.parse_errors.inc();
+                None
+            }
+        }
+    }
+
+    /// Fast-path twin of [`SrcParser::parse`] for an intact [`PodFrame`]:
+    /// a frame the simulation built itself always re-parses successfully,
+    /// so the only question is whether it carries a hint. Counters advance
+    /// exactly as the byte path would (`with_hint`/`without_hint`; never
+    /// `parse_errors`). The POD ⇄ byte equivalence is pinned by the
+    /// property tests in `sais-net`.
+    pub fn parse_pod(&mut self, frame: &PodFrame) -> Option<CoreId> {
+        match frame.hint() {
+            Some(core) => {
+                self.with_hint.inc();
+                Some(core as CoreId)
+            }
+            None => {
+                self.without_hint.inc();
                 None
             }
         }
@@ -262,8 +298,24 @@ mod tests {
         assert_eq!(sais.hinted.get(), 1);
 
         let mut rr = IMComposer::new(Policy::round_robin());
-        let d0 = rr.compose(&mut ioapic, 0, SimTime::from_micros(1), Some(5), 0, &cores, &loads);
-        let d1 = rr.compose(&mut ioapic, 0, SimTime::from_micros(1), Some(5), 0, &cores, &loads);
+        let d0 = rr.compose(
+            &mut ioapic,
+            0,
+            SimTime::from_micros(1),
+            Some(5),
+            0,
+            &cores,
+            &loads,
+        );
+        let d1 = rr.compose(
+            &mut ioapic,
+            0,
+            SimTime::from_micros(1),
+            Some(5),
+            0,
+            &cores,
+            &loads,
+        );
         assert_eq!((d0, d1), (0, 1), "round robin ignores the hint");
         assert_eq!(rr.hinted.get(), 0);
     }

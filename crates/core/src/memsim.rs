@@ -161,9 +161,7 @@ impl MemSim {
                 // combiners on one core.
                 let (reader_core, combiner_core) = match cfg.mode {
                     MemSimMode::SiSais => (a % ncores, a % ncores),
-                    MemSimMode::SiIrqbalance => {
-                        (a % ncores, (a + ncores.max(2) / 2) % ncores)
-                    }
+                    MemSimMode::SiIrqbalance => (a % ncores, (a + ncores.max(2) / 2) % ncores),
                 };
                 AppState {
                     reader_core,
@@ -293,12 +291,8 @@ impl MemSim {
     fn metrics(&self) -> MemSimMetrics {
         assert_eq!(self.apps_done, self.apps.len(), "run incomplete");
         let wall = self.t_done.max_of(SimTime::from_nanos(1));
-        let util: f64 = self
-            .cores
-            .iter()
-            .map(|c| c.utilization(wall))
-            .sum::<f64>()
-            / self.cores.len() as f64;
+        let util: f64 =
+            self.cores.iter().map(|c| c.utilization(wall)).sum::<f64>() / self.cores.len() as f64;
         MemSimMetrics {
             mode: self.cfg.mode,
             bandwidth: self.bytes_done as f64 / wall.as_secs_f64(),
@@ -367,7 +361,10 @@ mod tests {
         let gap = (s.bandwidth - b.bandwidth).abs() / s.bandwidth;
         let unsat_gap = (unsat_s.bandwidth - unsat_b.bandwidth) / unsat_s.bandwidth;
         assert!(gap < 0.15, "saturated gap should shrink, got {gap:.2}");
-        assert!(unsat_gap > 0.25, "unsaturated gap should be large, got {unsat_gap:.2}");
+        assert!(
+            unsat_gap > 0.25,
+            "unsaturated gap should be large, got {unsat_gap:.2}"
+        );
         assert!(s.cpu_utilization > 0.9 && b.cpu_utilization > 0.9);
     }
 

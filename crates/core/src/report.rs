@@ -29,7 +29,11 @@ pub fn render_run(title: &str, m: &RunMetrics) -> String {
         m.latency_p99_ms()
     );
     let _ = writeln!(out, "  L2 miss rate     {:>10.2} %", m.l2_miss_rate * 100.0);
-    let _ = writeln!(out, "  CPU utilization  {:>10.2} %", m.cpu_utilization * 100.0);
+    let _ = writeln!(
+        out,
+        "  CPU utilization  {:>10.2} %",
+        m.cpu_utilization * 100.0
+    );
     let _ = writeln!(
         out,
         "  CPU_CLK_UNHALTED {:>10.2} e9 cycles",

@@ -366,12 +366,16 @@ impl ScenarioConfig {
             panic!("invalid scenario: {e}");
         }
         let max_events = self.event_budget();
-        let mut engine = Engine::new(Cluster::new(self));
+        let capacity = self.event_capacity();
+        let mut engine = Engine::with_capacity(Cluster::new(self), capacity);
         engine.prime(SimTime::ZERO, crate::cluster::Ev::Start);
         engine.run_to_quiescence(max_events);
         let now = engine.now();
+        let dispatched = engine.dispatched();
         let cluster = engine.into_model();
-        (cluster.collect_metrics(now), cluster)
+        let mut metrics = cluster.collect_metrics(now);
+        metrics.events_dispatched = dispatched;
+        (metrics, cluster)
     }
 
     /// A generous runaway-loop backstop for the engine.
@@ -379,6 +383,17 @@ impl ScenarioConfig {
         let strips = self.total_bytes() / self.strip_size.min(self.transfer_size) + 16;
         let batches_per_strip = 64; // upper bound incl. retransmits
         strips.saturating_mul(batches_per_strip).saturating_mul(4) + 1_000_000
+    }
+
+    /// Upper estimate of *concurrently pending* events, used to pre-size the
+    /// event queue: per client, every server can have one strip in flight
+    /// with all of its coalesced interrupt batches scheduled, plus one
+    /// bookkeeping event per process.
+    fn event_capacity(&self) -> usize {
+        let mss = self.mtu.saturating_sub(40).max(1); // IP + TCP headers
+        let batches_per_strip = self.strip_size.div_ceil(mss * self.coalesce_frames.max(1)) + 2;
+        let per_client = self.servers as u64 * batches_per_strip + self.procs_per_client as u64;
+        (self.clients as u64 * per_client + 64).min(1 << 22) as usize
     }
 }
 
@@ -432,6 +447,9 @@ pub struct RunMetrics {
     pub process_migrations: u64,
     /// Per-request completion latency (issue → data ready), nanoseconds.
     pub request_latency: sais_metrics::Histogram,
+    /// Discrete events the engine dispatched for this run (host-performance
+    /// accounting; does not affect any simulated quantity).
+    pub events_dispatched: u64,
 }
 
 impl RunMetrics {
@@ -485,7 +503,10 @@ mod tests {
 
         let mut c = ok.clone();
         c.transfer_size = c.file_size + 1;
-        assert!(matches!(c.validate(), Err(ConfigError::BadTransferSize { .. })));
+        assert!(matches!(
+            c.validate(),
+            Err(ConfigError::BadTransferSize { .. })
+        ));
 
         let mut c = ok.clone();
         c.strip_size = 0;
@@ -497,11 +518,17 @@ mod tests {
 
         let mut c = ok.clone();
         c.strip_loss_prob = 1.5;
-        assert!(matches!(c.validate(), Err(ConfigError::BadProbability("strip_loss_prob", _))));
+        assert!(matches!(
+            c.validate(),
+            Err(ConfigError::BadProbability("strip_loss_prob", _))
+        ));
 
         let mut c = ok.clone();
         c.straggler = Some((8, 2.0));
-        assert!(matches!(c.validate(), Err(ConfigError::StragglerOutOfRange { .. })));
+        assert!(matches!(
+            c.validate(),
+            Err(ConfigError::StragglerOutOfRange { .. })
+        ));
 
         let mut c = ok.clone();
         c.irq_affinity_mask = Some(0);

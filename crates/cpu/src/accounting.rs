@@ -21,8 +21,7 @@ pub struct CpuReport {
 impl CpuReport {
     /// Collect a report over `[0, horizon]`.
     pub fn collect(cores: &[CpuCore], params: &CpuParams, horizon: SimTime) -> Self {
-        let per_core_utilization: Vec<f64> =
-            cores.iter().map(|c| c.utilization(horizon)).collect();
+        let per_core_utilization: Vec<f64> = cores.iter().map(|c| c.utilization(horizon)).collect();
         let utilization = if per_core_utilization.is_empty() {
             0.0
         } else {
@@ -69,9 +68,17 @@ mod tests {
     fn report_aggregates_cores() {
         let p = CpuParams::default();
         let mut cores: Vec<CpuCore> = (0..4).map(CpuCore::new).collect();
-        cores[0].run(SimTime::ZERO, SimDuration::from_millis(2), WorkClass::SoftIrq);
+        cores[0].run(
+            SimTime::ZERO,
+            SimDuration::from_millis(2),
+            WorkClass::SoftIrq,
+        );
         cores[1].run(SimTime::ZERO, SimDuration::from_millis(1), WorkClass::Copy);
-        cores[1].run(SimTime::from_millis(1), SimDuration::from_millis(1), WorkClass::App);
+        cores[1].run(
+            SimTime::from_millis(1),
+            SimDuration::from_millis(1),
+            WorkClass::App,
+        );
         let horizon = SimTime::from_millis(4);
         let r = CpuReport::collect(&cores, &p, horizon);
         // Core0: 50 %, core1: 50 %, cores 2-3 idle → average 25 %.
@@ -79,7 +86,10 @@ mod tests {
         assert_eq!(r.per_core_utilization.len(), 4);
         // 4 ms busy total at 2.7 GHz.
         assert_eq!(r.unhalted_cycles, 4 * 2_700_000);
-        assert_eq!(r.class_time(WorkClass::SoftIrq), SimDuration::from_millis(2));
+        assert_eq!(
+            r.class_time(WorkClass::SoftIrq),
+            SimDuration::from_millis(2)
+        );
         assert_eq!(r.class_time(WorkClass::Copy), SimDuration::from_millis(1));
         assert_eq!(r.class_time(WorkClass::HardIrq), SimDuration::ZERO);
     }

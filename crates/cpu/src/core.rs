@@ -138,7 +138,11 @@ mod tests {
         let e1 = c.run(t0, SimDuration::from_micros(10), WorkClass::SoftIrq);
         assert_eq!(e1, SimTime::from_micros(10));
         // Arrives while busy → queues.
-        let e2 = c.run(SimTime::from_micros(2), SimDuration::from_micros(5), WorkClass::App);
+        let e2 = c.run(
+            SimTime::from_micros(2),
+            SimDuration::from_micros(5),
+            WorkClass::App,
+        );
         assert_eq!(e2, SimTime::from_micros(15));
         assert_eq!(c.busy_in(WorkClass::SoftIrq), SimDuration::from_micros(10));
         assert_eq!(c.busy_in(WorkClass::App), SimDuration::from_micros(5));

@@ -79,10 +79,17 @@ mod tests {
         let mut cores = vec![CpuCore::new(0), CpuCore::new(1)];
         let mut lt = LoadTracker::new(2, SimDuration::from_millis(1));
         // Core 0 busy the whole first interval.
-        cores[0].run(SimTime::ZERO, SimDuration::from_millis(1), WorkClass::SoftIrq);
+        cores[0].run(
+            SimTime::ZERO,
+            SimDuration::from_millis(1),
+            WorkClass::SoftIrq,
+        );
         lt.maybe_sample(SimTime::from_millis(1), &cores);
         assert!(lt.load(0) > lt.load(1));
-        assert!((lt.load(0) - 0.5).abs() < 1e-9, "alpha=0.5 of a fully busy interval");
+        assert!(
+            (lt.load(0) - 0.5).abs() < 1e-9,
+            "alpha=0.5 of a fully busy interval"
+        );
         assert_eq!(lt.load(1), 0.0);
     }
 

@@ -80,7 +80,10 @@ pub struct AddrAlloc {
 impl AddrAlloc {
     /// An allocator whose allocations are aligned to `line_size` bytes.
     pub fn new(line_size: u64) -> Self {
-        assert!(line_size.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            line_size.is_power_of_two(),
+            "line size must be a power of two"
+        );
         AddrAlloc {
             // Start above the null page, mirroring real kernels.
             next: line_size,

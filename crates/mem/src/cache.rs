@@ -48,10 +48,19 @@ pub struct SetAssocCache {
 impl SetAssocCache {
     /// A cache with `sets` sets (power of two) of `assoc` ways each.
     pub fn new(sets: usize, assoc: usize) -> Self {
-        assert!(sets.is_power_of_two() && sets > 0, "sets must be a power of two");
+        assert!(
+            sets.is_power_of_two() && sets > 0,
+            "sets must be a power of two"
+        );
         assert!(assoc > 0, "associativity must be positive");
         SetAssocCache {
-            ways: vec![Way { tag: TAG_INVALID, lru: 0 }; sets * assoc],
+            ways: vec![
+                Way {
+                    tag: TAG_INVALID,
+                    lru: 0
+                };
+                sets * assoc
+            ],
             sets,
             assoc,
             set_mask: sets as u64 - 1,
@@ -75,6 +84,11 @@ impl SetAssocCache {
     fn set_range(&self, line: LineAddr) -> (usize, u64) {
         let set = (line.0 & self.set_mask) as usize;
         (set * self.assoc, line.0)
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        self.sets
     }
 
     /// Is the line resident? Does not update LRU or stats.
@@ -107,31 +121,87 @@ impl SetAssocCache {
     /// line that was evicted to make room, if the set was full.
     /// Inserting an already-resident line only refreshes its LRU position.
     pub fn insert(&mut self, line: LineAddr) -> Option<LineAddr> {
+        self.insert_tracked(line).1
+    }
+
+    /// [`SetAssocCache::insert`], additionally reporting the global way
+    /// slot (`set × assoc + way`) the line landed in, so the caller can
+    /// record it in a way-indexed directory. Way choice and statistics are
+    /// identical to `insert`: refresh when present, else first empty way,
+    /// else first way holding the minimum LRU stamp.
+    pub(crate) fn insert_tracked(&mut self, line: LineAddr) -> (u32, Option<LineAddr>) {
         self.clock += 1;
         let (base, tag) = self.set_range(line);
-        let set = &mut self.ways[base..base + self.assoc];
-        // Already present → refresh.
-        if let Some(w) = set.iter_mut().find(|w| w.tag == tag) {
-            w.lru = self.clock;
-            return None;
+        let mut empty: Option<usize> = None;
+        let mut min_i = base;
+        let mut min_lru = u64::MAX;
+        for i in base..base + self.assoc {
+            let w = self.ways[i];
+            // Already present → refresh.
+            if w.tag == tag {
+                self.ways[i].lru = self.clock;
+                return (i as u32, None);
+            }
+            if w.tag == TAG_INVALID {
+                if empty.is_none() {
+                    empty = Some(i);
+                }
+            } else if w.lru < min_lru {
+                min_lru = w.lru;
+                min_i = i;
+            }
         }
         // Empty way available.
-        if let Some(w) = set.iter_mut().find(|w| w.tag == TAG_INVALID) {
-            w.tag = tag;
-            w.lru = self.clock;
+        if let Some(i) = empty {
+            self.ways[i] = Way {
+                tag,
+                lru: self.clock,
+            };
             self.resident += 1;
-            return None;
+            return (i as u32, None);
         }
         // Evict LRU.
-        let victim = set
-            .iter_mut()
-            .min_by_key(|w| w.lru)
-            .expect("associativity is positive");
-        let evicted = LineAddr(victim.tag);
-        victim.tag = tag;
-        victim.lru = self.clock;
+        let evicted = LineAddr(self.ways[min_i].tag);
+        self.ways[min_i] = Way {
+            tag,
+            lru: self.clock,
+        };
         self.stats.evictions.inc();
-        Some(evicted)
+        (min_i as u32, Some(evicted))
+    }
+
+    /// Record a hit at a known way slot: the O(1) twin of a successful
+    /// [`SetAssocCache::access`], for callers that already located the line
+    /// through the directory. Clock, LRU and statistics advance exactly as
+    /// a scanning hit would.
+    #[inline]
+    pub(crate) fn hit_at(&mut self, slot: u32) {
+        self.stats.accesses.inc();
+        self.clock += 1;
+        self.ways[slot as usize].lru = self.clock;
+        self.stats.hits.inc();
+    }
+
+    /// Record a miss without scanning: the O(1) twin of a failed
+    /// [`SetAssocCache::access`], for callers that already know from the
+    /// directory that the line is not resident here.
+    #[inline]
+    pub(crate) fn record_miss(&mut self) {
+        self.stats.accesses.inc();
+        self.clock += 1;
+        self.stats.misses.inc();
+    }
+
+    /// Invalidate the line at a known way slot: the O(1) twin of
+    /// [`SetAssocCache::invalidate`] for directory-located lines.
+    #[inline]
+    pub(crate) fn invalidate_at(&mut self, slot: u32, line: LineAddr) {
+        let w = &mut self.ways[slot as usize];
+        debug_assert_eq!(w.tag, line.0, "directory slot does not hold the line");
+        w.tag = TAG_INVALID;
+        w.lru = 0;
+        self.resident -= 1;
+        self.stats.invalidations.inc();
     }
 
     /// Remove a line (external invalidation). Returns whether it was
@@ -259,8 +329,8 @@ mod tests {
     #[test]
     fn streaming_working_set_larger_than_cache_thrashes() {
         let mut c = SetAssocCache::new(4, 2); // 8 lines
-        // Two passes over 16 distinct lines: second pass gets no hits
-        // because each line was evicted before reuse (LRU + stream).
+                                              // Two passes over 16 distinct lines: second pass gets no hits
+                                              // because each line was evicted before reuse (LRU + stream).
         for pass in 0..2 {
             for i in 0..16 {
                 let hit = c.access(line(i));

@@ -8,7 +8,7 @@
 
 use crate::addr::{AddrRange, LineAddr};
 use crate::cache::SetAssocCache;
-use crate::fxmap::FxHashMap;
+use crate::linetab::{owner_of as packed_owner, pack, slot_of as packed_slot, LineTable};
 use crate::params::MemParams;
 use sais_sim::SimDuration;
 
@@ -65,8 +65,9 @@ impl AccessCounts {
 pub struct MemorySystem {
     params: MemParams,
     caches: Vec<SetAssocCache>,
-    /// line → owning core, for every line resident anywhere.
-    directory: FxHashMap<u64, u32>,
+    /// line → packed (owning core, way slot), for every line resident
+    /// anywhere. Way-indexed so hits and invalidations skip the set scan.
+    directory: LineTable,
     /// Total cache-to-cache line transfers (the migration count).
     c2c_transfers: u64,
     /// Total DRAM line fetches.
@@ -77,14 +78,22 @@ impl MemorySystem {
     /// A system with `cores` private caches shaped by `params`.
     pub fn new(cores: usize, params: MemParams) -> Self {
         assert!(cores > 0);
+        assert!(cores <= 256, "directory packs the owner into 8 bits");
         let sets = params.l2_sets();
+        let lines_per_cache = sets * params.l2_ways;
+        assert!(
+            lines_per_cache < (1 << 24),
+            "directory packs the way slot into 24 bits"
+        );
         let caches = (0..cores)
             .map(|_| SetAssocCache::new(sets, params.l2_ways))
             .collect();
         MemorySystem {
             params,
             caches,
-            directory: FxHashMap::default(),
+            // Only resident lines have entries, so worst case is every way
+            // of every cache full.
+            directory: LineTable::with_capacity(cores * lines_per_cache),
             c2c_transfers: 0,
             dram_fetches: 0,
         }
@@ -102,14 +111,68 @@ impl MemorySystem {
 
     /// Which core's cache currently owns `line`, if any. (Test/diagnostic.)
     pub fn owner_of(&self, line: LineAddr) -> Option<u32> {
-        self.directory.get(&line.0).copied()
+        self.directory.get(line.0).map(|v| packed_owner(v) as u32)
     }
 
     /// Touch every line of `range` from `core`, classifying each line and
     /// migrating ownership to `core`. Models both reads and write-allocate
     /// writes — in either case the line ends up exclusively in `core`'s
     /// cache.
+    ///
+    /// The whole range is classified as one batch against the
+    /// way-indexed directory: a set-aligned strip (the steady-state case —
+    /// consecutive lines, each set visited in order) resolves analytically
+    /// with one conclusive directory probe per line, because under
+    /// exclusive ownership an entry owned by `core` *is* a local hit, any
+    /// other entry is a cache-to-cache migration from the recorded way,
+    /// and a missing entry is a DRAM fetch. Hits and invalidations jump
+    /// straight to the recorded way instead of scanning the set; lines
+    /// that miss fall back to the exact per-line LRU fill (the only place
+    /// a set scan is still needed, to pick the victim). Clock advance,
+    /// LRU stamps, eviction choices and every statistic are bit-identical
+    /// to [`MemorySystem::touch_reference`], the original scanning walk
+    /// kept as the verification oracle; the property tests in
+    /// `tests/props.rs` pin the equivalence on ranges of every shape.
     pub fn touch(&mut self, core: usize, range: AddrRange) -> AccessCounts {
+        let mut counts = AccessCounts::default();
+        let line_size = self.params.line_size;
+        for line in range.lines(line_size) {
+            counts.lines += 1;
+            let found = self.directory.get(line.0);
+            if let Some(packed) = found {
+                if packed_owner(packed) == core {
+                    self.caches[core].hit_at(packed_slot(packed));
+                    counts.hits += 1;
+                    continue;
+                }
+            }
+            // Miss in the local cache: migrate or fetch, then fill.
+            self.caches[core].record_miss();
+            match found {
+                Some(packed) => {
+                    // Cache-to-cache migration: invalidate the remote copy
+                    // at its recorded way; the fill below re-points the
+                    // directory entry at `core`.
+                    let owner = packed_owner(packed);
+                    self.caches[owner].invalidate_at(packed_slot(packed), line);
+                    counts.c2c += 1;
+                    self.c2c_transfers += 1;
+                }
+                None => {
+                    counts.dram += 1;
+                    self.dram_fetches += 1;
+                }
+            }
+            self.fill(core, line);
+        }
+        counts
+    }
+
+    /// The original per-line walk: scan the local set, consult the
+    /// directory on a miss, invalidate the remote copy by scanning its
+    /// set, fill. Exact by construction; kept as the verification oracle
+    /// for the batched [`MemorySystem::touch`].
+    pub fn touch_reference(&mut self, core: usize, range: AddrRange) -> AccessCounts {
         let mut counts = AccessCounts::default();
         let line_size = self.params.line_size;
         for line in range.lines(line_size) {
@@ -119,10 +182,10 @@ impl MemorySystem {
                 continue;
             }
             // Miss in the local cache: find the line elsewhere or in DRAM.
-            match self.directory.get(&line.0).copied() {
-                Some(owner) if owner as usize != core => {
+            match self.directory.get(line.0).map(packed_owner) {
+                Some(owner) if owner != core => {
                     // Cache-to-cache migration: invalidate remote, fill local.
-                    let removed = self.caches[owner as usize].invalidate(line);
+                    let removed = self.caches[owner].invalidate(line);
                     debug_assert!(removed, "directory said core {owner} owned {line:?}");
                     counts.c2c += 1;
                     self.c2c_transfers += 1;
@@ -143,12 +206,18 @@ impl MemorySystem {
     }
 
     /// Insert `line` into `core`'s cache, maintaining the directory.
+    #[inline]
     fn fill(&mut self, core: usize, line: LineAddr) {
-        if let Some(evicted) = self.caches[core].insert(line) {
-            let prev = self.directory.remove(&evicted.0);
-            debug_assert_eq!(prev, Some(core as u32), "evicted line had wrong owner");
+        let (slot, evicted) = self.caches[core].insert_tracked(line);
+        if let Some(ev) = evicted {
+            let prev = self.directory.remove(ev.0);
+            debug_assert_eq!(
+                prev.map(packed_owner),
+                Some(core),
+                "evicted line had wrong owner"
+            );
         }
-        self.directory.insert(line.0, core as u32);
+        self.directory.insert(line.0, pack(core, slot));
     }
 
     /// Pre-load `range` into `core`'s cache without counting accesses —
@@ -158,9 +227,9 @@ impl MemorySystem {
         let line_size = self.params.line_size;
         let lines: Vec<LineAddr> = range.lines(line_size).collect();
         for line in lines {
-            if let Some(owner) = self.directory.get(&line.0).copied() {
-                if owner as usize != core {
-                    self.caches[owner as usize].invalidate(line);
+            if let Some(packed) = self.directory.get(line.0) {
+                if packed_owner(packed) != core {
+                    self.caches[packed_owner(packed)].invalidate(line);
                 } else {
                     continue;
                 }
@@ -220,19 +289,24 @@ impl MemorySystem {
     /// resident line has a directory entry. O(directory × cores); tests only.
     pub fn check_invariants(&self) {
         let mut resident_total = 0u64;
-        for (line, &owner) in &self.directory {
+        for (line, packed) in self.directory.iter() {
+            let owner = packed_owner(packed);
             for (i, c) in self.caches.iter().enumerate() {
-                let has = c.contains(LineAddr(*line));
+                let has = c.contains(LineAddr(line));
                 assert_eq!(
                     has,
-                    i == owner as usize,
+                    i == owner,
                     "line {line} residency mismatch at core {i} (owner {owner})"
                 );
             }
             resident_total += 1;
         }
         let cache_resident: u64 = self.caches.iter().map(|c| c.resident()).sum();
-        assert_eq!(resident_total, cache_resident, "directory size != residency");
+        assert_eq!(
+            resident_total, cache_resident,
+            "directory size != residency"
+        );
+        assert_eq!(self.directory.len() as u64, resident_total);
     }
 }
 
@@ -327,7 +401,12 @@ mod tests {
     #[test]
     fn cost_reflects_classification() {
         let p = MemParams::tiny_test();
-        let counts = AccessCounts { lines: 10, hits: 5, c2c: 3, dram: 2 };
+        let counts = AccessCounts {
+            lines: 10,
+            hits: 5,
+            c2c: 3,
+            dram: 2,
+        };
         let cost = counts.cost(&p);
         // 5×1ns (hits) + 3×100ns (c2c) + 10ns lead + 128 B at 6.4 GB/s
         // (= 20ns) for the DRAM part = 335ns.
@@ -336,9 +415,27 @@ mod tests {
 
     #[test]
     fn merge_accumulates() {
-        let mut a = AccessCounts { lines: 1, hits: 1, c2c: 0, dram: 0 };
-        a.merge(AccessCounts { lines: 2, hits: 0, c2c: 1, dram: 1 });
-        assert_eq!(a, AccessCounts { lines: 3, hits: 1, c2c: 1, dram: 1 });
+        let mut a = AccessCounts {
+            lines: 1,
+            hits: 1,
+            c2c: 0,
+            dram: 0,
+        };
+        a.merge(AccessCounts {
+            lines: 2,
+            hits: 0,
+            c2c: 1,
+            dram: 1,
+        });
+        assert_eq!(
+            a,
+            AccessCounts {
+                lines: 3,
+                hits: 1,
+                c2c: 1,
+                dram: 1
+            }
+        );
     }
 
     #[test]
@@ -349,7 +446,7 @@ mod tests {
         m.touch(0, b0); // 4 misses
         m.touch(0, b0); // 4 hits
         m.touch(1, b1); // 4 misses
-        // 8 misses / 12 accesses.
+                        // 8 misses / 12 accesses.
         assert!((m.miss_rate() - 8.0 / 12.0).abs() < 1e-12);
         assert_eq!(m.total_accesses(), 12);
         assert_eq!(m.total_misses(), 8);

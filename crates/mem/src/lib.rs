@@ -25,6 +25,7 @@ pub mod addr;
 pub mod cache;
 pub mod fxmap;
 pub mod hierarchy;
+mod linetab;
 pub mod params;
 
 pub use addr::{AddrAlloc, AddrRange, LineAddr};

@@ -1,0 +1,237 @@
+//! The line directory as a paged dense array.
+//!
+//! The directory answers one question — *which core's cache holds this
+//! line, and in which way?* — once per simulated cache-line operation,
+//! which makes it the single hottest data structure in the simulator.
+//! Line indices come from a bump allocator, so live keys are a dense
+//! range of small integers growing from zero. That makes any kind of
+//! hashing pure overhead: the line index is split into a page number
+//! (high bits) and an offset (low bits), the page number indexes a flat
+//! vector of page pointers, and the offset indexes a dense `u32` array
+//! inside the page. Lookups, inserts and removals are all O(1) with no
+//! probing, and a strip's worth of consecutive lines is a contiguous
+//! range of slots in one or two pages, so the streaming touch loop walks
+//! the directory sequentially. A page is freed as soon as its last entry
+//! is removed, so directory memory tracks current residency; only the
+//! page-pointer vector (8 bytes per 4096 lines of address space) grows
+//! with total allocation.
+//!
+//! Values pack `(owner core, global way slot)` so that the memory system
+//! can jump straight to the owning way on a hit or an invalidation
+//! without re-scanning the set — see [`crate::MemorySystem::touch`].
+
+/// Lines per page: 4096 lines → a 16 KiB value array per page.
+const PAGE_SHIFT: u32 = 12;
+const PAGE_LINES: usize = 1 << PAGE_SHIFT;
+const OFFSET_MASK: u64 = (PAGE_LINES as u64) - 1;
+
+/// Slot sentinel. No packed value is `u32::MAX`: the owner fits in 8 bits
+/// and the way slot is strictly below `2^24 - 1` (the memory system caps
+/// lines-per-cache below `2^24`).
+const NONE: u32 = u32::MAX;
+
+/// Pack an owner core and a cache way slot into a directory value.
+#[inline]
+pub(crate) fn pack(owner: usize, slot: u32) -> u32 {
+    debug_assert!(owner < 256, "owner core must fit in 8 bits");
+    debug_assert!(slot < (1 << 24), "way slot must fit in 24 bits");
+    ((owner as u32) << 24) | slot
+}
+
+/// The owner core of a packed directory value.
+#[inline]
+pub(crate) fn owner_of(val: u32) -> usize {
+    (val >> 24) as usize
+}
+
+/// The global way slot of a packed directory value.
+#[inline]
+pub(crate) fn slot_of(val: u32) -> u32 {
+    val & 0x00FF_FFFF
+}
+
+/// One page: a dense slot array plus a count of live entries so the page
+/// can be reclaimed the moment it empties.
+#[derive(Debug, Clone)]
+struct Page {
+    vals: Box<[u32]>,
+    live: u32,
+}
+
+impl Page {
+    fn new() -> Self {
+        Page {
+            vals: vec![NONE; PAGE_LINES].into_boxed_slice(),
+            live: 0,
+        }
+    }
+}
+
+/// A map from line index to packed `(owner, way slot)`, dense within
+/// 4096-line pages. Keys must be bump-allocator-dense: the page-pointer
+/// vector is sized by the largest key ever inserted.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct LineTable {
+    pages: Vec<Option<Page>>,
+    len: usize,
+}
+
+impl LineTable {
+    /// An empty table. (`max_entries` bounds live lines, not key range,
+    /// so there is nothing useful to pre-size; kept for symmetry with the
+    /// memory system's capacity reasoning.)
+    pub(crate) fn with_capacity(_max_entries: usize) -> Self {
+        LineTable::default()
+    }
+
+    /// Live entries.
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Look up `key`.
+    #[inline]
+    pub(crate) fn get(&self, key: u64) -> Option<u32> {
+        let page = self.pages.get((key >> PAGE_SHIFT) as usize)?.as_ref()?;
+        let v = page.vals[(key & OFFSET_MASK) as usize];
+        (v != NONE).then_some(v)
+    }
+
+    /// Insert or overwrite `key`.
+    #[inline]
+    pub(crate) fn insert(&mut self, key: u64, val: u32) {
+        debug_assert_ne!(val, NONE, "packed value collides with the empty sentinel");
+        let page_id = (key >> PAGE_SHIFT) as usize;
+        if page_id >= self.pages.len() {
+            self.pages.resize_with(page_id + 1, || None);
+        }
+        let page = self.pages[page_id].get_or_insert_with(Page::new);
+        let slot = &mut page.vals[(key & OFFSET_MASK) as usize];
+        if *slot == NONE {
+            page.live += 1;
+            self.len += 1;
+        }
+        *slot = val;
+    }
+
+    /// Remove `key`, freeing its page if that was the last entry on it.
+    #[inline]
+    pub(crate) fn remove(&mut self, key: u64) -> Option<u32> {
+        let entry = self.pages.get_mut((key >> PAGE_SHIFT) as usize)?;
+        let page = entry.as_mut()?;
+        let slot = &mut page.vals[(key & OFFSET_MASK) as usize];
+        let v = *slot;
+        if v == NONE {
+            return None;
+        }
+        *slot = NONE;
+        page.live -= 1;
+        self.len -= 1;
+        if page.live == 0 {
+            *entry = None;
+        }
+        Some(v)
+    }
+
+    /// Iterate live `(line, packed value)` entries in key order.
+    /// Diagnostics and invariant checks only.
+    pub(crate) fn iter(&self) -> impl Iterator<Item = (u64, u32)> + '_ {
+        self.pages.iter().enumerate().flat_map(|(page_id, page)| {
+            page.iter().flat_map(move |p| {
+                p.vals
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &v)| v != NONE)
+                    .map(move |(i, &v)| (((page_id as u64) << PAGE_SHIFT) | i as u64, v))
+            })
+        })
+    }
+
+    /// Pages currently allocated (diagnostic: memory tracks residency).
+    #[cfg(test)]
+    fn page_count(&self) -> usize {
+        self.pages.iter().filter(|p| p.is_some()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_round_trip() {
+        let mut t = LineTable::with_capacity(8);
+        for i in 0..100u64 {
+            t.insert(i * 3, pack((i % 4) as usize, i as u32));
+        }
+        assert_eq!(t.len(), 100);
+        for i in 0..100u64 {
+            let v = t.get(i * 3).unwrap();
+            assert_eq!(owner_of(v), (i % 4) as usize);
+            assert_eq!(slot_of(v), i as u32);
+        }
+        assert_eq!(t.get(1), None);
+        for i in (0..100u64).step_by(2) {
+            assert!(t.remove(i * 3).is_some());
+        }
+        assert_eq!(t.len(), 50);
+        for i in 0..100u64 {
+            assert_eq!(t.get(i * 3).is_some(), i % 2 == 1, "key {i}");
+        }
+        assert_eq!(t.iter().count(), t.len());
+    }
+
+    #[test]
+    fn overwrite_keeps_single_entry() {
+        let mut t = LineTable::with_capacity(4);
+        t.insert(7, pack(0, 1));
+        t.insert(7, pack(3, 9));
+        assert_eq!(t.len(), 1);
+        let v = t.get(7).unwrap();
+        assert_eq!((owner_of(v), slot_of(v)), (3, 9));
+    }
+
+    #[test]
+    fn keys_on_distinct_pages() {
+        let mut t = LineTable::with_capacity(4);
+        let far = [0u64, PAGE_LINES as u64, 10 * PAGE_LINES as u64 + 17];
+        for (n, &k) in far.iter().enumerate() {
+            t.insert(k, pack(1, n as u32));
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.page_count(), 3);
+        for (n, &k) in far.iter().enumerate() {
+            assert_eq!(t.get(k).map(slot_of), Some(n as u32));
+        }
+        // Lookups beyond any inserted page are misses, not panics.
+        assert_eq!(t.get(100 * PAGE_LINES as u64), None);
+        assert_eq!(t.remove(100 * PAGE_LINES as u64), None);
+    }
+
+    #[test]
+    fn draining_a_page_releases_it() {
+        let mut t = LineTable::with_capacity(4);
+        // Fill two pages, drain the first completely.
+        for i in 0..2 * PAGE_LINES as u64 {
+            t.insert(i, pack(0, 0));
+        }
+        assert_eq!(t.page_count(), 2);
+        for i in 0..PAGE_LINES as u64 {
+            assert_eq!(t.remove(i), Some(pack(0, 0)));
+            assert_eq!(t.remove(i), None, "double remove is a no-op");
+        }
+        assert_eq!(t.page_count(), 1, "emptied page is reclaimed");
+        assert_eq!(t.len(), PAGE_LINES);
+        // The surviving page is untouched.
+        for i in PAGE_LINES as u64..2 * PAGE_LINES as u64 {
+            assert_eq!(t.get(i), Some(pack(0, 0)));
+        }
+    }
+
+    #[test]
+    fn pack_round_trips() {
+        let v = pack(255, (1 << 24) - 2);
+        assert_eq!(owner_of(v), 255);
+        assert_eq!(slot_of(v), (1 << 24) - 2);
+    }
+}

@@ -69,6 +69,55 @@ proptest! {
         prop_assert_eq!(m.c2c_transfers(), 0);
     }
 
+    /// The batched walk is bit-identical to the scanning oracle: the same
+    /// random op sequence driven through `touch` on one system and
+    /// `touch_reference` on another yields the same per-op classification,
+    /// the same per-core statistics (including eviction and invalidation
+    /// counts, which depend on exact LRU sequencing), the same global
+    /// traffic totals, and the same final residency and ownership.
+    #[test]
+    fn batched_touch_matches_reference(
+        assoc in 1usize..4,
+        ops in proptest::collection::vec((0usize..4, 0u64..96u64, 1u64..24u64), 1..200)
+    ) {
+        let mut p = MemParams::tiny_test(); // 4 sets at assoc 2
+        p.l2_bytes = p.line_size * 4 * assoc as u64;
+        p.l2_ways = assoc;
+        let line = p.line_size;
+        let cores = 4;
+        let mut fast = MemorySystem::new(cores, p.clone());
+        let mut slow = MemorySystem::new(cores, p);
+        for &(core, start_line, len_lines) in &ops {
+            let r = AddrRange::new(start_line * line, len_lines * line);
+            let cf = fast.touch(core, r);
+            let cs = slow.touch_reference(core, r);
+            prop_assert_eq!(cf, cs, "classification diverged on {:?} at core {}", r, core);
+        }
+        for c in 0..cores {
+            let (f, s) = (&fast.cache(c).stats, &slow.cache(c).stats);
+            prop_assert_eq!(f.accesses.get(), s.accesses.get(), "accesses, core {}", c);
+            prop_assert_eq!(f.hits.get(), s.hits.get(), "hits, core {}", c);
+            prop_assert_eq!(f.misses.get(), s.misses.get(), "misses, core {}", c);
+            prop_assert_eq!(f.evictions.get(), s.evictions.get(), "evictions, core {}", c);
+            prop_assert_eq!(
+                f.invalidations.get(), s.invalidations.get(), "invalidations, core {}", c
+            );
+            prop_assert_eq!(fast.cache(c).resident(), slow.cache(c).resident());
+        }
+        prop_assert_eq!(fast.c2c_transfers(), slow.c2c_transfers());
+        prop_assert_eq!(fast.dram_fetches(), slow.dram_fetches());
+        prop_assert_eq!(fast.miss_rate(), slow.miss_rate());
+        for l in 0..128u64 {
+            prop_assert_eq!(
+                fast.owner_of(sais_mem::LineAddr(l)),
+                slow.owner_of(sais_mem::LineAddr(l)),
+                "ownership diverged on line {}", l
+            );
+        }
+        fast.check_invariants();
+        slow.check_invariants();
+    }
+
     /// Ping-pong between two cores: every non-hit after the first pass is a
     /// migration when the working set fits in cache.
     #[test]

@@ -83,7 +83,13 @@ impl Ratio {
 
 impl fmt::Display for Ratio {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{:.2}% ({}/{})", 100.0 * self.value(), self.num, self.den)
+        write!(
+            f,
+            "{:.2}% ({}/{})",
+            100.0 * self.value(),
+            self.num,
+            self.den
+        )
     }
 }
 

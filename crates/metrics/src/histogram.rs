@@ -196,7 +196,11 @@ mod tests {
         let mut all = Histogram::new();
         for v in 0..1000u64 {
             let x = v * v % 7919;
-            if v % 2 == 0 { a.record(x) } else { b.record(x) }
+            if v % 2 == 0 {
+                a.record(x)
+            } else {
+                b.record(x)
+            }
             all.record(x);
         }
         a.merge(&b);
@@ -225,7 +229,10 @@ mod tests {
             assert!(floor <= v, "floor {floor} > value {v}");
             // The next bucket's floor is above the value.
             if idx + 1 < BUCKETS {
-                assert!(Histogram::bucket_floor(idx + 1) > v, "value {v} spills over");
+                assert!(
+                    Histogram::bucket_floor(idx + 1) > v,
+                    "value {v} spills over"
+                );
             }
             // Resolution bound: floor within 12.5 % of the value.
             assert!(v as f64 - floor as f64 <= (v as f64) / 8.0 + 1.0);

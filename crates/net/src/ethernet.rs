@@ -121,11 +121,7 @@ mod tests {
     use super::*;
 
     fn frame() -> EthernetFrame {
-        EthernetFrame::ipv4(
-            MacAddr::for_node(1),
-            MacAddr::for_node(2),
-            vec![0xAB; 100],
-        )
+        EthernetFrame::ipv4(MacAddr::for_node(1), MacAddr::for_node(2), vec![0xAB; 100])
     }
 
     #[test]

@@ -1,0 +1,106 @@
+//! The zero-copy frame fast path.
+//!
+//! The simulation is byte-faithful at the wire: every response strip's
+//! first frame is a real Ethernet II frame (FCS and all) around a real
+//! IPv4 header whose options may carry the SAIs `aff_core_id`. But in the
+//! steady state nothing *inspects* those bytes — the receive path decodes
+//! the frame it just encoded, per interrupt batch. [`PodFrame`] carries
+//! the same information as a small plain-old-data struct; the byte-level
+//! encode/decode remains available through [`PodFrame::materialize`] and
+//! is exercised (a) on every fault-injection path that genuinely edits
+//! bytes (corruption), and (b) by the equivalence property tests in
+//! `tests/props.rs`, which pin the POD ⇄ byte round trip.
+//!
+//! The invariant the fast path rests on:
+//! `SrcParser::parse(EthernetFrame::decode(pod.materialize()).payload)`
+//! equals `pod.aff_core` for every representable `PodFrame`.
+
+use crate::ethernet::EthernetFrame;
+use crate::ip::Ipv4Header;
+use crate::MacAddr;
+
+/// One response strip's first wire frame, as plain old data: enough to
+/// reconstruct the exact bytes on demand, cheap enough to store and read
+/// millions of times.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PodFrame {
+    /// IPv4 source (the serving I/O server).
+    pub src_ip: u32,
+    /// IPv4 destination (the requesting client).
+    pub dst_ip: u32,
+    /// IP identification field.
+    pub ident: u16,
+    /// L4 payload length carried by the header's `total_len`.
+    pub payload_len: u16,
+    /// The SAIs option's `aff_core_id`, when the server stamped one.
+    pub aff_core: Option<u8>,
+}
+
+impl PodFrame {
+    /// The hinted core exactly as `SrcParser` would recover it from the
+    /// materialized bytes.
+    #[inline]
+    pub fn hint(&self) -> Option<u8> {
+        self.aff_core
+    }
+
+    /// The byte-level IPv4 header this POD stands for.
+    pub fn header(&self) -> Ipv4Header {
+        let hdr = Ipv4Header::tcp(self.src_ip, self.dst_ip, self.ident, self.payload_len);
+        match self.aff_core {
+            Some(core) => hdr.with_affinity(core),
+            None => hdr,
+        }
+    }
+
+    /// Materialize the full wire frame — Ethernet II with FCS around the
+    /// encoded IP header — byte-identical to what the slow path used to
+    /// store. Only fault-injection paths (and the verification oracle)
+    /// need this.
+    pub fn materialize(&self) -> Vec<u8> {
+        EthernetFrame::ipv4(
+            MacAddr::for_node(self.dst_ip),
+            MacAddr::for_node(self.src_ip),
+            self.header().encode(),
+        )
+        .encode()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn materialized_frame_round_trips() {
+        let pod = PodFrame {
+            src_ip: 0x0A01_0003,
+            dst_ip: 0x0A00_0001,
+            ident: 42,
+            payload_len: 1448,
+            aff_core: Some(5),
+        };
+        let wire = pod.materialize();
+        let frame = EthernetFrame::decode(&wire).expect("FCS valid");
+        let hdr = Ipv4Header::decode(&frame.payload).expect("checksum valid");
+        assert_eq!(hdr.src, pod.src_ip);
+        assert_eq!(hdr.dst, pod.dst_ip);
+        assert_eq!(hdr.ident, pod.ident);
+        assert_eq!(hdr.affinity_hint(), Some(5));
+    }
+
+    #[test]
+    fn no_option_when_unstamped() {
+        let pod = PodFrame {
+            src_ip: 1,
+            dst_ip: 2,
+            ident: 0,
+            payload_len: 100,
+            aff_core: None,
+        };
+        let frame = EthernetFrame::decode(&pod.materialize()).unwrap();
+        let hdr = Ipv4Header::decode(&frame.payload).unwrap();
+        assert_eq!(hdr.affinity_hint(), None);
+        assert_eq!(hdr.header_len(), 20);
+    }
+}

@@ -48,7 +48,11 @@ mod tests {
         assert_eq!(f, FlowId::from_tuple(0x0A000001, 0x0A000002, 40000, 3334));
         assert_ne!(f, FlowId::from_tuple(0x0A000001, 0x0A000002, 40001, 3334));
         assert_ne!(f, FlowId::from_tuple(0x0A000002, 0x0A000001, 40000, 3334));
-        assert_ne!(f, FlowId::from_tuple(0x0A000001, 0x0A000002, 3334, 40000), "directional");
+        assert_ne!(
+            f,
+            FlowId::from_tuple(0x0A000001, 0x0A000002, 3334, 40000),
+            "directional"
+        );
     }
 
     #[test]
@@ -59,8 +63,14 @@ mod tests {
             let f = FlowId::from_tuple(0x0A00_0100 + s, 0x0A000001, 50000, 3334);
             buckets[(f.value() % 8) as usize] += 1;
         }
-        assert!(buckets.iter().all(|&b| b >= 1), "no empty bucket: {buckets:?}");
-        assert!(buckets.iter().all(|&b| b <= 14), "no huge bucket: {buckets:?}");
+        assert!(
+            buckets.iter().all(|&b| b >= 1),
+            "no empty bucket: {buckets:?}"
+        );
+        assert!(
+            buckets.iter().all(|&b| b <= 14),
+            "no huge bucket: {buckets:?}"
+        );
     }
 
     #[test]

@@ -48,9 +48,12 @@ pub enum ParseError {
     /// IHL smaller than 5 or larger than the buffer.
     BadIhl(u8),
     /// Header checksum mismatch.
-    BadChecksum { /// Checksum found in the header.
-        found: u16, /// Checksum computed over the header.
-        computed: u16 },
+    BadChecksum {
+        /// Checksum found in the header.
+        found: u16,
+        /// Checksum computed over the header.
+        computed: u16,
+    },
     /// An option ran past the header end.
     BadOption,
 }
@@ -329,7 +332,10 @@ mod tests {
     fn hint_absent_on_plain_header() {
         let h = Ipv4Header::tcp(1, 2, 0, 64);
         assert_eq!(h.affinity_hint(), None);
-        assert_eq!(Ipv4Header::decode(&h.encode()).unwrap().affinity_hint(), None);
+        assert_eq!(
+            Ipv4Header::decode(&h.encode()).unwrap().affinity_hint(),
+            None
+        );
     }
 
     #[test]
@@ -369,7 +375,7 @@ mod tests {
         let mut bytes = h.encode();
         bytes[20] = 0x44; // turn the SAIs option into a TLV type...
         bytes[21] = 40; // ...with a length that runs off the header
-        // Fix the checksum so we reach option parsing.
+                        // Fix the checksum so we reach option parsing.
         bytes[10] = 0;
         bytes[11] = 0;
         let ck = checksum(&bytes);

@@ -20,6 +20,7 @@
 
 pub mod crc32;
 pub mod ethernet;
+pub mod fastpath;
 pub mod flow;
 pub mod ip;
 pub mod link;
@@ -30,6 +31,7 @@ pub mod switch;
 pub mod tcp;
 
 pub use ethernet::{EthernetFrame, FrameError, MacAddr};
+pub use fastpath::PodFrame;
 pub use flow::FlowId;
 pub use ip::{IpOption, Ipv4Header, ParseError, PROTO_TCP};
 pub use link::Link;

@@ -119,7 +119,8 @@ impl NicBond {
             // The batch fires when its last frame has arrived (linear
             // interpolation across the serialization window) plus the
             // receive-path latency.
-            let t = start + SimDuration::from_nanos(window.as_nanos() * frames_cum / plan.packets)
+            let t = start
+                + SimDuration::from_nanos(window.as_nanos() * frames_cum / plan.packets)
                 + self.propagation;
             out.push(InterruptBatch {
                 time: t,
@@ -203,14 +204,27 @@ mod tests {
         }
         let horizon = SimTime::from_millis(1);
         let utils = nic.port_utilization(horizon);
-        assert!(utils.iter().all(|&u| u > 0.0), "each port carried a strip: {utils:?}");
+        assert!(
+            utils.iter().all(|&u| u > 0.0),
+            "each port carried a strip: {utils:?}"
+        );
     }
 
     #[test]
     fn same_flow_serializes_on_one_port() {
         let mut nic = NicBond::gige_bonded_3();
-        let b1 = nic.receive_strip(SimTime::ZERO, FlowId(5), strip_plan(), CoalesceParams::default());
-        let b2 = nic.receive_strip(SimTime::ZERO, FlowId(5), strip_plan(), CoalesceParams::default());
+        let b1 = nic.receive_strip(
+            SimTime::ZERO,
+            FlowId(5),
+            strip_plan(),
+            CoalesceParams::default(),
+        );
+        let b2 = nic.receive_strip(
+            SimTime::ZERO,
+            FlowId(5),
+            strip_plan(),
+            CoalesceParams::default(),
+        );
         // Second strip's last batch is one serialization window later.
         let w = strip_plan().wire_bytes;
         let serialization = SimDuration::for_bytes(w, 125e6);

@@ -12,9 +12,9 @@
 /// The de-facto standard 40-byte RSS key (Microsoft's verification key,
 /// shipped as the default by most NICs and OSes).
 pub const MICROSOFT_KEY: [u8; 40] = [
-    0x6d, 0x5a, 0x56, 0xda, 0x25, 0x5b, 0x0e, 0xc2, 0x41, 0x67, 0x25, 0x3d, 0x43, 0xa3, 0x8f,
-    0xb0, 0xd0, 0xca, 0x2b, 0xcb, 0xae, 0x7b, 0x30, 0xb4, 0x77, 0xcb, 0x2d, 0xa3, 0x80, 0x30,
-    0xf2, 0x0c, 0x6a, 0x42, 0xb7, 0x3b, 0xbe, 0xac, 0x01, 0xfa,
+    0x6d, 0x5a, 0x56, 0xda, 0x25, 0x5b, 0x0e, 0xc2, 0x41, 0x67, 0x25, 0x3d, 0x43, 0xa3, 0x8f, 0xb0,
+    0xd0, 0xca, 0x2b, 0xcb, 0xae, 0x7b, 0x30, 0xb4, 0x77, 0xcb, 0x2d, 0xa3, 0x80, 0x30, 0xf2, 0x0c,
+    0x6a, 0x42, 0xb7, 0x3b, 0xbe, 0xac, 0x01, 0xfa,
 ];
 
 /// Toeplitz hash of `input` under `key`. For each set bit of the input
@@ -116,15 +116,45 @@ mod tests {
         // table (input order on the wire is src..dst..srcport..dstport).
         let cases = [
             // 66.9.149.187:2794 → 161.142.100.80:1766
-            (ip(66, 9, 149, 187), 2794, ip(161, 142, 100, 80), 1766, 0x51cc_c178u32),
+            (
+                ip(66, 9, 149, 187),
+                2794,
+                ip(161, 142, 100, 80),
+                1766,
+                0x51cc_c178u32,
+            ),
             // 199.92.111.2:14230 → 65.69.140.83:4739
-            (ip(199, 92, 111, 2), 14230, ip(65, 69, 140, 83), 4739, 0xc626_b0ea),
+            (
+                ip(199, 92, 111, 2),
+                14230,
+                ip(65, 69, 140, 83),
+                4739,
+                0xc626_b0ea,
+            ),
             // 24.19.198.95:12898 → 12.22.207.184:38024
-            (ip(24, 19, 198, 95), 12898, ip(12, 22, 207, 184), 38024, 0x5c2b_394a),
+            (
+                ip(24, 19, 198, 95),
+                12898,
+                ip(12, 22, 207, 184),
+                38024,
+                0x5c2b_394a,
+            ),
             // 38.27.205.30:48228 → 209.142.163.6:2217
-            (ip(38, 27, 205, 30), 48228, ip(209, 142, 163, 6), 2217, 0xafc7_327f),
+            (
+                ip(38, 27, 205, 30),
+                48228,
+                ip(209, 142, 163, 6),
+                2217,
+                0xafc7_327f,
+            ),
             // 153.39.163.191:44251 → 202.188.127.2:1303
-            (ip(153, 39, 163, 191), 44251, ip(202, 188, 127, 2), 1303, 0x10e8_28a2),
+            (
+                ip(153, 39, 163, 191),
+                44251,
+                ip(202, 188, 127, 2),
+                1303,
+                0x10e8_28a2,
+            ),
         ];
         for (src, sport, dst, dport, expect) in cases {
             let h = hash_v4_tcp(k, src, dst, sport, dport);

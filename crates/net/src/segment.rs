@@ -37,10 +37,7 @@ impl SegmentPlan {
     pub fn new(payload: u64, mtu: u64, ip_options: u64) -> Self {
         let ip_header = IPV4_BASE_HEADER + ip_options;
         assert!(ip_header <= 60, "IPv4 header cannot exceed 60 bytes");
-        assert!(
-            mtu > ip_header + TCP_HEADER,
-            "MTU too small for headers"
-        );
+        assert!(mtu > ip_header + TCP_HEADER, "MTU too small for headers");
         let mss = mtu - ip_header - TCP_HEADER;
         if payload == 0 {
             // A zero-length message still costs one packet (pure ACK-like).

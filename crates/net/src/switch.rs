@@ -174,7 +174,7 @@ mod tests {
         let mut sw = Switch::gige(2);
         let (a, b, _) = macs();
         sw.switch(SimTime::ZERO, 0, b, a, 64); // learn b on port 0
-        // a→b entering port 0: no fabric crossing.
+                                               // a→b entering port 0: no fabric crossing.
         match sw.switch(SimTime::from_micros(1), 0, a, b, 1500) {
             Forward::Unicast(0, t) => {
                 assert_eq!(t, SimTime::from_micros(6), "forwarding latency only");

@@ -177,7 +177,11 @@ impl TcpSender {
                     }
                 }
             }
-            self.timer = if self.done() { None } else { Some(now + self.rto) };
+            self.timer = if self.done() {
+                None
+            } else {
+                Some(now + self.rto)
+            };
         } else if ack == self.una && !self.done() {
             // Duplicate ACK.
             self.dup_acks += 1;
@@ -282,9 +286,9 @@ mod tests {
         // (arrival time, seq) — the in-flight data path.
         let mut pipe: VecDeque<(SimTime, u64)> = VecDeque::new();
         let push = |pipe: &mut VecDeque<(SimTime, u64)>,
-                        rng: &mut SimRng,
-                        now: SimTime,
-                        segs: Vec<Segment>| {
+                    rng: &mut SimRng,
+                    now: SimTime,
+                    segs: Vec<Segment>| {
             for s in segs {
                 if !rng.chance(loss) {
                     pipe.push_back((now + rtt, s.seq));

@@ -130,7 +130,12 @@ mod tests {
         assert_eq!(reqs.len(), 4);
         assert_eq!(
             reqs[0],
-            StripReq { server: 1, strip_index: 1, offset_in_strip: 50, bytes: 50 }
+            StripReq {
+                server: 1,
+                strip_index: 1,
+                offset_in_strip: 50,
+                bytes: 50
+            }
         );
         assert_eq!(reqs[1].bytes, 100);
         assert_eq!(reqs[3].bytes, 30);

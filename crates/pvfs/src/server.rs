@@ -82,8 +82,7 @@ impl IoServer {
     /// Serve a strip request arriving at `now`: queue on storage, then
     /// transmit `wire_bytes` on the uplink. Returns the uplink window.
     pub fn serve_strip(&mut self, now: SimTime, payload: u64, wire_bytes: u64) -> Transmission {
-        let mean = self.params.per_request.as_secs_f64()
-            + payload as f64 / self.params.storage_bw;
+        let mean = self.params.per_request.as_secs_f64() + payload as f64 / self.params.storage_bw;
         let secs = self.rng.jittered(mean, self.params.jitter) * self.params.slowdown;
         let service = SimDuration::from_secs_f64(secs);
         let (_, ready) = self.storage.acquire(now, service);

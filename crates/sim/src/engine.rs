@@ -97,9 +97,17 @@ pub struct Engine<M: Model> {
 impl<M: Model> Engine<M> {
     /// Wrap a model with an empty queue at time zero.
     pub fn new(model: M) -> Self {
+        Self::with_capacity(model, 0)
+    }
+
+    /// Wrap a model, pre-allocating queue capacity for `capacity` pending
+    /// events. Scenario drivers that can bound their in-flight event count
+    /// (e.g. NIC interrupt depth × servers) use this to avoid heap regrowth
+    /// in the hot loop.
+    pub fn with_capacity(model: M, capacity: usize) -> Self {
         Engine {
             model,
-            queue: EventQueue::new(),
+            queue: EventQueue::with_capacity(capacity),
             now: SimTime::ZERO,
             dispatched: 0,
         }

@@ -4,16 +4,30 @@ use crate::time::SimTime;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
-/// Internal heap entry: min-ordered by `(time, seq)`.
+/// Internal heap entry: min-ordered by a single packed `(time, seq)` key —
+/// time in the high 64 bits, the insertion sequence number in the low 64 —
+/// so sift-up/sift-down perform one `u128` comparison instead of two
+/// chained `u64` comparisons.
 struct Entry<E> {
-    time: SimTime,
-    seq: u64,
+    key: u128,
     event: E,
+}
+
+impl<E> Entry<E> {
+    #[inline]
+    fn pack(time: SimTime, seq: u64) -> u128 {
+        ((time.as_nanos() as u128) << 64) | seq as u128
+    }
+
+    #[inline]
+    fn time(&self) -> SimTime {
+        SimTime::from_nanos((self.key >> 64) as u64)
+    }
 }
 
 impl<E> PartialEq for Entry<E> {
     fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
+        self.key == other.key
     }
 }
 impl<E> Eq for Entry<E> {}
@@ -25,10 +39,7 @@ impl<E> PartialOrd for Entry<E> {
 impl<E> Ord for Entry<E> {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reversed: BinaryHeap is a max-heap, we want the earliest first.
-        other
-            .time
-            .cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
+        other.key.cmp(&self.key)
     }
 }
 
@@ -76,20 +87,23 @@ impl<E> EventQueue<E> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.pushed += 1;
-        self.heap.push(Entry { time, seq, event });
+        self.heap.push(Entry {
+            key: Entry::<E>::pack(time, seq),
+            event,
+        });
     }
 
     /// Remove and return the earliest event, if any.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         self.heap.pop().map(|e| {
             self.popped += 1;
-            (e.time, e.event)
+            (e.time(), e.event)
         })
     }
 
     /// The firing time of the next event without removing it.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.time)
+        self.heap.peek().map(|e| e.time())
     }
 
     /// Number of pending events.

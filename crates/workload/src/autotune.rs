@@ -111,8 +111,7 @@ mod tests {
         // Ranking is genuinely sorted.
         for w in result.ranking.windows(2) {
             assert!(
-                w[0].metrics.bandwidth_bytes_per_sec()
-                    >= w[1].metrics.bandwidth_bytes_per_sec()
+                w[0].metrics.bandwidth_bytes_per_sec() >= w[1].metrics.bandwidth_bytes_per_sec()
             );
         }
     }

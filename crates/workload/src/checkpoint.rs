@@ -79,9 +79,7 @@ impl CheckpointConfig {
         } else {
             SimTime::ZERO
         };
-        let compute = SimDuration::from_nanos(
-            self.compute_phase.as_nanos() * self.checkpoints,
-        );
+        let compute = SimDuration::from_nanos(self.compute_phase.as_nanos() * self.checkpoints);
         let write_total = SimDuration::from_nanos(write_wall.as_nanos() * self.checkpoints);
         let read_total = SimDuration::from_nanos(read_wall.as_nanos() * self.restarts);
         CheckpointReport {
@@ -178,7 +176,10 @@ mod tests {
         };
         let g_few = gain(few.run(), few_b.run());
         let g_many = gain(many.run(), many_b.run());
-        assert!(g_many > g_few, "restart-heavy gain {g_many:.4} vs {g_few:.4}");
+        assert!(
+            g_many > g_few,
+            "restart-heavy gain {g_many:.4} vs {g_few:.4}"
+        );
         assert!(g_few.abs() < 0.01, "write-only jobs see no effect");
     }
 }

@@ -101,7 +101,11 @@ mod tests {
         assert_eq!(cfg.transfer_size, 512 * 1024);
         assert_eq!(cfg.procs_per_client, 4);
         assert_eq!(cfg.file_size, 64 * 1024 * 1024);
-        assert_eq!(cfg.strip_size, 64 * 1024, "PVFS strip size is fixed by the deployment");
+        assert_eq!(
+            cfg.strip_size,
+            64 * 1024,
+            "PVFS strip size is fixed by the deployment"
+        );
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //!   application pattern the paper's introduction motivates;
 //! * the §VI in-memory experiment, for which this crate additionally
 //!   provides a **real multi-threaded implementation** ([`memexp`]) that
-//!   runs on the host machine with `crossbeam`, complementing the
+//!   runs on the host machine with real threads, complementing the
 //!   deterministic DES version in `sais_core::memsim`.
 
 pub mod autotune;

@@ -13,7 +13,7 @@
 //! Results are machine-dependent (unlike the DES), so tests only assert
 //! correctness; `examples/memory_sim.rs` prints the measured curve.
 
-use crossbeam::channel;
+use std::sync::mpsc;
 use std::time::Instant;
 
 /// Which configuration to run.
@@ -88,7 +88,9 @@ pub struct MemExpResult {
 /// identical and XOR checksums degenerate to zero).
 #[inline]
 fn file_byte(f: usize, i: usize) -> u8 {
-    let mut x = (i as u64).wrapping_add((f as u64) << 40).wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut x = (i as u64)
+        .wrapping_add((f as u64) << 40)
+        .wrapping_add(0x9E37_79B9_7F4A_7C15);
     x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     (x >> 24) as u8
@@ -136,7 +138,7 @@ fn run_app_sais(cfg: &MemExpConfig, files: &[Vec<u8>], app: usize) -> u64 {
 fn run_app_irqbalance(cfg: &MemExpConfig, files: &[Vec<u8>], app: usize) -> u64 {
     let strips = cfg.bytes_per_app / cfg.strip_size;
     let strips_per_transfer = cfg.transfer_size / cfg.strip_size;
-    let (tx, rx) = channel::bounded::<Box<[u8]>>(cfg.read_ahead);
+    let (tx, rx) = mpsc::sync_channel::<Box<[u8]>>(cfg.read_ahead);
     std::thread::scope(|scope| {
         // Reader: copies strips out of the RAM disk and ships them.
         scope.spawn(move || {

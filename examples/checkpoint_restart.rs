@@ -10,9 +10,7 @@ use sais::prelude::*;
 use sais::workload::CheckpointConfig;
 
 fn main() {
-    println!(
-        "checkpoint/restart — 4 ranks, 64 MB images, 16 PVFS servers, 3-Gigabit NIC\n"
-    );
+    println!("checkpoint/restart — 4 ranks, 64 MB images, 16 PVFS servers, 3-Gigabit NIC\n");
     let mut table = Table::new(
         "application wall-time breakdown by restart count",
         &[

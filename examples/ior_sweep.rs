@@ -17,7 +17,13 @@ fn main() {
 
     let mut table = Table::new(
         "bandwidth by transfer size and API",
-        &["API", "transfer", "Irqbalance MB/s", "SAIs MB/s", "speed-up"],
+        &[
+            "API",
+            "transfer",
+            "Irqbalance MB/s",
+            "SAIs MB/s",
+            "speed-up",
+        ],
     );
     for api in [IorApi::Posix, IorApi::MpiIo, IorApi::Hdf5] {
         for transfer in [128u64 << 10, 512 << 10, 2 << 20] {

@@ -1,6 +1,6 @@
 //! The §VI experiment both ways: the deterministic DES model (Fig. 14)
 //! and the real-threads version running on *this* machine's cores and
-//! caches via crossbeam channels.
+//! caches via bounded channels.
 //!
 //! ```text
 //! cargo run --release --example memory_sim
@@ -38,7 +38,7 @@ fn main() {
         .unwrap_or(4);
     println!("real threads on this host ({host_cores} logical cores):");
     let mut real = Table::new(
-        "host measurement (crossbeam channel between reader and combiner)",
+        "host measurement (bounded channel between reader and combiner)",
         &["apps", "Si-Irqbalance MB/s", "Si-SAIs MB/s", "speed-up"],
     );
     for apps in [1usize, 2, host_cores / 2, host_cores] {

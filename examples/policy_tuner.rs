@@ -15,7 +15,13 @@ fn show(name: &str, base: &ScenarioConfig) {
     let result = autotune::tune(base);
     let mut table = Table::new(
         format!("{name} — candidates ranked by measured bandwidth"),
-        &["rank", "policy", "MB/s", "p99 latency (ms)", "migrated strips"],
+        &[
+            "rank",
+            "policy",
+            "MB/s",
+            "p99 latency (ms)",
+            "migrated strips",
+        ],
     );
     for (i, e) in result.ranking.iter().enumerate() {
         table.row(&[

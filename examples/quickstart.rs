@@ -15,8 +15,10 @@ fn main() {
     let mut cfg = ScenarioConfig::testbed_3gig(16, 512 * 1024);
     cfg.file_size = 64 * 1024 * 1024;
 
-    println!("simulating {} MB IOR read, 16 PVFS servers, 3-Gigabit NIC…\n",
-             cfg.file_size >> 20);
+    println!(
+        "simulating {} MB IOR read, 16 PVFS servers, 3-Gigabit NIC…\n",
+        cfg.file_size >> 20
+    );
 
     let irqb = cfg.clone().with_policy(PolicyChoice::LowestLoaded).run();
     let sais = cfg.with_policy(PolicyChoice::SourceAware).run();

@@ -52,7 +52,10 @@ fn free_migration_flips_the_ordering_in_both() {
 fn advantage_grows_with_migration_cost_in_both() {
     // Model: gap is linear in (M − P).
     let base = sais::core::analysis::calibrated(8, 16, 100, 1e-3);
-    let expensive = AnalyticModel { m: base.m * 4.0, ..base };
+    let expensive = AnalyticModel {
+        m: base.m * 4.0,
+        ..base
+    };
     assert!(expensive.predicted_speedup() > base.predicted_speedup());
     // Simulator: sweep c2c latency.
     let gain_at = |ns: u64| {

@@ -20,7 +20,10 @@ fn coalescing_scales_interrupt_count_inversely() {
     let coalesced8 = irqs_at(8);
     let coalesced32 = irqs_at(32);
     assert!(per_frame > coalesced8 * 6, "{per_frame} vs {coalesced8}");
-    assert!(coalesced8 > coalesced32 * 2, "{coalesced8} vs {coalesced32}");
+    assert!(
+        coalesced8 > coalesced32 * 2,
+        "{coalesced8} vs {coalesced32}"
+    );
     // One 64 KB strip ≈ 45 frames: per-frame mode raises ≈ 45 per strip.
     let strips = 128;
     assert!(per_frame >= 44 * strips && per_frame <= 46 * strips);

@@ -1,0 +1,60 @@
+//! Guard against engine-throughput regressions.
+//!
+//! Re-measures the canonical scenarios and fails if any falls more than
+//! 20% below the committed baseline in `BENCH_engine.json` (refresh it
+//! with `cargo run --release -p sais-bench --bin perf_baseline` after an
+//! intentional change). Timing a debug build says nothing about the
+//! optimized engine, so the test only enforces the floor under
+//! `--release`; set `SAIS_PERF_SKIP=1` to silence it on loaded machines.
+
+use sais_bench::perf;
+
+/// Allowed shortfall before the test fails. Generous enough to absorb
+/// scheduler noise on a shared machine, tight enough to catch a real
+/// hot-path regression (the optimizations this floor protects are each
+/// worth well over 20%).
+const TOLERANCE: f64 = 0.20;
+
+#[test]
+fn engine_throughput_stays_near_baseline() {
+    if cfg!(debug_assertions) {
+        eprintln!("perf_regression: skipped (debug build)");
+        return;
+    }
+    if std::env::var_os("SAIS_PERF_SKIP").is_some() {
+        eprintln!("perf_regression: skipped (SAIS_PERF_SKIP set)");
+        return;
+    }
+    let Some(baseline) = perf::read_baseline() else {
+        eprintln!(
+            "perf_regression: skipped (no baseline at {})",
+            perf::baseline_path().display()
+        );
+        return;
+    };
+    let results = perf::measure_all(3);
+    let mut failures = Vec::new();
+    for r in &results {
+        let Some((_, base_events, base_eps)) = baseline.iter().find(|(n, _, _)| n == r.name) else {
+            continue;
+        };
+        assert_eq!(
+            r.events, *base_events,
+            "{}: event count changed — the baseline is stale, not slow; \
+             rerun perf_baseline after verifying results are unchanged",
+            r.name
+        );
+        let floor = base_eps * (1.0 - TOLERANCE);
+        if r.events_per_sec < floor {
+            failures.push(format!(
+                "{}: {:.0} events/s is below the floor {:.0} (baseline {:.0})",
+                r.name, r.events_per_sec, floor, base_eps
+            ));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "engine throughput regressed:\n  {}",
+        failures.join("\n  ")
+    );
+}

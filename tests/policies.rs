@@ -147,7 +147,11 @@ fn irq_distribution_shapes() {
     let rr = base(PolicyChoice::RoundRobin).run();
     let max = *rr.irq_distribution.iter().max().unwrap() as f64;
     let min = *rr.irq_distribution.iter().min().unwrap() as f64;
-    assert!(min / max > 0.95, "round-robin is uniform: {:?}", rr.irq_distribution);
+    assert!(
+        min / max > 0.95,
+        "round-robin is uniform: {:?}",
+        rr.irq_distribution
+    );
 
     let ded = base(PolicyChoice::Dedicated).run();
     assert_eq!(

@@ -34,7 +34,11 @@ fn memsim_never_exceeds_dram_bandwidth() {
         let mut c = MemSimConfig::testbed(MemSimMode::SiSais, apps);
         c.bytes_per_app = 8 << 20;
         let m = c.run();
-        assert!(m.bandwidth < 5333e6, "apps={apps}: {} MB/s", m.bandwidth / 1e6);
+        assert!(
+            m.bandwidth < 5333e6,
+            "apps={apps}: {} MB/s",
+            m.bandwidth / 1e6
+        );
         assert!(m.cpu_utilization <= 1.0 + 1e-9);
     }
 }
