@@ -1,4 +1,6 @@
-//! Regenerate one experiment: `cargo run --release -p sais-bench --bin abl_proc_migration [--quick|--full]`.
+//! Regenerate one experiment: `cargo run --release -p sais-bench --bin abl_proc_migration [--quick|--full] [--trace <path>] [--metrics <path>]`.
 fn main() {
-    sais_bench::figures::abl_proc_migration(sais_bench::Scale::from_args());
+    let args = sais_bench::BenchArgs::parse();
+    sais_bench::figures::abl_proc_migration(args.scale);
+    args.emit_observability();
 }

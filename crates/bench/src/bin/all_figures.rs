@@ -1,4 +1,6 @@
-//! Regenerate every table and figure: `cargo run --release -p sais-bench --bin all_figures [--quick|--full]`.
+//! Regenerate every table and figure: `cargo run --release -p sais-bench --bin all_figures [--quick|--full] [--trace <path>] [--metrics <path>]`.
 fn main() {
-    sais_bench::figures::run_all(sais_bench::Scale::from_args());
+    let args = sais_bench::BenchArgs::parse();
+    sais_bench::figures::run_all(args.scale);
+    args.emit_observability();
 }

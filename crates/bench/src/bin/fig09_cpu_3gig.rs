@@ -1,4 +1,6 @@
-//! Regenerate one experiment: `cargo run --release -p sais-bench --bin fig09_cpu_3gig [--quick|--full]`.
+//! Regenerate one experiment: `cargo run --release -p sais-bench --bin fig09_cpu_3gig [--quick|--full] [--trace <path>] [--metrics <path>]`.
 fn main() {
-    sais_bench::figures::fig09_cpu_3gig(sais_bench::Scale::from_args());
+    let args = sais_bench::BenchArgs::parse();
+    sais_bench::figures::fig09_cpu_3gig(args.scale);
+    args.emit_observability();
 }

@@ -1,4 +1,6 @@
-//! Regenerate one experiment: `cargo run --release -p sais-bench --bin fig10_unhalted_1gig [--quick|--full]`.
+//! Regenerate one experiment: `cargo run --release -p sais-bench --bin fig10_unhalted_1gig [--quick|--full] [--trace <path>] [--metrics <path>]`.
 fn main() {
-    sais_bench::figures::fig10_unhalted_1gig(sais_bench::Scale::from_args());
+    let args = sais_bench::BenchArgs::parse();
+    sais_bench::figures::fig10_unhalted_1gig(args.scale);
+    args.emit_observability();
 }

@@ -1,4 +1,6 @@
-//! Regenerate one experiment: `cargo run --release -p sais-bench --bin fig12_multiclient [--quick|--full]`.
+//! Regenerate one experiment: `cargo run --release -p sais-bench --bin fig12_multiclient [--quick|--full] [--trace <path>] [--metrics <path>]`.
 fn main() {
-    sais_bench::figures::fig12_multiclient(sais_bench::Scale::from_args());
+    let args = sais_bench::BenchArgs::parse();
+    sais_bench::figures::fig12_multiclient(args.scale);
+    args.emit_observability();
 }

@@ -1,4 +1,6 @@
-//! Regenerate one experiment: `cargo run --release -p sais-bench --bin fig14_memory_sim [--quick|--full]`.
+//! Regenerate one experiment: `cargo run --release -p sais-bench --bin fig14_memory_sim [--quick|--full] [--trace <path>] [--metrics <path>]`.
 fn main() {
-    sais_bench::figures::fig14_memory_sim(sais_bench::Scale::from_args());
+    let args = sais_bench::BenchArgs::parse();
+    sais_bench::figures::fig14_memory_sim(args.scale);
+    args.emit_observability();
 }

@@ -5,21 +5,40 @@
 //! cargo run --release -p sais-bench --bin perf_baseline            # measure + rewrite BENCH_engine.json
 //! cargo run --release -p sais-bench --bin perf_baseline -- --check # measure + compare only
 //! ```
+//!
+//! `--trace <path>` / `--metrics <path>` additionally export a Perfetto
+//! trace and a metric snapshot of the instrumented demo scenario, so a
+//! perf investigation starts with the same artifacts the figure binaries
+//! produce.
 
 use sais_bench::perf;
+use std::path::PathBuf;
+
+fn usage_error(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("usage: perf_baseline [--check] [--trace <path>] [--metrics <path>]");
+    std::process::exit(2);
+}
 
 fn main() {
     let mut check_only = false;
+    let mut trace: Option<PathBuf> = None;
+    let mut metrics: Option<PathBuf> = None;
     // Strict parsing: the no-argument mode overwrites the committed
     // baseline, so a typo'd flag must not silently fall through to it.
-    for arg in std::env::args().skip(1) {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         match arg.as_str() {
             "--check" => check_only = true,
-            other => {
-                eprintln!("error: unknown argument `{other}`");
-                eprintln!("usage: perf_baseline [--check]");
-                std::process::exit(2);
-            }
+            "--trace" => match args.next() {
+                Some(p) => trace = Some(PathBuf::from(p)),
+                None => usage_error("`--trace` requires a path argument"),
+            },
+            "--metrics" => match args.next() {
+                Some(p) => metrics = Some(PathBuf::from(p)),
+                None => usage_error("`--metrics` requires a path argument"),
+            },
+            other => usage_error(&format!("unknown argument `{other}`")),
         }
     }
     if cfg!(debug_assertions) {
@@ -42,6 +61,9 @@ fn main() {
                 );
             }
         }
+    }
+    if trace.is_some() || metrics.is_some() {
+        sais_bench::harness::write_observability(trace.as_deref(), metrics.as_deref());
     }
     if check_only {
         return;

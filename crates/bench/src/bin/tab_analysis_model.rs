@@ -1,4 +1,6 @@
-//! Regenerate one experiment: `cargo run --release -p sais-bench --bin tab_analysis_model [--quick|--full]`.
+//! Regenerate one experiment: `cargo run --release -p sais-bench --bin tab_analysis_model [--quick|--full] [--trace <path>] [--metrics <path>]`.
 fn main() {
-    sais_bench::figures::tab_analysis_model(sais_bench::Scale::from_args());
+    let args = sais_bench::BenchArgs::parse();
+    sais_bench::figures::tab_analysis_model(args.scale);
+    args.emit_observability();
 }

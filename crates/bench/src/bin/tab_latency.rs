@@ -1,4 +1,6 @@
-//! Regenerate one experiment: `cargo run --release -p sais-bench --bin tab_latency [--quick|--full]`.
+//! Regenerate one experiment: `cargo run --release -p sais-bench --bin tab_latency [--quick|--full] [--trace <path>] [--metrics <path>]`.
 fn main() {
-    sais_bench::figures::tab_latency(sais_bench::Scale::from_args());
+    let args = sais_bench::BenchArgs::parse();
+    sais_bench::figures::tab_latency(args.scale);
+    args.emit_observability();
 }

@@ -1,0 +1,6 @@
+//! Regenerate one experiment: `cargo run --release -p sais-bench --bin tab_stages [--quick|--full] [--trace <path>] [--metrics <path>]`.
+fn main() {
+    let args = sais_bench::BenchArgs::parse();
+    sais_bench::figures::tab_stages(args.scale);
+    args.emit_observability();
+}

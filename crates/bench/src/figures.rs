@@ -53,7 +53,7 @@ fn sweep_grid(
         }
     }
     let cfgs = cells.iter().map(|(_, _, c)| c.clone()).collect();
-    let results = sweep.run_cells(cfgs);
+    let results = sweep.run_cells_named(name, cfgs);
     let mut chart = BarChart::new(format!("{title} (chart)"), &[bl, cl]);
     for ((ts, srv, _), (base, cand)) in cells.iter().zip(results) {
         let (b, c) = (value(&base), value(&cand));
@@ -576,6 +576,52 @@ pub fn tab_latency(scale: Scale) {
     emit("tab_latency", &table);
 }
 
+/// Extension table: per-stage latency breakdown (flight recorder). Where
+/// `tab_latency` shows *that* SAIs shortens requests, this shows *where*:
+/// the interrupt→handler and handler→consume stages are essentially policy-
+/// independent, while the cache-migration stall collapses to zero under
+/// SAIs because the handling core already owns the strip's cache lines.
+pub fn tab_stages(scale: Scale) {
+    let mut table = Table::new(
+        "Extension — per-stage latency by policy (128K transfers, 16 servers, 3-Gig NIC)",
+        &[
+            "policy",
+            "stage",
+            "count",
+            "p50 (µs)",
+            "p99 (µs)",
+            "mean (µs)",
+        ],
+    );
+    for policy in [
+        PolicyChoice::RoundRobin,
+        PolicyChoice::LowestLoaded,
+        PolicyChoice::SourceAware,
+    ] {
+        let mut cfg = testbed(3, 16, 128 << 10);
+        cfg.file_size = scale.file_size();
+        let m = cfg
+            .with_policy(policy)
+            .with_observability(sais_core::scenario::ObsConfig {
+                stages: true,
+                ..Default::default()
+            })
+            .run();
+        for stage in sais_obs::STAGES {
+            let h = m.stages.get(stage).expect("stage histograms enabled");
+            table.row(&[
+                policy.label().to_string(),
+                stage.name().to_string(),
+                h.count().to_string(),
+                format!("{:.3}", h.quantile(0.5) as f64 / 1e3),
+                format!("{:.3}", h.quantile(0.99) as f64 / 1e3),
+                format!("{:.3}", h.mean() / 1e3),
+            ]);
+        }
+    }
+    emit("tab_stages", &table);
+}
+
 /// Run every figure and ablation at the given scale.
 pub fn run_all(scale: Scale) {
     fig05_bandwidth_3gig(scale);
@@ -598,4 +644,5 @@ pub fn run_all(scale: Scale) {
     abl_irqbalance_granularity(scale);
     abl_memsim_readahead(scale);
     tab_latency(scale);
+    tab_stages(scale);
 }

@@ -1,9 +1,10 @@
 //! Sweep execution, multi-seed averaging and result output.
 
-use sais_core::scenario::{PolicyChoice, RunMetrics, ScenarioConfig};
+use sais_core::scenario::{ObsConfig, PolicyChoice, RunMetrics, ScenarioConfig};
 use sais_metrics::{Table, Welford};
+use sais_obs::ProgressMeter;
 use std::fs;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 /// How big to run the experiments.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -17,18 +18,6 @@ pub enum Scale {
 }
 
 impl Scale {
-    /// Parse from CLI args (`--quick`, `--full`; default [`Scale::Default`]).
-    pub fn from_args() -> Scale {
-        let args: Vec<String> = std::env::args().collect();
-        if args.iter().any(|a| a == "--full") {
-            Scale::Full
-        } else if args.iter().any(|a| a == "--quick") {
-            Scale::Quick
-        } else {
-            Scale::Default
-        }
-    }
-
     /// Per-client file size at this scale.
     pub fn file_size(self) -> u64 {
         match self {
@@ -43,6 +32,118 @@ impl Scale {
         match self {
             Scale::Quick => 1,
             Scale::Default | Scale::Full => 3,
+        }
+    }
+}
+
+/// Parsed command line of a figure/table binary.
+///
+/// Every bench binary accepts the same strict flag set; anything
+/// unrecognised is an error (exit code 2), so a typo like `--fulll` can
+/// never silently fall back to the default scale and produce
+/// wrong-but-plausible numbers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchArgs {
+    /// Experiment scale (`--quick` / `--full`; defaults to [`Scale::Default`]).
+    pub scale: Scale,
+    /// `--trace <path>`: after the figure, run the flight-recorder demo
+    /// scenario and write a Chrome/Perfetto `trace_event` JSON there.
+    pub trace: Option<PathBuf>,
+    /// `--metrics <path>`: after the figure, write a metric snapshot of the
+    /// demo scenario there (CSV if the path ends in `.csv`, JSON otherwise).
+    pub metrics: Option<PathBuf>,
+}
+
+const BENCH_USAGE: &str =
+    "usage: <figure-bin> [--quick | --full] [--trace <path>] [--metrics <path>]\n\
+  --quick           64 MB files, 1 seed (fast smoke run)\n\
+  --full            1 GB files, 3 seeds (paper scale)\n\
+  --trace <path>    write a Perfetto trace of the demo scenario\n\
+  --metrics <path>  write a metric snapshot (.csv => CSV, else JSON)";
+
+impl BenchArgs {
+    /// Parse `std::env::args()`, exiting with code 2 and a usage message on
+    /// any unknown or malformed flag.
+    pub fn parse() -> BenchArgs {
+        match Self::try_parse(std::env::args().skip(1)) {
+            Ok(args) => args,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                eprintln!("{BENCH_USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Strict parse of an argument list (testable core of [`BenchArgs::parse`]).
+    pub fn try_parse(args: impl IntoIterator<Item = String>) -> Result<BenchArgs, String> {
+        let mut out = BenchArgs {
+            scale: Scale::Default,
+            trace: None,
+            metrics: None,
+        };
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--quick" => out.scale = Scale::Quick,
+                "--full" => out.scale = Scale::Full,
+                "--trace" => {
+                    let path = it.next().ok_or("`--trace` requires a path argument")?;
+                    out.trace = Some(PathBuf::from(path));
+                }
+                "--metrics" => {
+                    let path = it.next().ok_or("`--metrics` requires a path argument")?;
+                    out.metrics = Some(PathBuf::from(path));
+                }
+                other => return Err(format!("unknown argument `{other}`")),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Write the requested observability artifacts (no-op when neither
+    /// `--trace` nor `--metrics` was given). See [`write_observability`].
+    pub fn emit_observability(&self) {
+        if self.trace.is_none() && self.metrics.is_none() {
+            return;
+        }
+        write_observability(self.trace.as_deref(), self.metrics.as_deref());
+    }
+}
+
+/// The fully-instrumented demo scenario behind `--trace` / `--metrics`:
+/// the paper's 3-Gigabit testbed under SAIs, shrunk to seconds of host
+/// time, with spans and stage histograms on.
+pub fn observability_demo_config() -> ScenarioConfig {
+    let mut cfg = ScenarioConfig::testbed_3gig(8, 512 << 10);
+    cfg.file_size = 4 << 20;
+    cfg.with_policy(PolicyChoice::SourceAware)
+        .with_observability(ObsConfig::full())
+}
+
+/// Run [`observability_demo_config`] and export its flight-recorder trace
+/// (Perfetto `trace_event` JSON) and/or metric snapshot. The snapshot format
+/// follows the file extension: `.csv` gets CSV, anything else the
+/// `sais-metrics-snapshot/v1` JSON schema. Paths are echoed to stdout in the
+/// same `[kind] path` form [`emit`] uses for figure CSVs.
+pub fn write_observability(trace: Option<&Path>, metrics: Option<&Path>) {
+    let (run, cluster) = observability_demo_config().run_full();
+    if let Some(path) = trace {
+        match sais_obs::perfetto::write_chrome_json(cluster.recorder(), path) {
+            Ok(()) => println!("[trace] {}", path.display()),
+            Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+        }
+    }
+    if let Some(path) = metrics {
+        let snap = cluster.snapshot_metrics(run.wall_time);
+        let body = if path.extension().is_some_and(|e| e == "csv") {
+            snap.to_csv()
+        } else {
+            snap.to_json()
+        };
+        match fs::write(path, body) {
+            Ok(()) => println!("[metrics] {}", path.display()),
+            Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
         }
     }
 }
@@ -142,6 +243,18 @@ impl Sweep {
     /// independent deterministic simulation, so parallel execution changes
     /// wall time only, never results. Output order matches input order.
     pub fn run_cells(&self, cfgs: Vec<ScenarioConfig>) -> Vec<(CellStats, CellStats)> {
+        self.run_cells_named("sweep", cfgs)
+    }
+
+    /// [`Sweep::run_cells`] with a progress label: each finished cell prints
+    /// a `[label] N/total cells done (X.Xs elapsed)` line to stderr, so a
+    /// `--full` sweep is never minutes of silence.
+    pub fn run_cells_named(
+        &self,
+        label: &str,
+        cfgs: Vec<ScenarioConfig>,
+    ) -> Vec<(CellStats, CellStats)> {
+        let meter = ProgressMeter::new(label, cfgs.len() as u64);
         let workers = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1)
@@ -170,6 +283,7 @@ impl Sweep {
                         .expect("each job is claimed exactly once");
                     let out = self.run_cell(cfg);
                     slots.lock().expect("no poisoning")[i] = Some(out);
+                    meter.complete_one_and_report();
                 });
             }
         });
@@ -225,6 +339,44 @@ mod tests {
         assert!(cand.bw.mean() > base.bw.mean());
         assert_eq!(cand.migrations.mean(), 0.0);
         assert!(base.migrations.mean() > 0.0);
+    }
+
+    fn parse(args: &[&str]) -> Result<BenchArgs, String> {
+        BenchArgs::try_parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn bench_args_defaults_and_scales() {
+        let a = parse(&[]).unwrap();
+        assert_eq!(a.scale, Scale::Default);
+        assert_eq!(a.trace, None);
+        assert_eq!(a.metrics, None);
+        assert_eq!(parse(&["--quick"]).unwrap().scale, Scale::Quick);
+        assert_eq!(parse(&["--full"]).unwrap().scale, Scale::Full);
+    }
+
+    #[test]
+    fn bench_args_trace_and_metrics_take_paths() {
+        let a = parse(&["--quick", "--trace", "t.json", "--metrics", "m.csv"]).unwrap();
+        assert_eq!(a.trace.as_deref(), Some(Path::new("t.json")));
+        assert_eq!(a.metrics.as_deref(), Some(Path::new("m.csv")));
+    }
+
+    #[test]
+    fn bench_args_rejects_unknown_and_malformed() {
+        let err = parse(&["--fulll"]).unwrap_err();
+        assert!(err.contains("--fulll"), "{err}");
+        assert!(parse(&["extra"]).is_err(), "positional args are rejected");
+        let err = parse(&["--trace"]).unwrap_err();
+        assert!(err.contains("path"), "{err}");
+        assert!(parse(&["--metrics"]).is_err());
+    }
+
+    #[test]
+    fn observability_demo_config_is_valid_and_instrumented() {
+        let cfg = observability_demo_config();
+        cfg.validate().expect("demo scenario must validate");
+        assert!(cfg.obs.spans && cfg.obs.stages);
     }
 
     #[test]

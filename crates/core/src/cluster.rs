@@ -23,8 +23,14 @@ use sais_cpu::{CpuCore, CpuReport, LoadTracker, Process, WakePlacement, WorkClas
 use sais_mem::fxmap::FxHashMap;
 use sais_mem::{AddrAlloc, AddrRange, MemorySystem};
 use sais_net::{CoalesceParams, EthernetFrame, FlowId, NicBond, PodFrame, SegmentPlan};
+use sais_obs::{FlightRecorder, MetricRegistry, MetricSnapshot, SpanId, Stage, StageHistograms};
 use sais_pvfs::{HintList, IoServer, MetadataServer, ReadTracker, StripeLayout};
 use sais_sim::{Model, RateResource, Scheduler, SimDuration, SimRng, SimTime, TraceRing};
+
+/// Synthetic `tid` base for per-process request lanes in exported traces
+/// (core tracks use the core index directly; `validate()` caps cores at 32,
+/// so the lanes can never collide).
+const REQ_LANE: u32 = 100;
 
 /// The event alphabet of the cluster model.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -89,6 +95,12 @@ struct ReadState {
     proc: u32,
     bytes: u64,
     issued: SimTime,
+    /// Flight-recorder span covering the whole request (`NONE` when
+    /// recording is off).
+    span: SpanId,
+    /// Whether the request's first hardirq has been attributed (for the
+    /// `IssueToFirstIrq` stage).
+    first_irq_seen: bool,
 }
 
 /// Per-strip bookkeeping.
@@ -106,6 +118,8 @@ struct StripState {
     batches_total: u64,
     batches_done: u64,
     chunk_off: u64,
+    /// Flight-recorder span covering this strip's fan-out lifetime.
+    span: SpanId,
 }
 
 /// One client node: cores, caches, NIC, APIC, SAIs components, processes.
@@ -166,6 +180,11 @@ pub struct Cluster {
     requests_completed: u64,
     clients_done: usize,
     t_last_done: SimTime,
+    /// End-to-end span recorder (disabled unless `cfg.obs.spans`). Lives on
+    /// the cluster, not per client: `pid` distinguishes clients in exports.
+    recorder: FlightRecorder,
+    /// Per-stage latency histograms (disabled unless `cfg.obs.stages`).
+    stages: StageHistograms,
 }
 
 impl Cluster {
@@ -186,6 +205,26 @@ impl Cluster {
         let clients = (0..cfg.clients)
             .map(|c| ClientNode::new(&cfg, c as u32))
             .collect();
+        let mut recorder = if cfg.obs.spans {
+            FlightRecorder::enabled(cfg.obs.span_capacity)
+        } else {
+            FlightRecorder::disabled()
+        };
+        if recorder.is_enabled() {
+            for c in 0..cfg.clients as u32 {
+                for core in 0..cfg.cpu.cores as u32 {
+                    recorder.name_track(c, core, format!("core {core}"));
+                }
+                for p in 0..cfg.procs_per_client as u32 {
+                    recorder.name_track(c, REQ_LANE + p, format!("proc {p} requests"));
+                }
+            }
+        }
+        let stages = if cfg.obs.stages {
+            StageHistograms::enabled()
+        } else {
+            StageHistograms::disabled()
+        };
         Cluster {
             cfg,
             clients,
@@ -203,7 +242,19 @@ impl Cluster {
             requests_completed: 0,
             clients_done: 0,
             t_last_done: SimTime::ZERO,
+            recorder,
+            stages,
         }
+    }
+
+    /// The run's flight recorder (empty/disabled unless `obs.spans`).
+    pub fn recorder(&self) -> &FlightRecorder {
+        &self.recorder
+    }
+
+    /// The run's stage histograms (disabled unless `obs.stages`).
+    pub fn stages(&self) -> &StageHistograms {
+        &self.stages
     }
 
     /// Whether the configured policy carries the SAIs hint end-to-end.
@@ -270,12 +321,26 @@ impl Cluster {
         let read_id = self.next_read;
         self.next_read += 1;
         cl.tracker.start(read_id, strip_reqs.len() as u64, transfer);
+        let read_span = self.recorder.begin(
+            t_req,
+            "read",
+            "request",
+            client,
+            REQ_LANE + proc,
+            SpanId::NONE,
+        );
+        self.recorder.set_arg(read_span, "read_id", read_id);
+        self.recorder.set_arg(read_span, "bytes", transfer);
+        self.recorder
+            .set_arg(read_span, "strips", strip_reqs.len() as u64);
         self.reads.insert(
             read_id,
             ReadState {
                 proc,
                 bytes: transfer,
                 issued: t_req,
+                span: read_span,
+                first_irq_seen: false,
             },
         );
         pr.proc.block(t_req);
@@ -330,6 +395,12 @@ impl Cluster {
             let flow = self.clients[client as usize].flows[sr.server];
             let strip_id = self.next_strip;
             self.next_strip += 1;
+            let strip_span =
+                self.recorder
+                    .begin(t_req, "strip", "strip", client, REQ_LANE + proc, read_span);
+            self.recorder.set_arg(strip_span, "bytes", sr.bytes);
+            self.recorder
+                .set_arg(strip_span, "server", sr.server as u64);
             self.strips.insert(
                 strip_id,
                 StripState {
@@ -344,6 +415,7 @@ impl Cluster {
                     batches_total: 0,
                     batches_done: 0,
                     chunk_off: 0,
+                    span: strip_span,
                 },
             );
             user_off += sr.bytes;
@@ -459,6 +531,20 @@ impl Cluster {
         cl.cores[dest].run(now, self.cfg.cpu.hardirq, WorkClass::HardIrq);
         let soft = self.cfg.cpu.softirq_per_packet * frames + counts.cost(cl.mem.params());
         let done = cl.cores[dest].run(now, soft, WorkClass::SoftIrq);
+        let irq_span = self
+            .recorder
+            .begin(now, "irq", "interrupt", s.client, dest as u32, s.span);
+        self.recorder.set_arg(irq_span, "frames", frames);
+        self.recorder.set_arg(irq_span, "bytes", bytes);
+        self.recorder.end(irq_span, done);
+        self.stages.record(Stage::IrqToHandler, done.since(now));
+        if let Some(read) = self.reads.get_mut(&s.read) {
+            if !read.first_irq_seen {
+                read.first_irq_seen = true;
+                self.stages
+                    .record(Stage::IssueToFirstIrq, now.since(read.issued));
+            }
+        }
         sched.at(done, Ev::BatchReady { strip });
     }
 
@@ -484,15 +570,24 @@ impl Cluster {
             cl.migrated_strips += 1;
         }
         let p = cl.mem.params();
+        let stall = p.c2c_time(src.c2c);
         let dur = self.cfg.cpu.wake_ipi + self.cfg.cpu.context_switch + src.cost(p) + dst.cost(p);
         cl.trace.emit(now, "copy", strip, consumer as u64);
         let done = cl.cores[consumer].run(now, dur, WorkClass::Copy);
+        let copy_span =
+            self.recorder
+                .begin(now, "copy", "consume", s.client, consumer as u32, s.span);
+        self.recorder.set_arg(copy_span, "c2c_lines", src.c2c);
+        self.recorder.end(copy_span, done);
+        self.stages.record(Stage::HandlerToConsume, done.since(now));
+        self.stages.record(Stage::MigrationStall, stall);
         sched.at(done, Ev::StripCopied { strip });
     }
 
     fn handle_strip_copied(&mut self, strip: u64, sched: &mut Scheduler<'_, Ev>) {
         let now = sched.now();
         let s = self.strips.remove(&strip).expect("strip state");
+        self.recorder.end(s.span, now);
         let cl = &mut self.clients[s.client as usize];
         cl.strips_done += 1;
         let complete = cl.tracker.strip_arrived(s.read, s.strip_no, s.bytes);
@@ -500,6 +595,11 @@ impl Cluster {
             return;
         }
         let read = self.reads.remove(&s.read).expect("read state");
+        self.recorder.end(read.span, now);
+        self.recorder
+            .instant(now, "request_done", s.client, REQ_LANE + read.proc, s.read);
+        self.stages
+            .record(Stage::RequestTotal, now.since(read.issued));
         cl.latency.record(now.since(read.issued).as_nanos());
         let pr = &mut cl.procs[read.proc as usize];
         // read() returns: wake (possibly migrating, for the ablation), then
@@ -569,12 +669,24 @@ impl Cluster {
         let read_id = self.next_read;
         self.next_read += 1;
         cl.tracker.start(read_id, strip_reqs.len() as u64, transfer);
+        let write_span = self.recorder.begin(
+            t0,
+            "write",
+            "request",
+            client,
+            REQ_LANE + proc,
+            SpanId::NONE,
+        );
+        self.recorder.set_arg(write_span, "read_id", read_id);
+        self.recorder.set_arg(write_span, "bytes", transfer);
         self.reads.insert(
             read_id,
             ReadState {
                 proc,
                 bytes: transfer,
                 issued: t0,
+                span: write_span,
+                first_irq_seen: false,
             },
         );
         pr.proc.block(t0);
@@ -630,6 +742,9 @@ impl Cluster {
                     batches_total: 0,
                     batches_done: 0,
                     chunk_off: 0,
+                    // Ack interrupts are not worth a span of their own; the
+                    // write request span covers issue → last ack.
+                    span: SpanId::NONE,
                 },
             );
             sched.at(
@@ -663,6 +778,9 @@ impl Cluster {
         let complete = cl.tracker.strip_arrived(s.read, s.strip_no, s.bytes);
         if complete {
             let read = self.reads.remove(&s.read).expect("read state");
+            self.recorder.end(read.span, now);
+            self.stages
+                .record(Stage::RequestTotal, now.since(read.issued));
             cl.latency.record(now.since(read.issued).as_nanos());
             let pr = &mut cl.procs[read.proc as usize];
             cl.place.wake(&mut pr.proc, now, &mut self.rng);
@@ -754,8 +872,89 @@ impl Cluster {
             per_client_bw,
             process_migrations,
             request_latency: latency,
+            stages: self.stages.clone(),
             events_dispatched: 0, // filled in by `ScenarioConfig::run_full`
+            queue_high_water: 0,  // likewise
         }
+    }
+
+    /// Build the central metric registry from the current component state.
+    ///
+    /// Unlike [`Cluster::collect_metrics`] this is a pure pull pass with no
+    /// completion requirement, so it can be called **mid-run** (e.g. from a
+    /// bounded `run_bounded` loop) as well as at quiescence. Registration
+    /// costs the hot paths nothing: components keep their plain fields and
+    /// the registry reads them here.
+    pub fn metric_registry(&self) -> MetricRegistry {
+        let mut reg = MetricRegistry::new();
+        let mut l2_accesses = 0;
+        let mut l2_misses = 0;
+        let mut c2c_lines = 0;
+        let mut strip_migrations = 0;
+        let mut interrupts = 0;
+        let mut hinted = 0;
+        let mut clamped = 0;
+        let mut parse_errors = 0;
+        let mut fcs_drops = 0;
+        let mut bytes = 0;
+        let mut strips = 0;
+        let mut trace_recorded = 0;
+        let mut trace_dropped = 0;
+        let mut latency = sais_metrics::Histogram::new();
+        for cl in &self.clients {
+            l2_accesses += cl.mem.total_accesses();
+            l2_misses += cl.mem.total_misses();
+            c2c_lines += cl.mem.c2c_transfers();
+            strip_migrations += cl.migrated_strips;
+            interrupts += cl.ioapic.routed.get();
+            hinted += cl.composer.hinted.get();
+            clamped += cl.ioapic.clamped.get();
+            parse_errors += cl.parser.parse_errors.get();
+            fcs_drops += cl.fcs_drops;
+            bytes += cl.bytes_done;
+            strips += cl.strips_done;
+            trace_recorded += cl.trace.recorded();
+            trace_dropped += cl.trace.dropped();
+            latency.merge(&cl.latency);
+        }
+        reg.counter("io.bytes_delivered", bytes);
+        reg.counter("io.requests_completed", self.requests_completed);
+        reg.counter("io.strips_delivered", strips);
+        reg.counter("io.retransmits", self.retransmits);
+        reg.counter("irq.routed", interrupts);
+        reg.counter("irq.hinted", hinted);
+        reg.counter("irq.clamped", clamped);
+        reg.counter("net.parse_errors", parse_errors);
+        reg.counter("net.fcs_drops", fcs_drops);
+        reg.counter("mem.l2_accesses", l2_accesses);
+        reg.counter("mem.l2_misses", l2_misses);
+        reg.counter("mem.c2c_lines", c2c_lines);
+        reg.counter("mem.strip_migrations", strip_migrations);
+        reg.gauge(
+            "mem.l2_miss_rate",
+            if l2_accesses == 0 {
+                0.0
+            } else {
+                l2_misses as f64 / l2_accesses as f64
+            },
+        );
+        reg.counter("trace.recorded", trace_recorded);
+        reg.counter("trace.dropped", trace_dropped);
+        reg.counter("obs.spans_recorded", self.recorder.recorded());
+        reg.counter("obs.spans_dropped", self.recorder.dropped());
+        reg.histogram("latency.request", &latency);
+        for stage in sais_obs::STAGES {
+            if let Some(h) = self.stages.get(stage) {
+                reg.histogram(&format!("stage.{}", stage.name()), h);
+            }
+        }
+        reg
+    }
+
+    /// Freeze [`Cluster::metric_registry`] into an exportable snapshot
+    /// stamped with sim time `now`.
+    pub fn snapshot_metrics(&self, now: SimTime) -> MetricSnapshot {
+        self.metric_registry().snapshot(now)
     }
 }
 

@@ -84,6 +84,47 @@ pub enum IoDirection {
     Write,
 }
 
+/// Observability switches for one run.
+///
+/// Everything defaults to **off**, and the disabled state is zero-cost by
+/// contract: every record call in the hot path starts with a branch on a
+/// single flag and touches nothing else (see `sais-obs`). Enabling spans
+/// or stage histograms never changes simulated results — the recorder only
+/// reads times the model already computed.
+#[derive(Debug, Clone)]
+pub struct ObsConfig {
+    /// Record request/strip/interrupt/copy spans into a
+    /// [`sais_obs::FlightRecorder`] for Perfetto export.
+    pub spans: bool,
+    /// Record per-stage latency histograms
+    /// ([`sais_obs::StageHistograms`]).
+    pub stages: bool,
+    /// Maximum spans retained when `spans` is on; beginnings past the cap
+    /// are counted as dropped.
+    pub span_capacity: usize,
+}
+
+impl Default for ObsConfig {
+    fn default() -> Self {
+        ObsConfig {
+            spans: false,
+            stages: false,
+            span_capacity: 1 << 16,
+        }
+    }
+}
+
+impl ObsConfig {
+    /// Everything on, with the default span capacity.
+    pub fn full() -> Self {
+        ObsConfig {
+            spans: true,
+            stages: true,
+            ..ObsConfig::default()
+        }
+    }
+}
+
 /// A configuration error, with enough context to fix it.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ConfigError {
@@ -218,6 +259,8 @@ pub struct ScenarioConfig {
     /// mask that excludes the consuming core silently defeats SAIs, which
     /// the `irq_affinity_mask_defeats_sais` test demonstrates.
     pub irq_affinity_mask: Option<u64>,
+    /// Flight-recorder and stage-histogram switches (all off by default).
+    pub obs: ObsConfig,
 }
 
 impl ScenarioConfig {
@@ -254,6 +297,7 @@ impl ScenarioConfig {
             straggler: None,
             trace_capacity: 0,
             irq_affinity_mask: None,
+            obs: ObsConfig::default(),
         }
     }
 
@@ -274,6 +318,12 @@ impl ScenarioConfig {
     /// Set the I/O direction, builder-style.
     pub fn with_direction(mut self, direction: IoDirection) -> Self {
         self.direction = direction;
+        self
+    }
+
+    /// Set the observability switches, builder-style.
+    pub fn with_observability(mut self, obs: ObsConfig) -> Self {
+        self.obs = obs;
         self
     }
 
@@ -372,9 +422,11 @@ impl ScenarioConfig {
         engine.run_to_quiescence(max_events);
         let now = engine.now();
         let dispatched = engine.dispatched();
+        let queue_high_water = engine.queue_high_water() as u64;
         let cluster = engine.into_model();
         let mut metrics = cluster.collect_metrics(now);
         metrics.events_dispatched = dispatched;
+        metrics.queue_high_water = queue_high_water;
         (metrics, cluster)
     }
 
@@ -447,9 +499,16 @@ pub struct RunMetrics {
     pub process_migrations: u64,
     /// Per-request completion latency (issue → data ready), nanoseconds.
     pub request_latency: sais_metrics::Histogram,
+    /// Per-stage latency histograms (disabled unless
+    /// [`ObsConfig::stages`] was on for the run).
+    pub stages: sais_obs::StageHistograms,
     /// Discrete events the engine dispatched for this run (host-performance
     /// accounting; does not affect any simulated quantity).
     pub events_dispatched: u64,
+    /// Peak simultaneously-pending events in the engine's queue — sizes
+    /// `Engine::with_capacity` for re-runs of the same scenario (also
+    /// host-side accounting; filled in by `ScenarioConfig::run_full`).
+    pub queue_high_water: u64,
 }
 
 impl RunMetrics {

@@ -167,6 +167,23 @@ mod tests {
     }
 
     #[test]
+    fn ratio_zero_denominator_never_divides() {
+        // den == 0 must yield a finite 0, not NaN/inf — regardless of the
+        // numerator (merges can produce num > 0 with den still 0 only via
+        // direct construction, but value() must stay total anyway).
+        for r in [
+            Ratio::new(),
+            Ratio { num: 0, den: 0 },
+            Ratio { num: 7, den: 0 },
+        ] {
+            assert_eq!(r.value(), 0.0, "{r:?}");
+            assert!(r.value().is_finite());
+        }
+        // Display goes through value(), so it must not panic either.
+        assert_eq!(format!("{}", Ratio { num: 7, den: 0 }), "0.00% (7/0)");
+    }
+
+    #[test]
     fn speedup_and_reduction() {
         assert!((speedup(100.0, 123.57) - 0.2357).abs() < 1e-12);
         assert!((reduction(100.0, 60.0) - 0.40).abs() < 1e-12);

@@ -222,6 +222,62 @@ mod tests {
     }
 
     #[test]
+    fn empty_histogram_quantiles_all_zero() {
+        let h = Histogram::new();
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 0, "q = {q}");
+        }
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn single_sample_dominates_every_quantile() {
+        let mut h = Histogram::new();
+        h.record(12_345);
+        for q in [0.0, 0.01, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 12_345, "q = {q}");
+        }
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.mean(), 12_345.0);
+        assert_eq!(h.min(), 12_345);
+        assert_eq!(h.max(), 12_345);
+    }
+
+    #[test]
+    fn all_equal_samples_collapse_quantiles() {
+        let mut h = Histogram::new();
+        for _ in 0..10_000 {
+            h.record(777);
+        }
+        for q in [0.0, 0.1, 0.5, 0.9, 0.999, 1.0] {
+            assert_eq!(h.quantile(q), 777, "q = {q}");
+        }
+        assert_eq!(h.mean(), 777.0);
+    }
+
+    #[test]
+    fn saturating_bucket_holds_extreme_values() {
+        // Values near u64::MAX land in (or are clamped to) the last bucket;
+        // recording them must neither panic nor corrupt the quantiles.
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX - 1);
+        h.record(1);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), u64::MAX);
+        assert_eq!(h.quantile(1.0), u64::MAX);
+        // The middle quantile is clamped into [min, max] despite the
+        // enormous final bucket.
+        let p50 = h.quantile(0.5);
+        assert!((1..=u64::MAX).contains(&p50));
+        // Sum accumulates in u128, so the mean survives two u64::MAX-scale
+        // samples without overflow.
+        assert!(h.mean() > u64::MAX as f64 / 2.0);
+    }
+
+    #[test]
     fn floor_inverts_bucket_of() {
         for v in [0u64, 1, 7, 8, 9, 100, 1000, 65_536, 1_000_000, 1 << 40] {
             let idx = Histogram::bucket_of(v);

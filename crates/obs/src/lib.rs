@@ -1,0 +1,41 @@
+//! # sais-obs — the request flight recorder
+//!
+//! The paper's argument is a *latency-attribution* claim: it explains where
+//! each data strip's time goes between the NIC interrupt, the handling core
+//! and the consuming core. End-of-run aggregates (final bandwidth, final L2
+//! miss rate) can show *that* SAIs wins; only a per-request, per-stage
+//! timeline shows *why*. This crate is that diagnostic layer:
+//!
+//! * [`span::FlightRecorder`] — an allocation-light span recorder. The full
+//!   request lifecycle (app issues read → PVFS fan-out → strip at NIC →
+//!   interrupt → handler → consume) becomes structured spans with
+//!   parent/child linkage (request → strip → interrupt/copy). When
+//!   disabled, every record call is a single branch on one flag: no
+//!   allocation, no formatting, nothing the optimizer must be trusted to
+//!   remove — so the zero-copy fast paths keep their numbers.
+//! * [`registry::MetricRegistry`] — a central registry of named, typed
+//!   metrics (counters, gauges, histograms), snapshottable at any sim time
+//!   and exportable as JSON or CSV.
+//! * [`stages::StageHistograms`] — per-stage latency histograms
+//!   (issue→first-interrupt, interrupt→handler, handler→consume,
+//!   cache-migration stalls) that turn the paper's headline claim into an
+//!   inspectable distribution.
+//! * [`perfetto`] — a Chrome/Perfetto `trace_event` JSON exporter: open the
+//!   file at <https://ui.perfetto.dev> and see one read request fan out to
+//!   its strips, each strip's interrupts land on handler cores and the
+//!   copies land on the consumer.
+//! * [`json`] — a minimal JSON reader used by tests to validate exported
+//!   traces and snapshots structurally (no external JSON dependency).
+//! * [`progress`] — host-side progress reporting for long parallel sweeps.
+
+pub mod json;
+pub mod perfetto;
+pub mod progress;
+pub mod registry;
+pub mod span;
+pub mod stages;
+
+pub use progress::ProgressMeter;
+pub use registry::{MetricRegistry, MetricSnapshot};
+pub use span::{FlightRecorder, SpanId};
+pub use stages::{Stage, StageHistograms, STAGES};

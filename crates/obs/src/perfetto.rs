@@ -1,0 +1,312 @@
+//! Chrome/Perfetto `trace_event` JSON export.
+//!
+//! Serializes a [`FlightRecorder`] into the JSON Object Format consumed by
+//! `chrome://tracing` and <https://ui.perfetto.dev>: one `"X"` (complete)
+//! event per span with `ts`/`dur` in microseconds, `"i"` instant events
+//! for markers, and `"M"` metadata events naming processes and threads.
+//! Each span's event carries its recorder id and parent id in `args`, so
+//! the request → strip → interrupt/copy hierarchy survives the export
+//! machine-readably even where the viewer renders the spans on different
+//! tracks (the interrupt runs on the handler core, the copy on the
+//! consumer core — that separation *is* the finding).
+
+use crate::json::JsonValue;
+use crate::span::{FlightRecorder, SpanId};
+use sais_sim::SimTime;
+use std::path::Path;
+
+/// Microseconds-as-f64 for a sim instant (Chrome's `ts` unit).
+fn ts_us(t: SimTime) -> f64 {
+    t.as_nanos() as f64 / 1000.0
+}
+
+fn fmt_f64(v: f64) -> String {
+    format!("{v:?}")
+}
+
+/// Serialize the recorder into Chrome/Perfetto trace JSON.
+pub fn to_chrome_json(rec: &FlightRecorder) -> String {
+    let mut events: Vec<String> = Vec::with_capacity(rec.spans().len() + rec.instants().len() + 8);
+    let mut pids: Vec<u32> = Vec::new();
+    for s in rec.spans() {
+        if !pids.contains(&s.pid) {
+            pids.push(s.pid);
+        }
+    }
+    for pid in &pids {
+        events.push(format!(
+            "{{\"ph\": \"M\", \"pid\": {pid}, \"name\": \"process_name\", \
+             \"args\": {{\"name\": \"client {pid}\"}}}}"
+        ));
+    }
+    for (pid, tid, name) in rec.track_names() {
+        events.push(format!(
+            "{{\"ph\": \"M\", \"pid\": {pid}, \"tid\": {tid}, \"name\": \"thread_name\", \
+             \"args\": {{\"name\": \"{name}\"}}}}"
+        ));
+    }
+    for (i, s) in rec.spans().iter().enumerate() {
+        let end = if s.end == SimTime::MAX {
+            s.start
+        } else {
+            s.end
+        };
+        let mut args = format!("\"id\": {i}, \"parent\": ");
+        if s.parent == SpanId::NONE {
+            args.push_str("-1");
+        } else {
+            args.push_str(&s.parent.0.to_string());
+        }
+        for (k, v) in s.args.iter().filter(|(k, _)| !k.is_empty()) {
+            args.push_str(&format!(", \"{k}\": {v}"));
+        }
+        events.push(format!(
+            "{{\"name\": \"{}\", \"cat\": \"{}\", \"ph\": \"X\", \"ts\": {}, \"dur\": {}, \
+             \"pid\": {}, \"tid\": {}, \"args\": {{{args}}}}}",
+            s.name,
+            s.cat,
+            fmt_f64(ts_us(s.start)),
+            fmt_f64(ts_us(end) - ts_us(s.start)),
+            s.pid,
+            s.tid,
+        ));
+    }
+    for ev in rec.instants() {
+        events.push(format!(
+            "{{\"name\": \"{}\", \"ph\": \"i\", \"ts\": {}, \"pid\": {}, \"tid\": {}, \
+             \"s\": \"t\", \"args\": {{\"value\": {}}}}}",
+            ev.name,
+            fmt_f64(ts_us(ev.time)),
+            ev.pid,
+            ev.tid,
+            ev.value,
+        ));
+    }
+    let mut out = String::from("{\n\"traceEvents\": [\n");
+    for (i, e) in events.iter().enumerate() {
+        out.push_str(e);
+        if i + 1 < events.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("],\n\"displayTimeUnit\": \"ns\"\n}\n");
+    out
+}
+
+/// Serialize and write the trace to `path`.
+pub fn write_chrome_json(rec: &FlightRecorder, path: &Path) -> std::io::Result<()> {
+    std::fs::write(path, to_chrome_json(rec))
+}
+
+/// Structural statistics of a validated trace.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TraceStats {
+    /// `"X"` span events.
+    pub spans: usize,
+    /// `"i"` instant events.
+    pub instants: usize,
+    /// `"M"` metadata events.
+    pub metadata: usize,
+    /// Span events whose `args.parent` is a valid span id (≥ 0).
+    pub child_spans: usize,
+}
+
+/// Validate that `text` is well-formed Chrome trace JSON as this exporter
+/// writes it: a `traceEvents` array whose `"X"` events carry `name`, `ts`,
+/// `dur`, `pid`, `tid` and an `args.id`, and whose `args.parent` ids (when
+/// not -1) refer to an `"X"` event that exists and whose interval contains
+/// the child's. Returns counting statistics on success.
+pub fn validate(text: &str) -> Result<TraceStats, String> {
+    let doc = JsonValue::parse(text).map_err(|e| e.to_string())?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(JsonValue::as_array)
+        .ok_or("missing traceEvents array")?;
+    let mut stats = TraceStats::default();
+    // First pass: collect span intervals by id.
+    let mut intervals: Vec<Option<(f64, f64)>> = Vec::new();
+    for ev in events {
+        if ev.get("ph").and_then(JsonValue::as_str) == Some("X") {
+            let id = ev
+                .get("args")
+                .and_then(|a| a.get("id"))
+                .and_then(JsonValue::as_u64)
+                .ok_or("X event without args.id")? as usize;
+            let ts = ev
+                .get("ts")
+                .and_then(JsonValue::as_f64)
+                .ok_or("X event without ts")?;
+            let dur = ev
+                .get("dur")
+                .and_then(JsonValue::as_f64)
+                .ok_or("X event without dur")?;
+            if intervals.len() <= id {
+                intervals.resize(id + 1, None);
+            }
+            intervals[id] = Some((ts, ts + dur));
+        }
+    }
+    for ev in events {
+        let ph = ev
+            .get("ph")
+            .and_then(JsonValue::as_str)
+            .ok_or("event without ph")?;
+        match ph {
+            "M" => stats.metadata += 1,
+            "i" => stats.instants += 1,
+            "X" => {
+                stats.spans += 1;
+                for field in ["name", "cat"] {
+                    if ev.get(field).and_then(JsonValue::as_str).is_none() {
+                        return Err(format!("X event without {field}"));
+                    }
+                }
+                for field in ["pid", "tid"] {
+                    if ev.get(field).and_then(JsonValue::as_u64).is_none() {
+                        return Err(format!("X event without {field}"));
+                    }
+                }
+                let args = ev.get("args").ok_or("X event without args")?;
+                let id = args.get("id").and_then(JsonValue::as_u64).unwrap() as usize;
+                let parent = args
+                    .get("parent")
+                    .and_then(JsonValue::as_f64)
+                    .ok_or("X event without args.parent")?;
+                if parent >= 0.0 {
+                    stats.child_spans += 1;
+                    let pid = parent as usize;
+                    let (pts, pend) = intervals
+                        .get(pid)
+                        .copied()
+                        .flatten()
+                        .ok_or_else(|| format!("span {id} has dangling parent {pid}"))?;
+                    let (ts, end) = intervals[id].expect("collected in first pass");
+                    // Children nest within their parent (μs floats from the
+                    // same integer-ns source compare exactly).
+                    if ts < pts || end > pend {
+                        return Err(format!(
+                            "span {id} [{ts}, {end}] escapes parent {pid} [{pts}, {pend}]"
+                        ));
+                    }
+                }
+            }
+            other => return Err(format!("unexpected ph {other:?}")),
+        }
+    }
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::FlightRecorder;
+    use sais_sim::SimTime;
+
+    fn demo_recorder() -> FlightRecorder {
+        let mut r = FlightRecorder::enabled(64);
+        r.name_track(0, 100, "proc 0 requests");
+        r.name_track(0, 3, "core 3");
+        let t = |us| SimTime::from_micros(us);
+        let req = r.begin(t(10), "read", "request", 0, 100, SpanId::NONE);
+        let strip = r.begin(t(10), "strip", "strip", 0, 100, req);
+        r.set_arg(strip, "bytes", 65536);
+        let irq = r.begin(t(20), "irq", "interrupt", 0, 3, strip);
+        r.end(irq, t(25));
+        let copy = r.begin(t(30), "copy", "consume", 0, 3, strip);
+        r.end(copy, t(40));
+        r.end(strip, t(40));
+        r.end(req, t(50));
+        r.instant(t(50), "request_done", 0, 100, 1);
+        r
+    }
+
+    #[test]
+    fn export_is_valid_and_counted() {
+        let json = to_chrome_json(&demo_recorder());
+        let stats = validate(&json).expect("valid trace");
+        assert_eq!(stats.spans, 4);
+        assert_eq!(stats.instants, 1);
+        assert_eq!(stats.metadata, 3, "one process + two thread names");
+        assert_eq!(stats.child_spans, 3);
+    }
+
+    #[test]
+    fn parent_ids_survive_export() {
+        let json = to_chrome_json(&demo_recorder());
+        let doc = JsonValue::parse(&json).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        let irq = events
+            .iter()
+            .find(|e| e.get("name").and_then(JsonValue::as_str) == Some("irq"))
+            .expect("irq span exported");
+        let parent = irq
+            .get("args")
+            .unwrap()
+            .get("parent")
+            .unwrap()
+            .as_u64()
+            .unwrap();
+        let strip = events
+            .iter()
+            .find(|e| {
+                e.get("args")
+                    .and_then(|a| a.get("id"))
+                    .and_then(JsonValue::as_u64)
+                    == Some(parent)
+            })
+            .expect("parent exists");
+        assert_eq!(strip.get("name").and_then(JsonValue::as_str), Some("strip"));
+        assert_eq!(
+            strip
+                .get("args")
+                .unwrap()
+                .get("bytes")
+                .and_then(JsonValue::as_u64),
+            Some(65536)
+        );
+    }
+
+    #[test]
+    fn validate_rejects_escaping_children() {
+        // A child that ends after its parent must be caught.
+        let bad = r#"{"traceEvents": [
+            {"name": "p", "cat": "c", "ph": "X", "ts": 0.0, "dur": 10.0, "pid": 0, "tid": 0, "args": {"id": 0, "parent": -1}},
+            {"name": "k", "cat": "c", "ph": "X", "ts": 5.0, "dur": 10.0, "pid": 0, "tid": 0, "args": {"id": 1, "parent": 0}}
+        ], "displayTimeUnit": "ns"}"#;
+        let err = validate(bad).unwrap_err();
+        assert!(err.contains("escapes parent"), "{err}");
+    }
+
+    #[test]
+    fn validate_rejects_dangling_parents() {
+        let bad = r#"{"traceEvents": [
+            {"name": "k", "cat": "c", "ph": "X", "ts": 0.0, "dur": 1.0, "pid": 0, "tid": 0, "args": {"id": 0, "parent": 7}}
+        ]}"#;
+        assert!(validate(bad).unwrap_err().contains("dangling parent"));
+    }
+
+    #[test]
+    fn empty_recorder_exports_empty_valid_trace() {
+        let json = to_chrome_json(&FlightRecorder::disabled());
+        let stats = validate(&json).unwrap();
+        assert_eq!(stats, TraceStats::default());
+    }
+
+    #[test]
+    fn open_span_exports_zero_duration() {
+        let mut r = FlightRecorder::enabled(4);
+        r.begin(SimTime::from_micros(5), "open", "c", 0, 0, SpanId::NONE);
+        let json = to_chrome_json(&r);
+        let doc = JsonValue::parse(&json).unwrap();
+        let ev = doc
+            .get("traceEvents")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .iter()
+            .find(|e| e.get("ph").and_then(JsonValue::as_str) == Some("X"))
+            .unwrap();
+        assert_eq!(ev.get("dur").and_then(JsonValue::as_f64), Some(0.0));
+    }
+}

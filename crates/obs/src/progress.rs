@@ -1,0 +1,96 @@
+//! Host-side progress reporting for long parallel sweeps.
+//!
+//! Figure sweeps fan cells out over worker threads and used to print
+//! nothing until every cell finished — minutes of silence at `--full`
+//! scale. [`ProgressMeter`] is a thread-safe completion counter that
+//! emits one line per finished unit with done/total and elapsed host
+//! time. It measures *host* time ([`std::time::Instant`]), never sim
+//! time, and is therefore only used by the bench harness, not by models.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A thread-safe done/total counter with an elapsed clock.
+pub struct ProgressMeter {
+    label: String,
+    total: u64,
+    done: AtomicU64,
+    started: Instant,
+}
+
+impl ProgressMeter {
+    /// A meter for `total` units of work, starting the clock now.
+    pub fn new(label: impl Into<String>, total: u64) -> Self {
+        ProgressMeter {
+            label: label.into(),
+            total,
+            done: AtomicU64::new(0),
+            started: Instant::now(),
+        }
+    }
+
+    /// Record one completed unit and return the formatted progress line.
+    /// Callable from any worker thread.
+    pub fn complete_one(&self) -> String {
+        let done = self.done.fetch_add(1, Ordering::Relaxed) + 1;
+        self.line(done)
+    }
+
+    /// Record one completed unit and print the line to stderr (stdout is
+    /// reserved for the tables/CSV the harness emits).
+    pub fn complete_one_and_report(&self) {
+        eprintln!("{}", self.complete_one());
+    }
+
+    /// Units completed so far.
+    pub fn done(&self) -> u64 {
+        self.done.load(Ordering::Relaxed)
+    }
+
+    /// Total units.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    fn line(&self, done: u64) -> String {
+        format!(
+            "[{}] {done}/{} cells done ({:.1}s elapsed)",
+            self.label,
+            self.total,
+            self.started.elapsed().as_secs_f64()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_formats() {
+        let m = ProgressMeter::new("fig05", 3);
+        let l1 = m.complete_one();
+        assert!(l1.starts_with("[fig05] 1/3 cells done ("), "{l1}");
+        assert!(l1.ends_with("s elapsed)"), "{l1}");
+        m.complete_one();
+        let l3 = m.complete_one();
+        assert!(l3.contains("3/3"));
+        assert_eq!(m.done(), 3);
+        assert_eq!(m.total(), 3);
+    }
+
+    #[test]
+    fn concurrent_completions_all_counted() {
+        let m = ProgressMeter::new("par", 64);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..8 {
+                        m.complete_one();
+                    }
+                });
+            }
+        });
+        assert_eq!(m.done(), 64);
+    }
+}

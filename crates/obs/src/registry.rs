@@ -1,0 +1,310 @@
+//! The central metric registry: named, typed metrics in one place.
+//!
+//! Components used to expose ad-hoc `Counter` fields that each reporting
+//! site summed by hand; the registry replaces that with a single named
+//! namespace (`"irq.routed"`, `"mem.l2_misses"`, `"stage.irq_to_handler"`)
+//! that can be snapshotted **at any sim time** — mid-run or at quiescence —
+//! and exported as machine-readable JSON or CSV. Values are written by a
+//! collect pass over the components (pull model), so registration costs
+//! the hot paths nothing.
+
+use sais_metrics::Histogram;
+use sais_sim::SimTime;
+
+/// Seven-number summary of a histogram, all in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistSummary {
+    /// Samples recorded.
+    pub count: u64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Smallest sample.
+    pub min: u64,
+    /// Largest sample.
+    pub max: u64,
+    /// Median.
+    pub p50: u64,
+    /// 90th percentile.
+    pub p90: u64,
+    /// 99th percentile.
+    pub p99: u64,
+}
+
+impl HistSummary {
+    /// Summarize a histogram.
+    pub fn of(h: &Histogram) -> Self {
+        HistSummary {
+            count: h.count(),
+            mean: h.mean(),
+            min: h.min(),
+            max: h.max(),
+            p50: h.quantile(0.5),
+            p90: h.quantile(0.9),
+            p99: h.quantile(0.99),
+        }
+    }
+}
+
+/// The live registry. Insertion order is preserved so exports are
+/// deterministic; setting an existing name overwrites its value.
+#[derive(Debug, Clone, Default)]
+pub struct MetricRegistry {
+    counters: Vec<(String, u64)>,
+    gauges: Vec<(String, f64)>,
+    hists: Vec<(String, Histogram)>,
+}
+
+impl MetricRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set a monotone counter.
+    pub fn counter(&mut self, name: &str, value: u64) {
+        if let Some(e) = self.counters.iter_mut().find(|(n, _)| n == name) {
+            e.1 = value;
+        } else {
+            self.counters.push((name.to_string(), value));
+        }
+    }
+
+    /// Set a point-in-time gauge.
+    pub fn gauge(&mut self, name: &str, value: f64) {
+        if let Some(e) = self.gauges.iter_mut().find(|(n, _)| n == name) {
+            e.1 = value;
+        } else {
+            self.gauges.push((name.to_string(), value));
+        }
+    }
+
+    /// Set a histogram (cloned into the registry).
+    pub fn histogram(&mut self, name: &str, hist: &Histogram) {
+        if let Some(e) = self.hists.iter_mut().find(|(n, _)| n == name) {
+            e.1 = hist.clone();
+        } else {
+            self.hists.push((name.to_string(), hist.clone()));
+        }
+    }
+
+    /// Read a counter back.
+    pub fn get_counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// Read a gauge back.
+    pub fn get_gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// Read a histogram back.
+    pub fn get_histogram(&self, name: &str) -> Option<&Histogram> {
+        self.hists.iter().find(|(n, _)| n == name).map(|(_, h)| h)
+    }
+
+    /// Freeze the registry into an exportable snapshot stamped `time`.
+    pub fn snapshot(&self, time: SimTime) -> MetricSnapshot {
+        MetricSnapshot {
+            time,
+            counters: self.counters.clone(),
+            gauges: self.gauges.clone(),
+            hists: self
+                .hists
+                .iter()
+                .map(|(n, h)| (n.clone(), HistSummary::of(h)))
+                .collect(),
+        }
+    }
+}
+
+/// A frozen, exportable view of the registry at one instant.
+#[derive(Debug, Clone)]
+pub struct MetricSnapshot {
+    /// Sim time of the snapshot.
+    pub time: SimTime,
+    /// Counter values.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge values.
+    pub gauges: Vec<(String, f64)>,
+    /// Histogram summaries.
+    pub hists: Vec<(String, HistSummary)>,
+}
+
+/// Render an f64 as a JSON number (non-finite values become 0, which JSON
+/// cannot represent).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:?}")
+    } else {
+        "0".to_string()
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+impl MetricSnapshot {
+    /// Serialize as JSON (`sais-metrics-snapshot/v1`).
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n  \"schema\": \"sais-metrics-snapshot/v1\",\n");
+        s.push_str(&format!("  \"sim_time_ns\": {},\n", self.time.as_nanos()));
+        s.push_str("  \"counters\": {");
+        for (i, (n, v)) in self.counters.iter().enumerate() {
+            let sep = if i == 0 { "\n" } else { ",\n" };
+            s.push_str(&format!("{sep}    \"{}\": {v}", json_escape(n)));
+        }
+        s.push_str("\n  },\n  \"gauges\": {");
+        for (i, (n, v)) in self.gauges.iter().enumerate() {
+            let sep = if i == 0 { "\n" } else { ",\n" };
+            s.push_str(&format!(
+                "{sep}    \"{}\": {}",
+                json_escape(n),
+                json_f64(*v)
+            ));
+        }
+        s.push_str("\n  },\n  \"histograms\": {");
+        for (i, (n, h)) in self.hists.iter().enumerate() {
+            let sep = if i == 0 { "\n" } else { ",\n" };
+            s.push_str(&format!(
+                "{sep}    \"{}\": {{\"count\": {}, \"mean_ns\": {}, \"min_ns\": {}, \
+                 \"max_ns\": {}, \"p50_ns\": {}, \"p90_ns\": {}, \"p99_ns\": {}}}",
+                json_escape(n),
+                h.count,
+                json_f64(h.mean),
+                h.min,
+                h.max,
+                h.p50,
+                h.p90,
+                h.p99
+            ));
+        }
+        s.push_str("\n  }\n}\n");
+        s
+    }
+
+    /// Serialize as CSV with one row per scalar: `metric,kind,value`.
+    /// Histogram summaries are flattened (`name.p50_ns`, …).
+    pub fn to_csv(&self) -> String {
+        let mut s = String::from("metric,kind,value\n");
+        s.push_str(&format!("sim_time_ns,time,{}\n", self.time.as_nanos()));
+        for (n, v) in &self.counters {
+            s.push_str(&format!("{n},counter,{v}\n"));
+        }
+        for (n, v) in &self.gauges {
+            s.push_str(&format!("{n},gauge,{}\n", json_f64(*v)));
+        }
+        for (n, h) in &self.hists {
+            for (field, value) in [
+                ("count", h.count as f64),
+                ("mean_ns", h.mean),
+                ("min_ns", h.min as f64),
+                ("max_ns", h.max as f64),
+                ("p50_ns", h.p50 as f64),
+                ("p90_ns", h.p90 as f64),
+                ("p99_ns", h.p99 as f64),
+            ] {
+                s.push_str(&format!("{n}.{field},histogram,{}\n", json_f64(value)));
+            }
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::JsonValue;
+
+    fn sample() -> MetricSnapshot {
+        let mut reg = MetricRegistry::new();
+        reg.counter("irq.routed", 128);
+        reg.counter("irq.routed", 256); // overwrite
+        reg.counter("mem.l2_misses", 7);
+        reg.gauge("mem.l2_miss_rate", 0.015);
+        let mut h = Histogram::new();
+        for v in [1_000u64, 2_000, 4_000] {
+            h.record(v);
+        }
+        reg.histogram("stage.irq_to_handler", &h);
+        reg.snapshot(SimTime::from_micros(42))
+    }
+
+    #[test]
+    fn set_and_read_back() {
+        let mut reg = MetricRegistry::new();
+        reg.counter("a", 1);
+        reg.gauge("b", 2.5);
+        let mut h = Histogram::new();
+        h.record(9);
+        reg.histogram("c", &h);
+        assert_eq!(reg.get_counter("a"), Some(1));
+        assert_eq!(reg.get_gauge("b"), Some(2.5));
+        assert_eq!(reg.get_histogram("c").unwrap().count(), 1);
+        assert_eq!(reg.get_counter("missing"), None);
+    }
+
+    #[test]
+    fn snapshot_json_parses_and_carries_values() {
+        let snap = sample();
+        let v = JsonValue::parse(&snap.to_json()).expect("valid JSON");
+        assert_eq!(
+            v.get("schema").and_then(JsonValue::as_str),
+            Some("sais-metrics-snapshot/v1")
+        );
+        assert_eq!(
+            v.get("sim_time_ns").and_then(JsonValue::as_u64),
+            Some(42_000)
+        );
+        let counters = v.get("counters").unwrap();
+        assert_eq!(
+            counters.get("irq.routed").and_then(JsonValue::as_u64),
+            Some(256),
+            "overwrite semantics"
+        );
+        let h = v
+            .get("histograms")
+            .unwrap()
+            .get("stage.irq_to_handler")
+            .unwrap();
+        assert_eq!(h.get("count").and_then(JsonValue::as_u64), Some(3));
+        assert_eq!(h.get("min_ns").and_then(JsonValue::as_u64), Some(1_000));
+        assert_eq!(h.get("max_ns").and_then(JsonValue::as_u64), Some(4_000));
+    }
+
+    #[test]
+    fn snapshot_csv_is_flat_and_complete() {
+        let csv = sample().to_csv();
+        assert!(csv.starts_with("metric,kind,value\n"));
+        assert!(csv.contains("irq.routed,counter,256"));
+        assert!(csv.contains("mem.l2_miss_rate,gauge,0.015"));
+        assert!(csv.contains("stage.irq_to_handler.count,histogram,3"));
+        assert!(csv.contains("stage.irq_to_handler.p99_ns,histogram,"));
+    }
+
+    #[test]
+    fn non_finite_gauges_stay_valid_json() {
+        let mut reg = MetricRegistry::new();
+        reg.gauge("bad", f64::NAN);
+        reg.gauge("worse", f64::INFINITY);
+        let json = reg.snapshot(SimTime::ZERO).to_json();
+        let v = JsonValue::parse(&json).expect("NaN must not leak into JSON");
+        assert_eq!(
+            v.get("gauges")
+                .unwrap()
+                .get("bad")
+                .and_then(JsonValue::as_f64),
+            Some(0.0)
+        );
+    }
+}

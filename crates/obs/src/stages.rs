@@ -1,0 +1,190 @@
+//! Per-stage latency histograms over the request lifecycle.
+//!
+//! The paper attributes SAIs' win to one mechanism: when the interrupt
+//! lands on the consuming core, the strip need not migrate between private
+//! caches before the application reads it. These histograms decompose
+//! every strip's life into the stages where that either happens or does
+//! not, so a run reports *where the time went* instead of only the final
+//! bandwidth:
+//!
+//! | stage | interval |
+//! |---|---|
+//! | [`Stage::IssueToFirstIrq`] | `read()` issued → first hardirq of the request |
+//! | [`Stage::IrqToHandler`] | hardirq raised → softirq (protocol + fill) done |
+//! | [`Stage::HandlerToConsume`] | strip complete in kernel → copied to the user buffer |
+//! | [`Stage::MigrationStall`] | the cache-to-cache share of the consume copy |
+//! | [`Stage::RequestTotal`] | `read()` issued → data ready in user memory |
+//!
+//! `MigrationStall` is the inspectable form of the paper's headline claim:
+//! under SAIs it collapses to zero because handler core == consumer core.
+
+use sais_metrics::Histogram;
+use sais_sim::SimDuration;
+
+/// One stage of the request lifecycle. See the module table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// `read()` issued → first hardirq attributable to the request.
+    IssueToFirstIrq,
+    /// Hardirq raised → handler (softirq) finished on the handling core.
+    IrqToHandler,
+    /// Strip complete in kernel memory → copied into the user buffer.
+    HandlerToConsume,
+    /// Cache-to-cache migration time paid while consuming a strip.
+    MigrationStall,
+    /// `read()` issued → request data ready in user memory.
+    RequestTotal,
+}
+
+/// All stages, in reporting order.
+pub const STAGES: [Stage; 5] = [
+    Stage::IssueToFirstIrq,
+    Stage::IrqToHandler,
+    Stage::HandlerToConsume,
+    Stage::MigrationStall,
+    Stage::RequestTotal,
+];
+
+impl Stage {
+    /// Stable snake_case name used in exports and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::IssueToFirstIrq => "issue_to_first_irq",
+            Stage::IrqToHandler => "irq_to_handler",
+            Stage::HandlerToConsume => "handler_to_consume",
+            Stage::MigrationStall => "migration_stall",
+            Stage::RequestTotal => "request_total",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Stage::IssueToFirstIrq => 0,
+            Stage::IrqToHandler => 1,
+            Stage::HandlerToConsume => 2,
+            Stage::MigrationStall => 3,
+            Stage::RequestTotal => 4,
+        }
+    }
+}
+
+/// One latency histogram per [`Stage`], behind the same single-flag guard
+/// as the span recorder: a disabled instance records nothing and its
+/// `record` call is one branch.
+#[derive(Debug, Clone)]
+pub struct StageHistograms {
+    enabled: bool,
+    hists: Vec<Histogram>,
+}
+
+impl StageHistograms {
+    /// A disabled instance: `record` is a single branch, and no histogram
+    /// buckets are ever allocated.
+    pub fn disabled() -> Self {
+        StageHistograms {
+            enabled: false,
+            hists: Vec::new(),
+        }
+    }
+
+    /// An enabled instance with one empty histogram per stage.
+    pub fn enabled() -> Self {
+        StageHistograms {
+            enabled: true,
+            hists: (0..STAGES.len()).map(|_| Histogram::new()).collect(),
+        }
+    }
+
+    /// Whether recording is on.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Record one latency observation for `stage`.
+    #[inline]
+    pub fn record(&mut self, stage: Stage, latency: SimDuration) {
+        if !self.enabled {
+            return;
+        }
+        self.hists[stage.index()].record(latency.as_nanos());
+    }
+
+    /// The histogram for `stage` (`None` when disabled).
+    pub fn get(&self, stage: Stage) -> Option<&Histogram> {
+        if self.enabled {
+            Some(&self.hists[stage.index()])
+        } else {
+            None
+        }
+    }
+
+    /// Merge another instance stage by stage (no-op if either is disabled).
+    pub fn merge(&mut self, other: &StageHistograms) {
+        if !self.enabled || !other.enabled {
+            return;
+        }
+        for (a, b) in self.hists.iter_mut().zip(other.hists.iter()) {
+            a.merge(b);
+        }
+    }
+
+    /// Heap capacity held for histograms — the disabled-path allocation
+    /// witness, mirroring `FlightRecorder::span_heap_capacity`.
+    pub fn heap_capacity(&self) -> usize {
+        self.hists.capacity()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_names_are_stable_and_distinct() {
+        let names: Vec<_> = STAGES.iter().map(|s| s.name()).collect();
+        assert_eq!(names.len(), 5);
+        for (i, a) in names.iter().enumerate() {
+            for b in &names[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn record_and_read_back() {
+        let mut s = StageHistograms::enabled();
+        s.record(Stage::IrqToHandler, SimDuration::from_micros(10));
+        s.record(Stage::IrqToHandler, SimDuration::from_micros(20));
+        s.record(Stage::MigrationStall, SimDuration::ZERO);
+        let h = s.get(Stage::IrqToHandler).unwrap();
+        assert_eq!(h.count(), 2);
+        assert!((h.mean() - 15_000.0).abs() < 1e-9);
+        assert_eq!(s.get(Stage::MigrationStall).unwrap().max(), 0);
+        assert_eq!(s.get(Stage::RequestTotal).unwrap().count(), 0);
+    }
+
+    #[test]
+    fn disabled_records_nothing_and_allocates_nothing() {
+        let mut s = StageHistograms::disabled();
+        for i in 0..100_000u64 {
+            s.record(Stage::RequestTotal, SimDuration::from_nanos(i));
+        }
+        assert_eq!(s.heap_capacity(), 0);
+        assert!(s.get(Stage::RequestTotal).is_none());
+    }
+
+    #[test]
+    fn merge_folds_per_stage() {
+        let mut a = StageHistograms::enabled();
+        let mut b = StageHistograms::enabled();
+        a.record(Stage::RequestTotal, SimDuration::from_micros(1));
+        b.record(Stage::RequestTotal, SimDuration::from_micros(3));
+        b.record(Stage::IrqToHandler, SimDuration::from_micros(2));
+        a.merge(&b);
+        assert_eq!(a.get(Stage::RequestTotal).unwrap().count(), 2);
+        assert_eq!(a.get(Stage::IrqToHandler).unwrap().count(), 1);
+        // Merging a disabled instance changes nothing.
+        a.merge(&StageHistograms::disabled());
+        assert_eq!(a.get(Stage::RequestTotal).unwrap().count(), 2);
+    }
+}

@@ -123,6 +123,11 @@ impl<M: Model> Engine<M> {
         self.dispatched
     }
 
+    /// Peak number of simultaneously pending events so far.
+    pub fn queue_high_water(&self) -> usize {
+        self.queue.high_water()
+    }
+
     /// Immutable access to the model.
     pub fn model(&self) -> &M {
         &self.model

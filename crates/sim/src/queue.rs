@@ -53,6 +53,7 @@ pub struct EventQueue<E> {
     next_seq: u64,
     pushed: u64,
     popped: u64,
+    high_water: usize,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -64,12 +65,7 @@ impl<E> Default for EventQueue<E> {
 impl<E> EventQueue<E> {
     /// Create an empty queue.
     pub fn new() -> Self {
-        EventQueue {
-            heap: BinaryHeap::new(),
-            next_seq: 0,
-            pushed: 0,
-            popped: 0,
-        }
+        Self::with_capacity(0)
     }
 
     /// Create an empty queue with pre-allocated capacity.
@@ -79,6 +75,7 @@ impl<E> EventQueue<E> {
             next_seq: 0,
             pushed: 0,
             popped: 0,
+            high_water: 0,
         }
     }
 
@@ -91,6 +88,9 @@ impl<E> EventQueue<E> {
             key: Entry::<E>::pack(time, seq),
             event,
         });
+        if self.heap.len() > self.high_water {
+            self.high_water = self.heap.len();
+        }
     }
 
     /// Remove and return the earliest event, if any.
@@ -124,6 +124,13 @@ impl<E> EventQueue<E> {
     /// Total number of events ever dispatched.
     pub fn total_popped(&self) -> u64 {
         self.popped
+    }
+
+    /// Largest number of events ever pending at once. Sizes
+    /// [`EventQueue::with_capacity`] for future runs of the same scenario
+    /// and feeds the `engine.queue_high_water` metric.
+    pub fn high_water(&self) -> usize {
+        self.high_water
     }
 }
 
@@ -191,6 +198,22 @@ mod tests {
         q.pop();
         assert_eq!(q.total_popped(), 1);
         assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn high_water_tracks_peak_not_current() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.high_water(), 0);
+        q.push(SimTime::ZERO, 1);
+        q.push(SimTime::ZERO, 2);
+        q.push(SimTime::ZERO, 3);
+        assert_eq!(q.high_water(), 3);
+        q.pop();
+        q.pop();
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.high_water(), 3, "draining must not lower the peak");
+        q.push(SimTime::ZERO, 4);
+        assert_eq!(q.high_water(), 3, "returning below the peak keeps it");
     }
 
     #[test]

@@ -23,12 +23,24 @@ pub struct TraceEvent {
 }
 
 /// Fixed-capacity ring of trace events.
+///
+/// ## Counting semantics
+///
+/// Every `emit` call ends in exactly one of two counters: `recorded`
+/// (the event was stored — possibly overwriting the ring's oldest entry)
+/// or `dropped` (the ring is disabled and the event was discarded
+/// immediately). A disabled ring therefore never reports events as
+/// "seen"; `recorded + dropped` is the number of `emit` calls either way.
+/// Events overwritten by later ones still count as recorded: they were in
+/// the ring, tests may have observed them, and the overwrite is a
+/// retention policy, not a failure to record.
 #[derive(Debug, Clone)]
 pub struct TraceRing {
     buf: Vec<TraceEvent>,
     cap: usize,
     head: usize,
-    total: u64,
+    recorded: u64,
+    dropped: u64,
     enabled: bool,
 }
 
@@ -40,7 +52,8 @@ impl TraceRing {
             buf: Vec::with_capacity(cap),
             cap,
             head: 0,
-            total: 0,
+            recorded: 0,
+            dropped: 0,
             enabled: cap > 0,
         }
     }
@@ -53,10 +66,11 @@ impl TraceRing {
     /// Record an event.
     #[inline]
     pub fn emit(&mut self, time: SimTime, tag: &'static str, a: u64, b: u64) {
-        self.total += 1;
         if !self.enabled {
+            self.dropped += 1;
             return;
         }
+        self.recorded += 1;
         let ev = TraceEvent { time, tag, a, b };
         if self.buf.len() < self.cap {
             self.buf.push(ev);
@@ -77,9 +91,19 @@ impl TraceRing {
         self.iter().filter(move |e| e.tag == tag)
     }
 
-    /// Total events ever emitted (including dropped ones).
+    /// Events stored in the ring (including ones since overwritten).
+    pub fn recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    /// Events discarded because the ring is disabled.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Total `emit` calls ever made (`recorded + dropped`).
     pub fn total_emitted(&self) -> u64 {
-        self.total
+        self.recorded + self.dropped
     }
 
     /// Number of retained events.
@@ -105,6 +129,8 @@ mod tests {
         }
         let seen: Vec<u64> = r.iter().map(|e| e.a).collect();
         assert_eq!(seen, vec![0, 1, 2, 3, 4]);
+        assert_eq!(r.recorded(), 5);
+        assert_eq!(r.dropped(), 0);
         assert_eq!(r.total_emitted(), 5);
     }
 
@@ -116,7 +142,12 @@ mod tests {
         }
         let seen: Vec<u64> = r.iter().map(|e| e.a).collect();
         assert_eq!(seen, vec![4, 5, 6]);
-        assert_eq!(r.total_emitted(), 7);
+        assert_eq!(
+            r.recorded(),
+            7,
+            "overwritten events still count as recorded"
+        );
+        assert_eq!(r.dropped(), 0);
         assert_eq!(r.len(), 3);
     }
 
@@ -131,10 +162,12 @@ mod tests {
     }
 
     #[test]
-    fn disabled_ring_counts_but_stores_nothing() {
+    fn disabled_ring_counts_drops_not_records() {
         let mut r = TraceRing::disabled();
         r.emit(SimTime::ZERO, "x", 1, 2);
         assert!(r.is_empty());
+        assert_eq!(r.recorded(), 0);
+        assert_eq!(r.dropped(), 1);
         assert_eq!(r.total_emitted(), 1);
     }
 }
