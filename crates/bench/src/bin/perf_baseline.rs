@@ -1,27 +1,48 @@
-//! Measure engine throughput on the canonical scenarios and refresh the
-//! committed baseline.
+//! Measure engine throughput on the canonical scenarios, maintain the
+//! perf trajectory, and refresh the committed baseline.
 //!
 //! ```text
-//! cargo run --release -p sais-bench --bin perf_baseline            # measure + rewrite BENCH_engine.json
-//! cargo run --release -p sais-bench --bin perf_baseline -- --check # measure + compare only
+//! cargo run --release -p sais-bench --bin perf_baseline              # measure + rewrite BENCH_engine.json + append history
+//! cargo run --release -p sais-bench --bin perf_baseline -- --check   # measure + compare to committed baseline only
+//! cargo run --release -p sais-bench --bin perf_baseline -- --compare # gate: exit 3 on >20% drop vs best recorded run
 //! ```
+//!
+//! `--compare` never rewrites `BENCH_engine.json`; it compares the fresh
+//! measurement against the best run recorded in `BENCH_history.jsonl`
+//! (schema `sais-perf-history/v1`), appends the measurement to the
+//! history, and exits 3 if any scenario regressed more than 20 % — the CI
+//! gate for the engine's performance trajectory. The default mode also
+//! appends to the history, so every baseline refresh extends the
+//! trajectory.
 //!
 //! `--trace <path>` / `--metrics <path>` additionally export a Perfetto
 //! trace and a metric snapshot of the instrumented demo scenario, so a
 //! perf investigation starts with the same artifacts the figure binaries
 //! produce.
+//!
+//! Environment: `SAIS_BENCH_HISTORY` relocates the history file;
+//! `SAIS_PERF_SYNTHETIC=<events/sec>` replaces measurement with fabricated
+//! results (test hook for the gate's exit-code contract).
 
 use sais_bench::perf;
 use std::path::PathBuf;
 
 fn usage_error(msg: &str) -> ! {
     eprintln!("error: {msg}");
-    eprintln!("usage: perf_baseline [--check] [--trace <path>] [--metrics <path>]");
+    eprintln!("usage: perf_baseline [--check | --compare] [--trace <path>] [--metrics <path>]");
     std::process::exit(2);
+}
+
+fn unix_ms() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
 }
 
 fn main() {
     let mut check_only = false;
+    let mut compare = false;
     let mut trace: Option<PathBuf> = None;
     let mut metrics: Option<PathBuf> = None;
     // Strict parsing: the no-argument mode overwrites the committed
@@ -30,6 +51,7 @@ fn main() {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--check" => check_only = true,
+            "--compare" => compare = true,
             "--trace" => match args.next() {
                 Some(p) => trace = Some(PathBuf::from(p)),
                 None => usage_error("`--trace` requires a path argument"),
@@ -41,18 +63,32 @@ fn main() {
             other => usage_error(&format!("unknown argument `{other}`")),
         }
     }
-    if cfg!(debug_assertions) {
-        eprintln!("warning: debug build — timings will not reflect the optimized engine");
+    if check_only && compare {
+        usage_error("`--check` and `--compare` are mutually exclusive");
     }
-    let results = perf::measure_all(3);
+    let results = match std::env::var("SAIS_PERF_SYNTHETIC") {
+        Ok(eps) => {
+            let eps: f64 = eps
+                .parse()
+                .unwrap_or_else(|_| usage_error("SAIS_PERF_SYNTHETIC must be a number"));
+            eprintln!("SAIS_PERF_SYNTHETIC={eps}: fabricating results, skipping measurement");
+            perf::synthetic_results(eps)
+        }
+        Err(_) => {
+            if cfg!(debug_assertions) {
+                eprintln!("warning: debug build — timings will not reflect the optimized engine");
+            }
+            perf::measure_all(3)
+        }
+    };
     if let Some(baseline) = perf::read_baseline() {
-        println!(
+        eprintln!(
             "\nvs committed baseline ({}):",
             perf::baseline_path().display()
         );
         for r in &results {
             if let Some((_, _, eps)) = baseline.iter().find(|(n, _, _)| n == r.name) {
-                println!(
+                eprintln!(
                     "{:18} {:>+7.1}%  ({:.0} → {:.0} events/s)",
                     r.name,
                     (r.events_per_sec / eps - 1.0) * 100.0,
@@ -68,7 +104,34 @@ fn main() {
     if check_only {
         return;
     }
+    // The gate compares against the best *prior* run, then records this
+    // one — appending first would make every run its own yardstick.
+    let history = perf::history_path();
+    if compare {
+        let best = perf::history_best(&history);
+        let verdict = perf::compare_to_best(&results, &best, perf::HISTORY_TOLERANCE);
+        eprintln!("\nvs best recorded run ({}):", history.display());
+        for line in &verdict.lines {
+            eprintln!("{line}");
+        }
+        match perf::append_history(&history, &results, unix_ms()) {
+            Ok(()) => eprintln!("[history] {}", history.display()),
+            Err(e) => eprintln!("warning: could not append {}: {e}", history.display()),
+        }
+        if verdict.regressed {
+            eprintln!(
+                "error: events/sec regressed more than {:.0}% below the best recorded run",
+                perf::HISTORY_TOLERANCE * 100.0
+            );
+            std::process::exit(3);
+        }
+        return;
+    }
+    match perf::append_history(&history, &results, unix_ms()) {
+        Ok(()) => eprintln!("[history] {}", history.display()),
+        Err(e) => eprintln!("warning: could not append {}: {e}", history.display()),
+    }
     let path = perf::baseline_path();
     std::fs::write(&path, perf::to_json(&results)).expect("write baseline");
-    println!("\n[baseline] {}", path.display());
+    eprintln!("\n[baseline] {}", path.display());
 }

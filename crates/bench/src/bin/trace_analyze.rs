@@ -1,0 +1,183 @@
+//! Analyze flight-recorder traces: critical-path blame, policy diff,
+//! per-core timelines and tail forensics.
+//!
+//! ```text
+//! cargo run --release -p sais-bench --bin trace_analyze                      # demo: RoundRobin vs SAIs
+//! cargo run --release -p sais-bench --bin trace_analyze -- --input t.json    # analyze an exported trace
+//! ```
+//!
+//! With no `--input`, the instrumented demo scenario is run in-process
+//! under both policies and the full report set (blame CSVs, aggregate
+//! summary, request-aligned diff, timelines, forensics) is written to the
+//! output directory. With `--input`, a Chrome/Perfetto `trace_event` JSON
+//! artifact (as written by `--trace` on any figure binary) is analyzed on
+//! its own — no diff, since a single artifact has nothing to align
+//! against.
+//!
+//! stdout carries only the aggregate blame-summary CSV, so
+//! `trace_analyze | ...` pipes machine-clean data; human-readable tables
+//! and `[report] path` echoes go to stderr. Every analysis self-checks
+//! that each request's blame categories sum exactly to its span total and
+//! exits 1 if not.
+//!
+//! `--assert-zero-stall` additionally exits 1 unless the SAIs run's
+//! migration-stall blame is exactly zero while the baseline's is not —
+//! the paper's causal claim as a CI assertion.
+
+use sais_bench::analysis::{self, DemoAnalysis};
+use sais_core::scenario::PolicyChoice;
+use sais_obs::analyze::{BlameCategory, Trace};
+use std::path::{Path, PathBuf};
+
+const USAGE: &str = "usage: trace_analyze [--input <trace.json>] [--out-dir <dir>] \
+[--bins <n>] [--assert-zero-stall]\n\
+  --input <trace.json>  analyze an exported Perfetto trace instead of running the demo\n\
+  --out-dir <dir>       where reports land (default: target/experiments/analysis)\n\
+  --bins <n>            timeline bins (default: 60)\n\
+  --assert-zero-stall   exit 1 unless SAIs migration_stall is exactly 0 and the baseline's is not";
+
+fn usage_error(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("{USAGE}");
+    std::process::exit(2);
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(1);
+}
+
+fn main() {
+    let mut input: Option<PathBuf> = None;
+    let mut out_dir: Option<PathBuf> = None;
+    let mut bins = analysis::TIMELINE_BINS;
+    let mut assert_zero_stall = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--input" => match args.next() {
+                Some(p) => input = Some(PathBuf::from(p)),
+                None => usage_error("`--input` requires a path argument"),
+            },
+            "--out-dir" => match args.next() {
+                Some(p) => out_dir = Some(PathBuf::from(p)),
+                None => usage_error("`--out-dir` requires a path argument"),
+            },
+            "--bins" => match args.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(n) if n > 0 => bins = n,
+                _ => usage_error("`--bins` requires a positive integer"),
+            },
+            "--assert-zero-stall" => assert_zero_stall = true,
+            other => usage_error(&format!("unknown argument `{other}`")),
+        }
+    }
+    if assert_zero_stall && input.is_some() {
+        usage_error("`--assert-zero-stall` needs the two-policy demo mode (no --input)");
+    }
+    let out_dir =
+        out_dir.unwrap_or_else(|| sais_bench::harness::experiments_dir().join("analysis"));
+
+    match input {
+        Some(path) => analyze_artifact(&path, &out_dir, bins),
+        None => analyze_demo(&out_dir, bins, assert_zero_stall),
+    }
+}
+
+/// Artifact mode: load one exported trace and report on it alone.
+fn analyze_artifact(path: &Path, out_dir: &Path, bins: usize) {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| fail(&format!("cannot read {}: {e}", path.display())));
+    let trace = Trace::from_chrome_json(&text)
+        .unwrap_or_else(|e| fail(&format!("{} is not a loadable trace: {e}", path.display())));
+    let r = analysis::analyze_trace(PolicyChoice::SourceAware, trace, bins);
+    analysis::check_blame_sums(&r.blames).unwrap_or_else(|e| fail(&e));
+    const LABEL: &str = "artifact";
+    if let Err(e) = std::fs::create_dir_all(out_dir) {
+        fail(&format!("cannot create {}: {e}", out_dir.display()));
+    }
+    for (name, body) in [
+        (
+            format!("blame_{LABEL}.csv"),
+            sais_obs::analyze::blame::to_csv(&r.blames),
+        ),
+        (format!("timeline_{LABEL}.csv"), r.timeline.to_csv()),
+        (format!("timeline_{LABEL}.txt"), r.timeline.render()),
+        (
+            format!("forensics_{LABEL}.txt"),
+            sais_obs::analyze::tail_report(
+                &r.blames,
+                analysis::TAIL_QUANTILE,
+                analysis::TAIL_MAX_SHOWN,
+            ),
+        ),
+    ] {
+        let p = out_dir.join(name);
+        std::fs::write(&p, body)
+            .unwrap_or_else(|e| fail(&format!("cannot write {}: {e}", p.display())));
+        eprintln!("[report] {}", p.display());
+    }
+    eprintln!("\n{}", analysis::summary_text(LABEL, &r.table));
+    print!("{}", analysis::summary_csv(&[(LABEL, &r.table)]));
+}
+
+/// Demo mode: run RoundRobin vs SAIs in-process and report on both.
+fn analyze_demo(out_dir: &Path, bins: usize, assert_zero_stall: bool) {
+    eprintln!("running demo scenario under RoundRobin and SAIs ...");
+    let a: DemoAnalysis =
+        analysis::analyze_demo(PolicyChoice::RoundRobin, PolicyChoice::SourceAware, bins);
+    analysis::check_blame_sums(&a.base.blames).unwrap_or_else(|e| fail(&e));
+    analysis::check_blame_sums(&a.cand.blames).unwrap_or_else(|e| fail(&e));
+    match analysis::write_reports(out_dir, &a) {
+        Ok(files) => {
+            for f in files {
+                eprintln!("[report] {}", f.display());
+            }
+        }
+        Err(e) => fail(&format!(
+            "cannot write reports to {}: {e}",
+            out_dir.display()
+        )),
+    }
+    for r in [&a.base, &a.cand] {
+        eprintln!("\n{}", analysis::summary_text(r.policy.label(), &r.table));
+    }
+    eprintln!(
+        "diff {} → {}: total {:+} ns over {} aligned requests, dominant shift: {} ({} flagged)",
+        a.base.policy.label(),
+        a.cand.policy.label(),
+        a.diff.delta_total_ns,
+        a.diff.aligned.len(),
+        a.diff.dominant().name(),
+        a.diff.flagged().count(),
+    );
+    print!(
+        "{}",
+        analysis::summary_csv(&[
+            (a.base.policy.label(), &a.base.table),
+            (a.cand.policy.label(), &a.cand.table),
+        ])
+    );
+    if assert_zero_stall {
+        let cand_stall = a.cand.table.get(BlameCategory::MigrationStall);
+        let base_stall = a.base.table.get(BlameCategory::MigrationStall);
+        if cand_stall != 0 {
+            fail(&format!(
+                "{} migration_stall is {} ns, expected exactly 0",
+                a.cand.policy.label(),
+                cand_stall
+            ));
+        }
+        if base_stall == 0 {
+            fail(&format!(
+                "{} migration_stall is 0 ns — the baseline should pay stalls",
+                a.base.policy.label()
+            ));
+        }
+        eprintln!(
+            "zero-stall assertion holds: {} pays {} ns of migration_stall, {} pays none",
+            a.base.policy.label(),
+            base_stall,
+            a.cand.policy.label()
+        );
+    }
+}

@@ -72,7 +72,7 @@ fn sweep_grid(
         chart.group(format!("{}/{srv}srv", bytes_human(*ts)), &[b, c]);
     }
     emit(name, &table);
-    println!("{}", chart.render());
+    eprintln!("{}", chart.render());
 }
 
 /// Fig. 5: I/O bandwidth, 3-Gigabit NIC (paper: SAIs wins everywhere,

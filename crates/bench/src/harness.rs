@@ -52,14 +52,18 @@ pub struct BenchArgs {
     /// `--metrics <path>`: after the figure, write a metric snapshot of the
     /// demo scenario there (CSV if the path ends in `.csv`, JSON otherwise).
     pub metrics: Option<PathBuf>,
+    /// `--analyze <dir>`: after the figure, run the two-policy demo trace
+    /// analysis (RoundRobin vs SAIs) and write the report set there.
+    pub analyze: Option<PathBuf>,
 }
 
 const BENCH_USAGE: &str =
-    "usage: <figure-bin> [--quick | --full] [--trace <path>] [--metrics <path>]\n\
+    "usage: <figure-bin> [--quick | --full] [--trace <path>] [--metrics <path>] [--analyze <dir>]\n\
   --quick           64 MB files, 1 seed (fast smoke run)\n\
   --full            1 GB files, 3 seeds (paper scale)\n\
   --trace <path>    write a Perfetto trace of the demo scenario\n\
-  --metrics <path>  write a metric snapshot (.csv => CSV, else JSON)";
+  --metrics <path>  write a metric snapshot (.csv => CSV, else JSON)\n\
+  --analyze <dir>   write trace-analysis reports (blame/diff/timeline/forensics)";
 
 impl BenchArgs {
     /// Parse `std::env::args()`, exiting with code 2 and a usage message on
@@ -81,6 +85,7 @@ impl BenchArgs {
             scale: Scale::Default,
             trace: None,
             metrics: None,
+            analyze: None,
         };
         let mut it = args.into_iter();
         while let Some(arg) = it.next() {
@@ -95,19 +100,40 @@ impl BenchArgs {
                     let path = it.next().ok_or("`--metrics` requires a path argument")?;
                     out.metrics = Some(PathBuf::from(path));
                 }
+                "--analyze" => {
+                    let path = it
+                        .next()
+                        .ok_or("`--analyze` requires a directory argument")?;
+                    out.analyze = Some(PathBuf::from(path));
+                }
                 other => return Err(format!("unknown argument `{other}`")),
             }
         }
         Ok(out)
     }
 
-    /// Write the requested observability artifacts (no-op when neither
-    /// `--trace` nor `--metrics` was given). See [`write_observability`].
+    /// Write the requested observability artifacts (no-op when none of
+    /// `--trace` / `--metrics` / `--analyze` was given). See
+    /// [`write_observability`] and [`crate::analysis::write_reports`].
     pub fn emit_observability(&self) {
-        if self.trace.is_none() && self.metrics.is_none() {
-            return;
+        if self.trace.is_some() || self.metrics.is_some() {
+            write_observability(self.trace.as_deref(), self.metrics.as_deref());
         }
-        write_observability(self.trace.as_deref(), self.metrics.as_deref());
+        if let Some(dir) = &self.analyze {
+            let a = crate::analysis::analyze_demo(
+                PolicyChoice::RoundRobin,
+                PolicyChoice::SourceAware,
+                crate::analysis::TIMELINE_BINS,
+            );
+            match crate::analysis::write_reports(dir, &a) {
+                Ok(files) => {
+                    for f in files {
+                        eprintln!("[report] {}", f.display());
+                    }
+                }
+                Err(e) => eprintln!("warning: could not write reports to {}: {e}", dir.display()),
+            }
+        }
     }
 }
 
@@ -124,13 +150,13 @@ pub fn observability_demo_config() -> ScenarioConfig {
 /// Run [`observability_demo_config`] and export its flight-recorder trace
 /// (Perfetto `trace_event` JSON) and/or metric snapshot. The snapshot format
 /// follows the file extension: `.csv` gets CSV, anything else the
-/// `sais-metrics-snapshot/v1` JSON schema. Paths are echoed to stdout in the
+/// `sais-metrics-snapshot/v1` JSON schema. Paths are echoed to stderr in the
 /// same `[kind] path` form [`emit`] uses for figure CSVs.
 pub fn write_observability(trace: Option<&Path>, metrics: Option<&Path>) {
     let (run, cluster) = observability_demo_config().run_full();
     if let Some(path) = trace {
         match sais_obs::perfetto::write_chrome_json(cluster.recorder(), path) {
-            Ok(()) => println!("[trace] {}", path.display()),
+            Ok(()) => eprintln!("[trace] {}", path.display()),
             Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
         }
     }
@@ -142,7 +168,7 @@ pub fn write_observability(trace: Option<&Path>, metrics: Option<&Path>) {
             snap.to_json()
         };
         match fs::write(path, body) {
-            Ok(()) => println!("[metrics] {}", path.display()),
+            Ok(()) => eprintln!("[metrics] {}", path.display()),
             Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
         }
     }
@@ -307,14 +333,26 @@ pub fn experiments_dir() -> PathBuf {
     dir
 }
 
-/// Print a table to stdout and persist it as CSV.
+/// What [`emit`] sends to each stream: machine-readable CSV on stdout,
+/// the human-rendered table on stderr. Split out so tests can assert the
+/// stdout half stays pure CSV without spawning a subprocess.
+pub fn emit_streams(table: &Table) -> (String, String) {
+    (table.to_csv(), table.render())
+}
+
+/// Print a table and persist it as CSV. The CSV body goes to stdout (so
+/// `fig05_bandwidth_3gig --quick | ...` pipes machine-clean data); the
+/// rendered table and the `[csv] path` echo go to stderr with the rest of
+/// the progress reporting.
 pub fn emit(name: &str, table: &Table) {
-    println!("{}", table.render());
+    let (csv, human) = emit_streams(table);
+    eprintln!("{human}");
+    print!("{csv}");
     let path = experiments_dir().join(format!("{name}.csv"));
-    if let Err(e) = fs::write(&path, table.to_csv()) {
+    if let Err(e) = fs::write(&path, &csv) {
         eprintln!("warning: could not write {}: {e}", path.display());
     } else {
-        println!("[csv] {}", path.display());
+        eprintln!("[csv] {}", path.display());
     }
 }
 
@@ -351,6 +389,7 @@ mod tests {
         assert_eq!(a.scale, Scale::Default);
         assert_eq!(a.trace, None);
         assert_eq!(a.metrics, None);
+        assert_eq!(a.analyze, None);
         assert_eq!(parse(&["--quick"]).unwrap().scale, Scale::Quick);
         assert_eq!(parse(&["--full"]).unwrap().scale, Scale::Full);
     }
@@ -360,6 +399,12 @@ mod tests {
         let a = parse(&["--quick", "--trace", "t.json", "--metrics", "m.csv"]).unwrap();
         assert_eq!(a.trace.as_deref(), Some(Path::new("t.json")));
         assert_eq!(a.metrics.as_deref(), Some(Path::new("m.csv")));
+        let a = parse(&["--analyze", "out"]).unwrap();
+        assert_eq!(a.analyze.as_deref(), Some(Path::new("out")));
+        assert!(
+            parse(&["--analyze"]).is_err(),
+            "--analyze needs a directory"
+        );
     }
 
     #[test]
@@ -387,5 +432,29 @@ mod tests {
         let p = experiments_dir().join("harness_selftest.csv");
         let content = std::fs::read_to_string(p).unwrap();
         assert!(content.contains("1,2"));
+    }
+
+    #[test]
+    fn emit_stdout_stream_is_pure_csv() {
+        // The stdout half of `emit` is what `fig05 --quick | ...` sees: it
+        // must parse as CSV with a uniform column count and carry none of
+        // the human rendering (box drawing, `[csv]` echoes, progress).
+        let mut t = Table::new("bandwidth (MB/s)", &["transfer", "servers", "SAIs"]);
+        t.row(&["64 KB".into(), "16".into(), "312.50".into()]);
+        t.row(&["1 MB".into(), "48".into(), "355.10".into()]);
+        let (csv, human) = emit_streams(&t);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3, "header + two rows");
+        for line in &lines {
+            assert_eq!(line.matches(',').count(), 2, "uniform columns: {line}");
+            assert!(
+                !line.contains('[') && !line.contains('|'),
+                "non-CSV noise on stdout: {line}"
+            );
+        }
+        // The CSV written to disk is byte-identical to the stdout stream.
+        assert_eq!(csv, t.to_csv());
+        // And the human rendering is a different document entirely.
+        assert_ne!(human, csv);
     }
 }

@@ -16,6 +16,7 @@
 //! model (and nearly so on the testbed), so scaling changes run time, not
 //! conclusions; EXPERIMENTS.md records both scales for the headline rows.
 
+pub mod analysis;
 pub mod figures;
 pub mod harness;
 pub mod perf;

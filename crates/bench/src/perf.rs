@@ -18,7 +18,8 @@
 //! only — debug timings say nothing about the optimized engine).
 
 use sais_core::scenario::{IoDirection, PolicyChoice, ScenarioConfig};
-use std::path::PathBuf;
+use sais_obs::json::JsonValue;
+use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 /// One scenario's measurement.
@@ -96,7 +97,7 @@ pub fn measure_all(reps: u32) -> Vec<PerfResult> {
         .iter()
         .map(|(name, cfg)| {
             let r = measure(name, cfg, reps);
-            println!(
+            eprintln!(
                 "{:18} {:>12} events  {:>8.3} s  {:>12.0} events/s  ({:.1} simulated MB/s)",
                 r.name, r.events, r.wall_secs, r.events_per_sec, r.sim_bandwidth_mbs
             );
@@ -160,6 +161,147 @@ pub fn read_baseline() -> Option<Vec<(String, u64, f64)>> {
     }
 }
 
+/// Schema tag of each `BENCH_history.jsonl` line.
+pub const HISTORY_SCHEMA: &str = "sais-perf-history/v1";
+
+/// Relative regression tolerance of the trajectory gate: a scenario fails
+/// the gate when its fresh events/sec drops more than this fraction below
+/// the best ever recorded for it.
+pub const HISTORY_TOLERANCE: f64 = 0.20;
+
+/// `BENCH_history.jsonl` lives next to `BENCH_engine.json` at the
+/// repository root; `SAIS_BENCH_HISTORY` overrides the location (tests
+/// point it at a scratch file).
+pub fn history_path() -> PathBuf {
+    match std::env::var_os("SAIS_BENCH_HISTORY") {
+        Some(p) => PathBuf::from(p),
+        None => baseline_path().with_file_name("BENCH_history.jsonl"),
+    }
+}
+
+/// One `BENCH_history.jsonl` line (newline-terminated): a self-contained
+/// JSON object recording every scenario of one measurement run.
+pub fn history_line(results: &[PerfResult], unix_ms: u64) -> String {
+    let mut s =
+        format!("{{\"schema\": \"{HISTORY_SCHEMA}\", \"unix_ms\": {unix_ms}, \"scenarios\": [");
+    for (i, r) in results.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        s.push_str(&format!(
+            "{{\"name\": \"{}\", \"events\": {}, \"wall_secs\": {:.4}, \"events_per_sec\": {:.0}}}",
+            r.name, r.events, r.wall_secs, r.events_per_sec
+        ));
+    }
+    s.push_str("]}\n");
+    s
+}
+
+/// Append one run to the trajectory file.
+pub fn append_history(path: &Path, results: &[PerfResult], unix_ms: u64) -> std::io::Result<()> {
+    use std::io::Write;
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    f.write_all(history_line(results, unix_ms).as_bytes())
+}
+
+/// Best recorded events/sec per scenario over the whole trajectory.
+/// Lines that fail to parse or carry a foreign schema are skipped, so a
+/// half-written final line cannot poison the gate. Empty when the file is
+/// missing or holds no usable runs.
+pub fn history_best(path: &Path) -> Vec<(String, f64)> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    let mut best: Vec<(String, f64)> = Vec::new();
+    for line in text.lines() {
+        let Ok(doc) = JsonValue::parse(line) else {
+            continue;
+        };
+        if doc.get("schema").and_then(JsonValue::as_str) != Some(HISTORY_SCHEMA) {
+            continue;
+        }
+        let Some(scenarios) = doc.get("scenarios").and_then(JsonValue::as_array) else {
+            continue;
+        };
+        for sc in scenarios {
+            let (Some(name), Some(eps)) = (
+                sc.get("name").and_then(JsonValue::as_str),
+                sc.get("events_per_sec").and_then(JsonValue::as_f64),
+            ) else {
+                continue;
+            };
+            match best.iter_mut().find(|(n, _)| n == name) {
+                Some((_, b)) => *b = b.max(eps),
+                None => best.push((name.to_string(), eps)),
+            }
+        }
+    }
+    best
+}
+
+/// The trajectory gate's verdict on one measurement run.
+#[derive(Debug, Clone)]
+pub struct HistoryComparison {
+    /// One human-readable line per scenario.
+    pub lines: Vec<String>,
+    /// Whether any scenario regressed beyond the tolerance.
+    pub regressed: bool,
+}
+
+/// Compare fresh results against the best recorded run per scenario.
+/// Scenarios with no history pass vacuously (first run seeds the file).
+pub fn compare_to_best(
+    results: &[PerfResult],
+    best: &[(String, f64)],
+    tolerance: f64,
+) -> HistoryComparison {
+    let mut out = HistoryComparison {
+        lines: Vec::new(),
+        regressed: false,
+    };
+    for r in results {
+        let line = match best.iter().find(|(n, _)| n == r.name) {
+            Some((_, b)) => {
+                let rel = r.events_per_sec / b - 1.0;
+                let fail = rel < -tolerance;
+                out.regressed |= fail;
+                format!(
+                    "{:18} {:>+7.1}% vs best {:.0} events/s{}",
+                    r.name,
+                    rel * 100.0,
+                    b,
+                    if fail { "  REGRESSION" } else { "" }
+                )
+            }
+            None => format!(
+                "{:18} no history yet ({:.0} events/s)",
+                r.name, r.events_per_sec
+            ),
+        };
+        out.lines.push(line);
+    }
+    out
+}
+
+/// Fabricated results for every canonical scenario at a uniform
+/// events/sec — the test hook behind `SAIS_PERF_SYNTHETIC`, letting the
+/// gate's exit-code contract be exercised without minutes of measurement.
+pub fn synthetic_results(events_per_sec: f64) -> Vec<PerfResult> {
+    canonical_scenarios()
+        .iter()
+        .map(|(name, _)| PerfResult {
+            name,
+            events: 1_000_000,
+            wall_secs: 1_000_000.0 / events_per_sec,
+            events_per_sec,
+            sim_bandwidth_mbs: 0.0,
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -208,5 +350,77 @@ mod tests {
         let p = baseline_path();
         assert!(p.ends_with("BENCH_engine.json"));
         assert!(p.parent().unwrap().join("Cargo.toml").exists());
+    }
+
+    #[test]
+    fn history_line_is_valid_json_with_schema() {
+        let line = history_line(&synthetic_results(50_000.0), 1_700_000_000_000);
+        assert!(line.ends_with('\n'));
+        let doc = JsonValue::parse(line.trim()).expect("history line parses");
+        assert_eq!(
+            doc.get("schema").and_then(JsonValue::as_str),
+            Some(HISTORY_SCHEMA)
+        );
+        assert_eq!(
+            doc.get("unix_ms").and_then(JsonValue::as_u64),
+            Some(1_700_000_000_000)
+        );
+        let scenarios = doc.get("scenarios").and_then(JsonValue::as_array).unwrap();
+        assert_eq!(scenarios.len(), canonical_scenarios().len());
+        assert_eq!(
+            scenarios[0]
+                .get("events_per_sec")
+                .and_then(JsonValue::as_f64),
+            Some(50_000.0)
+        );
+    }
+
+    #[test]
+    fn history_append_and_best_round_trip() {
+        let path =
+            std::env::temp_dir().join(format!("sais_history_test_{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        assert!(
+            history_best(&path).is_empty(),
+            "missing file is empty history"
+        );
+        append_history(&path, &synthetic_results(40_000.0), 1).unwrap();
+        append_history(&path, &synthetic_results(55_000.0), 2).unwrap();
+        append_history(&path, &synthetic_results(50_000.0), 3).unwrap();
+        // A torn final line must not poison the best-so-far.
+        std::fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .and_then(|mut f| std::io::Write::write_all(&mut f, b"{\"schema\": \"sais-"))
+            .unwrap();
+        let best = history_best(&path);
+        assert_eq!(best.len(), canonical_scenarios().len());
+        for (name, eps) in &best {
+            assert_eq!(*eps, 55_000.0, "{name}: best of 40k/55k/50k");
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn compare_gate_trips_only_beyond_tolerance() {
+        let best: Vec<(String, f64)> = canonical_scenarios()
+            .iter()
+            .map(|(n, _)| (n.to_string(), 100_000.0))
+            .collect();
+        // 21% below best: regression.
+        let bad = compare_to_best(&synthetic_results(79_000.0), &best, HISTORY_TOLERANCE);
+        assert!(bad.regressed);
+        assert!(
+            bad.lines.iter().all(|l| l.contains("REGRESSION")),
+            "{:?}",
+            bad.lines
+        );
+        // 19% below best: within tolerance.
+        let ok = compare_to_best(&synthetic_results(81_000.0), &best, HISTORY_TOLERANCE);
+        assert!(!ok.regressed);
+        // No history at all: vacuous pass.
+        let fresh = compare_to_best(&synthetic_results(10.0), &[], HISTORY_TOLERANCE);
+        assert!(!fresh.regressed);
+        assert!(fresh.lines.iter().all(|l| l.contains("no history")));
     }
 }

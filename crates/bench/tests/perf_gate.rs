@@ -1,0 +1,93 @@
+//! Subprocess tests of the `perf_baseline --compare` trajectory gate,
+//! driven through the `SAIS_PERF_SYNTHETIC` and `SAIS_BENCH_HISTORY`
+//! hooks so no actual measurement (minutes of release-mode simulation)
+//! happens.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn run_gate(history: &PathBuf, synthetic_eps: &str, extra: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_perf_baseline"))
+        .arg("--compare")
+        .args(extra)
+        .env("SAIS_BENCH_HISTORY", history)
+        .env("SAIS_PERF_SYNTHETIC", synthetic_eps)
+        .output()
+        .expect("perf_baseline runs")
+}
+
+fn scratch_history(name: &str) -> PathBuf {
+    let p = std::env::temp_dir().join(format!("sais_gate_{}_{name}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&p);
+    p
+}
+
+#[test]
+fn gate_passes_fresh_then_fails_synthetic_regression() {
+    let history = scratch_history("regression");
+    // First run: no history, vacuous pass; seeds the trajectory.
+    let out = run_gate(&history, "100000", &[]);
+    assert!(
+        out.status.success(),
+        "first run must pass: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(history.exists(), "gate appends the measurement");
+    // Same throughput again: within tolerance, passes, appends.
+    let out = run_gate(&history, "100000", &[]);
+    assert!(out.status.success());
+    // >20% regression: the gate must exit 3.
+    let out = run_gate(&history, "79000", &[]);
+    assert_eq!(
+        out.status.code(),
+        Some(3),
+        "synthetic 21% regression must trip the gate: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("REGRESSION"), "{stderr}");
+    // A 19% drop stays within the 20% tolerance.
+    let out = run_gate(&history, "81000", &[]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // Every run (pass or fail) extended the trajectory.
+    let lines = std::fs::read_to_string(&history).unwrap().lines().count();
+    assert_eq!(lines, 4);
+    let _ = std::fs::remove_file(&history);
+}
+
+#[test]
+fn compare_mode_never_rewrites_the_committed_baseline() {
+    let history = scratch_history("baseline_untouched");
+    let baseline = sais_bench::perf::baseline_path();
+    let before = std::fs::read_to_string(&baseline).ok();
+    let out = run_gate(&history, "100000", &[]);
+    assert!(out.status.success());
+    assert_eq!(
+        std::fs::read_to_string(&baseline).ok(),
+        before,
+        "--compare must not touch BENCH_engine.json"
+    );
+    let _ = std::fs::remove_file(&history);
+}
+
+#[test]
+fn check_and_compare_are_mutually_exclusive() {
+    let history = scratch_history("exclusive");
+    let out = run_gate(&history, "100000", &["--check"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("mutually exclusive"));
+    assert!(!history.exists(), "usage errors must not write history");
+    let _ = std::fs::remove_file(&history);
+}
+
+#[test]
+fn bad_synthetic_value_is_a_usage_error() {
+    let history = scratch_history("bad_synth");
+    let out = run_gate(&history, "not-a-number", &[]);
+    assert_eq!(out.status.code(), Some(2));
+    let _ = std::fs::remove_file(&history);
+}

@@ -536,6 +536,10 @@ impl Cluster {
             .begin(now, "irq", "interrupt", s.client, dest as u32, s.span);
         self.recorder.set_arg(irq_span, "frames", frames);
         self.recorder.set_arg(irq_span, "bytes", bytes);
+        // Service time (hardirq entry + softirq work) excluding queue wait,
+        // so trace analysis can split the span into queueing vs handling.
+        self.recorder
+            .set_arg(irq_span, "svc", (self.cfg.cpu.hardirq + soft).as_nanos());
         self.recorder.end(irq_span, done);
         self.stages.record(Stage::IrqToHandler, done.since(now));
         if let Some(read) = self.reads.get_mut(&s.read) {
@@ -578,6 +582,10 @@ impl Cluster {
             self.recorder
                 .begin(now, "copy", "consume", s.client, consumer as u32, s.span);
         self.recorder.set_arg(copy_span, "c2c_lines", src.c2c);
+        // Service time and the cache-to-cache stall share of it, so trace
+        // analysis can blame queueing vs migration stall vs copy work.
+        self.recorder.set_arg(copy_span, "svc", dur.as_nanos());
+        self.recorder.set_arg(copy_span, "stall", stall.as_nanos());
         self.recorder.end(copy_span, done);
         self.stages.record(Stage::HandlerToConsume, done.since(now));
         self.stages.record(Stage::MigrationStall, stall);

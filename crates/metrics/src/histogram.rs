@@ -277,6 +277,55 @@ mod tests {
         assert!(h.mean() > u64::MAX as f64 / 2.0);
     }
 
+    /// Pin the exact p50/p99/p999 values on known distributions. The
+    /// trace analyzer's tail-forensics thresholds come straight from
+    /// `quantile`, so these values are load-bearing: any change to the
+    /// bucket layout or rank rule shows up here before it silently moves
+    /// every figure CSV and forensics cutoff.
+    #[test]
+    fn pinned_quantiles_uniform() {
+        let mut h = Histogram::new();
+        for v in 1..=100_000u64 {
+            h.record(v);
+        }
+        // rank ceil(0.5·100000) = 50000 lands in the bucket
+        // [49152, 53248) (octave base 32768, sub-bucket 4).
+        assert_eq!(h.quantile(0.5), 49_152);
+        // rank 99000 → bucket [98304, 106496) clipped by max.
+        assert_eq!(h.quantile(0.99), 98_304);
+        // rank 99900 shares the p99 bucket at this resolution.
+        assert_eq!(h.quantile(0.999), 98_304);
+    }
+
+    #[test]
+    fn pinned_quantiles_two_point() {
+        // Equal mass at 10 ns and 10 µs: the median sits on the low mode
+        // (rank rule: ceil(q·n) of the sorted values), the p99 on the
+        // high mode's bucket floor.
+        let mut h = Histogram::new();
+        for _ in 0..500 {
+            h.record(10);
+            h.record(10_000);
+        }
+        assert_eq!(h.quantile(0.5), 10, "exact: 10 has its own sub-bucket");
+        assert_eq!(h.quantile(0.99), 9_216, "floor of 10000's bucket");
+        assert_eq!(h.quantile(0.999), 9_216);
+        assert_eq!(h.quantile(1.0), 10_000, "max is exact");
+    }
+
+    #[test]
+    fn pinned_quantiles_single_bucket() {
+        // All samples in one bucket: every quantile is that bucket's value
+        // because the result clamps to [min, max].
+        let mut h = Histogram::new();
+        for _ in 0..1_000 {
+            h.record(4_321);
+        }
+        for q in [0.5, 0.99, 0.999] {
+            assert_eq!(h.quantile(q), 4_321, "q = {q}");
+        }
+    }
+
     #[test]
     fn floor_inverts_bucket_of() {
         for v in [0u64, 1, 7, 8, 9, 100, 1000, 65_536, 1_000_000, 1 << 40] {

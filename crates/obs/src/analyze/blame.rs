@@ -1,0 +1,504 @@
+//! Critical-path extraction and per-nanosecond blame attribution.
+//!
+//! A read request completes when its *last* strip is copied into the user
+//! buffer, so the strip whose span ends at the request's end **is** the
+//! critical path — nothing after it could have gated completion. The
+//! blame walk partitions the request interval along that strip:
+//!
+//! | category | meaning |
+//! |---|---|
+//! | `nic_link` | waiting for wire bytes: gaps before/between interrupt spans |
+//! | `irq_queue` | an interrupt batch waiting behind other work on the handler core |
+//! | `handler` | hardirq + softirq service (protocol work, payload fill) |
+//! | `migration_stall` | cache-to-cache migration paid by the consume copy |
+//! | `consume` | the consume copy minus its migration stall (incl. consumer-core queueing) |
+//! | `idle` | anything the recorded spans do not cover (overlap slack) |
+//!
+//! The walk covers `[request.start, request.end]` with disjoint,
+//! contiguous segments, so the categories sum to `RequestTotal` *exactly*
+//! — the acceptance property `blame_sums_exactly` pins. Queue-vs-service
+//! splits use the `svc`/`stall` span arguments the cluster model attaches
+//! (span duration − service = time the batch sat behind other work on a
+//! busy core); spans without those arguments degrade gracefully to
+//! all-service.
+
+use super::{ASpan, Trace};
+
+/// Where a nanosecond of request time went. See the module table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlameCategory {
+    /// Waiting for bytes to arrive from the network.
+    NicLink,
+    /// Interrupt batch queued behind other work on the handler core.
+    IrqQueue,
+    /// Hardirq + softirq service on the handler core.
+    Handler,
+    /// Cache-to-cache migration stall paid while consuming.
+    MigrationStall,
+    /// Consume copy work (minus the migration stall).
+    Consume,
+    /// Time the recorded spans do not cover.
+    Idle,
+}
+
+/// All categories, in reporting order.
+pub const CATEGORIES: [BlameCategory; 6] = [
+    BlameCategory::NicLink,
+    BlameCategory::IrqQueue,
+    BlameCategory::Handler,
+    BlameCategory::MigrationStall,
+    BlameCategory::Consume,
+    BlameCategory::Idle,
+];
+
+impl BlameCategory {
+    /// Stable snake_case name used in reports and CSV.
+    pub fn name(self) -> &'static str {
+        match self {
+            BlameCategory::NicLink => "nic_link",
+            BlameCategory::IrqQueue => "irq_queue",
+            BlameCategory::Handler => "handler",
+            BlameCategory::MigrationStall => "migration_stall",
+            BlameCategory::Consume => "consume",
+            BlameCategory::Idle => "idle",
+        }
+    }
+
+    /// Position in [`CATEGORIES`].
+    pub fn index(self) -> usize {
+        match self {
+            BlameCategory::NicLink => 0,
+            BlameCategory::IrqQueue => 1,
+            BlameCategory::Handler => 2,
+            BlameCategory::MigrationStall => 3,
+            BlameCategory::Consume => 4,
+            BlameCategory::Idle => 5,
+        }
+    }
+}
+
+/// One contiguous piece of a request's critical path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Segment {
+    /// Blame category of this piece.
+    pub cat: BlameCategory,
+    /// Segment start, ns.
+    pub start_ns: u64,
+    /// Segment end, ns.
+    pub end_ns: u64,
+    /// Core the work ran on, where meaningful.
+    pub core: Option<u32>,
+}
+
+impl Segment {
+    /// Segment length in nanoseconds.
+    pub fn len_ns(&self) -> u64 {
+        self.end_ns - self.start_ns
+    }
+}
+
+/// The blame breakdown of one request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestBlame {
+    /// Index of the request's root span in the trace.
+    pub span: usize,
+    /// Client node.
+    pub pid: u32,
+    /// Request lane (identifies the issuing process).
+    pub tid: u32,
+    /// Per-lane request sequence number, in begin order — the alignment
+    /// key for policy diffs (`read_id` interleaves differently across
+    /// policies; the per-process issue order does not).
+    pub seq: u64,
+    /// The model's read id, if the span recorded one.
+    pub read_id: Option<u64>,
+    /// Request start, ns.
+    pub start_ns: u64,
+    /// `RequestTotal` in ns.
+    pub total_ns: u64,
+    /// Nanoseconds per category, indexed by [`BlameCategory::index`].
+    pub ns: [u64; CATEGORIES.len()],
+    /// The critical path, segment by segment.
+    pub segments: Vec<Segment>,
+}
+
+impl RequestBlame {
+    /// Nanoseconds blamed on `cat`.
+    pub fn get(&self, cat: BlameCategory) -> u64 {
+        self.ns[cat.index()]
+    }
+
+    /// Sum over all categories — equals [`RequestBlame::total_ns`] by
+    /// construction.
+    pub fn sum_ns(&self) -> u64 {
+        self.ns.iter().sum()
+    }
+}
+
+struct Walk {
+    ns: [u64; CATEGORIES.len()],
+    segments: Vec<Segment>,
+}
+
+impl Walk {
+    fn add(&mut self, cat: BlameCategory, start_ns: u64, end_ns: u64, core: Option<u32>) {
+        debug_assert!(end_ns >= start_ns);
+        if end_ns == start_ns {
+            return;
+        }
+        self.ns[cat.index()] += end_ns - start_ns;
+        self.segments.push(Segment {
+            cat,
+            start_ns,
+            end_ns,
+            core,
+        });
+    }
+}
+
+/// Walk one request root. Returns `None` for non-request roots or spans
+/// that never closed.
+fn blame_one(trace: &Trace, root: usize) -> Option<RequestBlame> {
+    let req = &trace.spans()[root];
+    if req.cat != "request" || !req.is_closed() {
+        return None;
+    }
+    let mut w = Walk {
+        ns: [0; CATEGORIES.len()],
+        segments: Vec::new(),
+    };
+    let strips: Vec<usize> = trace
+        .children(root)
+        .iter()
+        .copied()
+        .filter(|&i| {
+            let s = &trace.spans()[i];
+            s.name == "strip" && s.is_closed()
+        })
+        .collect();
+    // The critical strip is the one whose copy completed the request.
+    let crit = strips
+        .iter()
+        .copied()
+        .max_by_key(|&i| trace.spans()[i].end_ns);
+    let mut t = req.start_ns;
+    if let Some(crit) = crit {
+        let strip = &trace.spans()[crit];
+        if strip.start_ns > t {
+            w.add(BlameCategory::Idle, t, strip.start_ns, None);
+        }
+        t = strip.start_ns.max(t);
+        let mut irqs: Vec<&ASpan> = trace
+            .children(crit)
+            .iter()
+            .map(|&i| &trace.spans()[i])
+            .filter(|s| s.name == "irq" && s.is_closed())
+            .collect();
+        irqs.sort_by_key(|s| (s.start_ns, s.end_ns));
+        for irq in irqs {
+            if irq.end_ns <= t {
+                continue; // fully overlapped by earlier handling
+            }
+            if irq.start_ns > t {
+                // Nothing was in flight on the critical path: the NIC was
+                // still serializing/coalescing wire bytes.
+                w.add(BlameCategory::NicLink, t, irq.start_ns, None);
+                t = irq.start_ns;
+            }
+            let covered = irq.end_ns - t;
+            let svc = irq.arg("svc").unwrap_or(covered).min(covered);
+            let queue_end = irq.end_ns - svc;
+            w.add(BlameCategory::IrqQueue, t, queue_end, Some(irq.tid));
+            w.add(BlameCategory::Handler, queue_end, irq.end_ns, Some(irq.tid));
+            t = irq.end_ns;
+        }
+        let copy = trace
+            .children(crit)
+            .iter()
+            .map(|&i| &trace.spans()[i])
+            .filter(|s| s.name == "copy" && s.is_closed())
+            .max_by_key(|s| s.end_ns);
+        if let Some(copy) = copy {
+            if copy.start_ns > t {
+                w.add(BlameCategory::Idle, t, copy.start_ns, None);
+                t = copy.start_ns;
+            }
+            if copy.end_ns > t {
+                let covered = copy.end_ns - t;
+                let svc = copy.arg("svc").unwrap_or(covered).min(covered);
+                let stall = copy.arg("stall").unwrap_or(0).min(svc);
+                // Layout within the covered interval: consumer-core
+                // queueing first, then the cache-to-cache stall, then the
+                // copy itself.
+                let queue_end = copy.end_ns - svc;
+                let stall_end = queue_end + stall;
+                w.add(BlameCategory::Consume, t, queue_end, Some(copy.tid));
+                w.add(
+                    BlameCategory::MigrationStall,
+                    queue_end,
+                    stall_end,
+                    Some(copy.tid),
+                );
+                w.add(
+                    BlameCategory::Consume,
+                    stall_end,
+                    copy.end_ns,
+                    Some(copy.tid),
+                );
+                t = copy.end_ns;
+            }
+        }
+    }
+    if req.end_ns > t {
+        // Write requests (no strip spans) and any residue land here.
+        w.add(BlameCategory::Idle, t, req.end_ns, None);
+    }
+    Some(RequestBlame {
+        span: root,
+        pid: req.pid,
+        tid: req.tid,
+        seq: 0, // assigned by `blame_requests`
+        read_id: req.arg("read_id"),
+        start_ns: req.start_ns,
+        total_ns: req.duration_ns(),
+        ns: w.ns,
+        segments: w.segments,
+    })
+}
+
+/// Blame every completed request in the trace, in begin order, with
+/// per-lane sequence numbers assigned.
+pub fn blame_requests(trace: &Trace) -> Vec<RequestBlame> {
+    let mut out: Vec<RequestBlame> = Vec::new();
+    let mut lane_seq: Vec<((u32, u32), u64)> = Vec::new();
+    for &root in trace.roots() {
+        if let Some(mut b) = blame_one(trace, root) {
+            let key = (b.pid, b.tid);
+            let entry = lane_seq.iter_mut().find(|(k, _)| *k == key);
+            b.seq = match entry {
+                Some((_, n)) => {
+                    *n += 1;
+                    *n - 1
+                }
+                None => {
+                    lane_seq.push((key, 1));
+                    0
+                }
+            };
+            out.push(b);
+        }
+    }
+    out
+}
+
+/// Aggregate blame over a set of requests (normally one run).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BlameTable {
+    /// Requests aggregated.
+    pub requests: u64,
+    /// Sum of request totals, ns.
+    pub total_ns: u64,
+    /// Nanoseconds per category, indexed by [`BlameCategory::index`].
+    pub ns: [u64; CATEGORIES.len()],
+}
+
+impl BlameTable {
+    /// Fold a request list into the aggregate.
+    pub fn aggregate(blames: &[RequestBlame]) -> BlameTable {
+        let mut t = BlameTable::default();
+        for b in blames {
+            t.requests += 1;
+            t.total_ns += b.total_ns;
+            for (acc, v) in t.ns.iter_mut().zip(b.ns.iter()) {
+                *acc += v;
+            }
+        }
+        t
+    }
+
+    /// Nanoseconds blamed on `cat`.
+    pub fn get(&self, cat: BlameCategory) -> u64 {
+        self.ns[cat.index()]
+    }
+
+    /// `cat`'s share of the total, in `[0, 1]` (0 for an empty table).
+    pub fn share(&self, cat: BlameCategory) -> f64 {
+        if self.total_ns == 0 {
+            0.0
+        } else {
+            self.get(cat) as f64 / self.total_ns as f64
+        }
+    }
+}
+
+/// Per-request blame as CSV, one row per request.
+pub fn to_csv(blames: &[RequestBlame]) -> String {
+    let mut s = String::from("pid,lane,seq,read_id,start_ns,total_ns");
+    for cat in CATEGORIES {
+        s.push(',');
+        s.push_str(cat.name());
+        s.push_str("_ns");
+    }
+    s.push('\n');
+    for b in blames {
+        s.push_str(&format!(
+            "{},{},{},{},{},{}",
+            b.pid,
+            b.tid,
+            b.seq,
+            b.read_id.map_or(String::new(), |id| id.to_string()),
+            b.start_ns,
+            b.total_ns
+        ));
+        for v in b.ns {
+            s.push_str(&format!(",{v}"));
+        }
+        s.push('\n');
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::{FlightRecorder, SpanId};
+    use sais_sim::SimTime;
+
+    /// One read, one strip, two interrupt batches and a copy, with
+    /// queue/service and stall structure:
+    ///
+    /// ```text
+    /// t(µs):  10        20   24 25  28    30        40
+    /// read:   [--------------------------------------]
+    /// strip:  [--------------------------------------]
+    /// irq A:            [----]            (svc 4µs, no queue)
+    /// irq B:                 [---]        (svc 2µs ⇒ 1µs queued)
+    /// copy:                      [........] then [stall+copy]
+    /// ```
+    fn synthetic() -> Trace {
+        let mut r = FlightRecorder::enabled(64);
+        let t = SimTime::from_micros;
+        let req = r.begin(t(10), "read", "request", 0, 100, SpanId::NONE);
+        r.set_arg(req, "read_id", 3);
+        let strip = r.begin(t(10), "strip", "strip", 0, 100, req);
+        let a = r.begin(t(20), "irq", "interrupt", 0, 2, strip);
+        r.set_arg(a, "svc", 4_000);
+        r.end(a, t(24));
+        let b = r.begin(t(24), "irq", "interrupt", 0, 2, strip);
+        r.set_arg(b, "svc", 2_000);
+        r.end(b, t(27));
+        let c = r.begin(t(27), "copy", "consume", 0, 5, strip);
+        r.set_arg(c, "svc", 10_000);
+        r.set_arg(c, "stall", 3_000);
+        r.end(c, t(40));
+        r.end(strip, t(40));
+        r.end(req, t(40));
+        Trace::from_recorder(&r)
+    }
+
+    #[test]
+    fn blame_partitions_the_request_exactly() {
+        let blames = blame_requests(&synthetic());
+        assert_eq!(blames.len(), 1);
+        let b = &blames[0];
+        assert_eq!(b.total_ns, 30_000);
+        assert_eq!(b.sum_ns(), b.total_ns, "categories partition the total");
+        // 10µs of wire wait before the first interrupt.
+        assert_eq!(b.get(BlameCategory::NicLink), 10_000);
+        // irq A: all service. irq B: 3µs covered, 2µs service ⇒ 1µs queued.
+        assert_eq!(b.get(BlameCategory::IrqQueue), 1_000);
+        assert_eq!(b.get(BlameCategory::Handler), 6_000);
+        // copy: 13µs covered, 10µs service of which 3µs is the stall;
+        // consume = 3µs queue + 7µs copy.
+        assert_eq!(b.get(BlameCategory::MigrationStall), 3_000);
+        assert_eq!(b.get(BlameCategory::Consume), 10_000);
+        assert_eq!(b.get(BlameCategory::Idle), 0);
+        assert_eq!(b.read_id, Some(3));
+        // Segments are contiguous and ordered.
+        let mut t = b.start_ns;
+        for seg in &b.segments {
+            assert_eq!(seg.start_ns, t, "segments tile the interval");
+            t = seg.end_ns;
+        }
+        assert_eq!(t, b.start_ns + b.total_ns);
+    }
+
+    #[test]
+    fn missing_svc_args_degrade_to_all_service() {
+        let mut r = FlightRecorder::enabled(16);
+        let t = SimTime::from_micros;
+        let req = r.begin(t(0), "read", "request", 0, 100, SpanId::NONE);
+        let strip = r.begin(t(0), "strip", "strip", 0, 100, req);
+        let irq = r.begin(t(5), "irq", "interrupt", 0, 1, strip);
+        r.end(irq, t(8));
+        let copy = r.begin(t(8), "copy", "consume", 0, 0, strip);
+        r.end(copy, t(12));
+        r.end(strip, t(12));
+        r.end(req, t(12));
+        let blames = blame_requests(&Trace::from_recorder(&r));
+        let b = &blames[0];
+        assert_eq!(b.sum_ns(), b.total_ns);
+        assert_eq!(b.get(BlameCategory::IrqQueue), 0);
+        assert_eq!(b.get(BlameCategory::Handler), 3_000);
+        assert_eq!(b.get(BlameCategory::MigrationStall), 0);
+        assert_eq!(b.get(BlameCategory::Consume), 4_000);
+    }
+
+    #[test]
+    fn requests_without_strips_blame_idle() {
+        let mut r = FlightRecorder::enabled(4);
+        let req = r.begin(
+            SimTime::from_micros(1),
+            "write",
+            "request",
+            0,
+            101,
+            SpanId::NONE,
+        );
+        r.end(req, SimTime::from_micros(9));
+        let blames = blame_requests(&Trace::from_recorder(&r));
+        assert_eq!(blames[0].get(BlameCategory::Idle), 8_000);
+        assert_eq!(blames[0].sum_ns(), blames[0].total_ns);
+    }
+
+    #[test]
+    fn sequence_numbers_count_per_lane() {
+        let mut r = FlightRecorder::enabled(16);
+        for (lane, us) in [(100, 0), (101, 1), (100, 2), (100, 4)] {
+            let req = r.begin(
+                SimTime::from_micros(us),
+                "read",
+                "request",
+                0,
+                lane,
+                SpanId::NONE,
+            );
+            r.end(req, SimTime::from_micros(us + 1));
+        }
+        let blames = blame_requests(&Trace::from_recorder(&r));
+        let seqs: Vec<(u32, u64)> = blames.iter().map(|b| (b.tid, b.seq)).collect();
+        assert_eq!(seqs, vec![(100, 0), (101, 0), (100, 1), (100, 2)]);
+    }
+
+    #[test]
+    fn aggregate_table_sums_and_shares() {
+        let blames = blame_requests(&synthetic());
+        let t = BlameTable::aggregate(&blames);
+        assert_eq!(t.requests, 1);
+        assert_eq!(t.total_ns, 30_000);
+        assert_eq!(t.get(BlameCategory::NicLink), 10_000);
+        assert!((t.share(BlameCategory::NicLink) - 1.0 / 3.0).abs() < 1e-12);
+        let shares: f64 = CATEGORIES.iter().map(|&c| t.share(c)).sum();
+        assert!((shares - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn csv_has_one_row_per_request() {
+        let blames = blame_requests(&synthetic());
+        let csv = to_csv(&blames);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("pid,lane,seq,read_id,start_ns,total_ns,nic_link_ns"));
+        assert!(lines[1].contains(",3,"), "read_id appears: {}", lines[1]);
+    }
+}

@@ -1,0 +1,235 @@
+//! Policy trace diff: where did the time move?
+//!
+//! Two runs of the same scenario and seed are aligned request by request
+//! on `(client, request lane, per-lane sequence number)` — the engine is
+//! deterministic, so each process issues the same requests in the same
+//! order under any steering policy, even though global `read_id`s
+//! interleave differently. Per-request and aggregate deltas are reported
+//! per blame category, and requests whose total moved more than a
+//! threshold fraction are flagged with their dominant blame shift.
+
+use super::blame::{BlameCategory, RequestBlame, CATEGORIES};
+
+/// Delta of one aligned request pair (`b` minus `a`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestDelta {
+    /// Client node.
+    pub pid: u32,
+    /// Request lane.
+    pub tid: u32,
+    /// Per-lane sequence number.
+    pub seq: u64,
+    /// Total in run A, ns.
+    pub total_a_ns: u64,
+    /// Total in run B, ns.
+    pub total_b_ns: u64,
+    /// `total_b - total_a`, ns.
+    pub delta_total_ns: i64,
+    /// Per-category delta, indexed by [`BlameCategory::index`].
+    pub delta_ns: [i64; CATEGORIES.len()],
+    /// Category with the largest absolute delta.
+    pub dominant: BlameCategory,
+    /// Whether `|delta_total| > threshold × total_a`.
+    pub flagged: bool,
+}
+
+/// The diff of two runs.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceDiff {
+    /// Aligned request pairs, in run-A order.
+    pub aligned: Vec<RequestDelta>,
+    /// Requests only in run A.
+    pub unmatched_a: u64,
+    /// Requests only in run B.
+    pub unmatched_b: u64,
+    /// Sum of per-request total deltas, ns.
+    pub delta_total_ns: i64,
+    /// Sum of per-request category deltas.
+    pub delta_ns: [i64; CATEGORIES.len()],
+    /// The flag threshold used, as a fraction of the run-A total.
+    pub threshold: f64,
+}
+
+impl TraceDiff {
+    /// Aligned pairs whose total moved beyond the threshold.
+    pub fn flagged(&self) -> impl Iterator<Item = &RequestDelta> {
+        self.aligned.iter().filter(|d| d.flagged)
+    }
+
+    /// Category with the largest absolute aggregate delta.
+    pub fn dominant(&self) -> BlameCategory {
+        dominant_of(&self.delta_ns)
+    }
+
+    /// Whether every aligned pair is identical and nothing was unmatched
+    /// — the determinism witness for same-policy same-seed runs.
+    pub fn is_zero(&self) -> bool {
+        self.unmatched_a == 0
+            && self.unmatched_b == 0
+            && self
+                .aligned
+                .iter()
+                .all(|d| d.delta_total_ns == 0 && d.delta_ns.iter().all(|&v| v == 0))
+    }
+
+    /// One row per aligned request: identity, totals, per-category deltas.
+    pub fn to_csv(&self) -> String {
+        let mut s = String::from("pid,lane,seq,total_a_ns,total_b_ns,delta_total_ns");
+        for cat in CATEGORIES {
+            s.push_str(",delta_");
+            s.push_str(cat.name());
+            s.push_str("_ns");
+        }
+        s.push_str(",dominant,flagged\n");
+        for d in &self.aligned {
+            s.push_str(&format!(
+                "{},{},{},{},{},{}",
+                d.pid, d.tid, d.seq, d.total_a_ns, d.total_b_ns, d.delta_total_ns
+            ));
+            for v in d.delta_ns {
+                s.push_str(&format!(",{v}"));
+            }
+            s.push_str(&format!(",{},{}\n", d.dominant.name(), d.flagged));
+        }
+        s
+    }
+}
+
+fn dominant_of(delta: &[i64; CATEGORIES.len()]) -> BlameCategory {
+    let mut best = CATEGORIES[0];
+    let mut best_abs = 0i64;
+    for cat in CATEGORIES {
+        let abs = delta[cat.index()].abs();
+        if abs > best_abs {
+            best = cat;
+            best_abs = abs;
+        }
+    }
+    best
+}
+
+/// Diff two blamed runs. `threshold` is the flag fraction: a pair is
+/// flagged when its total moved by more than `threshold × total_a`.
+pub fn diff_blames(a: &[RequestBlame], b: &[RequestBlame], threshold: f64) -> TraceDiff {
+    let mut out = TraceDiff {
+        threshold,
+        ..TraceDiff::default()
+    };
+    let mut b_used = vec![false; b.len()];
+    for ra in a {
+        let rb = b.iter().enumerate().find(|(i, rb)| {
+            !b_used[*i] && rb.pid == ra.pid && rb.tid == ra.tid && rb.seq == ra.seq
+        });
+        let Some((bi, rb)) = rb else {
+            out.unmatched_a += 1;
+            continue;
+        };
+        b_used[bi] = true;
+        let mut delta_ns = [0i64; CATEGORIES.len()];
+        for (d, (&va, &vb)) in delta_ns.iter_mut().zip(ra.ns.iter().zip(rb.ns.iter())) {
+            *d = vb as i64 - va as i64;
+        }
+        let delta_total_ns = rb.total_ns as i64 - ra.total_ns as i64;
+        let flagged = delta_total_ns.unsigned_abs() as f64 > threshold * ra.total_ns as f64;
+        out.delta_total_ns += delta_total_ns;
+        for (acc, v) in out.delta_ns.iter_mut().zip(delta_ns.iter()) {
+            *acc += v;
+        }
+        out.aligned.push(RequestDelta {
+            pid: ra.pid,
+            tid: ra.tid,
+            seq: ra.seq,
+            total_a_ns: ra.total_ns,
+            total_b_ns: rb.total_ns,
+            delta_total_ns,
+            delta_ns,
+            dominant: dominant_of(&delta_ns),
+            flagged,
+        });
+    }
+    out.unmatched_b = b_used.iter().filter(|&&u| !u).count() as u64;
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(pid: u32, tid: u32, seq: u64, ns: [u64; CATEGORIES.len()]) -> RequestBlame {
+        RequestBlame {
+            span: 0,
+            pid,
+            tid,
+            seq,
+            read_id: None,
+            start_ns: 0,
+            total_ns: ns.iter().sum(),
+            ns,
+            segments: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn identical_runs_diff_to_zero() {
+        let a = vec![
+            req(0, 100, 0, [10, 0, 5, 3, 7, 0]),
+            req(0, 101, 0, [8, 1, 5, 0, 9, 0]),
+        ];
+        let d = diff_blames(&a, &a, 0.1);
+        assert!(d.is_zero());
+        assert_eq!(d.aligned.len(), 2);
+        assert_eq!(d.flagged().count(), 0);
+        assert_eq!(d.delta_total_ns, 0);
+    }
+
+    #[test]
+    fn moved_request_is_flagged_with_dominant_shift() {
+        let a = vec![req(0, 100, 0, [10_000, 0, 5_000, 40_000, 7_000, 0])];
+        // Same request, stall deleted: total drops 40µs out of 62µs.
+        let b = vec![req(0, 100, 0, [10_000, 0, 5_000, 0, 7_000, 0])];
+        let d = diff_blames(&a, &b, 0.1);
+        assert_eq!(d.aligned.len(), 1);
+        let r = &d.aligned[0];
+        assert!(r.flagged);
+        assert_eq!(r.delta_total_ns, -40_000);
+        assert_eq!(r.dominant, BlameCategory::MigrationStall);
+        assert_eq!(d.dominant(), BlameCategory::MigrationStall);
+        assert!(!d.is_zero());
+    }
+
+    #[test]
+    fn small_moves_are_not_flagged() {
+        let a = vec![req(0, 100, 0, [100_000, 0, 0, 0, 0, 0])];
+        let b = vec![req(0, 100, 0, [104_000, 0, 0, 0, 0, 0])];
+        let d = diff_blames(&a, &b, 0.10);
+        assert!(!d.aligned[0].flagged, "4% move under a 10% threshold");
+        assert_eq!(d.delta_total_ns, 4_000);
+    }
+
+    #[test]
+    fn unmatched_requests_are_counted() {
+        let a = vec![
+            req(0, 100, 0, [1, 0, 0, 0, 0, 0]),
+            req(0, 100, 1, [1, 0, 0, 0, 0, 0]),
+        ];
+        let b = vec![
+            req(0, 100, 0, [1, 0, 0, 0, 0, 0]),
+            req(1, 100, 0, [1, 0, 0, 0, 0, 0]),
+        ];
+        let d = diff_blames(&a, &b, 0.1);
+        assert_eq!(d.aligned.len(), 1);
+        assert_eq!(d.unmatched_a, 1);
+        assert_eq!(d.unmatched_b, 1);
+    }
+
+    #[test]
+    fn csv_carries_identity_and_deltas() {
+        let a = vec![req(0, 100, 0, [10, 0, 0, 40, 0, 0])];
+        let b = vec![req(0, 100, 0, [10, 0, 0, 0, 0, 0])];
+        let csv = diff_blames(&a, &b, 0.1).to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("delta_migration_stall_ns"));
+        assert!(lines[1].ends_with("migration_stall,true"), "{}", lines[1]);
+    }
+}

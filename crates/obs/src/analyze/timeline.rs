@@ -1,0 +1,266 @@
+//! Per-core activity timelines: who was doing what, when.
+//!
+//! Interrupt handling (`cat = "interrupt"`) and consume copies
+//! (`cat = "consume"`) both record the core they ran on as the span's
+//! `tid`, so binning those spans over the run yields a per-core occupancy
+//! matrix by activity class. Under balanced steering the handler rows
+//! light up across every core while the consume row pays migrations;
+//! under SAIs both classes collapse onto the consumer cores — the paper's
+//! Fig. 3 story as a heatmap.
+//!
+//! Occupancy counts span-open time, which on a FIFO core includes queue
+//! wait; rows can therefore exceed 1.0 when batches stack up, and the
+//! heatmap clamps at full brightness.
+
+use super::Trace;
+
+/// Activity classes the timeline distinguishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Activity {
+    /// Interrupt handling (hardirq + softirq).
+    Handler,
+    /// Consume copies (kernel buffer → user buffer).
+    Consume,
+}
+
+/// Both classes, in reporting order.
+pub const ACTIVITIES: [Activity; 2] = [Activity::Handler, Activity::Consume];
+
+impl Activity {
+    /// Stable name used in CSV headers and heatmap titles.
+    pub fn name(self) -> &'static str {
+        match self {
+            Activity::Handler => "handler",
+            Activity::Consume => "consume",
+        }
+    }
+
+    fn matches(self, cat: &str) -> bool {
+        match self {
+            Activity::Handler => cat == "interrupt",
+            Activity::Consume => cat == "consume",
+        }
+    }
+}
+
+/// A time-binned per-core occupancy matrix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoreTimeline {
+    /// Bin width, ns.
+    pub bin_ns: u64,
+    /// Number of bins.
+    pub bins: usize,
+    /// One row per `(pid, core)`, sorted, each with per-bin ns arrays
+    /// indexed by activity (`[handler, consume]`).
+    pub rows: Vec<CoreRow>,
+}
+
+/// One core's binned activity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoreRow {
+    /// Client node.
+    pub pid: u32,
+    /// Core id.
+    pub core: u32,
+    /// `ns[activity][bin]` busy nanoseconds.
+    pub ns: [Vec<u64>; 2],
+}
+
+impl CoreTimeline {
+    /// Bin the trace's core activity into `bins` equal bins spanning
+    /// `[0, trace.end_ns()]`.
+    pub fn build(trace: &Trace, bins: usize) -> CoreTimeline {
+        let bins = bins.max(1);
+        let end = trace.end_ns().max(1);
+        let bin_ns = end.div_ceil(bins as u64);
+        let mut rows: Vec<CoreRow> = Vec::new();
+        for s in trace.spans() {
+            let Some(activity) = ACTIVITIES.iter().copied().find(|a| a.matches(&s.cat)) else {
+                continue;
+            };
+            if !s.is_closed() || s.end_ns <= s.start_ns {
+                continue;
+            }
+            let row = match rows.iter().position(|r| r.pid == s.pid && r.core == s.tid) {
+                Some(i) => &mut rows[i],
+                None => {
+                    rows.push(CoreRow {
+                        pid: s.pid,
+                        core: s.tid,
+                        ns: [vec![0; bins], vec![0; bins]],
+                    });
+                    rows.last_mut().expect("just pushed")
+                }
+            };
+            let class = &mut row.ns[activity as usize];
+            let first = (s.start_ns / bin_ns) as usize;
+            let last = (((s.end_ns - 1) / bin_ns) as usize).min(bins - 1);
+            for (bin, slot) in class.iter_mut().enumerate().take(last + 1).skip(first) {
+                let lo = s.start_ns.max(bin as u64 * bin_ns);
+                let hi = s.end_ns.min((bin as u64 + 1) * bin_ns);
+                *slot += hi - lo;
+            }
+        }
+        rows.sort_by_key(|r| (r.pid, r.core));
+        CoreTimeline { bin_ns, bins, rows }
+    }
+
+    /// Total busy ns for one activity class across all cores and bins.
+    pub fn total_ns(&self, activity: Activity) -> u64 {
+        self.rows
+            .iter()
+            .map(|r| r.ns[activity as usize].iter().sum::<u64>())
+            .sum()
+    }
+
+    /// CSV: one row per `(core, bin)` with per-class busy ns and the
+    /// occupancy fraction.
+    pub fn to_csv(&self) -> String {
+        let mut s =
+            String::from("pid,core,bin,bin_start_ns,handler_ns,consume_ns,idle_ns,busy_frac\n");
+        for r in &self.rows {
+            for bin in 0..self.bins {
+                let handler = r.ns[0][bin];
+                let consume = r.ns[1][bin];
+                let busy = handler + consume;
+                let idle = self.bin_ns.saturating_sub(busy);
+                s.push_str(&format!(
+                    "{},{},{},{},{},{},{},{:.4}\n",
+                    r.pid,
+                    r.core,
+                    bin,
+                    bin as u64 * self.bin_ns,
+                    handler,
+                    consume,
+                    idle,
+                    busy as f64 / self.bin_ns as f64,
+                ));
+            }
+        }
+        s
+    }
+
+    /// ASCII heatmap for one activity class: one row per core, one
+    /// character per bin, brightness = occupancy (clamped at 1.0).
+    pub fn heatmap(&self, activity: Activity) -> String {
+        const SHADES: &[u8] = b" .:-=+*#%@";
+        let mut out = format!(
+            "{} occupancy ({} bins x {} ns)\n",
+            activity.name(),
+            self.bins,
+            self.bin_ns
+        );
+        for r in &self.rows {
+            out.push_str(&format!("client {} core {:>2} |", r.pid, r.core));
+            for &busy in &r.ns[activity as usize] {
+                let frac = busy as f64 / self.bin_ns as f64;
+                let idx = ((frac * SHADES.len() as f64) as usize).min(SHADES.len() - 1);
+                out.push(SHADES[idx] as char);
+            }
+            out.push_str("|\n");
+        }
+        out
+    }
+
+    /// Both heatmaps, handler first.
+    pub fn render(&self) -> String {
+        let mut s = self.heatmap(Activity::Handler);
+        s.push('\n');
+        s.push_str(&self.heatmap(Activity::Consume));
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::{FlightRecorder, SpanId};
+    use sais_sim::SimTime;
+
+    /// Two cores over a 100µs run: core 1 handles interrupts early, core 2
+    /// consumes late.
+    fn two_core_trace() -> Trace {
+        let mut r = FlightRecorder::enabled(16);
+        let t = SimTime::from_micros;
+        let root = r.begin(t(0), "read", "request", 0, 100, SpanId::NONE);
+        let strip = r.begin(t(0), "strip", "strip", 0, 100, root);
+        let irq = r.begin(t(10), "irq", "interrupt", 0, 1, strip);
+        r.end(irq, t(30));
+        let copy = r.begin(t(60), "copy", "consume", 0, 2, strip);
+        r.end(copy, t(100));
+        r.end(strip, t(100));
+        r.end(root, t(100));
+        Trace::from_recorder(&r)
+    }
+
+    #[test]
+    fn bins_conserve_span_time() {
+        let tl = CoreTimeline::build(&two_core_trace(), 10);
+        assert_eq!(tl.bin_ns, 10_000);
+        assert_eq!(tl.total_ns(Activity::Handler), 20_000);
+        assert_eq!(tl.total_ns(Activity::Consume), 40_000);
+        assert_eq!(tl.rows.len(), 2);
+        // Core 1, bins 1..3 fully busy handling.
+        let core1 = &tl.rows[0];
+        assert_eq!(
+            (core1.core, core1.ns[0][1], core1.ns[0][2]),
+            (1, 10_000, 10_000)
+        );
+        assert_eq!(core1.ns[0][0], 0);
+        assert_eq!(core1.ns[1].iter().sum::<u64>(), 0, "core 1 never consumes");
+    }
+
+    #[test]
+    fn spans_crossing_bin_edges_split_exactly() {
+        let mut r = FlightRecorder::enabled(4);
+        let s = r.begin(
+            SimTime::from_nanos(1_500),
+            "irq",
+            "interrupt",
+            0,
+            0,
+            SpanId::NONE,
+        );
+        r.end(s, SimTime::from_nanos(2_500));
+        // end_ns = 2_500 ⇒ 3 bins of ceil(2500/3) = 834 ns.
+        let tl = CoreTimeline::build(&Trace::from_recorder(&r), 3);
+        assert_eq!(tl.total_ns(Activity::Handler), 1_000);
+        let row = &tl.rows[0];
+        assert_eq!(row.ns[0][1], 168, "834*2 - 1500");
+        assert_eq!(row.ns[0][2], 832, "2500 - 834*2");
+    }
+
+    #[test]
+    fn csv_covers_every_core_bin_pair() {
+        let tl = CoreTimeline::build(&two_core_trace(), 5);
+        let csv = tl.to_csv();
+        assert_eq!(csv.lines().count(), 1 + 2 * 5);
+        assert!(csv.starts_with("pid,core,bin,"));
+        // Core 1's 10–30µs irq splits across bins 0 and 1 (20µs bins).
+        assert!(csv.contains("0,1,0,0,10000,0,10000,0.5000"), "{csv}");
+        // Core 2's 60–100µs copy fills bin 3 completely.
+        assert!(csv.contains("0,2,3,60000,0,20000,0,1.0000"), "{csv}");
+    }
+
+    #[test]
+    fn heatmap_shows_rows_and_brightness() {
+        let tl = CoreTimeline::build(&two_core_trace(), 10);
+        let hm = tl.heatmap(Activity::Handler);
+        let lines: Vec<&str> = hm.lines().collect();
+        assert_eq!(lines.len(), 3, "title + two core rows");
+        assert!(lines[1].starts_with("client 0 core  1 |"));
+        // Fully-busy bins render the brightest shade.
+        assert!(lines[1].contains('@'), "{hm}");
+        // The consume heatmap lights the other core.
+        let cm = tl.heatmap(Activity::Consume);
+        assert!(cm.lines().nth(2).unwrap().contains('@'), "{cm}");
+        assert!(tl.render().contains("consume occupancy"));
+    }
+
+    #[test]
+    fn empty_trace_renders_empty() {
+        let tl = CoreTimeline::build(&Trace::default(), 4);
+        assert_eq!(tl.rows.len(), 0);
+        assert_eq!(tl.to_csv().lines().count(), 1);
+    }
+}

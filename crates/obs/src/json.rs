@@ -1,12 +1,16 @@
-//! A minimal JSON reader for validating exported artifacts.
+//! A minimal JSON reader/writer for exported artifacts.
 //!
 //! The build environment vendors no external crates, and the exporters in
 //! this crate hand-write their JSON — so the tests that assert "the trace
 //! is structurally valid Chrome/Perfetto JSON" need an actual parser, not
-//! string scanning. This is a small recursive-descent reader covering the
-//! full JSON grammar (objects, arrays, strings with escapes, numbers,
-//! booleans, null). It is a *test and tooling* utility: forgiving of
-//! nothing, optimized for clarity over speed.
+//! string scanning, and the trace analyzer needs to load those artifacts
+//! back. This is a small recursive-descent reader covering the full JSON
+//! grammar (objects, arrays, strings with escapes, numbers, booleans,
+//! null), plus a canonical serializer ([`JsonValue::to_json`]) so parsed
+//! documents round-trip. Duplicate object keys are rejected at parse time:
+//! the exporters never produce them and silently keeping the first (or
+//! last) would hide exporter bugs. It is a *test and tooling* utility:
+//! forgiving of nothing, optimized for clarity over speed.
 
 use std::fmt;
 
@@ -110,6 +114,72 @@ impl JsonValue {
             _ => None,
         }
     }
+
+    /// Serialize back to compact JSON. Key order is preserved, so
+    /// `parse(v.to_json()) == v` for any parsed document (numbers are
+    /// emitted with enough precision to round-trip f64 exactly).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Num(n) => {
+                if n.fract() == 0.0 && n.abs() <= 2f64.powi(53) {
+                    out.push_str(&format!("{}", *n as i64));
+                } else {
+                    // `{:?}` prints the shortest string that parses back to
+                    // the same f64 — lossless for the round-trip guarantee.
+                    out.push_str(&format!("{n:?}"));
+                }
+            }
+            JsonValue::Str(s) => write_json_string(s, out),
+            JsonValue::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            JsonValue::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_json_string(k, out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn write_json_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{8}' => out.push_str("\\b"),
+            '\u{c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
 }
 
 struct Parser<'a> {
@@ -182,6 +252,9 @@ impl<'a> Parser<'a> {
             self.expect(b':')?;
             self.skip_ws();
             let val = self.value()?;
+            if fields.iter().any(|(k, _)| *k == key) {
+                return Err(self.err(format!("duplicate object key `{key}`")));
+            }
             fields.push((key, val));
             self.skip_ws();
             match self.peek() {
@@ -359,5 +432,81 @@ mod tests {
         assert_eq!(JsonValue::parse("{}").unwrap(), JsonValue::Obj(vec![]));
         assert_eq!(JsonValue::parse("[]").unwrap(), JsonValue::Arr(vec![]));
         assert_eq!(JsonValue::parse(" [ ] ").unwrap(), JsonValue::Arr(vec![]));
+    }
+
+    /// parse → serialize → parse must be the identity on any document.
+    fn assert_round_trips(text: &str) {
+        let v = JsonValue::parse(text).expect("document parses");
+        let re = v.to_json();
+        let v2 = JsonValue::parse(&re).unwrap_or_else(|e| panic!("reserialized `{re}`: {e}"));
+        assert_eq!(v, v2, "round trip changed the document");
+        // Serialization is a fixed point after one pass.
+        assert_eq!(re, v2.to_json());
+    }
+
+    #[test]
+    fn snapshot_document_round_trips() {
+        use crate::registry::MetricRegistry;
+        use sais_metrics::Histogram;
+        use sais_sim::SimTime;
+        let mut reg = MetricRegistry::new();
+        reg.counter("reads.completed", 42);
+        reg.gauge("bandwidth.gbps", 2.875);
+        let mut h = Histogram::new();
+        for v in [100, 2_000, 30_000, 400_000] {
+            h.record(v);
+        }
+        reg.histogram("latency.read_ns", &h);
+        assert_round_trips(&reg.snapshot(SimTime::from_micros(1234)).to_json());
+    }
+
+    #[test]
+    fn trace_document_round_trips() {
+        use crate::perfetto;
+        use crate::span::{FlightRecorder, SpanId};
+        use sais_sim::SimTime;
+        let mut r = FlightRecorder::enabled(16);
+        let t = SimTime::from_micros;
+        let req = r.begin(t(10), "read", "request", 0, 100, SpanId::NONE);
+        r.set_arg(req, "read_id", 7);
+        let strip = r.begin(t(10), "strip", "strip", 0, 100, req);
+        let irq = r.begin(t(20), "irq", "interrupt", 0, 3, strip);
+        r.end(irq, t(25));
+        r.end(strip, t(40));
+        r.end(req, t(40));
+        r.name_track(0, 3, "core 3");
+        r.instant(t(40), "request_done", 0, 100, 7);
+        assert_round_trips(&perfetto::to_chrome_json(&r));
+    }
+
+    #[test]
+    fn scalar_and_string_round_trips() {
+        for doc in [
+            "null",
+            "true",
+            "-17",
+            "0.125",
+            "1e300",
+            r#""plain""#,
+            r#""esc \" \\ \n \t ""#,
+            r#"{"mixed": [1, "two", null, {"deep": [[]]}]}"#,
+        ] {
+            assert_round_trips(doc);
+        }
+    }
+
+    #[test]
+    fn malformed_inputs_error_not_panic() {
+        for bad in [
+            r#"{"truncated": {"a": 1"#, // truncated object
+            r#"{"bad": "esc\qape"}"#,   // bad escape
+            r#"{"k": 1, "k": 2}"#,      // duplicate key
+            r#"{"u": "trunc\u00"}"#,    // truncated \u escape
+            "[1, 2",                    // truncated array
+        ] {
+            assert!(JsonValue::parse(bad).is_err(), "accepted: {bad}");
+        }
+        let dup = JsonValue::parse(r#"{"k": 1, "k": 2}"#).unwrap_err();
+        assert!(dup.msg.contains("duplicate"), "{dup}");
     }
 }

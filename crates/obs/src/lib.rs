@@ -24,10 +24,15 @@
 //!   file at <https://ui.perfetto.dev> and see one read request fan out to
 //!   its strips, each strip's interrupts land on handler cores and the
 //!   copies land on the consumer.
-//! * [`json`] — a minimal JSON reader used by tests to validate exported
-//!   traces and snapshots structurally (no external JSON dependency).
+//! * [`analyze`] — trace analysis: critical-path blame attribution, policy
+//!   trace diffs, per-core activity timelines and tail forensics, computed
+//!   from a live recorder or from exported trace JSON.
+//! * [`json`] — a minimal JSON reader/writer used by the analyzer and by
+//!   tests to validate exported traces and snapshots structurally (no
+//!   external JSON dependency).
 //! * [`progress`] — host-side progress reporting for long parallel sweeps.
 
+pub mod analyze;
 pub mod json;
 pub mod perfetto;
 pub mod progress;

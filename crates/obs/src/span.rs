@@ -290,6 +290,58 @@ impl FlightRecorder {
     pub fn span_heap_capacity(&self) -> usize {
         self.spans.capacity()
     }
+
+    /// Structural integrity check over the recorded span forest:
+    ///
+    /// * every non-root span's parent index refers to a stored span;
+    /// * parents begin before their children (`parent index < child
+    ///   index`), which also rules out parent cycles;
+    /// * no span ends before it starts;
+    /// * every closed child's interval lies within its parent's interval
+    ///   (an open parent admits any child end).
+    ///
+    /// Returns `Err` describing the first violation found.
+    pub fn check_integrity(&self) -> Result<(), String> {
+        for (i, s) in self.spans.iter().enumerate() {
+            if s.end != SimTime::MAX && s.end < s.start {
+                return Err(format!(
+                    "span {i} ({}) ends at {:?} before it starts at {:?}",
+                    s.name, s.end, s.start
+                ));
+            }
+            if !s.parent.is_some() {
+                continue;
+            }
+            let pi = s.parent.0 as usize;
+            if pi >= self.spans.len() {
+                return Err(format!(
+                    "span {i} ({}) has dangling parent {pi} (only {} spans)",
+                    s.name,
+                    self.spans.len()
+                ));
+            }
+            if pi >= i {
+                return Err(format!(
+                    "span {i} ({}) begins before its parent {pi}: cycle or misuse",
+                    s.name
+                ));
+            }
+            let p = &self.spans[pi];
+            if s.start < p.start {
+                return Err(format!(
+                    "span {i} ({}) starts at {:?} before parent {pi} ({}) at {:?}",
+                    s.name, s.start, p.name, p.start
+                ));
+            }
+            if p.end != SimTime::MAX && s.end != SimTime::MAX && s.end > p.end {
+                return Err(format!(
+                    "span {i} ({}) ends at {:?} after parent {pi} ({}) at {:?}",
+                    s.name, s.end, p.name, p.end
+                ));
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -380,5 +432,58 @@ mod tests {
         r.name_track(1, 3, "other client");
         assert_eq!(r.track_names().len(), 2);
         assert_eq!(r.track_names()[0].2, "core three");
+    }
+
+    #[test]
+    fn integrity_accepts_wellformed_trees() {
+        let mut r = FlightRecorder::enabled(16);
+        let t = SimTime::from_micros;
+        let req = r.begin(t(0), "read", "request", 0, 100, SpanId::NONE);
+        let strip = r.begin(t(0), "strip", "strip", 0, 100, req);
+        let irq = r.begin(t(5), "irq", "interrupt", 0, 2, strip);
+        r.end(irq, t(8));
+        let copy = r.begin(t(8), "copy", "consume", 0, 1, strip);
+        r.end(copy, t(20));
+        r.end(strip, t(20));
+        r.end(req, t(20));
+        assert_eq!(r.check_integrity(), Ok(()));
+        // Open spans are also fine: the recorder may be inspected mid-run.
+        let mut open = FlightRecorder::enabled(4);
+        let root = open.begin(t(1), "read", "request", 0, 100, SpanId::NONE);
+        open.begin(t(2), "strip", "strip", 0, 100, root);
+        assert_eq!(open.check_integrity(), Ok(()));
+    }
+
+    #[test]
+    fn integrity_rejects_child_outside_parent() {
+        let mut r = FlightRecorder::enabled(8);
+        let t = SimTime::from_micros;
+        let req = r.begin(t(10), "read", "request", 0, 100, SpanId::NONE);
+        let strip = r.begin(t(10), "strip", "strip", 0, 100, req);
+        r.end(strip, t(50));
+        r.end(req, t(30)); // parent closes before its child
+        let err = r.check_integrity().unwrap_err();
+        assert!(err.contains("after parent"), "{err}");
+    }
+
+    #[test]
+    fn integrity_rejects_child_starting_before_parent() {
+        let mut r = FlightRecorder::enabled(8);
+        let t = SimTime::from_micros;
+        let req = r.begin(t(10), "read", "request", 0, 100, SpanId::NONE);
+        let strip = r.begin(t(5), "strip", "strip", 0, 100, req);
+        r.end(strip, t(20));
+        r.end(req, t(20));
+        let err = r.check_integrity().unwrap_err();
+        assert!(err.contains("before parent"), "{err}");
+    }
+
+    #[test]
+    fn integrity_rejects_backwards_span() {
+        let mut r = FlightRecorder::enabled(4);
+        let s = r.begin(SimTime::from_micros(10), "s", "c", 0, 0, SpanId::NONE);
+        r.end(s, SimTime::from_micros(3));
+        let err = r.check_integrity().unwrap_err();
+        assert!(err.contains("before it starts"), "{err}");
     }
 }

@@ -1,0 +1,170 @@
+//! End-to-end trace-analysis tests: run real scenarios and check the
+//! analyzer's acceptance properties — blame categories partition every
+//! request's total exactly, SAIs deletes the migration-stall category
+//! while balanced steering pays it (matching the stage histograms), the
+//! same-seed same-policy diff is zero (determinism witness), and the
+//! RoundRobin→SAIs diff attributes the win to the stall/consume path.
+
+use sais_bench::analysis::{self, check_blame_sums, stall_share};
+use sais_core::scenario::PolicyChoice;
+use sais_obs::analyze::{blame_requests, diff_blames, BlameCategory, Trace};
+use sais_obs::{perfetto, Stage};
+
+fn report(policy: PolicyChoice) -> analysis::PolicyReport {
+    analysis::analyze_policy(policy, 20)
+}
+
+#[test]
+fn blame_categories_partition_every_request_exactly() {
+    for policy in [PolicyChoice::RoundRobin, PolicyChoice::SourceAware] {
+        let r = report(policy);
+        assert!(
+            !r.blames.is_empty(),
+            "{}: no requests blamed",
+            policy.label()
+        );
+        check_blame_sums(&r.blames).unwrap_or_else(|e| panic!("{}: {e}", policy.label()));
+        // The aggregate inherits exactness from the per-request partition.
+        assert_eq!(
+            r.table.ns.iter().sum::<u64>(),
+            r.table.total_ns,
+            "{}: aggregate drifted",
+            policy.label()
+        );
+    }
+}
+
+#[test]
+fn sais_deletes_migration_stall_and_roundrobin_pays_it() {
+    let rr = report(PolicyChoice::RoundRobin);
+    let sais = report(PolicyChoice::SourceAware);
+    assert_eq!(
+        sais.table.get(BlameCategory::MigrationStall),
+        0,
+        "SAIs must pay zero migration stall"
+    );
+    assert_eq!(stall_share(&sais), 0.0);
+    assert!(
+        rr.table.get(BlameCategory::MigrationStall) > 0,
+        "RoundRobin scatters interrupts, so strips must pay stalls"
+    );
+    // Handler work exists under both policies.
+    for r in [&rr, &sais] {
+        assert!(
+            r.table.get(BlameCategory::Handler) > 0,
+            "{}",
+            r.policy.label()
+        );
+        assert!(
+            r.table.get(BlameCategory::Consume) > 0,
+            "{}",
+            r.policy.label()
+        );
+    }
+}
+
+/// The blame aggregates must tell the same story as the stage histograms
+/// `tab_stages` prints: a policy records migration-stall *time* in the
+/// `Stage::MigrationStall` histogram iff the blame walk charges it
+/// migration-stall *blame*.
+#[test]
+fn blame_agrees_with_stage_histograms() {
+    for policy in [PolicyChoice::RoundRobin, PolicyChoice::SourceAware] {
+        let (_m, cluster) = analysis::demo_config(policy).run_full();
+        // The histogram records one sample per strip, including zeros; a
+        // nonzero max means some strip stalled.
+        let stage_stall_ns: u64 = cluster
+            .stages()
+            .get(Stage::MigrationStall)
+            .map(|h| h.max())
+            .unwrap_or(0);
+        let trace = Trace::from_recorder(cluster.recorder());
+        let blames = blame_requests(&trace);
+        let table = sais_obs::analyze::BlameTable::aggregate(&blames);
+        let blamed = table.get(BlameCategory::MigrationStall);
+        assert_eq!(
+            stage_stall_ns > 0,
+            blamed > 0,
+            "{}: stages say stall max {} ns, blame says {} ns",
+            policy.label(),
+            stage_stall_ns,
+            blamed
+        );
+    }
+}
+
+#[test]
+fn same_policy_same_seed_diff_is_zero() {
+    let a = report(PolicyChoice::SourceAware);
+    let b = report(PolicyChoice::SourceAware);
+    let d = diff_blames(&a.blames, &b.blames, analysis::DIFF_THRESHOLD);
+    assert!(!d.aligned.is_empty());
+    assert!(d.is_zero(), "deterministic engine must diff to zero");
+}
+
+#[test]
+fn roundrobin_to_sais_diff_blames_the_stall_path() {
+    let a = analysis::analyze_demo(
+        PolicyChoice::RoundRobin,
+        PolicyChoice::SourceAware,
+        analysis::TIMELINE_BINS,
+    );
+    assert_eq!(a.diff.unmatched_a, 0, "same scenario+seed aligns fully");
+    assert_eq!(a.diff.unmatched_b, 0);
+    assert!(
+        a.diff.delta_total_ns < 0,
+        "SAIs must be faster: delta {} ns",
+        a.diff.delta_total_ns
+    );
+    // The stall category is deleted outright.
+    assert!(a.diff.delta_ns[BlameCategory::MigrationStall.index()] < 0);
+    // The improvement is dominated by the handler→consume path: the
+    // stall itself or the consume/queueing time around it.
+    let dominant = a.diff.dominant();
+    assert!(
+        matches!(
+            dominant,
+            BlameCategory::MigrationStall | BlameCategory::Consume | BlameCategory::IrqQueue
+        ),
+        "dominant shift was {}",
+        dominant.name()
+    );
+}
+
+#[test]
+fn real_run_passes_span_integrity() {
+    for policy in [PolicyChoice::RoundRobin, PolicyChoice::SourceAware] {
+        let (_m, cluster) = analysis::demo_config(policy).run_full();
+        cluster
+            .recorder()
+            .check_integrity()
+            .unwrap_or_else(|e| panic!("{}: {e}", policy.label()));
+    }
+}
+
+/// The artifact path equals the in-process path: blaming a trace loaded
+/// from the exported Chrome JSON gives byte-identical results.
+#[test]
+fn exported_trace_blames_identically_to_live_recorder() {
+    let (_m, cluster) = analysis::demo_config(PolicyChoice::RoundRobin).run_full();
+    let live = Trace::from_recorder(cluster.recorder());
+    let json = perfetto::to_chrome_json(cluster.recorder());
+    let loaded = Trace::from_chrome_json(&json).expect("export loads");
+    assert_eq!(blame_requests(&live), blame_requests(&loaded));
+}
+
+#[test]
+fn timeline_covers_all_cores_and_forensics_names_outliers() {
+    let r = report(PolicyChoice::RoundRobin);
+    assert!(!r.timeline.rows.is_empty());
+    let csv = r.timeline.to_csv();
+    assert!(csv.starts_with("pid,core,bin,"));
+    let heat = r.timeline.render();
+    assert!(heat.contains("handler occupancy") && heat.contains("consume occupancy"));
+    let forensics = sais_obs::analyze::tail_report(&r.blames, 0.99, 4);
+    assert!(
+        forensics.contains("requests at or above p99"),
+        "{forensics}"
+    );
+    assert!(forensics.contains("ns total"), "{forensics}");
+}
