@@ -30,5 +30,5 @@ pub mod redirection;
 pub use ioapic::IoApic;
 pub use lapic::LocalApic;
 pub use msg::{DeliveryMode, MsiMessage};
-pub use policy::{Policy, PolicyKind, SteerCtx};
+pub use policy::{Policy, PolicyKind, SteerCtx, SAIS_DEGRADE_AFTER};
 pub use redirection::{RedirectionEntry, RedirectionTable};

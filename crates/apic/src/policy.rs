@@ -119,10 +119,18 @@ pub enum Policy {
     /// together but ignore where the consumer runs.
     FlowHash,
     /// SAIs. When the hint is missing/corrupt, falls back to the inner
-    /// policy (the stock kernel path).
+    /// policy (the stock kernel path). A flow whose hints *stop arriving
+    /// altogether* — an option-stripping middlebox on its path — is
+    /// detected by its hint-less streak and degraded to RSS-style flow
+    /// hashing ([`SAIS_DEGRADE_AFTER`]), so its interrupts at least stay
+    /// on one stable core; a reappearing hint re-arms source-aware
+    /// steering immediately.
     SourceAware {
-        /// Fallback for hint-less packets.
+        /// Fallback for hint-less packets (before degradation kicks in).
         fallback: Box<Policy>,
+        /// Per-flow run of consecutive hint-less/invalid-hint interrupts.
+        /// A valid hint clears the flow's entry.
+        hintless_streak: std::collections::HashMap<u64, u32>,
     },
     /// Future-work integration of policies (ii) and (iii): follow the hint
     /// unless the hinted core's backlog exceeds the threshold, then steer
@@ -137,12 +145,25 @@ pub enum Policy {
     },
 }
 
+/// Consecutive hint-less interrupts after which SAIs stops consulting its
+/// fallback for a flow and degrades it to RSS-style flow hashing. One or
+/// two missing hints are transient (a corrupt header, a control segment);
+/// a run of them means the hint channel for that flow is gone.
+pub const SAIS_DEGRADE_AFTER: u32 = 3;
+
+/// The multiplicative mix an RSS indirection table effects: a stable
+/// per-flow core assignment.
+fn rss_spread(flow: u64, n: usize) -> CoreId {
+    (flow.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize % n
+}
+
 impl Policy {
     /// SAIs with the conventional irqbalance fallback — the configuration
     /// the paper's prototype uses.
     pub fn sais() -> Policy {
         Policy::SourceAware {
             fallback: Box::new(Policy::LowestLoaded),
+            hintless_streak: std::collections::HashMap::new(),
         }
     }
 
@@ -187,6 +208,21 @@ impl Policy {
         matches!(self, Policy::SourceAware { .. } | Policy::Hybrid { .. })
     }
 
+    /// Flows currently steered by the degraded RSS path (SourceAware
+    /// only): those whose hint-less streak reached [`SAIS_DEGRADE_AFTER`]
+    /// and have not produced a valid hint since.
+    pub fn degraded_flows(&self) -> u64 {
+        match self {
+            Policy::SourceAware {
+                hintless_streak, ..
+            } => hintless_streak
+                .values()
+                .filter(|&&s| s >= SAIS_DEGRADE_AFTER)
+                .count() as u64,
+            _ => 0,
+        }
+    }
+
     /// Choose the destination core for one interrupt.
     pub fn select(&mut self, ctx: &SteerCtx<'_>) -> CoreId {
         let n = ctx.cores.len();
@@ -215,13 +251,26 @@ impl Policy {
                 }
                 (*current).min(n - 1)
             }
-            Policy::FlowHash => {
-                // Same multiplicative mix RSS indirection tables effect.
-                (ctx.flow.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize % n
-            }
-            Policy::SourceAware { fallback } => match ctx.hint {
-                Some(core) if core < n => core,
-                _ => fallback.select(ctx),
+            Policy::FlowHash => rss_spread(ctx.flow, n),
+            Policy::SourceAware {
+                fallback,
+                hintless_streak,
+            } => match ctx.hint {
+                Some(core) if core < n => {
+                    // A valid hint immediately re-arms source-aware
+                    // steering for this flow.
+                    hintless_streak.remove(&ctx.flow);
+                    core
+                }
+                _ => {
+                    let streak = hintless_streak.entry(ctx.flow).or_insert(0);
+                    *streak = streak.saturating_add(1);
+                    if *streak >= SAIS_DEGRADE_AFTER {
+                        rss_spread(ctx.flow, n)
+                    } else {
+                        fallback.select(ctx)
+                    }
+                }
             },
             Policy::Hybrid {
                 overload_threshold,
@@ -389,6 +438,43 @@ mod tests {
         assert_eq!(p.select(&ctx(&cores, &loads, None, 0)), 1);
         // Out-of-range hint (corrupt option) → fallback too.
         assert_eq!(p.select(&ctx(&cores, &loads, Some(9), 0)), 1);
+    }
+
+    #[test]
+    fn source_aware_degrades_to_rss_after_streak_and_recovers() {
+        let mut cores = make_cores(4);
+        let loads = LoadTracker::new(4, SimDuration::from_millis(10));
+        // Load core 0 so the LowestLoaded fallback is distinguishable
+        // from RSS hashing when they disagree.
+        cores[0].run(
+            SimTime::from_micros(1),
+            SimDuration::from_micros(100),
+            WorkClass::SoftIrq,
+        );
+        let mut p = Policy::sais();
+        let flow = 77u64;
+        let rss = {
+            let mut fh = Policy::FlowHash;
+            fh.select(&ctx(&cores, &loads, None, flow))
+        };
+        // Below the streak threshold: stock fallback, not yet degraded.
+        for _ in 0..(SAIS_DEGRADE_AFTER - 1) {
+            p.select(&ctx(&cores, &loads, None, flow));
+            assert_eq!(p.degraded_flows(), 0);
+        }
+        // Crossing it: the flow pins to its RSS core and stays there.
+        for _ in 0..5 {
+            assert_eq!(p.select(&ctx(&cores, &loads, None, flow)), rss);
+        }
+        assert_eq!(p.degraded_flows(), 1);
+        // A second hint-less flow degrades independently.
+        for _ in 0..SAIS_DEGRADE_AFTER {
+            p.select(&ctx(&cores, &loads, Some(99), flow + 1));
+        }
+        assert_eq!(p.degraded_flows(), 2);
+        // A valid hint re-arms the first flow immediately.
+        assert_eq!(p.select(&ctx(&cores, &loads, Some(2), flow)), 2);
+        assert_eq!(p.degraded_flows(), 1);
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! it is not.
 
 use crate::harness::observability_demo_config;
-use sais_core::scenario::PolicyChoice;
+use sais_core::scenario::{FaultPlan, PolicyChoice, ScenarioConfig};
 use sais_obs::analyze::{
     blame_requests, diff_blames, tail_report, BlameCategory, BlameTable, CoreTimeline,
     RequestBlame, Trace, TraceDiff, CATEGORIES,
@@ -34,8 +34,19 @@ pub const TAIL_MAX_SHOWN: usize = 8;
 
 /// The demo scenario under a specific steering policy (same scenario and
 /// seed for every policy, so traces align request by request).
-pub fn demo_config(policy: PolicyChoice) -> sais_core::scenario::ScenarioConfig {
+pub fn demo_config(policy: PolicyChoice) -> ScenarioConfig {
     observability_demo_config().with_policy(policy)
+}
+
+/// The demo scenario with an option-stripping middlebox on every flow —
+/// the degraded-mode counterpart of [`demo_config`]. SAIs loses its hint
+/// channel entirely, falls back to RSS-style per-flow steering, and the
+/// `migration_stall` blame category reappears in its trace.
+pub fn faulted_demo_config(policy: PolicyChoice) -> ScenarioConfig {
+    demo_config(policy).with_faults(FaultPlan {
+        option_strip: 1.0,
+        ..FaultPlan::none()
+    })
 }
 
 /// One policy's run, trace and derived analyses.
@@ -56,7 +67,14 @@ pub struct PolicyReport {
 /// the recorded span forest fails the integrity check — an analysis of a
 /// malformed trace would be quietly wrong.
 pub fn analyze_policy(policy: PolicyChoice, bins: usize) -> PolicyReport {
-    let (_run, cluster) = demo_config(policy).run_full();
+    analyze_config(demo_config(policy), bins)
+}
+
+/// [`analyze_policy`] for an arbitrary instrumented scenario (e.g. the
+/// faulted demo). The config must have spans enabled.
+pub fn analyze_config(cfg: ScenarioConfig, bins: usize) -> PolicyReport {
+    let policy = cfg.policy;
+    let (_run, cluster) = cfg.run_full();
     cluster
         .recorder()
         .check_integrity()
@@ -93,6 +111,16 @@ pub struct DemoAnalysis {
 pub fn analyze_demo(base: PolicyChoice, cand: PolicyChoice, bins: usize) -> DemoAnalysis {
     let base = analyze_policy(base, bins);
     let cand = analyze_policy(cand, bins);
+    let diff = diff_blames(&base.blames, &cand.blames, DIFF_THRESHOLD);
+    DemoAnalysis { base, cand, diff }
+}
+
+/// [`analyze_demo`] with the option-stripping middlebox active on every
+/// flow ([`faulted_demo_config`]): the degraded-mode comparison behind
+/// `trace_analyze --faults`.
+pub fn analyze_demo_faulted(base: PolicyChoice, cand: PolicyChoice, bins: usize) -> DemoAnalysis {
+    let base = analyze_config(faulted_demo_config(base), bins);
+    let cand = analyze_config(faulted_demo_config(cand), bins);
     let diff = diff_blames(&base.blames, &cand.blames, DIFF_THRESHOLD);
     DemoAnalysis { base, cand, diff }
 }

@@ -23,6 +23,12 @@
 //! `--assert-zero-stall` additionally exits 1 unless the SAIs run's
 //! migration-stall blame is exactly zero while the baseline's is not —
 //! the paper's causal claim as a CI assertion.
+//!
+//! `--faults` runs the demo with the option-stripping middlebox active on
+//! every flow, and `--assert-nonzero-stall` is its CI counterpart: exit 1
+//! unless the hintless SAIs run pays a nonzero migration stall — the
+//! graceful-degradation claim (SAIs without its hint channel behaves like
+//! RSS, it does not break) as an assertion.
 
 use sais_bench::analysis::{self, DemoAnalysis};
 use sais_core::scenario::PolicyChoice;
@@ -30,11 +36,13 @@ use sais_obs::analyze::{BlameCategory, Trace};
 use std::path::{Path, PathBuf};
 
 const USAGE: &str = "usage: trace_analyze [--input <trace.json>] [--out-dir <dir>] \
-[--bins <n>] [--assert-zero-stall]\n\
+[--bins <n>] [--faults] [--assert-zero-stall] [--assert-nonzero-stall]\n\
   --input <trace.json>  analyze an exported Perfetto trace instead of running the demo\n\
   --out-dir <dir>       where reports land (default: target/experiments/analysis)\n\
   --bins <n>            timeline bins (default: 60)\n\
-  --assert-zero-stall   exit 1 unless SAIs migration_stall is exactly 0 and the baseline's is not";
+  --faults              run the demo with an option-stripping middlebox on every flow\n\
+  --assert-zero-stall   exit 1 unless SAIs migration_stall is exactly 0 and the baseline's is not\n\
+  --assert-nonzero-stall  (with --faults) exit 1 unless hintless SAIs pays migration stalls";
 
 fn usage_error(msg: &str) -> ! {
     eprintln!("error: {msg}");
@@ -52,6 +60,8 @@ fn main() {
     let mut out_dir: Option<PathBuf> = None;
     let mut bins = analysis::TIMELINE_BINS;
     let mut assert_zero_stall = false;
+    let mut assert_nonzero_stall = false;
+    let mut faults = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -67,19 +77,33 @@ fn main() {
                 Some(n) if n > 0 => bins = n,
                 _ => usage_error("`--bins` requires a positive integer"),
             },
+            "--faults" => faults = true,
             "--assert-zero-stall" => assert_zero_stall = true,
+            "--assert-nonzero-stall" => assert_nonzero_stall = true,
             other => usage_error(&format!("unknown argument `{other}`")),
         }
     }
-    if assert_zero_stall && input.is_some() {
-        usage_error("`--assert-zero-stall` needs the two-policy demo mode (no --input)");
+    if (assert_zero_stall || assert_nonzero_stall || faults) && input.is_some() {
+        usage_error("`--faults` and the stall assertions need the demo mode (no --input)");
+    }
+    if assert_zero_stall && faults {
+        usage_error("`--assert-zero-stall` is a clean-demo assertion; with `--faults` use `--assert-nonzero-stall`");
+    }
+    if assert_nonzero_stall && !faults {
+        usage_error("`--assert-nonzero-stall` requires `--faults`");
     }
     let out_dir =
         out_dir.unwrap_or_else(|| sais_bench::harness::experiments_dir().join("analysis"));
 
     match input {
         Some(path) => analyze_artifact(&path, &out_dir, bins),
-        None => analyze_demo(&out_dir, bins, assert_zero_stall),
+        None => analyze_demo(
+            &out_dir,
+            bins,
+            faults,
+            assert_zero_stall,
+            assert_nonzero_stall,
+        ),
     }
 }
 
@@ -121,10 +145,20 @@ fn analyze_artifact(path: &Path, out_dir: &Path, bins: usize) {
 }
 
 /// Demo mode: run RoundRobin vs SAIs in-process and report on both.
-fn analyze_demo(out_dir: &Path, bins: usize, assert_zero_stall: bool) {
-    eprintln!("running demo scenario under RoundRobin and SAIs ...");
-    let a: DemoAnalysis =
-        analysis::analyze_demo(PolicyChoice::RoundRobin, PolicyChoice::SourceAware, bins);
+fn analyze_demo(
+    out_dir: &Path,
+    bins: usize,
+    faults: bool,
+    assert_zero_stall: bool,
+    assert_nonzero_stall: bool,
+) {
+    let a: DemoAnalysis = if faults {
+        eprintln!("running demo scenario under RoundRobin and SAIs (option-stripping middlebox on every flow) ...");
+        analysis::analyze_demo_faulted(PolicyChoice::RoundRobin, PolicyChoice::SourceAware, bins)
+    } else {
+        eprintln!("running demo scenario under RoundRobin and SAIs ...");
+        analysis::analyze_demo(PolicyChoice::RoundRobin, PolicyChoice::SourceAware, bins)
+    };
     analysis::check_blame_sums(&a.base.blames).unwrap_or_else(|e| fail(&e));
     analysis::check_blame_sums(&a.cand.blames).unwrap_or_else(|e| fail(&e));
     match analysis::write_reports(out_dir, &a) {
@@ -178,6 +212,21 @@ fn analyze_demo(out_dir: &Path, bins: usize, assert_zero_stall: bool) {
             a.base.policy.label(),
             base_stall,
             a.cand.policy.label()
+        );
+    }
+    if assert_nonzero_stall {
+        let cand_stall = a.cand.table.get(BlameCategory::MigrationStall);
+        if cand_stall == 0 {
+            fail(&format!(
+                "{} migration_stall is 0 ns under the option-stripping middlebox — \
+                 degradation to RSS-style steering should reintroduce stalls",
+                a.cand.policy.label()
+            ));
+        }
+        eprintln!(
+            "nonzero-stall assertion holds: hintless {} pays {} ns of migration_stall",
+            a.cand.policy.label(),
+            cand_stall
         );
     }
 }

@@ -4,7 +4,7 @@
 use crate::harness::{emit, Scale, Sweep};
 use sais_core::analysis;
 use sais_core::memsim::{MemSimConfig, MemSimMode};
-use sais_core::scenario::{PolicyChoice, ScenarioConfig};
+use sais_core::scenario::{FaultPlan, PolicyChoice, ScenarioConfig};
 use sais_metrics::format::{bytes_human, pct_signed};
 use sais_metrics::{BarChart, Table};
 use sais_workload::multiclient_config;
@@ -545,6 +545,76 @@ pub fn abl_memsim_readahead(scale: Scale) {
     emit("abl_memsim_readahead", &table);
 }
 
+/// The degradation table's CSV header, pinned so downstream consumers can
+/// rely on the schema (`fig_faults_cli` asserts it byte for byte).
+pub const FIG_FAULTS_HEADER: &str = "scenario,policy,loss,strip,straggler,MB/s,p99_ms,\
+retransmits,stripped_batches,degraded_flows,migrated_strips";
+
+/// The degradation table's fault grid: `(scenario, loss, strip, straggler
+/// multiplier on server 0)`. `1.0` means no straggler.
+pub const FIG_FAULTS_GRID: [(&str, f64, f64, f64); 8] = [
+    ("clean", 0.0, 0.0, 1.0),
+    ("loss1pct", 0.01, 0.0, 1.0),
+    ("loss5pct", 0.05, 0.0, 1.0),
+    ("strip50pct", 0.0, 0.5, 1.0),
+    ("strip100pct", 0.0, 1.0, 1.0),
+    ("straggler20x", 0.0, 0.0, 20.0),
+    ("loss2pct_strip50pct", 0.02, 0.5, 1.0),
+    ("loss5pct_strip100pct_straggler20x", 0.05, 1.0, 20.0),
+];
+
+/// Extension figure: graceful degradation under injected faults. Sweeps
+/// the [`FIG_FAULTS_GRID`] fault plans — packet loss, an option-stripping
+/// middlebox and a straggling server, alone and combined — under the
+/// irqbalance baseline and SAIs. The interesting property is the paper's
+/// failure story made quantitative: stripping the IP option never breaks
+/// SAIs, it degrades it per-flow to RSS-style steering (visible as
+/// `degraded_flows` and reappearing `migrated_strips`), while loss costs
+/// both policies the same recovery time.
+pub fn fig_faults(scale: Scale) {
+    let file_size = match scale {
+        Scale::Quick => 8 << 20,
+        Scale::Default => 16 << 20,
+        Scale::Full => 64 << 20,
+    };
+    let columns: Vec<&str> = FIG_FAULTS_HEADER.split(',').collect();
+    let mut table = Table::new(
+        "Extension — graceful degradation under injected faults (8 servers, 512K, 3-Gig NIC)",
+        &columns,
+    );
+    for &(scenario, loss, strip, straggler) in &FIG_FAULTS_GRID {
+        for policy in [PolicyChoice::LowestLoaded, PolicyChoice::SourceAware] {
+            let mut cfg = testbed(3, 8, 512 << 10);
+            cfg.file_size = file_size;
+            cfg.faults = FaultPlan {
+                loss,
+                option_strip: strip,
+                stragglers: if straggler > 1.0 {
+                    vec![(0, straggler)]
+                } else {
+                    Vec::new()
+                },
+                ..FaultPlan::none()
+            };
+            let m = cfg.with_policy(policy).run();
+            table.row(&[
+                scenario.to_string(),
+                policy.label().to_string(),
+                format!("{loss:.2}"),
+                format!("{strip:.2}"),
+                format!("{straggler:.1}"),
+                format!("{:.2}", m.bandwidth_mbs()),
+                format!("{:.3}", m.latency_p99_ms()),
+                m.retransmits.to_string(),
+                m.stripped_options.to_string(),
+                m.degraded_flows.to_string(),
+                m.strip_migrations.to_string(),
+            ]);
+        }
+    }
+    emit("fig_faults", &table);
+}
+
 /// Extension table: request-latency distribution per policy — the paper
 /// reports throughput; blocking reads make latency the underlying quantity,
 /// and the tail is where scattered interrupts hurt interactive users.
@@ -643,6 +713,7 @@ pub fn run_all(scale: Scale) {
     abl_write_path(scale);
     abl_irqbalance_granularity(scale);
     abl_memsim_readahead(scale);
+    fig_faults(scale);
     tab_latency(scale);
     tab_stages(scale);
 }

@@ -1,0 +1,112 @@
+//! Subprocess tests of the `fig_faults` binary: the degradation table's
+//! stdout is machine-clean CSV with a pinned schema, the clean cell is
+//! fault-free, the stripped cell shows SAIs degrading gracefully, and
+//! flag parsing stays strict.
+
+use sais_bench::figures::{FIG_FAULTS_GRID, FIG_FAULTS_HEADER};
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_fig_faults"))
+}
+
+fn assert_pure_csv(stdout: &str, header: &str) {
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert!(!lines.is_empty(), "empty stdout");
+    assert_eq!(lines[0], header, "header line");
+    let cols = lines[0].matches(',').count();
+    for line in &lines {
+        assert_eq!(line.matches(',').count(), cols, "ragged CSV row: {line}");
+        assert!(
+            !line.contains('[') && !line.contains('|') && !line.contains("..."),
+            "non-CSV noise on stdout: {line}"
+        );
+    }
+}
+
+/// Split one CSV data row into named columns, by the pinned header.
+fn row(line: &str) -> Vec<&str> {
+    line.split(',').collect()
+}
+
+#[test]
+fn quick_run_emits_the_pinned_schema_and_degrades_gracefully() {
+    let out = bin().arg("--quick").output().expect("fig_faults runs");
+    assert!(
+        out.status.success(),
+        "exit: {:?}, stderr: {}",
+        out.status.code(),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).expect("utf8 stdout");
+    assert_pure_csv(&stdout, FIG_FAULTS_HEADER);
+    let lines: Vec<&str> = stdout.lines().collect();
+    // One row per (scenario, policy) pair, in grid order.
+    assert_eq!(lines.len(), 1 + FIG_FAULTS_GRID.len() * 2);
+
+    let header: Vec<&str> = FIG_FAULTS_HEADER.split(',').collect();
+    let col = |name: &str| {
+        header
+            .iter()
+            .position(|h| *h == name)
+            .unwrap_or_else(|| panic!("column {name} in pinned header"))
+    };
+    let find = |scenario: &str, policy: &str| -> Vec<&str> {
+        lines
+            .iter()
+            .find(|l| l.starts_with(&format!("{scenario},{policy},")))
+            .map(|l| row(l))
+            .unwrap_or_else(|| panic!("row {scenario}/{policy} present"))
+    };
+
+    // The clean SAIs cell is the zero-stall story: no faults observed, no
+    // flows degraded, no strips migrated.
+    let clean = find("clean", "SAIs");
+    for name in [
+        "retransmits",
+        "stripped_batches",
+        "degraded_flows",
+        "migrated_strips",
+    ] {
+        assert_eq!(clean[col(name)], "0", "clean SAIs {name}");
+    }
+
+    // Under a 100% option-stripping middlebox SAIs keeps running but
+    // degrades: batches are stripped, flows are marked degraded, and
+    // migrations reappear — while bandwidth stays nonzero (no collapse).
+    let stripped = find("strip100pct", "SAIs");
+    for name in ["stripped_batches", "degraded_flows", "migrated_strips"] {
+        assert_ne!(stripped[col(name)], "0", "stripped SAIs {name}");
+    }
+    let bw: f64 = stripped[col("MB/s")].parse().expect("numeric bandwidth");
+    assert!(bw > 0.0, "stripped SAIs still delivers");
+
+    // The baseline never reads the option, so stripping shows nothing.
+    let base = find("strip100pct", "Irqbalance");
+    assert_eq!(base[col("stripped_batches")], "0");
+    assert_eq!(base[col("degraded_flows")], "0");
+
+    // Loss scenarios drive the retransmit machinery for both policies.
+    let lossy = find("loss5pct", "SAIs");
+    assert_ne!(lossy[col("retransmits")], "0");
+}
+
+#[test]
+fn quick_runs_are_byte_identical() {
+    // The degradation table is part of the deterministic-output contract:
+    // the fault stream is seeded, so two quick runs agree byte for byte.
+    let a = bin().arg("--quick").output().expect("first run");
+    let b = bin().arg("--quick").output().expect("second run");
+    assert!(a.status.success() && b.status.success());
+    assert_eq!(
+        a.stdout, b.stdout,
+        "fig_faults --quick must be reproducible"
+    );
+}
+
+#[test]
+fn unknown_flags_fail_loudly() {
+    let out = bin().arg("--bogus").output().unwrap();
+    assert_eq!(out.status.code(), Some(2), "unknown flag is a usage error");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
+}

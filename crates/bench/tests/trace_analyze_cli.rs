@@ -112,6 +112,62 @@ fn artifact_mode_round_trips_an_exported_trace() {
 }
 
 #[test]
+fn faulted_demo_mode_reintroduces_migration_stalls() {
+    let dir = scratch("faulted");
+    let out = bin()
+        .args([
+            "--out-dir",
+            dir.to_str().unwrap(),
+            "--bins",
+            "12",
+            "--faults",
+            "--assert-nonzero-stall",
+        ])
+        .output()
+        .expect("trace_analyze runs");
+    assert!(
+        out.status.success(),
+        "exit: {:?}, stderr: {}",
+        out.status.code(),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).expect("utf8 stdout");
+    assert_pure_csv(&stdout, "policy,requests,total_ns,category,ns,share");
+    // With the option-stripping middlebox on every flow, hintless SAIs
+    // pays migration stalls again — the row must be nonzero.
+    let sais_stall: Vec<&str> = stdout
+        .lines()
+        .filter(|l| l.starts_with("SAIs,") && l.contains(",migration_stall,"))
+        .collect();
+    assert_eq!(sais_stall.len(), 1);
+    assert!(
+        !sais_stall[0].contains(",migration_stall,0,"),
+        "expected nonzero stall: {}",
+        sais_stall[0]
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn fault_flags_must_be_consistent() {
+    // --assert-nonzero-stall is the faulted-demo assertion.
+    let out = bin().arg("--assert-nonzero-stall").output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    // --assert-zero-stall contradicts --faults.
+    let out = bin()
+        .args(["--faults", "--assert-zero-stall"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    // --faults needs the demo mode.
+    let out = bin()
+        .args(["--faults", "--input", "/nonexistent/never.json"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
 fn unknown_flags_and_bad_input_fail_loudly() {
     let out = bin().arg("--bogus").output().unwrap();
     assert_eq!(out.status.code(), Some(2), "unknown flag is a usage error");

@@ -22,7 +22,10 @@ use sais_apic::IoApic;
 use sais_cpu::{CpuCore, CpuReport, LoadTracker, Process, WakePlacement, WorkClass};
 use sais_mem::fxmap::FxHashMap;
 use sais_mem::{AddrAlloc, AddrRange, MemorySystem};
-use sais_net::{CoalesceParams, EthernetFrame, FlowId, NicBond, PodFrame, SegmentPlan};
+use sais_net::{
+    simulate_transfer, CoalesceParams, EthernetFrame, FlowId, InterruptBatch, NicBond, PipeFaults,
+    PodFrame, SegmentPlan,
+};
 use sais_obs::{FlightRecorder, MetricRegistry, MetricSnapshot, SpanId, Stage, StageHistograms};
 use sais_pvfs::{HintList, IoServer, MetadataServer, ReadTracker, StripeLayout};
 use sais_sim::{Model, RateResource, Scheduler, SimDuration, SimRng, SimTime, TraceRing};
@@ -176,7 +179,19 @@ pub struct Cluster {
     plan_cache: FxHashMap<(u64, bool), SegmentPlan>,
     next_read: u64,
     next_strip: u64,
+    /// The fault stream: seeded from `cfg.faults.seed`, never from the
+    /// simulation seed, and drawn from **only** when a fault probability is
+    /// nonzero — so `FaultPlan::none()` leaves the clean path bit-identical.
+    fault_rng: SimRng,
+    /// Memoized clean-pipe TCP transfer times keyed by segment count, the
+    /// baseline the faulty transport's excess delay is measured against.
+    lossless_tcp: FxHashMap<u64, SimDuration>,
     retransmits: u64,
+    tcp_timeouts: u64,
+    tcp_duplicates: u64,
+    delayed_irqs: u64,
+    coalesced_merges: u64,
+    stripped_options: u64,
     requests_completed: u64,
     clients_done: usize,
     t_last_done: SimTime,
@@ -197,7 +212,7 @@ impl Cluster {
         let mut servers: Vec<IoServer> = (0..cfg.servers)
             .map(|i| IoServer::new(i, cfg.server.clone(), rng.split(i as u64 + 1)))
             .collect();
-        if let Some((idx, factor)) = cfg.straggler {
+        for &(idx, factor) in &cfg.faults.stragglers {
             servers[idx].set_slowdown(factor);
         }
         let mut meta = MetadataServer::new(layout);
@@ -225,6 +240,7 @@ impl Cluster {
         } else {
             StageHistograms::disabled()
         };
+        let fault_rng = SimRng::new(cfg.faults.seed);
         Cluster {
             cfg,
             clients,
@@ -238,7 +254,14 @@ impl Cluster {
             plan_cache: FxHashMap::default(),
             next_read: 0,
             next_strip: 0,
+            fault_rng,
+            lossless_tcp: FxHashMap::default(),
             retransmits: 0,
+            tcp_timeouts: 0,
+            tcp_duplicates: 0,
+            delayed_irqs: 0,
+            coalesced_merges: 0,
+            stripped_options: 0,
             requests_completed: 0,
             clients_done: 0,
             t_last_done: SimTime::ZERO,
@@ -278,6 +301,45 @@ impl Cluster {
         let first_pkt = plan.wire_bytes.min(self.cfg.mtu + sais_net::ETH_OVERHEAD);
         SimDuration::for_bytes(first_pkt, self.cfg.server.uplink_bps / 8.0)
             + self.cfg.server.propagation
+    }
+
+    /// Extra delay a faulty transport costs one strip's response stream.
+    ///
+    /// The strip's segments are driven through the NewReno sender/receiver
+    /// pair ([`simulate_transfer`]) over the perturbed pipe; the excess
+    /// over the memoized clean-pipe time shifts the strip's arrival at the
+    /// NIC, and the recovery work lands in the run's `retransmits` /
+    /// `tcp_timeouts` / `tcp_duplicates` counters. With a clean plan this
+    /// draws nothing and returns zero.
+    fn transport_excess(&mut self, segments: u64) -> SimDuration {
+        let f = &self.cfg.faults;
+        if !f.perturbs_transport() {
+            return SimDuration::ZERO;
+        }
+        let pipe = PipeFaults {
+            loss: f.loss,
+            duplication: f.duplication,
+            reorder: f.reorder,
+            reorder_delay: f.reorder_delay,
+        };
+        let rtt = self.cfg.request_net_delay;
+        let rto = self.cfg.retransmit_timeout;
+        let clean = *self.lossless_tcp.entry(segments).or_insert_with(|| {
+            // A clean pipe draws nothing, so this RNG is inert.
+            simulate_transfer(
+                segments,
+                rtt,
+                rto,
+                &PipeFaults::clean(),
+                &mut SimRng::new(0),
+            )
+            .elapsed
+        });
+        let rep = simulate_transfer(segments, rtt, rto, &pipe, &mut self.fault_rng);
+        self.retransmits += rep.retransmits;
+        self.tcp_timeouts += rep.timeouts;
+        self.tcp_duplicates += rep.duplicates;
+        rep.elapsed.saturating_sub(clean)
     }
 
     fn handle_start(&mut self, sched: &mut Scheduler<'_, Ev>) {
@@ -366,16 +428,7 @@ impl Cluster {
         for (i, sr) in strip_reqs.iter().enumerate() {
             let plan = self.segment_plan(sr.bytes, carries);
             let t_at_server = t_req + self.cfg.request_net_delay;
-            // Loss injection: the original transmission is dropped in the
-            // fabric; the server retransmits after the timeout.
-            let t_serve =
-                if self.cfg.strip_loss_prob > 0.0 && self.rng.chance(self.cfg.strip_loss_prob) {
-                    self.retransmits += 1;
-                    t_at_server + self.cfg.retransmit_timeout
-                } else {
-                    t_at_server
-                };
-            let tx = self.servers[sr.server].serve_strip(t_serve, sr.bytes, plan.wire_bytes);
+            let tx = self.servers[sr.server].serve_strip(t_at_server, sr.bytes, plan.wire_bytes);
             let server_ip = 0x0A01_0000 + sr.server as u32;
             // The response's first wire frame as plain old data. The byte
             // path (Ethernet II + FCS around the possibly option-carrying
@@ -419,7 +472,10 @@ impl Cluster {
                 },
             );
             user_off += sr.bytes;
-            let arrive = tx.start + self.cut_through(plan);
+            // Transport faults delay the whole response stream: the strip
+            // reaches the NIC later by however long NewReno recovery took
+            // over and above the clean pipe.
+            let arrive = tx.start + self.cut_through(plan) + self.transport_excess(plan.packets);
             sched.at(arrive, Ev::StripAtNic { strip: strip_id });
         }
     }
@@ -434,7 +490,7 @@ impl Cluster {
         let s = self.strips.get_mut(&strip).expect("strip state");
         let cl = &mut self.clients[s.client as usize];
         s.kbuf = cl.alloc.alloc(s.bytes);
-        let batches = cl.nic.receive_strip(
+        let mut batches = cl.nic.receive_strip(
             now,
             s.flow,
             plan,
@@ -442,6 +498,43 @@ impl Cluster {
                 max_frames: self.cfg.coalesce_frames,
             },
         );
+        // Interrupt-layer faults rewrite the batch schedule the NIC
+        // produced: a flaky coalescer merges a batch's frames into its
+        // successor, and a slow interrupt controller posts some batches
+        // late (which can reorder them against their neighbours).
+        if self.cfg.faults.perturbs_interrupts() {
+            let f = &self.cfg.faults;
+            if f.irq_coalesce > 0.0 && batches.len() > 1 {
+                let last = batches.len() - 1;
+                let mut merged = Vec::with_capacity(batches.len());
+                let mut carry_frames = 0u64;
+                let mut carry_bytes = 0u64;
+                for (i, b) in batches.iter().enumerate() {
+                    if i < last && self.fault_rng.chance(f.irq_coalesce) {
+                        carry_frames += b.frames;
+                        carry_bytes += b.bytes;
+                        self.coalesced_merges += 1;
+                        continue;
+                    }
+                    merged.push(InterruptBatch {
+                        time: b.time,
+                        frames: b.frames + carry_frames,
+                        bytes: b.bytes + carry_bytes,
+                    });
+                    carry_frames = 0;
+                    carry_bytes = 0;
+                }
+                batches = merged;
+            }
+            if f.irq_delay > 0.0 {
+                for b in &mut batches {
+                    if self.fault_rng.chance(f.irq_delay) {
+                        b.time += f.irq_delay_by;
+                        self.delayed_irqs += 1;
+                    }
+                }
+            }
+        }
         s.batches_total = batches.len() as u64;
         for b in &batches {
             sched.at(
@@ -466,23 +559,39 @@ impl Cluster {
         let s = self.strips.get_mut(&strip).expect("strip state");
         let cl = &mut self.clients[s.client as usize];
         cl.loads.maybe_sample(now, &cl.cores);
+        // An option-stripping middlebox (fault injection) rewrites the IP
+        // header in flight, removing the SAIs option. It is stateless and
+        // per-flow: the same flow is either always clean or always
+        // stripped for the whole run.
+        let stripped = self.cfg.faults.strips_flow(s.flow.value()) && s.pod.aff_core.is_some();
+        if stripped {
+            self.stripped_options += 1;
+        }
+        let pod = if stripped {
+            PodFrame {
+                aff_core: None,
+                ..s.pod
+            }
+        } else {
+            s.pod
+        };
         // The receive path is byte-faithful per interrupt batch: the NIC
         // verifies the Ethernet FCS, and only then does SrcParser see the
         // IP header. Injected corruption flips a random bit of the wire
         // frame; most flips die at the FCS, the rest at the IP checksum.
-        let hint = if self.cfg.hint_corruption_prob > 0.0
-            && self.rng.chance(self.cfg.hint_corruption_prob)
+        let hint = if self.cfg.faults.corruption > 0.0
+            && self.fault_rng.chance(self.cfg.faults.corruption)
         {
-            if self.rng.chance(0.5) {
+            if self.fault_rng.chance(0.5) {
                 // Wire corruption: a bit flips in flight. CRC-32 catches
                 // every single-bit error, so the NIC drops the frame. The
                 // wire bytes are materialized here because corruption
                 // genuinely edits them (byte-identical to the frame the
                 // slow path used to store, so the RNG draw below sees the
                 // same length).
-                let mut corrupted = s.pod.materialize();
-                let idx = (self.rng.next_below(corrupted.len() as u64)) as usize;
-                corrupted[idx] ^= 1 << self.rng.next_below(8);
+                let mut corrupted = pod.materialize();
+                let idx = (self.fault_rng.next_below(corrupted.len() as u64)) as usize;
+                corrupted[idx] ^= 1 << self.fault_rng.next_below(8);
                 match EthernetFrame::decode(&corrupted) {
                     Ok(frame) => cl.parser.parse(&frame.payload),
                     Err(_) => {
@@ -494,13 +603,17 @@ impl Cluster {
                 // Post-FCS corruption (DMA/buffer damage): the frame check
                 // passed, so SrcParser's own IP-checksum validation is the
                 // last line of defence.
-                let frame =
-                    EthernetFrame::decode(&s.pod.materialize()).expect("stored frame valid");
+                let frame = EthernetFrame::decode(&pod.materialize()).expect("stored frame valid");
                 let mut payload = frame.payload;
-                let idx = (self.rng.next_below(payload.len() as u64)) as usize;
-                payload[idx] ^= 1 << self.rng.next_below(8);
+                let idx = (self.fault_rng.next_below(payload.len() as u64)) as usize;
+                payload[idx] ^= 1 << self.fault_rng.next_below(8);
                 cl.parser.parse(&payload)
             }
+        } else if stripped {
+            // The middlebox genuinely rewrote the header, so SrcParser
+            // must see the bytes it left behind: a valid option-free
+            // header that parses cleanly but yields no hint.
+            cl.parser.parse(&pod.header().encode())
         } else {
             // Zero-copy fast path: an uncorrupted frame the simulation
             // built itself always passes the FCS and IP checksum, so
@@ -827,8 +940,10 @@ impl Cluster {
         let mut util_n = 0usize;
         let mut per_client_bw = Vec::with_capacity(self.clients.len());
         let mut process_migrations = 0;
+        let mut degraded_flows = 0;
         let mut latency = sais_metrics::Histogram::new();
         for cl in &self.clients {
+            degraded_flows += cl.composer.policy().degraded_flows();
             l2_accesses += cl.mem.total_accesses();
             l2_misses += cl.mem.total_misses();
             c2c_lines += cl.mem.c2c_transfers();
@@ -873,8 +988,14 @@ impl Cluster {
             interrupts,
             irq_distribution: self.clients[0].ioapic.distribution().to_vec(),
             retransmits: self.retransmits,
+            tcp_timeouts: self.tcp_timeouts,
             parse_errors,
             fcs_drops,
+            tcp_duplicates: self.tcp_duplicates,
+            delayed_irqs: self.delayed_irqs,
+            coalesced_merges: self.coalesced_merges,
+            stripped_options: self.stripped_options,
+            degraded_flows,
             hinted_interrupts: hinted,
             clamped_interrupts: clamped,
             per_client_bw,
@@ -908,8 +1029,10 @@ impl Cluster {
         let mut strips = 0;
         let mut trace_recorded = 0;
         let mut trace_dropped = 0;
+        let mut degraded_flows = 0;
         let mut latency = sais_metrics::Histogram::new();
         for cl in &self.clients {
+            degraded_flows += cl.composer.policy().degraded_flows();
             l2_accesses += cl.mem.total_accesses();
             l2_misses += cl.mem.total_misses();
             c2c_lines += cl.mem.c2c_transfers();
@@ -929,6 +1052,12 @@ impl Cluster {
         reg.counter("io.requests_completed", self.requests_completed);
         reg.counter("io.strips_delivered", strips);
         reg.counter("io.retransmits", self.retransmits);
+        reg.counter("fault.tcp_timeouts", self.tcp_timeouts);
+        reg.counter("fault.tcp_duplicates", self.tcp_duplicates);
+        reg.counter("fault.delayed_irqs", self.delayed_irqs);
+        reg.counter("fault.coalesced_merges", self.coalesced_merges);
+        reg.counter("fault.stripped_options", self.stripped_options);
+        reg.counter("fault.degraded_flows", degraded_flows);
         reg.counter("irq.routed", interrupts);
         reg.counter("irq.hinted", hinted);
         reg.counter("irq.clamped", clamped);
@@ -1141,7 +1270,7 @@ mod tests {
     #[test]
     fn loss_injection_retransmits_and_still_completes() {
         let mut cfg = small(PolicyChoice::SourceAware);
-        cfg.strip_loss_prob = 0.05;
+        cfg.faults.loss = 0.05;
         let m = cfg.run();
         assert!(m.retransmits > 0);
         assert_eq!(m.bytes_delivered, 8 * 1024 * 1024);
@@ -1150,7 +1279,7 @@ mod tests {
     #[test]
     fn corruption_falls_back_without_panicking() {
         let mut cfg = small(PolicyChoice::SourceAware);
-        cfg.hint_corruption_prob = 0.2;
+        cfg.faults.corruption = 0.2;
         let m = cfg.run();
         assert!(m.parse_errors > 0);
         assert!(m.hinted_interrupts < m.interrupts);
@@ -1163,7 +1292,7 @@ mod tests {
         // Slow enough that the straggler's strips gate every request that
         // touches server 0 (its service time exceeds the rest of the
         // request pipeline).
-        slow.straggler = Some((0, 50.0));
+        slow.faults.stragglers = vec![(0, 50.0)];
         let fast = small(PolicyChoice::SourceAware).run();
         let slowed = slow.run();
         assert!(slowed.wall_time > fast.wall_time);

@@ -162,7 +162,7 @@ mod tests {
         let mut cfg = ScenarioConfig::testbed_3gig(8, 256 * 1024);
         cfg.file_size = 4 << 20;
         cfg.policy = PolicyChoice::SourceAware;
-        cfg.strip_loss_prob = 0.1;
+        cfg.faults.loss = 0.1;
         let m = cfg.run();
         let r = render_run("lossy", &m);
         assert!(r.contains("failures"));

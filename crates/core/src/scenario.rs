@@ -125,6 +125,163 @@ impl ObsConfig {
     }
 }
 
+/// Deterministic fault-injection plan for one run.
+///
+/// Every fault draws from its **own** seeded RNG stream
+/// ([`FaultPlan::seed`]), fully independent of the simulation RNG
+/// (`ScenarioConfig::seed`): enabling or disabling faults never perturbs a
+/// single draw of the clean-path stream, so `FaultPlan::none()` leaves
+/// every figure CSV byte-identical, and the same `(seed, FaultPlan)` pair
+/// replays the exact same fault schedule. Which flows the
+/// option-stripping middlebox hits is a pure hash of the flow id
+/// ([`FaultPlan::strips_flow`]) — stateless, so it cannot depend on event
+/// order either.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Seed of the fault RNG stream (independent of the simulation seed).
+    pub seed: u64,
+    /// Per-TCP-segment loss probability on the server→client link. Lost
+    /// segments are recovered by the NewReno sender in `sais-net` (fast
+    /// retransmit or RTO), which delays the strip's arrival and counts
+    /// `retransmits`/`tcp_timeouts`.
+    pub loss: f64,
+    /// Probability a delivered batch's header bytes are corrupted before
+    /// SrcParser sees them (wire/DMA bit flips). Half are caught by the
+    /// Ethernet FCS, half by the IPv4 checksum; both fail closed to
+    /// hint-less steering.
+    pub corruption: f64,
+    /// Per-segment duplication probability on the link. The TCP receiver
+    /// discards the copies (`tcp_duplicates`), but their ACKs still
+    /// perturb the sender's window.
+    pub duplication: f64,
+    /// Per-segment reordering probability: the segment is delayed by
+    /// [`FaultPlan::reorder_delay`], letting later segments overtake it
+    /// (Flow-Director-style reordering). Enough overtaking triggers
+    /// spurious fast retransmits.
+    pub reorder: f64,
+    /// How late a reordered segment arrives.
+    pub reorder_delay: SimDuration,
+    /// Probability a hardirq is simply delayed by
+    /// [`FaultPlan::irq_delay_by`] (e.g. host IRQ masking).
+    pub irq_delay: f64,
+    /// How late a delayed hardirq fires.
+    pub irq_delay_by: SimDuration,
+    /// Probability a hardirq batch is merged into its successor (extra
+    /// coalescing beyond the NIC's configured `coalesce_frames`): fewer,
+    /// fatter, later interrupts.
+    pub irq_coalesce: f64,
+    /// Fraction of flows whose responses pass through a middlebox that
+    /// strips unknown IP options — including the SAIs affinity option.
+    /// Stripped flows carry no hint, ever; the SAIs policy must degrade
+    /// to RSS-style steering for them instead of panicking.
+    pub option_strip: f64,
+    /// Straggling I/O servers: `(server index, service-time multiplier)`.
+    pub stragglers: Vec<(usize, f64)>,
+}
+
+impl FaultPlan {
+    /// The empty plan: no faults of any kind. This is the default on
+    /// every [`ScenarioConfig`], and it is contract-tested to leave run
+    /// results bit-identical to a run without a fault layer at all.
+    pub fn none() -> Self {
+        FaultPlan {
+            seed: 0xFA_017,
+            loss: 0.0,
+            corruption: 0.0,
+            duplication: 0.0,
+            reorder: 0.0,
+            reorder_delay: SimDuration::from_micros(150),
+            irq_delay: 0.0,
+            irq_delay_by: SimDuration::from_micros(50),
+            irq_coalesce: 0.0,
+            option_strip: 0.0,
+            stragglers: Vec::new(),
+        }
+    }
+
+    /// Does this plan inject anything at all?
+    pub fn is_none(&self) -> bool {
+        self.loss == 0.0
+            && self.corruption == 0.0
+            && self.duplication == 0.0
+            && self.reorder == 0.0
+            && self.irq_delay == 0.0
+            && self.irq_coalesce == 0.0
+            && self.option_strip == 0.0
+            && self.stragglers.is_empty()
+    }
+
+    /// Does the plan perturb the transport (anything the TCP sender and
+    /// receiver must recover from)?
+    pub fn perturbs_transport(&self) -> bool {
+        self.loss > 0.0 || self.duplication > 0.0 || self.reorder > 0.0
+    }
+
+    /// Does the plan perturb interrupt delivery?
+    pub fn perturbs_interrupts(&self) -> bool {
+        self.irq_delay > 0.0 || self.irq_coalesce > 0.0
+    }
+
+    /// Whether the option-stripping middlebox sits on `flow`'s path.
+    ///
+    /// A pure hash of `(seed, flow)` against [`FaultPlan::option_strip`]:
+    /// deterministic, independent of event order, and stable for the whole
+    /// run — a middlebox does not come and go per packet.
+    pub fn strips_flow(&self, flow: u64) -> bool {
+        if self.option_strip <= 0.0 {
+            return false;
+        }
+        if self.option_strip >= 1.0 {
+            return true;
+        }
+        // SplitMix64 finalizer over (seed, flow) → uniform [0, 1).
+        let mut z = self
+            .seed
+            .wrapping_add(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(flow.wrapping_mul(0xA24B_AED4_963E_E407));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        let u = (z >> 11) as f64 / (1u64 << 53) as f64;
+        u < self.option_strip
+    }
+
+    /// Validate probabilities and straggler entries against `servers`.
+    pub fn validate(&self, servers: usize) -> Result<(), ConfigError> {
+        for (what, p) in [
+            ("faults.loss", self.loss),
+            ("faults.corruption", self.corruption),
+            ("faults.duplication", self.duplication),
+            ("faults.reorder", self.reorder),
+            ("faults.irq_delay", self.irq_delay),
+            ("faults.irq_coalesce", self.irq_coalesce),
+            ("faults.option_strip", self.option_strip),
+        ] {
+            if !(0.0..=1.0).contains(&p) || p.is_nan() {
+                return Err(ConfigError::BadProbability(what, p));
+            }
+        }
+        for &(idx, factor) in &self.stragglers {
+            if idx >= servers {
+                return Err(ConfigError::StragglerOutOfRange {
+                    index: idx,
+                    servers,
+                });
+            }
+            if factor < 1.0 || factor.is_nan() {
+                return Err(ConfigError::BadStragglerFactor { index: idx, factor });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::none()
+    }
+}
+
 /// A configuration error, with enough context to fix it.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ConfigError {
@@ -149,6 +306,14 @@ pub enum ConfigError {
         index: usize,
         /// Configured server count.
         servers: usize,
+    },
+    /// A straggler's service-time multiplier is below 1 (or NaN) — a
+    /// straggler can only be slower than nominal.
+    BadStragglerFactor {
+        /// Configured straggler server index.
+        index: usize,
+        /// Configured multiplier.
+        factor: f64,
     },
     /// The IRQ affinity mask permits no core of the machine.
     EmptyAffinityMask,
@@ -175,6 +340,10 @@ impl std::fmt::Display for ConfigError {
             ConfigError::StragglerOutOfRange { index, servers } => {
                 write!(f, "straggler index {index} exceeds server count {servers}")
             }
+            ConfigError::BadStragglerFactor { index, factor } => write!(
+                f,
+                "straggler {index} multiplier ({factor}) must be at least 1"
+            ),
             ConfigError::EmptyAffinityMask => {
                 write!(f, "irq_affinity_mask permits no core of this machine")
             }
@@ -241,14 +410,11 @@ pub struct ScenarioConfig {
     pub cpu: CpuParams,
     /// I/O-server parameters.
     pub server: ServerParams,
-    /// Probability a strip's response is lost and must be retransmitted.
-    pub strip_loss_prob: f64,
-    /// Retransmission timeout for lost strips.
+    /// TCP retransmission timeout (the NewReno sender's RTO) used when
+    /// [`FaultPlan::loss`] forces recovery.
     pub retransmit_timeout: SimDuration,
-    /// Probability an incoming header is corrupted before SrcParser sees it.
-    pub hint_corruption_prob: f64,
-    /// Optional straggler: `(server index, service-time multiplier)`.
-    pub straggler: Option<(usize, f64)>,
+    /// Deterministic fault-injection plan ([`FaultPlan::none`] by default).
+    pub faults: FaultPlan,
     /// Capacity of the per-client event-trace ring (0 disables tracing).
     /// Tracing is for debugging and causality tests; metrics never depend
     /// on it.
@@ -291,10 +457,8 @@ impl ScenarioConfig {
             mem: MemParams::sunfire_x4240(),
             cpu,
             server: ServerParams::default(),
-            strip_loss_prob: 0.0,
             retransmit_timeout: SimDuration::from_millis(5),
-            hint_corruption_prob: 0.0,
-            straggler: None,
+            faults: FaultPlan::none(),
             trace_capacity: 0,
             irq_affinity_mask: None,
             obs: ObsConfig::default(),
@@ -324,6 +488,12 @@ impl ScenarioConfig {
     /// Set the observability switches, builder-style.
     pub fn with_observability(mut self, obs: ObsConfig) -> Self {
         self.obs = obs;
+        self
+    }
+
+    /// Set the fault plan, builder-style.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
         self
     }
 
@@ -367,23 +537,11 @@ impl ScenarioConfig {
         if self.mtu <= sais_net::IPV4_BASE_HEADER + sais_net::TCP_HEADER + 4 {
             return Err(ConfigError::MtuTooSmall(self.mtu));
         }
-        for (what, p) in [
-            ("strip_loss_prob", self.strip_loss_prob),
-            ("hint_corruption_prob", self.hint_corruption_prob),
-            ("cpu.block_migration_prob", self.cpu.block_migration_prob),
-        ] {
-            if !(0.0..=1.0).contains(&p) || p.is_nan() {
-                return Err(ConfigError::BadProbability(what, p));
-            }
+        let p = self.cpu.block_migration_prob;
+        if !(0.0..=1.0).contains(&p) || p.is_nan() {
+            return Err(ConfigError::BadProbability("cpu.block_migration_prob", p));
         }
-        if let Some((idx, _)) = self.straggler {
-            if idx >= self.servers {
-                return Err(ConfigError::StragglerOutOfRange {
-                    index: idx,
-                    servers: self.servers,
-                });
-            }
-        }
+        self.faults.validate(self.servers)?;
         if let Some(mask) = self.irq_affinity_mask {
             let machine = if self.cpu.cores >= 64 {
                 u64::MAX
@@ -482,13 +640,30 @@ pub struct RunMetrics {
     pub interrupts: u64,
     /// Hardirqs per client-core (first client), for distribution checks.
     pub irq_distribution: Vec<u64>,
-    /// Strip retransmissions (loss injection).
+    /// TCP segment retransmissions (loss injection; fast retransmit + RTO).
     pub retransmits: u64,
+    /// TCP retransmission timeouts the NewReno sender suffered (loss
+    /// injection; the slow path of `retransmits`).
+    pub tcp_timeouts: u64,
     /// Headers SrcParser failed to parse (corruption injection).
     pub parse_errors: u64,
     /// Frames the NIC dropped for a bad Ethernet FCS (corruption injection;
     /// these never reach SrcParser).
     pub fcs_drops: u64,
+    /// Duplicate TCP segments the receiver discarded (duplication
+    /// injection).
+    pub tcp_duplicates: u64,
+    /// Hardirq batches delivered late (delay injection; a late batch can
+    /// be overtaken by its successors).
+    pub delayed_irqs: u64,
+    /// Hardirq batches merged into their successor beyond the NIC's
+    /// configured coalescing (coalesce injection).
+    pub coalesced_merges: u64,
+    /// Batches whose SAIs IP option a middlebox stripped before arrival.
+    pub stripped_options: u64,
+    /// Flows the SAIs policy degraded to RSS-style steering because their
+    /// hints stopped arriving (option stripping), measured at run end.
+    pub degraded_flows: u64,
     /// Interrupts steered by a source hint.
     pub hinted_interrupts: u64,
     /// Interrupts whose policy choice was clamped by the IRQ affinity mask.
@@ -576,17 +751,31 @@ mod tests {
         assert_eq!(c.validate(), Err(ConfigError::MtuTooSmall(40)));
 
         let mut c = ok.clone();
-        c.strip_loss_prob = 1.5;
+        c.faults.loss = 1.5;
         assert!(matches!(
             c.validate(),
-            Err(ConfigError::BadProbability("strip_loss_prob", _))
+            Err(ConfigError::BadProbability("faults.loss", _))
         ));
 
         let mut c = ok.clone();
-        c.straggler = Some((8, 2.0));
+        c.faults.option_strip = f64::NAN;
+        assert!(matches!(
+            c.validate(),
+            Err(ConfigError::BadProbability("faults.option_strip", _))
+        ));
+
+        let mut c = ok.clone();
+        c.faults.stragglers = vec![(8, 2.0)];
         assert!(matches!(
             c.validate(),
             Err(ConfigError::StragglerOutOfRange { .. })
+        ));
+
+        let mut c = ok.clone();
+        c.faults.stragglers = vec![(2, 0.5)];
+        assert!(matches!(
+            c.validate(),
+            Err(ConfigError::BadStragglerFactor { index: 2, .. })
         ));
 
         let mut c = ok.clone();
@@ -600,6 +789,46 @@ mod tests {
         // Errors render as readable text.
         let msg = format!("{}", ConfigError::MtuTooSmall(40));
         assert!(msg.contains("mtu"));
+    }
+
+    #[test]
+    fn fault_plan_none_is_default_and_empty() {
+        assert_eq!(FaultPlan::default(), FaultPlan::none());
+        assert!(FaultPlan::none().is_none());
+        assert!(!FaultPlan::none().perturbs_transport());
+        assert!(!FaultPlan::none().perturbs_interrupts());
+        let mut p = FaultPlan::none();
+        p.option_strip = 0.5;
+        assert!(!p.is_none());
+        let mut p = FaultPlan::none();
+        p.loss = 0.01;
+        assert!(p.perturbs_transport() && !p.perturbs_interrupts());
+        let mut p = FaultPlan::none();
+        p.irq_coalesce = 0.2;
+        assert!(p.perturbs_interrupts() && !p.perturbs_transport());
+    }
+
+    #[test]
+    fn strips_flow_is_deterministic_and_proportional() {
+        let mut p = FaultPlan::none();
+        p.option_strip = 0.5;
+        // Stateless: the same flow always gets the same verdict.
+        for flow in 0..64u64 {
+            assert_eq!(p.strips_flow(flow), p.strips_flow(flow));
+        }
+        // Roughly the requested fraction of a large flow population.
+        let hit = (0..10_000u64).filter(|&f| p.strips_flow(f)).count();
+        assert!((4_000..6_000).contains(&hit), "hit {hit} of 10000");
+        // Edges are exact.
+        p.option_strip = 0.0;
+        assert!((0..100).all(|f| !p.strips_flow(f)));
+        p.option_strip = 1.0;
+        assert!((0..100).all(|f| p.strips_flow(f)));
+        // A different fault seed selects a different flow subset.
+        let mut q = FaultPlan::none();
+        q.option_strip = 0.5;
+        q.seed ^= 0xDEAD_BEEF;
+        assert!((0..10_000u64).any(|f| p.strips_flow(f) != q.strips_flow(f)));
     }
 
     #[test]

@@ -39,4 +39,4 @@ pub use nic::{CoalesceParams, InterruptBatch, NicBond};
 pub use rss::{hash_v4_tcp, toeplitz, IndirectionTable, MICROSOFT_KEY};
 pub use segment::{SegmentPlan, ETH_OVERHEAD, IPV4_BASE_HEADER, TCP_HEADER};
 pub use switch::{Forward, Switch};
-pub use tcp::{CongPhase, TcpReceiver, TcpSender};
+pub use tcp::{simulate_transfer, CongPhase, PipeFaults, TcpReceiver, TcpSender, TransferReport};

@@ -14,7 +14,7 @@
 //! number per MSS-sized segment) — enough to express Reno's control
 //! behaviour without byte-offset bookkeeping.
 
-use sais_sim::{SimDuration, SimTime};
+use sais_sim::{SimDuration, SimRng, SimTime};
 use std::collections::BTreeSet;
 
 /// Congestion-control phase, for diagnostics and tests.
@@ -269,78 +269,203 @@ impl TcpReceiver {
     }
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use sais_sim::SimRng;
-    use std::collections::VecDeque;
+/// Data-path perturbations for [`simulate_transfer`]: per-segment loss,
+/// duplication and reordering on the server→client pipe. A clean pipe
+/// draws nothing from the RNG, so a transfer with [`PipeFaults::clean`]
+/// leaves the caller's fault stream untouched.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PipeFaults {
+    /// Probability a segment is dropped in flight.
+    pub loss: f64,
+    /// Probability a segment is delivered twice.
+    pub duplication: f64,
+    /// Probability a segment is delayed by [`PipeFaults::reorder_delay`],
+    /// letting later segments overtake it.
+    pub reorder: f64,
+    /// How late a reordered segment arrives.
+    pub reorder_delay: SimDuration,
+}
 
-    /// Drive a sender/receiver pair over a pipe with per-segment loss and
-    /// a fixed one-way delay. Returns (time, sender) at completion.
-    fn run_transfer(total: u64, loss: f64, seed: u64) -> (SimTime, TcpSender, TcpReceiver) {
-        let rtt = SimDuration::from_micros(200);
-        let mut snd = TcpSender::new(total, SimDuration::from_millis(2));
-        let mut rcv = TcpReceiver::new();
-        let mut rng = SimRng::new(seed);
-        let mut now = SimTime::ZERO;
-        // (arrival time, seq) — the in-flight data path.
-        let mut pipe: VecDeque<(SimTime, u64)> = VecDeque::new();
-        let push = |pipe: &mut VecDeque<(SimTime, u64)>,
+impl PipeFaults {
+    /// A pipe that delivers every segment once, in order, on time.
+    pub fn clean() -> Self {
+        PipeFaults {
+            loss: 0.0,
+            duplication: 0.0,
+            reorder: 0.0,
+            reorder_delay: SimDuration::ZERO,
+        }
+    }
+
+    /// Whether this pipe perturbs nothing.
+    pub fn is_clean(&self) -> bool {
+        self.loss == 0.0 && self.duplication == 0.0 && self.reorder == 0.0
+    }
+}
+
+/// What a simulated transfer did, for timing and accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransferReport {
+    /// Time from first transmission to the ACK that completed the stream.
+    pub elapsed: SimDuration,
+    /// Segments transmitted, including retransmissions.
+    pub sent: u64,
+    /// Retransmissions (fast retransmit + RTO paths).
+    pub retransmits: u64,
+    /// Retransmission timeouts taken.
+    pub timeouts: u64,
+    /// Segments the receiver accepted for the first time.
+    pub delivered: u64,
+    /// Segments the receiver discarded as duplicates.
+    pub duplicates: u64,
+}
+
+/// Drive a [`TcpSender`]/[`TcpReceiver`] pair to completion over a faulty
+/// pipe with one-way delay `rtt` and retransmission timeout `rto`.
+///
+/// This is the transport model the cluster runs per strip when a
+/// `FaultPlan` perturbs the link: the NewReno machinery recovers every
+/// loss, and the report's [`TransferReport::elapsed`] (compared against a
+/// clean run) is the delay the fault cost. The conservation guarantee —
+/// every segment delivered exactly once, in order, under any schedule —
+/// is property-tested in `tests/props.rs`.
+///
+/// # Panics
+/// If `total` is zero, or the transfer needs more than five million events
+/// (which a correct sender/receiver pair cannot).
+pub fn simulate_transfer(
+    total: u64,
+    rtt: SimDuration,
+    rto: SimDuration,
+    faults: &PipeFaults,
+    rng: &mut SimRng,
+) -> TransferReport {
+    let mut snd = TcpSender::new(total, rto);
+    let mut rcv = TcpReceiver::new();
+    let mut now = SimTime::ZERO;
+    // (arrival, tiebreak, seq) — the in-flight data path, ordered by
+    // arrival time. The monotone tiebreak keeps simultaneous arrivals
+    // (duplicates) in submission order.
+    let mut pipe: BTreeSet<(SimTime, u64, u64)> = BTreeSet::new();
+    let mut tiebreak = 0u64;
+    let mut push = |pipe: &mut BTreeSet<(SimTime, u64, u64)>,
                     rng: &mut SimRng,
                     now: SimTime,
                     segs: Vec<Segment>| {
-            for s in segs {
-                if !rng.chance(loss) {
-                    pipe.push_back((now + rtt, s.seq));
-                }
+        for s in segs {
+            if faults.loss > 0.0 && rng.chance(faults.loss) {
+                continue;
             }
-        };
-        let initial = snd.poll(now);
-        push(&mut pipe, &mut rng, now, initial);
-        let mut guard = 0;
-        while !snd.done() {
-            guard += 1;
-            assert!(guard < 1_000_000, "transfer did not converge");
-            // Next event: earliest of segment arrival or RTO.
-            let next_arrival = pipe.front().map(|&(t, _)| t);
-            let deadline = snd.timer_deadline();
-            match (next_arrival, deadline) {
-                (Some(a), Some(d)) if a <= d => {
-                    let (t, seq) = pipe.pop_front().unwrap();
-                    now = t;
-                    let ack = rcv.on_segment(seq);
-                    // ACK flies back one RTT/2 later; modelled as instant
-                    // +rtt/2 for simplicity via the same `now` advance.
-                    let segs = snd.on_ack(now, ack);
-                    push(&mut pipe, &mut rng, now, segs);
-                }
-                (_, Some(d)) => {
-                    now = d;
-                    let segs = snd.on_timeout(now);
-                    push(&mut pipe, &mut rng, now, segs);
-                }
-                (Some(_a), None) => {
-                    let (t, seq) = pipe.pop_front().unwrap();
-                    now = t.max_of(SimTime::ZERO);
-                    let _ = t;
-                    let ack = rcv.on_segment(seq);
-                    let segs = snd.on_ack(now, ack);
-                    push(&mut pipe, &mut rng, now, segs);
-                }
-                (None, None) => panic!("deadlock: nothing in flight, no timer"),
+            let mut arrival = now + rtt;
+            if faults.reorder > 0.0 && rng.chance(faults.reorder) {
+                arrival += faults.reorder_delay;
+            }
+            pipe.insert((arrival, tiebreak, s.seq));
+            tiebreak += 1;
+            if faults.duplication > 0.0 && rng.chance(faults.duplication) {
+                pipe.insert((arrival, tiebreak, s.seq));
+                tiebreak += 1;
             }
         }
-        (now, snd, rcv)
+    };
+    let initial = snd.poll(now);
+    push(&mut pipe, rng, now, initial);
+    let mut guard = 0;
+    while !snd.done() {
+        guard += 1;
+        assert!(guard < 5_000_000, "transfer did not converge");
+        // Next event: earliest of segment arrival or RTO.
+        let next_arrival = pipe.first().map(|&(t, ..)| t);
+        let deadline = snd.timer_deadline();
+        match (next_arrival, deadline) {
+            (Some(a), d) if d.is_none() || a <= d.unwrap() => {
+                let (t, _, seq) = pipe.pop_first().unwrap();
+                now = t;
+                let ack = rcv.on_segment(seq);
+                // The ACK is modelled as returning instantly; the data
+                // direction carries the whole RTT.
+                let segs = snd.on_ack(now, ack);
+                push(&mut pipe, rng, now, segs);
+            }
+            (_, Some(d)) => {
+                now = d;
+                let segs = snd.on_timeout(now);
+                push(&mut pipe, rng, now, segs);
+            }
+            (_, None) => panic!("deadlock: nothing in flight, no timer"),
+        }
+    }
+    TransferReport {
+        elapsed: now.since(SimTime::ZERO),
+        sent: snd.sent,
+        retransmits: snd.retransmits,
+        timeouts: snd.timeouts,
+        delivered: rcv.delivered,
+        duplicates: rcv.duplicates,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Loss-only transfer over the default test pipe.
+    fn run_transfer(total: u64, loss: f64, seed: u64) -> TransferReport {
+        let faults = PipeFaults {
+            loss,
+            ..PipeFaults::clean()
+        };
+        simulate_transfer(
+            total,
+            SimDuration::from_micros(200),
+            SimDuration::from_millis(2),
+            &faults,
+            &mut SimRng::new(seed),
+        )
     }
 
     #[test]
     fn lossless_transfer_is_clean() {
-        let (_, snd, rcv) = run_transfer(1000, 0.0, 1);
-        assert_eq!(rcv.delivered, 1000);
-        assert_eq!(snd.retransmits, 0);
-        assert_eq!(snd.timeouts, 0);
-        assert_eq!(rcv.duplicates, 0);
-        assert_eq!(snd.sent, 1000);
+        let r = run_transfer(1000, 0.0, 1);
+        assert_eq!(r.delivered, 1000);
+        assert_eq!(r.retransmits, 0);
+        assert_eq!(r.timeouts, 0);
+        assert_eq!(r.duplicates, 0);
+        assert_eq!(r.sent, 1000);
+    }
+
+    #[test]
+    fn clean_pipe_draws_nothing_from_the_rng() {
+        let mut rng = SimRng::new(42);
+        let before = rng.clone();
+        let _ = simulate_transfer(
+            500,
+            SimDuration::from_micros(200),
+            SimDuration::from_millis(2),
+            &PipeFaults::clean(),
+            &mut rng,
+        );
+        let mut untouched = before;
+        assert_eq!(rng.next_u64(), untouched.next_u64());
+    }
+
+    #[test]
+    fn duplication_and_reorder_still_deliver_exactly_once() {
+        let faults = PipeFaults {
+            loss: 0.02,
+            duplication: 0.1,
+            reorder: 0.1,
+            reorder_delay: SimDuration::from_micros(500),
+        };
+        let r = simulate_transfer(
+            2000,
+            SimDuration::from_micros(200),
+            SimDuration::from_millis(2),
+            &faults,
+            &mut SimRng::new(11),
+        );
+        assert_eq!(r.delivered, 2000);
+        assert!(r.duplicates > 0, "duplication must be observed");
     }
 
     #[test]
@@ -410,17 +535,16 @@ mod tests {
     #[test]
     fn lossy_transfers_deliver_everything_exactly_once() {
         for (loss, seed) in [(0.01, 7u64), (0.05, 8), (0.2, 9)] {
-            let (_, snd, rcv) = run_transfer(2000, loss, seed);
-            assert_eq!(rcv.delivered, 2000, "loss={loss}");
-            assert!(snd.retransmits > 0, "loss={loss} must retransmit");
-            assert_eq!(rcv.ack(), 2000);
+            let r = run_transfer(2000, loss, seed);
+            assert_eq!(r.delivered, 2000, "loss={loss}");
+            assert!(r.retransmits > 0, "loss={loss} must retransmit");
         }
     }
 
     #[test]
     fn heavier_loss_takes_longer() {
-        let (t_clean, ..) = run_transfer(2000, 0.0, 3);
-        let (t_lossy, ..) = run_transfer(2000, 0.1, 3);
+        let t_clean = run_transfer(2000, 0.0, 3).elapsed;
+        let t_lossy = run_transfer(2000, 0.1, 3).elapsed;
         assert!(t_lossy > t_clean);
     }
 

@@ -45,23 +45,30 @@ fn main() {
     row("healthy", &healthy);
 
     let mut lossy = base();
-    lossy.strip_loss_prob = 0.02;
-    row("2% strip loss", &lossy.run());
+    lossy.faults.loss = 0.02;
+    row("2% packet loss", &lossy.run());
 
     let mut corrupt = base();
-    corrupt.hint_corruption_prob = 0.25;
+    corrupt.faults.corruption = 0.25;
     let c = corrupt.run();
     assert!(c.parse_errors > 0, "corruption must be observed");
     row("25% header corruption", &c);
 
     let mut straggler = base();
-    straggler.straggler = Some((3, 20.0));
+    straggler.faults.stragglers = vec![(3, 20.0)];
     row("server 3 is 20x slow", &straggler.run());
 
+    let mut stripped = base();
+    stripped.faults.option_strip = 1.0;
+    let s = stripped.run();
+    assert_eq!(s.hinted_interrupts, 0, "middlebox removed every hint");
+    row("middlebox strips option", &s);
+
     let mut everything = base();
-    everything.strip_loss_prob = 0.02;
-    everything.hint_corruption_prob = 0.25;
-    everything.straggler = Some((3, 20.0));
+    everything.faults.loss = 0.02;
+    everything.faults.corruption = 0.25;
+    everything.faults.option_strip = 0.5;
+    everything.faults.stragglers = vec![(3, 20.0)];
     let e = everything.run();
     assert_eq!(e.bytes_delivered, 32 << 20, "all bytes still delivered");
     row("all of the above", &e);

@@ -28,6 +28,7 @@ pub use sais_cpu as cpu;
 pub use sais_mem as mem;
 pub use sais_metrics as metrics;
 pub use sais_net as net;
+pub use sais_obs as obs;
 pub use sais_pvfs as pvfs;
 pub use sais_sim as sim;
 pub use sais_workload as workload;
@@ -36,7 +37,7 @@ pub use sais_workload as workload;
 pub mod prelude {
     pub use sais_apic::{Policy, PolicyKind};
     pub use sais_core::memsim::{MemSimConfig, MemSimMode};
-    pub use sais_core::scenario::{PolicyChoice, RunMetrics, ScenarioConfig};
+    pub use sais_core::scenario::{FaultPlan, PolicyChoice, RunMetrics, ScenarioConfig};
     pub use sais_core::{HintCapsuler, HintMessager, IMComposer, SrcParser};
     pub use sais_sim::{SimDuration, SimTime};
     pub use sais_workload::{IorConfig, MemExpConfig, MemExpMode, MultiClientPoint};

@@ -79,13 +79,69 @@ fn multi_client_conservation() {
 #[test]
 fn conservation_survives_loss_corruption_and_stragglers() {
     let mut cfg = base(PolicyChoice::SourceAware);
-    cfg.strip_loss_prob = 0.05;
-    cfg.hint_corruption_prob = 0.3;
-    cfg.straggler = Some((2, 25.0));
+    cfg.faults.loss = 0.05;
+    cfg.faults.corruption = 0.3;
+    cfg.faults.stragglers = vec![(2, 25.0)];
     let m = cfg.run();
     assert_eq!(m.bytes_delivered, 8 << 20);
     assert!(m.retransmits > 0);
     assert!(m.parse_errors > 0);
+}
+
+#[test]
+fn conservation_holds_under_every_fault_plan() {
+    // A grid of fault plans exercising each injection point alone and all
+    // of them together. Whatever the plan does to timing, routing or the
+    // header bytes, every requested byte must still arrive exactly once.
+    let plans: Vec<FaultPlan> = vec![
+        FaultPlan {
+            loss: 0.08,
+            ..FaultPlan::none()
+        },
+        FaultPlan {
+            duplication: 0.1,
+            reorder: 0.1,
+            ..FaultPlan::none()
+        },
+        FaultPlan {
+            corruption: 0.4,
+            ..FaultPlan::none()
+        },
+        FaultPlan {
+            irq_delay: 0.5,
+            irq_coalesce: 0.5,
+            ..FaultPlan::none()
+        },
+        FaultPlan {
+            option_strip: 1.0,
+            ..FaultPlan::none()
+        },
+        FaultPlan {
+            stragglers: vec![(0, 10.0), (5, 30.0)],
+            ..FaultPlan::none()
+        },
+        FaultPlan {
+            seed: 7,
+            loss: 0.03,
+            corruption: 0.2,
+            duplication: 0.05,
+            reorder: 0.05,
+            irq_delay: 0.3,
+            irq_coalesce: 0.3,
+            option_strip: 0.5,
+            stragglers: vec![(3, 15.0)],
+            ..FaultPlan::none()
+        },
+    ];
+    for (i, plan) in plans.into_iter().enumerate() {
+        for policy in [PolicyChoice::SourceAware, PolicyChoice::LowestLoaded] {
+            let mut cfg = base(policy);
+            cfg.faults = plan.clone();
+            let m = cfg.run();
+            assert_eq!(m.bytes_delivered, 8 << 20, "plan {i} {policy:?}");
+            assert_eq!(m.strips_delivered, 128, "plan {i} {policy:?}");
+        }
+    }
 }
 
 #[test]

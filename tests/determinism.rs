@@ -41,8 +41,8 @@ fn different_seeds_jitter_mildly() {
 fn failure_injection_is_deterministic_too() {
     let mk = || {
         let mut c = cfg(7);
-        c.strip_loss_prob = 0.05;
-        c.hint_corruption_prob = 0.1;
+        c.faults.loss = 0.05;
+        c.faults.corruption = 0.1;
         c.policy = PolicyChoice::SourceAware;
         c
     };
@@ -51,6 +51,65 @@ fn failure_injection_is_deterministic_too() {
     assert_eq!(a.retransmits, b.retransmits);
     assert_eq!(a.parse_errors, b.parse_errors);
     assert_eq!(a.wall_time, b.wall_time);
+}
+
+#[test]
+fn fault_plan_replays_bit_identically_including_traces() {
+    // Same (seed, FaultPlan) pair ⇒ the same fault schedule, the same
+    // metrics, and byte-identical exported traces.
+    let mk = || {
+        let mut c = cfg(11);
+        c.policy = PolicyChoice::SourceAware;
+        c.obs = sais::core::scenario::ObsConfig::full();
+        c.faults = FaultPlan {
+            loss: 0.04,
+            corruption: 0.15,
+            duplication: 0.05,
+            reorder: 0.05,
+            irq_delay: 0.2,
+            irq_coalesce: 0.2,
+            option_strip: 0.5,
+            stragglers: vec![(1, 8.0)],
+            ..FaultPlan::none()
+        };
+        c
+    };
+    let (a, ca) = mk().run_full();
+    let (b, cb) = mk().run_full();
+    assert_eq!(a.wall_time, b.wall_time);
+    assert_eq!(a.retransmits, b.retransmits);
+    assert_eq!(a.tcp_timeouts, b.tcp_timeouts);
+    assert_eq!(a.tcp_duplicates, b.tcp_duplicates);
+    assert_eq!(a.delayed_irqs, b.delayed_irqs);
+    assert_eq!(a.coalesced_merges, b.coalesced_merges);
+    assert_eq!(a.stripped_options, b.stripped_options);
+    assert_eq!(a.degraded_flows, b.degraded_flows);
+    assert_eq!(a.parse_errors, b.parse_errors);
+    assert_eq!(a.irq_distribution, b.irq_distribution);
+    let ja = sais::obs::perfetto::to_chrome_json(ca.recorder());
+    let jb = sais::obs::perfetto::to_chrome_json(cb.recorder());
+    assert_eq!(ja, jb, "exported traces diverged under identical FaultPlan");
+}
+
+#[test]
+fn empty_fault_plan_never_perturbs_the_clean_stream() {
+    // The fault RNG is a separate stream: with every fault probability at
+    // zero nothing is ever drawn from it, so a run with `FaultPlan::none()`
+    // — under ANY fault seed — is bit-identical to the default run.
+    let baseline = cfg(42).run();
+    let mut inert = cfg(42);
+    inert.faults = FaultPlan {
+        seed: 0xDEAD_BEEF, // different stream seed, zero probabilities
+        ..FaultPlan::none()
+    };
+    let m = inert.run();
+    assert_eq!(m.wall_time, baseline.wall_time);
+    assert_eq!(m.l2_accesses, baseline.l2_accesses);
+    assert_eq!(m.unhalted_cycles, baseline.unhalted_cycles);
+    assert_eq!(m.irq_distribution, baseline.irq_distribution);
+    assert_eq!(m.retransmits, 0);
+    assert_eq!(m.stripped_options, 0);
+    assert_eq!(m.degraded_flows, 0);
 }
 
 #[test]

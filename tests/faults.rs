@@ -1,0 +1,161 @@
+//! End-to-end contracts of the fault-injection layer: each injection
+//! point degrades the run it targets without ever breaking delivery, and
+//! SAIs in particular degrades *gracefully* — stripping its hint channel
+//! turns it into RSS-style steering, it does not panic or misroute.
+
+use sais::core::scenario::ObsConfig;
+use sais::obs::Stage;
+use sais::prelude::*;
+
+fn base(policy: PolicyChoice) -> ScenarioConfig {
+    let mut cfg = ScenarioConfig::testbed_3gig(8, 512 * 1024);
+    cfg.file_size = 8 << 20;
+    cfg.policy = policy;
+    cfg
+}
+
+#[test]
+fn option_stripping_degrades_sais_to_rss_not_to_failure() {
+    let mut cfg = base(PolicyChoice::SourceAware);
+    cfg.faults.option_strip = 1.0;
+    cfg.obs = ObsConfig::full();
+    let clean = base(PolicyChoice::SourceAware).run();
+    let m = cfg.run();
+    // Delivery is untouched: every byte arrives, nothing panics.
+    assert_eq!(m.bytes_delivered, clean.bytes_delivered);
+    // The middlebox removed every hint before the NIC saw it...
+    assert!(m.stripped_options > 0);
+    assert_eq!(m.hinted_interrupts, 0, "no hint survives a 100% strip");
+    assert!(
+        m.parse_errors == 0,
+        "stripped headers are valid, just tagless"
+    );
+    // ...so SAIs detected the missing option and degraded per-flow to
+    // RSS-style steering: flows are marked degraded and the migration
+    // cost the hint channel normally deletes is back.
+    assert!(
+        m.degraded_flows > 0,
+        "hintless flows must be marked degraded"
+    );
+    assert!(
+        m.strip_migrations > 0,
+        "RSS steering reintroduces migrations"
+    );
+    let stall = m
+        .stages
+        .get(Stage::MigrationStall)
+        .expect("stage histograms enabled");
+    assert!(stall.count() > 0, "migration stalls reappear in the trace");
+    assert!(stall.max() > 0, "and they cost nonzero time");
+    // The clean run is the contrast: zero of all three.
+    assert_eq!(clean.stripped_options, 0);
+    assert_eq!(clean.degraded_flows, 0);
+    assert_eq!(clean.strip_migrations, 0);
+}
+
+#[test]
+fn partial_stripping_is_per_flow_and_proportional() {
+    let mut cfg = base(PolicyChoice::SourceAware);
+    cfg.faults.option_strip = 0.5;
+    let m = cfg.run();
+    // The middlebox is stateless per-flow: some flows lose every hint,
+    // the rest keep every hint — so both populations are visible at once.
+    assert!(m.stripped_options > 0);
+    assert!(m.hinted_interrupts > 0, "clean flows keep their hints");
+    assert!(m.degraded_flows > 0, "stripped flows degrade");
+    assert_eq!(m.bytes_delivered, 8 << 20);
+}
+
+#[test]
+fn loss_drives_the_retransmit_machinery_and_slows_the_run() {
+    let clean = base(PolicyChoice::SourceAware).run();
+    let mut cfg = base(PolicyChoice::SourceAware);
+    cfg.faults.loss = 0.05;
+    let lossy = cfg.run();
+    assert!(lossy.retransmits > 0, "loss must cost retransmissions");
+    assert!(lossy.wall_time > clean.wall_time, "recovery costs time");
+    assert_eq!(lossy.bytes_delivered, clean.bytes_delivered);
+    assert_eq!(clean.retransmits, 0);
+    assert_eq!(clean.tcp_timeouts, 0);
+}
+
+#[test]
+fn duplication_and_reordering_are_absorbed_by_the_receiver() {
+    let mut cfg = base(PolicyChoice::SourceAware);
+    cfg.faults.duplication = 0.1;
+    cfg.faults.reorder = 0.1;
+    let m = cfg.run();
+    assert!(m.tcp_duplicates > 0, "duplicates must reach the receiver");
+    assert_eq!(m.bytes_delivered, 8 << 20, "but are never double-counted");
+}
+
+#[test]
+fn irq_coalescing_faults_merge_batches_without_losing_frames() {
+    let clean = base(PolicyChoice::SourceAware).run();
+    let mut cfg = base(PolicyChoice::SourceAware);
+    cfg.faults.irq_coalesce = 0.5;
+    let m = cfg.run();
+    assert!(m.coalesced_merges > 0);
+    assert!(
+        m.interrupts < clean.interrupts,
+        "merged batches mean fewer interrupts ({} vs {})",
+        m.interrupts,
+        clean.interrupts
+    );
+    assert_eq!(m.bytes_delivered, clean.bytes_delivered);
+}
+
+#[test]
+fn delayed_interrupts_are_counted_and_harmless_to_delivery() {
+    let mut cfg = base(PolicyChoice::SourceAware);
+    cfg.faults.irq_delay = 0.3;
+    let m = cfg.run();
+    assert!(m.delayed_irqs > 0);
+    assert_eq!(m.bytes_delivered, 8 << 20);
+}
+
+#[test]
+fn multiple_stragglers_slow_the_run_but_lose_nothing() {
+    let healthy = base(PolicyChoice::SourceAware).run();
+    let mut cfg = base(PolicyChoice::SourceAware);
+    cfg.faults.stragglers = vec![(0, 30.0), (3, 50.0)];
+    let slow = cfg.run();
+    assert!(slow.wall_time > healthy.wall_time);
+    assert_eq!(slow.bytes_delivered, healthy.bytes_delivered);
+}
+
+#[test]
+fn fault_plan_validation_rejects_nonsense() {
+    use sais::core::scenario::ConfigError;
+    let mut cfg = base(PolicyChoice::SourceAware);
+    cfg.faults.loss = 1.5;
+    assert!(matches!(
+        cfg.validate(),
+        Err(ConfigError::BadProbability { .. })
+    ));
+    let mut cfg = base(PolicyChoice::SourceAware);
+    cfg.faults.stragglers = vec![(99, 2.0)];
+    assert!(matches!(
+        cfg.validate(),
+        Err(ConfigError::StragglerOutOfRange { .. })
+    ));
+    let mut cfg = base(PolicyChoice::SourceAware);
+    cfg.faults.stragglers = vec![(1, 0.25)];
+    assert!(matches!(
+        cfg.validate(),
+        Err(ConfigError::BadStragglerFactor { .. })
+    ));
+}
+
+#[test]
+fn irqbalance_is_indifferent_to_option_stripping() {
+    // The middlebox only matters to policies that read the option: the
+    // baseline's steering and bandwidth are identical with and without it.
+    let clean = base(PolicyChoice::LowestLoaded).run();
+    let mut cfg = base(PolicyChoice::LowestLoaded);
+    cfg.faults.option_strip = 1.0;
+    let stripped = cfg.run();
+    assert_eq!(stripped.wall_time, clean.wall_time);
+    assert_eq!(stripped.irq_distribution, clean.irq_distribution);
+    assert_eq!(stripped.degraded_flows, 0);
+}

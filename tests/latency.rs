@@ -59,7 +59,7 @@ fn straggler_shows_up_in_the_tail() {
     cfg.file_size = 16 << 20;
     cfg.policy = PolicyChoice::SourceAware;
     let healthy = cfg.clone().run();
-    cfg.straggler = Some((0, 100.0));
+    cfg.faults.stragglers = vec![(0, 100.0)];
     let slow = cfg.run();
     let tail_blowup = slow.latency_p99_ms() / healthy.latency_p99_ms();
     assert!(tail_blowup > 1.5, "p99 blow-up {tail_blowup:.2}");

@@ -110,7 +110,7 @@ fn hybrid_behaves_like_sais_when_uncontended() {
 #[test]
 fn corrupted_hints_fall_back_to_baseline_steering() {
     let mut cfg = base(PolicyChoice::SourceAware);
-    cfg.hint_corruption_prob = 1.0; // every header corrupted
+    cfg.faults.corruption = 1.0; // every header corrupted
     let m = cfg.run();
     // Most corruptions break the checksum → no hint → fallback; a small
     // share of bit flips may still parse (or even hit the option byte and
