@@ -231,38 +231,13 @@ impl Sweep {
     }
 
     /// Run one cell under both policies, averaging over seeds. The config's
-    /// `file_size` is overridden by the scale.
-    ///
-    /// Seeds run on their own threads (each seed is an independent
-    /// deterministic simulation), but results are folded into the Welford
-    /// accumulators in seed order, so the averages are bit-identical to a
-    /// sequential loop — Welford means are sensitive to float summation
-    /// order.
-    pub fn run_cell(&self, mut cfg: ScenarioConfig) -> (CellStats, CellStats) {
-        cfg.file_size = self.scale.file_size().max(cfg.transfer_size);
-        sais_core::calib::assert_regimes(&cfg);
-        let seeds = self.scale.seeds() as usize;
-        let mut runs: Vec<Option<(RunMetrics, RunMetrics)>> = Vec::new();
-        runs.resize_with(seeds, || None);
-        std::thread::scope(|scope| {
-            for (i, slot) in runs.iter_mut().enumerate() {
-                let mut c = cfg.clone();
-                scope.spawn(move || {
-                    c.seed = c.seed.wrapping_add((i as u64).wrapping_mul(0x9E37_79B9));
-                    let b = c.clone().with_policy(self.baseline).run();
-                    let s = c.with_policy(self.candidate).run();
-                    *slot = Some((b, s));
-                });
-            }
-        });
-        let mut base = CellStats::default();
-        let mut cand = CellStats::default();
-        for r in runs {
-            let (b, s) = r.expect("every seed ran");
-            base.push(&b);
-            cand.push(&s);
-        }
-        (base, cand)
+    /// `file_size` is overridden by the scale. A one-cell grid through the
+    /// same flattened executor as [`Sweep::run_cells`], without progress
+    /// reporting.
+    pub fn run_cell(&self, cfg: ScenarioConfig) -> (CellStats, CellStats) {
+        self.run_grid(None, vec![cfg])
+            .pop()
+            .expect("one cell in, one cell out")
     }
 
     /// Run many cells, fanned out over the host's cores. Each cell is an
@@ -280,43 +255,72 @@ impl Sweep {
         label: &str,
         cfgs: Vec<ScenarioConfig>,
     ) -> Vec<(CellStats, CellStats)> {
-        let meter = ProgressMeter::new(label, cfgs.len() as u64);
-        let workers = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-            .min(cfgs.len().max(1));
-        // Each worker claims a job index through the atomic and takes the
-        // config out of its slot — configs are moved into cells, not cloned.
-        let jobs: Vec<std::sync::Mutex<Option<ScenarioConfig>>> = cfgs
+        self.run_grid(Some(label), cfgs)
+    }
+
+    /// The flattened sweep executor: the whole `cells × seeds` grid is one
+    /// work-stealing task pool (see [`crate::executor`]) drained by
+    /// `available_parallelism` workers. One task = one seed of one cell
+    /// under both policies, so there is no per-cell barrier — a worker
+    /// that finishes the last seed of a slow cell immediately picks up
+    /// whatever cell's seed is still pending — and thread count is bounded
+    /// by the host, not by `cells × seeds`.
+    ///
+    /// Determinism: each task writes only its own `(cell, seed)` slot, and
+    /// the Welford folds below run *after* the pool in fixed
+    /// `(cell, seed)` index order — float summation order, and therefore
+    /// every figure CSV, is bit-identical to a sequential double loop
+    /// regardless of scheduling.
+    fn run_grid(
+        &self,
+        label: Option<&str>,
+        cfgs: Vec<ScenarioConfig>,
+    ) -> Vec<(CellStats, CellStats)> {
+        let seeds = self.scale.seeds() as usize;
+        let cells: Vec<ScenarioConfig> = cfgs
             .into_iter()
-            .map(|c| std::sync::Mutex::new(Some(c)))
+            .map(|mut c| {
+                c.file_size = self.scale.file_size().max(c.transfer_size);
+                sais_core::calib::assert_regimes(&c);
+                c
+            })
             .collect();
-        let next = std::sync::atomic::AtomicUsize::new(0);
-        let mut results: Vec<Option<(CellStats, CellStats)>> = Vec::new();
-        results.resize_with(jobs.len(), || None);
-        let slots = std::sync::Mutex::new(&mut results);
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if i >= jobs.len() {
-                        break;
-                    }
-                    let cfg = jobs[i]
-                        .lock()
-                        .expect("no poisoning")
-                        .take()
-                        .expect("each job is claimed exactly once");
-                    let out = self.run_cell(cfg);
-                    slots.lock().expect("no poisoning")[i] = Some(out);
-                    meter.complete_one_and_report();
-                });
+        let meter = label.map(|l| ProgressMeter::new(l, cells.len() as u64));
+        let total = cells.len() * seeds;
+        let mut runs: Vec<Option<(RunMetrics, RunMetrics)>> = Vec::new();
+        runs.resize_with(total, || None);
+        let slots = std::sync::Mutex::new(&mut runs);
+        // Per-cell completion tallies so the meter still reports whole
+        // cells even though tasks finish seed by seed in any order.
+        let seeds_done: Vec<std::sync::atomic::AtomicUsize> = (0..cells.len())
+            .map(|_| std::sync::atomic::AtomicUsize::new(0))
+            .collect();
+        crate::executor::run_indexed(total, crate::executor::default_workers(), |t| {
+            let (ci, si) = (t / seeds, t % seeds);
+            let mut c = cells[ci].clone();
+            c.seed = c.seed.wrapping_add((si as u64).wrapping_mul(0x9E37_79B9));
+            let b = c.clone().with_policy(self.baseline).run();
+            let s = c.with_policy(self.candidate).run();
+            slots.lock().expect("no poisoning")[t] = Some((b, s));
+            let done = seeds_done[ci].fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
+            if done == seeds {
+                if let Some(m) = &meter {
+                    m.complete_one_and_report();
+                }
             }
         });
-        results
-            .into_iter()
-            .map(|r| r.expect("every cell computed"))
-            .collect()
+        let mut out = Vec::with_capacity(cells.len());
+        for ci in 0..cells.len() {
+            let mut base = CellStats::default();
+            let mut cand = CellStats::default();
+            for si in 0..seeds {
+                let (b, s) = runs[ci * seeds + si].take().expect("every seed ran");
+                base.push(&b);
+                cand.push(&s);
+            }
+            out.push((base, cand));
+        }
+        out
     }
 
     /// Labels of the two policies.

@@ -17,6 +17,7 @@
 //! conclusions; EXPERIMENTS.md records both scales for the headline rows.
 
 pub mod analysis;
+pub mod executor;
 pub mod figures;
 pub mod harness;
 pub mod perf;

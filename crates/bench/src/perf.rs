@@ -17,7 +17,7 @@
 //! that file and fails on a >20 % throughput regression (release builds
 //! only — debug timings say nothing about the optimized engine).
 
-use sais_core::scenario::{IoDirection, PolicyChoice, ScenarioConfig};
+use sais_core::scenario::{FaultPlan, IoDirection, ObsConfig, PolicyChoice, ScenarioConfig};
 use sais_obs::json::JsonValue;
 use std::path::{Path, PathBuf};
 use std::time::Instant;
@@ -36,6 +36,13 @@ pub struct PerfResult {
     /// Simulated bandwidth, MB/s — a cross-check that the scenario still
     /// simulates the same thing, not a host-performance quantity.
     pub sim_bandwidth_mbs: f64,
+    /// Timing-wheel cascades for one run (far-future events pulled back
+    /// into the near-future ring). Deterministic per scenario: a changed
+    /// value means the schedule shape changed, not the host.
+    pub cascades: u64,
+    /// Peak simultaneously-occupied timing-wheel buckets for one run
+    /// (also deterministic per scenario).
+    pub peak_buckets: u64,
 }
 
 /// The canonical scenarios the baseline tracks. Names are stable; the
@@ -50,6 +57,21 @@ pub fn canonical_scenarios() -> Vec<(&'static str, ScenarioConfig)> {
     let mut write_3gig =
         ScenarioConfig::testbed_3gig(16, 1 << 20).with_direction(IoDirection::Write);
     write_3gig.file_size = file;
+    // Faulted run: loss recovery and option stripping drive the engine's
+    // timer-heavy paths (retransmit timeouts live far beyond the wheel's
+    // near-future horizon), pinning the overflow/cascade machinery.
+    let mut faulted = ScenarioConfig::testbed_3gig(8, 512 << 10);
+    faulted.file_size = 64 << 20;
+    faulted.faults = FaultPlan {
+        loss: 0.02,
+        option_strip: 0.05,
+        ..FaultPlan::none()
+    };
+    // Observability-on run: spans + stage histograms at full tilt, so the
+    // instrumentation tax on the hot path is a tracked quantity rather
+    // than a surprise.
+    let mut obs = ScenarioConfig::testbed_3gig(8, 512 << 10);
+    obs.file_size = 64 << 20;
     vec![
         (
             "read_3gig_48srv",
@@ -63,6 +85,15 @@ pub fn canonical_scenarios() -> Vec<(&'static str, ScenarioConfig)> {
             "write_3gig_16srv",
             write_3gig.with_policy(PolicyChoice::SourceAware),
         ),
+        (
+            "read_3gig_8srv_faulted",
+            faulted.with_policy(PolicyChoice::SourceAware),
+        ),
+        (
+            "obs_3gig_8srv",
+            obs.with_policy(PolicyChoice::SourceAware)
+                .with_observability(ObsConfig::full()),
+        ),
     ]
 }
 
@@ -72,6 +103,8 @@ pub fn measure(name: &'static str, cfg: &ScenarioConfig, reps: u32) -> PerfResul
     let mut best_secs = f64::INFINITY;
     let mut events = 0;
     let mut bw = 0.0;
+    let mut cascades = 0;
+    let mut peak_buckets = 0;
     for _ in 0..reps {
         let t0 = Instant::now();
         let m = cfg.clone().run();
@@ -81,6 +114,8 @@ pub fn measure(name: &'static str, cfg: &ScenarioConfig, reps: u32) -> PerfResul
         }
         events = m.events_dispatched;
         bw = m.bandwidth_mbs();
+        cascades = m.queue_cascades;
+        peak_buckets = m.queue_peak_buckets;
     }
     PerfResult {
         name,
@@ -88,6 +123,8 @@ pub fn measure(name: &'static str, cfg: &ScenarioConfig, reps: u32) -> PerfResul
         wall_secs: best_secs,
         events_per_sec: events as f64 / best_secs,
         sim_bandwidth_mbs: bw,
+        cascades,
+        peak_buckets,
     }
 }
 
@@ -98,8 +135,14 @@ pub fn measure_all(reps: u32) -> Vec<PerfResult> {
         .map(|(name, cfg)| {
             let r = measure(name, cfg, reps);
             eprintln!(
-                "{:18} {:>12} events  {:>8.3} s  {:>12.0} events/s  ({:.1} simulated MB/s)",
-                r.name, r.events, r.wall_secs, r.events_per_sec, r.sim_bandwidth_mbs
+                "{:22} {:>10} events  {:>8.3} s  {:>12.0} events/s  ({:.1} simulated MB/s, {} cascades, {} peak buckets)",
+                r.name,
+                r.events,
+                r.wall_secs,
+                r.events_per_sec,
+                r.sim_bandwidth_mbs,
+                r.cascades,
+                r.peak_buckets
             );
             r
         })
@@ -119,11 +162,13 @@ pub fn to_json(results: &[PerfResult]) -> String {
     let mut s = String::from("{\n  \"schema\": \"sais-perf-baseline/v1\",\n  \"scenarios\": [\n");
     for (i, r) in results.iter().enumerate() {
         s.push_str(&format!(
-            "    {{\"name\": \"{}\", \"events\": {}, \"wall_secs\": {:.4}, \"events_per_sec\": {:.0}}}{}\n",
+            "    {{\"name\": \"{}\", \"events\": {}, \"wall_secs\": {:.4}, \"events_per_sec\": {:.0}, \"cascades\": {}, \"peak_buckets\": {}}}{}\n",
             r.name,
             r.events,
             r.wall_secs,
             r.events_per_sec,
+            r.cascades,
+            r.peak_buckets,
             if i + 1 < results.len() { "," } else { "" }
         ));
     }
@@ -298,6 +343,8 @@ pub fn synthetic_results(events_per_sec: f64) -> Vec<PerfResult> {
             wall_secs: 1_000_000.0 / events_per_sec,
             events_per_sec,
             sim_bandwidth_mbs: 0.0,
+            cascades: 0,
+            peak_buckets: 0,
         })
         .collect()
 }
@@ -315,6 +362,8 @@ mod tests {
                 wall_secs: 1.5,
                 events_per_sec: 82_304.0,
                 sim_bandwidth_mbs: 300.0,
+                cascades: 17,
+                peak_buckets: 42,
             },
             PerfResult {
                 name: "write_3gig_16srv",
@@ -322,6 +371,8 @@ mod tests {
                 wall_secs: 0.001,
                 events_per_sec: 99_000.0,
                 sim_bandwidth_mbs: 280.0,
+                cascades: 0,
+                peak_buckets: 1,
             },
         ];
         let json = to_json(&results);

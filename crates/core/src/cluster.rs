@@ -1002,8 +1002,10 @@ impl Cluster {
             process_migrations,
             request_latency: latency,
             stages: self.stages.clone(),
-            events_dispatched: 0, // filled in by `ScenarioConfig::run_full`
-            queue_high_water: 0,  // likewise
+            events_dispatched: 0,  // filled in by `ScenarioConfig::run_full`
+            queue_high_water: 0,   // likewise
+            queue_cascades: 0,     // likewise
+            queue_peak_buckets: 0, // likewise
         }
     }
 

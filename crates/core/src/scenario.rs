@@ -581,10 +581,14 @@ impl ScenarioConfig {
         let now = engine.now();
         let dispatched = engine.dispatched();
         let queue_high_water = engine.queue_high_water() as u64;
+        let queue_cascades = engine.queue_cascades();
+        let queue_peak_buckets = engine.queue_peak_buckets() as u64;
         let cluster = engine.into_model();
         let mut metrics = cluster.collect_metrics(now);
         metrics.events_dispatched = dispatched;
         metrics.queue_high_water = queue_high_water;
+        metrics.queue_cascades = queue_cascades;
+        metrics.queue_peak_buckets = queue_peak_buckets;
         (metrics, cluster)
     }
 
@@ -684,6 +688,13 @@ pub struct RunMetrics {
     /// `Engine::with_capacity` for re-runs of the same scenario (also
     /// host-side accounting; filled in by `ScenarioConfig::run_full`).
     pub queue_high_water: u64,
+    /// Events that took the timing wheel's far-future overflow path and
+    /// cascaded back into the near-future ring (host-side accounting;
+    /// filled in by `ScenarioConfig::run_full`).
+    pub queue_cascades: u64,
+    /// Peak simultaneously-occupied timing-wheel buckets (host-side
+    /// accounting; filled in by `ScenarioConfig::run_full`).
+    pub queue_peak_buckets: u64,
 }
 
 impl RunMetrics {

@@ -1,21 +1,43 @@
 //! A set-associative cache with exact LRU replacement.
 //!
-//! Models one core's private L2. The simulator stores no data — only tags —
-//! so a "cache" is a map from set index to the tags currently resident.
+//! Models one core's private L2. The simulator stores no data — only tags
+//! — so a "cache" is a map from set index to the tags currently resident.
 //! Lines are identified by [`LineAddr`] (byte address / line size).
+//!
+//! Layout note: replacement state is **one 64-bit word per set** — a
+//! packed permutation of way indices, 4 bits per way, ordered from
+//! most-recently used (nibble 0) to least-recently used (nibble
+//! `assoc-1`) — plus a per-set occupancy bitmask answering "is there an
+//! empty way, and which one?" in two instructions. An earlier layout
+//! kept a 64-bit LRU stamp per *way*; picking a victim then meant
+//! scanning 128 bytes of stamps per fill, which made eviction the single
+//! most expensive operation in the simulator. With the permutation,
+//! promoting a way to MRU is a dozen register ops on an 8-byte word (a
+//! SWAR nibble search plus a shift) and the victim is simply the last
+//! nibble, so the whole replacement state of a 512-set cache lives in
+//! 4 KiB of L1-resident memory.
+//!
+//! The permutation is *exactly* LRU-equivalent to the stamp scheme it
+//! replaced: stamps came from a strictly monotone per-cache clock, so
+//! stamps of resident ways were always distinct and "first way holding
+//! the minimum stamp" was simply *the* least-recently-used way — the
+//! last nibble of the recency order. Empty ways are chosen by the
+//! occupancy mask (lowest clear bit = first empty way), never by
+//! recency, matching the old walk's first-empty-way choice.
 
 use crate::addr::LineAddr;
 use sais_metrics::Counter;
 
-/// One cache way: a tag plus an LRU timestamp. `tag == TAG_INVALID` marks an
-/// empty way.
-#[derive(Debug, Clone, Copy)]
-struct Way {
-    tag: u64,
-    lru: u64,
-}
-
 const TAG_INVALID: u64 = u64::MAX;
+
+/// Identity permutation: nibble `i` holds way `i`. Unused high nibbles
+/// (for `assoc < 16`) keep their identity values, which can never match
+/// a valid way index during the nibble search.
+const PERM_IDENTITY: u64 = 0xFEDC_BA98_7654_3210;
+
+/// SWAR constants for locating a nibble by value.
+const NIBBLE_LSB: u64 = 0x1111_1111_1111_1111;
+const NIBBLE_MSB: u64 = 0x8888_8888_8888_8888;
 
 /// Statistics kept by a cache.
 #[derive(Debug, Clone, Default)]
@@ -35,11 +57,17 @@ pub struct CacheStats {
 /// A set-associative, true-LRU cache of line tags.
 #[derive(Debug, Clone)]
 pub struct SetAssocCache {
-    ways: Vec<Way>,
+    /// Resident tag per way slot (`set × assoc + way`); `TAG_INVALID` empty.
+    tags: Box<[u64]>,
+    /// Per-set recency permutation: 4-bit way indices, MRU first.
+    recency: Box<[u64]>,
+    /// Per-set occupancy bitmask: bit `w` set ⇔ way `w` holds a valid tag.
+    occ: Box<[u16]>,
     sets: usize,
     assoc: usize,
     set_mask: u64,
-    clock: u64,
+    /// Bitmask of a completely full set: low `assoc` bits.
+    full_mask: u16,
     resident: u64,
     /// Access/miss counters.
     pub stats: CacheStats,
@@ -53,18 +81,18 @@ impl SetAssocCache {
             "sets must be a power of two"
         );
         assert!(assoc > 0, "associativity must be positive");
+        assert!(
+            assoc <= 16,
+            "per-set recency word packs way indices into 16 nibbles"
+        );
         SetAssocCache {
-            ways: vec![
-                Way {
-                    tag: TAG_INVALID,
-                    lru: 0
-                };
-                sets * assoc
-            ],
+            tags: vec![TAG_INVALID; sets * assoc].into_boxed_slice(),
+            recency: vec![PERM_IDENTITY; sets].into_boxed_slice(),
+            occ: vec![0u16; sets].into_boxed_slice(),
             sets,
             assoc,
             set_mask: sets as u64 - 1,
-            clock: 0,
+            full_mask: (((1u32 << assoc) - 1) & 0xFFFF) as u16,
             resident: 0,
             stats: CacheStats::default(),
         }
@@ -80,35 +108,55 @@ impl SetAssocCache {
         self.resident
     }
 
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        self.sets
+    }
+
     #[inline]
     fn set_range(&self, line: LineAddr) -> (usize, u64) {
         let set = (line.0 & self.set_mask) as usize;
         (set * self.assoc, line.0)
     }
 
-    /// Number of sets.
-    pub fn sets(&self) -> usize {
-        self.sets
+    /// Move `way` to the MRU position of `set`'s recency order. Ways at
+    /// better (lower) ranks shift down one; ranks past it are untouched.
+    #[inline]
+    fn promote(&mut self, set: usize, way: usize) {
+        let perm = self.recency[set];
+        // Locate the nibble holding `way`: XOR zeroes every nibble equal
+        // to `way`, and the borrow trick flags the zeroes. The lowest
+        // flag is exact (borrow false positives only appear above the
+        // first zero nibble), and it is always the real way: the active
+        // nibbles 0..assoc are a permutation containing `way` once, and
+        // any duplicate among the inactive high nibbles (identity values
+        // ≥ assoc initially, shifted residue after full-set rotations in
+        // `fill_absent`) sits strictly above every active nibble.
+        let x = perm ^ (way as u64 * NIBBLE_LSB);
+        let zeros = x.wrapping_sub(NIBBLE_LSB) & !x & NIBBLE_MSB;
+        let shift = zeros.trailing_zeros() & !3; // 4 × rank
+        let below = perm & ((1u64 << shift) - 1);
+        let above = perm & !((1u64 << shift).wrapping_mul(16).wrapping_sub(1));
+        self.recency[set] = above | (below << 4) | way as u64;
     }
 
-    /// Is the line resident? Does not update LRU or stats.
+    /// Is the line resident? Does not update recency or stats.
     pub fn contains(&self, line: LineAddr) -> bool {
         let (base, tag) = self.set_range(line);
-        self.ways[base..base + self.assoc]
-            .iter()
-            .any(|w| w.tag == tag)
+        self.tags[base..base + self.assoc].contains(&tag)
     }
 
-    /// Look up a line as an access: updates LRU and hit/miss statistics.
-    /// Returns `true` on hit. A miss does **not** insert; callers decide
-    /// whether the fill allocates (write-allocate policy lives above).
+    /// Look up a line as an access: updates recency and hit/miss
+    /// statistics. Returns `true` on hit. A miss does **not** insert;
+    /// callers decide whether the fill allocates (write-allocate policy
+    /// lives above).
     pub fn access(&mut self, line: LineAddr) -> bool {
         self.stats.accesses.inc();
-        self.clock += 1;
         let (base, tag) = self.set_range(line);
-        for w in &mut self.ways[base..base + self.assoc] {
-            if w.tag == tag {
-                w.lru = self.clock;
+        let set = (line.0 & self.set_mask) as usize;
+        for i in base..base + self.assoc {
+            if self.tags[i] == tag {
+                self.promote(set, i - base);
                 self.stats.hits.inc();
                 return true;
             }
@@ -126,98 +174,146 @@ impl SetAssocCache {
 
     /// [`SetAssocCache::insert`], additionally reporting the global way
     /// slot (`set × assoc + way`) the line landed in, so the caller can
-    /// record it in a way-indexed directory. Way choice and statistics are
-    /// identical to `insert`: refresh when present, else first empty way,
-    /// else first way holding the minimum LRU stamp.
+    /// record it in a way-indexed directory. Way choice and statistics
+    /// are identical to `insert`: refresh when present, else first empty
+    /// way, else the least-recently-used way.
     pub(crate) fn insert_tracked(&mut self, line: LineAddr) -> (u32, Option<LineAddr>) {
-        self.clock += 1;
         let (base, tag) = self.set_range(line);
-        let mut empty: Option<usize> = None;
-        let mut min_i = base;
-        let mut min_lru = u64::MAX;
+        let set = base / self.assoc;
         for i in base..base + self.assoc {
-            let w = self.ways[i];
             // Already present → refresh.
-            if w.tag == tag {
-                self.ways[i].lru = self.clock;
+            if self.tags[i] == tag {
+                self.promote(set, i - base);
                 return (i as u32, None);
             }
-            if w.tag == TAG_INVALID {
-                if empty.is_none() {
-                    empty = Some(i);
-                }
-            } else if w.lru < min_lru {
-                min_lru = w.lru;
-                min_i = i;
-            }
         }
-        // Empty way available.
-        if let Some(i) = empty {
-            self.ways[i] = Way {
-                tag,
-                lru: self.clock,
-            };
+        let placed = self.fill_absent(line);
+        if placed.1.is_some() {
+            self.stats.evictions.inc();
+        }
+        placed
+    }
+
+    /// Place a line known to be absent from this cache: first empty way
+    /// of its set, else evict the least-recently-used way. The fast twin
+    /// of [`SetAssocCache::insert_tracked`] for callers that have already
+    /// proven absence through the ownership directory — it skips the
+    /// tag-match scan entirely. The way choice and recency update are
+    /// identical to what `insert_tracked` would have done (its
+    /// present→refresh arm is unreachable for an absent line). Does
+    /// **not** count the eviction; the caller accounts evictions itself,
+    /// so batched walks keep the counter in a register.
+    #[inline]
+    pub(crate) fn fill_absent(&mut self, line: LineAddr) -> (u32, Option<LineAddr>) {
+        let set = (line.0 & self.set_mask) as usize;
+        let base = set * self.assoc;
+        let occ = self.occ[set];
+        if occ != self.full_mask {
+            // First empty way: lowest clear bit of the occupancy mask —
+            // the same way the scanning walk would have chosen.
+            let way = (!occ & self.full_mask).trailing_zeros() as usize;
+            let i = base + way;
+            self.tags[i] = line.0;
+            self.occ[set] = occ | (1 << way);
             self.resident += 1;
+            self.promote(set, way);
             return (i as u32, None);
         }
-        // Evict LRU.
-        let evicted = LineAddr(self.ways[min_i].tag);
-        self.ways[min_i] = Way {
-            tag,
-            lru: self.clock,
-        };
-        self.stats.evictions.inc();
-        (min_i as u32, Some(evicted))
+        // Full set: evict the LRU way — the last active nibble of the
+        // recency word — and promote it to MRU holding the new line.
+        // Promoting the last rank is a pure rotation of the active
+        // nibbles, so the SWAR search is skipped: shift every rank up one
+        // nibble and append the victim at rank 0. Nibbles at or above
+        // `assoc` become shifted permutation residue rather than identity
+        // values — harmless, because the SWAR search always matches the
+        // real way at a lower nibble than any residue duplicate.
+        let perm = self.recency[set];
+        let way = ((perm >> (4 * (self.assoc - 1))) & 0xF) as usize;
+        let i = base + way;
+        let evicted = LineAddr(self.tags[i]);
+        self.tags[i] = line.0;
+        self.recency[set] = (perm << 4) | way as u64;
+        (i as u32, Some(evicted))
     }
 
-    /// Record a hit at a known way slot: the O(1) twin of a successful
-    /// [`SetAssocCache::access`], for callers that already located the line
-    /// through the directory. Clock, LRU and statistics advance exactly as
-    /// a scanning hit would.
+    /// Refresh the line at a known way slot as a hit: the O(1) twin of a
+    /// successful [`SetAssocCache::access`] for directory-located lines.
+    /// The set is recomputed from the line (a mask and a multiply) so no
+    /// integer division reaches the hot path. Statistics are batched by
+    /// the caller.
     #[inline]
-    pub(crate) fn hit_at(&mut self, slot: u32) {
-        self.stats.accesses.inc();
-        self.clock += 1;
-        self.ways[slot as usize].lru = self.clock;
-        self.stats.hits.inc();
-    }
-
-    /// Record a miss without scanning: the O(1) twin of a failed
-    /// [`SetAssocCache::access`], for callers that already know from the
-    /// directory that the line is not resident here.
-    #[inline]
-    pub(crate) fn record_miss(&mut self) {
-        self.stats.accesses.inc();
-        self.clock += 1;
-        self.stats.misses.inc();
+    pub(crate) fn promote_slot(&mut self, slot: u32, line: LineAddr) {
+        let set = (line.0 & self.set_mask) as usize;
+        let way = slot as usize - set * self.assoc;
+        self.promote(set, way);
     }
 
     /// Invalidate the line at a known way slot: the O(1) twin of
-    /// [`SetAssocCache::invalidate`] for directory-located lines.
+    /// [`SetAssocCache::invalidate`] for directory-located lines. The
+    /// way's recency rank is left alone — a non-resident way can never be
+    /// chosen as a victim (victims only exist in full sets) and a refill
+    /// promotes it to MRU anyway.
     #[inline]
     pub(crate) fn invalidate_at(&mut self, slot: u32, line: LineAddr) {
-        let w = &mut self.ways[slot as usize];
-        debug_assert_eq!(w.tag, line.0, "directory slot does not hold the line");
-        w.tag = TAG_INVALID;
-        w.lru = 0;
+        let i = slot as usize;
+        debug_assert_eq!(
+            self.tags[i], line.0,
+            "directory slot does not hold the line"
+        );
+        let set = (line.0 & self.set_mask) as usize;
+        let way = i - set * self.assoc;
+        self.tags[i] = TAG_INVALID;
+        self.occ[set] &= !(1 << way);
         self.resident -= 1;
         self.stats.invalidations.inc();
+    }
+
+    /// The tag resident at a global way slot (`TAG_INVALID` if empty).
+    /// This is the ground truth the lazily-invalidated directory checks
+    /// against: an entry `(owner, slot)` is live iff the owner's
+    /// `tag_at(slot)` still equals the line.
+    #[inline]
+    pub(crate) fn tag_at(&self, slot: u32) -> u64 {
+        self.tags[slot as usize]
     }
 
     /// Remove a line (external invalidation). Returns whether it was
     /// resident.
     pub fn invalidate(&mut self, line: LineAddr) -> bool {
         let (base, tag) = self.set_range(line);
-        for w in &mut self.ways[base..base + self.assoc] {
-            if w.tag == tag {
-                w.tag = TAG_INVALID;
-                w.lru = 0;
+        let set = (line.0 & self.set_mask) as usize;
+        for i in base..base + self.assoc {
+            if self.tags[i] == tag {
+                self.tags[i] = TAG_INVALID;
+                self.occ[set] &= !(1 << (i - base));
                 self.resident -= 1;
                 self.stats.invalidations.inc();
                 return true;
             }
         }
         false
+    }
+
+    /// Bulk-update hooks for [`crate::MemorySystem::touch`]'s batched
+    /// walk: the streaming loop keeps hit/miss/eviction tallies in
+    /// registers and flushes them once per call instead of
+    /// read-modify-writing the counters per line. Only visible inside the
+    /// crate; state after the flush is identical to the per-line sequence.
+    #[inline]
+    pub(crate) fn add_hits(&mut self, n: u64) {
+        self.stats.accesses.add(n);
+        self.stats.hits.add(n);
+    }
+
+    #[inline]
+    pub(crate) fn add_misses(&mut self, n: u64) {
+        self.stats.accesses.add(n);
+        self.stats.misses.add(n);
+    }
+
+    #[inline]
+    pub(crate) fn add_evictions(&mut self, n: u64) {
+        self.stats.evictions.add(n);
     }
 
     /// Record `n` background accesses that hit (loop indices, metadata,
@@ -324,6 +420,43 @@ mod tests {
             assert!(c.resident() <= c.capacity());
         }
         assert_eq!(c.resident(), c.capacity());
+    }
+
+    #[test]
+    fn full_associativity_recency_word() {
+        // assoc = 16 exercises all 16 nibbles of the recency word (the
+        // modelled Opteron L2 is 16-way): fill one set completely, then
+        // one more insert must evict the LRU way, not wrap the word.
+        let mut c = SetAssocCache::new(1, 16);
+        for i in 0..16 {
+            assert_eq!(c.insert(line(i)), None, "way {i} fills empty");
+        }
+        assert_eq!(c.resident(), 16);
+        assert_eq!(c.insert(line(100)), Some(line(0)), "LRU way evicted");
+        assert_eq!(c.resident(), 16);
+        assert!(c.invalidate(line(1)));
+        // The freed way is refilled before any further eviction.
+        assert_eq!(c.insert(line(200)), None);
+        assert_eq!(c.resident(), 16);
+        // Recency survives the churn: the oldest remaining line goes next.
+        assert_eq!(c.insert(line(300)), Some(line(2)));
+    }
+
+    #[test]
+    fn promote_from_every_rank() {
+        // Touch each resident line from LRU position upward; every
+        // promotion must preserve the permutation (16 distinct ways).
+        let mut c = SetAssocCache::new(1, 16);
+        for i in 0..16 {
+            c.insert(line(i));
+        }
+        for i in 0..16 {
+            assert!(c.access(line(i)), "line {i} resident");
+        }
+        // After re-touching 0..15 in order, eviction order matches again.
+        for i in 0..16 {
+            assert_eq!(c.insert(line(100 + i)), Some(line(i)));
+        }
     }
 
     #[test]

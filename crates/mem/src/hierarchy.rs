@@ -8,7 +8,7 @@
 
 use crate::addr::{AddrRange, LineAddr};
 use crate::cache::SetAssocCache;
-use crate::linetab::{owner_of as packed_owner, pack, slot_of as packed_slot, LineTable};
+use crate::linetab::{owner_of as packed_owner, pack, slot_of as packed_slot, LineTable, EMPTY};
 use crate::params::MemParams;
 use sais_sim::SimDuration;
 
@@ -65,8 +65,14 @@ impl AccessCounts {
 pub struct MemorySystem {
     params: MemParams,
     caches: Vec<SetAssocCache>,
-    /// line → packed (owning core, way slot), for every line resident
-    /// anywhere. Way-indexed so hits and invalidations skip the set scan.
+    /// line → packed (owning core, way slot), written on every fill and
+    /// **lazily invalidated**: an eviction leaves the entry behind, and
+    /// readers validate it against the owning cache's tag array (the
+    /// ground truth of residency) via [`MemorySystem::live_entry`].
+    /// Way-indexed so hits and invalidations skip the set scan; lazy so
+    /// the streaming eviction path never takes a scattered write into an
+    /// old directory page — the single most cache-hostile access the
+    /// simulator used to make per evicted line.
     directory: LineTable,
     /// Total cache-to-cache line transfers (the migration count).
     c2c_transfers: u64,
@@ -111,7 +117,20 @@ impl MemorySystem {
 
     /// Which core's cache currently owns `line`, if any. (Test/diagnostic.)
     pub fn owner_of(&self, line: LineAddr) -> Option<u32> {
-        self.directory.get(line.0).map(|v| packed_owner(v) as u32)
+        self.live_entry(line).map(|v| packed_owner(v) as u32)
+    }
+
+    /// The directory entry for `line`, validated against the owning
+    /// cache's tags. An entry `(owner, slot)` is live iff
+    /// `caches[owner].tag_at(slot) == line` — the tag array *is*
+    /// residency, so the check is exact: a fill records the entry, an
+    /// eviction or invalidation clears the tag, and the slot can only
+    /// hold this line again if the line was re-filled there (which
+    /// rewrites the entry). Stale entries read as absent.
+    #[inline]
+    fn live_entry(&self, line: LineAddr) -> Option<u32> {
+        let packed = self.directory.get(line.0)?;
+        (self.caches[packed_owner(packed)].tag_at(packed_slot(packed)) == line.0).then_some(packed)
     }
 
     /// Touch every line of `range` from `core`, classifying each line and
@@ -134,37 +153,67 @@ impl MemorySystem {
     /// kept as the verification oracle; the property tests in
     /// `tests/props.rs` pin the equivalence on ranges of every shape.
     pub fn touch(&mut self, core: usize, range: AddrRange) -> AccessCounts {
-        let mut counts = AccessCounts::default();
         let line_size = self.params.line_size;
-        for line in range.lines(line_size) {
-            counts.lines += 1;
-            let found = self.directory.get(line.0);
-            if let Some(packed) = found {
-                if packed_owner(packed) == core {
-                    self.caches[core].hit_at(packed_slot(packed));
-                    counts.hits += 1;
-                    continue;
-                }
-            }
-            // Miss in the local cache: migrate or fetch, then fill.
-            self.caches[core].record_miss();
-            match found {
-                Some(packed) => {
-                    // Cache-to-cache migration: invalidate the remote copy
-                    // at its recorded way; the fill below re-points the
-                    // directory entry at `core`.
+        let mut counts = AccessCounts {
+            lines: range.line_count(line_size),
+            ..AccessCounts::default()
+        };
+        // Hit/miss/eviction tallies stay in registers for the whole walk
+        // and are flushed once at the end; per-line recency updates,
+        // eviction choices and classification match the reference walk
+        // exactly. Consecutive lines are consecutive directory slots, so
+        // the walk takes the directory one page span at a time: the page
+        // walk is paid once per 4096 lines and each line is a sequential
+        // slice read, validated against the owning cache's tags and (on a
+        // miss) re-pointed at the new fill slot in place.
+        let mut evictions = 0u64;
+        let first = range.start / line_size;
+        let end = first + counts.lines;
+        let mut key = first;
+        while key < end {
+            let span = self.directory.page_span(key, (end - key) as usize);
+            for entry in span.iter_mut() {
+                let line = LineAddr(key);
+                key += 1;
+                let packed = *entry;
+                if packed != EMPTY {
                     let owner = packed_owner(packed);
-                    self.caches[owner].invalidate_at(packed_slot(packed), line);
-                    counts.c2c += 1;
-                    self.c2c_transfers += 1;
+                    let slot = packed_slot(packed);
+                    if self.caches[owner].tag_at(slot) == line.0 {
+                        // Live entry: a local hit or a remote migration.
+                        if owner == core {
+                            self.caches[core].promote_slot(slot, line);
+                            counts.hits += 1;
+                            continue;
+                        }
+                        // Cache-to-cache migration: invalidate the remote
+                        // copy at its recorded way; the fill below
+                        // re-points the entry at `core`. Exclusive
+                        // ownership proved the line absent from `core`'s
+                        // cache, so the fill skips the tag-match scan.
+                        self.caches[owner].invalidate_at(slot, line);
+                        counts.c2c += 1;
+                        let (nslot, ev) = self.caches[core].fill_absent(line);
+                        evictions += ev.is_some() as u64;
+                        *entry = pack(core, nslot);
+                        continue;
+                    }
                 }
-                None => {
-                    counts.dram += 1;
-                    self.dram_fetches += 1;
-                }
+                // Absent (or a stale entry for a since-evicted line):
+                // fetch from DRAM and fill. The victim's directory entry
+                // is left to go stale in place.
+                counts.dram += 1;
+                let (nslot, ev) = self.caches[core].fill_absent(line);
+                evictions += ev.is_some() as u64;
+                *entry = pack(core, nslot);
             }
-            self.fill(core, line);
         }
+        let cache = &mut self.caches[core];
+        cache.add_hits(counts.hits);
+        cache.add_misses(counts.c2c + counts.dram);
+        cache.add_evictions(evictions);
+        self.c2c_transfers += counts.c2c;
+        self.dram_fetches += counts.dram;
         counts
     }
 
@@ -182,7 +231,7 @@ impl MemorySystem {
                 continue;
             }
             // Miss in the local cache: find the line elsewhere or in DRAM.
-            match self.directory.get(line.0).map(packed_owner) {
+            match self.live_entry(line).map(packed_owner) {
                 Some(owner) if owner != core => {
                     // Cache-to-cache migration: invalidate remote, fill local.
                     let removed = self.caches[owner].invalidate(line);
@@ -205,18 +254,12 @@ impl MemorySystem {
         counts
     }
 
-    /// Insert `line` into `core`'s cache, maintaining the directory.
+    /// Insert `line` into `core`'s cache, recording it in the directory.
+    /// A victim's entry is left to go stale (lazy invalidation); only the
+    /// filled line's entry is written.
     #[inline]
     fn fill(&mut self, core: usize, line: LineAddr) {
-        let (slot, evicted) = self.caches[core].insert_tracked(line);
-        if let Some(ev) = evicted {
-            let prev = self.directory.remove(ev.0);
-            debug_assert_eq!(
-                prev.map(packed_owner),
-                Some(core),
-                "evicted line had wrong owner"
-            );
-        }
+        let (slot, _evicted) = self.caches[core].insert_tracked(line);
         self.directory.insert(line.0, pack(core, slot));
     }
 
@@ -227,7 +270,7 @@ impl MemorySystem {
         let line_size = self.params.line_size;
         let lines: Vec<LineAddr> = range.lines(line_size).collect();
         for line in lines {
-            if let Some(packed) = self.directory.get(line.0) {
+            if let Some(packed) = self.live_entry(line) {
                 if packed_owner(packed) != core {
                     self.caches[packed_owner(packed)].invalidate(line);
                 } else {
@@ -284,29 +327,36 @@ impl MemorySystem {
         &self.caches[core]
     }
 
-    /// Check the exclusive-ownership invariant: every directory entry is
-    /// resident in exactly the recorded cache and nowhere else, and every
-    /// resident line has a directory entry. O(directory × cores); tests only.
+    /// Check the exclusive-ownership invariant under lazy invalidation:
+    /// every *live* directory entry (one whose recorded slot still holds
+    /// the line) is resident in exactly the recorded cache and nowhere
+    /// else; a *stale* entry's line is resident nowhere (the last fill of
+    /// any line rewrites its entry, so an out-of-date entry can only
+    /// describe a line that was since evicted or invalidated); and every
+    /// resident line is accounted for by a live entry.
+    /// O(directory × cores); tests only.
     pub fn check_invariants(&self) {
-        let mut resident_total = 0u64;
+        let mut live_total = 0u64;
         for (line, packed) in self.directory.iter() {
             let owner = packed_owner(packed);
+            let live = self.caches[owner].tag_at(packed_slot(packed)) == line;
             for (i, c) in self.caches.iter().enumerate() {
                 let has = c.contains(LineAddr(line));
                 assert_eq!(
                     has,
-                    i == owner,
-                    "line {line} residency mismatch at core {i} (owner {owner})"
+                    live && i == owner,
+                    "line {line} residency mismatch at core {i} \
+                     (owner {owner}, live {live})"
                 );
             }
-            resident_total += 1;
+            live_total += live as u64;
         }
         let cache_resident: u64 = self.caches.iter().map(|c| c.resident()).sum();
         assert_eq!(
-            resident_total, cache_resident,
-            "directory size != residency"
+            live_total, cache_resident,
+            "live directory entries != residency"
         );
-        assert_eq!(self.directory.len() as u64, resident_total);
+        assert!(self.directory.len() as u64 >= live_total);
     }
 }
 

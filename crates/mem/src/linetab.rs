@@ -8,13 +8,22 @@
 //! hashing pure overhead: the line index is split into a page number
 //! (high bits) and an offset (low bits), the page number indexes a flat
 //! vector of page pointers, and the offset indexes a dense `u32` array
-//! inside the page. Lookups, inserts and removals are all O(1) with no
-//! probing, and a strip's worth of consecutive lines is a contiguous
-//! range of slots in one or two pages, so the streaming touch loop walks
-//! the directory sequentially. A page is freed as soon as its last entry
-//! is removed, so directory memory tracks current residency; only the
-//! page-pointer vector (8 bytes per 4096 lines of address space) grows
-//! with total allocation.
+//! inside the page. The page array has a compile-time length and the
+//! offset is masked to it, so the indexing compiles to two dependent
+//! loads with no bounds checks. A strip's worth of consecutive lines is
+//! a contiguous range of slots in one or two pages, so the streaming
+//! touch loop walks the directory sequentially.
+//!
+//! The memory system uses the table with **lazy invalidation**: entries
+//! are written on fills and validated against the owning cache's tags on
+//! reads, so evictions never come back to clear their directory entry
+//! (see [`crate::MemorySystem`]). The table is therefore insert-only —
+//! stale entries are overwritten in place when their line is re-filled —
+//! and carries no per-page liveness bookkeeping at all. Directory memory
+//! tracks the simulation's total *address footprint* (4 bytes per line
+//! ever resident, 16 KiB pages) rather than instantaneous residency —
+//! the price of keeping the streaming eviction path free of scattered
+//! directory writes.
 //!
 //! Values pack `(owner core, global way slot)` so that the memory system
 //! can jump straight to the owning way on a hit or an invalidation
@@ -28,7 +37,7 @@ const OFFSET_MASK: u64 = (PAGE_LINES as u64) - 1;
 /// Slot sentinel. No packed value is `u32::MAX`: the owner fits in 8 bits
 /// and the way slot is strictly below `2^24 - 1` (the memory system caps
 /// lines-per-cache below `2^24`).
-const NONE: u32 = u32::MAX;
+pub(crate) const EMPTY: u32 = u32::MAX;
 
 /// Pack an owner core and a cache way slot into a directory value.
 #[inline]
@@ -50,21 +59,13 @@ pub(crate) fn slot_of(val: u32) -> u32 {
     val & 0x00FF_FFFF
 }
 
-/// One page: a dense slot array plus a count of live entries so the page
-/// can be reclaimed the moment it empties.
-#[derive(Debug, Clone)]
-struct Page {
-    vals: Box<[u32]>,
-    live: u32,
-}
+/// One page: a dense slot array with a compile-time length so offset
+/// indexing (`key & OFFSET_MASK`) needs no bounds check.
+type Page = Box<[u32; PAGE_LINES]>;
 
-impl Page {
-    fn new() -> Self {
-        Page {
-            vals: vec![NONE; PAGE_LINES].into_boxed_slice(),
-            live: 0,
-        }
-    }
+fn new_page() -> Page {
+    let vals: Box<[u32]> = vec![EMPTY; PAGE_LINES].into_boxed_slice();
+    vals.try_into().expect("page length is PAGE_LINES")
 }
 
 /// A map from line index to packed `(owner, way slot)`, dense within
@@ -73,7 +74,6 @@ impl Page {
 #[derive(Debug, Clone, Default)]
 pub(crate) struct LineTable {
     pages: Vec<Option<Page>>,
-    len: usize,
 }
 
 impl LineTable {
@@ -84,70 +84,78 @@ impl LineTable {
         LineTable::default()
     }
 
-    /// Live entries.
+    /// Entries holding a value (live or stale). O(pages); diagnostics and
+    /// invariant checks only.
     pub(crate) fn len(&self) -> usize {
-        self.len
+        self.iter().count()
     }
 
     /// Look up `key`.
     #[inline]
     pub(crate) fn get(&self, key: u64) -> Option<u32> {
         let page = self.pages.get((key >> PAGE_SHIFT) as usize)?.as_ref()?;
-        let v = page.vals[(key & OFFSET_MASK) as usize];
-        (v != NONE).then_some(v)
+        let v = page[(key & OFFSET_MASK) as usize];
+        (v != EMPTY).then_some(v)
+    }
+
+    /// The raw slot for `key`, allocating its page if missing: one page
+    /// walk that the hot touch loop uses to read, classify, and (on a
+    /// miss) re-point an entry in place — where a `get` + `insert` pair
+    /// would walk the page structure twice. Reads [`EMPTY`] as "no
+    /// entry"; writing any other value is an insert/overwrite. Every key
+    /// the touch loop probes either already has a page (the line was
+    /// filled before) or is about to be filled, so nothing is allocated
+    /// speculatively.
+    #[inline]
+    pub(crate) fn slot_ptr(&mut self, key: u64) -> &mut u32 {
+        let page_id = (key >> PAGE_SHIFT) as usize;
+        if page_id >= self.pages.len() {
+            self.pages.resize_with(page_id + 1, || None);
+        }
+        let page = self.pages[page_id].get_or_insert_with(new_page);
+        &mut page[(key & OFFSET_MASK) as usize]
+    }
+
+    /// The contiguous slot slice for keys `[key, key + max_len)`, clamped
+    /// to the end of `key`'s page (callers loop until the span covers the
+    /// whole range). Allocates the page if missing. This is the streaming
+    /// form of [`LineTable::slot_ptr`]: consecutive lines of a strip are
+    /// consecutive slots, so the touch loop pays the page walk once per
+    /// 4096 lines instead of once per line and the per-line directory
+    /// access becomes a sequential slice scan.
+    #[inline]
+    pub(crate) fn page_span(&mut self, key: u64, max_len: usize) -> &mut [u32] {
+        let page_id = (key >> PAGE_SHIFT) as usize;
+        if page_id >= self.pages.len() {
+            self.pages.resize_with(page_id + 1, || None);
+        }
+        let page = self.pages[page_id].get_or_insert_with(new_page);
+        let off = (key & OFFSET_MASK) as usize;
+        let end = (off + max_len).min(PAGE_LINES);
+        &mut page[off..end]
     }
 
     /// Insert or overwrite `key`.
     #[inline]
     pub(crate) fn insert(&mut self, key: u64, val: u32) {
-        debug_assert_ne!(val, NONE, "packed value collides with the empty sentinel");
-        let page_id = (key >> PAGE_SHIFT) as usize;
-        if page_id >= self.pages.len() {
-            self.pages.resize_with(page_id + 1, || None);
-        }
-        let page = self.pages[page_id].get_or_insert_with(Page::new);
-        let slot = &mut page.vals[(key & OFFSET_MASK) as usize];
-        if *slot == NONE {
-            page.live += 1;
-            self.len += 1;
-        }
-        *slot = val;
+        debug_assert_ne!(val, EMPTY, "packed value collides with the empty sentinel");
+        *self.slot_ptr(key) = val;
     }
 
-    /// Remove `key`, freeing its page if that was the last entry on it.
-    #[inline]
-    pub(crate) fn remove(&mut self, key: u64) -> Option<u32> {
-        let entry = self.pages.get_mut((key >> PAGE_SHIFT) as usize)?;
-        let page = entry.as_mut()?;
-        let slot = &mut page.vals[(key & OFFSET_MASK) as usize];
-        let v = *slot;
-        if v == NONE {
-            return None;
-        }
-        *slot = NONE;
-        page.live -= 1;
-        self.len -= 1;
-        if page.live == 0 {
-            *entry = None;
-        }
-        Some(v)
-    }
-
-    /// Iterate live `(line, packed value)` entries in key order.
-    /// Diagnostics and invariant checks only.
+    /// Iterate `(line, packed value)` entries (live or stale) in key
+    /// order. Diagnostics and invariant checks only.
     pub(crate) fn iter(&self) -> impl Iterator<Item = (u64, u32)> + '_ {
         self.pages.iter().enumerate().flat_map(|(page_id, page)| {
             page.iter().flat_map(move |p| {
-                p.vals
-                    .iter()
+                p.iter()
                     .enumerate()
-                    .filter(|(_, &v)| v != NONE)
+                    .filter(|(_, &v)| v != EMPTY)
                     .map(move |(i, &v)| (((page_id as u64) << PAGE_SHIFT) | i as u64, v))
             })
         })
     }
 
-    /// Pages currently allocated (diagnostic: memory tracks residency).
+    /// Pages currently allocated (diagnostic).
     #[cfg(test)]
     fn page_count(&self) -> usize {
         self.pages.iter().filter(|p| p.is_some()).count()
@@ -159,7 +167,7 @@ mod tests {
     use super::*;
 
     #[test]
-    fn insert_get_remove_round_trip() {
+    fn insert_get_round_trip() {
         let mut t = LineTable::with_capacity(8);
         for i in 0..100u64 {
             t.insert(i * 3, pack((i % 4) as usize, i as u32));
@@ -171,13 +179,6 @@ mod tests {
             assert_eq!(slot_of(v), i as u32);
         }
         assert_eq!(t.get(1), None);
-        for i in (0..100u64).step_by(2) {
-            assert!(t.remove(i * 3).is_some());
-        }
-        assert_eq!(t.len(), 50);
-        for i in 0..100u64 {
-            assert_eq!(t.get(i * 3).is_some(), i % 2 == 1, "key {i}");
-        }
         assert_eq!(t.iter().count(), t.len());
     }
 
@@ -189,6 +190,20 @@ mod tests {
         assert_eq!(t.len(), 1);
         let v = t.get(7).unwrap();
         assert_eq!((owner_of(v), slot_of(v)), (3, 9));
+    }
+
+    #[test]
+    fn slot_ptr_reads_empty_then_inserts() {
+        let mut t = LineTable::with_capacity(4);
+        let s = t.slot_ptr(42);
+        assert_eq!(*s, EMPTY);
+        *s = pack(2, 5);
+        assert_eq!(t.get(42), Some(pack(2, 5)));
+        assert_eq!(t.len(), 1);
+        // Probing materializes the page even without a write.
+        let _ = t.slot_ptr(PAGE_LINES as u64 + 1);
+        assert_eq!(t.page_count(), 2);
+        assert_eq!(t.len(), 1);
     }
 
     #[test]
@@ -205,27 +220,6 @@ mod tests {
         }
         // Lookups beyond any inserted page are misses, not panics.
         assert_eq!(t.get(100 * PAGE_LINES as u64), None);
-        assert_eq!(t.remove(100 * PAGE_LINES as u64), None);
-    }
-
-    #[test]
-    fn draining_a_page_releases_it() {
-        let mut t = LineTable::with_capacity(4);
-        // Fill two pages, drain the first completely.
-        for i in 0..2 * PAGE_LINES as u64 {
-            t.insert(i, pack(0, 0));
-        }
-        assert_eq!(t.page_count(), 2);
-        for i in 0..PAGE_LINES as u64 {
-            assert_eq!(t.remove(i), Some(pack(0, 0)));
-            assert_eq!(t.remove(i), None, "double remove is a no-op");
-        }
-        assert_eq!(t.page_count(), 1, "emptied page is reclaimed");
-        assert_eq!(t.len(), PAGE_LINES);
-        // The surviving page is untouched.
-        for i in PAGE_LINES as u64..2 * PAGE_LINES as u64 {
-            assert_eq!(t.get(i), Some(pack(0, 0)));
-        }
     }
 
     #[test]

@@ -5,8 +5,8 @@
 //! [`Scheduler`] through which the model may enqueue follow-up events. The
 //! model owns all domain state; the engine owns only time.
 
-use crate::queue::EventQueue;
 use crate::time::{SimDuration, SimTime};
+use crate::EventQueue;
 
 /// Handle through which a [`Model`] schedules future events.
 ///
@@ -126,6 +126,19 @@ impl<M: Model> Engine<M> {
     /// Peak number of simultaneously pending events so far.
     pub fn queue_high_water(&self) -> usize {
         self.queue.high_water()
+    }
+
+    /// Events that took the timing wheel's far-future overflow path and
+    /// cascaded back into the near-future ring (see
+    /// [`crate::TimingWheel::cascades`]).
+    pub fn queue_cascades(&self) -> u64 {
+        self.queue.cascades()
+    }
+
+    /// Peak number of simultaneously occupied timing-wheel buckets (see
+    /// [`crate::TimingWheel::peak_occupied_buckets`]).
+    pub fn queue_peak_buckets(&self) -> usize {
+        self.queue.peak_occupied_buckets()
     }
 
     /// Immutable access to the model.

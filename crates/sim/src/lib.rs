@@ -29,9 +29,16 @@ pub mod resource;
 pub mod rng;
 pub mod time;
 pub mod trace;
+pub mod wheel;
 
 pub use engine::{Engine, Model, Scheduler};
-pub use queue::EventQueue;
+pub use queue::HeapQueue;
+pub use wheel::TimingWheel;
+
+/// The engine's future-event list. Currently the hierarchical timing
+/// wheel; [`HeapQueue`] is the reference implementation kept as a
+/// property-test oracle (identical API and pop order).
+pub type EventQueue<E> = TimingWheel<E>;
 pub use resource::{RateResource, SerialResource};
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};

@@ -1,4 +1,11 @@
-//! The time-ordered event queue.
+//! The binary-heap event queue — reference implementation and oracle.
+//!
+//! This was the engine's original future-event list; the default is now
+//! the [`crate::TimingWheel`] calendar queue. The heap is kept as the
+//! *property-test oracle*: its pop order defines deterministic correctness
+//! (`(time, seq)` ascending), and `tests/props.rs` drives both structures
+//! with identical push/pop schedules asserting bit-for-bit agreement —
+//! the same oracle pattern as `touch_reference` in `sais-mem`.
 
 use crate::time::SimTime;
 use std::cmp::Ordering;
@@ -48,7 +55,7 @@ impl<E> Ord for Entry<E> {
 /// Ties at the same instant are broken by insertion order (a monotonically
 /// increasing sequence number), which makes simulations reproducible: the
 /// same schedule of `push` calls always produces the same `pop` order.
-pub struct EventQueue<E> {
+pub struct HeapQueue<E> {
     heap: BinaryHeap<Entry<E>>,
     next_seq: u64,
     pushed: u64,
@@ -56,13 +63,13 @@ pub struct EventQueue<E> {
     high_water: usize,
 }
 
-impl<E> Default for EventQueue<E> {
+impl<E> Default for HeapQueue<E> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl<E> EventQueue<E> {
+impl<E> HeapQueue<E> {
     /// Create an empty queue.
     pub fn new() -> Self {
         Self::with_capacity(0)
@@ -70,7 +77,7 @@ impl<E> EventQueue<E> {
 
     /// Create an empty queue with pre-allocated capacity.
     pub fn with_capacity(cap: usize) -> Self {
-        EventQueue {
+        HeapQueue {
             heap: BinaryHeap::with_capacity(cap),
             next_seq: 0,
             pushed: 0,
@@ -127,10 +134,22 @@ impl<E> EventQueue<E> {
     }
 
     /// Largest number of events ever pending at once. Sizes
-    /// [`EventQueue::with_capacity`] for future runs of the same scenario
+    /// [`HeapQueue::with_capacity`] for future runs of the same scenario
     /// and feeds the `engine.queue_high_water` metric.
     pub fn high_water(&self) -> usize {
         self.high_water
+    }
+
+    /// API parity with [`crate::TimingWheel::cascades`]: a heap has no
+    /// overflow tier, so the count is always zero.
+    pub fn cascades(&self) -> u64 {
+        0
+    }
+
+    /// API parity with [`crate::TimingWheel::peak_occupied_buckets`]: a
+    /// heap has no buckets, so the peak is always zero.
+    pub fn peak_occupied_buckets(&self) -> usize {
+        0
     }
 }
 
@@ -141,7 +160,7 @@ mod tests {
 
     #[test]
     fn pops_in_time_order() {
-        let mut q = EventQueue::new();
+        let mut q = HeapQueue::new();
         q.push(SimTime::from_nanos(30), "c");
         q.push(SimTime::from_nanos(10), "a");
         q.push(SimTime::from_nanos(20), "b");
@@ -153,7 +172,7 @@ mod tests {
 
     #[test]
     fn ties_break_by_insertion_order() {
-        let mut q = EventQueue::new();
+        let mut q = HeapQueue::new();
         let t = SimTime::from_nanos(5);
         for i in 0..100 {
             q.push(t, i);
@@ -165,7 +184,7 @@ mod tests {
 
     #[test]
     fn interleaved_push_pop_stays_ordered() {
-        let mut q = EventQueue::new();
+        let mut q = HeapQueue::new();
         let mut rng = SimRng::new(99);
         let mut last = SimTime::ZERO;
         // Push a random batch, pop half, repeat; popped times never regress
@@ -189,7 +208,7 @@ mod tests {
 
     #[test]
     fn counters_track_traffic() {
-        let mut q = EventQueue::new();
+        let mut q = HeapQueue::new();
         q.push(SimTime::ZERO, 1);
         q.push(SimTime::ZERO, 2);
         assert_eq!(q.total_pushed(), 2);
@@ -202,7 +221,7 @@ mod tests {
 
     #[test]
     fn high_water_tracks_peak_not_current() {
-        let mut q = EventQueue::new();
+        let mut q = HeapQueue::new();
         assert_eq!(q.high_water(), 0);
         q.push(SimTime::ZERO, 1);
         q.push(SimTime::ZERO, 2);
@@ -218,7 +237,7 @@ mod tests {
 
     #[test]
     fn peek_does_not_remove() {
-        let mut q = EventQueue::new();
+        let mut q = HeapQueue::new();
         q.push(SimTime::from_nanos(7), "x");
         assert_eq!(q.peek_time(), Some(SimTime::from_nanos(7)));
         assert_eq!(q.len(), 1);

@@ -1,9 +1,71 @@
 //! Property tests for the engine primitives.
 
 use proptest::prelude::*;
-use sais_sim::{EventQueue, RateResource, SerialResource, SimDuration, SimTime};
+use sais_sim::{
+    EventQueue, HeapQueue, RateResource, SerialResource, SimDuration, SimTime, TimingWheel,
+};
+
+/// One step of an interleaved queue schedule.
+#[derive(Clone, Debug)]
+enum QueueOp {
+    Push(u64),
+    Pop,
+}
+
+/// Schedules biased toward the wheel's interesting regimes: same-instant
+/// tie storms (tiny time range), traffic inside and just beyond the
+/// ≈1 ms near-future horizon, arbitrary far-future times, and times at
+/// the very top of the `u64` range.
+fn queue_op() -> impl Strategy<Value = QueueOp> {
+    prop_oneof![
+        (0u64..64).prop_map(QueueOp::Push),
+        (0u64..4_000_000).prop_map(QueueOp::Push),
+        any::<u64>().prop_map(QueueOp::Push),
+        (u64::MAX - 4096..=u64::MAX).prop_map(QueueOp::Push),
+        Just(QueueOp::Pop),
+        Just(QueueOp::Pop),
+    ]
+}
 
 proptest! {
+    /// The timing wheel agrees with the binary-heap oracle event for
+    /// event: identical `(time, event)` pop order, peeks, lengths and
+    /// counters under any interleaving of pushes and pops — including
+    /// same-instant tie storms, pushes behind the cursor (the clamped
+    /// path), far-future overflow traffic and times near `u64::MAX`.
+    /// Both start from `with_capacity(0)`, so the wheel's re-centering
+    /// on first push from empty is exercised every round.
+    #[test]
+    fn wheel_matches_heap_oracle(ops in proptest::collection::vec(queue_op(), 1..500)) {
+        let mut wheel = TimingWheel::with_capacity(0);
+        let mut heap = HeapQueue::with_capacity(0);
+        for (i, op) in ops.iter().enumerate() {
+            match op {
+                QueueOp::Push(t) => {
+                    wheel.push(SimTime::from_nanos(*t), i);
+                    heap.push(SimTime::from_nanos(*t), i);
+                }
+                QueueOp::Pop => {
+                    prop_assert_eq!(wheel.pop(), heap.pop());
+                }
+            }
+            prop_assert_eq!(wheel.peek_time(), heap.peek_time());
+            prop_assert_eq!(wheel.len(), heap.len());
+            prop_assert_eq!(wheel.is_empty(), heap.is_empty());
+        }
+        // Drain to empty: the tails must agree element for element.
+        loop {
+            let (w, h) = (wheel.pop(), heap.pop());
+            prop_assert_eq!(w, h);
+            if w.is_none() {
+                break;
+            }
+        }
+        prop_assert_eq!(wheel.total_pushed(), heap.total_pushed());
+        prop_assert_eq!(wheel.total_popped(), heap.total_popped());
+        prop_assert_eq!(wheel.high_water(), heap.high_water());
+    }
+
     /// Pop order is non-decreasing in time for any push sequence, and ties
     /// preserve push order.
     #[test]
