@@ -55,12 +55,24 @@ pub struct BenchArgs {
     /// `--analyze <dir>`: after the figure, run the two-policy demo trace
     /// analysis (RoundRobin vs SAIs) and write the report set there.
     pub analyze: Option<PathBuf>,
+    /// `--shards <n>`: fan each sweep grid out over `n` spawn-self worker
+    /// subprocesses (see [`crate::executor::ShardRole`]); `1` (the
+    /// default) keeps everything in-process. Results are byte-identical
+    /// either way.
+    pub shards: usize,
+    /// Hidden `--shard-worker <i>`: this process is worker `i` of a
+    /// sharded sweep, spawned by a parent — never passed by hand.
+    pub shard_worker: Option<usize>,
+    /// Hidden `--shard-grid <g>`: the grid sequence number the worker
+    /// was spawned for; travels with `--shard-worker`.
+    pub shard_grid: Option<usize>,
 }
 
 const BENCH_USAGE: &str =
-    "usage: <figure-bin> [--quick | --full] [--trace <path>] [--metrics <path>] [--analyze <dir>]\n\
+    "usage: <figure-bin> [--quick | --full] [--shards <n>] [--trace <path>] [--metrics <path>] [--analyze <dir>]\n\
   --quick           64 MB files, 1 seed (fast smoke run)\n\
   --full            1 GB files, 3 seeds (paper scale)\n\
+  --shards <n>      fan sweep grids out over n worker subprocesses (default 1)\n\
   --trace <path>    write a Perfetto trace of the demo scenario\n\
   --metrics <path>  write a metric snapshot (.csv => CSV, else JSON)\n\
   --analyze <dir>   write trace-analysis reports (blame/diff/timeline/forensics)";
@@ -70,13 +82,42 @@ impl BenchArgs {
     /// any unknown or malformed flag.
     pub fn parse() -> BenchArgs {
         match Self::try_parse(std::env::args().skip(1)) {
-            Ok(args) => args,
+            Ok(args) => {
+                args.install_shard_plan();
+                args
+            }
             Err(msg) => {
                 eprintln!("error: {msg}");
                 eprintln!("{BENCH_USAGE}");
                 std::process::exit(2);
             }
         }
+    }
+
+    /// Derive this process's [`crate::executor::ShardPlan`] from the
+    /// parsed flags and install it for the sweep runner. Workers get
+    /// only the scale flag back — the grid itself is rebuilt
+    /// deterministically from the binary's own code, and side-effect
+    /// flags (`--trace` etc.) must run once, in the parent.
+    fn install_shard_plan(&self) {
+        use crate::executor::{install_shard_plan, ShardPlan, ShardRole};
+        let role = match self.shard_worker {
+            Some(index) => ShardRole::Worker {
+                index,
+                shards: self.shards,
+                grid: self.shard_grid.expect("validated with --shard-worker"),
+            },
+            None if self.shards > 1 => ShardRole::Parent {
+                shards: self.shards,
+            },
+            None => ShardRole::Single,
+        };
+        let worker_args = match self.scale {
+            Scale::Quick => vec!["--quick".to_string()],
+            Scale::Full => vec!["--full".to_string()],
+            Scale::Default => Vec::new(),
+        };
+        install_shard_plan(ShardPlan { role, worker_args });
     }
 
     /// Strict parse of an argument list (testable core of [`BenchArgs::parse`]).
@@ -86,12 +127,44 @@ impl BenchArgs {
             trace: None,
             metrics: None,
             analyze: None,
+            shards: 1,
+            shard_worker: None,
+            shard_grid: None,
+        };
+        let positive = |flag: &str, v: Option<String>| -> Result<usize, String> {
+            let v = v.ok_or_else(|| format!("`{flag}` requires a count argument"))?;
+            match v.parse::<usize>() {
+                Ok(0) => Err(format!("`{flag}` must be at least 1, got `0`")),
+                Ok(n) => Ok(n),
+                Err(_) => Err(format!("`{flag}` expects a positive integer, got `{v}`")),
+            }
         };
         let mut it = args.into_iter();
         while let Some(arg) = it.next() {
             match arg.as_str() {
                 "--quick" => out.scale = Scale::Quick,
                 "--full" => out.scale = Scale::Full,
+                "--shards" => out.shards = positive("--shards", it.next())?,
+                "--shard-worker" => {
+                    // Hidden: spawned workers only. Indices are 0-based,
+                    // so parse directly rather than through `positive`.
+                    let v = it
+                        .next()
+                        .ok_or("`--shard-worker` requires an index argument")?;
+                    let i = v
+                        .parse::<usize>()
+                        .map_err(|_| format!("`--shard-worker` expects an index, got `{v}`"))?;
+                    out.shard_worker = Some(i);
+                }
+                "--shard-grid" => {
+                    let v = it
+                        .next()
+                        .ok_or("`--shard-grid` requires a sequence argument")?;
+                    let g = v
+                        .parse::<usize>()
+                        .map_err(|_| format!("`--shard-grid` expects a number, got `{v}`"))?;
+                    out.shard_grid = Some(g);
+                }
                 "--trace" => {
                     let path = it.next().ok_or("`--trace` requires a path argument")?;
                     out.trace = Some(PathBuf::from(path));
@@ -107,6 +180,25 @@ impl BenchArgs {
                     out.analyze = Some(PathBuf::from(path));
                 }
                 other => return Err(format!("unknown argument `{other}`")),
+            }
+        }
+        // The hidden worker flags travel together, and only underneath a
+        // parent's `--shards N`.
+        match (out.shard_worker, out.shard_grid) {
+            (Some(i), Some(_)) => {
+                if out.shards < 2 {
+                    return Err("`--shard-worker` requires `--shards <n>` with n ≥ 2".into());
+                }
+                if i >= out.shards {
+                    return Err(format!(
+                        "`--shard-worker` index {i} out of range for {} shards",
+                        out.shards
+                    ));
+                }
+            }
+            (None, None) => {}
+            _ => {
+                return Err("`--shard-worker` and `--shard-grid` must be passed together".into());
             }
         }
         Ok(out)
@@ -189,13 +281,31 @@ pub struct CellStats {
     pub migrations: Welford,
 }
 
+/// The statistics a sweep folds per run, in fold order. This is the
+/// unit of the shard-fabric wire format: a worker sends each run as
+/// exactly these five `f64`s (hex-encoded, bit-exact), so a sharded
+/// merge feeds the Welford accumulators the same values in the same
+/// order as an in-process run.
+pub const SAMPLE_STATS: usize = 5;
+
+/// Extract the folded statistics from one run.
+fn sample_of(m: &RunMetrics) -> [f64; SAMPLE_STATS] {
+    [
+        m.bandwidth_bytes_per_sec(),
+        m.l2_miss_rate,
+        m.cpu_utilization,
+        m.unhalted_cycles as f64,
+        m.strip_migrations as f64,
+    ]
+}
+
 impl CellStats {
-    fn push(&mut self, m: &RunMetrics) {
-        self.bw.push(m.bandwidth_bytes_per_sec());
-        self.miss.push(m.l2_miss_rate);
-        self.util.push(m.cpu_utilization);
-        self.unhalted.push(m.unhalted_cycles as f64);
-        self.migrations.push(m.strip_migrations as f64);
+    fn push_sample(&mut self, s: &[f64]) {
+        self.bw.push(s[0]);
+        self.miss.push(s[1]);
+        self.util.push(s[2]);
+        self.unhalted.push(s[3]);
+        self.migrations.push(s[4]);
     }
 }
 
@@ -271,11 +381,21 @@ impl Sweep {
     /// `(cell, seed)` index order — float summation order, and therefore
     /// every figure CSV, is bit-identical to a sequential double loop
     /// regardless of scheduling.
+    /// Shard-fabric extension: under `--shards N` this process is a
+    /// *parent* — it claims the next grid sequence number, spawns N
+    /// copies of its own binary (each sees the same `cells` because the
+    /// grid is a pure function of the binary and the scale flag), and
+    /// merges their bit-exact per-task samples back into the same
+    /// index-ordered fold. A spawned *worker* runs only the subset
+    /// `t % N == index` through its own in-process pool, prints one
+    /// `shardtask` line per task, and exits here — its stdout carries
+    /// nothing else (see [`emit`]).
     fn run_grid(
         &self,
         label: Option<&str>,
         cfgs: Vec<ScenarioConfig>,
     ) -> Vec<(CellStats, CellStats)> {
+        use crate::executor::{self, ShardRole};
         let seeds = self.scale.seeds() as usize;
         let cells: Vec<ScenarioConfig> = cfgs
             .into_iter()
@@ -285,38 +405,106 @@ impl Sweep {
                 c
             })
             .collect();
-        let meter = label.map(|l| ProgressMeter::new(l, cells.len() as u64));
         let total = cells.len() * seeds;
-        let mut runs: Vec<Option<(RunMetrics, RunMetrics)>> = Vec::new();
-        runs.resize_with(total, || None);
-        let slots = std::sync::Mutex::new(&mut runs);
-        // Per-cell completion tallies so the meter still reports whole
-        // cells even though tasks finish seed by seed in any order.
-        let seeds_done: Vec<std::sync::atomic::AtomicUsize> = (0..cells.len())
-            .map(|_| std::sync::atomic::AtomicUsize::new(0))
-            .collect();
-        crate::executor::run_indexed(total, crate::executor::default_workers(), |t| {
+        // One task = one seed of one cell under both policies; its
+        // sample is the concatenated (baseline, candidate) statistics.
+        let run_task = |t: usize| -> [f64; 2 * SAMPLE_STATS] {
             let (ci, si) = (t / seeds, t % seeds);
             let mut c = cells[ci].clone();
             c.seed = c.seed.wrapping_add((si as u64).wrapping_mul(0x9E37_79B9));
             let b = c.clone().with_policy(self.baseline).run();
             let s = c.with_policy(self.candidate).run();
-            slots.lock().expect("no poisoning")[t] = Some((b, s));
-            let done = seeds_done[ci].fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
-            if done == seeds {
-                if let Some(m) = &meter {
-                    m.complete_one_and_report();
+            let (bs, ss) = (sample_of(&b), sample_of(&s));
+            let mut sample = [0.0; 2 * SAMPLE_STATS];
+            sample[..SAMPLE_STATS].copy_from_slice(&bs);
+            sample[SAMPLE_STATS..].copy_from_slice(&ss);
+            sample
+        };
+        let plan = executor::shard_plan();
+        let grid_seq = executor::next_grid_seq();
+        let samples: Vec<[f64; 2 * SAMPLE_STATS]> = match plan.role {
+            ShardRole::Worker {
+                index,
+                shards,
+                grid,
+            } => {
+                if grid_seq != grid {
+                    // A multi-grid binary's earlier (or later) grid: the
+                    // parent already has — or will spawn fresh workers
+                    // for — this one. Skip the compute; the placeholder
+                    // stats never reach any output (workers emit nothing).
+                    return vec![(CellStats::default(), CellStats::default()); cells.len()];
                 }
+                let mine: Vec<usize> = (index..total).step_by(shards).collect();
+                let mut done: Vec<Option<[f64; 2 * SAMPLE_STATS]>> = vec![None; mine.len()];
+                let slots = std::sync::Mutex::new(&mut done);
+                executor::run_indexed(mine.len(), executor::default_workers(), |k| {
+                    let sample = run_task(mine[k]);
+                    slots.lock().expect("no poisoning")[k] = Some(sample);
+                });
+                use std::io::Write;
+                let stdout = std::io::stdout();
+                let mut w = stdout.lock();
+                for (k, t) in mine.iter().enumerate() {
+                    let sample = done[k].expect("every owned task ran");
+                    writeln!(w, "{}", executor::encode_task_line(*t, &sample))
+                        .expect("write shard results");
+                }
+                w.flush().expect("flush shard results");
+                std::process::exit(0);
             }
-        });
+            ShardRole::Parent { shards } => executor::collect_sharded(
+                total,
+                shards,
+                grid_seq,
+                &plan.worker_args,
+                2 * SAMPLE_STATS,
+            )
+            .into_iter()
+            .map(|v| {
+                let mut sample = [0.0; 2 * SAMPLE_STATS];
+                sample.copy_from_slice(&v);
+                sample
+            })
+            .collect(),
+            ShardRole::Single => {
+                let meter = label.map(|l| ProgressMeter::new(l, cells.len() as u64));
+                let mut runs: Vec<Option<[f64; 2 * SAMPLE_STATS]>> = vec![None; total];
+                let slots = std::sync::Mutex::new(&mut runs);
+                // Per-cell completion tallies so the meter still reports
+                // whole cells even though tasks finish seed by seed in
+                // any order.
+                let seeds_done: Vec<std::sync::atomic::AtomicUsize> = (0..cells.len())
+                    .map(|_| std::sync::atomic::AtomicUsize::new(0))
+                    .collect();
+                executor::run_indexed(total, executor::default_workers(), |t| {
+                    let sample = run_task(t);
+                    slots.lock().expect("no poisoning")[t] = Some(sample);
+                    let ci = t / seeds;
+                    let done =
+                        seeds_done[ci].fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
+                    if done == seeds {
+                        if let Some(m) = &meter {
+                            m.complete_one_and_report();
+                        }
+                    }
+                });
+                runs.into_iter()
+                    .map(|r| r.expect("every seed ran"))
+                    .collect()
+            }
+        };
+        // The deterministic fold: fixed (cell, seed) index order, so the
+        // float summation — and every figure CSV — is bit-identical no
+        // matter which thread, worker process, or steal path ran what.
         let mut out = Vec::with_capacity(cells.len());
         for ci in 0..cells.len() {
             let mut base = CellStats::default();
             let mut cand = CellStats::default();
             for si in 0..seeds {
-                let (b, s) = runs[ci * seeds + si].take().expect("every seed ran");
-                base.push(&b);
-                cand.push(&s);
+                let sample = &samples[ci * seeds + si];
+                base.push_sample(&sample[..SAMPLE_STATS]);
+                cand.push_sample(&sample[SAMPLE_STATS..]);
             }
             out.push((base, cand));
         }
@@ -349,6 +537,15 @@ pub fn emit_streams(table: &Table) -> (String, String) {
 /// rendered table and the `[csv] path` echo go to stderr with the rest of
 /// the progress reporting.
 pub fn emit(name: &str, table: &Table) {
+    // A shard worker's stdout is a results pipe for its parent, and any
+    // table it could print would be a placeholder from a skipped grid —
+    // workers emit nothing, on either stream or disk.
+    if matches!(
+        crate::executor::shard_plan().role,
+        crate::executor::ShardRole::Worker { .. }
+    ) {
+        return;
+    }
     let (csv, human) = emit_streams(table);
     eprintln!("{human}");
     print!("{csv}");
@@ -408,6 +605,43 @@ mod tests {
         assert!(
             parse(&["--analyze"]).is_err(),
             "--analyze needs a directory"
+        );
+    }
+
+    #[test]
+    fn bench_args_shards_parse_strictly() {
+        assert_eq!(parse(&[]).unwrap().shards, 1);
+        assert_eq!(parse(&[]).unwrap().shard_worker, None);
+        assert_eq!(parse(&["--shards", "4"]).unwrap().shards, 4);
+        let err = parse(&["--shards", "0"]).unwrap_err();
+        assert!(err.contains("at least 1"), "{err}");
+        let err = parse(&["--shards", "two"]).unwrap_err();
+        assert!(err.contains("positive integer"), "{err}");
+        assert!(parse(&["--shards"]).is_err(), "--shards needs a count");
+        assert!(parse(&["--shards", "-2"]).is_err(), "negative rejected");
+    }
+
+    #[test]
+    fn bench_args_hidden_worker_flags_travel_together() {
+        let a = parse(&["--shards", "2", "--shard-worker", "1", "--shard-grid", "3"]).unwrap();
+        assert_eq!(a.shards, 2);
+        assert_eq!(a.shard_worker, Some(1));
+        assert_eq!(a.shard_grid, Some(3));
+        assert!(
+            parse(&["--shard-worker", "0", "--shard-grid", "0"]).is_err(),
+            "worker flags without --shards"
+        );
+        assert!(
+            parse(&["--shards", "2", "--shard-worker", "0"]).is_err(),
+            "worker without grid"
+        );
+        assert!(
+            parse(&["--shards", "2", "--shard-grid", "0"]).is_err(),
+            "grid without worker"
+        );
+        assert!(
+            parse(&["--shards", "2", "--shard-worker", "2", "--shard-grid", "0"]).is_err(),
+            "worker index out of range"
         );
     }
 

@@ -43,6 +43,18 @@ pub struct PerfResult {
     /// Peak simultaneously-occupied timing-wheel buckets for one run
     /// (also deterministic per scenario).
     pub peak_buckets: u64,
+    /// Peak simultaneous occupancy of the strip slab (deterministic per
+    /// scenario — the quantity the slab's dense storage is sized by).
+    pub strip_slab_high_water: u64,
+    /// Peak simultaneous occupancy of the read slab (deterministic).
+    pub read_slab_high_water: u64,
+    /// Same-timestamp batches the engine dispatched (deterministic).
+    pub dispatch_batches: u64,
+    /// Largest same-timestamp batch dispatched (deterministic).
+    pub dispatch_max_batch: u64,
+    /// Power-of-two histogram of dispatched batch sizes: bucket `i`
+    /// counts batches of `2^i ..= 2^(i+1) - 1` events (deterministic).
+    pub dispatch_batch_hist: Vec<u64>,
 }
 
 /// The canonical scenarios the baseline tracks. Names are stable; the
@@ -105,6 +117,11 @@ pub fn measure(name: &'static str, cfg: &ScenarioConfig, reps: u32) -> PerfResul
     let mut bw = 0.0;
     let mut cascades = 0;
     let mut peak_buckets = 0;
+    let mut strip_slab_high_water = 0;
+    let mut read_slab_high_water = 0;
+    let mut dispatch_batches = 0;
+    let mut dispatch_max_batch = 0;
+    let mut dispatch_batch_hist = Vec::new();
     for _ in 0..reps {
         let t0 = Instant::now();
         let m = cfg.clone().run();
@@ -116,6 +133,11 @@ pub fn measure(name: &'static str, cfg: &ScenarioConfig, reps: u32) -> PerfResul
         bw = m.bandwidth_mbs();
         cascades = m.queue_cascades;
         peak_buckets = m.queue_peak_buckets;
+        strip_slab_high_water = m.strip_slab_high_water;
+        read_slab_high_water = m.read_slab_high_water;
+        dispatch_batches = m.dispatch_batches;
+        dispatch_max_batch = m.dispatch_max_batch;
+        dispatch_batch_hist = m.dispatch_batch_hist;
     }
     PerfResult {
         name,
@@ -125,6 +147,11 @@ pub fn measure(name: &'static str, cfg: &ScenarioConfig, reps: u32) -> PerfResul
         sim_bandwidth_mbs: bw,
         cascades,
         peak_buckets,
+        strip_slab_high_water,
+        read_slab_high_water,
+        dispatch_batches,
+        dispatch_max_batch,
+        dispatch_batch_hist,
     }
 }
 
@@ -135,14 +162,18 @@ pub fn measure_all(reps: u32) -> Vec<PerfResult> {
         .map(|(name, cfg)| {
             let r = measure(name, cfg, reps);
             eprintln!(
-                "{:22} {:>10} events  {:>8.3} s  {:>12.0} events/s  ({:.1} simulated MB/s, {} cascades, {} peak buckets)",
+                "{:22} {:>10} events  {:>8.3} s  {:>12.0} events/s  ({:.1} simulated MB/s, {} cascades, {} peak buckets, slab hw {}/{}, {} batches max {})",
                 r.name,
                 r.events,
                 r.wall_secs,
                 r.events_per_sec,
                 r.sim_bandwidth_mbs,
                 r.cascades,
-                r.peak_buckets
+                r.peak_buckets,
+                r.strip_slab_high_water,
+                r.read_slab_high_water,
+                r.dispatch_batches,
+                r.dispatch_max_batch
             );
             r
         })
@@ -157,18 +188,33 @@ pub fn baseline_path() -> PathBuf {
 }
 
 /// Serialize results in the committed-baseline format (no external JSON
-/// dependency; the format is four fields per scenario).
+/// dependency; one object per scenario, one line each). The slab and
+/// batch-dispatch counters are additive `v1` fields: the line-oriented
+/// reader ignores keys it does not know, so old baselines parse under
+/// the new code and vice versa — the schema tag stays
+/// `sais-perf-baseline/v1`.
 pub fn to_json(results: &[PerfResult]) -> String {
     let mut s = String::from("{\n  \"schema\": \"sais-perf-baseline/v1\",\n  \"scenarios\": [\n");
     for (i, r) in results.iter().enumerate() {
+        let hist = r
+            .dispatch_batch_hist
+            .iter()
+            .map(|c| c.to_string())
+            .collect::<Vec<_>>()
+            .join(", ");
         s.push_str(&format!(
-            "    {{\"name\": \"{}\", \"events\": {}, \"wall_secs\": {:.4}, \"events_per_sec\": {:.0}, \"cascades\": {}, \"peak_buckets\": {}}}{}\n",
+            "    {{\"name\": \"{}\", \"events\": {}, \"wall_secs\": {:.4}, \"events_per_sec\": {:.0}, \"cascades\": {}, \"peak_buckets\": {}, \"strip_slab_high_water\": {}, \"read_slab_high_water\": {}, \"dispatch_batches\": {}, \"dispatch_max_batch\": {}, \"dispatch_batch_hist\": [{}]}}{}\n",
             r.name,
             r.events,
             r.wall_secs,
             r.events_per_sec,
             r.cascades,
             r.peak_buckets,
+            r.strip_slab_high_water,
+            r.read_slab_high_water,
+            r.dispatch_batches,
+            r.dispatch_max_batch,
+            hist,
             if i + 1 < results.len() { "," } else { "" }
         ));
     }
@@ -345,6 +391,11 @@ pub fn synthetic_results(events_per_sec: f64) -> Vec<PerfResult> {
             sim_bandwidth_mbs: 0.0,
             cascades: 0,
             peak_buckets: 0,
+            strip_slab_high_water: 0,
+            read_slab_high_water: 0,
+            dispatch_batches: 0,
+            dispatch_max_batch: 0,
+            dispatch_batch_hist: Vec::new(),
         })
         .collect()
 }
@@ -364,6 +415,11 @@ mod tests {
                 sim_bandwidth_mbs: 300.0,
                 cascades: 17,
                 peak_buckets: 42,
+                strip_slab_high_water: 96,
+                read_slab_high_water: 48,
+                dispatch_batches: 1000,
+                dispatch_max_batch: 48,
+                dispatch_batch_hist: vec![10, 20, 30],
             },
             PerfResult {
                 name: "write_3gig_16srv",
@@ -373,6 +429,11 @@ mod tests {
                 sim_bandwidth_mbs: 280.0,
                 cascades: 0,
                 peak_buckets: 1,
+                strip_slab_high_water: 1,
+                read_slab_high_water: 1,
+                dispatch_batches: 99,
+                dispatch_max_batch: 1,
+                dispatch_batch_hist: vec![99],
             },
         ];
         let json = to_json(&results);
@@ -387,6 +448,33 @@ mod tests {
         assert_eq!(parsed.len(), 2);
         assert!(parsed[0].contains("\"events\": 123456"));
         assert!(parsed[1].contains("\"events_per_sec\": 99000"));
+        // Additive v1 fields: slab high-waters and the batch histogram
+        // ride along on the same line without disturbing the original
+        // keys the line-oriented reader extracts.
+        assert!(parsed[0].contains("\"strip_slab_high_water\": 96"));
+        assert!(parsed[0].contains("\"read_slab_high_water\": 48"));
+        assert!(parsed[0].contains("\"dispatch_max_batch\": 48"));
+        assert!(parsed[0].contains("\"dispatch_batch_hist\": [10, 20, 30]"));
+        assert!(parsed[1].contains("\"dispatch_batch_hist\": [99]"));
+    }
+
+    #[test]
+    fn baseline_reader_ignores_additive_fields() {
+        // The committed-baseline reader pulls (name, events, events_per_sec)
+        // out of a line that now also carries slab/batch counters; the
+        // extraction must not be confused by the extra keys or the
+        // embedded histogram array.
+        let line = "{\"name\": \"read_3gig_48srv\", \"events\": 123456, \"wall_secs\": 1.5000, \"events_per_sec\": 82304, \"cascades\": 17, \"peak_buckets\": 42, \"strip_slab_high_water\": 96, \"read_slab_high_water\": 48, \"dispatch_batches\": 1000, \"dispatch_max_batch\": 48, \"dispatch_batch_hist\": [10, 20, 30]}";
+        let field = |key: &str| -> Option<&str> {
+            let start = line.find(key)? + key.len();
+            let rest = &line[start..];
+            let rest = rest.trim_start_matches([':', ' ', '"']);
+            let end = rest.find(['"', ',', '}'])?;
+            Some(rest[..end].trim())
+        };
+        assert_eq!(field("\"name\""), Some("read_3gig_48srv"));
+        assert_eq!(field("\"events\""), Some("123456"));
+        assert_eq!(field("\"events_per_sec\""), Some("82304"));
     }
 
     #[test]

@@ -1,0 +1,75 @@
+//! Subprocess tests of the multi-process shard fabric: `--shards 2`
+//! must reproduce the single-process figure CSV byte for byte (the
+//! determinism guarantee the fabric is built on), and shard flag
+//! parsing stays strict — `--shards 0` or a non-numeric count exits
+//! with code 2 and the usage message, like every other malformed flag.
+
+use std::process::Command;
+
+fn fig05() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_fig05_bandwidth_3gig"))
+}
+
+#[test]
+fn sharded_fig05_matches_single_process_byte_for_byte() {
+    let single = fig05().arg("--quick").output().expect("single-process run");
+    assert!(
+        single.status.success(),
+        "single run failed: {}",
+        String::from_utf8_lossy(&single.stderr)
+    );
+    let sharded = fig05()
+        .args(["--quick", "--shards", "2"])
+        .output()
+        .expect("sharded run");
+    assert!(
+        sharded.status.success(),
+        "sharded run failed: {}",
+        String::from_utf8_lossy(&sharded.stderr)
+    );
+    assert!(
+        !single.stdout.is_empty(),
+        "figure CSV on stdout in both modes"
+    );
+    assert_eq!(
+        String::from_utf8_lossy(&single.stdout),
+        String::from_utf8_lossy(&sharded.stdout),
+        "figure CSV must be byte-identical across shard counts"
+    );
+}
+
+#[test]
+fn shards_zero_nonnumeric_and_missing_count_exit_2() {
+    for bad in [
+        &["--quick", "--shards", "0"][..],
+        &["--quick", "--shards", "two"],
+        &["--quick", "--shards", "-1"],
+        &["--quick", "--shards"],
+    ] {
+        let out = fig05().args(bad).output().expect("binary runs");
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "args {bad:?} must exit 2, stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains("--shards"), "error names the flag: {err}");
+        assert!(err.contains("usage:"), "usage message shown: {err}");
+        assert!(
+            out.stdout.is_empty(),
+            "no partial CSV on a rejected command line"
+        );
+    }
+}
+
+#[test]
+fn stray_hidden_worker_flags_exit_2() {
+    // The hidden flags are spawned by a parent, never typed — but if
+    // they do arrive malformed, the strict-parse convention still holds.
+    let out = fig05()
+        .args(["--quick", "--shard-worker", "0"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+}

@@ -18,6 +18,7 @@
 
 use crate::components::{HintCapsuler, HintMessager, IMComposer, SrcParser};
 use crate::scenario::{IoDirection, RunMetrics, ScenarioConfig};
+use crate::slab::{Slab, SlabRef};
 use sais_apic::IoApic;
 use sais_cpu::{CpuCore, CpuReport, LoadTracker, Process, WakePlacement, WorkClass};
 use sais_mem::fxmap::FxHashMap;
@@ -49,13 +50,13 @@ pub enum Ev {
     },
     /// A strip's response stream reaches the client NIC.
     StripAtNic {
-        /// Strip instance id.
-        strip: u64,
+        /// Dense handle into the strip slab.
+        strip: SlabRef,
     },
     /// The NIC raises a coalesced interrupt for part of a strip.
     HardIrq {
-        /// Strip instance id.
-        strip: u64,
+        /// Dense handle into the strip slab.
+        strip: SlabRef,
         /// Frames covered by this interrupt.
         frames: u64,
         /// Payload bytes covered.
@@ -63,18 +64,18 @@ pub enum Ev {
     },
     /// Softirq processing of one batch finished on the handler core.
     BatchReady {
-        /// Strip instance id.
-        strip: u64,
+        /// Dense handle into the strip slab.
+        strip: SlabRef,
     },
     /// The strip has been copied into the application buffer.
     StripCopied {
-        /// Strip instance id.
-        strip: u64,
+        /// Dense handle into the strip slab.
+        strip: SlabRef,
     },
     /// A write acknowledgement for one strip reached the client.
     WriteAck {
-        /// Strip instance id.
-        strip: u64,
+        /// Dense handle into the strip slab.
+        strip: SlabRef,
     },
     /// The application's compute phase over one read finished.
     ComputeDone {
@@ -93,8 +94,12 @@ struct ProcRt {
     end_offset: u64,
 }
 
-/// Per-read bookkeeping.
+/// Per-read bookkeeping. Lives in a [`Slab`]; events reach it through a
+/// [`SlabRef`] carried by the strip state.
 struct ReadState {
+    /// Monotonic instance id — the key the [`ReadTracker`], flight
+    /// recorder and debug oracle still speak.
+    id: u64,
     proc: u32,
     bytes: u64,
     issued: SimTime,
@@ -106,14 +111,22 @@ struct ReadState {
     first_irq_seen: bool,
 }
 
-/// Per-strip bookkeeping.
+/// Per-strip bookkeeping. Lives in a [`Slab`]; every strip event carries
+/// the [`SlabRef`], so the hot path resolves state with one indexed load
+/// instead of a hash probe.
 struct StripState {
+    /// Monotonic instance id (trace ring, frame ident, debug oracle).
+    id: u64,
     client: u32,
-    read: u64,
+    /// Handle to the owning read's [`ReadState`].
+    read: SlabRef,
     strip_no: u64,
     bytes: u64,
     kbuf: AddrRange,
     user_range: AddrRange,
+    /// The strip's segmentation, resolved once at issue time so the NIC
+    /// arrival path never consults the plan cache.
+    plan: SegmentPlan,
     /// The strip's first wire frame as plain old data; the exact bytes are
     /// materialized on demand (fault injection, verification) only.
     pod: PodFrame,
@@ -123,6 +136,54 @@ struct StripState {
     chunk_off: u64,
     /// Flight-recorder span covering this strip's fan-out lifetime.
     span: SpanId,
+}
+
+/// Debug-build oracle for slab-indexed state: mirrors every live slab
+/// entry in the old id-keyed hash map and asserts, at each hot-path
+/// lookup, that the dense ref and the map agree. Compiles to a zero-sized
+/// no-op in release builds, so the hot path keeps zero hashing.
+struct SlabOracle {
+    #[cfg(debug_assertions)]
+    by_id: FxHashMap<u64, SlabRef>,
+}
+
+impl SlabOracle {
+    fn new() -> Self {
+        SlabOracle {
+            #[cfg(debug_assertions)]
+            by_id: FxHashMap::default(),
+        }
+    }
+
+    #[inline]
+    fn insert(&mut self, _id: u64, _r: SlabRef) {
+        #[cfg(debug_assertions)]
+        assert!(
+            self.by_id.insert(_id, _r).is_none(),
+            "slab oracle: duplicate id {_id}"
+        );
+    }
+
+    /// Assert that resolving `_id` through the map lands on `_r`.
+    #[inline]
+    fn check(&self, _id: u64, _r: SlabRef) {
+        #[cfg(debug_assertions)]
+        debug_assert_eq!(
+            self.by_id.get(&_id),
+            Some(&_r),
+            "slab/map divergence for id {_id}"
+        );
+    }
+
+    #[inline]
+    fn remove(&mut self, _id: u64, _r: SlabRef) {
+        #[cfg(debug_assertions)]
+        debug_assert_eq!(
+            self.by_id.remove(&_id),
+            Some(_r),
+            "slab oracle: removing unknown id {_id}"
+        );
+    }
 }
 
 /// One client node: cores, caches, NIC, APIC, SAIs components, processes.
@@ -170,12 +231,17 @@ pub struct Cluster {
     capsuler: HintCapsuler,
     layout: StripeLayout,
     rng: SimRng,
-    reads: FxHashMap<u64, ReadState>,
-    strips: FxHashMap<u64, StripState>,
+    /// In-flight reads, slab-indexed (see [`ReadState`]).
+    reads: Slab<ReadState>,
+    /// In-flight strips, slab-indexed (see [`StripState`]).
+    strips: Slab<StripState>,
+    read_oracle: SlabOracle,
+    strip_oracle: SlabOracle,
     /// Memoized segmentation plans keyed by (strip bytes, hinted): strips
     /// are near-uniform in size, so the float math in
     /// `SegmentPlan::streaming` runs a handful of times per run instead of
-    /// twice per strip.
+    /// once per strip (the NIC-arrival side reads the plan straight from
+    /// [`StripState::plan`]).
     plan_cache: FxHashMap<(u64, bool), SegmentPlan>,
     next_read: u64,
     next_strip: u64,
@@ -249,8 +315,10 @@ impl Cluster {
             capsuler: HintCapsuler::new(),
             layout,
             rng,
-            reads: FxHashMap::default(),
-            strips: FxHashMap::default(),
+            reads: Slab::with_capacity(64),
+            strips: Slab::with_capacity(256),
+            read_oracle: SlabOracle::new(),
+            strip_oracle: SlabOracle::new(),
             plan_cache: FxHashMap::default(),
             next_read: 0,
             next_strip: 0,
@@ -395,16 +463,15 @@ impl Cluster {
         self.recorder.set_arg(read_span, "bytes", transfer);
         self.recorder
             .set_arg(read_span, "strips", strip_reqs.len() as u64);
-        self.reads.insert(
-            read_id,
-            ReadState {
-                proc,
-                bytes: transfer,
-                issued: t_req,
-                span: read_span,
-                first_irq_seen: false,
-            },
-        );
+        let read_ref = self.reads.insert(ReadState {
+            id: read_id,
+            proc,
+            bytes: transfer,
+            issued: t_req,
+            span: read_span,
+            first_irq_seen: false,
+        });
+        self.read_oracle.insert(read_id, read_ref);
         pr.proc.block(t_req);
         // The paper's policy (i)-vs-(ii) distinction: the process may be
         // migrated by the OS *while blocked*, after the request (and its
@@ -430,6 +497,8 @@ impl Cluster {
             let t_at_server = t_req + self.cfg.request_net_delay;
             let tx = self.servers[sr.server].serve_strip(t_at_server, sr.bytes, plan.wire_bytes);
             let server_ip = 0x0A01_0000 + sr.server as u32;
+            let strip_id = self.next_strip;
+            self.next_strip += 1;
             // The response's first wire frame as plain old data. The byte
             // path (Ethernet II + FCS around the possibly option-carrying
             // IP header) is materialized only where bytes are inspected;
@@ -438,7 +507,7 @@ impl Cluster {
             let pod = PodFrame {
                 src_ip: server_ip,
                 dst_ip: client_ip,
-                ident: (self.next_strip & 0xFFFF) as u16,
+                ident: (strip_id & 0xFFFF) as u16,
                 payload_len: sr.bytes.min(plan.mss) as u16,
                 aff_core: self.capsuler.capsule_pod(&hints),
             };
@@ -446,48 +515,44 @@ impl Cluster {
             // the flow id is the NIC's actual RSS (Toeplitz) hash of it,
             // precomputed per server in `ClientNode::new`.
             let flow = self.clients[client as usize].flows[sr.server];
-            let strip_id = self.next_strip;
-            self.next_strip += 1;
             let strip_span =
                 self.recorder
                     .begin(t_req, "strip", "strip", client, REQ_LANE + proc, read_span);
             self.recorder.set_arg(strip_span, "bytes", sr.bytes);
             self.recorder
                 .set_arg(strip_span, "server", sr.server as u64);
-            self.strips.insert(
-                strip_id,
-                StripState {
-                    client,
-                    read: read_id,
-                    strip_no: i as u64,
-                    bytes: sr.bytes,
-                    kbuf: AddrRange::EMPTY,
-                    user_range: AddrRange::new(user_base + user_off, sr.bytes),
-                    pod,
-                    flow,
-                    batches_total: 0,
-                    batches_done: 0,
-                    chunk_off: 0,
-                    span: strip_span,
-                },
-            );
+            let strip_ref = self.strips.insert(StripState {
+                id: strip_id,
+                client,
+                read: read_ref,
+                strip_no: i as u64,
+                bytes: sr.bytes,
+                kbuf: AddrRange::EMPTY,
+                user_range: AddrRange::new(user_base + user_off, sr.bytes),
+                plan,
+                pod,
+                flow,
+                batches_total: 0,
+                batches_done: 0,
+                chunk_off: 0,
+                span: strip_span,
+            });
+            self.strip_oracle.insert(strip_id, strip_ref);
             user_off += sr.bytes;
             // Transport faults delay the whole response stream: the strip
             // reaches the NIC later by however long NewReno recovery took
             // over and above the clean pipe.
             let arrive = tx.start + self.cut_through(plan) + self.transport_excess(plan.packets);
-            sched.at(arrive, Ev::StripAtNic { strip: strip_id });
+            sched.at(arrive, Ev::StripAtNic { strip: strip_ref });
         }
     }
 
-    fn handle_strip_at_nic(&mut self, strip: u64, sched: &mut Scheduler<'_, Ev>) {
+    fn handle_strip_at_nic(&mut self, strip: SlabRef, sched: &mut Scheduler<'_, Ev>) {
         let now = sched.now();
-        let (carries, strip_bytes) = {
-            let s = &self.strips[&strip];
-            (self.carries_hint(s.client as usize), s.bytes)
-        };
-        let plan = self.segment_plan(strip_bytes, carries);
-        let s = self.strips.get_mut(&strip).expect("strip state");
+        let s = &mut self.strips[strip];
+        self.strip_oracle.check(s.id, strip);
+        // The plan was resolved at issue time; no cache probe here.
+        let plan = s.plan;
         let cl = &mut self.clients[s.client as usize];
         s.kbuf = cl.alloc.alloc(s.bytes);
         let mut batches = cl.nic.receive_strip(
@@ -550,13 +615,14 @@ impl Cluster {
 
     fn handle_hard_irq(
         &mut self,
-        strip: u64,
+        strip: SlabRef,
         frames: u64,
         bytes: u64,
         sched: &mut Scheduler<'_, Ev>,
     ) {
         let now = sched.now();
-        let s = self.strips.get_mut(&strip).expect("strip state");
+        let s = &mut self.strips[strip];
+        self.strip_oracle.check(s.id, strip);
         let cl = &mut self.clients[s.client as usize];
         cl.loads.maybe_sample(now, &cl.cores);
         // An option-stripping middlebox (fault injection) rewrites the IP
@@ -640,7 +706,7 @@ impl Cluster {
         let counts = cl.mem.touch(dest, chunk);
         cl.mem
             .note_background(dest, counts.lines * self.cfg.background_accesses_per_line);
-        cl.trace.emit(now, "irq", strip, dest as u64);
+        cl.trace.emit(now, "irq", s.id, dest as u64);
         cl.cores[dest].run(now, self.cfg.cpu.hardirq, WorkClass::HardIrq);
         let soft = self.cfg.cpu.softirq_per_packet * frames + counts.cost(cl.mem.params());
         let done = cl.cores[dest].run(now, soft, WorkClass::SoftIrq);
@@ -655,7 +721,7 @@ impl Cluster {
             .set_arg(irq_span, "svc", (self.cfg.cpu.hardirq + soft).as_nanos());
         self.recorder.end(irq_span, done);
         self.stages.record(Stage::IrqToHandler, done.since(now));
-        if let Some(read) = self.reads.get_mut(&s.read) {
+        if let Some(read) = self.reads.get_mut(s.read) {
             if !read.first_irq_seen {
                 read.first_irq_seen = true;
                 self.stages
@@ -665,16 +731,17 @@ impl Cluster {
         sched.at(done, Ev::BatchReady { strip });
     }
 
-    fn handle_batch_ready(&mut self, strip: u64, sched: &mut Scheduler<'_, Ev>) {
+    fn handle_batch_ready(&mut self, strip: SlabRef, sched: &mut Scheduler<'_, Ev>) {
         let now = sched.now();
-        let s = self.strips.get_mut(&strip).expect("strip state");
+        let s = &mut self.strips[strip];
+        self.strip_oracle.check(s.id, strip);
         s.batches_done += 1;
         if s.batches_done < s.batches_total {
             return;
         }
         // Strip complete in kernel memory: the blocked process is made
         // runnable and copies it to the user buffer on its own core.
-        let read = self.reads.get(&s.read).expect("read state");
+        let read = &self.reads[s.read];
         let cl = &mut self.clients[s.client as usize];
         let consumer = cl.procs[read.proc as usize].proc.core;
         let src = cl.mem.touch(consumer, s.kbuf);
@@ -689,7 +756,7 @@ impl Cluster {
         let p = cl.mem.params();
         let stall = p.c2c_time(src.c2c);
         let dur = self.cfg.cpu.wake_ipi + self.cfg.cpu.context_switch + src.cost(p) + dst.cost(p);
-        cl.trace.emit(now, "copy", strip, consumer as u64);
+        cl.trace.emit(now, "copy", s.id, consumer as u64);
         let done = cl.cores[consumer].run(now, dur, WorkClass::Copy);
         let copy_span =
             self.recorder
@@ -705,20 +772,23 @@ impl Cluster {
         sched.at(done, Ev::StripCopied { strip });
     }
 
-    fn handle_strip_copied(&mut self, strip: u64, sched: &mut Scheduler<'_, Ev>) {
+    fn handle_strip_copied(&mut self, strip: SlabRef, sched: &mut Scheduler<'_, Ev>) {
         let now = sched.now();
-        let s = self.strips.remove(&strip).expect("strip state");
+        let s = self.strips.remove(strip);
+        self.strip_oracle.remove(s.id, strip);
         self.recorder.end(s.span, now);
+        let read_id = self.reads[s.read].id;
         let cl = &mut self.clients[s.client as usize];
         cl.strips_done += 1;
-        let complete = cl.tracker.strip_arrived(s.read, s.strip_no, s.bytes);
+        let complete = cl.tracker.strip_arrived(read_id, s.strip_no, s.bytes);
         if !complete {
             return;
         }
-        let read = self.reads.remove(&s.read).expect("read state");
+        let read = self.reads.remove(s.read);
+        self.read_oracle.remove(read.id, s.read);
         self.recorder.end(read.span, now);
         self.recorder
-            .instant(now, "request_done", s.client, REQ_LANE + read.proc, s.read);
+            .instant(now, "request_done", s.client, REQ_LANE + read.proc, read.id);
         self.stages
             .record(Stage::RequestTotal, now.since(read.issued));
         cl.latency.record(now.since(read.issued).as_nanos());
@@ -800,16 +870,15 @@ impl Cluster {
         );
         self.recorder.set_arg(write_span, "read_id", read_id);
         self.recorder.set_arg(write_span, "bytes", transfer);
-        self.reads.insert(
-            read_id,
-            ReadState {
-                proc,
-                bytes: transfer,
-                issued: t0,
-                span: write_span,
-                first_irq_seen: false,
-            },
-        );
+        let read_ref = self.reads.insert(ReadState {
+            id: read_id,
+            proc,
+            bytes: transfer,
+            issued: t0,
+            span: write_span,
+            first_irq_seen: false,
+        });
+        self.read_oracle.insert(read_id, read_ref);
         pr.proc.block(t0);
         let client_ip = cl.ip;
         let user_base = pr.user_buf.start;
@@ -841,44 +910,45 @@ impl Cluster {
             let flow = cl.flows[sr.server];
             let strip_id = self.next_strip;
             self.next_strip += 1;
-            self.strips.insert(
-                strip_id,
-                StripState {
-                    client,
-                    read: read_id,
-                    strip_no: i as u64,
-                    bytes: sr.bytes,
-                    kbuf,
-                    user_range: AddrRange::EMPTY,
-                    // Acks carry no payload frame worth modelling; the POD
-                    // is never read on the write path.
-                    pod: PodFrame {
-                        src_ip: server_ip,
-                        dst_ip: client_ip,
-                        ident: 0,
-                        payload_len: 0,
-                        aff_core: None,
-                    },
-                    flow,
-                    batches_total: 0,
-                    batches_done: 0,
-                    chunk_off: 0,
-                    // Ack interrupts are not worth a span of their own; the
-                    // write request span covers issue → last ack.
-                    span: SpanId::NONE,
+            let strip_ref = self.strips.insert(StripState {
+                id: strip_id,
+                client,
+                read: read_ref,
+                strip_no: i as u64,
+                bytes: sr.bytes,
+                kbuf,
+                user_range: AddrRange::EMPTY,
+                plan,
+                // Acks carry no payload frame worth modelling; the POD
+                // is never read on the write path.
+                pod: PodFrame {
+                    src_ip: server_ip,
+                    dst_ip: client_ip,
+                    ident: 0,
+                    payload_len: 0,
+                    aff_core: None,
                 },
-            );
+                flow,
+                batches_total: 0,
+                batches_done: 0,
+                chunk_off: 0,
+                // Ack interrupts are not worth a span of their own; the
+                // write request span covers issue → last ack.
+                span: SpanId::NONE,
+            });
+            self.strip_oracle.insert(strip_id, strip_ref);
             sched.at(
                 tx.end + self.cfg.server.propagation,
-                Ev::WriteAck { strip: strip_id },
+                Ev::WriteAck { strip: strip_ref },
             );
         }
     }
 
     /// A write acknowledgement arrives: one tiny interrupt, no payload.
-    fn handle_write_ack(&mut self, strip: u64, sched: &mut Scheduler<'_, Ev>) {
+    fn handle_write_ack(&mut self, strip: SlabRef, sched: &mut Scheduler<'_, Ev>) {
         let now = sched.now();
-        let s = self.strips.remove(&strip).expect("strip state");
+        let s = self.strips.remove(strip);
+        self.strip_oracle.remove(s.id, strip);
         let cl = &mut self.clients[s.client as usize];
         cl.loads.maybe_sample(now, &cl.cores);
         // Acks carry no SAIs option (there is no consumer to steer toward);
@@ -896,9 +966,11 @@ impl Cluster {
         cl.cores[dest].run(now, self.cfg.cpu.hardirq, WorkClass::HardIrq);
         let done = cl.cores[dest].run(now, self.cfg.cpu.softirq_per_packet, WorkClass::SoftIrq);
         cl.strips_done += 1;
-        let complete = cl.tracker.strip_arrived(s.read, s.strip_no, s.bytes);
+        let read_id = self.reads[s.read].id;
+        let complete = cl.tracker.strip_arrived(read_id, s.strip_no, s.bytes);
         if complete {
-            let read = self.reads.remove(&s.read).expect("read state");
+            let read = self.reads.remove(s.read);
+            self.read_oracle.remove(read.id, s.read);
             self.recorder.end(read.span, now);
             self.stages
                 .record(Stage::RequestTotal, now.since(read.issued));
@@ -1002,10 +1074,15 @@ impl Cluster {
             process_migrations,
             request_latency: latency,
             stages: self.stages.clone(),
+            strip_slab_high_water: self.strips.high_water() as u64,
+            read_slab_high_water: self.reads.high_water() as u64,
             events_dispatched: 0,  // filled in by `ScenarioConfig::run_full`
             queue_high_water: 0,   // likewise
             queue_cascades: 0,     // likewise
             queue_peak_buckets: 0, // likewise
+            dispatch_batches: 0,   // likewise
+            dispatch_max_batch: 0, // likewise
+            dispatch_batch_hist: vec![], // likewise
         }
     }
 

@@ -48,6 +48,7 @@ pub mod components;
 pub mod memsim;
 pub mod report;
 pub mod scenario;
+pub mod slab;
 
 pub use components::{HintCapsuler, HintMessager, IMComposer, SrcParser};
 pub use scenario::{PolicyChoice, RunMetrics, ScenarioConfig};

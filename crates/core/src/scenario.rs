@@ -583,12 +583,18 @@ impl ScenarioConfig {
         let queue_high_water = engine.queue_high_water() as u64;
         let queue_cascades = engine.queue_cascades();
         let queue_peak_buckets = engine.queue_peak_buckets() as u64;
+        let dispatch_batches = engine.dispatch_batches();
+        let dispatch_max_batch = engine.max_batch();
+        let dispatch_batch_hist = engine.batch_size_hist().to_vec();
         let cluster = engine.into_model();
         let mut metrics = cluster.collect_metrics(now);
         metrics.events_dispatched = dispatched;
         metrics.queue_high_water = queue_high_water;
         metrics.queue_cascades = queue_cascades;
         metrics.queue_peak_buckets = queue_peak_buckets;
+        metrics.dispatch_batches = dispatch_batches;
+        metrics.dispatch_max_batch = dispatch_max_batch;
+        metrics.dispatch_batch_hist = dispatch_batch_hist;
         (metrics, cluster)
     }
 
@@ -695,6 +701,23 @@ pub struct RunMetrics {
     /// Peak simultaneously-occupied timing-wheel buckets (host-side
     /// accounting; filled in by `ScenarioConfig::run_full`).
     pub queue_peak_buckets: u64,
+    /// Peak simultaneous occupancy of the strip slab — the true in-flight
+    /// strip high-water mark (host-side accounting; the slab's dense
+    /// storage is sized by it).
+    pub strip_slab_high_water: u64,
+    /// Peak simultaneous occupancy of the read slab.
+    pub read_slab_high_water: u64,
+    /// Same-timestamp batches the engine dispatched (host-side
+    /// accounting; filled in by `ScenarioConfig::run_full`).
+    pub dispatch_batches: u64,
+    /// Largest same-timestamp batch dispatched (host-side accounting;
+    /// filled in by `ScenarioConfig::run_full`).
+    pub dispatch_max_batch: u64,
+    /// Power-of-two histogram of dispatched batch sizes: bucket `i`
+    /// counts batches of `2^i ..= 2^(i+1) - 1` events, the last bucket
+    /// absorbing larger runs (host-side accounting; filled in by
+    /// `ScenarioConfig::run_full`).
+    pub dispatch_batch_hist: Vec<u64>,
 }
 
 impl RunMetrics {

@@ -1,0 +1,297 @@
+//! A generational slab for per-instance hot state.
+//!
+//! The cluster model keeps bookkeeping for every in-flight read and strip.
+//! Keying that state by `u64` instance id through a hash map costs a hash
+//! and a probe on **every** `StripAtNic`/`HardIrq`/`BatchReady`/
+//! `StripCopied` event — the hottest lookups in the simulator. The slab
+//! replaces the map with a dense `Vec`: event payloads carry a
+//! [`SlabRef`] (slot index + generation), so resolving state is one
+//! bounds-checked index and one generation compare — zero hashing, and
+//! zero allocation once the slab has grown to the scenario's in-flight
+//! high-water mark (freed slots are recycled through a free list).
+//!
+//! The generation guards against ABA: a slot freed by `remove` and
+//! recycled by a later `insert` bumps its generation, so a stale
+//! [`SlabRef`] held by a leftover event can never silently resolve to the
+//! new occupant — `get` returns `None` and the indexing accessors panic.
+//! Generations wrap; a collision would need exactly `2^32` recycles of
+//! one slot between a ref's creation and its use, while the simulator
+//! resolves every ref within the event horizon of one strip (microseconds
+//! of simulated time, a handful of recycles). Property tests in
+//! `tests/slab_oracle.rs` drive the slab against a `HashMap` oracle,
+//! including forced generation wrap-around and reuse-after-free.
+
+/// A dense, generation-checked handle into a [`Slab`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SlabRef {
+    idx: u32,
+    gen: u32,
+}
+
+impl SlabRef {
+    /// The slot index (diagnostic; stable only while the ref is live).
+    pub fn index(self) -> u32 {
+        self.idx
+    }
+
+    /// The generation the ref was minted under.
+    pub fn generation(self) -> u32 {
+        self.gen
+    }
+}
+
+struct Slot<T> {
+    /// Bumped on every `remove`, so stale refs to a recycled slot fail
+    /// the generation compare.
+    gen: u32,
+    value: Option<T>,
+}
+
+/// A generational slab: O(1) insert/get/remove, dense storage, recycled
+/// slots, ABA-safe handles.
+pub struct Slab<T> {
+    slots: Vec<Slot<T>>,
+    /// Indices of vacant slots, reused LIFO (the hottest slot stays hot).
+    free: Vec<u32>,
+    len: usize,
+    high_water: usize,
+}
+
+impl<T> Default for Slab<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Slab<T> {
+    /// An empty slab.
+    pub fn new() -> Self {
+        Self::with_capacity(0)
+    }
+
+    /// An empty slab with room for `cap` occupants before regrowth.
+    pub fn with_capacity(cap: usize) -> Self {
+        Slab {
+            slots: Vec::with_capacity(cap),
+            free: Vec::new(),
+            len: 0,
+            high_water: 0,
+        }
+    }
+
+    /// Occupied slots.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no slot is occupied.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Peak simultaneous occupancy over the slab's lifetime — the
+    /// scenario's true in-flight state high-water mark, surfaced as a
+    /// `RunMetrics` counter and a `with_capacity` hint for re-runs.
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// Store `value`, returning its handle.
+    pub fn insert(&mut self, value: T) -> SlabRef {
+        self.len += 1;
+        if self.len > self.high_water {
+            self.high_water = self.len;
+        }
+        match self.free.pop() {
+            Some(idx) => {
+                let slot = &mut self.slots[idx as usize];
+                debug_assert!(slot.value.is_none(), "free list held an occupied slot");
+                slot.value = Some(value);
+                SlabRef { idx, gen: slot.gen }
+            }
+            None => {
+                let idx = u32::try_from(self.slots.len()).expect("slab outgrew u32 index space");
+                self.slots.push(Slot {
+                    gen: 0,
+                    value: Some(value),
+                });
+                SlabRef { idx, gen: 0 }
+            }
+        }
+    }
+
+    /// The value behind `r`, or `None` if `r` is stale (freed, or freed
+    /// and recycled — the generation no longer matches).
+    #[inline]
+    pub fn get(&self, r: SlabRef) -> Option<&T> {
+        let slot = self.slots.get(r.idx as usize)?;
+        if slot.gen != r.gen {
+            return None;
+        }
+        slot.value.as_ref()
+    }
+
+    /// Mutable [`Slab::get`].
+    #[inline]
+    pub fn get_mut(&mut self, r: SlabRef) -> Option<&mut T> {
+        let slot = self.slots.get_mut(r.idx as usize)?;
+        if slot.gen != r.gen {
+            return None;
+        }
+        slot.value.as_mut()
+    }
+
+    /// Remove and return the value behind `r`, bumping the slot's
+    /// generation and recycling it.
+    ///
+    /// # Panics
+    /// If `r` is stale — a double-remove is a model bug, never a
+    /// recoverable condition.
+    pub fn remove(&mut self, r: SlabRef) -> T {
+        let slot = &mut self.slots[r.idx as usize];
+        assert_eq!(slot.gen, r.gen, "stale SlabRef passed to remove");
+        let value = slot.value.take().expect("stale SlabRef passed to remove");
+        slot.gen = slot.gen.wrapping_add(1);
+        self.free.push(r.idx);
+        self.len -= 1;
+        value
+    }
+
+    /// Iterate the live `(ref, value)` pairs in slot order (diagnostics
+    /// and tests; the hot path never scans).
+    pub fn iter(&self) -> impl Iterator<Item = (SlabRef, &T)> + '_ {
+        self.slots.iter().enumerate().filter_map(|(i, s)| {
+            s.value.as_ref().map(|v| {
+                (
+                    SlabRef {
+                        idx: i as u32,
+                        gen: s.gen,
+                    },
+                    v,
+                )
+            })
+        })
+    }
+
+    /// Force slot `idx`'s generation to `gen` (test hook for wrap-around
+    /// coverage; the slot must exist and be vacant).
+    #[doc(hidden)]
+    pub fn set_generation_for_test(&mut self, idx: u32, gen: u32) {
+        let slot = &mut self.slots[idx as usize];
+        assert!(slot.value.is_none(), "generation surgery on a live slot");
+        slot.gen = gen;
+    }
+}
+
+impl<T> std::ops::Index<SlabRef> for Slab<T> {
+    type Output = T;
+
+    /// Panicking accessor for refs the model knows are live — the hot
+    /// path's lookup: one bounds check, one generation compare, no hash.
+    #[inline]
+    fn index(&self, r: SlabRef) -> &T {
+        let slot = &self.slots[r.idx as usize];
+        assert_eq!(slot.gen, r.gen, "stale SlabRef");
+        slot.value.as_ref().expect("stale SlabRef")
+    }
+}
+
+impl<T> std::ops::IndexMut<SlabRef> for Slab<T> {
+    #[inline]
+    fn index_mut(&mut self, r: SlabRef) -> &mut T {
+        let slot = &mut self.slots[r.idx as usize];
+        assert_eq!(slot.gen, r.gen, "stale SlabRef");
+        slot.value.as_mut().expect("stale SlabRef")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_round_trip() {
+        let mut s = Slab::new();
+        let a = s.insert("a");
+        let b = s.insert("b");
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.get(a), Some(&"a"));
+        assert_eq!(s[b], "b");
+        assert_eq!(s.remove(a), "a");
+        assert_eq!(s.get(a), None, "removed ref is stale");
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.high_water(), 2);
+    }
+
+    #[test]
+    fn recycled_slot_rejects_stale_ref() {
+        let mut s = Slab::new();
+        let a = s.insert(1u32);
+        s.remove(a);
+        let b = s.insert(2u32);
+        // LIFO recycling: same slot, new generation.
+        assert_eq!(b.index(), a.index());
+        assert_ne!(b.generation(), a.generation());
+        assert_eq!(s.get(a), None, "ABA: old ref must not see new value");
+        assert_eq!(s[b], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "stale SlabRef")]
+    fn double_remove_panics() {
+        let mut s = Slab::new();
+        let a = s.insert(());
+        s.remove(a);
+        s.remove(a);
+    }
+
+    #[test]
+    #[should_panic(expected = "stale SlabRef")]
+    fn index_with_stale_ref_panics() {
+        let mut s = Slab::new();
+        let a = s.insert(1);
+        s.remove(a);
+        let _ = s.insert(2);
+        let _ = s[a];
+    }
+
+    #[test]
+    fn generation_wraps_without_false_resolution() {
+        let mut s = Slab::new();
+        let a = s.insert(1u64);
+        s.remove(a);
+        // Wind the vacant slot's generation to the wrap boundary.
+        s.set_generation_for_test(a.index(), u32::MAX);
+        let b = s.insert(2u64);
+        assert_eq!(b.generation(), u32::MAX);
+        assert_eq!(s[b], 2);
+        s.remove(b);
+        let c = s.insert(3u64);
+        assert_eq!(c.generation(), 0, "generation wrapped");
+        assert_eq!(s.get(b), None, "pre-wrap ref stays stale");
+        assert_eq!(s[c], 3);
+    }
+
+    #[test]
+    fn high_water_tracks_peak_occupancy() {
+        let mut s = Slab::new();
+        let refs: Vec<_> = (0..5).map(|i| s.insert(i)).collect();
+        for r in &refs {
+            s.remove(*r);
+        }
+        assert_eq!(s.len(), 0);
+        assert_eq!(s.high_water(), 5);
+        s.insert(99);
+        assert_eq!(s.high_water(), 5, "returning below the peak keeps it");
+    }
+
+    #[test]
+    fn iter_lists_live_entries() {
+        let mut s = Slab::new();
+        let a = s.insert("a");
+        let b = s.insert("b");
+        s.remove(a);
+        let live: Vec<_> = s.iter().collect();
+        assert_eq!(live, vec![(b, &"b")]);
+    }
+}

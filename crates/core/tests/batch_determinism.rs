@@ -1,0 +1,124 @@
+//! End-to-end proof that batched dispatch changes nothing observable:
+//! running a scenario through `Model::handle_batch` (the production path,
+//! `Engine::run_bounded`) and through per-event reference dispatch
+//! (`Engine::run_bounded_unbatched`) must produce bit-identical
+//! `RunMetrics` and a byte-identical exported trace.
+//!
+//! The only legitimate divergence is the engine's own batch accounting —
+//! per-event dispatch counts every event as a batch of one — so those
+//! counters are zeroed on both sides before the comparison.
+
+use sais_core::cluster::{Cluster, Ev};
+use sais_core::scenario::{ObsConfig, PolicyChoice, RunMetrics, ScenarioConfig};
+use sais_obs::perfetto::to_chrome_json;
+use sais_sim::{Engine, SimTime};
+
+/// Generous runaway backstop for the small scenario below.
+const MAX_EVENTS: u64 = 50_000_000;
+
+fn scenario() -> ScenarioConfig {
+    let mut cfg = ScenarioConfig::testbed_3gig(8, 512 * 1024);
+    cfg.file_size = 8 * 1024 * 1024;
+    // Several clients run identical pipelines in lockstep, so their
+    // events tie on the timestamp — without ties the batched path never
+    // forms a batch bigger than one and the comparison proves nothing.
+    cfg.clients = 3;
+    // Observability on: the exported trace must match too, not just the
+    // scalar metrics.
+    cfg.with_policy(PolicyChoice::SourceAware)
+        .with_observability(ObsConfig::full())
+}
+
+/// Run `cfg` to quiescence on either dispatch path and collect the same
+/// quantities `ScenarioConfig::run_full` collects, plus the exported
+/// Chrome-JSON trace.
+fn run(cfg: ScenarioConfig, batched: bool) -> (RunMetrics, String) {
+    let mut engine = Engine::new(Cluster::new(cfg));
+    engine.prime(SimTime::ZERO, Ev::Start);
+    if batched {
+        engine.run_to_quiescence(MAX_EVENTS);
+    } else {
+        engine.run_to_quiescence_unbatched(MAX_EVENTS);
+    }
+    let now = engine.now();
+    let dispatched = engine.dispatched();
+    let queue_high_water = engine.queue_high_water() as u64;
+    let queue_cascades = engine.queue_cascades();
+    let queue_peak_buckets = engine.queue_peak_buckets() as u64;
+    let dispatch_batches = engine.dispatch_batches();
+    let dispatch_max_batch = engine.max_batch();
+    let cluster = engine.into_model();
+    let mut m = cluster.collect_metrics(now);
+    m.events_dispatched = dispatched;
+    m.queue_high_water = queue_high_water;
+    m.queue_cascades = queue_cascades;
+    m.queue_peak_buckets = queue_peak_buckets;
+    m.dispatch_batches = dispatch_batches;
+    m.dispatch_max_batch = dispatch_max_batch;
+    let trace = to_chrome_json(cluster.recorder());
+    (m, trace)
+}
+
+/// Zero the counters that *define* the two dispatch styles apart; every
+/// other field must agree exactly.
+fn scrub_batch_accounting(m: &mut RunMetrics) {
+    m.dispatch_batches = 0;
+    m.dispatch_max_batch = 0;
+    m.dispatch_batch_hist.clear();
+}
+
+#[test]
+fn batched_and_per_event_dispatch_are_bit_identical() {
+    let (mut batched, trace_batched) = run(scenario(), true);
+    let (mut single, trace_single) = run(scenario(), false);
+
+    // Sanity: the batched run actually batched (otherwise this test
+    // proves nothing) and both runs simulated the full file.
+    assert!(
+        batched.dispatch_max_batch > 1,
+        "scenario produced no same-timestamp runs (max batch {})",
+        batched.dispatch_max_batch
+    );
+    assert!(
+        batched.dispatch_batches < single.dispatch_batches,
+        "batching must dispatch fewer, larger batches"
+    );
+    assert_eq!(batched.bytes_delivered, 3 * 8 * 1024 * 1024);
+
+    scrub_batch_accounting(&mut batched);
+    scrub_batch_accounting(&mut single);
+
+    // `RunMetrics` does not implement `PartialEq` (floats); the Debug
+    // rendering is a faithful shortest-round-trip encoding of every
+    // field, so string equality here is bit equality on the numbers.
+    assert_eq!(
+        format!("{batched:?}"),
+        format!("{single:?}"),
+        "metrics diverged between dispatch styles"
+    );
+    assert_eq!(
+        trace_batched, trace_single,
+        "exported traces diverged between dispatch styles"
+    );
+    assert!(
+        trace_batched.contains("\"traceEvents\""),
+        "observability was on, trace must be non-trivial"
+    );
+}
+
+#[test]
+fn faulted_scenario_is_dispatch_style_invariant() {
+    // Loss + option stripping drive retransmit timers and the recovery
+    // paths — the schedule shapes most likely to expose an ordering bug
+    // in batch collection.
+    let mut cfg = scenario();
+    cfg.faults.loss = 0.03;
+    cfg.faults.option_strip = 0.05;
+    let (mut batched, trace_batched) = run(cfg.clone(), true);
+    let (mut single, trace_single) = run(cfg, false);
+    assert!(batched.retransmits > 0, "faults must actually fire");
+    scrub_batch_accounting(&mut batched);
+    scrub_batch_accounting(&mut single);
+    assert_eq!(format!("{batched:?}"), format!("{single:?}"));
+    assert_eq!(trace_batched, trace_single);
+}

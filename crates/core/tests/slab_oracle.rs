@@ -1,0 +1,148 @@
+//! Property tests driving [`sais_core::slab::Slab`] against a `HashMap`
+//! oracle (referenced from the slab's module docs).
+//!
+//! The oracle keys values by the full `(index, generation)` handle, so a
+//! recycled slot's old and new occupants are distinct oracle entries —
+//! exactly the ABA distinction the generation exists to enforce. Every
+//! random op sequence checks: live refs resolve to the oracle's value,
+//! freed refs resolve to `None` forever (including across recycling and
+//! forced generation wrap-around), `len` matches the oracle, and
+//! `high_water` equals the true running peak.
+
+use proptest::prelude::*;
+use sais_core::slab::{Slab, SlabRef};
+use std::collections::HashMap;
+
+/// One step of the random workload. Index fields pick among the
+/// currently-live (or already-freed) refs modulo the list length, so
+/// every generated sequence is valid by construction.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Insert a fresh value.
+    Insert(u64),
+    /// Remove a live ref; optionally wind the vacated slot's generation
+    /// to `u32::MAX` so the next recycle exercises wrap-around.
+    Remove { pick: usize, wind_to_wrap: bool },
+    /// Look up a live ref and compare against the oracle.
+    GetLive(usize),
+    /// Look up a freed ref; must be `None` no matter what reused the slot.
+    GetStale(usize),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        any::<u64>().prop_map(Op::Insert),
+        (any::<usize>(), any::<bool>())
+            .prop_map(|(pick, wind_to_wrap)| Op::Remove { pick, wind_to_wrap }),
+        any::<usize>().prop_map(Op::GetLive),
+        any::<usize>().prop_map(Op::GetStale),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn slab_matches_hashmap_oracle(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+        let mut slab: Slab<u64> = Slab::new();
+        let mut oracle: HashMap<(u32, u32), u64> = HashMap::new();
+        let mut live: Vec<SlabRef> = Vec::new();
+        let mut stale: Vec<SlabRef> = Vec::new();
+        let mut peak = 0usize;
+
+        for op in ops {
+            match op {
+                Op::Insert(v) => {
+                    let r = slab.insert(v);
+                    prop_assert!(
+                        oracle.insert((r.index(), r.generation()), v).is_none(),
+                        "slab reissued a live handle: {r:?}"
+                    );
+                    live.push(r);
+                    peak = peak.max(live.len());
+                }
+                Op::Remove { pick, wind_to_wrap } => {
+                    if live.is_empty() {
+                        continue;
+                    }
+                    let r = live.swap_remove(pick % live.len());
+                    let expect = oracle.remove(&(r.index(), r.generation())).unwrap();
+                    prop_assert_eq!(slab.remove(r), expect);
+                    stale.push(r);
+                    if wind_to_wrap {
+                        // The vacated slot is on the free list; force its
+                        // generation to the wrap boundary so a later
+                        // recycle crosses u32::MAX -> 0. The surgery
+                        // deliberately re-enters the generation space of
+                        // every earlier ref to this slot (the documented
+                        // 2^32-recycle collision, compressed), so those
+                        // refs forfeit their staleness guarantee and
+                        // leave the oracle's stale set.
+                        slab.set_generation_for_test(r.index(), u32::MAX);
+                        stale.retain(|s| s.index() != r.index());
+                    }
+                }
+                Op::GetLive(pick) => {
+                    if live.is_empty() {
+                        continue;
+                    }
+                    let r = live[pick % live.len()];
+                    let expect = oracle.get(&(r.index(), r.generation()));
+                    prop_assert_eq!(slab.get(r), expect);
+                    prop_assert_eq!(slab[r], *expect.unwrap());
+                }
+                Op::GetStale(pick) => {
+                    if stale.is_empty() {
+                        continue;
+                    }
+                    let r = stale[pick % stale.len()];
+                    prop_assert_eq!(
+                        slab.get(r), None,
+                        "freed ref {r:?} resolved after recycling"
+                    );
+                }
+            }
+            prop_assert_eq!(slab.len(), oracle.len());
+            prop_assert_eq!(slab.is_empty(), oracle.is_empty());
+            prop_assert_eq!(slab.high_water(), peak);
+        }
+
+        // Final sweep: every live ref still resolves, every stale ref is
+        // still dead, and iteration lists exactly the live set.
+        for r in &live {
+            prop_assert_eq!(slab.get(*r), oracle.get(&(r.index(), r.generation())));
+        }
+        for r in &stale {
+            prop_assert_eq!(slab.get(*r), None);
+        }
+        let mut listed: Vec<(u32, u32, u64)> = slab
+            .iter()
+            .map(|(r, v)| (r.index(), r.generation(), *v))
+            .collect();
+        listed.sort_unstable();
+        let mut expected: Vec<(u32, u32, u64)> = oracle
+            .iter()
+            .map(|(&(i, g), &v)| (i, g, v))
+            .collect();
+        expected.sort_unstable();
+        prop_assert_eq!(listed, expected);
+    }
+
+    #[test]
+    fn recycling_is_lifo_and_generation_bumps(values in proptest::collection::vec(any::<u64>(), 1..40)) {
+        // Insert/remove churn on a single slot: the free list is LIFO, so
+        // one value at a time always reuses slot 0, and each cycle bumps
+        // the generation by exactly one.
+        let mut slab: Slab<u64> = Slab::new();
+        let mut prev_gen: Option<u32> = None;
+        for &v in &values {
+            let r = slab.insert(v);
+            prop_assert_eq!(r.index(), 0, "LIFO recycling must reuse slot 0");
+            if let Some(g) = prev_gen {
+                prop_assert_eq!(r.generation(), g.wrapping_add(1));
+            }
+            prop_assert_eq!(slab.remove(r), v);
+            prop_assert_eq!(slab.get(r), None);
+            prev_gen = Some(r.generation());
+        }
+        prop_assert_eq!(slab.high_water(), 1);
+    }
+}

@@ -55,9 +55,21 @@ pub struct CacheStats {
 }
 
 /// A set-associative, true-LRU cache of line tags.
+///
+/// Tag storage is **way-major**: slot `(way << set_shift) | set`, so for a
+/// fixed way the tags of consecutive sets are adjacent words. Consecutive
+/// line addresses map to consecutive sets, and a streaming walk drives
+/// every set through the same access history — so the victim way is the
+/// same across a run of consecutive sets and the fill path's tag writes
+/// (and the directory validation reads of a later re-touch) become
+/// sequential. The set-major layout this replaced put `assoc` ways
+/// between one set's tag and the next (a 128-byte stride at 16 ways),
+/// costing the touch loop a scattered host cache line per simulated
+/// line.
 #[derive(Debug, Clone)]
 pub struct SetAssocCache {
-    /// Resident tag per way slot (`set × assoc + way`); `TAG_INVALID` empty.
+    /// Resident tag per way slot (`(way << set_shift) | set`);
+    /// `TAG_INVALID` empty.
     tags: Box<[u64]>,
     /// Per-set recency permutation: 4-bit way indices, MRU first.
     recency: Box<[u64]>,
@@ -66,6 +78,8 @@ pub struct SetAssocCache {
     sets: usize,
     assoc: usize,
     set_mask: u64,
+    /// log2(sets): shifts a way index into slot position.
+    set_shift: u32,
     /// Bitmask of a completely full set: low `assoc` bits.
     full_mask: u16,
     resident: u64,
@@ -92,6 +106,7 @@ impl SetAssocCache {
             sets,
             assoc,
             set_mask: sets as u64 - 1,
+            set_shift: sets.trailing_zeros(),
             full_mask: (((1u32 << assoc) - 1) & 0xFFFF) as u16,
             resident: 0,
             stats: CacheStats::default(),
@@ -113,37 +128,150 @@ impl SetAssocCache {
         self.sets
     }
 
+    /// The global way slot of `(way, set)` under the way-major layout.
     #[inline]
-    fn set_range(&self, line: LineAddr) -> (usize, u64) {
-        let set = (line.0 & self.set_mask) as usize;
-        (set * self.assoc, line.0)
+    fn slot(&self, way: usize, set: usize) -> usize {
+        (way << self.set_shift) | set
+    }
+
+    /// Promote `way` in one recency word: the pure function behind
+    /// [`SetAssocCache::promote`], shared with the batched streak
+    /// promoter so both paths use the identical formula.
+    ///
+    /// Locate the nibble holding `way`: XOR zeroes every nibble equal
+    /// to `way`, and the borrow trick flags the zeroes. The lowest
+    /// flag is exact (borrow false positives only appear above the
+    /// first zero nibble), and it is always the real way: the active
+    /// nibbles 0..assoc are a permutation containing `way` once, and
+    /// any duplicate among the inactive high nibbles (identity values
+    /// ≥ assoc initially, shifted residue after full-set rotations in
+    /// `fill_absent`) sits strictly above every active nibble.
+    ///
+    /// With the flag isolated, everything is mask algebra — no shift
+    /// counts, no data-dependent branches, so the whole body vectorizes
+    /// when applied across a slice of recency words. Writing `rank` for
+    /// the nibble position of `way`: `unit = 16^rank`, the nibbles below
+    /// it shift up one (`below << 4`), `way` lands at rank 0, and the
+    /// nibbles above stay — recovered as
+    /// `(perm & !mask) - way·unit = perm ^ below - way·unit`,
+    /// because the nibble at `rank` is exactly `way`.
+    #[inline]
+    fn promote_word(perm: u64, way: u64) -> u64 {
+        let x = perm ^ (way * NIBBLE_LSB);
+        let zeros = x.wrapping_sub(NIBBLE_LSB) & !x & NIBBLE_MSB;
+        let flag = zeros & zeros.wrapping_neg(); // 8·16^rank
+        let unit = flag >> 3; // 16^rank
+        let below = perm & (unit - 1);
+        ((perm ^ below) - way * unit) | (below << 4) | way
     }
 
     /// Move `way` to the MRU position of `set`'s recency order. Ways at
     /// better (lower) ranks shift down one; ranks past it are untouched.
     #[inline]
     fn promote(&mut self, set: usize, way: usize) {
-        let perm = self.recency[set];
-        // Locate the nibble holding `way`: XOR zeroes every nibble equal
-        // to `way`, and the borrow trick flags the zeroes. The lowest
-        // flag is exact (borrow false positives only appear above the
-        // first zero nibble), and it is always the real way: the active
-        // nibbles 0..assoc are a permutation containing `way` once, and
-        // any duplicate among the inactive high nibbles (identity values
-        // ≥ assoc initially, shifted residue after full-set rotations in
-        // `fill_absent`) sits strictly above every active nibble.
-        let x = perm ^ (way as u64 * NIBBLE_LSB);
-        let zeros = x.wrapping_sub(NIBBLE_LSB) & !x & NIBBLE_MSB;
-        let shift = zeros.trailing_zeros() & !3; // 4 × rank
-        let below = perm & ((1u64 << shift) - 1);
-        let above = perm & !((1u64 << shift).wrapping_mul(16).wrapping_sub(1));
-        self.recency[set] = above | (below << 4) | way as u64;
+        debug_assert!(set < self.sets && way < self.assoc);
+        // SAFETY: `set` comes from masking a line address with `set_mask`
+        // (always < `sets`), and `recency` has exactly `sets` elements.
+        let perm_slot = unsafe { self.recency.get_unchecked_mut(set) };
+        *perm_slot = Self::promote_word(*perm_slot, way as u64);
+    }
+
+    /// Promote a run of consecutive lines starting at `first`, all
+    /// verified resident in this cache at the way slots recorded in
+    /// `entries` (packed directory words, one per line). Consecutive
+    /// lines map to consecutive sets, so each wrap-free chunk updates a
+    /// *contiguous* slice of recency words — an elementwise, branch-free
+    /// map over two slices that the compiler can vectorize — instead of
+    /// one dependent read-modify-write per line.
+    ///
+    /// The result is bit-identical to promoting per line in order: a set
+    /// repeats only after `sets` consecutive lines, chunks end exactly at
+    /// the set wrap, and chunks are applied in line order, so each
+    /// recency word sees its promotions in the original sequence.
+    #[inline]
+    pub(crate) fn promote_run(&mut self, first: LineAddr, entries: &[u32]) {
+        let mut done = 0usize;
+        while done < entries.len() {
+            let set0 = ((first.0 + done as u64) & self.set_mask) as usize;
+            let chunk = (entries.len() - done).min(self.sets - set0);
+            let rec = &mut self.recency[set0..set0 + chunk];
+            let ents = &entries[done..done + chunk];
+            for (perm, &e) in rec.iter_mut().zip(ents) {
+                let way = (crate::linetab::slot_of(e) >> self.set_shift) as u64;
+                debug_assert!((way as usize) < self.assoc);
+                *perm = Self::promote_word(*perm, way);
+            }
+            done += chunk;
+        }
+    }
+
+    /// Fill a run of consecutive lines starting at `first`, all verified
+    /// absent from this cache, writing each line's packed directory word
+    /// (`packed_base | slot`, where `packed_base` carries the owner bits)
+    /// into `entries`. Returns the eviction count; the caller flushes it
+    /// into the statistics, as with [`SetAssocCache::fill_absent`].
+    ///
+    /// In the streaming steady state every set of a wrap-free chunk is
+    /// full, and a full-set fill is a pure LRU rotation — victim way from
+    /// the last active nibble, tag overwrite, permutation shifted one
+    /// nibble — with no occupancy update and no branches, so the chunk
+    /// becomes one tight elementwise loop over contiguous recency words.
+    /// A chunk with any non-full set falls back to the exact per-line
+    /// [`SetAssocCache::fill_absent`]; either way the per-set sequence of
+    /// way choices, tag writes and recency updates is identical to the
+    /// per-line path, just batched.
+    #[inline]
+    pub(crate) fn fill_run(
+        &mut self,
+        first: LineAddr,
+        entries: &mut [u32],
+        packed_base: u32,
+    ) -> u64 {
+        let mut evictions = 0u64;
+        let mut done = 0usize;
+        let top_shift = 4 * (self.assoc as u32 - 1);
+        while done < entries.len() {
+            let set0 = ((first.0 + done as u64) & self.set_mask) as usize;
+            let chunk = (entries.len() - done).min(self.sets - set0);
+            let full = self.full_mask;
+            let all_full = self.occ[set0..set0 + chunk].iter().all(|&o| o == full);
+            if all_full {
+                // SAFETY: `set0 + chunk <= sets` by construction (the
+                // slice above proves it), every slot `(way << set_shift)
+                // | set` with `way < assoc` is within `tags`, and the
+                // victim way is the last active nibble of a permutation
+                // of `0..assoc` (pinned by the debug assert). `done + j`
+                // indexes `entries` within the chunk bound checked above.
+                for j in 0..chunk {
+                    let set = set0 + j;
+                    unsafe {
+                        let perm = *self.recency.get_unchecked(set);
+                        let way = ((perm >> top_shift) & 0xF) as usize;
+                        debug_assert!(way < self.assoc, "victim nibble out of range");
+                        let slot = (way << self.set_shift) | set;
+                        *self.tags.get_unchecked_mut(slot) = first.0 + (done + j) as u64;
+                        *self.recency.get_unchecked_mut(set) = (perm << 4) | way as u64;
+                        *entries.get_unchecked_mut(done + j) = packed_base | slot as u32;
+                    }
+                }
+                evictions += chunk as u64;
+            } else {
+                for j in 0..chunk {
+                    let line = LineAddr(first.0 + (done + j) as u64);
+                    let (slot, ev) = self.fill_absent(line);
+                    evictions += ev.is_some() as u64;
+                    entries[done + j] = packed_base | slot;
+                }
+            }
+            done += chunk;
+        }
+        evictions
     }
 
     /// Is the line resident? Does not update recency or stats.
     pub fn contains(&self, line: LineAddr) -> bool {
-        let (base, tag) = self.set_range(line);
-        self.tags[base..base + self.assoc].contains(&tag)
+        let set = (line.0 & self.set_mask) as usize;
+        (0..self.assoc).any(|way| self.tags[self.slot(way, set)] == line.0)
     }
 
     /// Look up a line as an access: updates recency and hit/miss
@@ -152,11 +280,10 @@ impl SetAssocCache {
     /// lives above).
     pub fn access(&mut self, line: LineAddr) -> bool {
         self.stats.accesses.inc();
-        let (base, tag) = self.set_range(line);
         let set = (line.0 & self.set_mask) as usize;
-        for i in base..base + self.assoc {
-            if self.tags[i] == tag {
-                self.promote(set, i - base);
+        for way in 0..self.assoc {
+            if self.tags[self.slot(way, set)] == line.0 {
+                self.promote(set, way);
                 self.stats.hits.inc();
                 return true;
             }
@@ -173,17 +300,17 @@ impl SetAssocCache {
     }
 
     /// [`SetAssocCache::insert`], additionally reporting the global way
-    /// slot (`set × assoc + way`) the line landed in, so the caller can
+    /// slot (`(way << set_shift) | set`) the line landed in, so the caller can
     /// record it in a way-indexed directory. Way choice and statistics
     /// are identical to `insert`: refresh when present, else first empty
     /// way, else the least-recently-used way.
     pub(crate) fn insert_tracked(&mut self, line: LineAddr) -> (u32, Option<LineAddr>) {
-        let (base, tag) = self.set_range(line);
-        let set = base / self.assoc;
-        for i in base..base + self.assoc {
+        let set = (line.0 & self.set_mask) as usize;
+        for way in 0..self.assoc {
+            let i = self.slot(way, set);
             // Already present → refresh.
-            if self.tags[i] == tag {
-                self.promote(set, i - base);
+            if self.tags[i] == line.0 {
+                self.promote(set, way);
                 return (i as u32, None);
             }
         }
@@ -206,15 +333,22 @@ impl SetAssocCache {
     #[inline]
     pub(crate) fn fill_absent(&mut self, line: LineAddr) -> (u32, Option<LineAddr>) {
         let set = (line.0 & self.set_mask) as usize;
-        let base = set * self.assoc;
-        let occ = self.occ[set];
+        // SAFETY: `set` is masked to `< sets`; `occ` and `recency` have
+        // `sets` elements, and every slot `(way << set_shift) | set` with
+        // `way < assoc` is within `tags` (length `sets × assoc`). The
+        // victim way below is the last *active* nibble of the recency
+        // permutation, which is maintained as a permutation of
+        // `0..assoc`, so it is `< assoc` (pinned by the debug asserts).
+        let occ = unsafe { *self.occ.get_unchecked(set) };
         if occ != self.full_mask {
             // First empty way: lowest clear bit of the occupancy mask —
             // the same way the scanning walk would have chosen.
             let way = (!occ & self.full_mask).trailing_zeros() as usize;
-            let i = base + way;
-            self.tags[i] = line.0;
-            self.occ[set] = occ | (1 << way);
+            let i = self.slot(way, set);
+            unsafe {
+                *self.tags.get_unchecked_mut(i) = line.0;
+                *self.occ.get_unchecked_mut(set) = occ | (1 << way);
+            }
             self.resident += 1;
             self.promote(set, way);
             return (i as u32, None);
@@ -227,25 +361,17 @@ impl SetAssocCache {
         // `assoc` become shifted permutation residue rather than identity
         // values — harmless, because the SWAR search always matches the
         // real way at a lower nibble than any residue duplicate.
-        let perm = self.recency[set];
+        let perm = unsafe { *self.recency.get_unchecked(set) };
         let way = ((perm >> (4 * (self.assoc - 1))) & 0xF) as usize;
-        let i = base + way;
-        let evicted = LineAddr(self.tags[i]);
-        self.tags[i] = line.0;
-        self.recency[set] = (perm << 4) | way as u64;
-        (i as u32, Some(evicted))
-    }
-
-    /// Refresh the line at a known way slot as a hit: the O(1) twin of a
-    /// successful [`SetAssocCache::access`] for directory-located lines.
-    /// The set is recomputed from the line (a mask and a multiply) so no
-    /// integer division reaches the hot path. Statistics are batched by
-    /// the caller.
-    #[inline]
-    pub(crate) fn promote_slot(&mut self, slot: u32, line: LineAddr) {
-        let set = (line.0 & self.set_mask) as usize;
-        let way = slot as usize - set * self.assoc;
-        self.promote(set, way);
+        debug_assert!(way < self.assoc, "victim nibble out of range");
+        let i = self.slot(way, set);
+        unsafe {
+            let tag = self.tags.get_unchecked_mut(i);
+            let evicted = LineAddr(*tag);
+            *tag = line.0;
+            *self.recency.get_unchecked_mut(set) = (perm << 4) | way as u64;
+            (i as u32, Some(evicted))
+        }
     }
 
     /// Invalidate the line at a known way slot: the O(1) twin of
@@ -261,9 +387,13 @@ impl SetAssocCache {
             "directory slot does not hold the line"
         );
         let set = (line.0 & self.set_mask) as usize;
-        let way = i - set * self.assoc;
-        self.tags[i] = TAG_INVALID;
-        self.occ[set] &= !(1 << way);
+        let way = i >> self.set_shift;
+        // SAFETY: the debug assert above pinned `i` to a slot holding
+        // `line`, so it is in bounds; `set` is masked to `< sets`.
+        unsafe {
+            *self.tags.get_unchecked_mut(i) = TAG_INVALID;
+            *self.occ.get_unchecked_mut(set) &= !(1 << way);
+        }
         self.resident -= 1;
         self.stats.invalidations.inc();
     }
@@ -274,18 +404,23 @@ impl SetAssocCache {
     /// `tag_at(slot)` still equals the line.
     #[inline]
     pub(crate) fn tag_at(&self, slot: u32) -> u64 {
-        self.tags[slot as usize]
+        debug_assert!((slot as usize) < self.tags.len());
+        // SAFETY: directory entries are only ever written as
+        // `pack(core, slot)` with a slot returned by this cache's own
+        // fill path, and every cache in a system has the same geometry —
+        // so a recorded slot (even a stale one) is always within `tags`.
+        unsafe { *self.tags.get_unchecked(slot as usize) }
     }
 
     /// Remove a line (external invalidation). Returns whether it was
     /// resident.
     pub fn invalidate(&mut self, line: LineAddr) -> bool {
-        let (base, tag) = self.set_range(line);
         let set = (line.0 & self.set_mask) as usize;
-        for i in base..base + self.assoc {
-            if self.tags[i] == tag {
+        for way in 0..self.assoc {
+            let i = self.slot(way, set);
+            if self.tags[i] == line.0 {
                 self.tags[i] = TAG_INVALID;
-                self.occ[set] &= !(1 << (i - base));
+                self.occ[set] &= !(1 << way);
                 self.resident -= 1;
                 self.stats.invalidations.inc();
                 return true;

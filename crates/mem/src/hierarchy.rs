@@ -153,6 +153,7 @@ impl MemorySystem {
     /// kept as the verification oracle; the property tests in
     /// `tests/props.rs` pin the equivalence on ranges of every shape.
     pub fn touch(&mut self, core: usize, range: AddrRange) -> AccessCounts {
+        assert!(core < self.caches.len(), "no such core: {core}");
         let line_size = self.params.line_size;
         let mut counts = AccessCounts {
             lines: range.line_count(line_size),
@@ -172,18 +173,47 @@ impl MemorySystem {
         let mut key = first;
         while key < end {
             let span = self.directory.page_span(key, (end - key) as usize);
-            for entry in span.iter_mut() {
-                let line = LineAddr(key);
-                key += 1;
-                let packed = *entry;
+            let n = span.len();
+            let mut i = 0usize;
+            while i < n {
+                let line = LineAddr(key + i as u64);
+                // SAFETY (all `get_unchecked` calls below): `i < n` is the
+                // loop condition and `n = span.len()`; directory entries
+                // are only ever written as `pack(c, slot)` with
+                // `c < caches.len()` — including stale entries, which are
+                // simply out-of-date writes of the same form — and `core`
+                // is asserted in bounds at the top of `touch`.
+                let packed = unsafe { *span.get_unchecked(i) };
                 if packed != EMPTY {
                     let owner = packed_owner(packed);
                     let slot = packed_slot(packed);
-                    if self.caches[owner].tag_at(slot) == line.0 {
+                    debug_assert!(owner < self.caches.len());
+                    if unsafe { self.caches.get_unchecked(owner) }.tag_at(slot) == line.0 {
                         // Live entry: a local hit or a remote migration.
                         if owner == core {
-                            self.caches[core].promote_slot(slot, line);
-                            counts.hits += 1;
+                            // Local-hit streak: extend while consecutive
+                            // lines stay live in `core`'s own cache, then
+                            // apply every promotion in one batched pass —
+                            // consecutive lines are consecutive sets, so
+                            // the recency updates become an elementwise
+                            // map over contiguous words instead of one
+                            // dependent read-modify-write per line.
+                            let start = i;
+                            i += 1;
+                            let local = unsafe { self.caches.get_unchecked(core) };
+                            while i < n {
+                                let p = unsafe { *span.get_unchecked(i) };
+                                if p == EMPTY
+                                    || packed_owner(p) != core
+                                    || local.tag_at(packed_slot(p)) != key + i as u64
+                                {
+                                    break;
+                                }
+                                i += 1;
+                            }
+                            counts.hits += (i - start) as u64;
+                            let run = &span[start..i];
+                            unsafe { self.caches.get_unchecked_mut(core) }.promote_run(line, run);
                             continue;
                         }
                         // Cache-to-cache migration: invalidate the remote
@@ -191,22 +221,49 @@ impl MemorySystem {
                         // re-points the entry at `core`. Exclusive
                         // ownership proved the line absent from `core`'s
                         // cache, so the fill skips the tag-match scan.
-                        self.caches[owner].invalidate_at(slot, line);
+                        unsafe { self.caches.get_unchecked_mut(owner) }.invalidate_at(slot, line);
                         counts.c2c += 1;
-                        let (nslot, ev) = self.caches[core].fill_absent(line);
+                        let (nslot, ev) =
+                            unsafe { self.caches.get_unchecked_mut(core) }.fill_absent(line);
                         evictions += ev.is_some() as u64;
-                        *entry = pack(core, nslot);
+                        unsafe { *span.get_unchecked_mut(i) = pack(core, nslot) };
+                        i += 1;
                         continue;
                     }
                 }
                 // Absent (or a stale entry for a since-evicted line):
                 // fetch from DRAM and fill. The victim's directory entry
-                // is left to go stale in place.
-                counts.dram += 1;
-                let (nslot, ev) = self.caches[core].fill_absent(line);
-                evictions += ev.is_some() as u64;
-                *entry = pack(core, nslot);
+                // is left to go stale in place. Extend the streak while
+                // entries stay conclusively absent, then fill the whole
+                // run batched — deferral is exact because a fill only
+                // inserts this streak's own lines into `core`'s cache, so
+                // it can never turn a later absent line resident, and the
+                // line after the streak is re-examined against the
+                // post-fill tags, exactly as the per-line walk would.
+                let start = i;
+                i += 1;
+                while i < n {
+                    let p = unsafe { *span.get_unchecked(i) };
+                    if p != EMPTY {
+                        let o = packed_owner(p);
+                        debug_assert!(o < self.caches.len());
+                        if unsafe { self.caches.get_unchecked(o) }.tag_at(packed_slot(p))
+                            == key + i as u64
+                        {
+                            break;
+                        }
+                    }
+                    i += 1;
+                }
+                counts.dram += (i - start) as u64;
+                let run = unsafe { span.get_unchecked_mut(start..i) };
+                evictions += unsafe { self.caches.get_unchecked_mut(core) }.fill_run(
+                    line,
+                    run,
+                    pack(core, 0),
+                );
             }
+            key += n as u64;
         }
         let cache = &mut self.caches[core];
         cache.add_hits(counts.hits);

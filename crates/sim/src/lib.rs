@@ -31,7 +31,7 @@ pub mod time;
 pub mod trace;
 pub mod wheel;
 
-pub use engine::{Engine, Model, Scheduler};
+pub use engine::{Engine, Model, Scheduler, BATCH_HIST_BUCKETS};
 pub use queue::HeapQueue;
 pub use wheel::TimingWheel;
 
