@@ -131,6 +131,13 @@ pub enum Policy {
         /// Per-flow run of consecutive hint-less/invalid-hint interrupts.
         /// A valid hint clears the flow's entry.
         hintless_streak: std::collections::HashMap<u64, u32>,
+        /// Cumulative flow degradations: streaks crossing
+        /// [`SAIS_DEGRADE_AFTER`] (diagnostic; the telemetry plane
+        /// differences this to get per-window churn).
+        degrades: u64,
+        /// Cumulative re-promotions: valid hints re-arming a flow that
+        /// had degraded (diagnostic).
+        repromotes: u64,
     },
     /// Future-work integration of policies (ii) and (iii): follow the hint
     /// unless the hinted core's backlog exceeds the threshold, then steer
@@ -164,6 +171,8 @@ impl Policy {
         Policy::SourceAware {
             fallback: Box::new(Policy::LowestLoaded),
             hintless_streak: std::collections::HashMap::new(),
+            degrades: 0,
+            repromotes: 0,
         }
     }
 
@@ -223,6 +232,23 @@ impl Policy {
         }
     }
 
+    /// Cumulative `(degrades, repromotes)` steering-churn events
+    /// (SourceAware only): a degrade is a flow's hint-less streak
+    /// crossing [`SAIS_DEGRADE_AFTER`]; a re-promote is a valid hint
+    /// re-arming a flow that had degraded. A flow flapping between the
+    /// two paths advances both counters — the telemetry plane's livelock
+    /// detector watches their per-window deltas.
+    pub fn steering_churn(&self) -> (u64, u64) {
+        match self {
+            Policy::SourceAware {
+                degrades,
+                repromotes,
+                ..
+            } => (*degrades, *repromotes),
+            _ => (0, 0),
+        }
+    }
+
     /// Choose the destination core for one interrupt.
     pub fn select(&mut self, ctx: &SteerCtx<'_>) -> CoreId {
         let n = ctx.cores.len();
@@ -255,17 +281,26 @@ impl Policy {
             Policy::SourceAware {
                 fallback,
                 hintless_streak,
+                degrades,
+                repromotes,
             } => match ctx.hint {
                 Some(core) if core < n => {
                     // A valid hint immediately re-arms source-aware
                     // steering for this flow.
-                    hintless_streak.remove(&ctx.flow);
+                    if let Some(streak) = hintless_streak.remove(&ctx.flow) {
+                        if streak >= SAIS_DEGRADE_AFTER {
+                            *repromotes += 1;
+                        }
+                    }
                     core
                 }
                 _ => {
                     let streak = hintless_streak.entry(ctx.flow).or_insert(0);
                     *streak = streak.saturating_add(1);
                     if *streak >= SAIS_DEGRADE_AFTER {
+                        if *streak == SAIS_DEGRADE_AFTER {
+                            *degrades += 1;
+                        }
                         rss_spread(ctx.flow, n)
                     } else {
                         fallback.select(ctx)
@@ -475,6 +510,34 @@ mod tests {
         // A valid hint re-arms the first flow immediately.
         assert_eq!(p.select(&ctx(&cores, &loads, Some(2), flow)), 2);
         assert_eq!(p.degraded_flows(), 1);
+    }
+
+    #[test]
+    fn steering_churn_counts_degrades_and_repromotes() {
+        let cores = make_cores(4);
+        let loads = LoadTracker::new(4, SimDuration::from_millis(10));
+        let mut p = Policy::sais();
+        assert_eq!(p.steering_churn(), (0, 0));
+        let flow = 42u64;
+        // Three flaps: streak to the threshold, then a valid hint.
+        for round in 1..=3u64 {
+            for _ in 0..SAIS_DEGRADE_AFTER + 2 {
+                p.select(&ctx(&cores, &loads, None, flow));
+            }
+            // The degrade fires once per episode, not per RSS-steered IRQ.
+            assert_eq!(p.steering_churn(), (round, round - 1));
+            p.select(&ctx(&cores, &loads, Some(1), flow));
+            assert_eq!(p.steering_churn(), (round, round));
+        }
+        // A sub-threshold wobble is not churn: two hint-less IRQs then a
+        // valid hint never crossed the degrade line.
+        for _ in 0..SAIS_DEGRADE_AFTER - 1 {
+            p.select(&ctx(&cores, &loads, None, flow));
+        }
+        p.select(&ctx(&cores, &loads, Some(1), flow));
+        assert_eq!(p.steering_churn(), (3, 3));
+        // Non-SourceAware policies report zero churn.
+        assert_eq!(Policy::round_robin().steering_churn(), (0, 0));
     }
 
     #[test]

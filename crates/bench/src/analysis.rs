@@ -16,6 +16,7 @@ use sais_obs::analyze::{
     blame_requests, diff_blames, tail_report, BlameCategory, BlameTable, CoreTimeline,
     RequestBlame, Trace, TraceDiff, CATEGORIES,
 };
+use sais_obs::TelemetryVerdict;
 use std::fs;
 use std::path::{Path, PathBuf};
 
@@ -49,6 +50,19 @@ pub fn faulted_demo_config(policy: PolicyChoice) -> ScenarioConfig {
     })
 }
 
+/// The demo scenario with heavy random header corruption — per-*batch*
+/// hint loss, so the same flow keeps crossing the degrade threshold and
+/// getting re-promoted by the next clean batch. This is the steering
+/// livelock the flapping detector exists for, and the seeded red case
+/// behind `trace_analyze --flaky`: `--assert-no-flapping` must go red on
+/// it (option stripping cannot flap — it is per-flow stable).
+pub fn flaky_demo_config(policy: PolicyChoice) -> ScenarioConfig {
+    demo_config(policy).with_faults(FaultPlan {
+        corruption: 0.5,
+        ..FaultPlan::none()
+    })
+}
+
 /// One policy's run, trace and derived analyses.
 pub struct PolicyReport {
     /// The steering policy analyzed.
@@ -61,6 +75,11 @@ pub struct PolicyReport {
     pub table: BlameTable,
     /// Per-core activity timeline.
     pub timeline: CoreTimeline,
+    /// Verdicts the run's streaming telemetry detectors reached (empty
+    /// when analyzing an imported trace artifact — no run, no windows).
+    pub verdicts: Vec<TelemetryVerdict>,
+    /// Telemetry windows the run retained (0 for trace artifacts).
+    pub telemetry_windows: usize,
 }
 
 /// Run the demo scenario under `policy` and analyze its trace. Panics if
@@ -74,13 +93,17 @@ pub fn analyze_policy(policy: PolicyChoice, bins: usize) -> PolicyReport {
 /// faulted demo). The config must have spans enabled.
 pub fn analyze_config(cfg: ScenarioConfig, bins: usize) -> PolicyReport {
     let policy = cfg.policy;
-    let (_run, cluster) = cfg.run_full();
+    let (run, cluster) = cfg.run_full();
+    crate::harness::warn_span_drops(cluster.recorder());
     cluster
         .recorder()
         .check_integrity()
         .unwrap_or_else(|e| panic!("{} trace failed integrity check: {e}", policy.label()));
     let trace = Trace::from_recorder(cluster.recorder());
-    analyze_trace(policy, trace, bins)
+    let mut report = analyze_trace(policy, trace, bins);
+    report.verdicts = run.telemetry_verdicts;
+    report.telemetry_windows = run.telemetry.len();
+    report
 }
 
 /// Analyze an already-loaded trace (the artifact path of `trace_analyze`).
@@ -94,6 +117,8 @@ pub fn analyze_trace(policy: PolicyChoice, trace: Trace, bins: usize) -> PolicyR
         blames,
         table,
         timeline,
+        verdicts: Vec::new(),
+        telemetry_windows: 0,
     }
 }
 
@@ -121,6 +146,15 @@ pub fn analyze_demo(base: PolicyChoice, cand: PolicyChoice, bins: usize) -> Demo
 pub fn analyze_demo_faulted(base: PolicyChoice, cand: PolicyChoice, bins: usize) -> DemoAnalysis {
     let base = analyze_config(faulted_demo_config(base), bins);
     let cand = analyze_config(faulted_demo_config(cand), bins);
+    let diff = diff_blames(&base.blames, &cand.blames, DIFF_THRESHOLD);
+    DemoAnalysis { base, cand, diff }
+}
+
+/// [`analyze_demo`] under [`flaky_demo_config`]'s corruption plan — the
+/// steering-livelock red case behind `trace_analyze --flaky`.
+pub fn analyze_demo_flaky(base: PolicyChoice, cand: PolicyChoice, bins: usize) -> DemoAnalysis {
+    let base = analyze_config(flaky_demo_config(base), bins);
+    let cand = analyze_config(flaky_demo_config(cand), bins);
     let diff = diff_blames(&base.blames, &cand.blames, DIFF_THRESHOLD);
     DemoAnalysis { base, cand, diff }
 }

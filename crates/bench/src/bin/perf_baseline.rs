@@ -18,7 +18,9 @@
 //! `--trace <path>` / `--metrics <path>` additionally export a Perfetto
 //! trace and a metric snapshot of the instrumented demo scenario, so a
 //! perf investigation starts with the same artifacts the figure binaries
-//! produce.
+//! produce. `--timeseries <path>` exports the demo scenario's windowed
+//! telemetry as `sais-timeseries/v1` JSONL with sparklines on stderr,
+//! matching the figure binaries' flag.
 //!
 //! Environment: `SAIS_BENCH_HISTORY` relocates the history file;
 //! `SAIS_PERF_SYNTHETIC=<events/sec>` replaces measurement with fabricated
@@ -29,7 +31,9 @@ use std::path::PathBuf;
 
 fn usage_error(msg: &str) -> ! {
     eprintln!("error: {msg}");
-    eprintln!("usage: perf_baseline [--check | --compare] [--trace <path>] [--metrics <path>]");
+    eprintln!(
+        "usage: perf_baseline [--check | --compare] [--trace <path>] [--metrics <path>] [--timeseries <path>]"
+    );
     std::process::exit(2);
 }
 
@@ -45,6 +49,7 @@ fn main() {
     let mut compare = false;
     let mut trace: Option<PathBuf> = None;
     let mut metrics: Option<PathBuf> = None;
+    let mut timeseries: Option<PathBuf> = None;
     // Strict parsing: the no-argument mode overwrites the committed
     // baseline, so a typo'd flag must not silently fall through to it.
     let mut args = std::env::args().skip(1);
@@ -59,6 +64,10 @@ fn main() {
             "--metrics" => match args.next() {
                 Some(p) => metrics = Some(PathBuf::from(p)),
                 None => usage_error("`--metrics` requires a path argument"),
+            },
+            "--timeseries" => match args.next() {
+                Some(p) => timeseries = Some(PathBuf::from(p)),
+                None => usage_error("`--timeseries` requires a path argument"),
             },
             other => usage_error(&format!("unknown argument `{other}`")),
         }
@@ -103,6 +112,11 @@ fn main() {
     }
     if trace.is_some() || metrics.is_some() {
         sais_bench::harness::write_observability(trace.as_deref(), metrics.as_deref());
+    }
+    if let Some(path) = &timeseries {
+        // perf_baseline runs no sweep grid, so this exports the demo
+        // scenario's series (the collector's fallback source).
+        sais_bench::timeseries::write_timeseries(path);
     }
     if check_only {
         return;

@@ -29,6 +29,14 @@
 //! unless the hintless SAIs run pays a nonzero migration stall — the
 //! graceful-degradation claim (SAIs without its hint channel behaves like
 //! RSS, it does not break) as an assertion.
+//!
+//! `--flaky` runs the demo with heavy random header corruption instead:
+//! per-batch hint loss makes SAIs degrade and re-promote the same flows
+//! over and over — a steering livelock. `--assert-no-flapping` folds the
+//! run's windowed telemetry through the streaming detectors and exits 1
+//! if any steering-livelock episode was found: green on the clean demo,
+//! red under `--flaky` (the seeded counterexample CI runs to prove the
+//! gate can fail).
 
 use sais_bench::analysis::{self, DemoAnalysis};
 use sais_core::scenario::PolicyChoice;
@@ -36,13 +44,15 @@ use sais_obs::analyze::{BlameCategory, Trace};
 use std::path::{Path, PathBuf};
 
 const USAGE: &str = "usage: trace_analyze [--input <trace.json>] [--out-dir <dir>] \
-[--bins <n>] [--faults] [--assert-zero-stall] [--assert-nonzero-stall]\n\
+[--bins <n>] [--faults] [--flaky] [--assert-zero-stall] [--assert-nonzero-stall] [--assert-no-flapping]\n\
   --input <trace.json>  analyze an exported Perfetto trace instead of running the demo\n\
   --out-dir <dir>       where reports land (default: target/experiments/analysis)\n\
   --bins <n>            timeline bins (default: 60)\n\
   --faults              run the demo with an option-stripping middlebox on every flow\n\
+  --flaky               run the demo with heavy header corruption (per-batch hint loss)\n\
   --assert-zero-stall   exit 1 unless SAIs migration_stall is exactly 0 and the baseline's is not\n\
-  --assert-nonzero-stall  (with --faults) exit 1 unless hintless SAIs pays migration stalls";
+  --assert-nonzero-stall  (with --faults) exit 1 unless hintless SAIs pays migration stalls\n\
+  --assert-no-flapping  exit 1 if the telemetry detectors find a steering-livelock episode";
 
 fn usage_error(msg: &str) -> ! {
     eprintln!("error: {msg}");
@@ -61,7 +71,9 @@ fn main() {
     let mut bins = analysis::TIMELINE_BINS;
     let mut assert_zero_stall = false;
     let mut assert_nonzero_stall = false;
+    let mut assert_no_flapping = false;
     let mut faults = false;
+    let mut flaky = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -78,15 +90,22 @@ fn main() {
                 _ => usage_error("`--bins` requires a positive integer"),
             },
             "--faults" => faults = true,
+            "--flaky" => flaky = true,
             "--assert-zero-stall" => assert_zero_stall = true,
             "--assert-nonzero-stall" => assert_nonzero_stall = true,
+            "--assert-no-flapping" => assert_no_flapping = true,
             other => usage_error(&format!("unknown argument `{other}`")),
         }
     }
-    if (assert_zero_stall || assert_nonzero_stall || faults) && input.is_some() {
-        usage_error("`--faults` and the stall assertions need the demo mode (no --input)");
+    if (assert_zero_stall || assert_nonzero_stall || assert_no_flapping || faults || flaky)
+        && input.is_some()
+    {
+        usage_error("`--faults`/`--flaky` and the assertions need the demo mode (no --input)");
     }
-    if assert_zero_stall && faults {
+    if faults && flaky {
+        usage_error("`--faults` and `--flaky` are mutually exclusive fault plans");
+    }
+    if assert_zero_stall && (faults || flaky) {
         usage_error("`--assert-zero-stall` is a clean-demo assertion; with `--faults` use `--assert-nonzero-stall`");
     }
     if assert_nonzero_stall && !faults {
@@ -101,8 +120,10 @@ fn main() {
             &out_dir,
             bins,
             faults,
+            flaky,
             assert_zero_stall,
             assert_nonzero_stall,
+            assert_no_flapping,
         ),
     }
 }
@@ -149,12 +170,17 @@ fn analyze_demo(
     out_dir: &Path,
     bins: usize,
     faults: bool,
+    flaky: bool,
     assert_zero_stall: bool,
     assert_nonzero_stall: bool,
+    assert_no_flapping: bool,
 ) {
     let a: DemoAnalysis = if faults {
         eprintln!("running demo scenario under RoundRobin and SAIs (option-stripping middlebox on every flow) ...");
         analysis::analyze_demo_faulted(PolicyChoice::RoundRobin, PolicyChoice::SourceAware, bins)
+    } else if flaky {
+        eprintln!("running demo scenario under RoundRobin and SAIs (heavy header corruption, per-batch hint loss) ...");
+        analysis::analyze_demo_flaky(PolicyChoice::RoundRobin, PolicyChoice::SourceAware, bins)
     } else {
         eprintln!("running demo scenario under RoundRobin and SAIs ...");
         analysis::analyze_demo(PolicyChoice::RoundRobin, PolicyChoice::SourceAware, bins)
@@ -227,6 +253,31 @@ fn analyze_demo(
             "nonzero-stall assertion holds: hintless {} pays {} ns of migration_stall",
             a.cand.policy.label(),
             cand_stall
+        );
+    }
+    if assert_no_flapping {
+        // The demo config has the telemetry sampler on (ObsConfig::full),
+        // so the SAIs run already folded its windows through the
+        // streaming detectors — the verdicts ride on the report.
+        for v in &a.cand.verdicts {
+            eprintln!("[verdict] {}: {v}", a.cand.policy.label());
+        }
+        let flaps = a
+            .cand
+            .verdicts
+            .iter()
+            .filter(|v| v.kind() == "steering_livelock")
+            .count();
+        if flaps > 0 {
+            fail(&format!(
+                "{} steering-livelock episode(s) over {} telemetry windows — \
+                 the hint channel is flapping between degrade and re-promote",
+                flaps, a.cand.telemetry_windows
+            ));
+        }
+        eprintln!(
+            "no-flapping assertion holds: {} telemetry windows, 0 steering-livelock episodes",
+            a.cand.telemetry_windows
         );
     }
 }

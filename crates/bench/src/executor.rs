@@ -234,12 +234,18 @@ pub fn decode_task_line(line: &str) -> Option<(usize, Vec<f64>)> {
 /// crash, a malformed line, a missing or duplicate task — is a hard
 /// panic, because a silently incomplete merge would produce
 /// plausible-but-wrong figures.
+///
+/// Lines that are not `shardtask` results are handed to `on_extra` (in
+/// worker order, each worker's stdout in line order) — the hook other
+/// wire protocols ride on, like the `shardwin` telemetry partials of
+/// `--timeseries`. Lines no decoder claims are simply ignored.
 pub fn collect_sharded(
     total: usize,
     shards: usize,
     grid_seq: usize,
     worker_args: &[String],
     width: usize,
+    mut on_extra: impl FnMut(&str),
 ) -> Vec<Vec<f64>> {
     let exe = std::env::current_exe().expect("current_exe for shard fan-out");
     let children: Vec<std::process::Child> = (0..shards)
@@ -269,6 +275,7 @@ pub fn collect_sharded(
         );
         for line in String::from_utf8_lossy(&o.stdout).lines() {
             let Some((t, vals)) = decode_task_line(line) else {
+                on_extra(line);
                 continue;
             };
             assert!(t < total, "shard worker {i} reported unknown task {t}");

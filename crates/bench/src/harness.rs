@@ -55,6 +55,12 @@ pub struct BenchArgs {
     /// `--analyze <dir>`: after the figure, run the two-policy demo trace
     /// analysis (RoundRobin vs SAIs) and write the report set there.
     pub analyze: Option<PathBuf>,
+    /// `--timeseries <path>`: enable the windowed telemetry sampler on
+    /// every sweep cell (bit-inert — the figure CSV does not move) and
+    /// write the aggregated `sais-timeseries/v1` JSONL there; sparklines
+    /// go to stderr. Binaries without a sweep grid export the demo
+    /// scenario's series instead.
+    pub timeseries: Option<PathBuf>,
     /// `--shards <n>`: fan each sweep grid out over `n` spawn-self worker
     /// subprocesses (see [`crate::executor::ShardRole`]); `1` (the
     /// default) keeps everything in-process. Results are byte-identical
@@ -69,13 +75,14 @@ pub struct BenchArgs {
 }
 
 const BENCH_USAGE: &str =
-    "usage: <figure-bin> [--quick | --full] [--shards <n>] [--trace <path>] [--metrics <path>] [--analyze <dir>]\n\
+    "usage: <figure-bin> [--quick | --full] [--shards <n>] [--trace <path>] [--metrics <path>] [--analyze <dir>] [--timeseries <path>]\n\
   --quick           64 MB files, 1 seed (fast smoke run)\n\
   --full            1 GB files, 3 seeds (paper scale)\n\
   --shards <n>      fan sweep grids out over n worker subprocesses (default 1)\n\
   --trace <path>    write a Perfetto trace of the demo scenario\n\
   --metrics <path>  write a metric snapshot (.csv => CSV, else JSON)\n\
-  --analyze <dir>   write trace-analysis reports (blame/diff/timeline/forensics)";
+  --analyze <dir>   write trace-analysis reports (blame/diff/timeline/forensics)\n\
+  --timeseries <path>  write the windowed telemetry series as sais-timeseries/v1 JSONL";
 
 impl BenchArgs {
     /// Parse `std::env::args()`, exiting with code 2 and a usage message on
@@ -84,6 +91,7 @@ impl BenchArgs {
         match Self::try_parse(std::env::args().skip(1)) {
             Ok(args) => {
                 args.install_shard_plan();
+                crate::timeseries::set_collection_active(args.timeseries.is_some());
                 args
             }
             Err(msg) => {
@@ -112,11 +120,18 @@ impl BenchArgs {
             },
             None => ShardRole::Single,
         };
-        let worker_args = match self.scale {
+        let mut worker_args = match self.scale {
             Scale::Quick => vec!["--quick".to_string()],
             Scale::Full => vec!["--full".to_string()],
             Scale::Default => Vec::new(),
         };
+        // Workers must sample the same telemetry windows the parent
+        // expects to merge; they ship the windows over stdout and never
+        // touch the path (only the parent writes files).
+        if let Some(path) = &self.timeseries {
+            worker_args.push("--timeseries".to_string());
+            worker_args.push(path.display().to_string());
+        }
         install_shard_plan(ShardPlan { role, worker_args });
     }
 
@@ -127,6 +142,7 @@ impl BenchArgs {
             trace: None,
             metrics: None,
             analyze: None,
+            timeseries: None,
             shards: 1,
             shard_worker: None,
             shard_grid: None,
@@ -179,6 +195,10 @@ impl BenchArgs {
                         .ok_or("`--analyze` requires a directory argument")?;
                     out.analyze = Some(PathBuf::from(path));
                 }
+                "--timeseries" => {
+                    let path = it.next().ok_or("`--timeseries` requires a path argument")?;
+                    out.timeseries = Some(PathBuf::from(path));
+                }
                 other => return Err(format!("unknown argument `{other}`")),
             }
         }
@@ -210,6 +230,9 @@ impl BenchArgs {
     pub fn emit_observability(&self) {
         if self.trace.is_some() || self.metrics.is_some() {
             write_observability(self.trace.as_deref(), self.metrics.as_deref());
+        }
+        if let Some(path) = &self.timeseries {
+            crate::timeseries::write_timeseries(path);
         }
         if let Some(dir) = &self.analyze {
             let a = crate::analysis::analyze_demo(
@@ -246,6 +269,7 @@ pub fn observability_demo_config() -> ScenarioConfig {
 /// same `[kind] path` form [`emit`] uses for figure CSVs.
 pub fn write_observability(trace: Option<&Path>, metrics: Option<&Path>) {
     let (run, cluster) = observability_demo_config().run_full();
+    warn_span_drops(cluster.recorder());
     if let Some(path) = trace {
         match sais_obs::perfetto::write_chrome_json(cluster.recorder(), path) {
             Ok(()) => eprintln!("[trace] {}", path.display()),
@@ -263,6 +287,21 @@ pub fn write_observability(trace: Option<&Path>, metrics: Option<&Path>) {
             Ok(()) => eprintln!("[metrics] {}", path.display()),
             Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
         }
+    }
+}
+
+/// Surface flight-recorder span drops loudly: a trace that silently lost
+/// spans analyzes as plausible-but-wrong (missing blame, holes in
+/// timelines), so every consumer of a recorder warns on stderr with the
+/// drop count and the knob that raises the ceiling.
+pub fn warn_span_drops(recorder: &sais_obs::FlightRecorder) {
+    if recorder.dropped() > 0 {
+        eprintln!(
+            "warning: flight recorder dropped {} span(s)/instant(s) at capacity ({} recorded) — \
+             raise ObsConfig::span_capacity to keep the full trace",
+            recorder.dropped(),
+            recorder.recorded(),
+        );
     }
 }
 
@@ -396,19 +435,30 @@ impl Sweep {
         cfgs: Vec<ScenarioConfig>,
     ) -> Vec<(CellStats, CellStats)> {
         use crate::executor::{self, ShardRole};
+        use sais_core::telemetry::TelemetrySeries;
         let seeds = self.scale.seeds() as usize;
+        let telemetry = crate::timeseries::collection_active();
         let cells: Vec<ScenarioConfig> = cfgs
             .into_iter()
             .map(|mut c| {
                 c.file_size = self.scale.file_size().max(c.transfer_size);
+                // Under `--timeseries` every cell samples windowed
+                // telemetry. Sampling is bit-inert (it only reads values
+                // the model already computed), so the figure CSV is
+                // byte-identical either way — CI pins this.
+                if telemetry {
+                    c.obs.timeseries = true;
+                }
                 sais_core::calib::assert_regimes(&c);
                 c
             })
             .collect();
         let total = cells.len() * seeds;
         // One task = one seed of one cell under both policies; its
-        // sample is the concatenated (baseline, candidate) statistics.
-        let run_task = |t: usize| -> [f64; 2 * SAMPLE_STATS] {
+        // sample is the concatenated (baseline, candidate) statistics,
+        // plus — under `--timeseries` — the two runs' telemetry series.
+        type TaskResult = ([f64; 2 * SAMPLE_STATS], Option<[TelemetrySeries; 2]>);
+        let run_task = |t: usize| -> TaskResult {
             let (ci, si) = (t / seeds, t % seeds);
             let mut c = cells[ci].clone();
             c.seed = c.seed.wrapping_add((si as u64).wrapping_mul(0x9E37_79B9));
@@ -418,7 +468,17 @@ impl Sweep {
             let mut sample = [0.0; 2 * SAMPLE_STATS];
             sample[..SAMPLE_STATS].copy_from_slice(&bs);
             sample[SAMPLE_STATS..].copy_from_slice(&ss);
-            sample
+            (sample, telemetry.then_some([b.telemetry, s.telemetry]))
+        };
+        // Fold one task's series pair into the global collector; called
+        // in fixed (task, policy) order below so the aggregation is the
+        // same walk regardless of scheduling (the fold itself is exact
+        // and commutative, so this is belt and braces).
+        let fold_task_series = |series: &[TelemetrySeries; 2]| {
+            let (bl, cl) = self.labels();
+            let mut coll = crate::timeseries::collector().lock().expect("no poisoning");
+            coll.fold_series(bl, &series[0]);
+            coll.fold_series(cl, &series[1]);
         };
         let plan = executor::shard_plan();
         let grid_seq = executor::next_grid_seq();
@@ -436,40 +496,86 @@ impl Sweep {
                     return vec![(CellStats::default(), CellStats::default()); cells.len()];
                 }
                 let mine: Vec<usize> = (index..total).step_by(shards).collect();
-                let mut done: Vec<Option<[f64; 2 * SAMPLE_STATS]>> = vec![None; mine.len()];
+                let mut done: Vec<Option<TaskResult>> = vec![None; mine.len()];
                 let slots = std::sync::Mutex::new(&mut done);
                 executor::run_indexed(mine.len(), executor::default_workers(), |k| {
-                    let sample = run_task(mine[k]);
-                    slots.lock().expect("no poisoning")[k] = Some(sample);
+                    let result = run_task(mine[k]);
+                    slots.lock().expect("no poisoning")[k] = Some(result);
                 });
                 use std::io::Write;
                 let stdout = std::io::stdout();
                 let mut w = stdout.lock();
                 for (k, t) in mine.iter().enumerate() {
-                    let sample = done[k].expect("every owned task ran");
-                    writeln!(w, "{}", executor::encode_task_line(*t, &sample))
+                    let (sample, series) = done[k].as_ref().expect("every owned task ran");
+                    writeln!(w, "{}", executor::encode_task_line(*t, sample))
                         .expect("write shard results");
+                    // Ship the raw-bits window partials right after the
+                    // task's samples: one `shardwin` line per retained
+                    // window, policy 0 = baseline, 1 = candidate.
+                    for (p, s) in series.iter().flatten().enumerate() {
+                        for (epoch, cell) in s.windows() {
+                            writeln!(
+                                w,
+                                "{}",
+                                crate::timeseries::encode_window_line(
+                                    *t,
+                                    p,
+                                    s.window_ns(),
+                                    epoch,
+                                    cell
+                                )
+                            )
+                            .expect("write shard telemetry");
+                        }
+                    }
                 }
                 w.flush().expect("flush shard results");
                 std::process::exit(0);
             }
-            ShardRole::Parent { shards } => executor::collect_sharded(
-                total,
-                shards,
-                grid_seq,
-                &plan.worker_args,
-                2 * SAMPLE_STATS,
-            )
-            .into_iter()
-            .map(|v| {
-                let mut sample = [0.0; 2 * SAMPLE_STATS];
-                sample.copy_from_slice(&v);
-                sample
-            })
-            .collect(),
+            ShardRole::Parent { shards } => {
+                // Decoded `shardwin` partials, collected while draining
+                // worker stdout and folded *after* sorting into fixed
+                // (task, policy, epoch) order — the same walk the
+                // single-process fold below does.
+                let mut windows: Vec<(
+                    usize,
+                    usize,
+                    u64,
+                    u64,
+                    sais_core::telemetry::TelemetryCell,
+                )> = Vec::new();
+                let samples: Vec<[f64; 2 * SAMPLE_STATS]> = executor::collect_sharded(
+                    total,
+                    shards,
+                    grid_seq,
+                    &plan.worker_args,
+                    2 * SAMPLE_STATS,
+                    |line| {
+                        if let Some(win) = crate::timeseries::decode_window_line(line) {
+                            windows.push(win);
+                        }
+                    },
+                )
+                .into_iter()
+                .map(|v| {
+                    let mut sample = [0.0; 2 * SAMPLE_STATS];
+                    sample.copy_from_slice(&v);
+                    sample
+                })
+                .collect();
+                if telemetry {
+                    windows.sort_by_key(|&(t, p, _, epoch, _)| (t, p, epoch));
+                    let (bl, cl) = self.labels();
+                    let mut coll = crate::timeseries::collector().lock().expect("no poisoning");
+                    for (_, p, width, epoch, cell) in &windows {
+                        coll.fold_cell(if *p == 0 { bl } else { cl }, *width, *epoch, cell);
+                    }
+                }
+                samples
+            }
             ShardRole::Single => {
                 let meter = label.map(|l| ProgressMeter::new(l, cells.len() as u64));
-                let mut runs: Vec<Option<[f64; 2 * SAMPLE_STATS]>> = vec![None; total];
+                let mut runs: Vec<Option<TaskResult>> = vec![None; total];
                 let slots = std::sync::Mutex::new(&mut runs);
                 // Per-cell completion tallies so the meter still reports
                 // whole cells even though tasks finish seed by seed in
@@ -478,8 +584,8 @@ impl Sweep {
                     .map(|_| std::sync::atomic::AtomicUsize::new(0))
                     .collect();
                 executor::run_indexed(total, executor::default_workers(), |t| {
-                    let sample = run_task(t);
-                    slots.lock().expect("no poisoning")[t] = Some(sample);
+                    let result = run_task(t);
+                    slots.lock().expect("no poisoning")[t] = Some(result);
                     let ci = t / seeds;
                     let done =
                         seeds_done[ci].fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
@@ -490,7 +596,13 @@ impl Sweep {
                     }
                 });
                 runs.into_iter()
-                    .map(|r| r.expect("every seed ran"))
+                    .map(|r| {
+                        let (sample, series) = r.expect("every seed ran");
+                        if let Some(series) = &series {
+                            fold_task_series(series);
+                        }
+                        sample
+                    })
                     .collect()
             }
         };
@@ -606,6 +718,15 @@ mod tests {
             parse(&["--analyze"]).is_err(),
             "--analyze needs a directory"
         );
+    }
+
+    #[test]
+    fn bench_args_timeseries_takes_a_path() {
+        assert_eq!(parse(&[]).unwrap().timeseries, None);
+        let a = parse(&["--quick", "--timeseries", "ts.jsonl"]).unwrap();
+        assert_eq!(a.timeseries.as_deref(), Some(Path::new("ts.jsonl")));
+        let err = parse(&["--timeseries"]).unwrap_err();
+        assert!(err.contains("path"), "{err}");
     }
 
     #[test]

@@ -21,5 +21,6 @@ pub mod executor;
 pub mod figures;
 pub mod harness;
 pub mod perf;
+pub mod timeseries;
 
 pub use harness::{BenchArgs, Scale, Sweep};

@@ -55,6 +55,11 @@ pub struct PerfResult {
     /// Power-of-two histogram of dispatched batch sizes: bucket `i`
     /// counts batches of `2^i ..= 2^(i+1) - 1` events (deterministic).
     pub dispatch_batch_hist: Vec<u64>,
+    /// Telemetry windows the run opened (deterministic; 0 unless the
+    /// scenario samples, i.e. `ObsConfig::timeseries` is on).
+    pub window_rotations: u64,
+    /// Windows folded through the streaming detectors (deterministic).
+    pub detector_evals: u64,
 }
 
 /// The canonical scenarios the baseline tracks. Names are stable; the
@@ -122,6 +127,8 @@ pub fn measure(name: &'static str, cfg: &ScenarioConfig, reps: u32) -> PerfResul
     let mut dispatch_batches = 0;
     let mut dispatch_max_batch = 0;
     let mut dispatch_batch_hist = Vec::new();
+    let mut window_rotations = 0;
+    let mut detector_evals = 0;
     for _ in 0..reps {
         let t0 = Instant::now();
         let m = cfg.clone().run();
@@ -138,6 +145,8 @@ pub fn measure(name: &'static str, cfg: &ScenarioConfig, reps: u32) -> PerfResul
         dispatch_batches = m.dispatch_batches;
         dispatch_max_batch = m.dispatch_max_batch;
         dispatch_batch_hist = m.dispatch_batch_hist;
+        window_rotations = m.window_rotations;
+        detector_evals = m.detector_evals;
     }
     PerfResult {
         name,
@@ -152,6 +161,8 @@ pub fn measure(name: &'static str, cfg: &ScenarioConfig, reps: u32) -> PerfResul
         dispatch_batches,
         dispatch_max_batch,
         dispatch_batch_hist,
+        window_rotations,
+        detector_evals,
     }
 }
 
@@ -162,7 +173,7 @@ pub fn measure_all(reps: u32) -> Vec<PerfResult> {
         .map(|(name, cfg)| {
             let r = measure(name, cfg, reps);
             eprintln!(
-                "{:22} {:>10} events  {:>8.3} s  {:>12.0} events/s  ({:.1} simulated MB/s, {} cascades, {} peak buckets, slab hw {}/{}, {} batches max {})",
+                "{:22} {:>10} events  {:>8.3} s  {:>12.0} events/s  ({:.1} simulated MB/s, {} cascades, {} peak buckets, slab hw {}/{}, {} batches max {}, {} telemetry windows)",
                 r.name,
                 r.events,
                 r.wall_secs,
@@ -173,7 +184,8 @@ pub fn measure_all(reps: u32) -> Vec<PerfResult> {
                 r.strip_slab_high_water,
                 r.read_slab_high_water,
                 r.dispatch_batches,
-                r.dispatch_max_batch
+                r.dispatch_max_batch,
+                r.window_rotations
             );
             r
         })
@@ -188,11 +200,11 @@ pub fn baseline_path() -> PathBuf {
 }
 
 /// Serialize results in the committed-baseline format (no external JSON
-/// dependency; one object per scenario, one line each). The slab and
-/// batch-dispatch counters are additive `v1` fields: the line-oriented
-/// reader ignores keys it does not know, so old baselines parse under
-/// the new code and vice versa — the schema tag stays
-/// `sais-perf-baseline/v1`.
+/// dependency; one object per scenario, one line each). The slab,
+/// batch-dispatch and telemetry (`window_rotations`, `detector_evals`)
+/// counters are additive `v1` fields: the line-oriented reader ignores
+/// keys it does not know, so old baselines parse under the new code and
+/// vice versa — the schema tag stays `sais-perf-baseline/v1`.
 pub fn to_json(results: &[PerfResult]) -> String {
     let mut s = String::from("{\n  \"schema\": \"sais-perf-baseline/v1\",\n  \"scenarios\": [\n");
     for (i, r) in results.iter().enumerate() {
@@ -203,7 +215,7 @@ pub fn to_json(results: &[PerfResult]) -> String {
             .collect::<Vec<_>>()
             .join(", ");
         s.push_str(&format!(
-            "    {{\"name\": \"{}\", \"events\": {}, \"wall_secs\": {:.4}, \"events_per_sec\": {:.0}, \"cascades\": {}, \"peak_buckets\": {}, \"strip_slab_high_water\": {}, \"read_slab_high_water\": {}, \"dispatch_batches\": {}, \"dispatch_max_batch\": {}, \"dispatch_batch_hist\": [{}]}}{}\n",
+            "    {{\"name\": \"{}\", \"events\": {}, \"wall_secs\": {:.4}, \"events_per_sec\": {:.0}, \"cascades\": {}, \"peak_buckets\": {}, \"strip_slab_high_water\": {}, \"read_slab_high_water\": {}, \"dispatch_batches\": {}, \"dispatch_max_batch\": {}, \"dispatch_batch_hist\": [{}], \"window_rotations\": {}, \"detector_evals\": {}}}{}\n",
             r.name,
             r.events,
             r.wall_secs,
@@ -215,6 +227,8 @@ pub fn to_json(results: &[PerfResult]) -> String {
             r.dispatch_batches,
             r.dispatch_max_batch,
             hist,
+            r.window_rotations,
+            r.detector_evals,
             if i + 1 < results.len() { "," } else { "" }
         ));
     }
@@ -396,6 +410,8 @@ pub fn synthetic_results(events_per_sec: f64) -> Vec<PerfResult> {
             dispatch_batches: 0,
             dispatch_max_batch: 0,
             dispatch_batch_hist: Vec::new(),
+            window_rotations: 0,
+            detector_evals: 0,
         })
         .collect()
 }
@@ -420,6 +436,8 @@ mod tests {
                 dispatch_batches: 1000,
                 dispatch_max_batch: 48,
                 dispatch_batch_hist: vec![10, 20, 30],
+                window_rotations: 128,
+                detector_evals: 128,
             },
             PerfResult {
                 name: "write_3gig_16srv",
@@ -434,6 +452,8 @@ mod tests {
                 dispatch_batches: 99,
                 dispatch_max_batch: 1,
                 dispatch_batch_hist: vec![99],
+                window_rotations: 0,
+                detector_evals: 0,
             },
         ];
         let json = to_json(&results);
@@ -456,6 +476,9 @@ mod tests {
         assert!(parsed[0].contains("\"dispatch_max_batch\": 48"));
         assert!(parsed[0].contains("\"dispatch_batch_hist\": [10, 20, 30]"));
         assert!(parsed[1].contains("\"dispatch_batch_hist\": [99]"));
+        assert!(parsed[0].contains("\"window_rotations\": 128"));
+        assert!(parsed[0].contains("\"detector_evals\": 128"));
+        assert!(parsed[1].contains("\"window_rotations\": 0"));
     }
 
     #[test]

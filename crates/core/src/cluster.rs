@@ -19,6 +19,7 @@
 use crate::components::{HintCapsuler, HintMessager, IMComposer, SrcParser};
 use crate::scenario::{IoDirection, RunMetrics, ScenarioConfig};
 use crate::slab::{Slab, SlabRef};
+use crate::telemetry::TelemetrySampler;
 use sais_apic::IoApic;
 use sais_cpu::{CpuCore, CpuReport, LoadTracker, Process, WakePlacement, WorkClass};
 use sais_mem::fxmap::FxHashMap;
@@ -266,6 +267,9 @@ pub struct Cluster {
     recorder: FlightRecorder,
     /// Per-stage latency histograms (disabled unless `cfg.obs.stages`).
     stages: StageHistograms,
+    /// Windowed time-series sampler (disabled unless `cfg.obs.timeseries`;
+    /// the disabled state owns no heap and costs one branch per hook).
+    telemetry: TelemetrySampler,
 }
 
 impl Cluster {
@@ -307,6 +311,11 @@ impl Cluster {
             StageHistograms::disabled()
         };
         let fault_rng = SimRng::new(cfg.faults.seed);
+        let telemetry = if cfg.obs.timeseries {
+            TelemetrySampler::enabled(cfg.obs.window_ns, cfg.obs.window_capacity)
+        } else {
+            TelemetrySampler::disabled()
+        };
         Cluster {
             cfg,
             clients,
@@ -335,6 +344,7 @@ impl Cluster {
             t_last_done: SimTime::ZERO,
             recorder,
             stages,
+            telemetry,
         }
     }
 
@@ -346,6 +356,62 @@ impl Cluster {
     /// The run's stage histograms (disabled unless `obs.stages`).
     pub fn stages(&self) -> &StageHistograms {
         &self.stages
+    }
+
+    /// The run's windowed telemetry sampler (disabled unless
+    /// `obs.timeseries`).
+    pub fn telemetry(&self) -> &TelemetrySampler {
+        &self.telemetry
+    }
+
+    /// Cluster-wide cumulative totals the telemetry sweep attributes to
+    /// closing windows: `(degrades, repromotes, fault events, currently
+    /// degraded flows)`.
+    fn telemetry_totals(&self) -> (u64, u64, u64, u64) {
+        let mut degrades = 0;
+        let mut repromotes = 0;
+        let mut degraded = 0;
+        let mut parse_errors = 0;
+        let mut fcs_drops = 0;
+        for cl in &self.clients {
+            let (d, r) = cl.composer.policy().steering_churn();
+            degrades += d;
+            repromotes += r;
+            degraded += cl.composer.policy().degraded_flows();
+            parse_errors += cl.parser.parse_errors.get();
+            fcs_drops += cl.fcs_drops;
+        }
+        let faults = self.retransmits
+            + self.tcp_timeouts
+            + self.tcp_duplicates
+            + self.delayed_irqs
+            + self.coalesced_merges
+            + self.stripped_options
+            + parse_errors
+            + fcs_drops;
+        (degrades, repromotes, faults, degraded)
+    }
+
+    /// Close telemetry windows `now` has moved past (no-op unless the
+    /// sampler is on and the virtual clock crossed a window boundary).
+    fn telemetry_rotate(&mut self, now: SimTime) {
+        if !self.telemetry.needs_rotation(now.as_nanos()) {
+            return;
+        }
+        let (degrades, repromotes, faults, degraded) = self.telemetry_totals();
+        self.telemetry
+            .rotate(now.as_nanos(), degrades, repromotes, faults, degraded);
+    }
+
+    /// Close the final telemetry window with the end-of-run totals. Call
+    /// once after the engine quiesces, before [`Cluster::collect_metrics`].
+    pub fn finish_telemetry(&mut self) {
+        if !self.telemetry.is_enabled() {
+            return;
+        }
+        let (degrades, repromotes, faults, degraded) = self.telemetry_totals();
+        self.telemetry
+            .finish(degrades, repromotes, faults, degraded);
     }
 
     /// Whether the configured policy carries the SAIs hint end-to-end.
@@ -621,6 +687,10 @@ impl Cluster {
         sched: &mut Scheduler<'_, Ev>,
     ) {
         let now = sched.now();
+        self.telemetry_rotate(now);
+        // In-flight strip count before this batch is consumed — the
+        // telemetry plane's queue-depth signal.
+        let queue_depth = self.strips.len() as u64;
         let s = &mut self.strips[strip];
         self.strip_oracle.check(s.id, strip);
         let cl = &mut self.clients[s.client as usize];
@@ -721,6 +791,7 @@ impl Cluster {
             .set_arg(irq_span, "svc", (self.cfg.cpu.hardirq + soft).as_nanos());
         self.recorder.end(irq_span, done);
         self.stages.record(Stage::IrqToHandler, done.since(now));
+        self.telemetry.record_irq(now.as_nanos(), dest, queue_depth);
         if let Some(read) = self.reads.get_mut(s.read) {
             if !read.first_irq_seen {
                 read.first_irq_seen = true;
@@ -774,6 +845,7 @@ impl Cluster {
 
     fn handle_strip_copied(&mut self, strip: SlabRef, sched: &mut Scheduler<'_, Ev>) {
         let now = sched.now();
+        self.telemetry_rotate(now);
         let s = self.strips.remove(strip);
         self.strip_oracle.remove(s.id, strip);
         self.recorder.end(s.span, now);
@@ -792,6 +864,8 @@ impl Cluster {
         self.stages
             .record(Stage::RequestTotal, now.since(read.issued));
         cl.latency.record(now.since(read.issued).as_nanos());
+        self.telemetry
+            .record_latency(now.as_nanos(), now.since(read.issued).as_nanos());
         let pr = &mut cl.procs[read.proc as usize];
         // read() returns: wake (possibly migrating, for the ablation), then
         // run the compute phase over the freshly-read buffer.
@@ -1083,6 +1157,10 @@ impl Cluster {
             dispatch_batches: 0,   // likewise
             dispatch_max_batch: 0, // likewise
             dispatch_batch_hist: vec![], // likewise
+            telemetry: self.telemetry.series().clone(),
+            window_rotations: self.telemetry.rotations(),
+            detector_evals: self.telemetry.detector_evals(),
+            telemetry_verdicts: self.telemetry.verdicts().to_vec(),
         }
     }
 
@@ -1156,6 +1234,8 @@ impl Cluster {
         );
         reg.counter("trace.recorded", trace_recorded);
         reg.counter("trace.dropped", trace_dropped);
+        reg.counter("obs.window_rotations", self.telemetry.rotations());
+        reg.counter("obs.detector_evals", self.telemetry.detector_evals());
         reg.counter("obs.spans_recorded", self.recorder.recorded());
         reg.counter("obs.spans_dropped", self.recorder.dropped());
         reg.histogram("latency.request", &latency);

@@ -49,6 +49,7 @@ pub mod memsim;
 pub mod report;
 pub mod scenario;
 pub mod slab;
+pub mod telemetry;
 
 pub use components::{HintCapsuler, HintMessager, IMComposer, SrcParser};
 pub use scenario::{PolicyChoice, RunMetrics, ScenarioConfig};

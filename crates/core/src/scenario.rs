@@ -102,6 +102,16 @@ pub struct ObsConfig {
     /// Maximum spans retained when `spans` is on; beginnings past the cap
     /// are counted as dropped.
     pub span_capacity: usize,
+    /// Sample the run into windowed time-series telemetry
+    /// ([`crate::telemetry::TelemetrySeries`]) and fold the streaming
+    /// saturation/livelock/tail detectors over each closing window.
+    pub timeseries: bool,
+    /// Window width in nanoseconds of simulated time when `timeseries`
+    /// is on.
+    pub window_ns: u64,
+    /// Maximum windows retained when `timeseries` is on; older windows
+    /// are evicted (bounded memory regardless of run length).
+    pub window_capacity: usize,
 }
 
 impl Default for ObsConfig {
@@ -110,16 +120,29 @@ impl Default for ObsConfig {
             spans: false,
             stages: false,
             span_capacity: 1 << 16,
+            timeseries: false,
+            window_ns: crate::telemetry::DEFAULT_WINDOW_NS,
+            window_capacity: crate::telemetry::DEFAULT_WINDOW_CAPACITY,
         }
     }
 }
 
 impl ObsConfig {
-    /// Everything on, with the default span capacity.
+    /// Everything on — spans, stage histograms and windowed telemetry —
+    /// with the default capacities.
     pub fn full() -> Self {
         ObsConfig {
             spans: true,
             stages: true,
+            timeseries: true,
+            ..ObsConfig::default()
+        }
+    }
+
+    /// Windowed telemetry only, at the default window geometry.
+    pub fn timeseries() -> Self {
+        ObsConfig {
+            timeseries: true,
             ..ObsConfig::default()
         }
     }
@@ -586,7 +609,8 @@ impl ScenarioConfig {
         let dispatch_batches = engine.dispatch_batches();
         let dispatch_max_batch = engine.max_batch();
         let dispatch_batch_hist = engine.batch_size_hist().to_vec();
-        let cluster = engine.into_model();
+        let mut cluster = engine.into_model();
+        cluster.finish_telemetry();
         let mut metrics = cluster.collect_metrics(now);
         metrics.events_dispatched = dispatched;
         metrics.queue_high_water = queue_high_water;
@@ -718,6 +742,17 @@ pub struct RunMetrics {
     /// absorbing larger runs (host-side accounting; filled in by
     /// `ScenarioConfig::run_full`).
     pub dispatch_batch_hist: Vec<u64>,
+    /// Windowed time-series telemetry (disabled/empty unless
+    /// [`ObsConfig::timeseries`] was on for the run).
+    pub telemetry: crate::telemetry::TelemetrySeries,
+    /// Telemetry windows opened by the advancing virtual clock, including
+    /// gap-filled empty windows (0 when telemetry is off).
+    pub window_rotations: u64,
+    /// Windows folded through the streaming detectors (0 when telemetry
+    /// is off).
+    pub detector_evals: u64,
+    /// Verdicts the streaming detectors reached during the run.
+    pub telemetry_verdicts: Vec<sais_obs::TelemetryVerdict>,
 }
 
 impl RunMetrics {

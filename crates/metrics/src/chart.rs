@@ -96,6 +96,44 @@ impl BarChart {
     }
 }
 
+/// Render a value series as a one-line ASCII sparkline (▁▂▃▄▅▆▇█),
+/// scaled to the series maximum. Series longer than `width` are
+/// downsampled by averaging equal time slices so the line always fits;
+/// shorter series render one glyph per value. Pure text, like
+/// [`BarChart`] — safe to echo to logs and pipes.
+pub fn sparkline(values: &[f64], width: usize) -> String {
+    assert!(width >= 8, "sparkline width must be at least 8");
+    assert!(
+        values.iter().all(|v| v.is_finite() && *v >= 0.0),
+        "sparkline values must be finite and non-negative"
+    );
+    if values.is_empty() {
+        return String::new();
+    }
+    // Downsample to at most `width` slices by averaging.
+    let slices = values.len().min(width);
+    let mut sampled = Vec::with_capacity(slices);
+    for s in 0..slices {
+        let lo = s * values.len() / slices;
+        let hi = ((s + 1) * values.len() / slices).max(lo + 1);
+        let slice = &values[lo..hi];
+        sampled.push(slice.iter().sum::<f64>() / slice.len() as f64);
+    }
+    let max = sampled.iter().copied().fold(0.0f64, f64::max);
+    let glyphs = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    sampled
+        .iter()
+        .map(|&v| {
+            if max <= 0.0 {
+                glyphs[0]
+            } else {
+                let level = (v / max * 8.0).ceil() as usize;
+                glyphs[level.clamp(1, 8) - 1]
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -153,5 +191,40 @@ mod tests {
     fn nan_panics() {
         let mut c = BarChart::new("t", &["a"]);
         c.group("g", &[f64::NAN]);
+    }
+
+    #[test]
+    fn sparkline_scales_to_max() {
+        let s = sparkline(&[0.0, 1.0, 2.0, 4.0, 8.0], 16);
+        assert_eq!(s.chars().count(), 5);
+        let chars: Vec<char> = s.chars().collect();
+        assert_eq!(chars[0], '▁', "zero renders the floor glyph");
+        assert_eq!(chars[4], '█', "the max renders the full glyph");
+        // Monotone input renders monotone glyph levels.
+        let glyphs = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+        let level = |c: char| glyphs.iter().position(|&g| g == c).unwrap();
+        assert!(chars.windows(2).all(|w| level(w[0]) <= level(w[1])));
+    }
+
+    #[test]
+    fn sparkline_downsamples_to_width() {
+        let vals: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let s = sparkline(&vals, 20);
+        assert_eq!(s.chars().count(), 20);
+    }
+
+    #[test]
+    fn sparkline_flat_and_empty() {
+        assert_eq!(sparkline(&[], 8), "");
+        let flat = sparkline(&[0.0; 10], 16);
+        assert!(flat.chars().all(|c| c == '▁'));
+        let all_equal = sparkline(&[3.0; 10], 16);
+        assert!(all_equal.chars().all(|c| c == '█'));
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn sparkline_nan_panics() {
+        sparkline(&[1.0, f64::NAN], 8);
     }
 }

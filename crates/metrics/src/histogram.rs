@@ -6,7 +6,7 @@
 //! record per-request completion latencies.
 
 /// A fixed-layout log-linear histogram of nanosecond values.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Histogram {
     /// 8 linear sub-buckets per power-of-two octave.
     buckets: Vec<u64>,
@@ -128,7 +128,15 @@ impl Histogram {
     }
 
     /// Merge another histogram into this one.
+    ///
+    /// Merging an empty operand is a no-op: an empty histogram's internal
+    /// `min`/`max` sentinels (`u64::MAX`/`0`) must never leak into a
+    /// populated one, and the 512-bucket zip-add is pure waste when
+    /// `other` holds nothing.
     pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
         for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
             *a += b;
         }
@@ -136,6 +144,41 @@ impl Histogram {
         self.sum += other.sum;
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
+    }
+
+    /// Sum of all recorded values (exact, accumulated in u128).
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// The non-empty buckets as `(index, count)` pairs — the sparse wire
+    /// form used by the shard telemetry protocol. Round-trips through
+    /// [`Histogram::from_sparse`].
+    pub fn sparse_buckets(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(i, &c)| (i, c))
+    }
+
+    /// Rebuild a histogram from its sparse wire form. `min`/`max` are the
+    /// public accessor values of the source histogram; an empty bucket
+    /// list reproduces the pristine empty state regardless of them.
+    pub fn from_sparse(buckets: &[(usize, u64)], sum: u128, min: u64, max: u64) -> Self {
+        let mut h = Histogram::new();
+        if buckets.is_empty() {
+            return h;
+        }
+        for &(idx, c) in buckets {
+            assert!(idx < BUCKETS, "sparse bucket index {idx} out of range");
+            h.buckets[idx] += c;
+            h.count += c;
+        }
+        h.sum = sum;
+        h.min = min;
+        h.max = max;
+        h
     }
 }
 
@@ -210,6 +253,81 @@ mod tests {
         for q in [0.1, 0.5, 0.9, 0.99] {
             assert_eq!(a.quantile(q), all.quantile(q));
         }
+    }
+
+    /// Regression: merging an empty histogram must preserve the
+    /// destination's min/max/count exactly — the empty operand's internal
+    /// sentinels (`min = u64::MAX`, `max = 0`) must not disturb anything.
+    /// Covers empty⊕empty, empty⊕full and full⊕full, in both orders.
+    #[test]
+    fn merge_empty_preserves_extremes() {
+        let mut full = Histogram::new();
+        for v in [3u64, 40, 500, 6_000] {
+            full.record(v);
+        }
+        let reference = full.clone();
+
+        // full ⊕ empty: destination unchanged, bit for bit.
+        let empty = Histogram::new();
+        full.merge(&empty);
+        assert_eq!(full, reference);
+        assert_eq!(full.count(), 4);
+        assert_eq!(full.min(), 3);
+        assert_eq!(full.max(), 6_000);
+        assert_eq!(full.sum(), 6_543);
+
+        // empty ⊕ full: destination becomes an exact copy of the source.
+        let mut dst = Histogram::new();
+        dst.merge(&reference);
+        assert_eq!(dst, reference);
+        assert_eq!(dst.min(), 3);
+        assert_eq!(dst.max(), 6_000);
+
+        // empty ⊕ empty: still pristine — accessors report zeros.
+        let mut e1 = Histogram::new();
+        e1.merge(&Histogram::new());
+        assert_eq!(e1, Histogram::new());
+        assert_eq!(e1.count(), 0);
+        assert_eq!(e1.min(), 0);
+        assert_eq!(e1.max(), 0);
+
+        // full ⊕ full in both orders agrees on every statistic.
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for v in [1u64, 10, 100] {
+            a.record(v);
+        }
+        for v in [5u64, 50, 500_000] {
+            b.record(v);
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.count(), 6);
+        assert_eq!(ab.min(), 1);
+        assert_eq!(ab.max(), 500_000);
+    }
+
+    #[test]
+    fn sparse_roundtrip() {
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 7, 8, 1_000, 65_536, u64::MAX] {
+            h.record(v);
+        }
+        let parts: Vec<(usize, u64)> = h.sparse_buckets().collect();
+        let back = Histogram::from_sparse(&parts, h.sum(), h.min(), h.max());
+        assert_eq!(back, h);
+
+        // The empty histogram round-trips to the pristine state even if
+        // the caller passes the public accessor values (0, 0).
+        let e = Histogram::new();
+        let parts: Vec<(usize, u64)> = e.sparse_buckets().collect();
+        assert!(parts.is_empty());
+        let back = Histogram::from_sparse(&parts, e.sum(), e.min(), e.max());
+        assert_eq!(back, Histogram::new());
+        assert_eq!(back.min(), 0);
     }
 
     #[test]

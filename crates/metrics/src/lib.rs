@@ -13,9 +13,14 @@ pub mod format;
 pub mod histogram;
 pub mod stats;
 pub mod table;
+pub mod window;
 
-pub use chart::BarChart;
+pub use chart::{sparkline, BarChart};
 pub use counters::{Counter, Ratio, Sample};
 pub use histogram::Histogram;
 pub use stats::Welford;
 pub use table::{Align, Table};
+pub use window::{
+    CounterCell, GaugeCell, WindowPayload, WindowRing, WindowedCounter, WindowedGauge,
+    WindowedHistogram,
+};

@@ -31,8 +31,13 @@
 //!   tests to validate exported traces and snapshots structurally (no
 //!   external JSON dependency).
 //! * [`progress`] — host-side progress reporting for long parallel sweeps.
+//! * [`detect`] — streaming detectors over the telemetry plane's closed
+//!   windows: queue saturation, steering livelock (degrade/re-promote
+//!   flapping) and sustained tail burn, surfaced as typed
+//!   [`detect::TelemetryVerdict`]s.
 
 pub mod analyze;
+pub mod detect;
 pub mod json;
 pub mod perfetto;
 pub mod progress;
@@ -40,6 +45,7 @@ pub mod registry;
 pub mod span;
 pub mod stages;
 
+pub use detect::{evaluate, DetectorConfig, DetectorState, TelemetryVerdict, WindowStats};
 pub use progress::ProgressMeter;
 pub use registry::{MetricRegistry, MetricSnapshot};
 pub use span::{FlightRecorder, SpanId};

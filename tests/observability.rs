@@ -123,6 +123,37 @@ fn disabled_observability_records_nothing() {
 }
 
 #[test]
+fn telemetry_sampler_is_bit_inert_and_off_by_default() {
+    // Off by default: no windows, no rotations, no detector work.
+    let off = demo(PolicyChoice::SourceAware, ObsConfig::default()).run();
+    assert!(!off.telemetry.is_enabled());
+    assert_eq!(off.telemetry.windows().count(), 0);
+    assert_eq!(off.window_rotations, 0);
+    assert_eq!(off.detector_evals, 0);
+    assert!(off.telemetry_verdicts.is_empty());
+
+    // On: the sampler fills windows and the detectors run, but every
+    // simulated result stays bit-identical — the sampler only reads
+    // model-computed values, it never touches the RNG or the clock.
+    let obs = ObsConfig {
+        timeseries: true,
+        ..ObsConfig::default()
+    };
+    let on = demo(PolicyChoice::SourceAware, obs).run();
+    assert!(on.telemetry.is_enabled());
+    assert!(on.telemetry.windows().count() > 0, "windows sampled");
+    assert!(on.window_rotations > 0, "rotations counted");
+    assert!(on.detector_evals > 0, "detectors evaluated each window");
+    assert_eq!(off.wall_time, on.wall_time);
+    assert_eq!(off.bytes_delivered, on.bytes_delivered);
+    assert_eq!(off.l2_accesses, on.l2_accesses);
+    assert_eq!(off.l2_misses, on.l2_misses);
+    assert_eq!(off.interrupts, on.interrupts);
+    assert_eq!(off.events_dispatched, on.events_dispatched);
+    assert_eq!(off.queue_high_water, on.queue_high_water);
+}
+
+#[test]
 fn metric_snapshot_exports_json_and_csv() {
     let (m, cluster) = demo(PolicyChoice::SourceAware, ObsConfig::full()).run_full();
     let snap = cluster.snapshot_metrics(m.wall_time);
