@@ -20,7 +20,11 @@
 //! perf investigation starts with the same artifacts the figure binaries
 //! produce. `--timeseries <path>` exports the demo scenario's windowed
 //! telemetry as `sais-timeseries/v1` JSONL with sparklines on stderr,
-//! matching the figure binaries' flag.
+//! matching the figure binaries' flag. `--profile <path>` turns on the
+//! host-side zone profiler for the whole process and writes the
+//! `sais-hostprof/v1` report (plus `.folded` collapsed stacks and a
+//! top-N table on stderr) — bit-inert for all measurement outputs except
+//! that the timed reps always run unprofiled either way.
 //!
 //! Environment: `SAIS_BENCH_HISTORY` relocates the history file;
 //! `SAIS_PERF_SYNTHETIC=<events/sec>` replaces measurement with fabricated
@@ -32,7 +36,7 @@ use std::path::PathBuf;
 fn usage_error(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: perf_baseline [--check | --compare] [--trace <path>] [--metrics <path>] [--timeseries <path>]"
+        "usage: perf_baseline [--check | --compare] [--trace <path>] [--metrics <path>] [--timeseries <path>] [--profile <path>]"
     );
     std::process::exit(2);
 }
@@ -50,6 +54,7 @@ fn main() {
     let mut trace: Option<PathBuf> = None;
     let mut metrics: Option<PathBuf> = None;
     let mut timeseries: Option<PathBuf> = None;
+    let mut profile: Option<PathBuf> = None;
     // Strict parsing: the no-argument mode overwrites the committed
     // baseline, so a typo'd flag must not silently fall through to it.
     let mut args = std::env::args().skip(1);
@@ -69,12 +74,24 @@ fn main() {
                 Some(p) => timeseries = Some(PathBuf::from(p)),
                 None => usage_error("`--timeseries` requires a path argument"),
             },
+            "--profile" => match args.next() {
+                Some(p) => profile = Some(PathBuf::from(p)),
+                None => usage_error("`--profile` requires a path argument"),
+            },
             other => usage_error(&format!("unknown argument `{other}`")),
         }
     }
     if check_only && compare {
         usage_error("`--check` and `--compare` are mutually exclusive");
     }
+    sais_prof::set_enabled(profile.is_some());
+    // perf_baseline measures on the main thread, so the work-stealing
+    // executor never spins up on its own — run a tiny probe pool so the
+    // per-worker fairness counters in the baseline (and the profile's
+    // executor section) describe this host rather than staying empty.
+    sais_bench::executor::run_indexed(64, sais_bench::executor::default_workers(), |_| {
+        std::hint::spin_loop();
+    });
     let results = match std::env::var("SAIS_PERF_SYNTHETIC") {
         Ok(eps) => {
             let eps: f64 = eps
@@ -118,6 +135,11 @@ fn main() {
         // scenario's series (the collector's fallback source).
         sais_bench::timeseries::write_timeseries(path);
     }
+    // Written before the early exits so every mode produces the artifact;
+    // placed after the exports above so their zones are captured.
+    if let Some(path) = &profile {
+        sais_bench::profile::write_profile(path);
+    }
     if check_only {
         return;
     }
@@ -149,6 +171,7 @@ fn main() {
         Err(e) => eprintln!("warning: could not append {}: {e}", history.display()),
     }
     let path = perf::baseline_path();
-    std::fs::write(&path, perf::to_json(&results)).expect("write baseline");
+    let exec = sais_bench::executor::executor_stats();
+    std::fs::write(&path, perf::to_json(&results, &exec)).expect("write baseline");
     eprintln!("\n[baseline] {}", path.display());
 }

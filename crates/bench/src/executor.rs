@@ -23,6 +23,7 @@
 //! bit-identical to a sequential loop no matter which worker ran what.
 
 use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
 
 /// One worker's span of the task range: `[next, end)` still to run.
 /// A `Mutex` rather than lock-free split counters: tasks are whole
@@ -37,6 +38,70 @@ impl Span {
     fn len(&self) -> usize {
         self.end - self.next
     }
+}
+
+/// What one steal attempt found.
+enum StealOutcome {
+    /// Took a task from a victim's back.
+    Took(usize),
+    /// A victim looked non-empty during the scan but drained before the
+    /// take — the thief rescans.
+    Raced,
+    /// Every span is empty: the pool is permanently dry.
+    Dry,
+}
+
+/// Per-worker fairness counters, accumulated across every pool this
+/// process runs. Always on: the counters are a handful of adds per
+/// *task* (a task is an entire simulation run), so there is no off
+/// switch to get wrong — they feed `BENCH_engine.json` and, under
+/// `--profile`, the hostprof executor section.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerCounters {
+    /// Tasks this worker ran (own span + stolen).
+    pub tasks: u64,
+    /// Steal attempts that took a task from a victim.
+    pub steals_hit: u64,
+    /// Steal attempts that raced a draining victim and got nothing.
+    pub steals_missed: u64,
+    /// Pools in which this worker drained its own span and went stealing.
+    pub span_drains: u64,
+    /// Nanoseconds spent running tasks.
+    pub busy_ns: u64,
+    /// Nanoseconds of pool wall time this worker was *not* running tasks
+    /// (steal scans, lock waits, and end-of-pool starvation).
+    pub idle_ns: u64,
+}
+
+impl WorkerCounters {
+    fn merge(&mut self, o: &WorkerCounters) {
+        self.tasks += o.tasks;
+        self.steals_hit += o.steals_hit;
+        self.steals_missed += o.steals_missed;
+        self.span_drains += o.span_drains;
+        self.busy_ns += o.busy_ns;
+        self.idle_ns += o.idle_ns;
+    }
+}
+
+/// Process-wide executor statistics: every [`run_indexed`] pool folds its
+/// per-worker counters in here (by worker index).
+#[derive(Debug, Clone, Default)]
+pub struct ExecutorStats {
+    /// Pools run so far.
+    pub pools: u64,
+    /// Per-worker counters, indexed by worker id, summed across pools.
+    pub workers: Vec<WorkerCounters>,
+}
+
+static EXEC_STATS: Mutex<ExecutorStats> = Mutex::new(ExecutorStats {
+    pools: 0,
+    workers: Vec::new(),
+});
+
+/// Snapshot the accumulated executor statistics.
+pub fn executor_stats() -> ExecutorStats {
+    EXEC_STATS.lock().expect("no poisoning").clone()
 }
 
 /// Run `f(0) ..= f(total - 1)`, each exactly once, on `workers` threads
@@ -69,7 +134,7 @@ where
     };
     // Steal one task from the back of the victim with the most left —
     // the back, so the victim's own front-draining is disturbed last.
-    let steal = |thief: usize| -> Option<usize> {
+    let steal = |thief: usize| -> StealOutcome {
         let mut victim: Option<usize> = None;
         let mut most = 0;
         for (v, span) in spans.iter().enumerate() {
@@ -85,31 +150,76 @@ where
         // Re-lock to take: the victim may have drained in between, in
         // which case this steal attempt simply misses and the caller
         // rescans.
-        let v = victim?;
+        let Some(v) = victim else {
+            return StealOutcome::Dry;
+        };
         let mut s = spans[v].lock().expect("no poisoning");
-        (s.next < s.end).then(|| {
+        if s.next < s.end {
             s.end -= 1;
-            s.end
-        })
+            StealOutcome::Took(s.end)
+        } else {
+            StealOutcome::Raced
+        }
     };
+    let counters: Vec<Mutex<WorkerCounters>> = (0..workers)
+        .map(|_| Mutex::new(WorkerCounters::default()))
+        .collect();
+    let pool_start = Instant::now();
     std::thread::scope(|scope| {
         for w in 0..workers {
-            let (take_own, steal, f) = (&take_own, &steal, &f);
-            scope.spawn(move || loop {
-                if let Some(t) = take_own(w) {
-                    f(t);
-                } else if let Some(t) = steal(w) {
-                    f(t);
-                } else {
-                    // Nothing owned, nothing stealable. Tasks are never
-                    // re-queued, so the pool is permanently dry for this
-                    // worker (in-flight tasks on other workers are
-                    // already claimed) — exit.
-                    break;
+            let (take_own, steal, f, counters) = (&take_own, &steal, &f, &counters);
+            scope.spawn(move || {
+                sais_prof::set_thread_label(&format!("worker{w}"));
+                let mut c = WorkerCounters::default();
+                // A worker's own span only ever shrinks (front by its own
+                // takes, back by thieves), so once drained it stays dry —
+                // probe it until then, steal afterwards.
+                let mut own_dry = false;
+                loop {
+                    if !own_dry {
+                        if let Some(t) = take_own(w) {
+                            let t0 = Instant::now();
+                            f(t);
+                            c.busy_ns += t0.elapsed().as_nanos() as u64;
+                            c.tasks += 1;
+                            continue;
+                        }
+                        own_dry = true;
+                        c.span_drains += 1;
+                    }
+                    match steal(w) {
+                        StealOutcome::Took(t) => {
+                            c.steals_hit += 1;
+                            let t0 = Instant::now();
+                            f(t);
+                            c.busy_ns += t0.elapsed().as_nanos() as u64;
+                            c.tasks += 1;
+                        }
+                        StealOutcome::Raced => c.steals_missed += 1,
+                        // Dry pool: tasks are never re-queued, so nothing
+                        // can appear for this worker (in-flight tasks on
+                        // other workers are already claimed) — exit.
+                        StealOutcome::Dry => break,
+                    }
                 }
+                *counters[w].lock().expect("no poisoning") = c;
             });
         }
     });
+    // Idle is charged against the pool's wall clock: everything a worker
+    // did that was not running a task, including waiting out the pool's
+    // slowest straggler after going dry.
+    let wall_ns = pool_start.elapsed().as_nanos() as u64;
+    let mut stats = EXEC_STATS.lock().expect("no poisoning");
+    stats.pools += 1;
+    if stats.workers.len() < workers {
+        stats.workers.resize(workers, WorkerCounters::default());
+    }
+    for (w, c) in counters.iter().enumerate() {
+        let mut c = *c.lock().expect("no poisoning");
+        c.idle_ns = wall_ns.saturating_sub(c.busy_ns);
+        stats.workers[w].merge(&c);
+    }
 }
 
 /// The host's parallelism: worker count for [`run_indexed`] when the
@@ -227,6 +337,47 @@ pub fn decode_task_line(line: &str) -> Option<(usize, Vec<f64>)> {
     Some((t, vals?))
 }
 
+/// Per-grid shard-fabric overhead, recorded by the parent process while
+/// it runs [`collect_sharded`] and finished by
+/// [`note_shard_fold_ns`] once the caller folds the merged task vector.
+#[derive(Debug, Clone, Default)]
+pub struct ShardGridStats {
+    /// Grid sequence number this entry describes.
+    pub grid: usize,
+    /// Worker process count.
+    pub shards: usize,
+    /// Nanoseconds spent spawning the worker processes.
+    pub spawn_ns: u64,
+    /// Per-worker wall time: spawn of the fleet to that worker's exit,
+    /// indexed by shard. Workers run concurrently, so these overlap.
+    pub worker_wall_ns: Vec<u64>,
+    /// Tasks each worker reported.
+    pub worker_tasks: Vec<u64>,
+    /// Nanoseconds the parent spent decoding and re-assembling the task
+    /// vector from worker stdout.
+    pub merge_ns: u64,
+    /// Nanoseconds the caller spent folding the merged vector into final
+    /// statistics (reported via [`note_shard_fold_ns`]; 0 until then).
+    pub fold_ns: u64,
+}
+
+static SHARD_STATS: Mutex<Vec<ShardGridStats>> = Mutex::new(Vec::new());
+
+/// Snapshot the per-grid shard-fabric statistics (empty unless this
+/// process acted as a shard parent).
+pub fn shard_stats() -> Vec<ShardGridStats> {
+    SHARD_STATS.lock().expect("no poisoning").clone()
+}
+
+/// Attribute `ns` of post-merge fold work to grid `grid_seq`'s fabric
+/// stats. No-op when the grid was never sharded in this process.
+pub fn note_shard_fold_ns(grid_seq: usize, ns: u64) {
+    let mut stats = SHARD_STATS.lock().expect("no poisoning");
+    if let Some(g) = stats.iter_mut().find(|g| g.grid == grid_seq) {
+        g.fold_ns += ns;
+    }
+}
+
 /// Parent side of the shard fabric: spawn `shards` copies of the current
 /// executable for grid `grid_seq`, wait for all of them, and re-assemble
 /// the full task vector from their `shardtask` lines. Every task must
@@ -248,6 +399,7 @@ pub fn collect_sharded(
     mut on_extra: impl FnMut(&str),
 ) -> Vec<Vec<f64>> {
     let exe = std::env::current_exe().expect("current_exe for shard fan-out");
+    let fleet_start = Instant::now();
     let children: Vec<std::process::Child> = (0..shards)
         .map(|i| {
             let mut cmd = std::process::Command::new(&exe);
@@ -263,16 +415,32 @@ pub fn collect_sharded(
                 .unwrap_or_else(|e| panic!("spawn shard worker {i}: {e}"))
         })
         .collect();
+    let mut grid_stats = ShardGridStats {
+        grid: grid_seq,
+        shards,
+        spawn_ns: fleet_start.elapsed().as_nanos() as u64,
+        worker_wall_ns: Vec::with_capacity(shards),
+        worker_tasks: vec![0; shards],
+        merge_ns: 0,
+        fold_ns: 0,
+    };
     let mut out: Vec<Option<Vec<f64>>> = vec![None; total];
     for (i, child) in children.into_iter().enumerate() {
         let o = child
             .wait_with_output()
             .unwrap_or_else(|e| panic!("wait for shard worker {i}: {e}"));
+        // Workers run concurrently but are reaped in order, so each wall
+        // figure is fleet start → that worker's reap: an upper bound that
+        // is exact for the slowest-so-far worker.
+        grid_stats
+            .worker_wall_ns
+            .push(fleet_start.elapsed().as_nanos() as u64);
         assert!(
             o.status.success(),
             "shard worker {i} failed with {:?}",
             o.status.code()
         );
+        let merge_start = Instant::now();
         for line in String::from_utf8_lossy(&o.stdout).lines() {
             let Some((t, vals)) = decode_task_line(line) else {
                 on_extra(line);
@@ -287,8 +455,11 @@ pub fn collect_sharded(
             assert_eq!(vals.len(), width, "malformed shard line: {line}");
             assert!(out[t].is_none(), "duplicate shard task {t}");
             out[t] = Some(vals);
+            grid_stats.worker_tasks[i] += 1;
         }
+        grid_stats.merge_ns += merge_start.elapsed().as_nanos() as u64;
     }
+    SHARD_STATS.lock().expect("no poisoning").push(grid_stats);
     out.into_iter()
         .enumerate()
         .map(|(t, o)| o.unwrap_or_else(|| panic!("shard task {t} never arrived")))
@@ -374,6 +545,40 @@ mod tests {
         let a = next_grid_seq();
         let b = next_grid_seq();
         assert!(b > a);
+    }
+
+    #[test]
+    fn fairness_counters_accumulate() {
+        // EXEC_STATS is process-global and other tests run pools
+        // concurrently, so assert on deltas, not absolutes.
+        let sum_tasks = || {
+            let s = executor_stats();
+            (s.pools, s.workers.iter().map(|w| w.tasks).sum::<u64>())
+        };
+        let (pools0, tasks0) = sum_tasks();
+        run_indexed(23, 3, |_| std::hint::spin_loop());
+        let (pools1, tasks1) = sum_tasks();
+        assert!(pools1 > pools0, "pool run must be counted");
+        assert!(tasks1 >= tasks0 + 23, "all 23 tasks counted across workers");
+        let s = executor_stats();
+        assert!(s.workers.len() >= 3, "three workers leave three slots");
+        for w in &s.workers {
+            // Hit + missed steals only happen after a span drain; a worker
+            // that stole must have drained its own span at least once.
+            if w.steals_hit + w.steals_missed > 0 {
+                assert!(w.span_drains > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn shard_fold_note_ignores_unknown_grid() {
+        // No parent ran in-process: the note must be a no-op, not a panic.
+        note_shard_fold_ns(usize::MAX, 1);
+        assert!(
+            shard_stats().iter().all(|g| g.grid != usize::MAX),
+            "unknown grid not materialised"
+        );
     }
 
     #[test]

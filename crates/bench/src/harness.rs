@@ -72,17 +72,25 @@ pub struct BenchArgs {
     /// Hidden `--shard-grid <g>`: the grid sequence number the worker
     /// was spawned for; travels with `--shard-worker`.
     pub shard_grid: Option<usize>,
+    /// `--profile <path>`: enable the host-side zone profiler
+    /// ([`sais_prof`]) for the whole run and write the
+    /// `sais-hostprof/v1` report there (plus collapsed stacks next to it
+    /// and a top-N self-time table on stderr). Bit-inert: the profiler
+    /// only reads host clocks, so every CSV and JSONL is byte-identical
+    /// with or without it — CI pins this.
+    pub profile: Option<PathBuf>,
 }
 
 const BENCH_USAGE: &str =
-    "usage: <figure-bin> [--quick | --full] [--shards <n>] [--trace <path>] [--metrics <path>] [--analyze <dir>] [--timeseries <path>]\n\
+    "usage: <figure-bin> [--quick | --full] [--shards <n>] [--trace <path>] [--metrics <path>] [--analyze <dir>] [--timeseries <path>] [--profile <path>]\n\
   --quick           64 MB files, 1 seed (fast smoke run)\n\
   --full            1 GB files, 3 seeds (paper scale)\n\
   --shards <n>      fan sweep grids out over n worker subprocesses (default 1)\n\
   --trace <path>    write a Perfetto trace of the demo scenario\n\
   --metrics <path>  write a metric snapshot (.csv => CSV, else JSON)\n\
   --analyze <dir>   write trace-analysis reports (blame/diff/timeline/forensics)\n\
-  --timeseries <path>  write the windowed telemetry series as sais-timeseries/v1 JSONL";
+  --timeseries <path>  write the windowed telemetry series as sais-timeseries/v1 JSONL\n\
+  --profile <path>  write the host-side zone profile as sais-hostprof/v1 JSON (+ .folded stacks)";
 
 impl BenchArgs {
     /// Parse `std::env::args()`, exiting with code 2 and a usage message on
@@ -92,6 +100,12 @@ impl BenchArgs {
             Ok(args) => {
                 args.install_shard_plan();
                 crate::timeseries::set_collection_active(args.timeseries.is_some());
+                // Turn the zone profiler on before any simulation runs so
+                // the whole figure is covered. Shard workers never see
+                // `--profile` (it is not forwarded in `worker_args`), so
+                // they run unprofiled — the parent's report covers its own
+                // process: fabric spawn/merge/fold plus any local grids.
+                sais_prof::set_enabled(args.profile.is_some());
                 args
             }
             Err(msg) => {
@@ -146,6 +160,7 @@ impl BenchArgs {
             shards: 1,
             shard_worker: None,
             shard_grid: None,
+            profile: None,
         };
         let positive = |flag: &str, v: Option<String>| -> Result<usize, String> {
             let v = v.ok_or_else(|| format!("`{flag}` requires a count argument"))?;
@@ -199,6 +214,10 @@ impl BenchArgs {
                     let path = it.next().ok_or("`--timeseries` requires a path argument")?;
                     out.timeseries = Some(PathBuf::from(path));
                 }
+                "--profile" => {
+                    let path = it.next().ok_or("`--profile` requires a path argument")?;
+                    out.profile = Some(PathBuf::from(path));
+                }
                 other => return Err(format!("unknown argument `{other}`")),
             }
         }
@@ -232,9 +251,11 @@ impl BenchArgs {
             write_observability(self.trace.as_deref(), self.metrics.as_deref());
         }
         if let Some(path) = &self.timeseries {
+            sais_prof::zone!("export.timeseries");
             crate::timeseries::write_timeseries(path);
         }
         if let Some(dir) = &self.analyze {
+            sais_prof::zone!("export.analyze");
             let a = crate::analysis::analyze_demo(
                 PolicyChoice::RoundRobin,
                 PolicyChoice::SourceAware,
@@ -248,6 +269,10 @@ impl BenchArgs {
                 }
                 Err(e) => eprintln!("warning: could not write reports to {}: {e}", dir.display()),
             }
+        }
+        // Last, so the profile captures every export zone above.
+        if let Some(path) = &self.profile {
+            crate::profile::write_profile(path);
         }
     }
 }
@@ -271,12 +296,14 @@ pub fn write_observability(trace: Option<&Path>, metrics: Option<&Path>) {
     let (run, cluster) = observability_demo_config().run_full();
     warn_span_drops(cluster.recorder());
     if let Some(path) = trace {
+        sais_prof::zone!("export.trace");
         match sais_obs::perfetto::write_chrome_json(cluster.recorder(), path) {
             Ok(()) => eprintln!("[trace] {}", path.display()),
             Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
         }
     }
     if let Some(path) = metrics {
+        sais_prof::zone!("export.metrics");
         let snap = cluster.snapshot_metrics(run.wall_time);
         let body = if path.extension().is_some_and(|e| e == "csv") {
             snap.to_csv()
@@ -609,6 +636,7 @@ impl Sweep {
         // The deterministic fold: fixed (cell, seed) index order, so the
         // float summation — and every figure CSV — is bit-identical no
         // matter which thread, worker process, or steal path ran what.
+        let fold_start = std::time::Instant::now();
         let mut out = Vec::with_capacity(cells.len());
         for ci in 0..cells.len() {
             let mut base = CellStats::default();
@@ -620,6 +648,9 @@ impl Sweep {
             }
             out.push((base, cand));
         }
+        // Attribute the parent-side fold to this grid's fabric stats
+        // (no-op when the grid ran in-process).
+        executor::note_shard_fold_ns(grid_seq, fold_start.elapsed().as_nanos() as u64);
         out
     }
 
@@ -658,6 +689,7 @@ pub fn emit(name: &str, table: &Table) {
     ) {
         return;
     }
+    sais_prof::zone!("export.csv");
     let (csv, human) = emit_streams(table);
     eprintln!("{human}");
     print!("{csv}");
@@ -727,6 +759,20 @@ mod tests {
         assert_eq!(a.timeseries.as_deref(), Some(Path::new("ts.jsonl")));
         let err = parse(&["--timeseries"]).unwrap_err();
         assert!(err.contains("path"), "{err}");
+    }
+
+    #[test]
+    fn bench_args_profile_takes_a_path() {
+        assert_eq!(parse(&[]).unwrap().profile, None);
+        let a = parse(&["--quick", "--profile", "prof.json"]).unwrap();
+        assert_eq!(a.profile.as_deref(), Some(Path::new("prof.json")));
+        let err = parse(&["--profile"]).unwrap_err();
+        assert!(err.contains("path"), "{err}");
+        assert!(
+            parse(&["--profile", "--quick"]).unwrap().profile.as_deref()
+                == Some(Path::new("--quick")),
+            "next token is consumed as the path, flag-lookalike or not"
+        );
     }
 
     #[test]

@@ -21,6 +21,7 @@ pub mod executor;
 pub mod figures;
 pub mod harness;
 pub mod perf;
+pub mod profile;
 pub mod timeseries;
 
 pub use harness::{BenchArgs, Scale, Sweep};

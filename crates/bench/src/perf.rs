@@ -19,6 +19,7 @@
 
 use sais_core::scenario::{FaultPlan, IoDirection, ObsConfig, PolicyChoice, ScenarioConfig};
 use sais_obs::json::JsonValue;
+use sais_prof::{NUM_PHASES, PHASES};
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 
@@ -60,6 +61,12 @@ pub struct PerfResult {
     pub window_rotations: u64,
     /// Windows folded through the streaming detectors (deterministic).
     pub detector_evals: u64,
+    /// Zone self-time per top-level phase ([`PHASES`] order, ns) for one
+    /// *profiled* run of the scenario — measured on a separate rep so the
+    /// timed best-of-N stays instrumentation-free. A host-timing
+    /// quantity: comparable across code changes, but noisy like
+    /// `wall_secs` is.
+    pub phases: [u64; NUM_PHASES],
 }
 
 /// The canonical scenarios the baseline tracks. Names are stable; the
@@ -117,6 +124,10 @@ pub fn canonical_scenarios() -> Vec<(&'static str, ScenarioConfig)> {
 /// Run `cfg` `reps` times and keep the fastest.
 pub fn measure(name: &'static str, cfg: &ScenarioConfig, reps: u32) -> PerfResult {
     assert!(reps > 0);
+    // The timed reps run unprofiled even under `--profile`: the baseline
+    // must measure the engine, not the instrumentation (restored below).
+    let was_profiling = sais_prof::enabled();
+    sais_prof::set_enabled(false);
     let mut best_secs = f64::INFINITY;
     let mut events = 0;
     let mut bw = 0.0;
@@ -148,6 +159,19 @@ pub fn measure(name: &'static str, cfg: &ScenarioConfig, reps: u32) -> PerfResul
         window_rotations = m.window_rotations;
         detector_evals = m.detector_evals;
     }
+    // Phase attribution runs once more with the zone profiler on — a
+    // separate rep so the timed loop above never pays for (or varies
+    // with) instrumentation. The global enable is restored afterwards, so
+    // under `--profile` the rest of the process keeps recording.
+    sais_prof::set_enabled(true);
+    let before = sais_prof::phase_snapshot();
+    let _ = cfg.clone().run();
+    let after = sais_prof::phase_snapshot();
+    sais_prof::set_enabled(was_profiling);
+    let mut phases = [0u64; NUM_PHASES];
+    for (p, (a, b)) in phases.iter_mut().zip(after.iter().zip(before)) {
+        *p = a.saturating_sub(b);
+    }
     PerfResult {
         name,
         events,
@@ -163,6 +187,7 @@ pub fn measure(name: &'static str, cfg: &ScenarioConfig, reps: u32) -> PerfResul
         dispatch_batch_hist,
         window_rotations,
         detector_evals,
+        phases,
     }
 }
 
@@ -199,13 +224,27 @@ pub fn baseline_path() -> PathBuf {
         .join("BENCH_engine.json")
 }
 
+/// Render one scenario's phase self-times as a compact JSON object in
+/// [`PHASES`] order.
+fn phases_json(phases: &[u64; NUM_PHASES]) -> String {
+    let body = PHASES
+        .iter()
+        .zip(phases)
+        .map(|(p, ns)| format!("\"{p}\": {ns}"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!("{{{body}}}")
+}
+
 /// Serialize results in the committed-baseline format (no external JSON
 /// dependency; one object per scenario, one line each). The slab,
-/// batch-dispatch and telemetry (`window_rotations`, `detector_evals`)
-/// counters are additive `v1` fields: the line-oriented reader ignores
+/// batch-dispatch, telemetry (`window_rotations`, `detector_evals`) and
+/// phase-attribution counters are additive `v1` fields, and the
+/// `"executor"` object is an additive non-scenario line: the
+/// line-oriented reader only parses `{"name":`-prefixed lines and ignores
 /// keys it does not know, so old baselines parse under the new code and
 /// vice versa — the schema tag stays `sais-perf-baseline/v1`.
-pub fn to_json(results: &[PerfResult]) -> String {
+pub fn to_json(results: &[PerfResult], exec: &crate::executor::ExecutorStats) -> String {
     let mut s = String::from("{\n  \"schema\": \"sais-perf-baseline/v1\",\n  \"scenarios\": [\n");
     for (i, r) in results.iter().enumerate() {
         let hist = r
@@ -215,7 +254,7 @@ pub fn to_json(results: &[PerfResult]) -> String {
             .collect::<Vec<_>>()
             .join(", ");
         s.push_str(&format!(
-            "    {{\"name\": \"{}\", \"events\": {}, \"wall_secs\": {:.4}, \"events_per_sec\": {:.0}, \"cascades\": {}, \"peak_buckets\": {}, \"strip_slab_high_water\": {}, \"read_slab_high_water\": {}, \"dispatch_batches\": {}, \"dispatch_max_batch\": {}, \"dispatch_batch_hist\": [{}], \"window_rotations\": {}, \"detector_evals\": {}}}{}\n",
+            "    {{\"name\": \"{}\", \"events\": {}, \"wall_secs\": {:.4}, \"events_per_sec\": {:.0}, \"cascades\": {}, \"peak_buckets\": {}, \"strip_slab_high_water\": {}, \"read_slab_high_water\": {}, \"dispatch_batches\": {}, \"dispatch_max_batch\": {}, \"dispatch_batch_hist\": [{}], \"window_rotations\": {}, \"detector_evals\": {}, \"phases\": {}}}{}\n",
             r.name,
             r.events,
             r.wall_secs,
@@ -229,10 +268,23 @@ pub fn to_json(results: &[PerfResult]) -> String {
             hist,
             r.window_rotations,
             r.detector_evals,
+            phases_json(&r.phases),
             if i + 1 < results.len() { "," } else { "" }
         ));
     }
-    s.push_str("  ]\n}\n");
+    s.push_str("  ],\n  \"executor\": {\"pools\": ");
+    s.push_str(&exec.pools.to_string());
+    s.push_str(", \"workers\": [");
+    for (i, w) in exec.workers.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        s.push_str(&format!(
+            "{{\"tasks\": {}, \"steals_hit\": {}, \"steals_missed\": {}, \"span_drains\": {}, \"busy_ns\": {}, \"idle_ns\": {}}}",
+            w.tasks, w.steals_hit, w.steals_missed, w.span_drains, w.busy_ns, w.idle_ns
+        ));
+    }
+    s.push_str("]}\n}\n");
     s
 }
 
@@ -284,18 +336,84 @@ pub fn history_path() -> PathBuf {
     }
 }
 
+/// The checkout's commit hash, for run provenance in the history file.
+/// Reads `.git/HEAD` directly (no subprocess): a detached HEAD is the
+/// hash itself, a symbolic ref is chased one level into `refs/…`, with
+/// `packed-refs` as the fallback for packed branches. `GITHUB_SHA` covers
+/// CI checkouts without a readable `.git`; `"unknown"` means none of the
+/// above — the gate still works, the provenance line just says so.
+pub fn git_revision() -> String {
+    let repo = baseline_path();
+    let git = repo.parent().map(|p| p.join(".git"));
+    let head = git
+        .as_ref()
+        .and_then(|g| std::fs::read_to_string(g.join("HEAD")).ok());
+    if let (Some(git), Some(head)) = (git, head) {
+        let head = head.trim();
+        if let Some(refname) = head.strip_prefix("ref: ") {
+            if let Ok(hash) = std::fs::read_to_string(git.join(refname)) {
+                return short_rev(hash.trim());
+            }
+            if let Ok(packed) = std::fs::read_to_string(git.join("packed-refs")) {
+                for line in packed.lines() {
+                    if let Some(hash) = line.strip_suffix(refname) {
+                        return short_rev(hash.trim());
+                    }
+                }
+            }
+        } else if !head.is_empty() {
+            return short_rev(head);
+        }
+    }
+    match std::env::var("GITHUB_SHA") {
+        Ok(sha) if !sha.is_empty() => short_rev(&sha),
+        _ => "unknown".to_string(),
+    }
+}
+
+fn short_rev(hash: &str) -> String {
+    hash.chars().take(12).collect()
+}
+
+/// Format a unix-millisecond timestamp as a `YYYY-MM-DD` UTC date
+/// (civil-from-days; no external time dependency).
+pub fn utc_date(unix_ms: u64) -> String {
+    let days = (unix_ms / 86_400_000) as i64;
+    // Howard Hinnant's civil_from_days, shifted to the 2000-03-01 era.
+    let z = days + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = if m <= 2 { y + 1 } else { y };
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
 /// One `BENCH_history.jsonl` line (newline-terminated): a self-contained
-/// JSON object recording every scenario of one measurement run.
+/// JSON object recording every scenario of one measurement run, stamped
+/// with the commit it measured (`git_rev`) so a regression points back to
+/// the change that set the best. `git_rev` and per-scenario `phases` are
+/// additive `v1` fields — old lines without them still parse.
 pub fn history_line(results: &[PerfResult], unix_ms: u64) -> String {
-    let mut s =
-        format!("{{\"schema\": \"{HISTORY_SCHEMA}\", \"unix_ms\": {unix_ms}, \"scenarios\": [");
+    let mut s = format!(
+        "{{\"schema\": \"{HISTORY_SCHEMA}\", \"unix_ms\": {unix_ms}, \"git_rev\": \"{}\", \"scenarios\": [",
+        git_revision()
+    );
     for (i, r) in results.iter().enumerate() {
         if i > 0 {
             s.push_str(", ");
         }
         s.push_str(&format!(
-            "{{\"name\": \"{}\", \"events\": {}, \"wall_secs\": {:.4}, \"events_per_sec\": {:.0}}}",
-            r.name, r.events, r.wall_secs, r.events_per_sec
+            "{{\"name\": \"{}\", \"events\": {}, \"wall_secs\": {:.4}, \"events_per_sec\": {:.0}, \"phases\": {}}}",
+            r.name,
+            r.events,
+            r.wall_secs,
+            r.events_per_sec,
+            phases_json(&r.phases)
         ));
     }
     s.push_str("]}\n");
@@ -312,15 +430,33 @@ pub fn append_history(path: &Path, results: &[PerfResult], unix_ms: u64) -> std:
     f.write_all(history_line(results, unix_ms).as_bytes())
 }
 
-/// Best recorded events/sec per scenario over the whole trajectory.
-/// Lines that fail to parse or carry a foreign schema are skipped, so a
-/// half-written final line cannot poison the gate. Empty when the file is
-/// missing or holds no usable runs.
-pub fn history_best(path: &Path) -> Vec<(String, f64)> {
+/// The best recorded run of one scenario, with the provenance of the
+/// history line that set it — what a regression message points back to.
+#[derive(Debug, Clone)]
+pub struct BestRun {
+    /// Scenario name.
+    pub name: String,
+    /// Best events/sec ever recorded for the scenario.
+    pub events_per_sec: f64,
+    /// Timestamp of the run that set the best (0 when the line had none).
+    pub unix_ms: u64,
+    /// Commit of the run that set the best (`"unknown"` for old lines).
+    pub git_rev: String,
+    /// Phase self-times of the best run ([`PHASES`] order, ns); `None`
+    /// for lines predating phase attribution.
+    pub phases: Option<[u64; NUM_PHASES]>,
+}
+
+/// Best recorded events/sec per scenario over the whole trajectory, each
+/// carrying the provenance of the line that set it. Lines that fail to
+/// parse or carry a foreign schema are skipped, so a half-written final
+/// line cannot poison the gate. Empty when the file is missing or holds
+/// no usable runs.
+pub fn history_best(path: &Path) -> Vec<BestRun> {
     let Ok(text) = std::fs::read_to_string(path) else {
         return Vec::new();
     };
-    let mut best: Vec<(String, f64)> = Vec::new();
+    let mut best: Vec<BestRun> = Vec::new();
     for line in text.lines() {
         let Ok(doc) = JsonValue::parse(line) else {
             continue;
@@ -328,6 +464,12 @@ pub fn history_best(path: &Path) -> Vec<(String, f64)> {
         if doc.get("schema").and_then(JsonValue::as_str) != Some(HISTORY_SCHEMA) {
             continue;
         }
+        let unix_ms = doc.get("unix_ms").and_then(JsonValue::as_u64).unwrap_or(0);
+        let git_rev = doc
+            .get("git_rev")
+            .and_then(JsonValue::as_str)
+            .unwrap_or("unknown")
+            .to_string();
         let Some(scenarios) = doc.get("scenarios").and_then(JsonValue::as_array) else {
             continue;
         };
@@ -338,9 +480,32 @@ pub fn history_best(path: &Path) -> Vec<(String, f64)> {
             ) else {
                 continue;
             };
-            match best.iter_mut().find(|(n, _)| n == name) {
-                Some((_, b)) => *b = b.max(eps),
-                None => best.push((name.to_string(), eps)),
+            let phases = sc.get("phases").map(|obj| {
+                let mut out = [0u64; NUM_PHASES];
+                for (i, p) in PHASES.iter().enumerate() {
+                    out[i] = obj.get(p).and_then(JsonValue::as_u64).unwrap_or(0);
+                }
+                out
+            });
+            match best.iter_mut().find(|b| b.name == name) {
+                Some(b) => {
+                    if eps > b.events_per_sec {
+                        *b = BestRun {
+                            name: name.to_string(),
+                            events_per_sec: eps,
+                            unix_ms,
+                            git_rev: git_rev.clone(),
+                            phases,
+                        };
+                    }
+                }
+                None => best.push(BestRun {
+                    name: name.to_string(),
+                    events_per_sec: eps,
+                    unix_ms,
+                    git_rev: git_rev.clone(),
+                    phases,
+                }),
             }
         }
     }
@@ -358,9 +523,13 @@ pub struct HistoryComparison {
 
 /// Compare fresh results against the best recorded run per scenario.
 /// Scenarios with no history pass vacuously (first run seeds the file).
+/// A failing scenario's verdict carries the best run's provenance
+/// (date + commit) and, when both runs recorded phase attribution, a
+/// per-phase self-time diff naming the worst-moved phase — the first
+/// question after "it regressed" is "where", and the gate answers it.
 pub fn compare_to_best(
     results: &[PerfResult],
-    best: &[(String, f64)],
+    best: &[BestRun],
     tolerance: f64,
 ) -> HistoryComparison {
     let mut out = HistoryComparison {
@@ -368,33 +537,81 @@ pub fn compare_to_best(
         regressed: false,
     };
     for r in results {
-        let line = match best.iter().find(|(n, _)| n == r.name) {
-            Some((_, b)) => {
-                let rel = r.events_per_sec / b - 1.0;
+        match best.iter().find(|b| b.name == r.name) {
+            Some(b) => {
+                let rel = r.events_per_sec / b.events_per_sec - 1.0;
                 let fail = rel < -tolerance;
                 out.regressed |= fail;
-                format!(
+                out.lines.push(format!(
                     "{:18} {:>+7.1}% vs best {:.0} events/s{}",
                     r.name,
                     rel * 100.0,
-                    b,
+                    b.events_per_sec,
                     if fail { "  REGRESSION" } else { "" }
-                )
+                ));
+                if fail {
+                    out.lines.push(format!(
+                        "    best run: {} UTC, rev {}",
+                        utc_date(b.unix_ms),
+                        b.git_rev
+                    ));
+                    out.lines.extend(phase_attribution(&r.phases, b));
+                }
             }
-            None => format!(
+            None => out.lines.push(format!(
                 "{:18} no history yet ({:.0} events/s)",
                 r.name, r.events_per_sec
-            ),
-        };
-        out.lines.push(line);
+            )),
+        }
     }
     out
+}
+
+/// Per-phase diff lines for one regressed scenario: fresh vs best-run
+/// self-times, the largest absolute mover tagged `<-- worst-moved`.
+fn phase_attribution(fresh: &[u64; NUM_PHASES], best: &BestRun) -> Vec<String> {
+    let Some(bp) = &best.phases else {
+        return vec!["    (best run predates phase attribution — no per-phase diff)".to_string()];
+    };
+    let deltas: Vec<i64> = fresh
+        .iter()
+        .zip(bp)
+        .map(|(f, b)| *f as i64 - *b as i64)
+        .collect();
+    let worst = deltas
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, d)| d.unsigned_abs())
+        .map(|(i, _)| i)
+        .expect("NUM_PHASES > 0");
+    PHASES
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            format!(
+                "    phase {:6} {:>12} -> {:>12} ns/run ({:+}){}",
+                p,
+                bp[i],
+                fresh[i],
+                deltas[i],
+                if i == worst { "  <-- worst-moved" } else { "" }
+            )
+        })
+        .collect()
 }
 
 /// Fabricated results for every canonical scenario at a uniform
 /// events/sec — the test hook behind `SAIS_PERF_SYNTHETIC`, letting the
 /// gate's exit-code contract be exercised without minutes of measurement.
+/// Phases scale with the rate (`phases[i] = eps × (i+1)` ns) so two
+/// synthetic runs at different rates produce a non-trivial attribution
+/// diff — which makes the gate's worst-moved-phase output testable from
+/// a subprocess too.
 pub fn synthetic_results(events_per_sec: f64) -> Vec<PerfResult> {
+    let mut phases = [0u64; NUM_PHASES];
+    for (i, p) in phases.iter_mut().enumerate() {
+        *p = events_per_sec as u64 * (i as u64 + 1);
+    }
     canonical_scenarios()
         .iter()
         .map(|(name, _)| PerfResult {
@@ -412,6 +629,7 @@ pub fn synthetic_results(events_per_sec: f64) -> Vec<PerfResult> {
             dispatch_batch_hist: Vec::new(),
             window_rotations: 0,
             detector_evals: 0,
+            phases,
         })
         .collect()
 }
@@ -438,6 +656,7 @@ mod tests {
                 dispatch_batch_hist: vec![10, 20, 30],
                 window_rotations: 128,
                 detector_evals: 128,
+                phases: [600, 500, 400, 300, 200, 100],
             },
             PerfResult {
                 name: "write_3gig_16srv",
@@ -454,9 +673,21 @@ mod tests {
                 dispatch_batch_hist: vec![99],
                 window_rotations: 0,
                 detector_evals: 0,
+                phases: [0; NUM_PHASES],
             },
         ];
-        let json = to_json(&results);
+        let exec = crate::executor::ExecutorStats {
+            pools: 2,
+            workers: vec![crate::executor::WorkerCounters {
+                tasks: 7,
+                steals_hit: 1,
+                steals_missed: 2,
+                span_drains: 2,
+                busy_ns: 5000,
+                idle_ns: 1000,
+            }],
+        };
+        let json = to_json(&results, &exec);
         // Parse via the same line-oriented reader the regression test uses.
         let mut parsed = Vec::new();
         for line in json.lines() {
@@ -479,6 +710,20 @@ mod tests {
         assert!(parsed[0].contains("\"window_rotations\": 128"));
         assert!(parsed[0].contains("\"detector_evals\": 128"));
         assert!(parsed[1].contains("\"window_rotations\": 0"));
+        assert!(parsed[0].contains("\"phases\": {\"engine\": 600"));
+        // The executor object is a non-scenario line: present in the
+        // document, invisible to the line-oriented reader above.
+        assert!(json.contains("\"executor\": {\"pools\": 2"));
+        assert!(json.contains("\"steals_missed\": 2"));
+        // The whole document is well-formed JSON for any spec-compliant
+        // reader, not just the line-oriented one.
+        let doc = JsonValue::parse(&json).expect("baseline document parses");
+        assert_eq!(
+            doc.get("executor")
+                .and_then(|e| e.get("pools"))
+                .and_then(JsonValue::as_u64),
+            Some(2)
+        );
     }
 
     #[test]
@@ -557,23 +802,90 @@ mod tests {
             .unwrap();
         let best = history_best(&path);
         assert_eq!(best.len(), canonical_scenarios().len());
-        for (name, eps) in &best {
-            assert_eq!(*eps, 55_000.0, "{name}: best of 40k/55k/50k");
+        for b in &best {
+            assert_eq!(
+                b.events_per_sec, 55_000.0,
+                "{}: best of 40k/55k/50k",
+                b.name
+            );
+            assert_eq!(
+                b.unix_ms, 2,
+                "provenance follows the line that set the best"
+            );
+            let phases = b.phases.expect("new lines carry phases");
+            assert_eq!(phases[0], 55_000, "engine phase of the 55k run");
         }
         let _ = std::fs::remove_file(&path);
     }
 
     #[test]
-    fn compare_gate_trips_only_beyond_tolerance() {
-        let best: Vec<(String, f64)> = canonical_scenarios()
+    fn history_best_tolerates_lines_without_provenance() {
+        // A pre-provenance line: no git_rev, no phases. Still usable.
+        let path = std::env::temp_dir().join(format!(
+            "sais_history_old_schema_{}.jsonl",
+            std::process::id()
+        ));
+        std::fs::write(
+            &path,
+            "{\"schema\": \"sais-perf-history/v1\", \"unix_ms\": 7, \"scenarios\": [{\"name\": \"read_3gig_48srv\", \"events\": 9, \"wall_secs\": 1.0, \"events_per_sec\": 9}]}\n",
+        )
+        .unwrap();
+        let best = history_best(&path);
+        assert_eq!(best.len(), 1);
+        assert_eq!(best[0].git_rev, "unknown");
+        assert_eq!(best[0].phases, None);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn utc_date_formats_known_timestamps() {
+        assert_eq!(utc_date(0), "1970-01-01");
+        // 2026-08-08 00:00:00 UTC.
+        assert_eq!(utc_date(1_786_147_200_000), "2026-08-08");
+        // Leap day.
+        assert_eq!(utc_date(1_709_164_800_000), "2024-02-29");
+    }
+
+    #[test]
+    fn git_revision_reads_this_checkout() {
+        // The repo this test runs in is a real checkout, so the revision
+        // must resolve to a short hex string (or "unknown" in a tarball).
+        let rev = git_revision();
+        assert!(!rev.is_empty());
+        assert!(rev.len() <= 12);
+        if rev != "unknown" {
+            assert!(rev.chars().all(|c| c.is_ascii_hexdigit()), "{rev}");
+        }
+    }
+
+    fn best_at(eps: f64) -> Vec<BestRun> {
+        let mut phases = [0u64; NUM_PHASES];
+        for (i, p) in phases.iter_mut().enumerate() {
+            *p = eps as u64 * (i as u64 + 1);
+        }
+        canonical_scenarios()
             .iter()
-            .map(|(n, _)| (n.to_string(), 100_000.0))
-            .collect();
+            .map(|(n, _)| BestRun {
+                name: n.to_string(),
+                events_per_sec: eps,
+                unix_ms: 1_786_147_200_000,
+                git_rev: "abc123def456".to_string(),
+                phases: Some(phases),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn compare_gate_trips_only_beyond_tolerance() {
+        let best = best_at(100_000.0);
         // 21% below best: regression.
         let bad = compare_to_best(&synthetic_results(79_000.0), &best, HISTORY_TOLERANCE);
         assert!(bad.regressed);
         assert!(
-            bad.lines.iter().all(|l| l.contains("REGRESSION")),
+            bad.lines
+                .iter()
+                .filter(|l| l.contains("vs best"))
+                .all(|l| l.contains("REGRESSION")),
             "{:?}",
             bad.lines
         );
@@ -584,5 +896,47 @@ mod tests {
         let fresh = compare_to_best(&synthetic_results(10.0), &[], HISTORY_TOLERANCE);
         assert!(!fresh.regressed);
         assert!(fresh.lines.iter().all(|l| l.contains("no history")));
+    }
+
+    #[test]
+    fn regression_verdict_carries_provenance_and_attribution() {
+        let best = best_at(100_000.0);
+        let bad = compare_to_best(&synthetic_results(79_000.0), &best, HISTORY_TOLERANCE);
+        let text = bad.lines.join("\n");
+        assert!(
+            text.contains("best run: 2026-08-08 UTC, rev abc123def456"),
+            "{text}"
+        );
+        // Synthetic phases are eps·(i+1), so the largest absolute mover
+        // is always the last phase.
+        let last = PHASES[NUM_PHASES - 1];
+        assert!(
+            text.contains(&format!("phase {last}"))
+                && text
+                    .lines()
+                    .any(|l| l.contains(&format!("phase {last}")) && l.contains("worst-moved")),
+            "{text}"
+        );
+        // Every phase gets a diff line per regressed scenario.
+        let per_scenario = PHASES.len();
+        let diff_lines = bad.lines.iter().filter(|l| l.contains("phase ")).count();
+        assert_eq!(diff_lines, per_scenario * canonical_scenarios().len());
+        // Passing comparisons stay terse: no attribution noise.
+        let ok = compare_to_best(&synthetic_results(81_000.0), &best, HISTORY_TOLERANCE);
+        assert!(!ok.lines.iter().any(|l| l.contains("worst-moved")));
+
+        // A best run without recorded phases degrades gracefully.
+        let mut old = best_at(100_000.0);
+        for b in &mut old {
+            b.phases = None;
+        }
+        let bad = compare_to_best(&synthetic_results(79_000.0), &old, HISTORY_TOLERANCE);
+        assert!(
+            bad.lines
+                .iter()
+                .any(|l| l.contains("predates phase attribution")),
+            "{:?}",
+            bad.lines
+        );
     }
 }

@@ -46,6 +46,12 @@ fn gate_passes_fresh_then_fails_synthetic_regression() {
     );
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("REGRESSION"), "{stderr}");
+    // The failure diagnostic names the best run's provenance and the
+    // per-phase attribution diff with its worst mover.
+    assert!(stderr.contains("best run:"), "{stderr}");
+    assert!(stderr.contains("rev "), "{stderr}");
+    assert!(stderr.contains("phase engine"), "{stderr}");
+    assert!(stderr.contains("worst-moved"), "{stderr}");
     // A 19% drop stays within the 20% tolerance.
     let out = run_gate(&history, "81000", &[]);
     assert!(

@@ -1329,19 +1329,43 @@ impl Model for Cluster {
     type Event = Ev;
 
     fn handle(&mut self, event: Ev, sched: &mut Scheduler<'_, Ev>) {
+        // Per-stage host-profiler zones (one branch each when profiling
+        // is off, bit-inert always): these are the `model.*` phase of the
+        // hostprof breakdown, nested under `engine.dispatch`.
         match event {
             Ev::Start => self.handle_start(sched),
-            Ev::Issue { client, proc } => self.handle_issue(client, proc, sched),
-            Ev::StripAtNic { strip } => self.handle_strip_at_nic(strip, sched),
+            Ev::Issue { client, proc } => {
+                sais_prof::zone!("model.issue");
+                self.handle_issue(client, proc, sched)
+            }
+            Ev::StripAtNic { strip } => {
+                sais_prof::zone!("model.strip_at_nic");
+                self.handle_strip_at_nic(strip, sched)
+            }
             Ev::HardIrq {
                 strip,
                 frames,
                 bytes,
-            } => self.handle_hard_irq(strip, frames, bytes, sched),
-            Ev::BatchReady { strip } => self.handle_batch_ready(strip, sched),
-            Ev::StripCopied { strip } => self.handle_strip_copied(strip, sched),
-            Ev::WriteAck { strip } => self.handle_write_ack(strip, sched),
-            Ev::ComputeDone { client, proc } => self.handle_compute_done(client, proc, sched),
+            } => {
+                sais_prof::zone!("model.hard_irq");
+                self.handle_hard_irq(strip, frames, bytes, sched)
+            }
+            Ev::BatchReady { strip } => {
+                sais_prof::zone!("model.batch_ready");
+                self.handle_batch_ready(strip, sched)
+            }
+            Ev::StripCopied { strip } => {
+                sais_prof::zone!("model.strip_copied");
+                self.handle_strip_copied(strip, sched)
+            }
+            Ev::WriteAck { strip } => {
+                sais_prof::zone!("model.write_ack");
+                self.handle_write_ack(strip, sched)
+            }
+            Ev::ComputeDone { client, proc } => {
+                sais_prof::zone!("model.compute_done");
+                self.handle_compute_done(client, proc, sched)
+            }
         }
     }
 }

@@ -153,6 +153,7 @@ impl MemorySystem {
     /// kept as the verification oracle; the property tests in
     /// `tests/props.rs` pin the equivalence on ranges of every shape.
     pub fn touch(&mut self, core: usize, range: AddrRange) -> AccessCounts {
+        sais_prof::zone!("mem.touch");
         assert!(core < self.caches.len(), "no such core: {core}");
         let line_size = self.params.line_size;
         let mut counts = AccessCounts {

@@ -340,6 +340,7 @@ pub fn simulate_transfer(
     faults: &PipeFaults,
     rng: &mut SimRng,
 ) -> TransferReport {
+    sais_prof::zone!("net.transfer");
     let mut snd = TcpSender::new(total, rto);
     let mut rcv = TcpReceiver::new();
     let mut now = SimTime::ZERO;

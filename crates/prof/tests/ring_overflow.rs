@@ -1,0 +1,56 @@
+//! The zone-ring overflow contract: a ring that fills while zones are
+//! still nested drops further samples — but *loudly*, counting every
+//! drop and warning once on stderr with the capacity knob, instead of
+//! silently truncating the profile (the same discipline as the flight
+//! recorder's span-drop warning). Own test file = own process: the ring
+//! capacity is read from the environment once per thread, and the global
+//! drop counter must start at zero.
+
+use sais_prof::{dropped_samples, report, set_enabled, set_thread_label, zone};
+
+#[test]
+fn ring_overflow_drops_are_counted_not_silent() {
+    // Cap the ring at 4 pending samples for threads created after this.
+    std::env::set_var(sais_prof::RING_CAP_ENV, "4");
+    set_enabled(true);
+    std::thread::spawn(|| {
+        set_thread_label("overflower");
+        // One top-level zone holding 10 completed children: the ring
+        // only drains at depth zero, so samples 5..10 overflow.
+        zone!("engine.outer");
+        for _ in 0..10 {
+            zone!("model.inner");
+        }
+    })
+    .join()
+    .unwrap();
+    set_enabled(false);
+
+    let dropped = dropped_samples();
+    assert!(
+        dropped >= 6,
+        "10 nested completions against a 4-slot ring must drop: {dropped}"
+    );
+    let r = report();
+    assert_eq!(
+        r.dropped_samples, dropped,
+        "the report carries the drop count"
+    );
+    // The surviving structure is still coherent: the tree exists, the
+    // retained samples were folded.
+    let t = r
+        .threads
+        .iter()
+        .find(|t| t.label == "overflower")
+        .expect("overflowing thread still reports");
+    let outer = &t.roots[0];
+    assert_eq!(outer.name, "engine.outer");
+    assert_eq!(outer.count, 1, "the depth-zero exit drains and records");
+    let inner = &outer.children[0];
+    assert_eq!(inner.name, "model.inner");
+    assert_eq!(
+        inner.count + dropped,
+        10,
+        "every completion is either folded or counted as dropped"
+    );
+}

@@ -1,0 +1,130 @@
+//! Live-recording tests of the zone profiler. One process-global enable
+//! flag means these tests share state — everything runs in a single test
+//! function, in a controlled order, rather than racing across the test
+//! harness's threads.
+
+use sais_prof::{report, set_enabled, set_thread_label, zone, PHASES};
+
+fn spin(ns: u64) {
+    let t0 = std::time::Instant::now();
+    while (t0.elapsed().as_nanos() as u64) < ns {
+        std::hint::black_box(0u64);
+    }
+}
+
+#[test]
+fn zones_record_nest_and_report() {
+    // Disabled: zones must record nothing (the one-branch fast path).
+    set_enabled(false);
+    {
+        zone!("engine.disabled_zone");
+        spin(50_000);
+    }
+    let r = report();
+    assert!(
+        r.threads
+            .iter()
+            .all(|t| t.roots.iter().all(|z| z.name != "engine.disabled_zone")),
+        "disabled zone must not appear: {:?}",
+        r.threads
+    );
+
+    // Enabled: a nested structure with measurable self times.
+    set_enabled(true);
+    set_thread_label("testmain");
+    for _ in 0..3 {
+        zone!("engine.dispatch");
+        spin(200_000);
+        {
+            zone!("mem.touch");
+            spin(100_000);
+        }
+        {
+            zone!("mem.touch");
+            spin(100_000);
+        }
+    }
+    set_enabled(false);
+
+    let r = report();
+    let t = r
+        .threads
+        .iter()
+        .find(|t| t.label == "testmain")
+        .expect("labelled thread reported");
+    let dispatch = t
+        .roots
+        .iter()
+        .find(|z| z.name == "engine.dispatch")
+        .expect("top-level zone recorded");
+    assert_eq!(dispatch.count, 3);
+    let touch = dispatch
+        .children
+        .iter()
+        .find(|z| z.name == "mem.touch")
+        .expect("nested zone is a child, not a root");
+    assert_eq!(touch.count, 6, "two visits per iteration");
+    assert!(
+        !t.roots.iter().any(|z| z.name == "mem.touch"),
+        "nested zone must not also appear top-level"
+    );
+    // Hierarchical accounting: the parent's self time excludes the
+    // children, and each visit ran at least its spin.
+    assert!(dispatch.total_ns >= 3 * 200_000 + 6 * 100_000);
+    assert!(touch.total_ns >= 6 * 100_000);
+    assert!(
+        dispatch.self_ns < dispatch.total_ns,
+        "self excludes children: self {} vs total {}",
+        dispatch.self_ns,
+        dispatch.total_ns
+    );
+    assert!(dispatch.max_ns >= dispatch.total_ns / 3);
+
+    // Phase partition: engine + mem self times sum to the root total.
+    let phases = r.phase_totals();
+    let engine = phases[PHASES.iter().position(|p| *p == "engine").unwrap()];
+    let mem = phases[PHASES.iter().position(|p| *p == "mem").unwrap()];
+    assert_eq!(engine, dispatch.self_ns);
+    assert_eq!(mem, touch.self_ns);
+    assert_eq!(engine + mem, dispatch.total_ns, "self times partition");
+
+    // Collapsed stacks carry the full path with integer weights.
+    let folded = r.collapsed();
+    assert!(folded.contains("testmain;engine.dispatch "));
+    assert!(folded.contains("testmain;engine.dispatch;mem.touch "));
+    for line in folded.lines() {
+        let (_, w) = line.rsplit_once(' ').expect("path SPACE weight: {line}");
+        w.parse::<u64>().expect("integer weight");
+    }
+
+    // The top table surfaces both zones.
+    let table = r.top_table(10);
+    assert!(table.contains("engine.dispatch"), "{table}");
+    assert!(table.contains("mem.touch"), "{table}");
+
+    // A worker thread's tree survives thread exit via the registry.
+    set_enabled(true);
+    std::thread::spawn(|| {
+        set_thread_label("worker-test");
+        zone!("model.issue");
+        spin(50_000);
+    })
+    .join()
+    .unwrap();
+    set_enabled(false);
+    let r = report();
+    let w = r
+        .threads
+        .iter()
+        .find(|t| t.label == "worker-test")
+        .expect("exited thread folded into the registry");
+    assert_eq!(w.roots[0].name, "model.issue");
+    assert_eq!(w.roots[0].count, 1);
+
+    // Reports are non-destructive: a second snapshot sees the same data.
+    let again = report();
+    assert!(again
+        .threads
+        .iter()
+        .any(|t| t.label == "worker-test" && t.roots[0].count == 1));
+}

@@ -258,10 +258,14 @@ impl<M: Model> Engine<M> {
             }
             debug_assert!(self.batch.is_empty(), "model left batch undrained");
             self.batch.clear();
-            let time = self
-                .queue
-                .pop_run(max_events - handled, &mut self.batch)
-                .expect("peeked entry vanished");
+            let time = {
+                // Wheel advance + cascade vs model work, separated for
+                // the host profiler (bit-inert: one branch when off).
+                sais_prof::zone!("engine.advance");
+                self.queue
+                    .pop_run(max_events - handled, &mut self.batch)
+                    .expect("peeked entry vanished")
+            };
             debug_assert!(time >= self.now, "event queue produced time regression");
             self.now = time;
             let n = self.batch.len() as u64;
@@ -270,7 +274,10 @@ impl<M: Model> Engine<M> {
                 now: time,
                 queue: &mut self.queue,
             };
-            self.model.handle_batch(self.batch.drain(..), &mut sched);
+            {
+                sais_prof::zone!("engine.dispatch");
+                self.model.handle_batch(self.batch.drain(..), &mut sched);
+            }
             self.dispatched += n;
             handled += n;
         }
@@ -291,7 +298,10 @@ impl<M: Model> Engine<M> {
             if handled >= max_events {
                 return RunOutcome::EventLimit;
             }
-            let (time, event) = self.queue.pop().expect("peeked entry vanished");
+            let (time, event) = {
+                sais_prof::zone!("engine.advance");
+                self.queue.pop().expect("peeked entry vanished")
+            };
             debug_assert!(time >= self.now, "event queue produced time regression");
             self.now = time;
             self.record_batch(1);
@@ -299,7 +309,10 @@ impl<M: Model> Engine<M> {
                 now: time,
                 queue: &mut self.queue,
             };
-            self.model.handle(event, &mut sched);
+            {
+                sais_prof::zone!("engine.dispatch");
+                self.model.handle(event, &mut sched);
+            }
             self.dispatched += 1;
             handled += 1;
         }
