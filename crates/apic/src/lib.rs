@@ -26,6 +26,7 @@ pub mod lapic;
 pub mod msg;
 pub mod policy;
 pub mod redirection;
+pub mod steer;
 
 pub use ioapic::IoApic;
 pub use lapic::LocalApic;

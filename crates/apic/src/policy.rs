@@ -152,17 +152,14 @@ pub enum Policy {
     },
 }
 
-/// Consecutive hint-less interrupts after which SAIs stops consulting its
-/// fallback for a flow and degrades it to RSS-style flow hashing. One or
-/// two missing hints are transient (a corrupt header, a control segment);
-/// a run of them means the hint channel for that flow is gone.
-pub const SAIS_DEGRADE_AFTER: u32 = 3;
+/// Consecutive hint-less interrupts at which SAIs stops consulting its
+/// fallback for a flow and degrades it to RSS-style flow hashing (see
+/// [`crate::steer`] for the pinned boundary semantics). Re-exported from
+/// the pure steering kernel so the live policy and the `sais-mck`
+/// explorer share one constant.
+pub const SAIS_DEGRADE_AFTER: u32 = crate::steer::DEGRADE_AFTER;
 
-/// The multiplicative mix an RSS indirection table effects: a stable
-/// per-flow core assignment.
-fn rss_spread(flow: u64, n: usize) -> CoreId {
-    (flow.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize % n
-}
+use crate::steer::rss_spread;
 
 impl Policy {
     /// SAIs with the conventional irqbalance fallback — the configuration
@@ -283,30 +280,31 @@ impl Policy {
                 hintless_streak,
                 degrades,
                 repromotes,
-            } => match ctx.hint {
-                Some(core) if core < n => {
-                    // A valid hint immediately re-arms source-aware
-                    // steering for this flow.
-                    if let Some(streak) = hintless_streak.remove(&ctx.flow) {
-                        if streak >= SAIS_DEGRADE_AFTER {
-                            *repromotes += 1;
-                        }
-                    }
-                    core
+            } => {
+                // The whole degradation/re-promotion state machine is the
+                // pure kernel in `crate::steer` — the same function the
+                // sais-mck explorer model-checks. This arm only persists
+                // the streak and resolves the abstract route to a core.
+                let hint = ctx.hint.filter(|&core| core < n);
+                let prev = hintless_streak.get(&ctx.flow).copied().unwrap_or(0);
+                let step = crate::steer::steer_step(prev, hint.is_some());
+                if step.degraded {
+                    *degrades += 1;
                 }
-                _ => {
-                    let streak = hintless_streak.entry(ctx.flow).or_insert(0);
-                    *streak = streak.saturating_add(1);
-                    if *streak >= SAIS_DEGRADE_AFTER {
-                        if *streak == SAIS_DEGRADE_AFTER {
-                            *degrades += 1;
-                        }
-                        rss_spread(ctx.flow, n)
-                    } else {
-                        fallback.select(ctx)
-                    }
+                if step.repromoted {
+                    *repromotes += 1;
                 }
-            },
+                if step.streak == 0 {
+                    hintless_streak.remove(&ctx.flow);
+                } else {
+                    hintless_streak.insert(ctx.flow, step.streak);
+                }
+                match step.route {
+                    crate::steer::Route::Hint => hint.expect("Hint route implies a valid hint"),
+                    crate::steer::Route::Rss => rss_spread(ctx.flow, n),
+                    crate::steer::Route::Fallback => fallback.select(ctx),
+                }
+            }
             Policy::Hybrid {
                 overload_threshold,
                 honoured,

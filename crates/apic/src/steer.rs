@@ -1,0 +1,224 @@
+//! The pure SAIs steering/degradation kernel.
+//!
+//! This is the per-flow state machine at the heart of the SAIs protocol:
+//! a flow whose hints stop arriving is detected by its run of hint-less
+//! interrupts and degraded to RSS-style flow hashing; a reappearing hint
+//! re-promotes it immediately. [`steer_step`] is the **single** transition
+//! function for that machine — side-effect free, no allocation, no clock.
+//! The live [`crate::Policy::SourceAware`] arm calls it per interrupt, and
+//! the `sais-mck` explicit-state explorer enumerates it exhaustively, so
+//! there is exactly one implementation of the semantics and the model
+//! checker checks the code that runs.
+//!
+//! ## Threshold semantics (pinned)
+//!
+//! With [`DEGRADE_AFTER`] = 3:
+//!
+//! * hint-less interrupts #1 and #2 of a streak are steered by the stock
+//!   fallback policy;
+//! * hint-less interrupt #3 — the one whose streak *reaches* the
+//!   threshold — is the **first RSS-steered** interrupt, and fires the
+//!   flow's `degraded` churn event exactly once;
+//! * further hint-less interrupts stay on the RSS path without re-firing
+//!   the churn event;
+//! * one valid hint re-promotes the flow (firing `repromoted` iff it had
+//!   degraded) and resets the streak to zero, so a fresh full streak of
+//!   [`DEGRADE_AFTER`] is required to degrade again. The reset happens on
+//!   the re-promoting interrupt itself, not on a later one — there is no
+//!   probation window.
+//!
+//! The boundary tests at the bottom of this file pin each bullet; the
+//! exhaustive explorer re-proves them over every interleaving of a
+//! bounded configuration.
+
+/// Consecutive hint-less interrupts at which SAIs stops consulting its
+/// fallback for a flow and degrades it to RSS-style flow hashing. The
+/// interrupt whose streak *reaches* this value is the first RSS-steered
+/// one. One or two missing hints are transient (a corrupt header, a
+/// control segment); a run of them means the hint channel for that flow
+/// is gone.
+pub const DEGRADE_AFTER: u32 = 3;
+
+/// Where one interrupt is steered, as the protocol sees it (the concrete
+/// core id is resolved by the caller: the hint core for [`Route::Hint`],
+/// [`rss_spread`] for [`Route::Rss`], the stock fallback policy for
+/// [`Route::Fallback`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Route {
+    /// Follow the packet's validated source hint.
+    Hint,
+    /// Hint missing/invalid, flow not (yet) degraded: stock fallback.
+    Fallback,
+    /// Flow degraded: stable RSS-style flow hashing.
+    Rss,
+}
+
+/// The outcome of one steering step for one flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SteerStep {
+    /// The flow's hint-less streak after this interrupt (0 after any
+    /// valid hint).
+    pub streak: u32,
+    /// Where this interrupt goes.
+    pub route: Route,
+    /// This step crossed the degrade threshold (fires exactly once per
+    /// degradation episode).
+    pub degraded: bool,
+    /// This step re-armed a flow that had degraded (fires exactly once
+    /// per episode, on the re-promoting hint).
+    pub repromoted: bool,
+}
+
+/// Advance one flow's steering state by one interrupt.
+///
+/// `streak` is the flow's hint-less streak *before* this interrupt
+/// (callers keep no entry for streak 0); `valid_hint` is whether the
+/// packet carried a hint naming an existing core. Pure: same inputs,
+/// same outputs, no other state consulted.
+#[inline]
+pub fn steer_step(streak: u32, valid_hint: bool) -> SteerStep {
+    if valid_hint {
+        SteerStep {
+            streak: 0,
+            route: Route::Hint,
+            degraded: false,
+            repromoted: streak >= DEGRADE_AFTER,
+        }
+    } else {
+        let streak = streak.saturating_add(1);
+        SteerStep {
+            streak,
+            route: if streak >= DEGRADE_AFTER {
+                Route::Rss
+            } else {
+                Route::Fallback
+            },
+            // Exactly the crossing step; a saturated or already-degraded
+            // streak must not re-fire the episode counter.
+            degraded: streak == DEGRADE_AFTER,
+            repromoted: false,
+        }
+    }
+}
+
+/// Whether a flow with the given hint-less streak is on the degraded RSS
+/// path.
+#[inline]
+pub fn is_degraded(streak: u32) -> bool {
+    streak >= DEGRADE_AFTER
+}
+
+/// The multiplicative mix an RSS indirection table effects: a stable
+/// per-flow core assignment over `n` cores.
+#[inline]
+pub fn rss_spread(flow: u64, n: usize) -> usize {
+    (flow.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize % n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drive a fresh flow through `seq` (true = valid hint) and return
+    /// the steps.
+    fn drive(seq: &[bool]) -> Vec<SteerStep> {
+        let mut streak = 0;
+        seq.iter()
+            .map(|&h| {
+                let s = steer_step(streak, h);
+                streak = s.streak;
+                s
+            })
+            .collect()
+    }
+
+    #[test]
+    fn threshold_boundary_third_hintless_is_first_rss() {
+        // The off-by-one audit, pinned: #1 and #2 are fallback-steered,
+        // #3 (streak == DEGRADE_AFTER) is RSS-steered and fires the
+        // degrade event, #4+ stay RSS without re-firing.
+        let steps = drive(&[false, false, false, false, false]);
+        assert_eq!(steps[0].route, Route::Fallback);
+        assert_eq!(steps[1].route, Route::Fallback);
+        assert_eq!(steps[2].route, Route::Rss);
+        assert!(steps[2].degraded, "degrade fires on the crossing step");
+        assert_eq!(steps[3].route, Route::Rss);
+        assert_eq!(steps[4].route, Route::Rss);
+        assert_eq!(
+            steps.iter().filter(|s| s.degraded).count(),
+            1,
+            "one degrade event per episode"
+        );
+        assert!(steps.iter().all(|s| !s.repromoted));
+    }
+
+    #[test]
+    fn streak_resets_on_the_hinted_interrupt_itself() {
+        // A sub-threshold wobble: two hint-less interrupts, then a valid
+        // hint. The hint is followed immediately (no probation), the
+        // streak resets to zero, and no churn fires in either direction.
+        let steps = drive(&[false, false, true, false, false]);
+        assert_eq!(steps[2].route, Route::Hint);
+        assert_eq!(steps[2].streak, 0);
+        assert!(!steps[2].degraded && !steps[2].repromoted);
+        // The reset is complete: the next two hint-less interrupts are
+        // fallback again, not a continuation of the old streak.
+        assert_eq!(steps[3].route, Route::Fallback);
+        assert_eq!(steps[4].route, Route::Fallback);
+    }
+
+    #[test]
+    fn repromotion_requires_full_fresh_streak_to_redegrade() {
+        // Degrade, re-promote, then count again: the re-promoted flow
+        // needs a full DEGRADE_AFTER run to degrade a second time.
+        let steps = drive(&[false, false, false, true, false, false, false]);
+        assert!(steps[2].degraded);
+        assert!(steps[3].repromoted, "valid hint re-arms a degraded flow");
+        assert_eq!(steps[3].route, Route::Hint);
+        assert_eq!(steps[4].route, Route::Fallback);
+        assert_eq!(steps[5].route, Route::Fallback);
+        assert_eq!(steps[6].route, Route::Rss);
+        assert!(steps[6].degraded, "second episode fires its own event");
+    }
+
+    #[test]
+    fn churn_alternates_degrade_then_repromote() {
+        // Structural safety the livelock property builds on: along any
+        // input sequence, degrade/repromote events strictly alternate
+        // starting with degrade.
+        let seq: Vec<bool> = (0..64).map(|i| (i / 5) % 2 == 1).collect();
+        let mut expect_degrade = true;
+        for s in drive(&seq) {
+            if s.degraded {
+                assert!(expect_degrade, "degrade while already degraded");
+                expect_degrade = false;
+            }
+            if s.repromoted {
+                assert!(!expect_degrade, "repromote while not degraded");
+                expect_degrade = true;
+            }
+        }
+    }
+
+    #[test]
+    fn saturated_streak_stays_degraded_without_refiring() {
+        let s = steer_step(u32::MAX, false);
+        assert_eq!(s.streak, u32::MAX);
+        assert_eq!(s.route, Route::Rss);
+        assert!(!s.degraded);
+        let s = steer_step(u32::MAX, true);
+        assert!(s.repromoted);
+        assert_eq!(s.streak, 0);
+    }
+
+    #[test]
+    fn rss_spread_is_stable_and_in_range() {
+        for n in 1..=8 {
+            for flow in 0..256u64 {
+                let c = rss_spread(flow, n);
+                assert!(c < n);
+                assert_eq!(c, rss_spread(flow, n));
+            }
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! Oracle equivalence: the live `Policy::SourceAware` arm ≡ the pure
+//! steering kernel `sais_apic::steer` the model checker enumerates.
+//!
+//! The refactor that extracted `steer::steer_step` out of the policy match
+//! arm is only sound if the two never diverge — on the routed core, on the
+//! churn counters, or on the degraded-flow set — for *any* interleaved
+//! multi-flow event stream. This property drives both sides with the same
+//! random streams (flows, hint presence/validity, background load to move
+//! the irqbalance fallback around) and asserts lock-step equality after
+//! every single event, so a divergence pins the exact event that caused it.
+
+use proptest::prelude::*;
+use sais_apic::steer::{self, Route};
+use sais_apic::{Policy, SteerCtx, SAIS_DEGRADE_AFTER};
+use sais_cpu::{CpuCore, LoadTracker, WorkClass};
+use sais_sim::{SimDuration, SimTime};
+use std::collections::HashMap;
+
+/// The pure-kernel shadow of `Policy::sais()`: per-flow streaks plus the
+/// churn counters, routes resolved exactly as the live arm resolves them.
+#[derive(Default)]
+struct Shadow {
+    streaks: HashMap<u64, u32>,
+    degrades: u64,
+    repromotes: u64,
+}
+
+impl Shadow {
+    fn select(
+        &mut self,
+        flow: u64,
+        hint: Option<usize>,
+        now: SimTime,
+        cores: &[CpuCore],
+        loads: &LoadTracker,
+    ) -> usize {
+        let n = cores.len();
+        let valid = hint.filter(|&c| c < n);
+        let prev = self.streaks.get(&flow).copied().unwrap_or(0);
+        let s = steer::steer_step(prev, valid.is_some());
+        if s.degraded {
+            self.degrades += 1;
+        }
+        if s.repromoted {
+            self.repromotes += 1;
+        }
+        if s.streak == 0 {
+            self.streaks.remove(&flow);
+        } else {
+            self.streaks.insert(flow, s.streak);
+        }
+        match s.route {
+            Route::Hint => valid.expect("Hint route implies a valid hint"),
+            Route::Rss => steer::rss_spread(flow, n),
+            Route::Fallback => loads.lightest_core(now, cores),
+        }
+    }
+
+    fn degraded_flows(&self) -> u64 {
+        self.streaks
+            .values()
+            .filter(|&&s| s >= SAIS_DEGRADE_AFTER)
+            .count() as u64
+    }
+}
+
+proptest! {
+    /// Live policy and pure kernel agree on every routed core, the churn
+    /// counters, and the degraded-flow census, after every event of any
+    /// multi-flow stream.
+    #[test]
+    fn policy_equals_pure_kernel(
+        ncores in 1usize..8,
+        events in proptest::collection::vec(
+            // (flow, hint, event time µs, background work µs)
+            (0u64..6, proptest::option::of(0usize..10), 0u64..50_000, 0u64..200),
+            1..300,
+        ),
+    ) {
+        let mut cores: Vec<CpuCore> = (0..ncores).map(CpuCore::new).collect();
+        let loads = LoadTracker::new(ncores, SimDuration::from_millis(10));
+        let mut live = Policy::sais();
+        let mut shadow = Shadow::default();
+        for (i, &(flow, hint, t_us, work_us)) in events.iter().enumerate() {
+            let now = SimTime::from_micros(t_us);
+            if work_us > 0 {
+                // Perturb the load picture so the LowestLoaded fallback
+                // actually moves between cores.
+                cores[(flow % ncores as u64) as usize].run(
+                    now,
+                    SimDuration::from_micros(work_us),
+                    WorkClass::SoftIrq,
+                );
+            }
+            let ctx = SteerCtx { now, pin: 0, hint, flow, cores: &cores, loads: &loads };
+            let live_core = live.select(&ctx);
+            let shadow_core = shadow.select(flow, hint, now, &cores, &loads);
+            prop_assert_eq!(
+                live_core, shadow_core,
+                "event {}: flow {} hint {:?} diverged", i, flow, hint
+            );
+            prop_assert_eq!(
+                live.steering_churn(),
+                (shadow.degrades, shadow.repromotes),
+                "churn diverged at event {}", i
+            );
+            prop_assert_eq!(
+                live.degraded_flows(),
+                shadow.degraded_flows(),
+                "degraded census diverged at event {}", i
+            );
+        }
+    }
+
+    /// The livelock bound the explorer proves per bounded configuration,
+    /// restated over unbounded random streams: per flow, churn never
+    /// exceeds the stream's hint-visibility alternations plus one.
+    #[test]
+    fn churn_is_bounded_by_hint_flips(
+        events in proptest::collection::vec((0u64..4, any::<bool>()), 1..400),
+    ) {
+        let mut streaks: HashMap<u64, u32> = HashMap::new();
+        let mut churn: HashMap<u64, u64> = HashMap::new();
+        let mut flips: HashMap<u64, u64> = HashMap::new();
+        let mut last: HashMap<u64, bool> = HashMap::new();
+        for &(flow, hinted) in &events {
+            if let Some(&prev) = last.get(&flow) {
+                if prev != hinted {
+                    *flips.entry(flow).or_default() += 1;
+                }
+            }
+            last.insert(flow, hinted);
+            let prev = streaks.get(&flow).copied().unwrap_or(0);
+            let s = steer::steer_step(prev, hinted);
+            streaks.insert(flow, s.streak);
+            *churn.entry(flow).or_default() +=
+                u64::from(s.degraded) + u64::from(s.repromoted);
+            let f = flips.get(&flow).copied().unwrap_or(0);
+            prop_assert!(
+                churn[&flow] <= f + 1,
+                "flow {} churned {} on {} flips", flow, churn[&flow], f
+            );
+        }
+    }
+}

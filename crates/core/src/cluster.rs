@@ -17,6 +17,7 @@
 //! `CPU_CLK_UNHALTED` fall out of the same bookkeeping.
 
 use crate::components::{HintCapsuler, HintMessager, IMComposer, SrcParser};
+use crate::protocol;
 use crate::scenario::{IoDirection, RunMetrics, ScenarioConfig};
 use crate::slab::{Slab, SlabRef};
 use crate::telemetry::TelemetrySampler;
@@ -25,8 +26,8 @@ use sais_cpu::{CpuCore, CpuReport, LoadTracker, Process, WakePlacement, WorkClas
 use sais_mem::fxmap::FxHashMap;
 use sais_mem::{AddrAlloc, AddrRange, MemorySystem};
 use sais_net::{
-    simulate_transfer, CoalesceParams, EthernetFrame, FlowId, InterruptBatch, NicBond, PipeFaults,
-    PodFrame, SegmentPlan,
+    simulate_transfer, CoalesceParams, EthernetFrame, FlowId, NicBond, PipeFaults, PodFrame,
+    SegmentPlan,
 };
 use sais_obs::{FlightRecorder, MetricRegistry, MetricSnapshot, SpanId, Stage, StageHistograms};
 use sais_pvfs::{HintList, IoServer, MetadataServer, ReadTracker, StripeLayout};
@@ -132,8 +133,11 @@ struct StripState {
     /// materialized on demand (fault injection, verification) only.
     pod: PodFrame,
     flow: FlowId,
-    batches_total: u64,
-    batches_done: u64,
+    /// Interrupt fan-in completion state, armed when the strip reaches the
+    /// NIC and its batch schedule is fixed. The exactly-once completion
+    /// edge lives in [`protocol::BatchProgress`], shared with the model
+    /// checker.
+    progress: protocol::BatchProgress,
     chunk_off: u64,
     /// Flight-recorder span covering this strip's fan-out lifetime.
     span: SpanId,
@@ -598,8 +602,7 @@ impl Cluster {
                 plan,
                 pod,
                 flow,
-                batches_total: 0,
-                batches_done: 0,
+                progress: protocol::BatchProgress::unarmed(),
                 chunk_off: 0,
                 span: strip_span,
             });
@@ -630,43 +633,28 @@ impl Cluster {
             },
         );
         // Interrupt-layer faults rewrite the batch schedule the NIC
-        // produced: a flaky coalescer merges a batch's frames into its
-        // successor, and a slow interrupt controller posts some batches
-        // late (which can reorder them against their neighbours).
+        // produced, through the same pure rewrites the model checker
+        // enumerates ([`protocol::coalesce_batches`] merges a batch's
+        // frames into its successor, [`protocol::delay_batches`] posts
+        // some batches late, which can reorder them against their
+        // neighbours). Both consult the decision closure in index order —
+        // that order is the fault-RNG draw-order contract that keeps
+        // seeded figure runs byte-identical.
         if self.cfg.faults.perturbs_interrupts() {
-            let f = &self.cfg.faults;
+            let f = self.cfg.faults.clone();
             if f.irq_coalesce > 0.0 && batches.len() > 1 {
-                let last = batches.len() - 1;
-                let mut merged = Vec::with_capacity(batches.len());
-                let mut carry_frames = 0u64;
-                let mut carry_bytes = 0u64;
-                for (i, b) in batches.iter().enumerate() {
-                    if i < last && self.fault_rng.chance(f.irq_coalesce) {
-                        carry_frames += b.frames;
-                        carry_bytes += b.bytes;
-                        self.coalesced_merges += 1;
-                        continue;
-                    }
-                    merged.push(InterruptBatch {
-                        time: b.time,
-                        frames: b.frames + carry_frames,
-                        bytes: b.bytes + carry_bytes,
-                    });
-                    carry_frames = 0;
-                    carry_bytes = 0;
-                }
+                let (merged, merges) =
+                    protocol::coalesce_batches(&batches, |_| self.fault_rng.chance(f.irq_coalesce));
+                self.coalesced_merges += merges;
                 batches = merged;
             }
             if f.irq_delay > 0.0 {
-                for b in &mut batches {
-                    if self.fault_rng.chance(f.irq_delay) {
-                        b.time += f.irq_delay_by;
-                        self.delayed_irqs += 1;
-                    }
-                }
+                self.delayed_irqs += protocol::delay_batches(&mut batches, f.irq_delay_by, |_| {
+                    self.fault_rng.chance(f.irq_delay)
+                });
             }
         }
-        s.batches_total = batches.len() as u64;
+        s.progress = protocol::BatchProgress::arm(batches.len() as u64);
         for b in &batches {
             sched.at(
                 b.time,
@@ -698,8 +686,10 @@ impl Cluster {
         // An option-stripping middlebox (fault injection) rewrites the IP
         // header in flight, removing the SAIs option. It is stateless and
         // per-flow: the same flow is either always clean or always
-        // stripped for the whole run.
-        let stripped = self.cfg.faults.strips_flow(s.flow.value()) && s.pod.aff_core.is_some();
+        // stripped — until the plan's decommission time, if any, after
+        // which its flows run clean and SAIs must re-promote them.
+        let stripped =
+            self.cfg.faults.strips_flow_at(s.flow.value(), now) && s.pod.aff_core.is_some();
         if stripped {
             self.stripped_options += 1;
         }
@@ -806,9 +796,19 @@ impl Cluster {
         let now = sched.now();
         let s = &mut self.strips[strip];
         self.strip_oracle.check(s.id, strip);
-        s.batches_done += 1;
-        if s.batches_done < s.batches_total {
-            return;
+        match s.progress.batch_ready() {
+            protocol::Ready::Pending => return,
+            protocol::Ready::Complete => {}
+            // A ready past completion can only come from a duplicated
+            // interrupt; the DES scheduler never produces one today, but
+            // the exactly-once guard (not a `done < total` fall-through)
+            // is what keeps a duplicate from double-copying the strip —
+            // the model checker proves exactly that (see
+            // `sais_core::protocol` and tests/mck_regressions.rs).
+            protocol::Ready::Spurious => {
+                debug_assert!(false, "spurious BatchReady for completed strip");
+                return;
+            }
         }
         // Strip complete in kernel memory: the blocked process is made
         // runnable and copies it to the user buffer on its own core.
@@ -1003,8 +1003,7 @@ impl Cluster {
                     aff_core: None,
                 },
                 flow,
-                batches_total: 0,
-                batches_done: 0,
+                progress: protocol::BatchProgress::unarmed(),
                 chunk_off: 0,
                 // Ack interrupts are not worth a span of their own; the
                 // write request span covers issue → last ack.
@@ -1087,9 +1086,14 @@ impl Cluster {
         let mut per_client_bw = Vec::with_capacity(self.clients.len());
         let mut process_migrations = 0;
         let mut degraded_flows = 0;
+        let mut steering_degrades = 0;
+        let mut steering_repromotes = 0;
         let mut latency = sais_metrics::Histogram::new();
         for cl in &self.clients {
             degraded_flows += cl.composer.policy().degraded_flows();
+            let (d, r) = cl.composer.policy().steering_churn();
+            steering_degrades += d;
+            steering_repromotes += r;
             l2_accesses += cl.mem.total_accesses();
             l2_misses += cl.mem.total_misses();
             c2c_lines += cl.mem.c2c_transfers();
@@ -1142,6 +1146,8 @@ impl Cluster {
             coalesced_merges: self.coalesced_merges,
             stripped_options: self.stripped_options,
             degraded_flows,
+            steering_degrades,
+            steering_repromotes,
             hinted_interrupts: hinted,
             clamped_interrupts: clamped,
             per_client_bw,

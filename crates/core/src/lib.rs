@@ -46,6 +46,7 @@ pub mod calib;
 pub mod cluster;
 pub mod components;
 pub mod memsim;
+pub mod protocol;
 pub mod report;
 pub mod scenario;
 pub mod slab;

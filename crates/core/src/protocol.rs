@@ -1,0 +1,902 @@
+//! The steering/degradation protocol as a pure transition system.
+//!
+//! The SAIs contribution is a small distributed protocol: servers echo a
+//! consumer-core hint in every response packet, the client NIC driver
+//! parses it per interrupt batch, a per-flow hint-less streak degrades a
+//! flow to RSS-style steering at [`sais_apic::steer::DEGRADE_AFTER`], a
+//! reappearing hint re-promotes it, and faults (hint loss, option
+//! stripping, IRQ coalescing/delay, duplication) perturb every step. The
+//! discrete-event [`crate::cluster::Cluster`] exercises this protocol on
+//! sampled seeds; this module lifts its core into **pure, side-effect-free
+//! functions** so the `sais-mck` explicit-state explorer can enumerate
+//! *every* interleaving of a bounded configuration instead.
+//!
+//! No behavior drift by construction: the live code calls the same
+//! functions the model checker checks —
+//!
+//! * the per-flow steering state machine is
+//!   [`sais_apic::steer::steer_step`], called per interrupt by
+//!   `Policy::SourceAware` and per [`Action::Deliver`] by [`step`];
+//! * the interrupt-layer fault rewrites are [`coalesce_batches`] /
+//!   [`delay_batches`], called by `Cluster::handle_strip_at_nic` with the
+//!   fault RNG and by [`step`] with adversary-chosen decision bits;
+//! * strip completion is [`BatchProgress`], owned by the cluster's
+//!   per-strip state and by the model's [`StripSt`].
+//!
+//! [`step`] composes these into the one-transition function
+//! `step(cfg, state, action) -> Result<state', Violation>` the explorer
+//! drives; a [`Violation`] is a property breach (double copy, lost work,
+//! unbounded steering churn) with enough context to debug.
+//!
+//! ## The double-copy hazard, and why [`BatchProgress`] guards it
+//!
+//! The pre-extraction cluster completed a strip with `batches_done += 1;
+//! if batches_done < batches_total { return; } /* copy */` — correct when
+//! every scheduled batch raises exactly one `BatchReady`, but any
+//! *duplicated* ready (the model's duplication fault) pushes the counter
+//! past `total` and falls through to a **second copy** of the same strip,
+//! violating exactly-once delivery. The explorer finds that trace in a
+//! handful of states (see `tests/mck_regressions.rs`, which replays it);
+//! [`BatchProgress::batch_ready`] therefore reports the completion edge
+//! exactly once and classifies any further ready as [`Ready::Spurious`],
+//! which callers drop. [`ProtoConfig::legacy_completion`] re-enables the
+//! old semantics so the counterexample stays reproducible forever.
+
+use sais_apic::steer::{self, Route};
+use sais_net::InterruptBatch;
+use sais_sim::SimDuration;
+
+/// How far one strip's interrupt fan-in has progressed, with an
+/// exactly-once completion edge.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchProgress {
+    total: u64,
+    done: u64,
+}
+
+/// What one `BatchReady` means for the owning strip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Ready {
+    /// More batches outstanding; keep waiting.
+    Pending,
+    /// This ready completed the strip — fires exactly once.
+    Complete,
+    /// A ready beyond completion (a duplicated interrupt). The strip was
+    /// already completed; callers must not complete it again.
+    Spurious,
+}
+
+impl BatchProgress {
+    /// Progress for a strip that fans into `total` interrupt batches.
+    pub fn arm(total: u64) -> Self {
+        BatchProgress { total, done: 0 }
+    }
+
+    /// Progress for a strip with no interrupt fan-in (the write path's
+    /// ack strips): never reports completion.
+    pub fn unarmed() -> Self {
+        BatchProgress::default()
+    }
+
+    /// Account one `BatchReady`. The completion edge ([`Ready::Complete`])
+    /// fires exactly once, on the ready that brings `done` up to `total`;
+    /// anything past it is [`Ready::Spurious`].
+    #[inline]
+    pub fn batch_ready(&mut self) -> Ready {
+        self.done += 1;
+        match self.done.cmp(&self.total) {
+            std::cmp::Ordering::Less => Ready::Pending,
+            std::cmp::Ordering::Equal => Ready::Complete,
+            std::cmp::Ordering::Greater => Ready::Spurious,
+        }
+    }
+
+    /// Batches expected in total.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Batches accounted so far (may exceed `total` under duplication).
+    pub fn done(&self) -> u64 {
+        self.done
+    }
+}
+
+/// Rewrite a NIC batch schedule through a flaky coalescer: batch `i` is
+/// merged into its successor whenever `merge_into_next(i)` says so (the
+/// last batch is never merged forward, so frames and bytes are conserved
+/// by construction). Returns the rewritten schedule and the number of
+/// merges. Pure given the decision sequence; the cluster passes the fault
+/// RNG, the model checker passes adversary-chosen bits. `merge_into_next`
+/// is consulted exactly once per non-final batch, in index order — the
+/// cluster's fault-RNG draw order is part of the byte-identity contract.
+pub fn coalesce_batches(
+    batches: &[InterruptBatch],
+    mut merge_into_next: impl FnMut(usize) -> bool,
+) -> (Vec<InterruptBatch>, u64) {
+    debug_assert!(!batches.is_empty());
+    let last = batches.len() - 1;
+    let mut merged = Vec::with_capacity(batches.len());
+    let mut merges = 0u64;
+    let mut carry_frames = 0u64;
+    let mut carry_bytes = 0u64;
+    for (i, b) in batches.iter().enumerate() {
+        if i < last && merge_into_next(i) {
+            carry_frames += b.frames;
+            carry_bytes += b.bytes;
+            merges += 1;
+            continue;
+        }
+        merged.push(InterruptBatch {
+            time: b.time,
+            frames: b.frames + carry_frames,
+            bytes: b.bytes + carry_bytes,
+        });
+        carry_frames = 0;
+        carry_bytes = 0;
+    }
+    (merged, merges)
+}
+
+/// Push individual batches of a schedule `by` later whenever `delayed(i)`
+/// says so (a slow interrupt controller posting some batches late, which
+/// can reorder them against their neighbours). Returns the number of
+/// delayed batches. `delayed` is consulted exactly once per batch, in
+/// index order — again part of the cluster's RNG draw-order contract.
+pub fn delay_batches(
+    batches: &mut [InterruptBatch],
+    by: SimDuration,
+    mut delayed: impl FnMut(usize) -> bool,
+) -> u64 {
+    let mut count = 0u64;
+    for (i, b) in batches.iter_mut().enumerate() {
+        if delayed(i) {
+            b.time += by;
+            count += 1;
+        }
+    }
+    count
+}
+
+// ---------------------------------------------------------------------------
+// The bounded model the explorer enumerates.
+// ---------------------------------------------------------------------------
+
+/// Which faults the adversary may play (the model-checking alphabet).
+///
+/// The option-stripping middlebox is configured separately
+/// ([`ProtoConfig::stripped_flows`]) because it is *stateless per flow*:
+/// a flow is behind the middlebox for the whole run or not at all, so it
+/// is initial-configuration choice, not a per-step action.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultAlphabet {
+    /// Transient hint loss: any single interrupt of an unstripped flow
+    /// may arrive hint-less (header corruption failing closed).
+    pub hint_loss: bool,
+    /// Interrupt duplication: an already-raised interrupt may be raised
+    /// again (budgeted by [`ProtoConfig::dup_budget`]).
+    pub duplication: bool,
+    /// Wire reordering: a strip's batches may be delivered out of order.
+    pub reorder: bool,
+    /// Delayed IRQ batches: a batch may be overtaken by its successors.
+    /// In this untimed model `delay` and `reorder` both manifest as
+    /// within-strip out-of-order delivery (cross-strip interleaving is
+    /// always free, exactly as in the concurrent DES), so either flag
+    /// enables it; both exist so configurations can name what they model.
+    pub delay: bool,
+    /// Extra IRQ coalescing: adversary-chosen merge patterns at arrival
+    /// (rewritten through the live [`coalesce_batches`]).
+    pub coalesce: bool,
+}
+
+impl FaultAlphabet {
+    /// Every fault enabled — the configuration the CI proof runs.
+    pub fn full() -> Self {
+        FaultAlphabet {
+            hint_loss: true,
+            duplication: true,
+            reorder: true,
+            delay: true,
+            coalesce: true,
+        }
+    }
+
+    /// No faults: the clean protocol.
+    pub fn none() -> Self {
+        FaultAlphabet {
+            hint_loss: false,
+            duplication: false,
+            reorder: false,
+            delay: false,
+            coalesce: false,
+        }
+    }
+
+    /// Whether batches within one strip may be delivered out of order.
+    pub fn out_of_order(&self) -> bool {
+        self.reorder || self.delay
+    }
+}
+
+/// A bounded protocol configuration for exhaustive exploration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProtoConfig {
+    /// Client cores (hint targets and RSS spread range).
+    pub cores: u8,
+    /// Concurrent flows (client ↔ server connections).
+    pub flows: u8,
+    /// Strips fanned out per flow.
+    pub strips_per_flow: u8,
+    /// Interrupt batches per strip before coalescing.
+    pub batches_per_strip: u8,
+    /// Flows `0..stripped_flows` sit behind an option-stripping
+    /// middlebox: their interrupts can never carry a hint.
+    pub stripped_flows: u8,
+    /// The adversary's per-step fault alphabet.
+    pub faults: FaultAlphabet,
+    /// Maximum duplicated interrupts the adversary may inject.
+    pub dup_budget: u8,
+    /// Use the pre-extraction completion semantics (`done < total`
+    /// fall-through) instead of the [`BatchProgress`] exactly-once edge.
+    /// Exists so the explorer can reproduce — and regression tests can
+    /// replay — the double-copy counterexample the guard fixes.
+    pub legacy_completion: bool,
+}
+
+impl ProtoConfig {
+    /// The CI proof configuration: 2 cores × 2 flows (one stripped),
+    /// full fault alphabet.
+    pub fn ci() -> Self {
+        ProtoConfig {
+            cores: 2,
+            flows: 2,
+            strips_per_flow: 1,
+            batches_per_strip: 3,
+            stripped_flows: 1,
+            faults: FaultAlphabet::full(),
+            dup_budget: 1,
+            legacy_completion: false,
+        }
+    }
+
+    /// Total strips in the configuration.
+    pub fn total_strips(&self) -> usize {
+        self.flows as usize * self.strips_per_flow as usize
+    }
+
+    /// The flow a strip index belongs to (strips are laid out
+    /// flow-major: strip `s` belongs to flow `s / strips_per_flow`).
+    pub fn flow_of(&self, strip: usize) -> usize {
+        strip / self.strips_per_flow.max(1) as usize
+    }
+
+    /// Whether `flow` sits behind the option-stripping middlebox.
+    pub fn is_stripped(&self, flow: usize) -> bool {
+        flow < self.stripped_flows as usize
+    }
+}
+
+/// Per-flow steering state plus the bookkeeping the livelock property
+/// needs (how often the adversary actually alternated hint visibility).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FlowSt {
+    /// Hint-less streak, exactly as `Policy::SourceAware` keeps it.
+    pub streak: u32,
+    /// Degradation episodes started.
+    pub degrades: u32,
+    /// Degradation episodes ended by a re-promoting hint.
+    pub repromotes: u32,
+    /// Hint-visibility alternations in this flow's interrupt sequence.
+    pub flips: u32,
+    /// Last interrupt's hint visibility: 0 = none yet, 1 = hinted,
+    /// 2 = hint-less.
+    pub last_hinted: u8,
+}
+
+impl FlowSt {
+    /// Whether the flow is currently on the degraded RSS path.
+    pub fn is_degraded(&self) -> bool {
+        steer::is_degraded(self.streak)
+    }
+}
+
+/// Per-strip delivery state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StripSt {
+    /// Whether the strip's response stream has reached the NIC (and its
+    /// batch schedule, post-coalesce, been fixed).
+    pub arrived: bool,
+    /// Frames of each still-pending interrupt batch, in schedule order.
+    pub pending: Vec<u8>,
+    /// Fan-in completion state (armed at arrival).
+    pub progress: BatchProgress,
+    /// Frames whose interrupts have been raised and handled.
+    pub frames_done: u32,
+    /// A completion edge fired and the copy has not run yet.
+    pub copy_ready: bool,
+    /// Times the strip was copied to the user buffer (the exactly-once
+    /// property says this ends at 1 and never reaches 2).
+    pub copies: u8,
+}
+
+/// The whole protocol state: flows × strips plus the adversary's spent
+/// duplication budget.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtoState {
+    /// Per-flow steering state, indexed by flow id.
+    pub flows: Vec<FlowSt>,
+    /// Per-strip delivery state, flow-major (see [`ProtoConfig::flow_of`]).
+    pub strips: Vec<StripSt>,
+    /// Duplicated interrupts injected so far.
+    pub dups_used: u8,
+}
+
+impl ProtoState {
+    /// The initial state of a configuration: nothing arrived, no streaks.
+    pub fn initial(cfg: &ProtoConfig) -> Self {
+        ProtoState {
+            flows: vec![FlowSt::default(); cfg.flows as usize],
+            strips: (0..cfg.total_strips())
+                .map(|_| StripSt {
+                    arrived: false,
+                    pending: Vec::new(),
+                    progress: BatchProgress::unarmed(),
+                    frames_done: 0,
+                    copy_ready: false,
+                    copies: 0,
+                })
+                .collect(),
+            dups_used: 0,
+        }
+    }
+}
+
+/// One protocol or adversary move.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// A strip's response stream reaches the NIC; bit `i` of `merges`
+    /// asks the flaky coalescer to merge batch `i` into its successor
+    /// (the last batch's bit is ignored, as in the live rewrite).
+    Arrive {
+        /// Strip index.
+        strip: u8,
+        /// Coalesce-decision bitmask.
+        merges: u8,
+    },
+    /// A pending interrupt batch is raised and handled: the steering
+    /// decision runs (hint visibility chosen by the adversary where the
+    /// alphabet allows) and the strip's fan-in advances.
+    Deliver {
+        /// Strip index.
+        strip: u8,
+        /// Index into the strip's pending-batch schedule.
+        batch: u8,
+        /// Whether the batch's header still carries a valid hint.
+        hinted: bool,
+    },
+    /// An already-raised interrupt is raised again (duplication fault):
+    /// the handler runs a second time with no new frames.
+    Dup {
+        /// Strip index.
+        strip: u8,
+        /// Hint visibility of the duplicated delivery.
+        hinted: bool,
+    },
+    /// The completed strip is copied to the user buffer.
+    Copy {
+        /// Strip index.
+        strip: u8,
+    },
+}
+
+impl std::fmt::Display for Action {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Action::Arrive { strip, merges } => {
+                write!(f, "arrive strip={strip} merges={merges:#b}")
+            }
+            Action::Deliver {
+                strip,
+                batch,
+                hinted,
+            } => write!(f, "deliver strip={strip} batch={batch} hinted={hinted}"),
+            Action::Dup { strip, hinted } => write!(f, "dup strip={strip} hinted={hinted}"),
+            Action::Copy { strip } => write!(f, "copy strip={strip}"),
+        }
+    }
+}
+
+/// A property breach, with the context a counterexample trace needs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// Exactly-once delivery broken: a strip was copied twice.
+    DoubleCopy {
+        /// The strip copied twice.
+        strip: u8,
+    },
+    /// A terminal state left a strip undelivered (lost interrupt).
+    LostStrip {
+        /// The strip that never completed.
+        strip: u8,
+        /// Batches accounted when the run wedged.
+        done: u64,
+        /// Batches the schedule promised.
+        total: u64,
+    },
+    /// A terminal state lost payload frames.
+    FrameLoss {
+        /// The strip short on frames.
+        strip: u8,
+        /// Frames whose interrupts were handled.
+        delivered: u32,
+        /// Frames the strip arrived with.
+        expected: u32,
+    },
+    /// Steering churn exceeded the adversary's hint alternations:
+    /// degrade/re-promote flapping not attributable to the environment —
+    /// a protocol-generated livelock.
+    ChurnBound {
+        /// The flapping flow.
+        flow: u8,
+        /// Degrades + re-promotes observed.
+        churn: u32,
+        /// Hint-visibility alternations the adversary performed.
+        flips: u32,
+    },
+    /// Churn events out of order (a degrade while degraded, or a
+    /// re-promote while not).
+    ChurnOrder {
+        /// The offending flow.
+        flow: u8,
+    },
+    /// The action is not enabled in the given state (malformed trace).
+    IllegalAction {
+        /// The rejected action.
+        action: Action,
+        /// Why it is not enabled.
+        why: &'static str,
+    },
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Violation::DoubleCopy { strip } => {
+                write!(f, "exactly-once broken: strip {strip} copied twice")
+            }
+            Violation::LostStrip { strip, done, total } => write!(
+                f,
+                "lost interrupt: strip {strip} wedged at {done}/{total} batches"
+            ),
+            Violation::FrameLoss {
+                strip,
+                delivered,
+                expected,
+            } => write!(
+                f,
+                "frame loss: strip {strip} delivered {delivered}/{expected} frames"
+            ),
+            Violation::ChurnBound { flow, churn, flips } => write!(
+                f,
+                "steering livelock: flow {flow} churned {churn}x on {flips} hint flips"
+            ),
+            Violation::ChurnOrder { flow } => {
+                write!(f, "churn order broken on flow {flow}")
+            }
+            Violation::IllegalAction { action, why } => {
+                write!(f, "illegal action `{action}`: {why}")
+            }
+        }
+    }
+}
+
+/// Apply one action to the protocol state. Pure: the inputs are borrowed,
+/// the successor state is returned, and a [`Violation`] is returned
+/// instead if the action breaches a safety property (or is not enabled —
+/// malformed traces fail closed).
+pub fn step(
+    cfg: &ProtoConfig,
+    state: &ProtoState,
+    action: &Action,
+) -> Result<ProtoState, Violation> {
+    let illegal = |why| Violation::IllegalAction {
+        action: *action,
+        why,
+    };
+    let mut next = state.clone();
+    match *action {
+        Action::Arrive { strip, merges } => {
+            let s = next
+                .strips
+                .get_mut(strip as usize)
+                .ok_or(illegal("no such strip"))?;
+            if s.arrived {
+                return Err(illegal("strip already arrived"));
+            }
+            if merges != 0 && !cfg.faults.coalesce {
+                return Err(illegal("coalesce fault disabled"));
+            }
+            // One frame per pre-coalesce batch; the schedule is rewritten
+            // through the *live* coalescer with adversary-chosen bits.
+            let schedule: Vec<InterruptBatch> = (0..cfg.batches_per_strip)
+                .map(|_| InterruptBatch {
+                    time: sais_sim::SimTime::ZERO,
+                    frames: 1,
+                    bytes: 0,
+                })
+                .collect();
+            // Decision bits beyond bit 7 read as zero (no merge), so huge
+            // custom schedules cannot overflow the shift.
+            let (merged, _) = coalesce_batches(&schedule, |i| i < 8 && merges & (1u8 << i) != 0);
+            s.pending = merged.iter().map(|b| b.frames as u8).collect();
+            s.progress = BatchProgress::arm(merged.len() as u64);
+            s.arrived = true;
+        }
+        Action::Deliver {
+            strip,
+            batch,
+            hinted,
+        } => {
+            let flow = cfg.flow_of(strip as usize);
+            {
+                let s = next
+                    .strips
+                    .get_mut(strip as usize)
+                    .ok_or(illegal("no such strip"))?;
+                if !s.arrived {
+                    return Err(illegal("strip not arrived"));
+                }
+                if batch as usize >= s.pending.len() {
+                    return Err(illegal("no such pending batch"));
+                }
+                if batch != 0 && !cfg.faults.out_of_order() {
+                    return Err(illegal("out-of-order delivery disabled"));
+                }
+                let frames = s.pending.remove(batch as usize);
+                s.frames_done += frames as u32;
+            }
+            steer_and_advance(cfg, &mut next, flow, strip, hinted, true)?;
+        }
+        Action::Dup { strip, hinted } => {
+            if !cfg.faults.duplication {
+                return Err(illegal("duplication fault disabled"));
+            }
+            if next.dups_used >= cfg.dup_budget {
+                return Err(illegal("duplication budget spent"));
+            }
+            let flow = cfg.flow_of(strip as usize);
+            {
+                let s = next
+                    .strips
+                    .get(strip as usize)
+                    .ok_or(illegal("no such strip"))?;
+                if s.progress.done() == 0 {
+                    return Err(illegal("nothing raised yet to duplicate"));
+                }
+            }
+            next.dups_used += 1;
+            steer_and_advance(cfg, &mut next, flow, strip, hinted, false)?;
+        }
+        Action::Copy { strip } => {
+            let s = next
+                .strips
+                .get_mut(strip as usize)
+                .ok_or(illegal("no such strip"))?;
+            if !s.copy_ready {
+                return Err(illegal("strip not ready to copy"));
+            }
+            s.copy_ready = false;
+            s.copies += 1;
+            if s.copies > 1 {
+                return Err(Violation::DoubleCopy { strip });
+            }
+        }
+    }
+    Ok(next)
+}
+
+/// The shared tail of `Deliver` and `Dup`: run the steering decision
+/// through the live kernel, enforce the churn properties, and advance the
+/// strip's fan-in through [`BatchProgress`] (or the legacy fall-through).
+fn steer_and_advance(
+    cfg: &ProtoConfig,
+    next: &mut ProtoState,
+    flow: usize,
+    strip: u8,
+    hinted: bool,
+    _genuine: bool,
+) -> Result<(), Violation> {
+    if hinted && cfg.is_stripped(flow) {
+        return Err(Violation::IllegalAction {
+            action: Action::Deliver {
+                strip,
+                batch: 0,
+                hinted,
+            },
+            why: "stripped flow cannot carry a hint",
+        });
+    }
+    if !hinted && !cfg.faults.hint_loss && !cfg.is_stripped(flow) {
+        return Err(Violation::IllegalAction {
+            action: Action::Deliver {
+                strip,
+                batch: 0,
+                hinted,
+            },
+            why: "hint loss disabled for unstripped flows",
+        });
+    }
+    let f = &mut next.flows[flow];
+    // Adversary alternation bookkeeping for the livelock bound.
+    let vis = if hinted { 1 } else { 2 };
+    if f.last_hinted != 0 && f.last_hinted != vis {
+        f.flips += 1;
+    }
+    f.last_hinted = vis;
+    let was_degraded = f.is_degraded();
+    let s = steer::steer_step(f.streak, hinted);
+    f.streak = s.streak;
+    if s.degraded {
+        if was_degraded {
+            return Err(Violation::ChurnOrder { flow: flow as u8 });
+        }
+        f.degrades += 1;
+    }
+    if s.repromoted {
+        if !was_degraded {
+            return Err(Violation::ChurnOrder { flow: flow as u8 });
+        }
+        f.repromotes += 1;
+    }
+    // Route sanity: the kernel's abstract route must be resolvable.
+    match s.route {
+        Route::Hint => debug_assert!(hinted),
+        Route::Rss => {
+            debug_assert!(steer::rss_spread(flow as u64, cfg.cores as usize) < cfg.cores as usize);
+        }
+        Route::Fallback => {}
+    }
+    // The livelock property: churn is bounded by the adversary's hint
+    // alternations — the protocol never flaps on a steady environment.
+    if f.degrades + f.repromotes > f.flips + 1 {
+        return Err(Violation::ChurnBound {
+            flow: flow as u8,
+            churn: f.degrades + f.repromotes,
+            flips: f.flips,
+        });
+    }
+    let st = &mut next.strips[strip as usize];
+    if cfg.legacy_completion {
+        // The pre-extraction cluster check: any ready at or past `total`
+        // falls through to the copy path.
+        let legacy = {
+            st.progress.batch_ready();
+            st.progress.done() >= st.progress.total()
+        };
+        if legacy {
+            st.copy_ready = true;
+        }
+    } else {
+        match st.progress.batch_ready() {
+            Ready::Pending => {}
+            Ready::Complete => st.copy_ready = true,
+            Ready::Spurious => {}
+        }
+    }
+    Ok(())
+}
+
+/// Check the terminal-state (liveness-by-exhaustion) properties: every
+/// strip delivered exactly once with all frames accounted. The explorer
+/// calls this on states with no enabled action.
+pub fn check_terminal(_cfg: &ProtoConfig, state: &ProtoState) -> Result<(), Violation> {
+    for (i, s) in state.strips.iter().enumerate() {
+        if s.copies != 1 {
+            return Err(Violation::LostStrip {
+                strip: i as u8,
+                done: s.progress.done(),
+                total: s.progress.total(),
+            });
+        }
+        let expected = s.frames_done; // frames arrived == frames delivered
+        if !s.pending.is_empty() || !s.arrived {
+            return Err(Violation::FrameLoss {
+                strip: i as u8,
+                delivered: s.frames_done,
+                expected: expected + s.pending.iter().map(|&f| f as u32).sum::<u32>(),
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sais_sim::SimTime;
+
+    fn batch(frames: u64) -> InterruptBatch {
+        InterruptBatch {
+            time: SimTime::ZERO,
+            frames,
+            bytes: frames * 1500,
+        }
+    }
+
+    #[test]
+    fn batch_progress_fires_completion_exactly_once() {
+        let mut p = BatchProgress::arm(3);
+        assert_eq!(p.batch_ready(), Ready::Pending);
+        assert_eq!(p.batch_ready(), Ready::Pending);
+        assert_eq!(p.batch_ready(), Ready::Complete);
+        assert_eq!(p.batch_ready(), Ready::Spurious);
+        assert_eq!(p.batch_ready(), Ready::Spurious);
+        assert_eq!(p.total(), 3);
+        assert_eq!(p.done(), 5);
+    }
+
+    #[test]
+    fn unarmed_progress_never_completes() {
+        let mut p = BatchProgress::unarmed();
+        // A ready against an unarmed strip (impossible in the DES) is
+        // spurious, never a completion.
+        assert_eq!(p.batch_ready(), Ready::Spurious);
+    }
+
+    #[test]
+    fn coalesce_conserves_frames_and_bytes() {
+        let batches = vec![batch(4), batch(4), batch(4), batch(2)];
+        let total_f: u64 = batches.iter().map(|b| b.frames).sum();
+        let total_b: u64 = batches.iter().map(|b| b.bytes).sum();
+        for mask in 0u8..8 {
+            let (merged, merges) = coalesce_batches(&batches, |i| mask & (1 << i) != 0);
+            assert_eq!(merged.iter().map(|b| b.frames).sum::<u64>(), total_f);
+            assert_eq!(merged.iter().map(|b| b.bytes).sum::<u64>(), total_b);
+            assert_eq!(merged.len() as u64, 4 - merges);
+            assert_eq!(merges, u64::from(mask.count_ones()));
+        }
+    }
+
+    #[test]
+    fn coalesce_never_merges_the_last_batch_forward() {
+        let batches = vec![batch(1), batch(1)];
+        let mut consulted = Vec::new();
+        let (merged, _) = coalesce_batches(&batches, |i| {
+            consulted.push(i);
+            true
+        });
+        // Only the non-final batch is offered to the coalescer.
+        assert_eq!(consulted, vec![0]);
+        assert_eq!(merged.len(), 1);
+        assert_eq!(merged[0].frames, 2);
+    }
+
+    #[test]
+    fn delay_consults_every_batch_in_order() {
+        let mut batches = vec![batch(1), batch(1), batch(1)];
+        let mut consulted = Vec::new();
+        let n = delay_batches(&mut batches, SimDuration::from_micros(50), |i| {
+            consulted.push(i);
+            i == 1
+        });
+        assert_eq!(consulted, vec![0, 1, 2]);
+        assert_eq!(n, 1);
+        assert_eq!(
+            batches[1].time,
+            SimTime::ZERO + SimDuration::from_micros(50)
+        );
+        assert_eq!(batches[0].time, SimTime::ZERO);
+    }
+
+    #[test]
+    fn clean_run_completes_one_strip() {
+        let cfg = ProtoConfig {
+            cores: 2,
+            flows: 1,
+            strips_per_flow: 1,
+            batches_per_strip: 2,
+            stripped_flows: 0,
+            faults: FaultAlphabet::none(),
+            dup_budget: 0,
+            legacy_completion: false,
+        };
+        let s0 = ProtoState::initial(&cfg);
+        let s1 = step(
+            &cfg,
+            &s0,
+            &Action::Arrive {
+                strip: 0,
+                merges: 0,
+            },
+        )
+        .unwrap();
+        let s2 = step(
+            &cfg,
+            &s1,
+            &Action::Deliver {
+                strip: 0,
+                batch: 0,
+                hinted: true,
+            },
+        )
+        .unwrap();
+        let s3 = step(
+            &cfg,
+            &s2,
+            &Action::Deliver {
+                strip: 0,
+                batch: 0,
+                hinted: true,
+            },
+        )
+        .unwrap();
+        assert!(s3.strips[0].copy_ready);
+        let s4 = step(&cfg, &s3, &Action::Copy { strip: 0 }).unwrap();
+        assert_eq!(s4.strips[0].copies, 1);
+        check_terminal(&cfg, &s4).unwrap();
+        // A second copy is not enabled.
+        assert!(matches!(
+            step(&cfg, &s4, &Action::Copy { strip: 0 }),
+            Err(Violation::IllegalAction { .. })
+        ));
+    }
+
+    #[test]
+    fn step_is_pure_inputs_untouched() {
+        let cfg = ProtoConfig::ci();
+        let s0 = ProtoState::initial(&cfg);
+        let snapshot = s0.clone();
+        let _ = step(
+            &cfg,
+            &s0,
+            &Action::Arrive {
+                strip: 0,
+                merges: 0,
+            },
+        )
+        .unwrap();
+        assert_eq!(s0, snapshot);
+    }
+
+    #[test]
+    fn churn_on_steady_hintless_flow_is_one_degrade() {
+        // A fully stripped flow never flaps: one degrade, zero
+        // re-promotes, regardless of delivery order.
+        let cfg = ProtoConfig {
+            cores: 2,
+            flows: 1,
+            strips_per_flow: 1,
+            batches_per_strip: 3,
+            stripped_flows: 1,
+            faults: FaultAlphabet::full(),
+            dup_budget: 0,
+            legacy_completion: false,
+        };
+        let mut st = ProtoState::initial(&cfg);
+        st = step(
+            &cfg,
+            &st,
+            &Action::Arrive {
+                strip: 0,
+                merges: 0,
+            },
+        )
+        .unwrap();
+        for _ in 0..3 {
+            st = step(
+                &cfg,
+                &st,
+                &Action::Deliver {
+                    strip: 0,
+                    batch: 0,
+                    hinted: false,
+                },
+            )
+            .unwrap();
+        }
+        assert_eq!(st.flows[0].degrades, 1);
+        assert_eq!(st.flows[0].repromotes, 0);
+        assert_eq!(st.flows[0].flips, 0);
+        assert!(st.flows[0].is_degraded());
+    }
+}

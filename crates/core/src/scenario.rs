@@ -198,6 +198,13 @@ pub struct FaultPlan {
     /// Stripped flows carry no hint, ever; the SAIs policy must degrade
     /// to RSS-style steering for them instead of panicking.
     pub option_strip: f64,
+    /// If set, the option-stripping middlebox is decommissioned at this
+    /// simulation time: stripped flows see clean, hint-carrying responses
+    /// afterwards and SAIs must *re-promote* them (streak reset, RSS →
+    /// hint steering, `degraded_flows` back to zero). `None` (the
+    /// default) keeps the middlebox in place for the whole run — the
+    /// behavior every pre-existing plan had.
+    pub option_strip_until: Option<SimDuration>,
     /// Straggling I/O servers: `(server index, service-time multiplier)`.
     pub stragglers: Vec<(usize, f64)>,
 }
@@ -218,6 +225,7 @@ impl FaultPlan {
             irq_delay_by: SimDuration::from_micros(50),
             irq_coalesce: 0.0,
             option_strip: 0.0,
+            option_strip_until: None,
             stragglers: Vec::new(),
         }
     }
@@ -267,6 +275,17 @@ impl FaultPlan {
         z ^= z >> 31;
         let u = (z >> 11) as f64 / (1u64 << 53) as f64;
         u < self.option_strip
+    }
+
+    /// Whether the middlebox strips `flow` at simulation time `now`:
+    /// [`FaultPlan::strips_flow`] gated by the decommission time
+    /// [`FaultPlan::option_strip_until`]. With the default `None` this is
+    /// exactly `strips_flow` — same hash, same draws, same figures.
+    pub fn strips_flow_at(&self, flow: u64, now: SimTime) -> bool {
+        match self.option_strip_until {
+            Some(until) if now.since(SimTime::ZERO) >= until => false,
+            _ => self.strips_flow(flow),
+        }
     }
 
     /// Validate probabilities and straggler entries against `servers`.
@@ -698,6 +717,13 @@ pub struct RunMetrics {
     /// Flows the SAIs policy degraded to RSS-style steering because their
     /// hints stopped arriving (option stripping), measured at run end.
     pub degraded_flows: u64,
+    /// Degradation episodes the SAIs policy started (hint-less streak
+    /// reached the threshold), cumulative over the run.
+    pub steering_degrades: u64,
+    /// Degradation episodes ended by a re-promoting hint, cumulative.
+    /// The invariant `steering_degrades - steering_repromotes ==
+    /// degraded_flows` holds at run end.
+    pub steering_repromotes: u64,
     /// Interrupts steered by a source hint.
     pub hinted_interrupts: u64,
     /// Interrupts whose policy choice was clamped by the IRQ affinity mask.

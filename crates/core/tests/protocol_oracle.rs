@@ -1,0 +1,182 @@
+//! Oracle equivalence for the protocol extraction out of `Cluster`.
+//!
+//! Two layers of evidence that the refactor changed nothing:
+//!
+//! * **Draw-order equivalence** — the pre-refactor cluster rewrote the
+//!   IRQ batch schedule with inline fault loops consuming the fault RNG
+//!   in a specific order. Those loops are re-implemented here verbatim as
+//!   a reference oracle and run against [`sais_core::protocol`]'s pure
+//!   rewrites on the same seeds: identical output schedules, identical
+//!   counters, identical number of RNG draws (checked by continuing both
+//!   streams afterwards). This is the property that keeps every seeded
+//!   figure CSV byte-identical across the refactor.
+//! * **Whole-system invariants** — random fault plans through the full
+//!   DES must preserve the steering-churn accounting the protocol model
+//!   proves: `degrades - repromotes == degraded_flows` at run end, and
+//!   churn only ever moves in degrade→re-promote alternation (degrades ≥
+//!   repromotes).
+
+use proptest::prelude::*;
+use sais_core::protocol;
+use sais_core::scenario::{PolicyChoice, ScenarioConfig};
+use sais_net::InterruptBatch;
+use sais_sim::{SimDuration, SimRng, SimTime};
+
+/// The exact coalesce loop `Cluster::handle_strip_at_nic` used before the
+/// extraction, kept as the reference oracle.
+fn reference_coalesce(
+    batches: &[InterruptBatch],
+    rng: &mut SimRng,
+    p: f64,
+) -> (Vec<InterruptBatch>, u64) {
+    let last = batches.len() - 1;
+    let mut merged = Vec::with_capacity(batches.len());
+    let mut merges = 0u64;
+    let mut carry_frames = 0u64;
+    let mut carry_bytes = 0u64;
+    for (i, b) in batches.iter().enumerate() {
+        if i < last && rng.chance(p) {
+            carry_frames += b.frames;
+            carry_bytes += b.bytes;
+            merges += 1;
+            continue;
+        }
+        merged.push(InterruptBatch {
+            time: b.time,
+            frames: b.frames + carry_frames,
+            bytes: b.bytes + carry_bytes,
+        });
+        carry_frames = 0;
+        carry_bytes = 0;
+    }
+    (merged, merges)
+}
+
+/// The exact delay loop from the same function.
+fn reference_delay(
+    batches: &mut [InterruptBatch],
+    rng: &mut SimRng,
+    p: f64,
+    by: SimDuration,
+) -> u64 {
+    let mut delayed = 0u64;
+    for b in batches.iter_mut() {
+        if rng.chance(p) {
+            b.time += by;
+            delayed += 1;
+        }
+    }
+    delayed
+}
+
+fn schedule(spec: &[(u64, u64, u64)]) -> Vec<InterruptBatch> {
+    spec.iter()
+        .map(|&(t_us, frames, bytes)| InterruptBatch {
+            time: SimTime::from_micros(t_us),
+            frames,
+            bytes,
+        })
+        .collect()
+}
+
+proptest! {
+    /// `protocol::coalesce_batches` with an RNG closure is draw-for-draw
+    /// identical to the pre-refactor inline loop.
+    #[test]
+    fn coalesce_matches_prerefactor_loop(
+        seed in any::<u64>(),
+        p in 0.0f64..1.0,
+        spec in proptest::collection::vec((0u64..10_000, 1u64..64, 0u64..96_000), 1..40),
+    ) {
+        let batches = schedule(&spec);
+        let mut ref_rng = SimRng::new(seed);
+        let mut new_rng = SimRng::new(seed);
+        let (ref_out, ref_merges) = reference_coalesce(&batches, &mut ref_rng, p);
+        let (new_out, new_merges) =
+            protocol::coalesce_batches(&batches, |_| new_rng.chance(p));
+        prop_assert_eq!(&new_out, &ref_out);
+        prop_assert_eq!(new_merges, ref_merges);
+        // Same number of draws consumed: the streams stay in lock-step
+        // for whatever the simulation draws next.
+        prop_assert_eq!(ref_rng.next_u64(), new_rng.next_u64());
+    }
+
+    /// Same for `protocol::delay_batches`.
+    #[test]
+    fn delay_matches_prerefactor_loop(
+        seed in any::<u64>(),
+        p in 0.0f64..1.0,
+        by_us in 1u64..500,
+        spec in proptest::collection::vec((0u64..10_000, 1u64..64, 0u64..96_000), 1..40),
+    ) {
+        let by = SimDuration::from_micros(by_us);
+        let mut ref_batches = schedule(&spec);
+        let mut new_batches = ref_batches.clone();
+        let mut ref_rng = SimRng::new(seed);
+        let mut new_rng = SimRng::new(seed);
+        let ref_n = reference_delay(&mut ref_batches, &mut ref_rng, p, by);
+        let new_n = protocol::delay_batches(&mut new_batches, by, |_| new_rng.chance(p));
+        prop_assert_eq!(&new_batches, &ref_batches);
+        prop_assert_eq!(new_n, ref_n);
+        prop_assert_eq!(ref_rng.next_u64(), new_rng.next_u64());
+    }
+
+    /// Both rewrites conserve payload: frames and bytes in == frames and
+    /// bytes out, under any decision sequence.
+    #[test]
+    fn rewrites_conserve_payload(
+        seed in any::<u64>(),
+        p in 0.0f64..1.0,
+        spec in proptest::collection::vec((0u64..10_000, 1u64..64, 0u64..96_000), 1..40),
+    ) {
+        let batches = schedule(&spec);
+        let frames: u64 = batches.iter().map(|b| b.frames).sum();
+        let bytes: u64 = batches.iter().map(|b| b.bytes).sum();
+        let mut rng = SimRng::new(seed);
+        let (out, merges) = protocol::coalesce_batches(&batches, |_| rng.chance(p));
+        prop_assert_eq!(out.iter().map(|b| b.frames).sum::<u64>(), frames);
+        prop_assert_eq!(out.iter().map(|b| b.bytes).sum::<u64>(), bytes);
+        prop_assert_eq!(out.len() as u64 + merges, batches.len() as u64);
+    }
+}
+
+/// Random fault plans through the full DES keep the steering-churn
+/// accounting the protocol model proves: every degrade episode either
+/// ended in a re-promotion or is still degraded at run end. A handful of
+/// seeded full-system runs (kept small — each is a complete DES run)
+/// spanning clean, corrupting, stripping, and IRQ-perturbing plans.
+#[test]
+fn des_churn_accounting_matches_protocol_invariant() {
+    // (sim seed, fault seed, corruption, option_strip, irq_coalesce, irq_delay)
+    let plans = [
+        (1u64, 11u64, 0.0, 0.0, 0.0, 0.0),
+        (2, 22, 0.15, 0.0, 0.0, 0.0),
+        (3, 33, 0.0, 0.5, 0.0, 0.0),
+        (4, 44, 0.0, 1.0, 0.3, 0.3),
+        (5, 55, 0.25, 0.35, 0.2, 0.4),
+        (6, 66, 0.05, 0.8, 0.5, 0.1),
+    ];
+    for (sim_seed, fault_seed, corruption, option_strip, irq_coalesce, irq_delay) in plans {
+        let mut cfg = ScenarioConfig::testbed_3gig(4, 256 * 1024);
+        cfg.file_size = 2 << 20;
+        cfg.seed = sim_seed;
+        cfg.policy = PolicyChoice::SourceAware;
+        cfg.faults.seed = fault_seed;
+        cfg.faults.corruption = corruption;
+        cfg.faults.option_strip = option_strip;
+        cfg.faults.irq_coalesce = irq_coalesce;
+        cfg.faults.irq_delay = irq_delay;
+        let m = cfg.run();
+        assert!(
+            m.steering_degrades >= m.steering_repromotes,
+            "repromote without degrade: {} < {} (plan {sim_seed}/{fault_seed})",
+            m.steering_degrades,
+            m.steering_repromotes
+        );
+        assert_eq!(
+            m.steering_degrades - m.steering_repromotes,
+            m.degraded_flows,
+            "episode accounting broken (plan {sim_seed}/{fault_seed})"
+        );
+    }
+}

@@ -1,0 +1,121 @@
+//! Exhaustive exploration of the SAIs steering/degradation protocol.
+//!
+//! ```text
+//! cargo run --release -p sais-mck --bin mck_explore -- [--cores N] [--flows N]
+//!     [--strips N] [--batches N] [--stripped N] [--dup-budget N]
+//!     [--no-hint-loss] [--no-dup] [--no-reorder] [--no-delay] [--no-coalesce]
+//!     [--legacy-completion] [--max-states N]
+//! ```
+//!
+//! Prints the exploration statistics (visited canonical states,
+//! transitions, terminal states, depth) and exits 0 iff the three
+//! properties — no lost interrupt, no steering livelock, exactly-once
+//! delivery — hold over the whole bounded state space. On a violation it
+//! prints the minimal counterexample trace plus paste-ready regression
+//! source, and exits 1. CI runs the default (2 cores × 2 flows × full
+//! fault alphabet) configuration and archives the visited-state count.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use sais_core::protocol::ProtoConfig;
+use sais_mck::{explore, ExploreSettings};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: mck_explore [--cores N] [--flows N] [--strips N] [--batches N] \
+         [--stripped N] [--dup-budget N] [--no-hint-loss] [--no-dup] [--no-reorder] \
+         [--no-delay] [--no-coalesce] [--legacy-completion] [--max-states N]"
+    );
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut cfg = ProtoConfig::ci();
+    let mut settings = ExploreSettings::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut num = |what: &str| -> u64 {
+            args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                eprintln!("{what} needs a numeric argument");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--cores" => cfg.cores = num("--cores") as u8,
+            "--flows" => cfg.flows = num("--flows") as u8,
+            "--strips" => cfg.strips_per_flow = num("--strips") as u8,
+            "--batches" => cfg.batches_per_strip = num("--batches") as u8,
+            "--stripped" => cfg.stripped_flows = num("--stripped") as u8,
+            "--dup-budget" => cfg.dup_budget = num("--dup-budget") as u8,
+            "--max-states" => settings.max_states = num("--max-states") as usize,
+            "--no-hint-loss" => cfg.faults.hint_loss = false,
+            "--no-dup" => cfg.faults.duplication = false,
+            "--no-reorder" => cfg.faults.reorder = false,
+            "--no-delay" => cfg.faults.delay = false,
+            "--no-coalesce" => cfg.faults.coalesce = false,
+            "--legacy-completion" => cfg.legacy_completion = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag: {other}");
+                usage();
+            }
+        }
+    }
+
+    println!(
+        "config: {} cores x {} flows ({} stripped), {} strip(s)/flow x {} batch(es), \
+         dup budget {}, faults[hint_loss={} dup={} reorder={} delay={} coalesce={}]{}",
+        cfg.cores,
+        cfg.flows,
+        cfg.stripped_flows,
+        cfg.strips_per_flow,
+        cfg.batches_per_strip,
+        cfg.dup_budget,
+        cfg.faults.hint_loss,
+        cfg.faults.duplication,
+        cfg.faults.reorder,
+        cfg.faults.delay,
+        cfg.faults.coalesce,
+        if cfg.legacy_completion {
+            " LEGACY-COMPLETION"
+        } else {
+            ""
+        },
+    );
+
+    let t0 = Instant::now();
+    let r = explore(&cfg, &settings);
+    let dt = t0.elapsed();
+    println!(
+        "visited-states: {}\ntransitions: {}\nterminal-states: {}\nmax-depth: {}\nelapsed: {:.2?}",
+        r.visited, r.transitions, r.terminals, r.max_depth, dt
+    );
+
+    if r.truncated {
+        eprintln!(
+            "TRUNCATED at {} states — nothing proven; shrink the configuration",
+            r.visited
+        );
+        return ExitCode::from(3);
+    }
+    match r.violation {
+        None => {
+            println!(
+                "PROVED: no lost interrupt, no steering livelock, exactly-once delivery \
+                 ({} terminal states checked)",
+                r.terminals
+            );
+            ExitCode::SUCCESS
+        }
+        Some(cx) => {
+            eprintln!("VIOLATION: {}", cx.violation);
+            eprintln!("minimal trace ({} actions):", cx.trace.len());
+            for (i, a) in cx.trace.iter().enumerate() {
+                eprintln!("  {i:3}. {a}");
+            }
+            eprintln!("--- regression source ---\n{}", cx.to_regression(&cfg));
+            ExitCode::FAILURE
+        }
+    }
+}

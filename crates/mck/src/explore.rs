@@ -1,0 +1,450 @@
+//! Breadth-first exhaustive exploration of [`sais_core::protocol`].
+//!
+//! Plain explicit-state reachability: a FIFO frontier of concrete states,
+//! a hashed set of *canonical encodings* for deduplication, and parent
+//! pointers for minimal-counterexample reconstruction. No symbolic
+//! machinery — the bounded configurations the CI proves are small enough
+//! (tens of thousands of states) that brute force with a good canonical
+//! form is both simpler and more trustworthy.
+//!
+//! ## Canonicalization
+//!
+//! Two reductions, both bisimulations of the protocol semantics:
+//!
+//! * **Streak capping.** A hint-less streak only matters up to
+//!   `DEGRADE_AFTER` (routing and the degrade edge test `>=` / `==`
+//!   against it), so any streak beyond `DEGRADE_AFTER + 1` behaves
+//!   identically to `DEGRADE_AFTER + 1`: one more hint-less interrupt
+//!   keeps it degraded without re-firing the churn event, one hint
+//!   re-promotes it. Capping at exactly `DEGRADE_AFTER` would *not* be
+//!   sound — it would conflate "just crossed" with "crossed a while ago"
+//!   and re-fire the degrade edge — so the cap is `DEGRADE_AFTER + 1`.
+//! * **Flow-class sorting.** Flows of the same middlebox class (stripped
+//!   vs clean) are fully symmetric: the model never looks at a concrete
+//!   flow id (the RSS spread target is resolved outside the protocol
+//!   state). The encoding therefore sorts each class's per-flow blocks
+//!   (flow state + its strips' states) lexicographically, collapsing
+//!   permutation-equivalent states.
+//!
+//! Successors are generated from the *concrete* state, so traces replay
+//! verbatim; canonicalization only decides what counts as "seen".
+
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, VecDeque};
+
+use sais_core::protocol::{
+    check_terminal, step, Action, ProtoConfig, ProtoState, StripSt, Violation,
+};
+
+/// Exploration bounds and reporting knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ExploreSettings {
+    /// Stop (with an error) after visiting this many states — a guard
+    /// against configurations that explode, not a sampling knob: a run
+    /// that hits it proves nothing.
+    pub max_states: usize,
+}
+
+impl Default for ExploreSettings {
+    fn default() -> Self {
+        ExploreSettings {
+            max_states: 20_000_000,
+        }
+    }
+}
+
+/// A property violation with the minimal action trace reaching it.
+#[derive(Debug, Clone)]
+pub struct Counterexample {
+    /// The violated property.
+    pub violation: Violation,
+    /// Shortest action sequence from the initial state to the violation
+    /// (BFS order guarantees minimality in actions).
+    pub trace: Vec<Action>,
+}
+
+impl Counterexample {
+    /// Render the trace as Rust source driving
+    /// [`sais_core::protocol::step`] — paste-ready for a seeded
+    /// regression in `tests/` (this is how `tests/mck_regressions.rs`
+    /// traces were produced).
+    pub fn to_regression(&self, cfg: &ProtoConfig) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "// mck counterexample: {}\nlet cfg = ProtoConfig {{ cores: {}, flows: {}, strips_per_flow: {}, batches_per_strip: {}, stripped_flows: {}, faults: FaultAlphabet::full(), dup_budget: {}, legacy_completion: {} }};\n",
+            self.violation,
+            cfg.cores,
+            cfg.flows,
+            cfg.strips_per_flow,
+            cfg.batches_per_strip,
+            cfg.stripped_flows,
+            cfg.dup_budget,
+            cfg.legacy_completion,
+        ));
+        out.push_str("let trace = [\n");
+        for a in &self.trace {
+            let lit = match *a {
+                Action::Arrive { strip, merges } => {
+                    format!("Action::Arrive {{ strip: {strip}, merges: {merges} }}")
+                }
+                Action::Deliver {
+                    strip,
+                    batch,
+                    hinted,
+                } => format!(
+                    "Action::Deliver {{ strip: {strip}, batch: {batch}, hinted: {hinted} }}"
+                ),
+                Action::Dup { strip, hinted } => {
+                    format!("Action::Dup {{ strip: {strip}, hinted: {hinted} }}")
+                }
+                Action::Copy { strip } => format!("Action::Copy {{ strip: {strip} }}"),
+            };
+            out.push_str(&format!("    {lit},\n"));
+        }
+        out.push_str("];\n");
+        out
+    }
+}
+
+/// What an exhaustive run found.
+#[derive(Debug, Clone)]
+pub struct ExploreResult {
+    /// Distinct canonical states visited (the number CI tracks).
+    pub visited: usize,
+    /// Transitions taken (edges of the explored graph).
+    pub transitions: usize,
+    /// Terminal states checked against the delivery properties.
+    pub terminals: usize,
+    /// Depth (actions) of the deepest state reached.
+    pub max_depth: usize,
+    /// The first (minimal-depth) violation, if any. `None` means the
+    /// three properties hold over the whole bounded state space.
+    pub violation: Option<Counterexample>,
+    /// True if the search hit [`ExploreSettings::max_states`] and proved
+    /// nothing.
+    pub truncated: bool,
+}
+
+/// Every action enabled in `state` — the successor relation the BFS
+/// expands. Mirrors the guards in [`sais_core::protocol::step`]: an
+/// action listed here never returns `IllegalAction`, and `step` rejecting
+/// one anyway would be a model bug (the explorer treats it as one).
+pub fn enabled_actions(cfg: &ProtoConfig, state: &ProtoState) -> Vec<Action> {
+    let mut acts = Vec::new();
+    let merge_masks: &[u8] = &mask_range(cfg);
+    for (i, s) in state.strips.iter().enumerate() {
+        let strip = i as u8;
+        let flow = cfg.flow_of(i);
+        if !s.arrived {
+            if cfg.faults.coalesce {
+                acts.extend(
+                    merge_masks
+                        .iter()
+                        .map(|&m| Action::Arrive { strip, merges: m }),
+                );
+            } else {
+                acts.push(Action::Arrive { strip, merges: 0 });
+            }
+            continue;
+        }
+        let batch_choices = if cfg.faults.out_of_order() {
+            s.pending.len()
+        } else {
+            usize::from(!s.pending.is_empty())
+        };
+        for batch in 0..batch_choices {
+            for hinted in hint_choices(cfg, flow) {
+                acts.push(Action::Deliver {
+                    strip,
+                    batch: batch as u8,
+                    hinted,
+                });
+            }
+        }
+        if cfg.faults.duplication && state.dups_used < cfg.dup_budget && s.progress.done() > 0 {
+            for hinted in hint_choices(cfg, flow) {
+                acts.push(Action::Dup { strip, hinted });
+            }
+        }
+        if s.copy_ready {
+            acts.push(Action::Copy { strip });
+        }
+    }
+    acts
+}
+
+/// Hint-visibility choices the adversary has for one interrupt of `flow`.
+fn hint_choices(cfg: &ProtoConfig, flow: usize) -> impl Iterator<Item = bool> {
+    let stripped = cfg.is_stripped(flow);
+    let hinted = !stripped;
+    let hintless = stripped || cfg.faults.hint_loss;
+    [true, false]
+        .into_iter()
+        .filter(move |&h| if h { hinted } else { hintless })
+}
+
+/// All coalesce-decision masks for one strip arrival (bit `i` merges
+/// batch `i` into its successor; the final batch has no bit).
+fn mask_range(cfg: &ProtoConfig) -> Vec<u8> {
+    let decisions = cfg.batches_per_strip.saturating_sub(1).min(7);
+    (0u8..(1u8 << decisions)).collect()
+}
+
+/// Canonical byte encoding of a state (see the module docs for why each
+/// reduction is sound).
+fn canon(cfg: &ProtoConfig, state: &ProtoState) -> Vec<u8> {
+    let cap = sais_apic::steer::DEGRADE_AFTER + 1;
+    let spf = cfg.strips_per_flow as usize;
+    // One block per flow: flow scalars then its strips, flow-major.
+    let mut blocks: Vec<(bool, Vec<u8>)> = Vec::with_capacity(state.flows.len());
+    for (f, fs) in state.flows.iter().enumerate() {
+        let mut b = Vec::with_capacity(8 + spf * 12);
+        b.extend_from_slice(&fs.streak.min(cap).to_le_bytes());
+        b.extend_from_slice(&fs.degrades.to_le_bytes());
+        b.extend_from_slice(&fs.repromotes.to_le_bytes());
+        b.extend_from_slice(&fs.flips.to_le_bytes());
+        b.push(fs.last_hinted);
+        for s in &state.strips[f * spf..(f + 1) * spf] {
+            encode_strip(&mut b, s);
+        }
+        blocks.push((cfg.is_stripped(f), b));
+    }
+    // Sort within each middlebox class only: a stripped flow is *not*
+    // symmetric with a clean one.
+    blocks.sort();
+    let mut out = Vec::with_capacity(blocks.iter().map(|(_, b)| b.len() + 1).sum::<usize>() + 1);
+    out.push(state.dups_used);
+    for (stripped, b) in blocks {
+        out.push(stripped as u8);
+        out.extend_from_slice(&b);
+    }
+    out
+}
+
+fn encode_strip(b: &mut Vec<u8>, s: &StripSt) {
+    b.push(s.arrived as u8);
+    b.push(s.pending.len() as u8);
+    b.extend_from_slice(&s.pending);
+    b.extend_from_slice(&s.progress.total().to_le_bytes()[..2]);
+    b.extend_from_slice(&s.progress.done().to_le_bytes()[..2]);
+    b.extend_from_slice(&s.frames_done.to_le_bytes());
+    b.push(s.copy_ready as u8);
+    b.push(s.copies);
+}
+
+/// Exhaustively explore `cfg` from the initial state. Returns the first
+/// minimal violation or, if none, the proof-by-exhaustion statistics.
+pub fn explore(cfg: &ProtoConfig, settings: &ExploreSettings) -> ExploreResult {
+    // Parallel arrays indexed by state id: the concrete state (successor
+    // generation + trace replay) and the (parent id, action) edge that
+    // first reached it.
+    let mut states: Vec<ProtoState> = vec![ProtoState::initial(cfg)];
+    let mut parents: Vec<Option<(usize, Action)>> = vec![None];
+    let mut depths: Vec<u32> = vec![0];
+    let mut visited: HashMap<Vec<u8>, ()> = HashMap::new();
+    visited.insert(canon(cfg, &states[0]), ());
+    let mut frontier: VecDeque<usize> = VecDeque::from([0]);
+
+    let mut transitions = 0usize;
+    let mut terminals = 0usize;
+    let mut max_depth = 0usize;
+
+    let trace_to = |id: usize, parents: &[Option<(usize, Action)>], extra: Option<Action>| {
+        let mut trace = Vec::new();
+        let mut cur = id;
+        while let Some((p, a)) = parents[cur] {
+            trace.push(a);
+            cur = p;
+        }
+        trace.reverse();
+        trace.extend(extra);
+        trace
+    };
+
+    while let Some(id) = frontier.pop_front() {
+        let acts = enabled_actions(cfg, &states[id]);
+        if acts.is_empty() {
+            terminals += 1;
+            if let Err(violation) = check_terminal(cfg, &states[id]) {
+                return ExploreResult {
+                    visited: visited.len(),
+                    transitions,
+                    terminals,
+                    max_depth,
+                    violation: Some(Counterexample {
+                        violation,
+                        trace: trace_to(id, &parents, None),
+                    }),
+                    truncated: false,
+                };
+            }
+            continue;
+        }
+        for a in acts {
+            transitions += 1;
+            let next = match step(cfg, &states[id], &a) {
+                Ok(next) => next,
+                Err(violation) => {
+                    // Safety violation (or a model bug surfacing as
+                    // IllegalAction — either way the trace is the story).
+                    return ExploreResult {
+                        visited: visited.len(),
+                        transitions,
+                        terminals,
+                        max_depth,
+                        violation: Some(Counterexample {
+                            violation,
+                            trace: trace_to(id, &parents, Some(a)),
+                        }),
+                        truncated: false,
+                    };
+                }
+            };
+            if let Entry::Vacant(e) = visited.entry(canon(cfg, &next)) {
+                e.insert(());
+                let depth = depths[id] as usize + 1;
+                max_depth = max_depth.max(depth);
+                states.push(next);
+                parents.push(Some((id, a)));
+                depths.push(depth as u32);
+                frontier.push_back(states.len() - 1);
+                if visited.len() >= settings.max_states {
+                    return ExploreResult {
+                        visited: visited.len(),
+                        transitions,
+                        terminals,
+                        max_depth,
+                        violation: None,
+                        truncated: true,
+                    };
+                }
+            }
+        }
+    }
+
+    ExploreResult {
+        visited: visited.len(),
+        transitions,
+        terminals,
+        max_depth,
+        violation: None,
+        truncated: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sais_core::protocol::FaultAlphabet;
+
+    fn tiny(legacy: bool) -> ProtoConfig {
+        ProtoConfig {
+            cores: 2,
+            flows: 1,
+            strips_per_flow: 1,
+            batches_per_strip: 2,
+            stripped_flows: 0,
+            faults: FaultAlphabet::full(),
+            dup_budget: 1,
+            legacy_completion: legacy,
+        }
+    }
+
+    #[test]
+    fn guarded_tiny_config_is_clean() {
+        let r = explore(&tiny(false), &ExploreSettings::default());
+        assert!(r.violation.is_none(), "{:?}", r.violation);
+        assert!(!r.truncated);
+        assert!(r.visited > 10);
+        assert!(r.terminals > 0);
+    }
+
+    #[test]
+    fn legacy_completion_double_copies_under_duplication() {
+        // The double-copy counterexample the exactly-once guard fixes:
+        // with the pre-extraction `done < total` fall-through, a
+        // duplicated interrupt completes the strip a second time.
+        let r = explore(&tiny(true), &ExploreSettings::default());
+        let cx = r.violation.expect("legacy semantics must violate");
+        assert!(
+            matches!(cx.violation, Violation::DoubleCopy { strip: 0 }),
+            "{}",
+            cx.violation
+        );
+        // BFS minimality: arrive, two delivers, the dup, two copies.
+        assert!(cx.trace.len() <= 6, "not minimal: {:?}", cx.trace);
+        // The rendered regression names the config and the trace.
+        let src = cx.to_regression(&tiny(true));
+        assert!(src.contains("legacy_completion: true"));
+        assert!(src.contains("Action::Dup"));
+    }
+
+    #[test]
+    fn enabled_actions_never_rejected_by_step() {
+        let cfg = tiny(false);
+        let mut stack = vec![ProtoState::initial(&cfg)];
+        let mut seen = std::collections::HashSet::new();
+        seen.insert(canon(&cfg, &stack[0]));
+        let mut checked = 0;
+        while let Some(st) = stack.pop() {
+            for a in enabled_actions(&cfg, &st) {
+                let next = step(&cfg, &st, &a).unwrap_or_else(|v| {
+                    panic!("enabled action `{a}` rejected: {v}");
+                });
+                checked += 1;
+                if seen.insert(canon(&cfg, &next)) {
+                    stack.push(next);
+                }
+            }
+        }
+        // Matches the explorer's transition count for this config.
+        assert!(checked > 50, "only {checked} transitions checked");
+    }
+
+    #[test]
+    fn canon_collapses_symmetric_flows() {
+        // Two clean flows, mirrored streaks: same canonical form.
+        let cfg = ProtoConfig {
+            cores: 2,
+            flows: 2,
+            strips_per_flow: 1,
+            batches_per_strip: 2,
+            stripped_flows: 0,
+            faults: FaultAlphabet::full(),
+            dup_budget: 0,
+            legacy_completion: false,
+        };
+        let mut a = ProtoState::initial(&cfg);
+        let mut b = ProtoState::initial(&cfg);
+        a.flows[0].streak = 2;
+        a.flows[0].last_hinted = 2;
+        b.flows[1].streak = 2;
+        b.flows[1].last_hinted = 2;
+        assert_eq!(canon(&cfg, &a), canon(&cfg, &b));
+        // But a stripped flow is not symmetric with a clean one.
+        let cfg2 = ProtoConfig {
+            stripped_flows: 1,
+            ..cfg
+        };
+        assert_ne!(canon(&cfg2, &a), canon(&cfg2, &b));
+    }
+
+    #[test]
+    fn streak_cap_is_a_bisimulation() {
+        // States differing only in streak 4 vs 6 canonicalize together...
+        let cfg = tiny(false);
+        let mut a = ProtoState::initial(&cfg);
+        let mut b = ProtoState::initial(&cfg);
+        a.flows[0].streak = sais_apic::steer::DEGRADE_AFTER + 1;
+        b.flows[0].streak = sais_apic::steer::DEGRADE_AFTER + 3;
+        a.flows[0].last_hinted = 2;
+        b.flows[0].last_hinted = 2;
+        assert_eq!(canon(&cfg, &a), canon(&cfg, &b));
+        // ...while 3 (just crossed) stays distinct from 4 (crossed long
+        // ago): conflating them would re-fire the degrade edge.
+        let mut c = ProtoState::initial(&cfg);
+        c.flows[0].streak = sais_apic::steer::DEGRADE_AFTER;
+        c.flows[0].last_hinted = 2;
+        assert_ne!(canon(&cfg, &a), canon(&cfg, &c));
+    }
+}

@@ -1,0 +1,48 @@
+//! # sais-mck — explicit-state model checking of the SAIs steering protocol
+//!
+//! The simulator tests the steering/degradation protocol on *sampled*
+//! seeds; this crate tests it on **every interleaving** of a bounded
+//! configuration. The protocol itself lives in [`sais_core::protocol`] as
+//! a pure transition function (`step(cfg, state, action)`), and the live
+//! `Cluster` is built from the same primitives — so whatever the explorer
+//! proves holds for the code that runs, not for a hand-written model of
+//! it (the awkernel wake-protocol discipline, minus the Promela: the
+//! model *is* the implementation).
+//!
+//! [`explore::explore`] runs a breadth-first search over canonicalized
+//! states with a hashed visited set, driving the full fault alphabet
+//! (hint loss, option stripping, duplication, reorder, delayed and
+//! coalesced IRQ batches) as adversary moves. Three properties are
+//! checked by exhaustion:
+//!
+//! 1. **No lost interrupt** — every terminal state has every strip's
+//!    interrupt fan-in run to completion and its payload copied
+//!    ([`sais_core::protocol::check_terminal`]); BFS exhaustion makes
+//!    this a liveness proof for the bounded configuration.
+//! 2. **No steering livelock** — per flow, degrade/re-promote churn is
+//!    bounded by the adversary's hint-visibility alternations
+//!    (`churn ≤ flips + 1`), and the events strictly alternate. The
+//!    protocol never flaps on a steady environment; sustained flapping
+//!    always traces back to adversary flips — exactly the semantics the
+//!    `sais_obs::detect` livelock detector assumes
+//!    ([`replay::windows_from_trace`] bridges a trace onto it).
+//! 3. **Exactly-once strip delivery** — no strip is ever copied twice,
+//!    even under duplicated interrupts.
+//!
+//! A violation comes out of the search as a *minimal* action trace (BFS
+//! explores shortest-first); [`replay::replay`] re-executes a trace
+//! through `protocol::step` and [`explore::Counterexample::to_regression`]
+//! renders it as Rust source for a seeded regression under `tests/` —
+//! that is how `tests/mck_regressions.rs` was generated.
+//!
+//! Run the explorer from the command line:
+//!
+//! ```text
+//! cargo run --release -p sais-mck --bin mck_explore -- --cores 2 --flows 2
+//! ```
+
+pub mod explore;
+pub mod replay;
+
+pub use explore::{explore, Counterexample, ExploreResult, ExploreSettings};
+pub use replay::{replay, windows_from_trace, ReplayOutcome};

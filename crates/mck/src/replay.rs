@@ -1,0 +1,239 @@
+//! Deterministic replay of counterexample traces.
+//!
+//! An explorer trace is just a `Vec<Action>`; [`replay`] re-executes it
+//! through the live [`sais_core::protocol::step`] and reports how far it
+//! got. Regression tests check in the minimal traces the explorer found
+//! (see `tests/mck_regressions.rs`) and assert that the guarded protocol
+//! survives them while the legacy semantics reproduce the violation —
+//! pinning both the bug and the fix forever.
+//!
+//! [`windows_from_trace`] bridges a trace onto the streaming telemetry
+//! detectors: it folds the per-delivery churn events into per-window
+//! [`WindowStats`] exactly as the simulator's telemetry rotation would,
+//! so `sais_obs::detect::evaluate` renders the same
+//! `SteeringLivelock` verdict on a flapping model trace as it does on a
+//! flapping simulated run — one livelock semantics across both planes.
+
+use sais_core::protocol::{check_terminal, step, Action, ProtoConfig, ProtoState, Violation};
+use sais_obs::detect::WindowStats;
+
+/// Where a replayed trace ended up.
+#[derive(Debug, Clone)]
+pub enum ReplayOutcome {
+    /// Every action applied cleanly; the final state is returned.
+    Completed(Box<ProtoState>),
+    /// Action `at` (0-based) tripped a violation.
+    Violated {
+        /// Index of the violating action in the trace.
+        at: usize,
+        /// The violation it tripped.
+        violation: Violation,
+    },
+}
+
+impl ReplayOutcome {
+    /// The violation, if the trace tripped one.
+    pub fn violation(&self) -> Option<&Violation> {
+        match self {
+            ReplayOutcome::Completed(_) => None,
+            ReplayOutcome::Violated { violation, .. } => Some(violation),
+        }
+    }
+}
+
+/// Re-execute `trace` from the initial state of `cfg` through the live
+/// transition function, stopping at the first violation.
+pub fn replay(cfg: &ProtoConfig, trace: &[Action]) -> ReplayOutcome {
+    let mut state = ProtoState::initial(cfg);
+    for (at, a) in trace.iter().enumerate() {
+        match step(cfg, &state, a) {
+            Ok(next) => state = next,
+            Err(violation) => return ReplayOutcome::Violated { at, violation },
+        }
+    }
+    ReplayOutcome::Completed(Box::new(state))
+}
+
+/// Replay `trace` and additionally require it to end in a terminal-state
+/// property check (the no-lost-interrupt obligation).
+pub fn replay_to_terminal(cfg: &ProtoConfig, trace: &[Action]) -> Result<ProtoState, Violation> {
+    match replay(cfg, trace) {
+        ReplayOutcome::Completed(state) => {
+            check_terminal(cfg, &state)?;
+            Ok(*state)
+        }
+        ReplayOutcome::Violated { violation, .. } => Err(violation),
+    }
+}
+
+/// Fold a trace's steering churn into telemetry windows of
+/// `actions_per_window` actions each, the way the simulator's telemetry
+/// rotation attributes churn to windows of simulated time. Only the
+/// steering fields are populated; the rest stay zero.
+pub fn windows_from_trace(
+    cfg: &ProtoConfig,
+    trace: &[Action],
+    actions_per_window: usize,
+) -> Vec<WindowStats> {
+    assert!(actions_per_window > 0, "window must hold at least 1 action");
+    let mut state = ProtoState::initial(cfg);
+    let mut windows: Vec<WindowStats> = Vec::new();
+    for (i, a) in trace.iter().enumerate() {
+        let next = match step(cfg, &state, a) {
+            Ok(next) => next,
+            // Telemetry reflects what happened up to the violation.
+            Err(_) => break,
+        };
+        let epoch = (i / actions_per_window) as u64;
+        if windows.last().map(|w| w.epoch) != Some(epoch) {
+            windows.push(WindowStats {
+                epoch,
+                ..WindowStats::default()
+            });
+        }
+        let w = windows.last_mut().expect("window pushed above");
+        for (f, nf) in state.flows.iter().zip(&next.flows) {
+            w.degrades += u64::from(nf.degrades - f.degrades);
+            w.repromotes += u64::from(nf.repromotes - f.repromotes);
+        }
+        w.degraded_flows = next.flows.iter().filter(|f| f.is_degraded()).count() as u64;
+        state = next;
+    }
+    windows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sais_core::protocol::FaultAlphabet;
+    use sais_obs::detect::{evaluate, DetectorConfig, TelemetryVerdict};
+
+    /// One clean flow, one strip, enough batches to flap the hint
+    /// visibility several times.
+    fn flappy_cfg() -> ProtoConfig {
+        ProtoConfig {
+            cores: 2,
+            flows: 1,
+            strips_per_flow: 1,
+            batches_per_strip: 16,
+            stripped_flows: 0,
+            faults: FaultAlphabet {
+                hint_loss: true,
+                duplication: false,
+                reorder: false,
+                delay: false,
+                coalesce: false,
+            },
+            dup_budget: 0,
+            legacy_completion: false,
+        }
+    }
+
+    /// An adversary that alternates 3 hint-less / 1 hinted: maximal
+    /// legal flapping.
+    fn flappy_trace() -> Vec<Action> {
+        let mut t = vec![Action::Arrive {
+            strip: 0,
+            merges: 0,
+        }];
+        for i in 0..16 {
+            t.push(Action::Deliver {
+                strip: 0,
+                batch: 0,
+                hinted: i % 4 == 3,
+            });
+        }
+        t.push(Action::Copy { strip: 0 });
+        t
+    }
+
+    #[test]
+    fn flappy_trace_is_legal_and_terminal() {
+        // Maximal flapping is *bounded* flapping: every churn event is
+        // paid for by an adversary hint flip, so the trace replays clean.
+        let state = replay_to_terminal(&flappy_cfg(), &flappy_trace()).expect("legal trace");
+        let f = &state.flows[0];
+        assert_eq!(f.degrades, 4);
+        assert_eq!(f.repromotes, 4);
+        assert!(f.degrades + f.repromotes <= f.flips + 1);
+    }
+
+    #[test]
+    fn detector_sees_model_flapping_as_livelock() {
+        // The sais_obs livelock detector, fed windows folded from the
+        // model trace, fires exactly as it would on a simulated run:
+        // same churn semantics on both planes.
+        let windows = windows_from_trace(&flappy_cfg(), &flappy_trace(), 4);
+        let verdicts = evaluate(DetectorConfig::default(), &windows);
+        assert!(
+            verdicts
+                .iter()
+                .any(|v| matches!(v, TelemetryVerdict::SteeringLivelock { .. })),
+            "expected SteeringLivelock, got {verdicts:?}"
+        );
+    }
+
+    #[test]
+    fn steady_trace_raises_no_livelock() {
+        // One degrade with no re-promotion is degradation, not livelock.
+        let cfg = ProtoConfig {
+            stripped_flows: 1,
+            ..flappy_cfg()
+        };
+        let mut t = vec![Action::Arrive {
+            strip: 0,
+            merges: 0,
+        }];
+        t.extend((0..16).map(|_| Action::Deliver {
+            strip: 0,
+            batch: 0,
+            hinted: false,
+        }));
+        t.push(Action::Copy { strip: 0 });
+        let windows = windows_from_trace(&cfg, &t, 4);
+        assert!(evaluate(DetectorConfig::default(), &windows).is_empty());
+        let state = replay_to_terminal(&cfg, &t).expect("legal trace");
+        assert_eq!(state.flows[0].degrades, 1);
+        assert_eq!(state.flows[0].repromotes, 0);
+    }
+
+    #[test]
+    fn violated_replay_reports_the_offending_action() {
+        let cfg = ProtoConfig {
+            legacy_completion: true,
+            dup_budget: 1,
+            faults: FaultAlphabet::full(),
+            batches_per_strip: 2,
+            ..flappy_cfg()
+        };
+        let t = vec![
+            Action::Arrive {
+                strip: 0,
+                merges: 0,
+            },
+            Action::Deliver {
+                strip: 0,
+                batch: 0,
+                hinted: true,
+            },
+            Action::Deliver {
+                strip: 0,
+                batch: 0,
+                hinted: true,
+            },
+            Action::Copy { strip: 0 },
+            Action::Dup {
+                strip: 0,
+                hinted: true,
+            },
+            Action::Copy { strip: 0 },
+        ];
+        match replay(&cfg, &t) {
+            ReplayOutcome::Violated { at, violation } => {
+                assert_eq!(at, 5);
+                assert!(matches!(violation, Violation::DoubleCopy { strip: 0 }));
+            }
+            other => panic!("expected violation, got {other:?}"),
+        }
+    }
+}

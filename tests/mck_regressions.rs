@@ -1,0 +1,224 @@
+//! Seeded counterexample corpus from the `sais-mck` explorer.
+//!
+//! Each regression here is a trace the explicit-state explorer produced
+//! (minimal, by BFS construction), checked in literally so the protocol
+//! can never regress into it, plus the full-DES scenario that exercises
+//! the same failure shape end to end. The three properties under guard:
+//!
+//! 1. exactly-once strip delivery,
+//! 2. no lost interrupt,
+//! 3. no steering livelock (churn bounded by the environment's hint
+//!    alternations).
+//!
+//! The one genuine violation the explorer found is the **legacy
+//! completion double-copy**: with the pre-extraction `done < total`
+//! fall-through, a duplicated interrupt re-completes an already-copied
+//! strip. `protocol::BatchProgress`'s exactly-once edge fixes it; both
+//! the bug and the fix are pinned below.
+
+use sais::core::protocol::{Action, FaultAlphabet, ProtoConfig, Violation};
+use sais::prelude::*;
+use sais_mck::replay::replay_to_terminal;
+use sais_mck::{explore, replay, ExploreSettings, ReplayOutcome};
+
+/// The minimal counterexample `mck_explore --legacy-completion` emits,
+/// verbatim (5 actions): coalesce the whole strip into one batch, deliver
+/// it, copy, duplicate the interrupt, copy again.
+fn legacy_double_copy_trace() -> (ProtoConfig, Vec<Action>) {
+    let cfg = ProtoConfig {
+        cores: 2,
+        flows: 2,
+        strips_per_flow: 1,
+        batches_per_strip: 3,
+        stripped_flows: 1,
+        faults: FaultAlphabet::full(),
+        dup_budget: 1,
+        legacy_completion: true,
+    };
+    let trace = vec![
+        Action::Arrive {
+            strip: 0,
+            merges: 3,
+        },
+        Action::Deliver {
+            strip: 0,
+            batch: 0,
+            hinted: false,
+        },
+        Action::Copy { strip: 0 },
+        Action::Dup {
+            strip: 0,
+            hinted: false,
+        },
+        Action::Copy { strip: 0 },
+    ];
+    (cfg, trace)
+}
+
+#[test]
+fn legacy_completion_trace_double_copies() {
+    // The checked-in trace still reproduces the violation against the
+    // legacy semantics — the counterexample stays alive.
+    let (cfg, trace) = legacy_double_copy_trace();
+    match replay(&cfg, &trace) {
+        ReplayOutcome::Violated { at, violation } => {
+            assert_eq!(at, 4, "the second copy is the violating action");
+            assert!(matches!(violation, Violation::DoubleCopy { strip: 0 }));
+        }
+        other => panic!("legacy semantics must double-copy, got {other:?}"),
+    }
+}
+
+#[test]
+fn guarded_completion_survives_the_same_trace() {
+    // The exactly-once guard rejects the second copy as not-enabled: the
+    // duplicated interrupt is classified spurious and never re-arms the
+    // copy path. The trace minus the final copy is a legal prefix.
+    let (mut cfg, trace) = legacy_double_copy_trace();
+    cfg.legacy_completion = false;
+    match replay(&cfg, &trace) {
+        ReplayOutcome::Violated { at, violation } => {
+            assert_eq!(at, 4);
+            assert!(
+                matches!(violation, Violation::IllegalAction { .. }),
+                "guarded: second copy is not even enabled, got {violation}"
+            );
+        }
+        other => panic!("expected the copy to be rejected, got {other:?}"),
+    }
+    let prefix = &trace[..trace.len() - 1];
+    let out = replay(&cfg, prefix);
+    assert!(out.violation().is_none(), "prefix is legal: {out:?}");
+}
+
+#[test]
+fn ci_configuration_exhausts_clean() {
+    // The CI proof obligation, as a regression: the 2-core × 2-flow ×
+    // full-fault-alphabet configuration must exhaust with all three
+    // properties intact. The visited-state count is pinned so silent
+    // state-space drift (a protocol change that grows or shrinks the
+    // reachable set without failing any property) still trips a test and
+    // gets a deliberate update.
+    let r = explore(&ProtoConfig::ci(), &ExploreSettings::default());
+    assert!(r.violation.is_none(), "violation: {:?}", r.violation);
+    assert!(!r.truncated);
+    assert_eq!(
+        r.visited, 2348,
+        "state space drifted — rerun `mck_explore`, review, update this pin"
+    );
+    assert_eq!(r.terminals, 108);
+}
+
+#[test]
+fn dup_exhausted_configs_still_deliver_every_strip() {
+    // Liveness sweep across dup budgets and stripped-flow counts: no
+    // configuration wedges a strip (lost interrupt) or flaps unboundedly.
+    for dup_budget in [0u8, 1, 2] {
+        for stripped_flows in [0u8, 1, 2] {
+            let cfg = ProtoConfig {
+                dup_budget,
+                stripped_flows,
+                ..ProtoConfig::ci()
+            };
+            let r = explore(&cfg, &ExploreSettings::default());
+            assert!(
+                r.violation.is_none(),
+                "dup={dup_budget} stripped={stripped_flows}: {:?}",
+                r.violation
+            );
+            assert!(r.terminals > 0, "search must reach terminal states");
+        }
+    }
+}
+
+#[test]
+fn hand_minimized_near_miss_saturated_streak_repromotes_once() {
+    // A near-miss the explorer proved safe, kept as a regression: a flow
+    // hammered hint-less far past the threshold (streak saturation), then
+    // re-promoted — exactly one degrade and one re-promote, no wedged
+    // copy. An off-by-one at the threshold (degrade firing on `>` vs
+    // `==`) breaks this trace's churn accounting.
+    let cfg = ProtoConfig {
+        cores: 2,
+        flows: 1,
+        strips_per_flow: 1,
+        batches_per_strip: 6,
+        stripped_flows: 0,
+        faults: FaultAlphabet {
+            hint_loss: true,
+            duplication: false,
+            reorder: false,
+            delay: false,
+            coalesce: false,
+        },
+        dup_budget: 0,
+        legacy_completion: false,
+    };
+    let mut trace = vec![Action::Arrive {
+        strip: 0,
+        merges: 0,
+    }];
+    trace.extend((0..5).map(|_| Action::Deliver {
+        strip: 0,
+        batch: 0,
+        hinted: false,
+    }));
+    trace.push(Action::Deliver {
+        strip: 0,
+        batch: 0,
+        hinted: true,
+    });
+    trace.push(Action::Copy { strip: 0 });
+    let state = replay_to_terminal(&cfg, &trace).expect("legal trace");
+    assert_eq!(state.flows[0].degrades, 1, "one episode despite 5 hintless");
+    assert_eq!(state.flows[0].repromotes, 1);
+    assert!(!state.flows[0].is_degraded());
+    assert_eq!(state.strips[0].copies, 1);
+}
+
+/// The DES face of the corpus: fault plans shaped like the counterexample
+/// alphabet (coalescing + delay + stripping + corruption at full tilt)
+/// through the full simulator, asserted against the same three
+/// properties the explorer proves on the bounded model.
+#[test]
+fn des_survives_counterexample_shaped_fault_plans() {
+    // (fault seed, corruption, option_strip, irq_coalesce, irq_delay)
+    let corpus = [
+        (0xDC_0111, 0.0, 1.0, 0.9, 0.9), // the double-copy shape: heavy
+        // merge+delay on fully stripped flows
+        (0xDC_0222, 0.3, 0.5, 0.5, 0.5), // mixed alphabet
+        (0xDC_0333, 0.5, 0.0, 0.0, 0.9), // reorder-dominant
+        (0xDC_0444, 0.0, 0.0, 1.0, 0.0), // coalesce-only
+    ];
+    for (i, (seed, corruption, option_strip, irq_coalesce, irq_delay)) in
+        corpus.into_iter().enumerate()
+    {
+        let mut cfg = ScenarioConfig::testbed_3gig(8, 512 * 1024);
+        cfg.file_size = 8 << 20;
+        cfg.policy = PolicyChoice::SourceAware;
+        cfg.faults.seed = seed;
+        cfg.faults.corruption = corruption;
+        cfg.faults.option_strip = option_strip;
+        cfg.faults.irq_coalesce = irq_coalesce;
+        cfg.faults.irq_delay = irq_delay;
+        let m = cfg.run();
+        // Exactly-once + no lost interrupt, end to end: every byte and
+        // every strip delivered, none twice.
+        assert_eq!(m.bytes_delivered, 8 << 20, "plan {i}");
+        assert_eq!(m.strips_delivered, 128, "plan {i}");
+        assert_eq!(m.requests_completed, 16, "plan {i}");
+        // No steering livelock: churn accounting balanced, and an
+        // environment that never flips hints back on cannot re-promote.
+        assert_eq!(
+            m.steering_degrades - m.steering_repromotes,
+            m.degraded_flows,
+            "plan {i}"
+        );
+        if corruption == 0.0 {
+            assert_eq!(
+                m.steering_repromotes, 0,
+                "plan {i}: nothing restores hints mid-run"
+            );
+        }
+    }
+}

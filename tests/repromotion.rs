@@ -1,0 +1,125 @@
+//! Re-promotion paths, end to end: a degraded flow whose hint channel
+//! comes back is re-armed by the first valid hint, and every degradation
+//! metric returns to zero — the half of the steering state machine the
+//! fault tests never exercised (they only assert *degradation*).
+//!
+//! The vehicle is `FaultPlan::option_strip_until`: the option-stripping
+//! middlebox is decommissioned mid-run, so flows degrade during the
+//! stripped prefix and must re-promote during the clean suffix. The model
+//! checker proves these transitions safe on bounded configurations
+//! (`sais-mck`); these tests pin them on the full DES.
+
+use sais::core::scenario::ObsConfig;
+use sais::prelude::*;
+
+fn base() -> ScenarioConfig {
+    let mut cfg = ScenarioConfig::testbed_3gig(8, 512 * 1024);
+    cfg.file_size = 8 << 20;
+    cfg.policy = PolicyChoice::SourceAware;
+    cfg
+}
+
+/// Wall-clock length of the fully-stripped run, used to place the
+/// decommission point deterministically mid-run.
+fn stripped_wall() -> SimDuration {
+    let mut cfg = base();
+    cfg.faults.option_strip = 1.0;
+    let m = cfg.run();
+    m.wall_time.since(SimTime::ZERO)
+}
+
+#[test]
+fn degraded_flows_repromote_when_the_middlebox_goes_away() {
+    let until = stripped_wall() / 2;
+    let mut cfg = base();
+    cfg.faults.option_strip = 1.0;
+    cfg.faults.option_strip_until = Some(until);
+    let m = cfg.run();
+    // The stripped prefix degraded the flows...
+    assert!(m.stripped_options > 0, "prefix must strip options");
+    assert!(m.steering_degrades > 0, "stripped flows must degrade");
+    // ...the clean suffix carried hints again...
+    assert!(
+        m.hinted_interrupts > 0,
+        "suffix hints must reach the policy"
+    );
+    // ...and every degraded flow was re-armed by them: churn balances
+    // and the degraded census is empty at run end.
+    assert_eq!(
+        m.steering_repromotes, m.steering_degrades,
+        "every degradation episode must end in a re-promotion"
+    );
+    assert_eq!(m.degraded_flows, 0, "no flow stays degraded");
+    // Delivery was never at risk either way.
+    let clean = base().run();
+    assert_eq!(m.bytes_delivered, clean.bytes_delivered);
+}
+
+#[test]
+fn repromotion_restores_source_aware_steering_quality() {
+    let until = stripped_wall() / 2;
+    let mut half = base();
+    half.faults.option_strip = 1.0;
+    half.faults.option_strip_until = Some(until);
+    let mut forever = base();
+    forever.faults.option_strip = 1.0;
+    let half = half.run();
+    let forever = forever.run();
+    // The permanently-stripped run pays RSS migrations for the whole
+    // run; the re-promoted run only for the stripped prefix.
+    assert!(
+        half.strip_migrations < forever.strip_migrations,
+        "re-promotion must cut migrations: {} vs {}",
+        half.strip_migrations,
+        forever.strip_migrations
+    );
+    assert!(half.hinted_interrupts > 0);
+    assert_eq!(forever.hinted_interrupts, 0);
+    // And the full-strip run never re-promotes: its flows stay degraded.
+    assert_eq!(forever.steering_repromotes, 0);
+    assert_eq!(
+        forever.steering_degrades, forever.degraded_flows,
+        "permanent stripping: one open episode per degraded flow"
+    );
+}
+
+#[test]
+fn churn_telemetry_windows_see_both_edges() {
+    let until = stripped_wall() / 2;
+    let mut cfg = base();
+    cfg.faults.option_strip = 1.0;
+    cfg.faults.option_strip_until = Some(until);
+    cfg.obs = ObsConfig::timeseries();
+    let m = cfg.run();
+    // The telemetry plane attributes the degrade edge and the re-promote
+    // edge to their windows: both appear somewhere in the series, and
+    // the window sums reconcile with the run totals.
+    let windows = m.telemetry.stats();
+    let degrades: u64 = windows.iter().map(|w| w.degrades).sum();
+    let repromotes: u64 = windows.iter().map(|w| w.repromotes).sum();
+    assert_eq!(degrades, m.steering_degrades, "windowed degrades reconcile");
+    assert_eq!(
+        repromotes, m.steering_repromotes,
+        "windowed repromotes reconcile"
+    );
+    assert!(degrades > 0 && repromotes > 0);
+    // The last window's census agrees with the run-end metric: zero.
+    let last = windows.last().expect("timeseries enabled");
+    assert_eq!(last.degraded_flows, 0);
+}
+
+#[test]
+fn decommission_at_time_zero_equals_no_stripping() {
+    // Degenerate gate: a middlebox decommissioned before the run starts
+    // never strips anything — byte-identical to a clean plan.
+    let mut gated = base();
+    gated.faults.option_strip = 1.0;
+    gated.faults.option_strip_until = Some(SimDuration::from_nanos(0));
+    let clean = base().run();
+    let gated = gated.run();
+    assert_eq!(gated.stripped_options, 0);
+    assert_eq!(gated.steering_degrades, 0);
+    assert_eq!(gated.bytes_delivered, clean.bytes_delivered);
+    assert_eq!(gated.wall_time, clean.wall_time);
+    assert_eq!(gated.strip_migrations, clean.strip_migrations);
+}
