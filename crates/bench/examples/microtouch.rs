@@ -1,47 +1,18 @@
-use sais_mem::{AddrAlloc, MemParams, MemorySystem};
-use std::time::Instant;
+//! Print ns/line for every memory-hierarchy access regime, with the
+//! extent summaries in whichever mode the environment selects
+//! (`SAIS_MEM_NO_EXTENTS=1` forces the per-line walk process-wide).
+
 fn main() {
-    let p = MemParams::sunfire_x4240();
-    let mut alloc = AddrAlloc::new(p.line_size);
-    let mut mem = MemorySystem::new(8, p);
-    let strip = alloc.alloc(64 * 1024); // 1024 lines
-                                        // Warm: fill on core 3.
-    mem.touch(3, strip);
-    // Steady state hit loop on core 3.
-    let t0 = Instant::now();
-    let reps = 20_000u64;
-    let mut total = 0u64;
-    for _ in 0..reps {
-        total += mem.touch(3, strip).hits;
+    let mode = if std::env::var_os("SAIS_MEM_NO_EXTENTS").is_some() {
+        "extents off"
+    } else {
+        "extents on"
+    };
+    println!("microtouch regimes ({mode}):");
+    for r in sais_bench::microtouch::run_regimes() {
+        println!(
+            "  {:16} {:>7.2} ns/line  ({} lines)",
+            r.regime, r.ns_per_line, r.lines
+        );
     }
-    let dt = t0.elapsed().as_secs_f64();
-    println!(
-        "hits: {total}, {:.2} ns/line (hit path)",
-        dt * 1e9 / (reps as f64 * 1024.0)
-    );
-    // Migration ping-pong between cores 0/1.
-    let t0 = Instant::now();
-    let reps = 5_000u64;
-    let mut c2c = 0u64;
-    for i in 0..reps {
-        c2c += mem.touch((i % 2) as usize, strip).c2c;
-    }
-    let dt = t0.elapsed().as_secs_f64();
-    println!(
-        "c2c: {c2c}, {:.2} ns/line (migrate path)",
-        dt * 1e9 / (reps as f64 * 1024.0)
-    );
-    // DRAM streaming (fresh lines every time).
-    let t0 = Instant::now();
-    let reps = 5_000u64;
-    let mut dram = 0u64;
-    for _ in 0..reps {
-        let b = alloc.alloc(64 * 1024);
-        dram += mem.touch(2, b).dram;
-    }
-    let dt = t0.elapsed().as_secs_f64();
-    println!(
-        "dram: {dram}, {:.2} ns/line (stream path)",
-        dt * 1e9 / (reps as f64 * 1024.0)
-    );
 }

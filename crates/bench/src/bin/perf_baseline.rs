@@ -10,10 +10,13 @@
 //! `--compare` never rewrites `BENCH_engine.json`; it compares the fresh
 //! measurement against the best run recorded in `BENCH_history.jsonl`
 //! (schema `sais-perf-history/v1`), appends the measurement to the
-//! history, and exits 3 if any scenario regressed more than 20 % — the CI
-//! gate for the engine's performance trajectory. The default mode also
-//! appends to the history, so every baseline refresh extends the
-//! trajectory.
+//! history, and exits 3 if any scenario's events/sec regressed more than
+//! 20 % — or its `mem` phase self-time rose more than 20 % above the
+//! lowest recorded — the CI gate for the engine's performance
+//! trajectory. The default mode also appends to the history, so every
+//! baseline refresh extends the trajectory, and additionally runs the
+//! memory-regime microbench whose ns/line figures are recorded in the
+//! baseline's additive `"microtouch"` section.
 //!
 //! `--trace <path>` / `--metrics <path>` additionally export a Perfetto
 //! trace and a metric snapshot of the instrumented demo scenario, so a
@@ -86,12 +89,11 @@ fn main() {
     }
     sais_prof::set_enabled(profile.is_some());
     // perf_baseline measures on the main thread, so the work-stealing
-    // executor never spins up on its own — run a tiny probe pool so the
-    // per-worker fairness counters in the baseline (and the profile's
-    // executor section) describe this host rather than staying empty.
-    sais_bench::executor::run_indexed(64, sais_bench::executor::default_workers(), |_| {
-        std::hint::spin_loop();
-    });
+    // executor never spins up on its own — run a calibrated probe pool
+    // so the per-worker fairness counters in the baseline (and the
+    // profile's executor section) describe this host with a meaningful
+    // busy/idle split rather than staying empty.
+    sais_bench::executor::run_probe_pool(64);
     let results = match std::env::var("SAIS_PERF_SYNTHETIC") {
         Ok(eps) => {
             let eps: f64 = eps
@@ -159,8 +161,10 @@ fn main() {
         }
         if verdict.regressed {
             eprintln!(
-                "error: events/sec regressed more than {:.0}% below the best recorded run",
-                perf::HISTORY_TOLERANCE * 100.0
+                "error: regressed beyond tolerance vs the best recorded run \
+                 (events/sec -{:.0}%, mem phase +{:.0}%)",
+                perf::HISTORY_TOLERANCE * 100.0,
+                perf::MEM_PHASE_TOLERANCE * 100.0
             );
             std::process::exit(3);
         }
@@ -170,8 +174,19 @@ fn main() {
         Ok(()) => eprintln!("[history] {}", history.display()),
         Err(e) => eprintln!("warning: could not append {}: {e}", history.display()),
     }
+    // The regime microbench rides along on every baseline refresh: ns/line
+    // per steady-state touch regime, so scenario-level moves can be
+    // attributed to a specific memory-hierarchy path.
+    let regimes = sais_bench::microtouch::run_regimes();
+    eprintln!();
+    for r in &regimes {
+        eprintln!(
+            "microtouch {:16} {:>8.2} ns/line  ({} lines)",
+            r.regime, r.ns_per_line, r.lines
+        );
+    }
     let path = perf::baseline_path();
     let exec = sais_bench::executor::executor_stats();
-    std::fs::write(&path, perf::to_json(&results, &exec)).expect("write baseline");
+    std::fs::write(&path, perf::to_json(&results, &exec, &regimes)).expect("write baseline");
     eprintln!("\n[baseline] {}", path.display());
 }

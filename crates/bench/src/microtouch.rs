@@ -1,0 +1,208 @@
+//! Memory-hierarchy regime microbench: ns/line for each steady-state
+//! access regime the extent fast paths target.
+//!
+//! The scenarios exercise [`sais_mem::MemorySystem::touch`] through a few
+//! sharply different regimes, and the tentpole optimisation (extent-grained
+//! residency summaries) affects each differently. This module pins a
+//! number on every regime so a perf change can be attributed — "hits got
+//! 3× cheaper, streams are a wash" — instead of showing up only as a
+//! scenario-level blur. The figure harness never calls this; results are
+//! recorded additively in `BENCH_engine.json` (same schema tag) and
+//! printed by the `microtouch` example.
+//!
+//! Regimes:
+//!
+//! * `hit_replay` — an all-hit local replay of a resident strip: the
+//!   whole-group promote path (summaries on) vs the per-line validated
+//!   walk (summaries off).
+//! * `c2c_pingpong` — a strip migrating wholesale between two cores each
+//!   touch: the whole-extent invalidate+fill path.
+//! * `cold_stream` — fresh group-aligned buffers, never touched again:
+//!   the wholly-absent fill path with pristine (uniform) recency.
+//! * `poisoned_stream` — the same streaming fills after a few short
+//!   unaligned touches have knocked per-set recency out of lockstep, the
+//!   write-path steady state: batched fills that cannot take the
+//!   uniform-recency splat.
+//! * `mixed_fallback` — 48-line replays at a 64-line stride: every group
+//!   stays partially resident, so every touch takes the exact per-line
+//!   fallback walk and the summaries only pay their maintenance cost.
+
+use sais_mem::{AddrAlloc, AddrRange, MemParams, MemorySystem};
+use std::time::Instant;
+
+/// One regime's measurement.
+#[derive(Debug, Clone)]
+pub struct RegimeResult {
+    pub regime: &'static str,
+    /// Nanoseconds of `touch` wall time per line touched.
+    pub ns_per_line: f64,
+    /// Total lines touched by the timed loop (sanity anchor).
+    pub lines: u64,
+}
+
+const STRIP_BYTES: u64 = 64 * 1024; // 1024 lines, 16 aligned groups
+
+fn fresh(cores: usize) -> (MemorySystem, AddrAlloc) {
+    let p = MemParams::sunfire_x4240();
+    let alloc = AddrAlloc::new(p.line_size);
+    (MemorySystem::new(cores, p), alloc)
+}
+
+fn per_line(dt_secs: f64, lines: u64) -> f64 {
+    dt_secs * 1e9 / lines as f64
+}
+
+/// All-hit replay of one resident strip on its owning core.
+fn hit_replay(reps: u64) -> RegimeResult {
+    let (mut mem, mut alloc) = fresh(8);
+    let strip = alloc.alloc(STRIP_BYTES);
+    mem.touch(3, strip);
+    let mut lines = 0u64;
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        lines += mem.touch(3, strip).hits;
+    }
+    RegimeResult {
+        regime: "hit_replay",
+        ns_per_line: per_line(t0.elapsed().as_secs_f64(), lines),
+        lines,
+    }
+}
+
+/// Whole-strip migration between two cores on every touch.
+fn c2c_pingpong(reps: u64) -> RegimeResult {
+    let (mut mem, mut alloc) = fresh(8);
+    let strip = alloc.alloc(STRIP_BYTES);
+    // Seed on core 1: the timed loop starts at core 0, so every rep
+    // (including the first) is a whole-strip migration.
+    mem.touch(1, strip);
+    let mut lines = 0u64;
+    let t0 = Instant::now();
+    for i in 0..reps {
+        lines += mem.touch((i % 2) as usize, strip).c2c;
+    }
+    RegimeResult {
+        regime: "c2c_pingpong",
+        ns_per_line: per_line(t0.elapsed().as_secs_f64(), lines),
+        lines,
+    }
+}
+
+/// Streaming fills of fresh buffers; recency stays in per-set lockstep.
+fn cold_stream(reps: u64) -> RegimeResult {
+    let (mut mem, mut alloc) = fresh(8);
+    let mut lines = 0u64;
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        let b = alloc.alloc(STRIP_BYTES);
+        lines += mem.touch(2, b).dram;
+    }
+    RegimeResult {
+        regime: "cold_stream",
+        ns_per_line: per_line(t0.elapsed().as_secs_f64(), lines),
+        lines,
+    }
+}
+
+/// Streaming fills after short unaligned touches have decorrelated the
+/// per-set recency permutations — the interrupt-heavy steady state,
+/// where every batched fill picks a different victim way per set.
+fn poisoned_stream(reps: u64) -> RegimeResult {
+    let (mut mem, mut alloc) = fresh(8);
+    // Fill the cache, then poison: short touches at irregular offsets hit
+    // a few sets of each 64-set block, promoting different ways in
+    // different sets.
+    for _ in 0..16 {
+        let b = alloc.alloc(STRIP_BYTES);
+        mem.touch(2, b);
+    }
+    let poison = alloc.alloc(STRIP_BYTES);
+    for k in 0..64u64 {
+        let off = (k * 3 + 1) % 60;
+        mem.touch(
+            2,
+            AddrRange::new(poison.start + (k * 16 + off) * 64, 3 * 64),
+        );
+    }
+    let mut lines = 0u64;
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        let b = alloc.alloc(STRIP_BYTES);
+        lines += mem.touch(2, b).dram;
+    }
+    RegimeResult {
+        regime: "poisoned_stream",
+        ns_per_line: per_line(t0.elapsed().as_secs_f64(), lines),
+        lines,
+    }
+}
+
+/// 48-line replays at a 64-line stride: every group is partially
+/// resident forever, so every touch takes the exact fallback walk.
+fn mixed_fallback(reps: u64) -> RegimeResult {
+    let (mut mem, mut alloc) = fresh(8);
+    let strip = alloc.alloc(STRIP_BYTES);
+    let line = 64u64;
+    let parts: Vec<AddrRange> = (0..16)
+        .map(|g| AddrRange::new(strip.start + g * 64 * line, 48 * line))
+        .collect();
+    for r in &parts {
+        mem.touch(1, *r);
+    }
+    let mut lines = 0u64;
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        for r in &parts {
+            lines += mem.touch(1, *r).hits;
+        }
+    }
+    RegimeResult {
+        regime: "mixed_fallback",
+        ns_per_line: per_line(t0.elapsed().as_secs_f64(), lines),
+        lines,
+    }
+}
+
+/// Run every regime at the default rep counts (a few ms each).
+pub fn run_regimes() -> Vec<RegimeResult> {
+    vec![
+        hit_replay(20_000),
+        c2c_pingpong(5_000),
+        cold_stream(5_000),
+        poisoned_stream(5_000),
+        mixed_fallback(2_000),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regimes_touch_the_lines_they_claim() {
+        // Tiny rep counts: pin the line accounting, not the timing.
+        let r = hit_replay(3);
+        assert_eq!(r.lines, 3 * 1024);
+        let r = c2c_pingpong(3);
+        assert_eq!(r.lines, 3 * 1024);
+        let r = cold_stream(3);
+        assert_eq!(r.lines, 3 * 1024);
+        let r = poisoned_stream(3);
+        assert_eq!(r.lines, 3 * 1024);
+        let r = mixed_fallback(3);
+        assert_eq!(r.lines, 3 * 16 * 48);
+        for r in run_regimes_quick() {
+            assert!(r.ns_per_line.is_finite() && r.ns_per_line > 0.0);
+        }
+    }
+
+    fn run_regimes_quick() -> Vec<RegimeResult> {
+        vec![
+            hit_replay(2),
+            c2c_pingpong(2),
+            cold_stream(2),
+            poisoned_stream(2),
+            mixed_fallback(2),
+        ]
+    }
+}

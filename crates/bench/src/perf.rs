@@ -191,10 +191,15 @@ pub fn measure(name: &'static str, cfg: &ScenarioConfig, reps: u32) -> PerfResul
     }
 }
 
-/// Measure every canonical scenario.
+/// Measure every canonical scenario. `SAIS_PERF_ONLY=<substring>`
+/// restricts the run to matching scenario names — an iteration aid for
+/// perf work on a single scenario; the gate modes still require the
+/// full set, so a filtered `--compare`/`--check` simply has fewer rows.
 pub fn measure_all(reps: u32) -> Vec<PerfResult> {
+    let only = std::env::var("SAIS_PERF_ONLY").ok();
     canonical_scenarios()
         .iter()
+        .filter(|(name, _)| only.as_deref().is_none_or(|f| name.contains(f)))
         .map(|(name, cfg)| {
             let r = measure(name, cfg, reps);
             eprintln!(
@@ -240,11 +245,15 @@ fn phases_json(phases: &[u64; NUM_PHASES]) -> String {
 /// dependency; one object per scenario, one line each). The slab,
 /// batch-dispatch, telemetry (`window_rotations`, `detector_evals`) and
 /// phase-attribution counters are additive `v1` fields, and the
-/// `"executor"` object is an additive non-scenario line: the
-/// line-oriented reader only parses `{"name":`-prefixed lines and ignores
-/// keys it does not know, so old baselines parse under the new code and
-/// vice versa — the schema tag stays `sais-perf-baseline/v1`.
-pub fn to_json(results: &[PerfResult], exec: &crate::executor::ExecutorStats) -> String {
+/// `"executor"` and `"microtouch"` objects are additive non-scenario
+/// lines: the line-oriented reader only parses `{"name":`-prefixed lines
+/// and ignores keys it does not know, so old baselines parse under the
+/// new code and vice versa — the schema tag stays `sais-perf-baseline/v1`.
+pub fn to_json(
+    results: &[PerfResult],
+    exec: &crate::executor::ExecutorStats,
+    regimes: &[crate::microtouch::RegimeResult],
+) -> String {
     let mut s = String::from("{\n  \"schema\": \"sais-perf-baseline/v1\",\n  \"scenarios\": [\n");
     for (i, r) in results.iter().enumerate() {
         let hist = r
@@ -270,6 +279,16 @@ pub fn to_json(results: &[PerfResult], exec: &crate::executor::ExecutorStats) ->
             r.detector_evals,
             phases_json(&r.phases),
             if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n  \"microtouch\": [\n");
+    for (i, r) in regimes.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"regime\": \"{}\", \"ns_per_line\": {:.3}, \"lines\": {}}}{}\n",
+            r.regime,
+            r.ns_per_line,
+            r.lines,
+            if i + 1 < regimes.len() { "," } else { "" }
         ));
     }
     s.push_str("  ],\n  \"executor\": {\"pools\": ");
@@ -325,6 +344,22 @@ pub const HISTORY_SCHEMA: &str = "sais-perf-history/v1";
 /// the gate when its fresh events/sec drops more than this fraction below
 /// the best ever recorded for it.
 pub const HISTORY_TOLERANCE: f64 = 0.20;
+
+/// Relative tolerance of the per-phase `mem` gate: a scenario fails when
+/// its fresh `mem` phase self-time (ns/run) rises more than this fraction
+/// above the lowest ever recorded for it. Whole-scenario events/sec can
+/// hide a memory-walk regression behind an improvement elsewhere; the
+/// phase gate pins the quantity the extent work optimises directly.
+pub const MEM_PHASE_TOLERANCE: f64 = 0.20;
+
+/// Index of the `mem` phase in [`PHASES`] — the phase gated separately
+/// by `--compare`.
+fn mem_phase_index() -> usize {
+    PHASES
+        .iter()
+        .position(|p| *p == "mem")
+        .expect("mem is a profiler phase")
+}
 
 /// `BENCH_history.jsonl` lives next to `BENCH_engine.json` at the
 /// repository root; `SAIS_BENCH_HISTORY` overrides the location (tests
@@ -445,6 +480,11 @@ pub struct BestRun {
     /// Phase self-times of the best run ([`PHASES`] order, ns); `None`
     /// for lines predating phase attribution.
     pub phases: Option<[u64; NUM_PHASES]>,
+    /// Lowest nonzero `mem` phase self-time (ns/run) across the *whole*
+    /// trajectory — tracked independently of the events/sec best, since
+    /// the fastest overall run is not necessarily the one with the
+    /// cheapest memory walk. `None` when no line recorded one.
+    pub mem_phase_ns: Option<u64>,
 }
 
 /// Best recorded events/sec per scenario over the whole trajectory, each
@@ -487,8 +527,19 @@ pub fn history_best(path: &Path) -> Vec<BestRun> {
                 }
                 out
             });
+            let mem = phases
+                .as_ref()
+                .map(|p| p[mem_phase_index()])
+                .filter(|&m| m > 0);
             match best.iter_mut().find(|b| b.name == name) {
                 Some(b) => {
+                    // The mem-phase floor is a min over every line, not a
+                    // property of the events/sec best — merge before any
+                    // overwrite below can clobber it.
+                    let mem_floor = match (b.mem_phase_ns, mem) {
+                        (Some(a), Some(c)) => Some(a.min(c)),
+                        (a, c) => a.or(c),
+                    };
                     if eps > b.events_per_sec {
                         *b = BestRun {
                             name: name.to_string(),
@@ -496,7 +547,10 @@ pub fn history_best(path: &Path) -> Vec<BestRun> {
                             unix_ms,
                             git_rev: git_rev.clone(),
                             phases,
+                            mem_phase_ns: mem_floor,
                         };
+                    } else {
+                        b.mem_phase_ns = mem_floor;
                     }
                 }
                 None => best.push(BestRun {
@@ -505,6 +559,7 @@ pub fn history_best(path: &Path) -> Vec<BestRun> {
                     unix_ms,
                     git_rev: git_rev.clone(),
                     phases,
+                    mem_phase_ns: mem,
                 }),
             }
         }
@@ -527,6 +582,11 @@ pub struct HistoryComparison {
 /// (date + commit) and, when both runs recorded phase attribution, a
 /// per-phase self-time diff naming the worst-moved phase — the first
 /// question after "it regressed" is "where", and the gate answers it.
+///
+/// Besides the events/sec check, each scenario's fresh `mem` phase
+/// self-time is held against the lowest ever recorded for it
+/// ([`MEM_PHASE_TOLERANCE`]): a memory-walk regression trips the gate
+/// even when the scenario's overall throughput improved.
 pub fn compare_to_best(
     results: &[PerfResult],
     best: &[BestRun],
@@ -556,6 +616,17 @@ pub fn compare_to_best(
                         b.git_rev
                     ));
                     out.lines.extend(phase_attribution(&r.phases, b));
+                }
+                let fresh_mem = r.phases[mem_phase_index()];
+                if let Some(best_mem) = b.mem_phase_ns.filter(|_| fresh_mem > 0) {
+                    let mem_rel = fresh_mem as f64 / best_mem as f64 - 1.0;
+                    if mem_rel > MEM_PHASE_TOLERANCE {
+                        out.regressed = true;
+                        out.lines.push(format!(
+                            "    mem phase {best_mem} -> {fresh_mem} ns/run ({:+.1}%)  MEM-PHASE REGRESSION",
+                            mem_rel * 100.0
+                        ));
+                    }
                 }
             }
             None => out.lines.push(format!(
@@ -687,7 +758,19 @@ mod tests {
                 idle_ns: 1000,
             }],
         };
-        let json = to_json(&results, &exec);
+        let regimes = vec![
+            crate::microtouch::RegimeResult {
+                regime: "hit_replay",
+                ns_per_line: 0.456,
+                lines: 20_480_000,
+            },
+            crate::microtouch::RegimeResult {
+                regime: "cold_stream",
+                ns_per_line: 3.1,
+                lines: 5_120_000,
+            },
+        ];
+        let json = to_json(&results, &exec, &regimes);
         // Parse via the same line-oriented reader the regression test uses.
         let mut parsed = Vec::new();
         for line in json.lines() {
@@ -711,10 +794,13 @@ mod tests {
         assert!(parsed[0].contains("\"detector_evals\": 128"));
         assert!(parsed[1].contains("\"window_rotations\": 0"));
         assert!(parsed[0].contains("\"phases\": {\"engine\": 600"));
-        // The executor object is a non-scenario line: present in the
-        // document, invisible to the line-oriented reader above.
+        // The executor and microtouch objects are non-scenario lines:
+        // present in the document, invisible to the line-oriented reader
+        // above (which found exactly the two scenarios).
         assert!(json.contains("\"executor\": {\"pools\": 2"));
         assert!(json.contains("\"steals_missed\": 2"));
+        assert!(json
+            .contains("{\"regime\": \"hit_replay\", \"ns_per_line\": 0.456, \"lines\": 20480000}"));
         // The whole document is well-formed JSON for any spec-compliant
         // reader, not just the line-oriented one.
         let doc = JsonValue::parse(&json).expect("baseline document parses");
@@ -723,6 +809,15 @@ mod tests {
                 .and_then(|e| e.get("pools"))
                 .and_then(JsonValue::as_u64),
             Some(2)
+        );
+        let micro = doc
+            .get("microtouch")
+            .and_then(JsonValue::as_array)
+            .expect("microtouch array");
+        assert_eq!(micro.len(), 2);
+        assert_eq!(
+            micro[1].get("regime").and_then(JsonValue::as_str),
+            Some("cold_stream")
         );
     }
 
@@ -814,6 +909,10 @@ mod tests {
             );
             let phases = b.phases.expect("new lines carry phases");
             assert_eq!(phases[0], 55_000, "engine phase of the 55k run");
+            // The mem floor is a min over the whole trajectory, not a
+            // property of the events/sec best: the slowest run (40k) has
+            // the cheapest synthetic mem phase (eps × 3).
+            assert_eq!(b.mem_phase_ns, Some(40_000 * 3), "{}", b.name);
         }
         let _ = std::fs::remove_file(&path);
     }
@@ -834,6 +933,7 @@ mod tests {
         assert_eq!(best.len(), 1);
         assert_eq!(best[0].git_rev, "unknown");
         assert_eq!(best[0].phases, None);
+        assert_eq!(best[0].mem_phase_ns, None);
         let _ = std::fs::remove_file(&path);
     }
 
@@ -871,6 +971,7 @@ mod tests {
                 unix_ms: 1_786_147_200_000,
                 git_rev: "abc123def456".to_string(),
                 phases: Some(phases),
+                mem_phase_ns: Some(phases[mem_phase_index()]),
             })
             .collect()
     }
@@ -896,6 +997,36 @@ mod tests {
         let fresh = compare_to_best(&synthetic_results(10.0), &[], HISTORY_TOLERANCE);
         assert!(!fresh.regressed);
         assert!(fresh.lines.iter().all(|l| l.contains("no history")));
+    }
+
+    #[test]
+    fn mem_phase_gate_trips_even_when_throughput_improves() {
+        let best = best_at(100_000.0);
+        // Synthetic phases scale with the rate, so a +30% events/sec run
+        // also carries a mem phase 30% above the recorded floor: the
+        // phase gate must trip even though every scenario got *faster*
+        // overall — the exact blind spot the gate exists for.
+        let bad = compare_to_best(&synthetic_results(130_000.0), &best, HISTORY_TOLERANCE);
+        assert!(bad.regressed);
+        let text = bad.lines.join("\n");
+        assert!(text.contains("MEM-PHASE REGRESSION"), "{text}");
+        assert!(
+            bad.lines
+                .iter()
+                .filter(|l| l.contains("vs best"))
+                .all(|l| !l.contains("REGRESSION")),
+            "throughput itself improved, only the mem phase fails: {text}"
+        );
+        // +15% mem stays inside the 20% phase tolerance.
+        let ok = compare_to_best(&synthetic_results(115_000.0), &best, HISTORY_TOLERANCE);
+        assert!(!ok.regressed, "{:?}", ok.lines);
+        // A trajectory with no recorded mem floor passes vacuously.
+        let mut old = best_at(100_000.0);
+        for b in &mut old {
+            b.mem_phase_ns = None;
+        }
+        let ok = compare_to_best(&synthetic_results(130_000.0), &old, HISTORY_TOLERANCE);
+        assert!(!ok.regressed, "{:?}", ok.lines);
     }
 
     #[test]

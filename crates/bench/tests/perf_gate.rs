@@ -66,6 +66,38 @@ fn gate_passes_fresh_then_fails_synthetic_regression() {
 }
 
 #[test]
+fn gate_trips_on_mem_phase_regression_alone() {
+    let history = scratch_history("mem_phase");
+    let out = run_gate(&history, "100000", &[]);
+    assert!(
+        out.status.success(),
+        "seed run must pass: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // Synthetic phases scale with the rate, so a +30% events/sec run
+    // carries a mem phase 30% above the recorded floor: the phase gate
+    // must exit 3 even though whole-scenario throughput improved.
+    let out = run_gate(&history, "130000", &[]);
+    assert_eq!(
+        out.status.code(),
+        Some(3),
+        "mem-phase regression must trip the gate: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("MEM-PHASE REGRESSION"), "{stderr}");
+    // The floor stays the cheapest run ever (the 100k seed), so +15%
+    // above it passes — within the 20% phase tolerance.
+    let out = run_gate(&history, "115000", &[]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let _ = std::fs::remove_file(&history);
+}
+
+#[test]
 fn compare_mode_never_rewrites_the_committed_baseline() {
     let history = scratch_history("baseline_untouched");
     let baseline = sais_bench::perf::baseline_path();

@@ -30,6 +30,14 @@ use sais_metrics::Counter;
 
 const TAG_INVALID: u64 = u64::MAX;
 
+/// Sets per recency/occupancy *block* — the unit at which whole-group
+/// fills virtualize their replacement state. Equal to the extent group
+/// size ([`crate::extent::GROUP_LINES`]): an aligned 64-line group maps
+/// exactly onto one aligned 64-set block whenever `sets >= 64`, which is
+/// also the geometry gate for the extent fast paths.
+const BLOCK_SETS: usize = 64;
+const BLOCK_SHIFT: u32 = 6;
+
 /// Identity permutation: nibble `i` holds way `i`. Unused high nibbles
 /// (for `assoc < 16`) keep their identity values, which can never match
 /// a valid way index during the nibble search.
@@ -83,8 +91,55 @@ pub struct SetAssocCache {
     /// Bitmask of a completely full set: low `assoc` bits.
     full_mask: u16,
     resident: u64,
+    /// Number of aligned [`BLOCK_SETS`]-set blocks (`sets / 64`, or 0
+    /// when the geometry is too small for block-grained state — then
+    /// every virtual path below is statically dormant).
+    blocks: usize,
+    /// Per-block shared recency word. When `vperm_on[b]` is set, the
+    /// logical recency of **every** set in block `b` is `vperm[b]` and
+    /// the per-set words in `recency` are stale; any per-set recency
+    /// read or write must first call
+    /// [`SetAssocCache::materialize_recency`]. Whole-group fills rotate
+    /// this one word instead of splatting 64.
+    vperm: Box<[u64]>,
+    /// Whether `vperm[b]` (rather than `recency`) is authoritative.
+    vperm_on: Box<[bool]>,
+    /// Per-(way, block) reverse map: `group + 1` when the 64 tags of the
+    /// way strip are known to be exactly the lines of that aligned
+    /// group, else 0. A true-when-nonzero hint: whole-group fills set
+    /// it, and every per-line mutation of a strip clears it. Lets a
+    /// whole-strip eviction account its 64 victims as one extent
+    /// decrement without reading a single tag. Indexed `way * blocks +
+    /// block`.
+    vstrip: Box<[u64]>,
+    /// Per-(way, block) flag: the strip's raw `tags` words are stale and
+    /// its logical tags are *derived* from the `vstrip` hint — line
+    /// `64·group + (set & 63)` at every set of the block. Whole-group
+    /// fills set it instead of storing 64 tag words (the dominant memory
+    /// traffic of the streaming fill path); any per-line read or
+    /// mutation of the strip materializes the derived tags first
+    /// ([`SetAssocCache::materialize_strip_tags`]). Invariants: lazy ⇒
+    /// the hint is live and every set of the block holds the way (a
+    /// partial eviction always materializes before clearing a tag).
+    vtag_lazy: Box<[bool]>,
+    /// Per-block count of completely full sets; `full_count[b] == 64`
+    /// lets a whole-group fill skip the occupancy probe entirely.
+    full_count: Box<[u32]>,
     /// Access/miss counters.
     pub stats: CacheStats,
+}
+
+/// How [`SetAssocCache::fill_group_virtual`] placed an aligned group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum VGroupFill {
+    /// Every set of the block was full: the shared recency word rotated
+    /// once and the victim way's whole strip was displaced. `old_group`
+    /// is the displaced group + 1 when the strip was known to hold
+    /// exactly one whole group (one summary decrement suffices), else 0
+    /// and the 64 victim tags were appended to the caller's sink.
+    Rotated { way: u32, old_group: u64 },
+    /// The block had a uniformly empty way: filled it with no evictions.
+    Fresh { way: u32 },
 }
 
 impl SetAssocCache {
@@ -99,6 +154,11 @@ impl SetAssocCache {
             assoc <= 16,
             "per-set recency word packs way indices into 16 nibbles"
         );
+        let blocks = if sets >= BLOCK_SETS {
+            sets >> BLOCK_SHIFT
+        } else {
+            0
+        };
         SetAssocCache {
             tags: vec![TAG_INVALID; sets * assoc].into_boxed_slice(),
             recency: vec![PERM_IDENTITY; sets].into_boxed_slice(),
@@ -109,7 +169,114 @@ impl SetAssocCache {
             set_shift: sets.trailing_zeros(),
             full_mask: (((1u32 << assoc) - 1) & 0xFFFF) as u16,
             resident: 0,
+            blocks,
+            // Every recency word starts at the identity permutation, so
+            // the blocks start virtual: `vperm` agrees with the per-set
+            // words it shadows.
+            vperm: vec![PERM_IDENTITY; blocks].into_boxed_slice(),
+            vperm_on: vec![true; blocks].into_boxed_slice(),
+            vstrip: vec![0u64; blocks * assoc].into_boxed_slice(),
+            vtag_lazy: vec![false; blocks * assoc].into_boxed_slice(),
+            full_count: vec![0u32; blocks].into_boxed_slice(),
             stats: CacheStats::default(),
+        }
+    }
+
+    /// Write the block's shared recency word into its 64 per-set words
+    /// and hand authority back to `recency`. Exact: while `vperm_on[b]`
+    /// held, every set of the block had identical logical recency, so
+    /// the splat reconstructs precisely what the per-set scheme would
+    /// contain.
+    #[inline]
+    fn materialize_recency(&mut self, b: usize) {
+        if self.vperm_on[b] {
+            self.vperm_on[b] = false;
+            let p = self.vperm[b];
+            let s0 = b << BLOCK_SHIFT;
+            for r in &mut self.recency[s0..s0 + BLOCK_SETS] {
+                *r = p;
+            }
+        }
+    }
+
+    /// Materialize the block covering `set`, if block state exists.
+    #[inline]
+    fn materialize_set(&mut self, set: usize) {
+        if self.blocks != 0 {
+            self.materialize_recency(set >> BLOCK_SHIFT);
+        }
+    }
+
+    /// Materialize every block overlapping `n` sets from `set0` (no
+    /// wrap: callers chunk at the set-array boundary).
+    #[inline]
+    fn materialize_range(&mut self, set0: usize, n: usize) {
+        if self.blocks != 0 && n != 0 {
+            for b in (set0 >> BLOCK_SHIFT)..=((set0 + n - 1) >> BLOCK_SHIFT) {
+                self.materialize_recency(b);
+            }
+        }
+    }
+
+    /// Write a lazy strip's derived tags (the hinted group's lines, one
+    /// per set) back into the raw tag array and drop the lazy flag. The
+    /// hint itself survives: the strip still holds exactly that group.
+    /// Exact by the lazy invariant — while the flag held, the strip's
+    /// logical content *was* this iota, so the store reconstructs
+    /// precisely what the eager fill would have written.
+    #[inline]
+    fn materialize_strip_tags(&mut self, way: usize, b: usize) {
+        let strip = way * self.blocks + b;
+        if self.vtag_lazy[strip] {
+            self.vtag_lazy[strip] = false;
+            debug_assert_ne!(self.vstrip[strip], 0, "lazy strip without a hint");
+            let first = (self.vstrip[strip] - 1) << BLOCK_SHIFT;
+            let base = (way << self.set_shift) | (b << BLOCK_SHIFT);
+            for (j, t) in self.tags[base..base + BLOCK_SETS].iter_mut().enumerate() {
+                *t = first + j as u64;
+            }
+        }
+    }
+
+    /// Drop the whole-strip hint for the strip holding `(way, set)`:
+    /// called by every per-line mutation of a tag slot, *before* the
+    /// slot is read or written — a lazy strip's raw tags are stale until
+    /// materialized here.
+    #[inline]
+    fn clear_strip_hint(&mut self, way: usize, set: usize) {
+        if self.blocks != 0 {
+            let b = set >> BLOCK_SHIFT;
+            self.materialize_strip_tags(way, b);
+            self.vstrip[way * self.blocks + b] = 0;
+        }
+    }
+
+    /// The logical tag at `(way, set)`: the raw word, or the derived
+    /// line of a lazy strip.
+    #[inline]
+    fn logical_tag(&self, way: usize, set: usize) -> u64 {
+        if self.blocks != 0 {
+            let strip = way * self.blocks + (set >> BLOCK_SHIFT);
+            if self.vtag_lazy[strip] {
+                return ((self.vstrip[strip] - 1) << BLOCK_SHIFT) | (set & (BLOCK_SETS - 1)) as u64;
+            }
+        }
+        self.tags[self.slot(way, set)]
+    }
+
+    /// A set just transitioned empty-slot → full.
+    #[inline]
+    fn note_set_filled(&mut self, set: usize) {
+        if self.blocks != 0 {
+            self.full_count[set >> BLOCK_SHIFT] += 1;
+        }
+    }
+
+    /// A full set just lost a line.
+    #[inline]
+    fn note_set_unfilled(&mut self, set: usize) {
+        if self.blocks != 0 {
+            self.full_count[set >> BLOCK_SHIFT] -= 1;
         }
     }
 
@@ -170,6 +337,7 @@ impl SetAssocCache {
     #[inline]
     fn promote(&mut self, set: usize, way: usize) {
         debug_assert!(set < self.sets && way < self.assoc);
+        self.materialize_set(set);
         // SAFETY: `set` comes from masking a line address with `set_mask`
         // (always < `sets`), and `recency` has exactly `sets` elements.
         let perm_slot = unsafe { self.recency.get_unchecked_mut(set) };
@@ -194,6 +362,7 @@ impl SetAssocCache {
         while done < entries.len() {
             let set0 = ((first.0 + done as u64) & self.set_mask) as usize;
             let chunk = (entries.len() - done).min(self.sets - set0);
+            self.materialize_range(set0, chunk);
             let rec = &mut self.recency[set0..set0 + chunk];
             let ents = &entries[done..done + chunk];
             for (perm, &e) in rec.iter_mut().zip(ents) {
@@ -210,22 +379,33 @@ impl SetAssocCache {
     /// (`packed_base | slot`, where `packed_base` carries the owner bits)
     /// into `entries`. Returns the eviction count; the caller flushes it
     /// into the statistics, as with [`SetAssocCache::fill_absent`].
+    /// When `V` is true, every evicted line is appended to `victims` in
+    /// eviction order — the extent summaries need the decrements, and
+    /// threading a sink through here keeps the eviction path free of
+    /// per-line calls back into the memory system. `V` is a const
+    /// parameter so the summary-off walk monomorphizes to exactly the
+    /// original loop, with no sink checks on the hot path.
     ///
     /// In the streaming steady state every set of a wrap-free chunk is
     /// full, and a full-set fill is a pure LRU rotation — victim way from
     /// the last active nibble, tag overwrite, permutation shifted one
-    /// nibble — with no occupancy update and no branches, so the chunk
-    /// becomes one tight elementwise loop over contiguous recency words.
-    /// A chunk with any non-full set falls back to the exact per-line
-    /// [`SetAssocCache::fill_absent`]; either way the per-set sequence of
-    /// way choices, tag writes and recency updates is identical to the
-    /// per-line path, just batched.
+    /// nibble — with no occupancy update and no branches. When the whole
+    /// chunk additionally shares one recency word (consecutive sets
+    /// driven through identical histories — the streaming case), the
+    /// rotation is computed once and the chunk collapses to four
+    /// vectorizable strides: a tag copy-out (victims), a tag iota store,
+    /// a recency splat and an entry iota store. Otherwise the chunk runs
+    /// the tight per-set loop; a chunk with any non-full set falls back
+    /// to the exact per-line [`SetAssocCache::fill_absent`]. In every
+    /// case the per-set sequence of way choices, tag writes and recency
+    /// updates is identical to the per-line path, just batched.
     #[inline]
-    pub(crate) fn fill_run(
+    pub(crate) fn fill_run<const V: bool>(
         &mut self,
         first: LineAddr,
         entries: &mut [u32],
         packed_base: u32,
+        victims: &mut Vec<u64>,
     ) -> u64 {
         let mut evictions = 0u64;
         let mut done = 0usize;
@@ -233,25 +413,71 @@ impl SetAssocCache {
         while done < entries.len() {
             let set0 = ((first.0 + done as u64) & self.set_mask) as usize;
             let chunk = (entries.len() - done).min(self.sets - set0);
+            self.materialize_range(set0, chunk);
             let full = self.full_mask;
             let all_full = self.occ[set0..set0 + chunk].iter().all(|&o| o == full);
             if all_full {
-                // SAFETY: `set0 + chunk <= sets` by construction (the
-                // slice above proves it), every slot `(way << set_shift)
-                // | set` with `way < assoc` is within `tags`, and the
-                // victim way is the last active nibble of a permutation
-                // of `0..assoc` (pinned by the debug assert). `done + j`
-                // indexes `entries` within the chunk bound checked above.
-                for j in 0..chunk {
-                    let set = set0 + j;
-                    unsafe {
-                        let perm = *self.recency.get_unchecked(set);
+                let perm0 = self.recency[set0];
+                // Cheap first==last probe before the full equality scan:
+                // diverged-recency chunks (the common case under mixed
+                // access patterns) bail on one comparison instead of
+                // walking the whole slice and then redoing it scalar.
+                if self.recency[set0 + chunk - 1] == perm0
+                    && self.recency[set0..set0 + chunk].iter().all(|&p| p == perm0)
+                {
+                    // One shared recency word: rotate once, splat.
+                    let way = ((perm0 >> top_shift) & 0xF) as usize;
+                    debug_assert!(way < self.assoc, "victim nibble out of range");
+                    let nperm = (perm0 << 4) | way as u64;
+                    // Materialize any lazy victim strips before their raw
+                    // tags are read out as victims, then drop the hints
+                    // the overwrite is about to break.
+                    if self.blocks != 0 {
+                        for b in (set0 >> BLOCK_SHIFT)..=((set0 + chunk - 1) >> BLOCK_SHIFT) {
+                            self.materialize_strip_tags(way, b);
+                            self.vstrip[way * self.blocks + b] = 0;
+                        }
+                    }
+                    let base = (way << self.set_shift) | set0;
+                    let tags = &mut self.tags[base..base + chunk];
+                    if V {
+                        victims.extend_from_slice(tags);
+                    }
+                    for (j, t) in tags.iter_mut().enumerate() {
+                        *t = first.0 + (done + j) as u64;
+                    }
+                    for p in &mut self.recency[set0..set0 + chunk] {
+                        *p = nperm;
+                    }
+                    for (j, e) in entries[done..done + chunk].iter_mut().enumerate() {
+                        *e = packed_base | (base + j) as u32;
+                    }
+                } else {
+                    // SAFETY: `set0 + chunk <= sets` by construction (the
+                    // occupancy slice above proves it), every slot
+                    // `(way << set_shift) | set` with `way < assoc` is
+                    // within `tags`, and the victim way is the last
+                    // active nibble of a permutation of `0..assoc`
+                    // (pinned by the debug assert). `done + j` indexes
+                    // `entries` within the chunk bound checked above.
+                    for j in 0..chunk {
+                        let set = set0 + j;
+                        let perm = unsafe { *self.recency.get_unchecked(set) };
                         let way = ((perm >> top_shift) & 0xF) as usize;
                         debug_assert!(way < self.assoc, "victim nibble out of range");
-                        let slot = (way << self.set_shift) | set;
-                        *self.tags.get_unchecked_mut(slot) = first.0 + (done + j) as u64;
-                        *self.recency.get_unchecked_mut(set) = (perm << 4) | way as u64;
-                        *entries.get_unchecked_mut(done + j) = packed_base | slot as u32;
+                        // Before the victim tag read: a lazy strip's raw
+                        // word is stale until materialized.
+                        self.clear_strip_hint(way, set);
+                        unsafe {
+                            let slot = (way << self.set_shift) | set;
+                            let tag = self.tags.get_unchecked_mut(slot);
+                            if V {
+                                victims.push(*tag);
+                            }
+                            *tag = first.0 + (done + j) as u64;
+                            *self.recency.get_unchecked_mut(set) = (perm << 4) | way as u64;
+                            *entries.get_unchecked_mut(done + j) = packed_base | slot as u32;
+                        }
                     }
                 }
                 evictions += chunk as u64;
@@ -260,6 +486,11 @@ impl SetAssocCache {
                     let line = LineAddr(first.0 + (done + j) as u64);
                     let (slot, ev) = self.fill_absent(line);
                     evictions += ev.is_some() as u64;
+                    if V {
+                        if let Some(e) = ev {
+                            victims.push(e.0);
+                        }
+                    }
                     entries[done + j] = packed_base | slot;
                 }
             }
@@ -268,10 +499,213 @@ impl SetAssocCache {
         evictions
     }
 
+    /// Fill an aligned, wholly absent [`BLOCK_SETS`]-line group through
+    /// the block-grained virtual path, if the block's state permits:
+    /// the block's recency must be (or re-converge to) one shared word,
+    /// and its occupancy must be uniform. Returns `None` when it
+    /// doesn't — the caller falls back to the materialized
+    /// [`SetAssocCache::fill_run`].
+    ///
+    /// The point is what the fast arm *doesn't* touch: no per-set
+    /// recency traffic (one rotation of `vperm[b]`), no occupancy
+    /// probe (`full_count[b]` already proves every set full), and — when
+    /// the victim strip's [`SetAssocCache::vstrip`] hint is live — not a
+    /// single victim tag read. The per-set outcome is bit-identical to
+    /// 64 consecutive [`SetAssocCache::fill_absent`] calls: with every
+    /// set full and sharing recency word `p`, each call would pick the
+    /// same victim way (`p`'s last active nibble) and write the same
+    /// rotation `(p << 4) | way`; with a uniformly non-full block, each
+    /// would pick the same first-empty way and promote it to MRU.
+    pub(crate) fn fill_group_virtual(
+        &mut self,
+        first: LineAddr,
+        victims: &mut Vec<u64>,
+    ) -> Option<VGroupFill> {
+        if self.blocks == 0 {
+            return None;
+        }
+        debug_assert_eq!(first.0 & (BLOCK_SETS as u64 - 1), 0);
+        let set0 = (first.0 & self.set_mask) as usize;
+        let b = set0 >> BLOCK_SHIFT;
+        if !self.vperm_on[b] {
+            // Re-virtualize when the block's per-set words have
+            // re-converged (first==last probe guards the full scan).
+            let p0 = self.recency[set0];
+            if self.recency[set0 + BLOCK_SETS - 1] != p0
+                || !self.recency[set0..set0 + BLOCK_SETS]
+                    .iter()
+                    .all(|&p| p == p0)
+            {
+                return None;
+            }
+            self.vperm[b] = p0;
+            self.vperm_on[b] = true;
+        }
+        if self.full_count[b] == BLOCK_SETS as u32 {
+            debug_assert!(
+                self.occ[set0..set0 + BLOCK_SETS]
+                    .iter()
+                    .all(|&o| o == self.full_mask),
+                "full_count out of sync with occupancy"
+            );
+            let perm = self.vperm[b];
+            let way = ((perm >> (4 * (self.assoc - 1))) & 0xF) as usize;
+            debug_assert!(way < self.assoc, "victim nibble out of range");
+            self.vperm[b] = (perm << 4) | way as u64;
+            let strip = way * self.blocks + b;
+            let old = self.vstrip[strip];
+            if old == 0 {
+                // No hint ⇒ not lazy (the lazy invariant), so the raw
+                // victim tags are authoritative.
+                debug_assert!(!self.vtag_lazy[strip], "lazy strip without a hint");
+                let base = (way << self.set_shift) | set0;
+                victims.extend_from_slice(&self.tags[base..base + BLOCK_SETS]);
+            }
+            // No tag stores at all: the strip's 64 logical tags are the
+            // group iota, derived from the hint until something disturbs
+            // the strip. This is the fill path's dominant memory traffic
+            // (512 B per group) gone from the streaming steady state.
+            self.vstrip[strip] = (first.0 >> BLOCK_SHIFT) + 1;
+            self.vtag_lazy[strip] = true;
+            Some(VGroupFill::Rotated {
+                way: way as u32,
+                old_group: old,
+            })
+        } else {
+            let occ0 = self.occ[set0];
+            if occ0 == self.full_mask
+                || self.occ[set0 + BLOCK_SETS - 1] != occ0
+                || !self.occ[set0..set0 + BLOCK_SETS].iter().all(|&o| o == occ0)
+            {
+                return None;
+            }
+            let way = (!occ0 & self.full_mask).trailing_zeros() as usize;
+            #[cfg(debug_assertions)]
+            {
+                let base = (way << self.set_shift) | set0;
+                for t in &self.tags[base..base + BLOCK_SETS] {
+                    debug_assert_eq!(*t, TAG_INVALID, "fill into an occupied way");
+                }
+            }
+            let nocc = occ0 | (1 << way);
+            for o in &mut self.occ[set0..set0 + BLOCK_SETS] {
+                *o = nocc;
+            }
+            if nocc == self.full_mask {
+                self.full_count[b] += BLOCK_SETS as u32;
+            }
+            self.resident += BLOCK_SETS as u64;
+            self.vperm[b] = Self::promote_word(self.vperm[b], way as u64);
+            let strip = way * self.blocks + b;
+            self.vstrip[strip] = (first.0 >> BLOCK_SHIFT) + 1;
+            self.vtag_lazy[strip] = true;
+            Some(VGroupFill::Fresh { way: way as u32 })
+        }
+    }
+
+    /// Promote a run of `n` consecutive lines starting at `first`, all
+    /// verified resident in this cache at the *same* way — the recency
+    /// half of the extent fast path for a wholly-owned group. Equivalent
+    /// to [`SetAssocCache::promote_run`] with every entry at `way`: the
+    /// lines occupy distinct consecutive sets, so the updates are an
+    /// elementwise map over contiguous recency words; when the words are
+    /// all equal (the replay steady state) the promotion is computed
+    /// once and splatted — and when the run is a whole block still under
+    /// its shared virtual word, the promotion is one update of that
+    /// word, with no per-set traffic at all.
+    #[inline]
+    pub(crate) fn promote_uniform(&mut self, first: LineAddr, way: u64, n: usize) {
+        debug_assert!((way as usize) < self.assoc);
+        let mut done = 0usize;
+        while done < n {
+            let set0 = ((first.0 + done as u64) & self.set_mask) as usize;
+            let chunk = (n - done).min(self.sets - set0);
+            if self.blocks != 0 {
+                let b = set0 >> BLOCK_SHIFT;
+                if chunk == BLOCK_SETS && set0 & (BLOCK_SETS - 1) == 0 && self.vperm_on[b] {
+                    // Whole aligned block, still virtual: one word.
+                    self.vperm[b] = Self::promote_word(self.vperm[b], way);
+                    done += chunk;
+                    continue;
+                }
+                self.materialize_range(set0, chunk);
+            }
+            let rec = &mut self.recency[set0..set0 + chunk];
+            let perm0 = rec[0];
+            if rec.iter().all(|&p| p == perm0) {
+                let nperm = Self::promote_word(perm0, way);
+                for p in rec {
+                    *p = nperm;
+                }
+            } else {
+                for p in rec {
+                    *p = Self::promote_word(*p, way);
+                }
+            }
+            done += chunk;
+        }
+    }
+
+    /// Invalidate a run of `n` consecutive lines starting at `first`,
+    /// all verified resident in this cache at the *same* way — the
+    /// remote half of the extent cache-to-cache fast path. Identical
+    /// per-line state outcome to [`SetAssocCache::invalidate_at`]
+    /// (contiguous tag clears under the way-major layout, occupancy bit
+    /// clears, recency untouched), with the counters updated once.
+    #[inline]
+    pub(crate) fn invalidate_run(&mut self, first: LineAddr, way: u64, n: usize) {
+        debug_assert!((way as usize) < self.assoc);
+        let clear = !(1u16 << way);
+        let mut done = 0usize;
+        while done < n {
+            let set0 = ((first.0 + done as u64) & self.set_mask) as usize;
+            let chunk = (n - done).min(self.sets - set0);
+            if self.blocks != 0 {
+                for b in (set0 >> BLOCK_SHIFT)..=((set0 + chunk - 1) >> BLOCK_SHIFT) {
+                    self.materialize_strip_tags(way as usize, b);
+                }
+            }
+            let base = ((way as usize) << self.set_shift) | set0;
+            for (j, t) in self.tags[base..base + chunk].iter_mut().enumerate() {
+                debug_assert_eq!(
+                    *t,
+                    first.0 + (done + j) as u64,
+                    "summary pointed at a stale way"
+                );
+                *t = TAG_INVALID;
+            }
+            // Per block: count the full sets about to lose a line and
+            // drop the whole-strip hints the tag clears just broke.
+            let mut s = set0;
+            let send = set0 + chunk;
+            while s < send {
+                let sub = if self.blocks != 0 {
+                    send.min(((s >> BLOCK_SHIFT) + 1) << BLOCK_SHIFT)
+                } else {
+                    send
+                };
+                let mut lost = 0u32;
+                for o in &mut self.occ[s..sub] {
+                    lost += (*o == self.full_mask) as u32;
+                    *o &= clear;
+                }
+                if self.blocks != 0 {
+                    let b = s >> BLOCK_SHIFT;
+                    self.full_count[b] -= lost;
+                    self.vstrip[(way as usize) * self.blocks + b] = 0;
+                }
+                s = sub;
+            }
+            done += chunk;
+        }
+        self.resident -= n as u64;
+        self.stats.invalidations.add(n as u64);
+    }
+
     /// Is the line resident? Does not update recency or stats.
     pub fn contains(&self, line: LineAddr) -> bool {
         let set = (line.0 & self.set_mask) as usize;
-        (0..self.assoc).any(|way| self.tags[self.slot(way, set)] == line.0)
+        (0..self.assoc).any(|way| self.logical_tag(way, set) == line.0)
     }
 
     /// Look up a line as an access: updates recency and hit/miss
@@ -282,7 +716,7 @@ impl SetAssocCache {
         self.stats.accesses.inc();
         let set = (line.0 & self.set_mask) as usize;
         for way in 0..self.assoc {
-            if self.tags[self.slot(way, set)] == line.0 {
+            if self.logical_tag(way, set) == line.0 {
                 self.promote(set, way);
                 self.stats.hits.inc();
                 return true;
@@ -307,11 +741,10 @@ impl SetAssocCache {
     pub(crate) fn insert_tracked(&mut self, line: LineAddr) -> (u32, Option<LineAddr>) {
         let set = (line.0 & self.set_mask) as usize;
         for way in 0..self.assoc {
-            let i = self.slot(way, set);
             // Already present → refresh.
-            if self.tags[i] == line.0 {
+            if self.logical_tag(way, set) == line.0 {
                 self.promote(set, way);
-                return (i as u32, None);
+                return (self.slot(way, set) as u32, None);
             }
         }
         let placed = self.fill_absent(line);
@@ -333,6 +766,7 @@ impl SetAssocCache {
     #[inline]
     pub(crate) fn fill_absent(&mut self, line: LineAddr) -> (u32, Option<LineAddr>) {
         let set = (line.0 & self.set_mask) as usize;
+        self.materialize_set(set);
         // SAFETY: `set` is masked to `< sets`; `occ` and `recency` have
         // `sets` elements, and every slot `(way << set_shift) | set` with
         // `way < assoc` is within `tags` (length `sets × assoc`). The
@@ -342,12 +776,21 @@ impl SetAssocCache {
         let occ = unsafe { *self.occ.get_unchecked(set) };
         if occ != self.full_mask {
             // First empty way: lowest clear bit of the occupancy mask —
-            // the same way the scanning walk would have chosen.
+            // the same way the scanning walk would have chosen. The way
+            // is empty at this set, so its strip cannot be lazy (lazy ⇒
+            // fully resident) and the raw tag store below is sound.
             let way = (!occ & self.full_mask).trailing_zeros() as usize;
+            debug_assert!(
+                self.blocks == 0 || !self.vtag_lazy[way * self.blocks + (set >> BLOCK_SHIFT)],
+                "empty way inside a lazy strip"
+            );
             let i = self.slot(way, set);
             unsafe {
                 *self.tags.get_unchecked_mut(i) = line.0;
                 *self.occ.get_unchecked_mut(set) = occ | (1 << way);
+            }
+            if occ | (1 << way) == self.full_mask {
+                self.note_set_filled(set);
             }
             self.resident += 1;
             self.promote(set, way);
@@ -364,6 +807,7 @@ impl SetAssocCache {
         let perm = unsafe { *self.recency.get_unchecked(set) };
         let way = ((perm >> (4 * (self.assoc - 1))) & 0xF) as usize;
         debug_assert!(way < self.assoc, "victim nibble out of range");
+        self.clear_strip_hint(way, set);
         let i = self.slot(way, set);
         unsafe {
             let tag = self.tags.get_unchecked_mut(i);
@@ -382,15 +826,21 @@ impl SetAssocCache {
     #[inline]
     pub(crate) fn invalidate_at(&mut self, slot: u32, line: LineAddr) {
         let i = slot as usize;
+        let set = (line.0 & self.set_mask) as usize;
+        let way = i >> self.set_shift;
+        // Before the tag is read or cleared: a lazy strip's raw word is
+        // stale until materialized.
+        self.clear_strip_hint(way, set);
         debug_assert_eq!(
             self.tags[i], line.0,
             "directory slot does not hold the line"
         );
-        let set = (line.0 & self.set_mask) as usize;
-        let way = i >> self.set_shift;
         // SAFETY: the debug assert above pinned `i` to a slot holding
         // `line`, so it is in bounds; `set` is masked to `< sets`.
         unsafe {
+            if *self.occ.get_unchecked(set) == self.full_mask {
+                self.note_set_unfilled(set);
+            }
             *self.tags.get_unchecked_mut(i) = TAG_INVALID;
             *self.occ.get_unchecked_mut(set) &= !(1 << way);
         }
@@ -405,11 +855,22 @@ impl SetAssocCache {
     #[inline]
     pub(crate) fn tag_at(&self, slot: u32) -> u64 {
         debug_assert!((slot as usize) < self.tags.len());
-        // SAFETY: directory entries are only ever written as
-        // `pack(core, slot)` with a slot returned by this cache's own
-        // fill path, and every cache in a system has the same geometry —
-        // so a recorded slot (even a stale one) is always within `tags`.
-        unsafe { *self.tags.get_unchecked(slot as usize) }
+        let i = slot as usize;
+        // SAFETY (both `get_unchecked` blocks): directory entries are
+        // only ever written as `pack(core, slot)` with a slot returned
+        // by this cache's own fill path, and every cache in a system has
+        // the same geometry — so a recorded slot (even a stale one) is
+        // always within `tags`, and its `(way, block)` strip index is
+        // within `vtag_lazy`/`vstrip`.
+        if self.blocks != 0 {
+            let set = i & (self.sets - 1);
+            let strip = (i >> self.set_shift) * self.blocks + (set >> BLOCK_SHIFT);
+            if unsafe { *self.vtag_lazy.get_unchecked(strip) } {
+                let first = (unsafe { *self.vstrip.get_unchecked(strip) } - 1) << BLOCK_SHIFT;
+                return first | (set & (BLOCK_SETS - 1)) as u64;
+            }
+        }
+        unsafe { *self.tags.get_unchecked(i) }
     }
 
     /// Remove a line (external invalidation). Returns whether it was
@@ -417,8 +878,12 @@ impl SetAssocCache {
     pub fn invalidate(&mut self, line: LineAddr) -> bool {
         let set = (line.0 & self.set_mask) as usize;
         for way in 0..self.assoc {
-            let i = self.slot(way, set);
-            if self.tags[i] == line.0 {
+            if self.logical_tag(way, set) == line.0 {
+                self.clear_strip_hint(way, set);
+                let i = self.slot(way, set);
+                if self.occ[set] == self.full_mask {
+                    self.note_set_unfilled(set);
+                }
                 self.tags[i] = TAG_INVALID;
                 self.occ[set] &= !(1 << way);
                 self.resident -= 1;
@@ -460,6 +925,52 @@ impl SetAssocCache {
     pub fn note_background_hits(&mut self, n: u64) {
         self.stats.accesses.add(n);
         self.stats.hits.add(n);
+    }
+
+    /// Verify the block-grained derived state against the ground truth
+    /// (tags and occupancy): `full_count` equals the census of full
+    /// sets, and every live `vstrip` hint's strip holds exactly the
+    /// claimed group's lines. O(sets × assoc); invariant checks only.
+    pub(crate) fn check_block_invariants(&self) {
+        for b in 0..self.blocks {
+            let s0 = b << BLOCK_SHIFT;
+            let full = self.occ[s0..s0 + BLOCK_SETS]
+                .iter()
+                .filter(|&&o| o == self.full_mask)
+                .count() as u32;
+            assert_eq!(
+                self.full_count[b], full,
+                "block {b}: full_count != full-set census"
+            );
+            for way in 0..self.assoc {
+                let strip = way * self.blocks + b;
+                let claim = self.vstrip[strip];
+                if self.vtag_lazy[strip] {
+                    // Lazy tags: the hint must be live and the strip
+                    // fully resident (every disturbance materializes
+                    // before mutating), and the raw words are stale by
+                    // design — the logical content is the derived iota.
+                    assert_ne!(claim, 0, "lazy strip (way {way}, block {b}) without a hint");
+                    for j in 0..BLOCK_SETS {
+                        assert_ne!(
+                            self.occ[s0 + j] & (1 << way),
+                            0,
+                            "lazy strip (way {way}, block {b}) not resident at set {j}"
+                        );
+                    }
+                } else if claim != 0 {
+                    let first = (claim - 1) << BLOCK_SHIFT;
+                    let base = (way << self.set_shift) | s0;
+                    for j in 0..BLOCK_SETS {
+                        assert_eq!(
+                            self.tags[base + j],
+                            first + j as u64,
+                            "strip (way {way}, block {b}) hint stale at set {j}"
+                        );
+                    }
+                }
+            }
+        }
     }
 
     /// Miss ratio so far (0 if no accesses).

@@ -7,7 +7,8 @@
 //! copy and moves the line to the reader.
 
 use crate::addr::{AddrRange, LineAddr};
-use crate::cache::SetAssocCache;
+use crate::cache::{SetAssocCache, VGroupFill};
+use crate::extent::{ExtentMap, GroupState, GROUP_LINES, GROUP_MASK, GROUP_SHIFT};
 use crate::linetab::{owner_of as packed_owner, pack, slot_of as packed_slot, LineTable, EMPTY};
 use crate::params::MemParams;
 use sais_sim::SimDuration;
@@ -74,10 +75,62 @@ pub struct MemorySystem {
     /// old directory page — the single most cache-hostile access the
     /// simulator used to make per evicted line.
     directory: LineTable,
+    /// Per-group residency summaries over the directory; see
+    /// [`crate::extent`]. Maintained exactly (every fill increments,
+    /// every eviction/invalidation decrements) whenever `extents_on`.
+    extents: ExtentMap,
+    /// Whether the extent fast paths and their bookkeeping are active:
+    /// requires at least [`GROUP_LINES`] sets (the geometric invariant
+    /// the summaries lean on) and no `SAIS_MEM_NO_EXTENTS` override.
+    extents_on: bool,
+    /// log2(sets): shifts a packed way slot down to its way index.
+    set_shift: u32,
+    /// `sets - 1`: masks a line number to its set index.
+    set_mask: u64,
+    /// Reusable eviction sink for [`SetAssocCache::fill_run`]; drained
+    /// into the extent summaries after each batched fill.
+    victims: Vec<u64>,
+    /// Virtual groups whose directory spans still need writing: a
+    /// victim decrement can land while a page span borrow is live, so
+    /// the materialization is queued here and flushed before the next
+    /// classification (see [`crate::extent`] on virtual groups).
+    pending_material: Vec<(u64, u32, u32)>,
+    /// Fast-path engagement counters (deterministic per run; see
+    /// [`MemorySystem::extent_stats`]).
+    ext_whole_hits: u64,
+    ext_whole_c2c: u64,
+    ext_whole_fills: u64,
+    ext_partial_hits: u64,
+    ext_masked_fill_lines: u64,
+    ext_fallback_lines: u64,
     /// Total cache-to-cache line transfers (the migration count).
     c2c_transfers: u64,
     /// Total DRAM line fetches.
     dram_fetches: u64,
+}
+
+/// How often the extent fast paths engaged — deterministic per scenario
+/// (a function of the simulated access stream, not the host), so a
+/// changed value means the touch pattern changed, not the machine.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExtentStats {
+    /// Whether summaries were active at all (geometry + env gate).
+    pub enabled: bool,
+    /// Whole groups classified as local all-hit in O(1).
+    pub whole_hit_groups: u64,
+    /// Whole groups migrated cache-to-cache in one batch.
+    pub whole_c2c_groups: u64,
+    /// Whole groups cold-filled without consulting the directory.
+    pub whole_fill_groups: u64,
+    /// Lines classified all-hit by the residency mask of a uniform
+    /// locally-owned group (whole or partial), skipping the per-line
+    /// walk.
+    pub partial_hit_lines: u64,
+    /// Lines proven absent by the residency mask and batch-filled
+    /// without per-line directory validation.
+    pub masked_fill_lines: u64,
+    /// Lines that went through the exact per-line walk instead.
+    pub fallback_lines: u64,
 }
 
 impl MemorySystem {
@@ -94,20 +147,101 @@ impl MemorySystem {
         let caches = (0..cores)
             .map(|_| SetAssocCache::new(sets, params.l2_ways))
             .collect();
+        // The extent summaries require an aligned 64-line group to cover
+        // 64 *distinct* sets with no wrap, and a fill's victim (same set,
+        // line number off by a multiple of `sets`) to fall outside the
+        // group being filled — both hold exactly when `sets >= 64` (sets
+        // are a power of two). Smaller geometries (tests) and the
+        // `SAIS_MEM_NO_EXTENTS` override run the exact walk for every
+        // line.
+        let extents_on =
+            sets as u64 >= GROUP_LINES && std::env::var_os("SAIS_MEM_NO_EXTENTS").is_none();
         MemorySystem {
             params,
             caches,
             // Only resident lines have entries, so worst case is every way
             // of every cache full.
             directory: LineTable::with_capacity(cores * lines_per_cache),
+            extents: ExtentMap::default(),
+            extents_on,
+            set_shift: sets.trailing_zeros(),
+            set_mask: sets as u64 - 1,
+            victims: Vec::new(),
+            pending_material: Vec::new(),
+            ext_whole_hits: 0,
+            ext_whole_c2c: 0,
+            ext_whole_fills: 0,
+            ext_partial_hits: 0,
+            ext_masked_fill_lines: 0,
+            ext_fallback_lines: 0,
             c2c_transfers: 0,
             dram_fetches: 0,
+        }
+    }
+
+    /// Whether the extent fast paths are active for this geometry.
+    pub fn extents_enabled(&self) -> bool {
+        self.extents_on
+    }
+
+    /// Disable the extent fast paths and their bookkeeping for the rest
+    /// of this system's life (equivalent to constructing under
+    /// `SAIS_MEM_NO_EXTENTS=1`). One-way: re-enabling after touches have
+    /// bypassed the bookkeeping would consume stale summaries. Any
+    /// *virtual* groups are materialized first — once the summaries are
+    /// off, the walks consult only the directory.
+    pub fn disable_extents(&mut self) {
+        if self.extents_on {
+            let virts: Vec<(u64, u32, u32)> = self
+                .extents
+                .iter_live()
+                .filter(|&(.., virt)| virt)
+                .map(|(g, _, _, owner, way, _)| (g, owner, way))
+                .collect();
+            for (g, owner, way) in virts {
+                let taken = self.extents.take_virtual(g);
+                debug_assert_eq!(taken, Some((owner, way)));
+                self.write_group_dir(g, owner, way);
+            }
+        }
+        self.extents_on = false;
+    }
+
+    /// Fast-path engagement counters (deterministic per scenario).
+    pub fn extent_stats(&self) -> ExtentStats {
+        ExtentStats {
+            enabled: self.extents_on,
+            whole_hit_groups: self.ext_whole_hits,
+            whole_c2c_groups: self.ext_whole_c2c,
+            whole_fill_groups: self.ext_whole_fills,
+            partial_hit_lines: self.ext_partial_hits,
+            masked_fill_lines: self.ext_masked_fill_lines,
+            fallback_lines: self.ext_fallback_lines,
         }
     }
 
     /// Number of cores.
     pub fn cores(&self) -> usize {
         self.caches.len()
+    }
+
+    /// Debug aid: dump fast-path engagement to stderr when
+    /// `SAIS_MEM_EXT_DEBUG` is set. Callers that own a `MemorySystem`
+    /// for a whole scenario call this once at teardown.
+    pub fn debug_dump_extents(&self) {
+        if std::env::var_os("SAIS_MEM_EXT_DEBUG").is_some() {
+            let s = self.extent_stats();
+            eprintln!(
+                "[mem-extents] enabled={} whole_hit={} whole_c2c={} whole_fill={} partial_hit={} masked_fill={} fallback_lines={}",
+                s.enabled,
+                s.whole_hit_groups,
+                s.whole_c2c_groups,
+                s.whole_fill_groups,
+                s.partial_hit_lines,
+                s.masked_fill_lines,
+                s.fallback_lines,
+            );
+        }
     }
 
     /// The hierarchy parameters.
@@ -126,11 +260,30 @@ impl MemorySystem {
     /// residency, so the check is exact: a fill records the entry, an
     /// eviction or invalidation clears the tag, and the slot can only
     /// hold this line again if the line was re-filled there (which
-    /// rewrites the entry). Stale entries read as absent.
+    /// rewrites the entry). Stale entries read as absent — unless the
+    /// line belongs to a *virtual* group, whose span was never written:
+    /// then the summary is the directory and the entry is synthesized
+    /// from it (the same value the eager fill would have recorded, as
+    /// the debug assert checks against the tags).
     #[inline]
     fn live_entry(&self, line: LineAddr) -> Option<u32> {
-        let packed = self.directory.get(line.0)?;
-        (self.caches[packed_owner(packed)].tag_at(packed_slot(packed)) == line.0).then_some(packed)
+        if let Some(packed) = self.directory.get(line.0) {
+            if self.caches[packed_owner(packed)].tag_at(packed_slot(packed)) == line.0 {
+                return Some(packed);
+            }
+        }
+        if self.extents_on {
+            if let Some((owner, way)) = self.extents.virtual_info(line.0 >> GROUP_SHIFT) {
+                let slot = (way << self.set_shift) | (line.0 & self.set_mask) as u32;
+                debug_assert_eq!(
+                    self.caches[owner as usize].tag_at(slot),
+                    line.0,
+                    "virtual summary points at a stale strip"
+                );
+                return Some(pack(owner as usize, slot));
+            }
+        }
+        None
     }
 
     /// Touch every line of `range` from `core`, classifying each line and
@@ -138,20 +291,31 @@ impl MemorySystem {
     /// writes — in either case the line ends up exclusively in `core`'s
     /// cache.
     ///
-    /// The whole range is classified as one batch against the
-    /// way-indexed directory: a set-aligned strip (the steady-state case —
-    /// consecutive lines, each set visited in order) resolves analytically
-    /// with one conclusive directory probe per line, because under
-    /// exclusive ownership an entry owned by `core` *is* a local hit, any
-    /// other entry is a cache-to-cache migration from the recorded way,
-    /// and a missing entry is a DRAM fetch. Hits and invalidations jump
-    /// straight to the recorded way instead of scanning the set; lines
-    /// that miss fall back to the exact per-line LRU fill (the only place
-    /// a set scan is still needed, to pick the victim). Clock advance,
-    /// LRU stamps, eviction choices and every statistic are bit-identical
-    /// to [`MemorySystem::touch_reference`], the original scanning walk
+    /// In the steady state the cost is proportional to **ownership
+    /// boundaries, not lines**: an aligned 64-line group whose extent
+    /// summary proves it wholly live in one cache (see [`crate::extent`])
+    /// is classified and accounted in O(1) — a local all-hit group takes
+    /// one batched recency promotion, a wholly remote group one batched
+    /// invalidation plus one batched fill, and a wholly absent group goes
+    /// straight to the batched fill without reading (or validating) a
+    /// single directory entry. Groups that are mixed, partially resident,
+    /// or clipped by the range's edges fall back to the exact per-line
+    /// walk below, which also keeps the summaries up to date.
+    ///
+    /// The per-line walk classifies against the way-indexed directory: a
+    /// set-aligned strip resolves analytically with one conclusive
+    /// directory probe per line, because under exclusive ownership an
+    /// entry owned by `core` *is* a local hit, any other entry is a
+    /// cache-to-cache migration from the recorded way, and a missing
+    /// entry is a DRAM fetch. Hits and invalidations jump straight to
+    /// the recorded way instead of scanning the set; lines that miss
+    /// fall back to the exact per-line LRU fill (the only place a set
+    /// scan is still needed, to pick the victim). Clock advance, LRU
+    /// stamps, eviction choices and every statistic are bit-identical to
+    /// [`MemorySystem::touch_reference`], the original scanning walk
     /// kept as the verification oracle; the property tests in
-    /// `tests/props.rs` pin the equivalence on ranges of every shape.
+    /// `tests/props.rs` and `tests/extent_props.rs` pin the equivalence
+    /// on ranges of every shape, with the fast paths both on and off.
     pub fn touch(&mut self, core: usize, range: AddrRange) -> AccessCounts {
         sais_prof::zone!("mem.touch");
         assert!(core < self.caches.len(), "no such core: {core}");
@@ -161,16 +325,360 @@ impl MemorySystem {
             ..AccessCounts::default()
         };
         // Hit/miss/eviction tallies stay in registers for the whole walk
-        // and are flushed once at the end; per-line recency updates,
-        // eviction choices and classification match the reference walk
-        // exactly. Consecutive lines are consecutive directory slots, so
-        // the walk takes the directory one page span at a time: the page
-        // walk is paid once per 4096 lines and each line is a sequential
-        // slice read, validated against the owning cache's tags and (on a
-        // miss) re-pointed at the new fill slot in place.
+        // and are flushed once at the end.
         let mut evictions = 0u64;
         let first = range.start / line_size;
         let end = first + counts.lines;
+        if self.extents_on {
+            self.touch_grouped(core, first, end, &mut counts, &mut evictions);
+        } else {
+            self.walk_exact::<false>(core, first, end, &mut counts, &mut evictions);
+        }
+        let cache = &mut self.caches[core];
+        cache.add_hits(counts.hits);
+        cache.add_misses(counts.c2c + counts.dram);
+        cache.add_evictions(evictions);
+        self.c2c_transfers += counts.c2c;
+        self.dram_fetches += counts.dram;
+        counts
+    }
+
+    /// The extent-summarized walk over `[first, end)`: dispatch aligned
+    /// whole groups through the O(1) fast paths, everything else through
+    /// [`MemorySystem::walk_exact`]. Consecutive fallback groups are
+    /// coalesced into a single exact walk so a long mixed stretch still
+    /// pays the page walk once.
+    fn touch_grouped(
+        &mut self,
+        core: usize,
+        first: u64,
+        end: u64,
+        counts: &mut AccessCounts,
+        evictions: &mut u64,
+    ) {
+        let mut key = first;
+        while key < end {
+            if key & GROUP_MASK != 0 || end - key < GROUP_LINES {
+                // Partial group at a range edge: the residency mask
+                // usually proves enough — all-hit, all-absent, or an
+                // alternation of the two inside a uniform local group —
+                // to stay off the per-line walk entirely. Anything the
+                // mask can't prove walks per-line; a virtual group about
+                // to be punched partially remote materializes its span
+                // first, since the walk classifies through the
+                // directory.
+                let stop = end.min((key | GROUP_MASK) + 1);
+                if self.touch_masked(core, key, stop, counts, evictions) {
+                    key = stop;
+                    continue;
+                }
+                if let GroupState::Whole {
+                    owner,
+                    way,
+                    virt: true,
+                } = self.extents.classify(key >> GROUP_SHIFT)
+                {
+                    debug_assert_ne!(owner as usize, core, "local whole is mask-handled");
+                    let taken = self.extents.take_virtual(key >> GROUP_SHIFT);
+                    debug_assert_eq!(taken, Some((owner, way)));
+                    self.write_group_dir(key >> GROUP_SHIFT, owner, way);
+                }
+                self.ext_fallback_lines += stop - key;
+                self.walk_exact::<true>(core, key, stop, counts, evictions);
+                key = stop;
+                continue;
+            }
+            match self.extents.classify(key >> GROUP_SHIFT) {
+                GroupState::Whole { owner, way, .. } if owner as usize == core => {
+                    // Local all-hit replay: every line already resident
+                    // here at `way`. No directory or tag traffic at all —
+                    // just the batched recency promotion the per-line
+                    // walk would have produced.
+                    counts.hits += GROUP_LINES;
+                    self.ext_whole_hits += 1;
+                    self.caches[core].promote_uniform(
+                        LineAddr(key),
+                        way as u64,
+                        GROUP_LINES as usize,
+                    );
+                    key += GROUP_LINES;
+                }
+                GroupState::Whole { owner, way, .. } => {
+                    // Whole-extent cache-to-cache migration: batch the
+                    // remote invalidation (remote and local caches are
+                    // disjoint state, so invalidating first is
+                    // order-equivalent to the per-line interleaving),
+                    // then fill locally in line order. A virtual remote
+                    // group needs no span write — the whole group
+                    // disappears at once, so its stale entries stay
+                    // conclusively dead.
+                    counts.c2c += GROUP_LINES;
+                    self.ext_whole_c2c += 1;
+                    self.caches[owner as usize].invalidate_run(
+                        LineAddr(key),
+                        way as u64,
+                        GROUP_LINES as usize,
+                    );
+                    self.extents.clear_group(key >> GROUP_SHIFT);
+                    *evictions += self.fill_group(core, key);
+                    key += GROUP_LINES;
+                }
+                GroupState::Empty => {
+                    // Cold (or fully evicted) group: every line is a DRAM
+                    // fetch. Skips the per-line stale-entry validation
+                    // loads entirely — the summary already proved
+                    // absence — and goes straight to the batched fill.
+                    counts.dram += GROUP_LINES;
+                    self.ext_whole_fills += 1;
+                    *evictions += self.fill_group(core, key);
+                    key += GROUP_LINES;
+                }
+                GroupState::Mixed => {
+                    // A partially-resident group whose resident lines
+                    // all sit locally at one way splits into hit and
+                    // fill runs straight off the mask, with no per-line
+                    // directory traffic.
+                    if self.extents.uniform_local(key >> GROUP_SHIFT, core as u32) {
+                        let handled =
+                            self.touch_masked(core, key, key + GROUP_LINES, counts, evictions);
+                        debug_assert!(handled, "uniform local group not mask-handleable");
+                        key += GROUP_LINES;
+                        continue;
+                    }
+                    let mut stop = key + GROUP_LINES;
+                    while stop + GROUP_LINES <= end
+                        && self.extents.classify(stop >> GROUP_SHIFT) == GroupState::Mixed
+                        && !self.extents.uniform_local(stop >> GROUP_SHIFT, core as u32)
+                    {
+                        stop += GROUP_LINES;
+                    }
+                    self.ext_fallback_lines += stop - key;
+                    self.walk_exact::<true>(core, key, stop, counts, evictions);
+                    key = stop;
+                }
+            }
+        }
+    }
+
+    /// Fill an aligned, wholly absent group into `core`'s cache: the
+    /// shared tail of the cold-fill and cache-to-cache fast paths.
+    /// Returns the eviction count.
+    ///
+    /// Tries the cache's block-grained virtual fill first: when it
+    /// lands, the group's directory span is never written (the summary
+    /// word seeded below *is* its directory until something partially
+    /// disturbs it), the victim strip's decrement is one word update
+    /// when the strip held a whole group, and no per-set recency moves.
+    /// The fallback is the materialized per-line fill, which behaves
+    /// exactly as before the virtual path existed.
+    fn fill_group(&mut self, core: usize, key: u64) -> u64 {
+        debug_assert_eq!(key & GROUP_MASK, 0);
+        debug_assert!(self.victims.is_empty());
+        let group = key >> GROUP_SHIFT;
+        let mut victims = std::mem::take(&mut self.victims);
+        let placed = self.caches[core].fill_group_virtual(LineAddr(key), &mut victims);
+        let evictions = match placed {
+            Some(VGroupFill::Rotated { way, old_group }) => {
+                if old_group != 0 {
+                    // The whole strip held exactly `old_group`: its 64
+                    // victims are one summary clear, with no tag reads
+                    // and no directory writes (wholesale disappearance
+                    // leaves stale entries conclusively dead, virtual or
+                    // not).
+                    self.extents.clear_group(old_group - 1);
+                } else {
+                    // Line-by-line victims. None can belong to a virtual
+                    // group: a virtual group's lines live exactly in a
+                    // strip whose hint is set, and this strip's wasn't.
+                    self.extents.note_evicts(&victims);
+                    victims.clear();
+                }
+                self.extents.seed_virtual(group, core as u32, way);
+                GROUP_LINES
+            }
+            Some(VGroupFill::Fresh { way }) => {
+                self.extents.seed_virtual(group, core as u32, way);
+                0
+            }
+            None => {
+                // A 64-aligned group never straddles a 4096-line
+                // directory page.
+                let span = self.directory.page_span(key, GROUP_LINES as usize);
+                debug_assert_eq!(span.len(), GROUP_LINES as usize);
+                let ev = self.caches[core].fill_run::<true>(
+                    LineAddr(key),
+                    span,
+                    pack(core, 0),
+                    &mut victims,
+                );
+                self.extents
+                    .note_fill_run(key, span, core as u32, self.set_shift);
+                self.extents
+                    .note_evicts_virtual(&victims, &mut self.pending_material);
+                victims.clear();
+                self.flush_pending();
+                ev
+            }
+        };
+        self.victims = victims;
+        evictions
+    }
+
+    /// Serve `[key, stop)` — a subrange of one aligned group — from the
+    /// group's residency mask, without per-line directory traffic:
+    ///
+    /// * every line absent → one batched fill (absence is proven, so the
+    ///   per-line stale-entry validation of the exact walk is skipped);
+    /// * every line resident in a uniform locally-owned group → one
+    ///   batched recency promotion (a virtual group stays virtual);
+    /// * a mix of the two in a uniform local group → alternating hit and
+    ///   fill runs read straight off the mask bits, in line order.
+    ///
+    /// Returns `false` when the mask can't prove enough (some line
+    /// resident but the group is non-uniform or remotely owned) — the
+    /// caller falls back to the exact walk. Exactness of the run split:
+    /// the subrange's lines occupy distinct sets (≤ 64 consecutive
+    /// lines), fills insert only their own run's lines, and a fill's
+    /// victim shares its line's set, so it can never be another line of
+    /// this group — each set sees exactly the operation sequence the
+    /// per-line walk would have issued.
+    fn touch_masked(
+        &mut self,
+        core: usize,
+        key: u64,
+        stop: u64,
+        counts: &mut AccessCounts,
+        evictions: &mut u64,
+    ) -> bool {
+        let group = key >> GROUP_SHIFT;
+        let n = (stop - key) as u32;
+        let j0 = (key & GROUP_MASK) as u32;
+        let sub = crate::extent::run_mask(j0, n);
+        let mask = self.extents.group_mask(group);
+        let present = mask & sub;
+        if present == 0 {
+            counts.dram += n as u64;
+            self.ext_masked_fill_lines += n as u64;
+            *evictions += self.fill_partial(core, key, n as usize);
+            return true;
+        }
+        let Some((owner, way)) = self.extents.uniform_info(group) else {
+            return false;
+        };
+        if owner as usize != core {
+            return false;
+        }
+        if present == sub {
+            counts.hits += n as u64;
+            self.ext_partial_hits += n as u64;
+            self.caches[core].promote_uniform(LineAddr(key), way as u64, n as usize);
+            return true;
+        }
+        // Alternating runs. The mask snapshot stays valid across the
+        // loop: fills only set bits of runs already consumed, and a
+        // fill's victims never belong to this group.
+        let first = key - j0 as u64;
+        let mut bit = j0;
+        let end_bit = j0 + n;
+        while bit < end_bit {
+            let rest = mask >> bit;
+            let hit = rest & 1 != 0;
+            let run = if hit {
+                (!rest).trailing_zeros()
+            } else {
+                rest.trailing_zeros()
+            };
+            let len = run.min(end_bit - bit);
+            let line = first + bit as u64;
+            if hit {
+                counts.hits += len as u64;
+                self.ext_partial_hits += len as u64;
+                self.caches[core].promote_uniform(LineAddr(line), way as u64, len as usize);
+            } else {
+                counts.dram += len as u64;
+                self.ext_masked_fill_lines += len as u64;
+                *evictions += self.fill_partial(core, line, len as usize);
+            }
+            bit += len;
+        }
+        true
+    }
+
+    /// Batched fill of `n` consecutive lines proven absent everywhere
+    /// (their group's mask bits are clear): the generalization of
+    /// [`MemorySystem::fill_group`]'s materialized arm to a partial run.
+    fn fill_partial(&mut self, core: usize, key: u64, n: usize) -> u64 {
+        debug_assert!(self.victims.is_empty());
+        let mut victims = std::mem::take(&mut self.victims);
+        // A run within one aligned group never straddles a directory
+        // page.
+        let span = self.directory.page_span(key, n);
+        debug_assert_eq!(span.len(), n);
+        let ev =
+            self.caches[core].fill_run::<true>(LineAddr(key), span, pack(core, 0), &mut victims);
+        self.extents
+            .note_fill_run(key, span, core as u32, self.set_shift);
+        self.extents
+            .note_evicts_virtual(&victims, &mut self.pending_material);
+        victims.clear();
+        self.flush_pending();
+        self.victims = victims;
+        ev
+    }
+
+    /// Write the directory span a virtual group's eager fill would have
+    /// written: every line of the group at `(owner, way)`, slot derived
+    /// from the line's set.
+    fn write_group_dir(&mut self, group: u64, owner: u32, way: u32) {
+        let first = group << GROUP_SHIFT;
+        let set0 = (first & self.set_mask) as u32;
+        let span = self.directory.page_span(first, GROUP_LINES as usize);
+        debug_assert_eq!(span.len(), GROUP_LINES as usize);
+        for (j, e) in span.iter_mut().enumerate() {
+            *e = pack(owner as usize, (way << self.set_shift) | (set0 + j as u32));
+        }
+    }
+
+    /// Materialize every queued virtual group's directory span. Called
+    /// whenever no page-span borrow is live, and always before the next
+    /// classification or directory read.
+    #[inline]
+    fn flush_pending(&mut self) {
+        while let Some((group, owner, way)) = self.pending_material.pop() {
+            self.write_group_dir(group, owner, way);
+        }
+    }
+
+    /// One line evicted or invalidated outside the batched walks:
+    /// decrement its group, materializing the span first if the group
+    /// was virtual (no directory borrow is live at these call sites).
+    #[inline]
+    fn note_evict_line(&mut self, line: u64) {
+        self.extents
+            .note_evict_virtual(line, &mut self.pending_material);
+        self.flush_pending();
+    }
+
+    /// The exact per-line walk over `[first, end)` — the pre-extent
+    /// `touch` body. `EXT` statically selects whether the walk maintains
+    /// the extent summaries as it fills and invalidates (monomorphized
+    /// so the summaries-off path carries no bookkeeping at all).
+    ///
+    /// Per-line recency updates, eviction choices and classification
+    /// match the reference walk exactly. Consecutive lines are
+    /// consecutive directory slots, so the walk takes the directory one
+    /// page span at a time: the page walk is paid once per 4096 lines
+    /// and each line is a sequential slice read, validated against the
+    /// owning cache's tags and (on a miss) re-pointed at the new fill
+    /// slot in place.
+    fn walk_exact<const EXT: bool>(
+        &mut self,
+        core: usize,
+        first: u64,
+        end: u64,
+        counts: &mut AccessCounts,
+        evictions: &mut u64,
+    ) {
         let mut key = first;
         while key < end {
             let span = self.directory.page_span(key, (end - key) as usize);
@@ -226,7 +734,22 @@ impl MemorySystem {
                         counts.c2c += 1;
                         let (nslot, ev) =
                             unsafe { self.caches.get_unchecked_mut(core) }.fill_absent(line);
-                        evictions += ev.is_some() as u64;
+                        *evictions += ev.is_some() as u64;
+                        if EXT {
+                            // `line` sits in a stretch the grouped walk
+                            // handed down, so its group is never virtual
+                            // (whole groups were intercepted above); the
+                            // fill's victim, though, can be any line of
+                            // core's cache — materialization of its span
+                            // is deferred until the page borrow dies.
+                            self.extents.note_evict(line.0);
+                            if let Some(v) = ev {
+                                self.extents
+                                    .note_evict_virtual(v.0, &mut self.pending_material);
+                            }
+                            self.extents
+                                .note_fill(line.0, core as u32, nslot >> self.set_shift);
+                        }
                         unsafe { *span.get_unchecked_mut(i) = pack(core, nslot) };
                         i += 1;
                         continue;
@@ -258,27 +781,47 @@ impl MemorySystem {
                 }
                 counts.dram += (i - start) as u64;
                 let run = unsafe { span.get_unchecked_mut(start..i) };
-                evictions += unsafe { self.caches.get_unchecked_mut(core) }.fill_run(
-                    line,
-                    run,
-                    pack(core, 0),
-                );
+                if EXT {
+                    *evictions += unsafe { self.caches.get_unchecked_mut(core) }.fill_run::<true>(
+                        line,
+                        run,
+                        pack(core, 0),
+                        &mut self.victims,
+                    );
+                    self.extents
+                        .note_fill_run(line.0, run, core as u32, self.set_shift);
+                    self.extents
+                        .note_evicts_virtual(&self.victims, &mut self.pending_material);
+                    self.victims.clear();
+                } else {
+                    *evictions += unsafe { self.caches.get_unchecked_mut(core) }.fill_run::<false>(
+                        line,
+                        run,
+                        pack(core, 0),
+                        &mut self.victims,
+                    );
+                }
             }
             key += n as u64;
+            // The page borrow is dead; write out the directory spans of
+            // any virtual groups a fill victim disturbed above. Deferral
+            // is sound because the walk only reads directory entries for
+            // this stretch's own lines, and a group that is virtual now
+            // was virtual when the stretch was formed — so it was
+            // intercepted as Whole and is never inside the stretch.
+            if EXT {
+                self.flush_pending();
+            }
         }
-        let cache = &mut self.caches[core];
-        cache.add_hits(counts.hits);
-        cache.add_misses(counts.c2c + counts.dram);
-        cache.add_evictions(evictions);
-        self.c2c_transfers += counts.c2c;
-        self.dram_fetches += counts.dram;
-        counts
     }
 
     /// The original per-line walk: scan the local set, consult the
     /// directory on a miss, invalidate the remote copy by scanning its
     /// set, fill. Exact by construction; kept as the verification oracle
-    /// for the batched [`MemorySystem::touch`].
+    /// for the batched [`MemorySystem::touch`]. Maintains the extent
+    /// summaries too (they never influence its behavior — the oracle
+    /// reads only the caches and the directory), so reference and
+    /// batched touches can be interleaved on one system.
     pub fn touch_reference(&mut self, core: usize, range: AddrRange) -> AccessCounts {
         let mut counts = AccessCounts::default();
         let line_size = self.params.line_size;
@@ -294,6 +837,9 @@ impl MemorySystem {
                     // Cache-to-cache migration: invalidate remote, fill local.
                     let removed = self.caches[owner].invalidate(line);
                     debug_assert!(removed, "directory said core {owner} owned {line:?}");
+                    if self.extents_on {
+                        self.note_evict_line(line.0);
+                    }
                     counts.c2c += 1;
                     self.c2c_transfers += 1;
                 }
@@ -314,10 +860,20 @@ impl MemorySystem {
 
     /// Insert `line` into `core`'s cache, recording it in the directory.
     /// A victim's entry is left to go stale (lazy invalidation); only the
-    /// filled line's entry is written.
+    /// filled line's entry is written. Callers guarantee `line` is absent
+    /// from every cache (the extent bookkeeping counts this as a fresh
+    /// fill).
     #[inline]
     fn fill(&mut self, core: usize, line: LineAddr) {
-        let (slot, _evicted) = self.caches[core].insert_tracked(line);
+        debug_assert!(!self.caches[core].contains(line), "fill of a resident line");
+        let (slot, evicted) = self.caches[core].insert_tracked(line);
+        if self.extents_on {
+            if let Some(v) = evicted {
+                self.note_evict_line(v.0);
+            }
+            self.extents
+                .note_fill(line.0, core as u32, slot >> self.set_shift);
+        }
         self.directory.insert(line.0, pack(core, slot));
     }
 
@@ -331,6 +887,9 @@ impl MemorySystem {
             if let Some(packed) = self.live_entry(line) {
                 if packed_owner(packed) != core {
                     self.caches[packed_owner(packed)].invalidate(line);
+                    if self.extents_on {
+                        self.note_evict_line(line.0);
+                    }
                 } else {
                     continue;
                 }
@@ -394,27 +953,112 @@ impl MemorySystem {
     /// resident line is accounted for by a live entry.
     /// O(directory × cores); tests only.
     pub fn check_invariants(&self) {
-        let mut live_total = 0u64;
+        // Residency census: live directory entries, plus the synthesized
+        // spans of virtual groups — whose directory entries were never
+        // written, because the summary word *is* their directory. Values
+        // are `(owner, way)`.
+        let mut census: std::collections::HashMap<u64, (usize, u32)> =
+            std::collections::HashMap::new();
         for (line, packed) in self.directory.iter() {
             let owner = packed_owner(packed);
-            let live = self.caches[owner].tag_at(packed_slot(packed)) == line;
+            if self.caches[owner].tag_at(packed_slot(packed)) == line {
+                census.insert(line, (owner, packed_slot(packed) >> self.set_shift));
+            }
+        }
+        if self.extents_on {
+            for (g, count, uniform, owner, way, virt) in self.extents.iter_live() {
+                if !virt {
+                    continue;
+                }
+                assert_eq!(count, GROUP_LINES as u32, "virtual group {g} not full");
+                assert!(uniform, "virtual group {g} not uniform");
+                let owner = owner as usize;
+                let first = g << GROUP_SHIFT;
+                for j in 0..GROUP_LINES {
+                    let line = first + j;
+                    let set = (line & self.set_mask) as u32;
+                    let slot = (way << self.set_shift) | set;
+                    assert_eq!(
+                        self.caches[owner].tag_at(slot),
+                        line,
+                        "virtual group {g} line {line} absent from its implied slot"
+                    );
+                    // A stale directory entry may coincide with the
+                    // virtual placement (then it is live and must agree);
+                    // it can never disagree while live, by exclusivity.
+                    let prev = census.insert(line, (owner, way));
+                    assert!(
+                        prev.is_none() || prev == Some((owner, way)),
+                        "line {line}: live directory entry disagrees with its virtual group"
+                    );
+                }
+            }
+        }
+        // Exclusivity: every census line resides in its owner's cache and
+        // nowhere else; the cardinality match then proves every resident
+        // line is in the census (each resident line fills one slot).
+        for (&line, &(owner, _)) in &census {
             for (i, c) in self.caches.iter().enumerate() {
-                let has = c.contains(LineAddr(line));
                 assert_eq!(
-                    has,
-                    live && i == owner,
-                    "line {line} residency mismatch at core {i} \
-                     (owner {owner}, live {live})"
+                    c.contains(LineAddr(line)),
+                    i == owner,
+                    "line {line} residency mismatch at core {i} (owner {owner})"
                 );
             }
-            live_total += live as u64;
         }
         let cache_resident: u64 = self.caches.iter().map(|c| c.resident()).sum();
         assert_eq!(
-            live_total, cache_resident,
-            "live directory entries != residency"
+            census.len() as u64,
+            cache_resident,
+            "residency census != cache-resident line count"
         );
-        assert!(self.directory.len() as u64 >= live_total);
+        for c in &self.caches {
+            c.check_block_invariants();
+        }
+        if self.extents_on {
+            // The summaries' counts are exact, and the uniform bit is
+            // sound: whenever set, every live line of the group really is
+            // at the recorded (owner, way). The census is faithful
+            // residency (proven just above).
+            let mut groups: std::collections::HashMap<u64, Vec<(usize, u32)>> =
+                std::collections::HashMap::new();
+            let mut gbits: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+            for (&line, &(owner, way)) in &census {
+                groups
+                    .entry(line >> GROUP_SHIFT)
+                    .or_default()
+                    .push((owner, way));
+                *gbits.entry(line >> GROUP_SHIFT).or_default() |= 1u64 << (line & GROUP_MASK);
+            }
+            let mut summarized = 0usize;
+            for (g, count, uniform, owner, way, _virt) in self.extents.iter_live() {
+                summarized += 1;
+                let live = groups
+                    .get(&g)
+                    .unwrap_or_else(|| panic!("group {g} summarized live but has no lines"));
+                assert_eq!(
+                    live.len() as u32,
+                    count,
+                    "group {g} summary count != live lines"
+                );
+                assert_eq!(
+                    self.extents.group_mask(g),
+                    gbits[&g],
+                    "group {g} residency mask != census bits"
+                );
+                if uniform {
+                    assert!(
+                        live.iter().all(|&(o, w)| o as u32 == owner && w == way),
+                        "group {g} uniform bit unsound: claims ({owner}, way {way}), lines {live:?}"
+                    );
+                }
+            }
+            assert_eq!(
+                summarized,
+                groups.len(),
+                "groups with live lines missing from the summaries"
+            );
+        }
     }
 }
 

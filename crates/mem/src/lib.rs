@@ -20,9 +20,17 @@
 //! The L2 miss rate the figure harness reports (Figs. 6/7) is
 //! `misses / accesses` aggregated over all core caches, exactly Oprofile's
 //! definition in the paper.
+//!
+//! Steady-state touches cost O(ownership boundaries), not O(lines): an
+//! extent-grained residency summary over the directory ([`extent`])
+//! classifies whole 64-line groups in O(1) when they are wholly owned,
+//! wholly absent, or migrating wholesale, and the exact per-line walk
+//! remains both the fallback and the verification oracle
+//! (`SAIS_MEM_NO_EXTENTS=1` forces it everywhere, bit-identically).
 
 pub mod addr;
 pub mod cache;
+mod extent;
 pub mod fxmap;
 pub mod hierarchy;
 mod linetab;
@@ -30,5 +38,5 @@ pub mod params;
 
 pub use addr::{AddrAlloc, AddrRange, LineAddr};
 pub use cache::SetAssocCache;
-pub use hierarchy::{AccessCounts, MemorySystem};
+pub use hierarchy::{AccessCounts, ExtentStats, MemorySystem};
 pub use params::MemParams;

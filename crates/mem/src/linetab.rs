@@ -84,8 +84,9 @@ impl LineTable {
         LineTable::default()
     }
 
-    /// Entries holding a value (live or stale). O(pages); diagnostics and
-    /// invariant checks only.
+    /// Entries holding a value (live or stale). O(pages); diagnostics
+    /// only.
+    #[cfg(test)]
     pub(crate) fn len(&self) -> usize {
         self.iter().count()
     }
